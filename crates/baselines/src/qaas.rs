@@ -1,0 +1,137 @@
+//! Query-as-a-Service models: Amazon Athena and Google BigQuery (§5.4).
+//!
+//! Both charge $5 per TiB of input, but count bytes differently:
+//! BigQuery counts every referenced column in full; Athena counts only
+//! the *selected rows* of those columns ("selections are pushed into the
+//! cost model"). Latency behaviour is calibrated to the paper's reported
+//! numbers: Athena's running time grows linearly with the dataset,
+//! BigQuery's sublinearly, and BigQuery's cold path includes the ETL load.
+
+/// A cost/latency estimate for one query on one system.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct QaasEstimate {
+    pub running_time_secs: f64,
+    pub cost_usd: f64,
+    /// Extra one-time latency for the first (cold) query, if any.
+    pub cold_extra_secs: f64,
+}
+
+const TIB: f64 = 1024.0 * 1024.0 * 1024.0 * 1024.0;
+const USD_PER_TIB: f64 = 5.0;
+
+/// Inputs describing a scan-heavy query on LINEITEM.
+#[derive(Clone, Copy, Debug)]
+pub struct QueryShape {
+    /// Scale factor relative to SF 1000.
+    pub sf_factor: f64,
+    /// Fraction of the table's columns the query references, by bytes.
+    pub column_fraction: f64,
+    /// Selectivity of the predicate (rows surviving).
+    pub selectivity: f64,
+}
+
+/// Amazon Athena (§5.4): queries Parquet in situ.
+///
+/// Calibration: at SF 1k, Q1 ≈ 38 s (Lambada's ~9.5 s is "about 4×
+/// faster") and the running time grows linearly ("26× faster" at SF 10k).
+pub fn athena(shape: QueryShape) -> QaasEstimate {
+    // Bytes charged: referenced columns × selected rows over the
+    // uncompressed data (Athena charges scanned bytes of columnar data;
+    // the paper's 823 GiB/705 GiB distinction applies to BigQuery's
+    // format). Use the Parquet size as the charged base.
+    let parquet_bytes = 151.0 * 1024.0f64.powi(3) * shape.sf_factor;
+    let charged = parquet_bytes * shape.column_fraction * shape.selectivity;
+    QaasEstimate {
+        running_time_secs: 38.0 * shape.sf_factor,
+        cost_usd: charged / TIB * USD_PER_TIB,
+        cold_extra_secs: 0.0,
+    }
+}
+
+/// Google BigQuery (§5.4): requires loading into its proprietary format
+/// first (823 GiB at SF 1k, 40 min load; 6.7 h at SF 10k), then queries
+/// fast; all referenced columns are charged in full.
+pub fn bigquery(shape: QueryShape, hot_secs_sf1k: f64) -> QaasEstimate {
+    let native_bytes = 823.0 * 1024.0f64.powi(3) * shape.sf_factor;
+    let charged = native_bytes * shape.column_fraction;
+    // Sublinear scaling: the paper reports ~2.3x slower than Lambada at
+    // SF 10k for Q1 (vs. much faster at SF 1k) — model as sqrt-ish growth
+    // calibrated through the two reported points (3.9 s -> ~22 s for Q1).
+    let growth = shape.sf_factor.powf(0.75);
+    QaasEstimate {
+        running_time_secs: hot_secs_sf1k * growth,
+        cost_usd: charged / TIB * USD_PER_TIB,
+        cold_extra_secs: 40.0 * 60.0 * shape.sf_factor,
+    }
+}
+
+/// The paper's hot BigQuery latencies at SF 1k (§5.4.2).
+pub fn bigquery_hot_sf1k(query: &str) -> f64 {
+    match query {
+        "q1" => 3.9,
+        "q6" => 1.6,
+        other => panic!("no BigQuery calibration for {other}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q1(sf_factor: f64) -> QueryShape {
+        // Q1: 7 of 16 columns, 98% of rows. Column bytes are roughly
+        // proportional for the numeric relation.
+        QueryShape { sf_factor, column_fraction: 7.0 / 16.0, selectivity: 0.98 }
+    }
+
+    fn q6(sf_factor: f64) -> QueryShape {
+        QueryShape { sf_factor, column_fraction: 4.0 / 16.0, selectivity: 0.02 }
+    }
+
+    #[test]
+    fn athena_prices_selectivity() {
+        // "In Q6, we only pay for the 2% of the selected rows, while we
+        // pay for 98% of them in Q1" — the cost ratio must be large.
+        let a1 = athena(q1(1.0));
+        let a6 = athena(q6(1.0));
+        assert!(a1.cost_usd / a6.cost_usd > 20.0);
+    }
+
+    #[test]
+    fn bigquery_prices_columns_not_rows() {
+        let b1 = bigquery(q1(1.0), bigquery_hot_sf1k("q1"));
+        let b6 = bigquery(q6(1.0), bigquery_hot_sf1k("q6"));
+        // Q1 only slightly more expensive (more columns), nowhere near
+        // the 50x selectivity gap.
+        let ratio = b1.cost_usd / b6.cost_usd;
+        assert!((1.0..3.0).contains(&ratio), "ratio = {ratio}");
+    }
+
+    #[test]
+    fn bigquery_cold_includes_load() {
+        let b = bigquery(q1(1.0), 3.9);
+        assert!((b.cold_extra_secs - 2400.0).abs() < 1.0, "40 min load at SF 1k");
+        let b10 = bigquery(q1(10.0), 3.9);
+        assert!((b10.cold_extra_secs - 24000.0).abs() < 60.0, "6.7 h at SF 10k");
+    }
+
+    #[test]
+    fn athena_scales_linearly_bigquery_sublinearly() {
+        let a = athena(q1(10.0)).running_time_secs / athena(q1(1.0)).running_time_secs;
+        assert!((a - 10.0).abs() < 1e-9);
+        let b = bigquery(q1(10.0), 3.9).running_time_secs
+            / bigquery(q1(1.0), 3.9).running_time_secs;
+        assert!(b > 3.0 && b < 10.0, "sublinear growth, got {b}");
+    }
+
+    #[test]
+    fn paper_cost_magnitudes() {
+        // Athena Q1 SF1k: 151 GiB * 7/16 * 98% => ~$0.32 (one order above
+        // Lambada's ~3 cents, Fig 12a); BigQuery Q1 SF1k: 823 GiB * 7/16
+        // => ~$1.8 (two orders above).
+        let a1 = athena(q1(1.0));
+        assert!((0.1..1.0).contains(&a1.cost_usd), "athena Q1 = {}", a1.cost_usd);
+        let b1 = bigquery(q1(1.0), 3.9);
+        assert!((1.0..4.0).contains(&b1.cost_usd), "bigquery Q1 = {}", b1.cost_usd);
+    }
+}

@@ -1,0 +1,60 @@
+//! Fig 4: relative compute performance vs memory size, 1 vs 2 threads.
+//!
+//! A fixed amount of number crunching runs inside simulated workers of
+//! different sizes. The baseline is the 1792 MiB worker with one thread
+//! (exactly one vCPU).
+
+use lambada_bench::{banner, fresh_cloud};
+use lambada_core::{ComputeCostModel, WorkerEnv};
+
+/// Seconds to finish `work` vCPU-seconds on a worker of `memory_mib`
+/// using `threads` threads.
+fn run(memory_mib: u32, threads: usize, work: f64) -> f64 {
+    let (sim, cloud) = fresh_cloud();
+    let env = WorkerEnv::bare(&cloud, 0, memory_mib, ComputeCostModel::default());
+    sim.block_on({
+        let handle = cloud.handle.clone();
+        async move {
+            let t0 = handle.now();
+            let mut joins = Vec::new();
+            for _ in 0..threads {
+                let env = env.clone();
+                let share = work / threads as f64;
+                joins.push(handle.spawn(async move { env.compute(share).await }));
+            }
+            for j in joins {
+                j.await;
+            }
+            (handle.now() - t0).as_secs_f64()
+        }
+    })
+}
+
+fn main() {
+    banner("Fig 4", "relative compute performance compared to 1 vCPU (1792 MiB)");
+    let work = 1.0; // ~1 s at one vCPU, like the paper's microbenchmark
+    let baseline = run(1792, 1, work);
+    println!(
+        "{:>12} {:>14} {:>14}   paper expectation",
+        "mem [MiB]", "1 thread [%]", "2 threads [%]"
+    );
+    for mem in [256u32, 512, 1024, 1792, 2048, 2560, 3008] {
+        let t1 = run(mem, 1, work);
+        let t2 = run(mem, 2, work);
+        let r1 = 100.0 * baseline / t1;
+        let r2 = 100.0 * baseline / t2;
+        let expect = match mem {
+            256 => "~14% (proportional)",
+            512 => "~29%",
+            1024 => "~57%",
+            1792 => "100% (baseline)",
+            2048 => "1 thread flat, 2 threads ~114%",
+            2560 => "2 threads ~143%",
+            3008 => "2 threads ~167% (the paper's 1.67x max)",
+            _ => "",
+        };
+        println!("{mem:>12} {r1:>14.1} {r2:>14.1}   {expect}");
+    }
+    println!("--> below 1792 MiB performance is proportional to memory regardless of threads;");
+    println!("    above it only a second thread helps, peaking at ~1.67x for 3008 MiB");
+}

@@ -1,0 +1,74 @@
+//! Fig 7: impact of the request (chunk) size on scan bandwidth and
+//! request cost — downloading 1 GB in chunks of 0.5–16 MiB over 1/2/4
+//! connections, with the cost of one thousand such scans.
+
+use lambada_bench::{banner, fresh_cloud, MIB};
+use lambada_core::{ComputeCostModel, WorkerEnv};
+use lambada_sim::services::object_store::Body;
+use lambada_sim::CostItem;
+
+/// Download 1 GB in `chunk` byte requests over `connections` parallel
+/// request streams. Returns (MiB/s, request count, worker seconds).
+fn scan(memory_mib: u32, connections: usize, chunk: u64) -> (f64, f64, f64) {
+    let size = 1u64 << 30;
+    let (sim, cloud) = fresh_cloud();
+    cloud.s3.stage("data", "blob", Body::Synthetic(size));
+    let env = WorkerEnv::bare(&cloud, 0, memory_mib, ComputeCostModel::default());
+    let secs = sim.block_on({
+        let handle = cloud.handle.clone();
+        async move {
+            let t0 = handle.now();
+            let n_chunks = size.div_ceil(chunk);
+            let mut joins = Vec::new();
+            for c in 0..connections as u64 {
+                let env = env.clone();
+                joins.push(handle.spawn(async move {
+                    // Each connection fetches its share of chunks
+                    // sequentially — pipelining across connections hides
+                    // per-request latency.
+                    let mut idx = c;
+                    while idx < n_chunks {
+                        let off = idx * chunk;
+                        let len = chunk.min(size - off);
+                        env.s3.get_range("data", "blob", off, len).await.unwrap();
+                        idx += connections as u64;
+                    }
+                }));
+            }
+            for j in joins {
+                j.await;
+            }
+            (handle.now() - t0).as_secs_f64()
+        }
+    });
+    let requests = cloud.billing.units(CostItem::S3Get);
+    (size as f64 / MIB / secs, requests, secs)
+}
+
+fn main() {
+    banner("Fig 7", "impact of the chunk size on scan characteristics (1 GB, 3008 MiB worker)");
+    let prices = lambada_sim::Prices::default();
+    println!(
+        "{:>12} {:>8} {:>12} {:>12} {:>16} {:>12}",
+        "chunk [MiB]", "conns", "BW [MiB/s]", "requests", "cost 1k runs [$]", "vs worker"
+    );
+    for chunk_mib in [0.5f64, 1.0, 2.0, 4.0, 8.0, 16.0] {
+        for conns in [1usize, 2, 4] {
+            let (bw, requests, secs) = scan(3008, conns, (chunk_mib * MIB) as u64);
+            let request_cost_1k = requests * prices.s3_get * 1000.0;
+            let worker_cost_1k = secs * (3008.0 / 1024.0) * prices.lambda_gib_second * 1000.0;
+            println!(
+                "{:>12.1} {:>8} {:>12.0} {:>12.0} {:>16.3} {:>11.2}x",
+                chunk_mib,
+                conns,
+                bw,
+                requests,
+                request_cost_1k,
+                request_cost_1k / worker_cost_1k
+            );
+        }
+    }
+    println!("--> paper: 1 connection needs 16 MiB chunks for full throughput; 4 connections");
+    println!("    reach it at 1 MiB — but requests are then ~1.7x the worker cost, and they");
+    println!("    dominate below that (3.4x at 0.5 MiB). Request costs halve per chunk doubling.");
+}

@@ -1,0 +1,42 @@
+//! Fig 11: distribution of per-worker processing time for Q1 and Q6 at
+//! SF 1000 with F=1, M=1792 MiB — showing the effect of min/max pruning.
+
+use lambada_bench::{banner, env_usize, run_tpch_descriptor};
+use lambada_sim::stats::percentile;
+
+fn main() {
+    let num_files = env_usize("LAMBADA_FILES", 320);
+    banner("Fig 11", "distribution of worker processing time, Q1 vs Q6 (SF 1k, F=1, M=1792)");
+    for query in ["q1", "q6"] {
+        let run = run_tpch_descriptor(query, 1000.0, num_files, 1792, 1);
+        let mut times: Vec<f64> =
+            run.hot.worker_metrics.iter().map(|m| m.processing_secs).collect();
+        times.sort_by(f64::total_cmp);
+        let pruned_workers = run
+            .hot
+            .worker_metrics
+            .iter()
+            .filter(|m| m.row_groups_scanned == 0)
+            .count();
+        println!("\n{query}: {} workers, {} fully pruned ({:.0}%)", times.len(), pruned_workers, 100.0 * pruned_workers as f64 / times.len() as f64);
+        println!(
+            "  processing time: min {:.2}s p25 {:.2}s median {:.2}s p75 {:.2}s max {:.2}s",
+            times[0],
+            percentile(&times, 0.25),
+            percentile(&times, 0.5),
+            percentile(&times, 0.75),
+            times[times.len() - 1],
+        );
+        // The figure's curve: worker processing times in ascending order.
+        print!("  curve (every 16th worker): ");
+        for (i, t) in times.iter().enumerate() {
+            if i % 16 == 0 || i + 1 == times.len() {
+                print!("{t:.2} ");
+            }
+        }
+        println!();
+    }
+    println!("\n--> paper: two bands — pruned workers return in 0.1-0.2 s after one metadata");
+    println!("    round-trip; scanning workers take 2-3 s. ~2% of workers prune for Q1,");
+    println!("    ~80% for Q6 (matching the predicates' shipdate selectivity)");
+}

@@ -1,0 +1,152 @@
+//! Criterion microbenchmarks of the building blocks that run real work in
+//! the reproduction: encodings, the LZ codec, expression kernels, hash
+//! aggregation, partitioning, and the virtual-time executor itself.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use lambada_engine::{col, lit_f64, Column, RecordBatch};
+use lambada_format::{encoding, ColumnData, Encoding};
+
+fn bench_encodings(c: &mut Criterion) {
+    let sorted: Vec<i64> = (0..65_536).map(|i| 8000 + i / 50).collect();
+    let mut g = c.benchmark_group("format/encoding");
+    g.throughput(Throughput::Bytes(65_536 * 8));
+    let data = ColumnData::I64(sorted);
+    for enc in [Encoding::Plain, Encoding::Rle, Encoding::Delta] {
+        let bytes = encoding::encode(&data, enc).unwrap();
+        g.bench_function(format!("encode/{}", enc.name()), |b| {
+            b.iter(|| encoding::encode(black_box(&data), enc).unwrap())
+        });
+        g.bench_function(format!("decode/{}", enc.name()), |b| {
+            b.iter(|| {
+                encoding::decode(
+                    black_box(&bytes),
+                    enc,
+                    lambada_format::PhysicalType::I64,
+                    65_536,
+                )
+                .unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_lz(c: &mut Criterion) {
+    let mut data = Vec::with_capacity(1 << 20);
+    for i in 0..131_072i64 {
+        data.extend_from_slice(&(i % 1000).to_le_bytes());
+    }
+    let compressed = lambada_format::compress::compress(&data);
+    let mut g = c.benchmark_group("format/lz");
+    g.throughput(Throughput::Bytes(data.len() as u64));
+    g.bench_function("compress", |b| {
+        b.iter(|| lambada_format::compress::compress(black_box(&data)))
+    });
+    g.bench_function("decompress", |b| {
+        b.iter(|| lambada_format::compress::decompress(black_box(&compressed), data.len()).unwrap())
+    });
+    g.finish();
+}
+
+fn q6_like_batch(n: usize) -> RecordBatch {
+    RecordBatch::from_columns(
+        &["price", "discount"],
+        vec![
+            Column::F64((0..n).map(|i| (i % 977) as f64).collect()),
+            Column::F64((0..n).map(|i| (i % 11) as f64 / 100.0).collect()),
+        ],
+    )
+    .unwrap()
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let batch = q6_like_batch(65_536);
+    let predicate = col(1).between(lit_f64(0.05), lit_f64(0.07));
+    let projection = col(0).mul(col(1));
+    let mut g = c.benchmark_group("engine/kernels");
+    g.throughput(Throughput::Elements(65_536));
+    g.bench_function("predicate_mask", |b| {
+        b.iter(|| lambada_engine::expr::eval::evaluate_mask(black_box(&predicate), &batch).unwrap())
+    });
+    g.bench_function("arith_projection", |b| {
+        b.iter(|| lambada_engine::expr::eval::evaluate(black_box(&projection), &batch).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_hash_agg(c: &mut Criterion) {
+    use lambada_engine::agg::{AggFunc, GroupedAggState};
+    use lambada_engine::DataType;
+    let groups = Column::I64((0..65_536).map(|i| i % 8).collect());
+    let vals = Column::F64((0..65_536).map(|i| i as f64).collect());
+    let mut g = c.benchmark_group("engine/hash_agg");
+    g.throughput(Throughput::Elements(65_536));
+    g.bench_function("update_batch_8_groups", |b| {
+        b.iter(|| {
+            let mut st =
+                GroupedAggState::new(&[(AggFunc::Sum, Some(DataType::Float64))]).unwrap();
+            st.update_batch(
+                black_box(std::slice::from_ref(&groups)),
+                &[Some(vals.clone())],
+                65_536,
+            )
+            .unwrap();
+            st
+        })
+    });
+    g.finish();
+}
+
+fn bench_partitioning(c: &mut Criterion) {
+    let batch = RecordBatch::from_columns(
+        &["k", "v"],
+        vec![
+            Column::I64((0..65_536).collect()),
+            Column::F64((0..65_536).map(|i| i as f64).collect()),
+        ],
+    )
+    .unwrap();
+    let mut g = c.benchmark_group("core/partition");
+    g.throughput(Throughput::Elements(65_536));
+    g.bench_function("hash_partition_64", |b| {
+        b.iter(|| lambada_core::partition::partition_batch(black_box(&batch), &[0], 64).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_executor(c: &mut Criterion) {
+    use lambada_sim::{secs, Simulation};
+    let mut g = c.benchmark_group("sim/executor");
+    g.bench_function("spawn_1k_sleepers", |b| {
+        b.iter(|| {
+            let sim = Simulation::new();
+            let h = sim.handle();
+            sim.block_on(async move {
+                let mut joins = Vec::with_capacity(1000);
+                for i in 0..1000u64 {
+                    let h2 = h.clone();
+                    joins.push(h.spawn(async move {
+                        h2.sleep(secs(i as f64 * 0.001)).await;
+                    }));
+                }
+                for j in joins {
+                    j.await;
+                }
+            });
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_encodings,
+    bench_lz,
+    bench_kernels,
+    bench_hash_agg,
+    bench_partitioning,
+    bench_executor
+);
+criterion_main!(benches);

@@ -1,0 +1,305 @@
+//! The Lambada driver: runs on the data scientist's machine, invokes the
+//! serverless workers, and collects their results from the result queue
+//! (§3.1/§3.3). Nothing here is "always on" — every run pays only for the
+//! requests and worker-seconds it uses.
+
+use std::collections::{HashMap, HashSet};
+use std::rc::Rc;
+use std::time::Duration;
+
+use lambada_engine::agg::GroupedAggState;
+use lambada_engine::logical::LogicalPlan;
+use lambada_engine::physical::{agg_state_to_batch, project_batch, sort_batch};
+use lambada_engine::{Df, Optimizer, RecordBatch};
+use lambada_sim::{BillingSnapshot, Cloud};
+
+use crate::costmodel::ComputeCostModel;
+use crate::error::{CoreError, Result};
+use crate::invoke::{invoke_workers, InvocationStrategy};
+use crate::message::{ResultPayload, WorkerMetrics, WorkerResult};
+use crate::scan::ScanConfig;
+use crate::stage::{self, FinalStage, PostOp};
+use crate::table::TableSpec;
+use crate::worker::{
+    register_worker_function, FragmentShared, FragmentTask, WorkerPayload, WorkerTask,
+};
+
+/// System configuration fixed at installation time (§2.1's "installation").
+#[derive(Clone, Debug)]
+pub struct LambadaConfig {
+    pub function_name: String,
+    /// Worker memory size M (the knob of Fig 10).
+    pub memory_mib: u32,
+    pub timeout: Duration,
+    /// Files per worker F; the worker count is `ceil(#files / F)` (§5.2).
+    pub files_per_worker: usize,
+    pub scan: ScanConfig,
+    pub strategy: InvocationStrategy,
+    pub costs: ComputeCostModel,
+    /// Long-poll duration per result-queue receive call.
+    pub receive_wait: Duration,
+    /// Give up waiting for workers after this long.
+    pub max_wait: Duration,
+    /// Bucket for collect-fragment outputs.
+    pub result_bucket: String,
+}
+
+impl Default for LambadaConfig {
+    fn default() -> Self {
+        LambadaConfig {
+            function_name: "lambada-worker".to_string(),
+            memory_mib: 2048,
+            timeout: Duration::from_secs(300),
+            files_per_worker: 1,
+            scan: ScanConfig::default(),
+            strategy: InvocationStrategy::TwoLevel,
+            costs: ComputeCostModel::default(),
+            receive_wait: Duration::from_secs(1),
+            max_wait: Duration::from_secs(900),
+            result_bucket: "lambada-results".to_string(),
+        }
+    }
+}
+
+/// Report of one query execution.
+#[derive(Clone, Debug)]
+pub struct QueryReport {
+    /// The query result.
+    pub batch: RecordBatch,
+    /// End-to-end latency in (virtual) seconds: invocation + work +
+    /// result collection (§5.1's measurement definition).
+    pub latency_secs: f64,
+    /// Seconds until all driver-side invocations were accepted.
+    pub invoke_secs: f64,
+    /// Billing delta attributable to this query.
+    pub cost: BillingSnapshot,
+    pub workers: usize,
+    pub cold_starts: u64,
+    pub worker_metrics: Vec<WorkerMetrics>,
+}
+
+impl QueryReport {
+    pub fn dollars(&self) -> f64 {
+        self.cost.total()
+    }
+}
+
+/// A Lambada installation bound to one simulated cloud.
+pub struct Lambada {
+    cloud: Cloud,
+    config: LambadaConfig,
+    tables: HashMap<String, TableSpec>,
+    query_seq: std::cell::Cell<u64>,
+}
+
+impl Lambada {
+    /// Install the system: register the worker function and create the
+    /// result bucket. Only serverless resources — nothing keeps running.
+    pub fn install(cloud: &Cloud, config: LambadaConfig) -> Lambada {
+        register_worker_function(
+            cloud,
+            &config.function_name,
+            config.memory_mib,
+            config.timeout,
+            config.costs,
+        );
+        cloud.s3.create_bucket(&config.result_bucket);
+        Lambada {
+            cloud: cloud.clone(),
+            config,
+            tables: HashMap::new(),
+            query_seq: std::cell::Cell::new(0),
+        }
+    }
+
+    pub fn config(&self) -> &LambadaConfig {
+        &self.config
+    }
+
+    pub fn cloud(&self) -> &Cloud {
+        &self.cloud
+    }
+
+    /// Re-register the worker function, dropping warm containers — the
+    /// next query is a cold run (§5.2).
+    pub fn make_cold(&self) {
+        register_worker_function(
+            &self.cloud,
+            &self.config.function_name,
+            self.config.memory_mib,
+            self.config.timeout,
+            self.config.costs,
+        );
+    }
+
+    pub fn register_table(&mut self, spec: TableSpec) {
+        self.tables.insert(spec.name.clone(), spec);
+    }
+
+    pub fn table(&self, name: &str) -> Option<&TableSpec> {
+        self.tables.get(name)
+    }
+
+    /// Build a [`Df`] over a registered table.
+    pub fn from_table(&self, name: &str) -> Result<Df> {
+        let spec = self
+            .tables
+            .get(name)
+            .ok_or_else(|| CoreError::Unsupported(format!("unknown table {name}")))?;
+        Ok(Df::scan(name, &spec.schema))
+    }
+
+    /// Optimize and execute a query across serverless workers.
+    pub async fn run_query(&self, plan: &LogicalPlan) -> Result<QueryReport> {
+        let hints: HashMap<String, u64> =
+            self.tables.iter().map(|(k, v)| (k.clone(), v.total_rows)).collect();
+        let optimized = Optimizer::with_row_hints(hints).optimize(plan)?;
+        let stage = stage::split(&optimized)?;
+        let spec = self
+            .tables
+            .get(&stage.table)
+            .ok_or_else(|| CoreError::Unsupported(format!("unknown table {}", stage.table)))?;
+
+        let qid = self.query_seq.get();
+        self.query_seq.set(qid + 1);
+        let result_queue = format!("lambada-results-q{qid}");
+        self.cloud.sqs.create_queue(&result_queue);
+
+        // One worker per F files (§5.2: W = #files / F).
+        let shared = Rc::new(FragmentShared {
+            base_schema: spec.schema.clone(),
+            scan_columns: stage.scan_columns.clone(),
+            prune_predicate: stage.prune_predicate.clone(),
+            pipeline: stage.pipeline.clone(),
+            scan: self.config.scan,
+            result_bucket: self.config.result_bucket.clone(),
+        });
+        let f = self.config.files_per_worker.max(1);
+        let mut payloads = Vec::new();
+        for (wid, chunk) in spec.files.chunks(f).enumerate() {
+            payloads.push(WorkerPayload {
+                worker_id: wid as u64,
+                task: WorkerTask::Fragment(FragmentTask {
+                    shared: Rc::clone(&shared),
+                    files: chunk.to_vec(),
+                }),
+                children: Vec::new(),
+                result_queue: result_queue.clone(),
+            });
+        }
+        let workers = payloads.len();
+
+        let start = self.cloud.handle.now();
+        let cost_before = self.cloud.billing.snapshot();
+        invoke_workers(&self.cloud, &self.config.function_name, payloads, self.config.strategy)
+            .await?;
+        let invoke_secs = (self.cloud.handle.now() - start).as_secs_f64();
+
+        let results = self.collect_results(&result_queue, workers).await?;
+        let batch = self.finalize(&stage.final_stage, &results).await?;
+
+        let latency_secs = (self.cloud.handle.now() - start).as_secs_f64();
+        let cost = self.cloud.billing.snapshot().since(&cost_before);
+        let cold_starts = results.iter().filter(|r| r.metrics.cold_start).count() as u64;
+        Ok(QueryReport {
+            batch,
+            latency_secs,
+            invoke_secs,
+            cost,
+            workers,
+            cold_starts,
+            worker_metrics: results.iter().map(|r| r.metrics).collect(),
+        })
+    }
+
+    /// Poll the result queue until all workers reported (§3.3). Like the
+    /// invoker, the driver polls from a small thread pool — with
+    /// thousands of workers a single serial receive loop would dominate
+    /// query latency.
+    async fn collect_results(&self, queue: &str, workers: usize) -> Result<Vec<WorkerResult>> {
+        let mut seen: HashSet<u64> = HashSet::with_capacity(workers);
+        let mut results = Vec::with_capacity(workers);
+        let deadline = self.cloud.handle.now() + self.config.max_wait;
+        let pollers = workers.div_ceil(10).clamp(1, 16);
+        while seen.len() < workers {
+            if self.cloud.handle.now() >= deadline {
+                return Err(CoreError::Timeout {
+                    waited_secs: self.config.max_wait.as_secs_f64(),
+                    missing_workers: workers - seen.len(),
+                });
+            }
+            let mut receives = Vec::with_capacity(pollers);
+            for _ in 0..pollers {
+                let sqs = self.cloud.driver_sqs();
+                let queue = queue.to_string();
+                let wait = self.config.receive_wait;
+                receives.push(
+                    self.cloud.handle.spawn(async move { sqs.receive(&queue, 10, wait).await }),
+                );
+            }
+            for r in lambada_sim::sync::join_all(receives).await {
+                for msg in r? {
+                    let result = WorkerResult::decode(&msg)?;
+                    if seen.insert(result.worker_id) {
+                        results.push(result);
+                    }
+                }
+            }
+        }
+        // Surface the first worker error (§3.3: errors are reported, the
+        // driver decides).
+        for r in &results {
+            if let Err(message) = &r.outcome {
+                return Err(CoreError::Worker { worker_id: r.worker_id, message: message.clone() });
+            }
+        }
+        results.sort_by_key(|r| r.worker_id);
+        Ok(results)
+    }
+
+    /// Driver-scope post-processing (§3.2: "post-processing like
+    /// aggregating the intermediate worker results").
+    async fn finalize(&self, final_stage: &FinalStage, results: &[WorkerResult]) -> Result<RecordBatch> {
+        match final_stage {
+            FinalStage::MergeAggregate { agg_schema, funcs, post } => {
+                let mut state = GroupedAggState::new(funcs)?;
+                for r in results {
+                    if let Ok(ResultPayload::AggState(bytes)) = &r.outcome {
+                        state.merge(&GroupedAggState::decode(bytes)?)?;
+                    }
+                }
+                let batch = agg_state_to_batch(&state, agg_schema)?;
+                self.apply_post(batch, post)
+            }
+            FinalStage::CollectBatches { schema, post } => {
+                let s3 = self.cloud.driver_s3();
+                let mut batches = Vec::new();
+                for r in results {
+                    if let Ok(ResultPayload::StoredBatches { bucket, key, .. }) = &r.outcome {
+                        let body = s3.get(bucket, key).await?;
+                        let bytes = body.as_real().ok_or_else(|| {
+                            CoreError::Storage("stored result was synthetic".to_string())
+                        })?;
+                        batches.extend(crate::partition::decode_batches(bytes)?);
+                    }
+                }
+                let batch = RecordBatch::concat(schema.clone(), &batches)?;
+                self.apply_post(batch, post)
+            }
+        }
+    }
+
+    fn apply_post(&self, mut batch: RecordBatch, post: &[PostOp]) -> Result<RecordBatch> {
+        for op in post {
+            batch = match op {
+                PostOp::Sort(keys) => sort_batch(&batch, keys)?,
+                PostOp::Limit(n) => {
+                    let keep: Vec<usize> = (0..batch.num_rows().min(*n)).collect();
+                    batch.gather(&keep)
+                }
+                PostOp::Project(exprs, schema) => project_batch(&batch, exprs, schema)?,
+            };
+        }
+        Ok(batch)
+    }
+}

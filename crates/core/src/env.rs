@@ -1,0 +1,85 @@
+//! Worker-side environment: everything a serverless worker's code can
+//! touch — its container resources plus clients to the shared serverless
+//! storage services (§3.1: workers communicate *only* through shared
+//! storage, never directly).
+
+use lambada_sim::services::faas::InstanceCtx;
+use lambada_sim::services::object_store::S3Client;
+use lambada_sim::services::queue::SqsClient;
+use lambada_sim::Cloud;
+
+use crate::costmodel::ComputeCostModel;
+
+/// Handle bundle for code running inside one worker invocation.
+#[derive(Clone)]
+pub struct WorkerEnv {
+    pub cloud: Cloud,
+    pub ctx: InstanceCtx,
+    pub s3: S3Client,
+    pub sqs: SqsClient,
+    pub worker_id: u64,
+    pub costs: ComputeCostModel,
+}
+
+impl WorkerEnv {
+    pub fn new(cloud: &Cloud, ctx: InstanceCtx, worker_id: u64, costs: ComputeCostModel) -> Self {
+        let s3 = cloud.s3.client(ctx.link(), std::time::Duration::ZERO);
+        let sqs = cloud.instance_sqs();
+        WorkerEnv { cloud: cloud.clone(), ctx, s3, sqs, worker_id, costs }
+    }
+
+    /// An environment outside the FaaS dispatch path (benches and tests
+    /// that exercise one component in isolation). The instance still gets
+    /// the memory-dependent CPU share and traffic-shaped NIC.
+    pub fn bare(cloud: &Cloud, worker_id: u64, memory_mib: u32, costs: ComputeCostModel) -> Self {
+        use lambada_sim::services::faas::{cpu_share, Instance, InstanceCtx};
+        use lambada_sim::{BurstLink, PsResource};
+        let instance = std::rc::Rc::new(Instance {
+            id: worker_id,
+            memory_mib,
+            cpu: PsResource::new(cloud.handle.clone(), cpu_share(memory_mib), 1.0),
+            link: BurstLink::new(cloud.handle.clone(), cloud.config.nic.link_config(memory_mib)),
+        });
+        let ctx = InstanceCtx::bare(cloud.handle.clone(), instance);
+        WorkerEnv::new(cloud, ctx, worker_id, costs)
+    }
+
+    /// Like [`WorkerEnv::bare`], with the NIC degraded by `bandwidth
+    /// factor` — straggler injection for the Fig 13 experiments.
+    pub fn bare_with_nic_factor(
+        cloud: &Cloud,
+        worker_id: u64,
+        memory_mib: u32,
+        costs: ComputeCostModel,
+        factor: f64,
+    ) -> Self {
+        use lambada_sim::services::faas::{cpu_share, Instance, InstanceCtx};
+        use lambada_sim::{BurstLink, PsResource};
+        let mut nic = cloud.config.nic.link_config(memory_mib);
+        nic.sustained *= factor;
+        nic.burst *= factor;
+        nic.per_conn *= factor;
+        let instance = std::rc::Rc::new(Instance {
+            id: worker_id,
+            memory_mib,
+            cpu: PsResource::new(cloud.handle.clone(), cpu_share(memory_mib), 1.0),
+            link: BurstLink::new(cloud.handle.clone(), nic),
+        });
+        let ctx = InstanceCtx::bare(cloud.handle.clone(), instance);
+        WorkerEnv::new(cloud, ctx, worker_id, costs)
+    }
+
+    /// Charge single-threaded compute (vCPU-seconds).
+    pub async fn compute(&self, vcpu_seconds: f64) {
+        self.ctx.compute(vcpu_seconds).await;
+    }
+
+    /// Memory budget available to the execution engine. §3.3: the handler
+    /// starts the engine "with a memory limit slightly lower than that of
+    /// the serverless function" so OOM is reported rather than dying
+    /// silently.
+    pub fn engine_memory_budget(&self) -> u64 {
+        let total = u64::from(self.ctx.memory_mib()) * 1024 * 1024;
+        total - total / 8
+    }
+}

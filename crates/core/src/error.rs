@@ -1,0 +1,81 @@
+//! Core error type.
+
+use std::fmt;
+
+use lambada_sim::services::object_store::S3Error;
+use lambada_sim::services::queue::SqsError;
+
+/// Failures in the Lambada system layer.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CoreError {
+    /// Engine (planning/execution) failure.
+    Engine(String),
+    /// File-format failure.
+    Format(String),
+    /// Storage failure.
+    Storage(String),
+    /// Queue failure.
+    Queue(String),
+    /// Invocation failure.
+    Invoke(String),
+    /// A worker reported an error (§3.3's error reports via SQS).
+    Worker { worker_id: u64, message: String },
+    /// The driver gave up waiting for worker reports.
+    Timeout { waited_secs: f64, missing_workers: usize },
+    /// Plan shapes the distributed planner does not support.
+    Unsupported(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Engine(m) => write!(f, "engine error: {m}"),
+            CoreError::Format(m) => write!(f, "format error: {m}"),
+            CoreError::Storage(m) => write!(f, "storage error: {m}"),
+            CoreError::Queue(m) => write!(f, "queue error: {m}"),
+            CoreError::Invoke(m) => write!(f, "invocation error: {m}"),
+            CoreError::Worker { worker_id, message } => {
+                write!(f, "worker {worker_id} reported error: {message}")
+            }
+            CoreError::Timeout { waited_secs, missing_workers } => write!(
+                f,
+                "timed out after {waited_secs:.1}s with {missing_workers} workers unreported"
+            ),
+            CoreError::Unsupported(m) => write!(f, "unsupported: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<lambada_engine::EngineError> for CoreError {
+    fn from(e: lambada_engine::EngineError) -> Self {
+        CoreError::Engine(e.to_string())
+    }
+}
+
+impl From<lambada_format::FormatError> for CoreError {
+    fn from(e: lambada_format::FormatError) -> Self {
+        CoreError::Format(e.to_string())
+    }
+}
+
+impl From<S3Error> for CoreError {
+    fn from(e: S3Error) -> Self {
+        CoreError::Storage(e.to_string())
+    }
+}
+
+impl From<SqsError> for CoreError {
+    fn from(e: SqsError) -> Self {
+        CoreError::Queue(e.to_string())
+    }
+}
+
+impl From<lambada_sim::services::faas::InvokeError> for CoreError {
+    fn from(e: lambada_sim::services::faas::InvokeError) -> Self {
+        CoreError::Invoke(e.to_string())
+    }
+}
+
+pub type Result<T> = std::result::Result<T, CoreError>;

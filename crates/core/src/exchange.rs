@@ -1,0 +1,505 @@
+//! The purely serverless exchange operator (§4.4).
+//!
+//! Workers cannot accept connections, so all data movement goes through
+//! the object store. The family of algorithms:
+//!
+//! * **BasicExchange (1l)** — every worker writes one file per receiver
+//!   and reads one file per sender: `P²` reads and writes (Algorithm 1).
+//! * **TwoLevelExchange (2l)** — IDs are projected onto a grid; round 1
+//!   exchanges within rows, round 2 within columns: `2·P·√P` requests
+//!   (Algorithm 2). Generalizes to k levels over a `side^k` hyper-grid.
+//! * **Write combining (-wc)** — all partitions a worker produces in one
+//!   round go into a single file; receivers discover per-receiver offsets
+//!   from the file *name* via LIST requests (§4.4.3, the cheaper variant
+//!   for ≥ ~12 workers since LIST is priced like PUT).
+//!
+//! File names shard across `num_buckets` buckets to spread S3's
+//! per-bucket request-rate limits (§4.4.1).
+//!
+//! Payloads are either real bytes (tests, small-scale validation) or
+//! modeled sizes ([`PartData::Modeled`]) for paper-scale runs; modeled
+//! bundle composition is carried by [`ExchangeSide`], a zero-cost
+//! simulation side channel that stands in for the self-describing bundle
+//! headers of real files.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+use std::time::Duration;
+
+use lambada_format::binio::{BinReader, BinWriter};
+use lambada_sim::services::object_store::Body;
+use lambada_sim::sync::{join_all, Semaphore};
+use lambada_sim::SimTime;
+
+use crate::env::WorkerEnv;
+use crate::error::{CoreError, Result};
+use crate::exchange_cost::ExchangeAlgo;
+use crate::routing::{Grid, HyperGrid};
+
+/// One partition's payload.
+#[derive(Clone, Debug, PartialEq)]
+pub enum PartData {
+    Real(Vec<u8>),
+    Modeled(u64),
+}
+
+impl PartData {
+    pub fn len(&self) -> u64 {
+        match self {
+            PartData::Real(b) => b.len() as u64,
+            PartData::Modeled(n) => *n,
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub fn is_real(&self) -> bool {
+        matches!(self, PartData::Real(_))
+    }
+}
+
+/// Exchange operator configuration.
+#[derive(Clone, Debug)]
+pub struct ExchangeConfig {
+    pub algo: ExchangeAlgo,
+    pub write_combining: bool,
+    /// Buckets to shard file names over (created at installation time).
+    pub num_buckets: usize,
+    pub bucket_prefix: String,
+    /// Receiver LIST poll interval ("repeat a few times until they see
+    /// the files produced by all senders").
+    pub poll_interval: Duration,
+    pub max_polls: usize,
+    /// Namespaces the keys of one exchange execution.
+    pub run_id: u64,
+}
+
+impl Default for ExchangeConfig {
+    fn default() -> Self {
+        ExchangeConfig {
+            algo: ExchangeAlgo::TwoLevel,
+            write_combining: true,
+            num_buckets: 16,
+            bucket_prefix: "lambada-x".to_string(),
+            poll_interval: Duration::from_millis(250),
+            max_polls: 2400,
+            run_id: 0,
+        }
+    }
+}
+
+impl ExchangeConfig {
+    pub fn bucket_of(&self, id: usize) -> String {
+        format!("{}-{}", self.bucket_prefix, id % self.num_buckets.max(1))
+    }
+}
+
+/// Create the exchange buckets (installation time, free — §4.4.1).
+pub fn install_exchange_buckets(cloud: &lambada_sim::Cloud, cfg: &ExchangeConfig) {
+    for i in 0..cfg.num_buckets.max(1) {
+        cloud.s3.create_bucket(&format!("{}-{i}", cfg.bucket_prefix));
+    }
+}
+
+/// Per-destination sizes of one bundle (destination, byte length).
+type BundleSizes = Vec<(u32, u64)>;
+
+/// Simulation side channel: bundle composition of modeled (synthetic)
+/// files, keyed by `(bucket/key, receiver)`.
+#[derive(Clone, Default)]
+pub struct ExchangeSide {
+    sections: Rc<RefCell<HashMap<(String, u32), BundleSizes>>>,
+}
+
+impl ExchangeSide {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn put(&self, file: String, receiver: u32, parts: Vec<(u32, u64)>) {
+        self.sections.borrow_mut().insert((file, receiver), parts);
+    }
+
+    fn get(&self, file: &str, receiver: u32) -> Vec<(u32, u64)> {
+        self.sections.borrow().get(&(file.to_string(), receiver)).cloned().unwrap_or_default()
+    }
+}
+
+/// Per-round timing, also recorded into the cloud trace as
+/// `exchange_write` / `exchange_wait` / `exchange_read` spans.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct RoundTiming {
+    pub write_secs: f64,
+    pub wait_secs: f64,
+    pub read_secs: f64,
+}
+
+/// Outcome of one worker's participation in an exchange.
+pub struct ExchangeOutcome {
+    /// Parts received for this worker (all destined to it).
+    pub received: Vec<(u32, PartData)>,
+    pub rounds: Vec<RoundTiming>,
+}
+
+struct RoundPlan {
+    targets: Vec<usize>,
+    route: Box<dyn Fn(usize) -> usize>,
+    senders: Vec<usize>,
+    group_of: Box<dyn Fn(usize) -> usize>,
+}
+
+fn build_rounds(algo: ExchangeAlgo, p: usize, total: usize) -> Vec<RoundPlan> {
+    match algo {
+        ExchangeAlgo::OneLevel => vec![RoundPlan {
+            targets: (0..total).collect(),
+            route: Box::new(|dest| dest),
+            senders: (0..total).collect(),
+            group_of: Box::new(|_| 0),
+        }],
+        ExchangeAlgo::TwoLevel => {
+            let g = Grid::new(total);
+            vec![
+                RoundPlan {
+                    targets: g.round1_receivers(p),
+                    route: Box::new(move |dest| g.round1_target(p, dest)),
+                    senders: g.round1_senders(p),
+                    group_of: Box::new(move |w| g.row(w)),
+                },
+                RoundPlan {
+                    targets: g.round2_receivers(p),
+                    route: Box::new(move |dest| dest),
+                    senders: g.round2_senders(p),
+                    group_of: Box::new(move |w| g.rows() + g.col(w)),
+                },
+            ]
+        }
+        ExchangeAlgo::ThreeLevel => {
+            let h = HyperGrid::new(total, 3);
+            (0..3u32)
+                .map(|round| {
+                    let j = h.round_digit(round);
+                    RoundPlan {
+                        targets: h.group(p, round),
+                        route: Box::new(move |dest| h.target(p, dest, round)),
+                        senders: h.group(p, round),
+                        group_of: Box::new(move |w| {
+                            // Canonical group id: zero out the routed digit.
+                            w - h.digit(w, j) * h.side.pow(j)
+                        }),
+                    }
+                })
+                .collect()
+        }
+    }
+}
+
+fn encode_bundle(parts: &[(u32, PartData)]) -> Result<(Body, Option<BundleSizes>)> {
+    let all_real = parts.iter().all(|(_, d)| d.is_real());
+    if all_real {
+        let mut w = BinWriter::new();
+        w.varint(parts.len() as u64);
+        for (dest, data) in parts {
+            w.varint(u64::from(*dest));
+            match data {
+                PartData::Real(b) => w.bytes(b),
+                PartData::Modeled(_) => unreachable!("all_real checked"),
+            }
+        }
+        Ok((Body::from_vec(w.into_bytes()), None))
+    } else {
+        let total: u64 =
+            parts.iter().map(|(_, d)| d.len() + 10).sum::<u64>() + 4;
+        let sizes = parts.iter().map(|(dest, d)| (*dest, d.len())).collect();
+        Ok((Body::Synthetic(total), Some(sizes)))
+    }
+}
+
+fn decode_bundle(body: Body, side_sizes: Vec<(u32, u64)>) -> Result<Vec<(u32, PartData)>> {
+    match body {
+        Body::Real(bytes) => {
+            let mut r = BinReader::new(&bytes);
+            let n = r.varint().map_err(|e| CoreError::Format(e.to_string()))?;
+            let mut out = Vec::with_capacity(n as usize);
+            for _ in 0..n {
+                let dest = r.varint().map_err(|e| CoreError::Format(e.to_string()))? as u32;
+                let data = r.bytes().map_err(|e| CoreError::Format(e.to_string()))?.to_vec();
+                out.push((dest, PartData::Real(data)));
+            }
+            Ok(out)
+        }
+        Body::Synthetic(_) => {
+            Ok(side_sizes.into_iter().map(|(d, l)| (d, PartData::Modeled(l))).collect())
+        }
+    }
+}
+
+/// Offsets encoded into write-combined file names (§4.4.3 variant 2):
+/// `snd{p}.{rcv}_{len}.{rcv}_{len}...`
+fn wc_name(run: u64, round: usize, group: usize, sender: usize, sections: &[(u32, u64)]) -> String {
+    let mut name = format!("x{run}/r{round}/g{group}/snd{sender}");
+    for (rcv, len) in sections {
+        name.push_str(&format!(".{rcv}_{len}"));
+    }
+    name
+}
+
+fn parse_wc_sections(key: &str) -> Result<(usize, Vec<(u32, u64)>)> {
+    let tail = key
+        .rsplit('/')
+        .next()
+        .ok_or_else(|| CoreError::Storage(format!("bad exchange key {key}")))?;
+    let mut parts = tail.split('.');
+    let snd = parts
+        .next()
+        .and_then(|s| s.strip_prefix("snd"))
+        .and_then(|s| s.parse::<usize>().ok())
+        .ok_or_else(|| CoreError::Storage(format!("bad exchange key {key}")))?;
+    let mut sections = Vec::new();
+    for item in parts {
+        let (rcv, len) = item
+            .split_once('_')
+            .ok_or_else(|| CoreError::Storage(format!("bad section in key {key}")))?;
+        let rcv = rcv.parse::<u32>().map_err(|_| CoreError::Storage(format!("bad key {key}")))?;
+        let len = len.parse::<u64>().map_err(|_| CoreError::Storage(format!("bad key {key}")))?;
+        sections.push((rcv, len));
+    }
+    Ok((snd, sections))
+}
+
+/// Run one worker's side of the exchange. `parts[d]` is the data this
+/// worker holds for final partition `d` (length must equal `total`).
+pub async fn run_exchange(
+    env: &WorkerEnv,
+    cfg: &ExchangeConfig,
+    p: usize,
+    total: usize,
+    parts: Vec<PartData>,
+    side: &ExchangeSide,
+) -> Result<ExchangeOutcome> {
+    assert_eq!(parts.len(), total, "one part per destination worker");
+    let conn = Semaphore::new(16);
+    let mut held: Vec<(u32, PartData)> =
+        parts.into_iter().enumerate().map(|(d, data)| (d as u32, data)).collect();
+    let rounds = build_rounds(cfg.algo, p, total);
+    let mut timings = Vec::with_capacity(rounds.len());
+
+    for (round_idx, round) in rounds.iter().enumerate() {
+        // In-memory partitioning of everything currently held (Alg 1 l.2).
+        let held_bytes: u64 = held.iter().map(|(_, d)| d.len()).sum();
+        env.compute(env.costs.partition_seconds(held_bytes)).await;
+        let mut bundles: HashMap<usize, Vec<(u32, PartData)>> =
+            round.targets.iter().map(|&t| (t, Vec::new())).collect();
+        for (dest, data) in held.drain(..) {
+            let target = (round.route)(dest as usize);
+            bundles
+                .get_mut(&target)
+                .ok_or_else(|| {
+                    CoreError::Storage(format!("route produced non-target worker {target}"))
+                })?
+                .push((dest, data));
+        }
+        for b in bundles.values_mut() {
+            b.sort_by_key(|(d, _)| *d);
+        }
+
+        // ---- Write phase -------------------------------------------------
+        let write_start = env.cloud.handle.now();
+        if cfg.write_combining {
+            let gid = (round.group_of)(p);
+            let mut receivers: Vec<usize> = bundles.keys().copied().collect();
+            receivers.sort_unstable();
+            let mut file_bytes: Vec<u8> = Vec::new();
+            let mut synthetic_total = 0u64;
+            let mut any_synthetic = false;
+            let mut name_sections: Vec<(u32, u64)> = Vec::with_capacity(receivers.len());
+            let mut side_entries: Vec<(u32, Vec<(u32, u64)>)> = Vec::new();
+            for &rcv in &receivers {
+                let bundle = &bundles[&rcv];
+                let (body, sizes) = encode_bundle(bundle)?;
+                let len = body.len();
+                name_sections.push((rcv as u32, len));
+                match body {
+                    Body::Real(b) => file_bytes.extend_from_slice(&b),
+                    Body::Synthetic(n) => {
+                        any_synthetic = true;
+                        synthetic_total += n;
+                    }
+                }
+                if let Some(sizes) = sizes {
+                    side_entries.push((rcv as u32, sizes));
+                }
+            }
+            let key = wc_name(cfg.run_id, round_idx, gid, p, &name_sections);
+            let bucket = cfg.bucket_of(gid);
+            let body = if any_synthetic {
+                Body::Synthetic(synthetic_total + file_bytes.len() as u64)
+            } else {
+                Body::from_vec(file_bytes)
+            };
+            for (rcv, sizes) in side_entries {
+                side.put(format!("{bucket}/{key}"), rcv, sizes);
+            }
+            env.s3.put(&bucket, &key, body).await?;
+        } else {
+            let mut puts = Vec::new();
+            for (&target, bundle) in &bundles {
+                let (body, sizes) = encode_bundle(bundle)?;
+                let key = format!("x{}/r{round_idx}/rcv{target}/snd{p}", cfg.run_id);
+                let bucket = cfg.bucket_of(target);
+                if let Some(sizes) = sizes {
+                    side.put(format!("{bucket}/{key}"), target as u32, sizes);
+                }
+                let env2 = env.clone();
+                let conn2 = conn.clone();
+                puts.push(env.cloud.handle.spawn(async move {
+                    let _permit = conn2.acquire(1).await;
+                    env2.s3.put(&bucket, &key, body).await
+                }));
+            }
+            for r in join_all(puts).await {
+                r?;
+            }
+        }
+        let write_end = env.cloud.handle.now();
+        env.cloud.trace.record(p as u64, "exchange_write", write_start, write_end);
+
+        // ---- Wait phase (LIST polling) ------------------------------------
+        let my_files = wait_for_senders(env, cfg, p, round_idx, round).await?;
+        let wait_end = env.cloud.handle.now();
+        env.cloud.trace.record(p as u64, "exchange_wait", write_end, wait_end);
+
+        // ---- Read phase ----------------------------------------------------
+        let mut gets = Vec::new();
+        for (bucket, key, offset, len) in my_files {
+            if len == Some(0) {
+                continue; // empty write-combined section, nothing to fetch
+            }
+            let env2 = env.clone();
+            let conn2 = conn.clone();
+            let side2 = side.clone();
+            gets.push(env.cloud.handle.spawn(async move {
+                let _permit = conn2.acquire(1).await;
+                let body = match (offset, len) {
+                    (Some(off), Some(l)) => env2.s3.get_range(&bucket, &key, off, l).await?,
+                    _ => env2.s3.get(&bucket, &key).await?,
+                };
+                let sizes = side2.get(&format!("{bucket}/{key}"), p as u32);
+                decode_bundle(body, sizes)
+            }));
+        }
+        for r in join_all(gets).await {
+            held.extend(r?);
+        }
+        let read_end = env.cloud.handle.now();
+        env.cloud.trace.record(p as u64, "exchange_read", wait_end, read_end);
+
+        timings.push(RoundTiming {
+            write_secs: (write_end - write_start).as_secs_f64(),
+            wait_secs: (wait_end - write_end).as_secs_f64(),
+            read_secs: (read_end - wait_end).as_secs_f64(),
+        });
+    }
+
+    Ok(ExchangeOutcome { received: held, rounds: timings })
+}
+
+type FileRef = (String, String, Option<u64>, Option<u64>); // bucket, key, offset, len
+
+/// Exponential poll backoff (capped at 8x) keeps the LIST count per
+/// worker at "a few" even when stragglers stretch the wait (Table 2's
+/// O(P) #lists).
+fn backoff(base: std::time::Duration, polls: usize) -> std::time::Duration {
+    let factor = 1u32 << polls.min(3);
+    base * factor
+}
+
+/// Poll LISTs until every expected sender's file for this round is
+/// visible; returns the file references this worker must read.
+async fn wait_for_senders(
+    env: &WorkerEnv,
+    cfg: &ExchangeConfig,
+    p: usize,
+    round_idx: usize,
+    round: &RoundPlan,
+) -> Result<Vec<FileRef>> {
+    if cfg.write_combining {
+        // Senders' files live under their group prefix; group senders by
+        // (bucket, prefix) and poll each until all expected names appear.
+        let mut groups: HashMap<(String, String), Vec<usize>> = HashMap::new();
+        for &s in &round.senders {
+            let gid = (round.group_of)(s);
+            let bucket = cfg.bucket_of(gid);
+            let prefix = format!("x{}/r{round_idx}/g{gid}/", cfg.run_id);
+            groups.entry((bucket, prefix)).or_default().push(s);
+        }
+        let mut out = Vec::with_capacity(round.senders.len());
+        for ((bucket, prefix), expected) in groups {
+            let mut polls = 0;
+            loop {
+                let listing = env.s3.list(&bucket, &prefix).await?;
+                let mut found: HashMap<usize, (String, Vec<(u32, u64)>)> = HashMap::new();
+                for (key, _) in &listing {
+                    let (snd, sections) = parse_wc_sections(key)?;
+                    found.insert(snd, (key.clone(), sections));
+                }
+                if expected.iter().all(|s| found.contains_key(s)) {
+                    for s in &expected {
+                        let (key, sections) = &found[s];
+                        let mut offset = 0u64;
+                        let mut my_len = None;
+                        for (rcv, len) in sections {
+                            if *rcv as usize == p {
+                                my_len = Some(*len);
+                                break;
+                            }
+                            offset += len;
+                        }
+                        let len = my_len.ok_or_else(|| {
+                            CoreError::Storage(format!("no section for receiver {p} in {key}"))
+                        })?;
+                        out.push((bucket.clone(), key.clone(), Some(offset), Some(len)));
+                    }
+                    break;
+                }
+                polls += 1;
+                if polls >= cfg.max_polls {
+                    return Err(CoreError::Timeout {
+                        waited_secs: cfg.poll_interval.as_secs_f64() * polls as f64,
+                        missing_workers: expected.iter().filter(|s| !found.contains_key(s)).count(),
+                    });
+                }
+                env.cloud.handle.sleep(backoff(cfg.poll_interval, polls)).await;
+            }
+        }
+        Ok(out)
+    } else {
+        let bucket = cfg.bucket_of(p);
+        let prefix = format!("x{}/r{round_idx}/rcv{p}/", cfg.run_id);
+        let mut polls = 0;
+        loop {
+            let listing = env.s3.list(&bucket, &prefix).await?;
+            if listing.len() >= round.senders.len() {
+                return Ok(listing
+                    .into_iter()
+                    .map(|(key, _)| (bucket.clone(), key, None, None))
+                    .collect());
+            }
+            polls += 1;
+            if polls >= cfg.max_polls {
+                return Err(CoreError::Timeout {
+                    waited_secs: cfg.poll_interval.as_secs_f64() * polls as f64,
+                    missing_workers: round.senders.len() - listing.len(),
+                });
+            }
+            env.cloud.handle.sleep(backoff(cfg.poll_interval, polls)).await;
+        }
+    }
+}
+
+/// Convenience for tests/benches: total wall-clock of an outcome.
+pub fn outcome_total_secs(start: SimTime, end: SimTime) -> f64 {
+    end.saturating_since(start).as_secs_f64()
+}

@@ -1,0 +1,189 @@
+//! Worker invocation (§4.2).
+//!
+//! Invoking thousands of functions naively from the driver takes
+//! `P / rate` seconds (Table 1: 220–290 inv/s with 128 threads), which
+//! dominates interactive queries. The two-level strategy has the driver
+//! invoke only ~√P *first-generation* workers, each carrying the payloads
+//! of its ~√P second-generation children, which it invokes before doing
+//! its own work — the last worker is initiated after ~2.5 s even for 4096
+//! workers (Fig 5).
+
+use std::rc::Rc;
+
+use lambada_sim::region::{DRIVER_INVOKER_THREADS, INTRA_INVOKER_THREADS};
+use lambada_sim::services::faas::FaasCaller;
+use lambada_sim::sync::{join_all, Semaphore};
+use lambada_sim::Cloud;
+
+use crate::error::Result;
+use crate::worker::WorkerPayload;
+
+/// How the driver starts the fleet.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum InvocationStrategy {
+    /// The driver invokes every worker itself with a thread pool.
+    Direct,
+    /// Two-level invocation tree (§4.2).
+    TwoLevel,
+}
+
+/// Trace labels recorded during invocation (consumed by Fig 5).
+pub mod labels {
+    /// Driver-side: query start → this worker's invoke call initiated.
+    pub const QUEUED: &str = "invoke_queued";
+    /// Driver-side: invoke call initiated → accepted.
+    pub const API: &str = "invoke_api";
+    /// Worker-side: handler running → children all initiated.
+    pub const SPAWN: &str = "invoke_children";
+    /// Worker-side: zero-length marker when the handler starts running.
+    pub const RUNNING: &str = "worker_running";
+}
+
+/// Invoke all `payloads` of `function` using `strategy`. Returns when
+/// every *driver-side* invocation has been accepted (second-generation
+/// invocations proceed inside the first-generation workers).
+pub async fn invoke_workers(
+    cloud: &Cloud,
+    function: &str,
+    payloads: Vec<WorkerPayload>,
+    strategy: InvocationStrategy,
+) -> Result<()> {
+    match strategy {
+        InvocationStrategy::Direct => {
+            invoke_from_driver(cloud, function, payloads.into_iter().map(Rc::new).collect()).await
+        }
+        InvocationStrategy::TwoLevel => {
+            let first_gen = build_tree(payloads);
+            invoke_from_driver(cloud, function, first_gen).await
+        }
+    }
+}
+
+/// Group flat payloads into a two-level tree: ~√P first-generation
+/// workers, each carrying the rest of its group as children.
+pub fn build_tree(payloads: Vec<WorkerPayload>) -> Vec<Rc<WorkerPayload>> {
+    let p = payloads.len();
+    if p <= 1 {
+        return payloads.into_iter().map(Rc::new).collect();
+    }
+    // Driver and each first-gen worker should perform ~√P invocations
+    // each (§4.2): n1 groups of size ~P/n1.
+    let n1 = crate::routing::isqrt_ceil(p);
+    let group = p.div_ceil(n1);
+    let mut out = Vec::with_capacity(n1);
+    let mut iter = payloads.into_iter();
+    loop {
+        let chunk: Vec<WorkerPayload> = iter.by_ref().take(group).collect();
+        if chunk.is_empty() {
+            break;
+        }
+        let mut chunk = chunk.into_iter();
+        let mut head = chunk.next().expect("non-empty chunk");
+        head.children = chunk.map(Rc::new).collect();
+        out.push(Rc::new(head));
+    }
+    out
+}
+
+async fn invoke_from_driver(
+    cloud: &Cloud,
+    function: &str,
+    payloads: Vec<Rc<WorkerPayload>>,
+) -> Result<()> {
+    let caller = cloud.driver_invoker();
+    let sem = Semaphore::new(DRIVER_INVOKER_THREADS);
+    let start = cloud.handle.now();
+    let mut joins = Vec::with_capacity(payloads.len());
+    for payload in payloads {
+        let caller = caller.clone();
+        let sem = sem.clone();
+        let cloud2 = cloud.clone();
+        let function = function.to_string();
+        joins.push(cloud.handle.spawn(async move {
+            let _permit = sem.acquire(1).await;
+            let wid = payload.worker_id;
+            let initiated = cloud2.handle.now();
+            cloud2.trace.record(wid, labels::QUEUED, start, initiated);
+            let out = caller.invoke(&function, payload).await;
+            cloud2.trace.record(wid, labels::API, initiated, cloud2.handle.now());
+            out
+        }));
+    }
+    for r in join_all(joins).await {
+        r?;
+    }
+    Ok(())
+}
+
+/// Worker-side: invoke this worker's children with its own caller
+/// (Table 1's intra-region rate) before starting its query fragment.
+pub async fn invoke_children(
+    cloud: &Cloud,
+    caller: &FaasCaller,
+    function: &str,
+    me: u64,
+    children: &[Rc<WorkerPayload>],
+) -> Result<()> {
+    if children.is_empty() {
+        return Ok(());
+    }
+    let start = cloud.handle.now();
+    let sem = Semaphore::new(INTRA_INVOKER_THREADS);
+    let mut joins = Vec::with_capacity(children.len());
+    for child in children {
+        let caller = caller.clone();
+        let sem = sem.clone();
+        let function = function.to_string();
+        let child = Rc::clone(child);
+        joins.push(cloud.handle.spawn(async move {
+            let _permit = sem.acquire(1).await;
+            caller.invoke(&function, child).await
+        }));
+    }
+    for r in join_all(joins).await {
+        r?;
+    }
+    cloud.trace.record(me, labels::SPAWN, start, cloud.handle.now());
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::worker::WorkerTask;
+
+    fn payloads(n: usize) -> Vec<WorkerPayload> {
+        (0..n as u64)
+            .map(|i| WorkerPayload {
+                worker_id: i,
+                task: WorkerTask::Noop,
+                children: Vec::new(),
+                result_queue: "q".to_string(),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn tree_covers_all_payloads_once() {
+        for n in [1usize, 2, 5, 16, 100, 4096] {
+            let tree = build_tree(payloads(n));
+            let mut seen = Vec::new();
+            for fg in &tree {
+                seen.push(fg.worker_id);
+                for c in &fg.children {
+                    assert!(c.children.is_empty(), "tree depth is exactly two");
+                    seen.push(c.worker_id);
+                }
+            }
+            seen.sort_unstable();
+            assert_eq!(seen, (0..n as u64).collect::<Vec<_>>(), "n={n}");
+        }
+    }
+
+    #[test]
+    fn tree_width_is_about_sqrt_p() {
+        let tree = build_tree(payloads(4096));
+        assert_eq!(tree.len(), 64);
+        assert!(tree.iter().all(|fg| fg.children.len() == 63));
+    }
+}

@@ -1,0 +1,56 @@
+//! # lambada-core
+//!
+//! The Lambada system (Müller, Marroquín, Alonso; SIGMOD 2020): a purely
+//! serverless query processor for interactive analytics on cold data. The
+//! driver runs on the data scientist's machine; workers are serverless
+//! function invocations; all communication flows through serverless
+//! storage (object store, queue, KV) — no "always-on" infrastructure
+//! anywhere.
+//!
+//! The paper's system components map to modules:
+//!
+//! * [`invoke`] — the two-level invocation tree that starts thousands of
+//!   workers in seconds (§4.2, Fig 5);
+//! * [`scan`] — the cost/performance-balanced S3 scan operator with
+//!   metadata prefetching, min/max row-group pruning, and multi-level
+//!   request concurrency (§4.3, Figs 6–8, 11);
+//! * [`exchange`] — the purely serverless exchange operator family with
+//!   multi-level routing and write combining (§4.4, Fig 9, Tables 2–3,
+//!   Fig 13), plus its closed-form cost models in [`exchange_cost`];
+//! * [`worker`] / [`driver`] / [`stage`] — the worker handler, the
+//!   driver/session logic, and the scope-splitting distributed planner
+//!   (§3.2–3.3);
+//! * [`costmodel`] — calibrated vCPU-second charges for engine work.
+
+pub mod costmodel;
+pub mod driver;
+pub mod env;
+pub mod error;
+pub mod exchange;
+pub mod exchange_cost;
+pub mod invoke;
+pub mod message;
+pub mod partition;
+pub mod routing;
+pub mod scan;
+pub mod stage;
+pub mod table;
+pub mod worker;
+
+pub use costmodel::ComputeCostModel;
+pub use driver::{Lambada, LambadaConfig, QueryReport};
+pub use env::WorkerEnv;
+pub use error::{CoreError, Result};
+pub use exchange::{
+    install_exchange_buckets, run_exchange, ExchangeConfig, ExchangeOutcome, ExchangeSide,
+    PartData,
+};
+pub use exchange_cost::{request_counts, request_dollars, ExchangeAlgo, RequestCounts};
+pub use invoke::{invoke_workers, InvocationStrategy};
+pub use message::{ResultPayload, WorkerMetrics, WorkerResult};
+pub use scan::{scan_table, ScanConfig, ScanItem, ScanMetrics};
+pub use table::{TableFile, TableSpec};
+pub use worker::{
+    register_worker_function, ExchangeTask, FragmentShared, FragmentTask, WorkerPayload,
+    WorkerTask,
+};

@@ -1,0 +1,183 @@
+//! Wire messages between workers and the driver.
+//!
+//! Workers post exactly one message to the result queue per invocation —
+//! success with a payload, or an error report (§3.3). Messages are
+//! hand-serialized with the same binary codec the file format uses.
+
+use lambada_format::binio::{BinReader, BinWriter};
+use lambada_format::FormatError;
+
+use crate::error::{CoreError, Result};
+
+/// Per-worker execution metrics, reported with every result.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct WorkerMetrics {
+    /// Time spent executing the plan fragment (seconds, excludes
+    /// invocation latency — the paper's Fig 11 "processing time").
+    pub processing_secs: f64,
+    /// Rows scanned (after row-group pruning).
+    pub rows_in: u64,
+    /// Rows surviving the filter.
+    pub rows_out: u64,
+    /// Bytes downloaded from cloud storage.
+    pub bytes_read: u64,
+    /// GET requests issued.
+    pub get_requests: u64,
+    /// Row groups pruned via min/max statistics.
+    pub row_groups_pruned: u64,
+    /// Row groups scanned.
+    pub row_groups_scanned: u64,
+    /// Whether this invocation was a cold start.
+    pub cold_start: bool,
+}
+
+impl WorkerMetrics {
+    fn encode(&self, w: &mut BinWriter) {
+        w.f64(self.processing_secs);
+        w.varint(self.rows_in);
+        w.varint(self.rows_out);
+        w.varint(self.bytes_read);
+        w.varint(self.get_requests);
+        w.varint(self.row_groups_pruned);
+        w.varint(self.row_groups_scanned);
+        w.bool(self.cold_start);
+    }
+
+    fn decode(r: &mut BinReader<'_>) -> std::result::Result<Self, FormatError> {
+        Ok(WorkerMetrics {
+            processing_secs: r.f64()?,
+            rows_in: r.varint()?,
+            rows_out: r.varint()?,
+            bytes_read: r.varint()?,
+            get_requests: r.varint()?,
+            row_groups_pruned: r.varint()?,
+            row_groups_scanned: r.varint()?,
+            cold_start: r.bool()?,
+        })
+    }
+}
+
+/// The payload of a successful worker.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ResultPayload {
+    /// Serialized partial-aggregate state (small, inline in the message).
+    AggState(Vec<u8>),
+    /// Large results were written to cloud storage instead.
+    StoredBatches { bucket: String, key: String, rows: u64 },
+    /// Fragment produced nothing (e.g. all row groups pruned).
+    Empty,
+}
+
+/// One message on the result queue.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WorkerResult {
+    pub worker_id: u64,
+    pub outcome: std::result::Result<ResultPayload, String>,
+    pub metrics: WorkerMetrics,
+}
+
+impl WorkerResult {
+    pub fn ok(worker_id: u64, payload: ResultPayload, metrics: WorkerMetrics) -> WorkerResult {
+        WorkerResult { worker_id, outcome: Ok(payload), metrics }
+    }
+
+    pub fn error(worker_id: u64, message: impl Into<String>, metrics: WorkerMetrics) -> WorkerResult {
+        WorkerResult { worker_id, outcome: Err(message.into()), metrics }
+    }
+
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = BinWriter::new();
+        w.varint(self.worker_id);
+        match &self.outcome {
+            Ok(ResultPayload::AggState(bytes)) => {
+                w.u8(0);
+                w.bytes(bytes);
+            }
+            Ok(ResultPayload::StoredBatches { bucket, key, rows }) => {
+                w.u8(1);
+                w.string(bucket);
+                w.string(key);
+                w.varint(*rows);
+            }
+            Ok(ResultPayload::Empty) => {
+                w.u8(2);
+            }
+            Err(msg) => {
+                w.u8(3);
+                w.string(msg);
+            }
+        }
+        self.metrics.encode(&mut w);
+        w.into_bytes()
+    }
+
+    pub fn decode(bytes: &[u8]) -> Result<WorkerResult> {
+        let mut r = BinReader::new(bytes);
+        let inner = (|| -> std::result::Result<WorkerResult, FormatError> {
+            let worker_id = r.varint()?;
+            let outcome = match r.u8()? {
+                0 => Ok(ResultPayload::AggState(r.bytes()?.to_vec())),
+                1 => Ok(ResultPayload::StoredBatches {
+                    bucket: r.string()?,
+                    key: r.string()?,
+                    rows: r.varint()?,
+                }),
+                2 => Ok(ResultPayload::Empty),
+                3 => Err(r.string()?),
+                other => {
+                    return Err(FormatError::Corrupt(format!("unknown result tag {other}")));
+                }
+            };
+            let metrics = WorkerMetrics::decode(&mut r)?;
+            Ok(WorkerResult { worker_id, outcome, metrics })
+        })();
+        inner.map_err(|e| CoreError::Format(e.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn metrics() -> WorkerMetrics {
+        WorkerMetrics {
+            processing_secs: 2.5,
+            rows_in: 1000,
+            rows_out: 20,
+            bytes_read: 1 << 20,
+            get_requests: 9,
+            row_groups_pruned: 3,
+            row_groups_scanned: 5,
+            cold_start: true,
+        }
+    }
+
+    #[test]
+    fn agg_result_roundtrip() {
+        let msg = WorkerResult::ok(7, ResultPayload::AggState(vec![1, 2, 3]), metrics());
+        assert_eq!(WorkerResult::decode(&msg.encode()).unwrap(), msg);
+    }
+
+    #[test]
+    fn stored_result_roundtrip() {
+        let msg = WorkerResult::ok(
+            1,
+            ResultPayload::StoredBatches { bucket: "b".to_string(), key: "k".to_string(), rows: 5 },
+            WorkerMetrics::default(),
+        );
+        assert_eq!(WorkerResult::decode(&msg.encode()).unwrap(), msg);
+    }
+
+    #[test]
+    fn error_result_roundtrip() {
+        let msg = WorkerResult::error(3, "out of memory", metrics());
+        let got = WorkerResult::decode(&msg.encode()).unwrap();
+        assert_eq!(got.outcome.clone().unwrap_err(), "out of memory");
+        assert_eq!(got, msg);
+    }
+
+    #[test]
+    fn garbage_rejected() {
+        assert!(WorkerResult::decode(&[9, 9, 9]).is_err());
+    }
+}

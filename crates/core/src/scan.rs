@@ -1,0 +1,363 @@
+//! The S3-based scan operator (§4.3, Fig 8).
+//!
+//! Design points taken from the paper:
+//!
+//! * the footer is loaded "with a single file read" — a speculative tail
+//!   range request, retried with the exact size if the footer turns out
+//!   larger (level 4 exploits this: metadata for *all* files is prefetched
+//!   by a dedicated task to hide the latency of these small requests);
+//! * min/max statistics prune entire row groups against the pushed-down
+//!   predicate before any data is downloaded (Fig 11);
+//! * only projected/predicate column chunks are downloaded, one ranged GET
+//!   per chunk (level 2 runs chunks of a row group concurrently), split
+//!   into multiple requests only above a size threshold (level 1, the
+//!   trade-off of Fig 7: more requests cost more money);
+//! * up to `row_group_pipeline` row groups are in flight at once
+//!   (level 3), overlapping downloads with decompression of the previous
+//!   group;
+//! * decompression optionally uses the second hardware thread that large
+//!   workers have (§4.1/Fig 4).
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use lambada_engine::expr::range::can_match;
+use lambada_engine::{Column, Expr, RecordBatch, Schema};
+use lambada_format::{ColumnChunkMeta, Compression, FileMeta, FormatError};
+use lambada_sim::sync::{mpsc, Semaphore};
+use lambada_sim::services::object_store::Body;
+
+use crate::env::WorkerEnv;
+use crate::error::{CoreError, Result};
+use crate::table::TableFile;
+
+/// Scan operator tuning knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct ScanConfig {
+    /// Split chunk downloads into requests of at most this many bytes
+    /// (the chunk-size knob of Fig 7).
+    pub max_request_bytes: u64,
+    /// Concurrent in-flight requests (connections) per worker.
+    pub connections: usize,
+    /// Row groups downloaded ahead (level 3); the paper uses two.
+    pub row_group_pipeline: usize,
+    /// Speculative footer fetch size.
+    pub metadata_tail_bytes: u64,
+    /// Use the second hardware thread for decompression (§4.3.2).
+    pub parallel_decompress: bool,
+}
+
+impl Default for ScanConfig {
+    fn default() -> Self {
+        ScanConfig {
+            max_request_bytes: 16 << 20,
+            connections: 4,
+            row_group_pipeline: 2,
+            metadata_tail_bytes: 64 << 10,
+            parallel_decompress: false,
+        }
+    }
+}
+
+/// One unit of scan output.
+pub enum ScanItem {
+    /// Decoded rows (real files).
+    Batch(RecordBatch),
+    /// Modeled rows (descriptor-backed files): timing and billing have
+    /// been charged; only the shape is reported.
+    Modeled { rows: u64, bytes: u64 },
+}
+
+/// Counters the scan maintains (feed [`crate::message::WorkerMetrics`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct ScanMetrics {
+    pub files: u64,
+    pub row_groups_total: u64,
+    pub row_groups_pruned: u64,
+    pub bytes_read: u64,
+    pub get_requests: u64,
+    pub rows: u64,
+}
+
+struct Shared {
+    metrics: RefCell<ScanMetrics>,
+}
+
+/// Fetched (or carried) metadata plus request accounting.
+async fn fetch_metadata(
+    env: &WorkerEnv,
+    conn: &Semaphore,
+    file: &TableFile,
+    tail_bytes: u64,
+    shared: &Rc<Shared>,
+) -> Result<Rc<FileMeta>> {
+    let want = tail_bytes.min(file.size);
+    let offset = file.size - want;
+    let body = {
+        let _permit = conn.acquire(1).await;
+        env.s3.get_range(&file.bucket, &file.key, offset, want).await?
+    };
+    {
+        let mut m = shared.metrics.borrow_mut();
+        m.get_requests += 1;
+        m.bytes_read += body.len();
+    }
+    env.compute(env.costs.metadata_parse_s).await;
+    if let Some(meta) = &file.meta {
+        // Descriptor-backed file: the range request above charged the
+        // realistic latency/bytes/cost; the metadata rides along.
+        return Ok(Rc::clone(meta));
+    }
+    let bytes = body
+        .as_real()
+        .ok_or_else(|| CoreError::Format("real file returned synthetic body".to_string()))?;
+    match FileMeta::parse_tail(bytes) {
+        Ok(meta) => Ok(Rc::new(meta)),
+        Err(FormatError::TailTooShort(need)) => {
+            // Speculative fetch too small: retry with the exact size.
+            let want = (need as u64).min(file.size);
+            let offset = file.size - want;
+            let body = {
+                let _permit = conn.acquire(1).await;
+                env.s3.get_range(&file.bucket, &file.key, offset, want).await?
+            };
+            {
+                let mut m = shared.metrics.borrow_mut();
+                m.get_requests += 1;
+                m.bytes_read += body.len();
+            }
+            let bytes = body
+                .as_real()
+                .ok_or_else(|| CoreError::Format("real file returned synthetic body".to_string()))?;
+            Ok(Rc::new(FileMeta::parse_tail(bytes)?))
+        }
+        Err(e) => Err(e.into()),
+    }
+}
+
+/// Download one column chunk (possibly as several ranged requests).
+async fn download_chunk(
+    env: &WorkerEnv,
+    conn: &Semaphore,
+    file: &TableFile,
+    chunk: &ColumnChunkMeta,
+    max_request_bytes: u64,
+    shared: &Rc<Shared>,
+) -> Result<Option<Vec<u8>>> {
+    let mut parts: Vec<(u64, u64)> = Vec::new();
+    let mut off = chunk.offset;
+    let end = chunk.offset + chunk.compressed_len;
+    while off < end {
+        let len = max_request_bytes.min(end - off);
+        parts.push((off, len));
+        off += len;
+    }
+    // Launch all requests for this chunk concurrently; the connection
+    // semaphore bounds global parallelism (levels 1+2 share the budget).
+    let mut joins = Vec::with_capacity(parts.len());
+    for (off, len) in parts {
+        let env = env.clone();
+        let conn = conn.clone();
+        let bucket = file.bucket.clone();
+        let key = file.key.clone();
+        joins.push(env.cloud.handle.spawn(async move {
+            let _permit = conn.acquire(1).await;
+            env.s3.get_range(&bucket, &key, off, len).await
+        }));
+    }
+    let mut assembled: Option<Vec<u8>> = Some(Vec::with_capacity(chunk.compressed_len as usize));
+    let mut n_requests = 0u64;
+    let mut n_bytes = 0u64;
+    for j in joins {
+        let body = j.await?;
+        n_requests += 1;
+        n_bytes += body.len();
+        match (&mut assembled, body) {
+            (Some(buf), Body::Real(bytes)) => buf.extend_from_slice(&bytes),
+            (_, Body::Synthetic(_)) => assembled = None,
+            (None, _) => {}
+        }
+    }
+    let mut m = shared.metrics.borrow_mut();
+    m.get_requests += n_requests;
+    m.bytes_read += n_bytes;
+    Ok(assembled)
+}
+
+/// Charge decode CPU, optionally splitting onto the second hardware
+/// thread (only profitable with heavy compression and spare vCPU share).
+async fn charge_decode(env: &WorkerEnv, cfg: &ScanConfig, vcpu_seconds: f64) {
+    if cfg.parallel_decompress && env.ctx.instance.cpu.capacity() > 1.0 {
+        let half = vcpu_seconds / 2.0;
+        let a = {
+            let env = env.clone();
+            let handle = env.cloud.handle.clone();
+            handle.spawn(async move { env.compute(half).await })
+        };
+        env.compute(half).await;
+        a.await;
+    } else {
+        env.compute(vcpu_seconds).await;
+    }
+}
+
+/// Scan the given files, emitting [`ScanItem`]s in file/row-group order
+/// into `items` (the consumer overlaps pipeline processing with further
+/// downloads).
+///
+/// `columns` (base-schema indices, ascending) selects the output columns;
+/// `prune_predicate` (base-schema indices) is used only for row-group
+/// pruning — row-level filtering happens downstream in the pipeline.
+pub async fn scan_table(
+    env: &WorkerEnv,
+    cfg: &ScanConfig,
+    files: &[TableFile],
+    base_schema: &Schema,
+    columns: &[usize],
+    prune_predicate: Option<&Expr>,
+    items: mpsc::Sender<ScanItem>,
+) -> Result<ScanMetrics> {
+    let shared = Rc::new(Shared { metrics: RefCell::new(ScanMetrics::default()) });
+    let conn = Semaphore::new(cfg.connections.max(1));
+
+    // Level 4: prefetch metadata for all files in a dedicated task.
+    let (meta_tx, mut meta_rx) = mpsc::channel::<Result<Rc<FileMeta>>>();
+    {
+        let env = env.clone();
+        let conn = conn.clone();
+        let files: Vec<TableFile> = files.to_vec();
+        let shared = Rc::clone(&shared);
+        let tail = cfg.metadata_tail_bytes;
+        env.cloud.handle.clone().spawn(async move {
+            for file in &files {
+                let out = fetch_metadata(&env, &conn, file, tail, &shared).await;
+                if meta_tx.send(out).is_err() {
+                    return; // scan aborted
+                }
+            }
+        });
+    }
+
+    // In-flight row-group downloads (level 3).
+    struct InFlight {
+        rows: u64,
+        decode_seconds: f64,
+        columns: Vec<(usize, ColumnChunkMeta, Option<Vec<u8>>)>,
+    }
+    let mut inflight: std::collections::VecDeque<lambada_sim::JoinHandle<Result<InFlight>>> =
+        std::collections::VecDeque::new();
+
+    // Drain helper: decode + emit the oldest in-flight row group.
+    async fn drain_one(
+        env: &WorkerEnv,
+        cfg: &ScanConfig,
+        base_schema: &Schema,
+        columns: &[usize],
+        shared: &Rc<Shared>,
+        got: Result<InFlight>,
+        tx: &mpsc::Sender<ScanItem>,
+    ) -> Result<()> {
+        let rg = got?;
+        charge_decode(env, cfg, rg.decode_seconds).await;
+        shared.metrics.borrow_mut().rows += rg.rows;
+        let all_real = rg.columns.iter().all(|(_, _, b)| b.is_some());
+        let item = if all_real && !rg.columns.is_empty() {
+            let mut cols = Vec::with_capacity(columns.len());
+            for (col_idx, chunk, bytes) in &rg.columns {
+                let ptype = base_schema.field(*col_idx).dtype.to_physical().map_err(CoreError::from)?;
+                let data = lambada_format::decode_chunk(
+                    chunk,
+                    ptype,
+                    bytes.as_ref().expect("all_real checked"),
+                )?;
+                cols.push(Column::from_data(data));
+            }
+            let schema = std::sync::Arc::new(base_schema.project(columns));
+            let batch = RecordBatch::new(schema, cols).map_err(CoreError::from)?;
+            ScanItem::Batch(batch)
+        } else {
+            let bytes: u64 = rg.columns.iter().map(|(_, c, _)| c.uncompressed_len).sum();
+            ScanItem::Modeled { rows: rg.rows, bytes }
+        };
+        tx.send(item)
+            .map_err(|_| CoreError::Engine("scan consumer dropped".to_string()))?;
+        Ok(())
+    }
+
+    for file in files {
+        let meta = match meta_rx.recv().await {
+            Some(m) => m?,
+            None => return Err(CoreError::Storage("metadata prefetch task died".to_string())),
+        };
+        if meta.schema.len() != base_schema.len() {
+            return Err(CoreError::Format(format!(
+                "file {} has {} columns, table schema has {}",
+                file.key,
+                meta.schema.len(),
+                base_schema.len()
+            )));
+        }
+        shared.metrics.borrow_mut().files += 1;
+        for (rg_idx, rg) in meta.row_groups.iter().enumerate() {
+            shared.metrics.borrow_mut().row_groups_total += 1;
+            if let Some(pred) = prune_predicate {
+                let stats = |i: usize| rg.columns.get(i).and_then(|c| c.stats);
+                if !can_match(pred, &stats) {
+                    shared.metrics.borrow_mut().row_groups_pruned += 1;
+                    continue;
+                }
+            }
+            // Wait for a pipeline slot.
+            while inflight.len() >= cfg.row_group_pipeline.max(1) {
+                let got = inflight.pop_front().expect("non-empty").await;
+                drain_one(env, cfg, base_schema, columns, &shared, got, &items).await?;
+            }
+            // Level 2/1: download the needed chunks of this row group.
+            let env2 = env.clone();
+            let conn2 = conn.clone();
+            let file2 = file.clone();
+            let shared2 = Rc::clone(&shared);
+            let chunk_metas: Vec<(usize, ColumnChunkMeta)> =
+                columns.iter().map(|&c| (c, rg.columns[c].clone())).collect();
+            let rows = rg.num_rows;
+            let max_req = cfg.max_request_bytes;
+            let costs = env.costs;
+            let _ = rg_idx;
+            inflight.push_back(env.cloud.handle.spawn(async move {
+                let mut joins = Vec::with_capacity(chunk_metas.len());
+                for (col_idx, chunk) in &chunk_metas {
+                    let env3 = env2.clone();
+                    let conn3 = conn2.clone();
+                    let file3 = file2.clone();
+                    let chunk3 = chunk.clone();
+                    let shared3 = Rc::clone(&shared2);
+                    let col_idx = *col_idx;
+                    joins.push(env2.cloud.handle.spawn(async move {
+                        let bytes =
+                            download_chunk(&env3, &conn3, &file3, &chunk3, max_req, &shared3)
+                                .await?;
+                        Ok::<_, CoreError>((col_idx, chunk3, bytes))
+                    }));
+                }
+                let mut decode_seconds = 0.0;
+                let mut out = Vec::with_capacity(joins.len());
+                for j in joins {
+                    let (col_idx, chunk, bytes) = j.await?;
+                    decode_seconds += costs.chunk_decode_seconds(
+                        chunk.compressed_len,
+                        chunk.uncompressed_len,
+                        chunk.compression == Compression::Lz,
+                    );
+                    out.push((col_idx, chunk, bytes));
+                }
+                Ok(InFlight { rows, decode_seconds, columns: out })
+            }));
+        }
+    }
+    while let Some(handle) = inflight.pop_front() {
+        let got = handle.await;
+        drain_one(env, cfg, base_schema, columns, &shared, got, &items).await?;
+    }
+    let metrics = *shared.metrics.borrow();
+    Ok(metrics)
+}

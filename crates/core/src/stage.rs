@@ -1,0 +1,322 @@
+//! The distributed planner: split an optimized logical plan into a
+//! serverless-scope fragment and a driver-scope final stage (§3.2:
+//! "a query plan is divided into scopes, each of which may run in a
+//! different target platform").
+
+use lambada_engine::logical::{LogicalPlan, SortKey};
+use lambada_engine::pipeline::{agg_func_types, PipelineSpec, Terminal};
+use lambada_engine::types::{DataType, SchemaRef};
+use lambada_engine::{AggFunc, Expr};
+
+use crate::error::{CoreError, Result};
+
+/// Driver-side operators applied after merging worker outputs.
+#[derive(Clone, Debug)]
+pub enum PostOp {
+    Sort(Vec<SortKey>),
+    Limit(usize),
+    Project(Vec<(Expr, String)>, SchemaRef),
+}
+
+/// What the driver does with worker results.
+#[derive(Clone, Debug)]
+pub enum FinalStage {
+    /// Merge partial aggregate states, finalize, then apply post-ops.
+    MergeAggregate {
+        /// Output schema of the aggregate node.
+        agg_schema: SchemaRef,
+        /// Accumulator shapes, to build an empty state when every worker
+        /// reports empty.
+        funcs: Vec<(AggFunc, Option<DataType>)>,
+        post: Vec<PostOp>,
+    },
+    /// Concatenate collected batches, then apply post-ops.
+    CollectBatches { schema: SchemaRef, post: Vec<PostOp> },
+}
+
+/// A distributed query: one scan-rooted fragment + a final stage.
+#[derive(Clone, Debug)]
+pub struct StagePlan {
+    pub table: String,
+    /// Base-schema columns the scan must produce (union of projection and
+    /// filter columns), ascending.
+    pub scan_columns: Vec<usize>,
+    /// Base-schema predicate for row-group pruning.
+    pub prune_predicate: Option<Expr>,
+    /// Worker pipeline over the scan output.
+    pub pipeline: PipelineSpec,
+    pub final_stage: FinalStage,
+}
+
+/// Split an *optimized* plan. Supported shape (everything Q1/Q6-like):
+///
+/// ```text
+/// [Project|Sort|Limit]* → [Aggregate] → [Project] → [Filter] → Scan
+/// ```
+///
+/// Joins and nested aggregates are executed locally by the reference
+/// engine instead (`CoreError::Unsupported`).
+pub fn split(plan: &LogicalPlan) -> Result<StagePlan> {
+    let mut post: Vec<PostOp> = Vec::new();
+    let mut node = plan;
+    // Peel driver-side post-ops.
+    loop {
+        match node {
+            LogicalPlan::Sort { input, keys } => {
+                post.push(PostOp::Sort(keys.clone()));
+                node = input;
+            }
+            LogicalPlan::Limit { input, n } => {
+                post.push(PostOp::Limit(*n));
+                node = input;
+            }
+            LogicalPlan::Project { input, exprs }
+                if matches!(input.as_ref(), LogicalPlan::Aggregate { .. }) =>
+            {
+                let schema = node.schema()?;
+                post.push(PostOp::Project(exprs.clone(), schema));
+                node = input;
+            }
+            _ => break,
+        }
+    }
+    post.reverse(); // apply bottom-up
+
+    match node {
+        LogicalPlan::Aggregate { input, group_by, aggs } => {
+            let agg_schema = node.schema()?;
+            let (table, scan_columns, prune_predicate, pre_projection, mid_schema) =
+                lower_fragment_input(input)?;
+            let funcs = agg_func_types(aggs, &mid_schema)?;
+            let pipeline = PipelineSpec {
+                input_schema: mid_schema_input(&scan_columns, input)?,
+                predicate: pipeline_predicate(&scan_columns, input)?,
+                projection: pre_projection,
+                terminal: Terminal::PartialAggregate {
+                    group_by: group_by.clone(),
+                    aggs: aggs.clone(),
+                },
+            };
+            Ok(StagePlan {
+                table,
+                scan_columns,
+                prune_predicate,
+                pipeline,
+                final_stage: FinalStage::MergeAggregate { agg_schema, funcs, post },
+            })
+        }
+        _ => {
+            let schema = node.schema()?;
+            let (table, scan_columns, prune_predicate, pre_projection, _mid) =
+                lower_fragment_input(node)?;
+            let pipeline = PipelineSpec {
+                input_schema: mid_schema_input(&scan_columns, node)?,
+                predicate: pipeline_predicate(&scan_columns, node)?,
+                projection: pre_projection,
+                terminal: Terminal::Collect,
+            };
+            Ok(StagePlan {
+                table,
+                scan_columns,
+                prune_predicate,
+                pipeline,
+                final_stage: FinalStage::CollectBatches { schema, post },
+            })
+        }
+    }
+}
+
+/// Walk `Project? → Filter? → Scan` below the aggregate. Returns
+/// (table, scan columns, prune predicate, pipeline projection, schema the
+/// aggregate's expressions refer to).
+#[allow(clippy::type_complexity)]
+fn lower_fragment_input(
+    node: &LogicalPlan,
+) -> Result<(String, Vec<usize>, Option<Expr>, Option<Vec<(Expr, String)>>, SchemaRef)> {
+    // Optional projection between aggregate and scan.
+    let (projection_exprs, scan_node) = match node {
+        LogicalPlan::Project { input, exprs } => (Some(exprs.clone()), input.as_ref()),
+        other => (None, other),
+    };
+    // The optimizer has already pushed filters into the scan.
+    let LogicalPlan::Scan { table, projection, predicate, .. } = scan_node else {
+        return Err(CoreError::Unsupported(format!(
+            "fragment input must be [Project →] Scan after optimization, got:\n{}",
+            scan_node.display_indent()
+        )));
+    };
+    let scan_output_cols: Vec<usize> = match projection {
+        Some(p) => p.clone(),
+        None => (0..scan_node.schema()?.len()).collect(),
+    };
+    // Scan operator must also download predicate columns (for row-level
+    // filtering in the pipeline).
+    let mut union_cols = scan_output_cols.clone();
+    if let Some(p) = predicate {
+        union_cols.extend(p.referenced_columns());
+    }
+    union_cols.sort_unstable();
+    union_cols.dedup();
+
+    // Remap the plan's scan-output positions to union positions.
+    let pos_of = |base: usize| union_cols.iter().position(|&c| c == base).expect("in union");
+    let out_to_union: Vec<usize> = scan_output_cols.iter().map(|&c| pos_of(c)).collect();
+
+    let mid_schema = match &projection_exprs {
+        Some(exprs) => {
+            let scan_schema = scan_node.schema()?;
+            let mut fields = Vec::with_capacity(exprs.len());
+            for (e, name) in exprs {
+                fields.push(lambada_engine::Field::new(
+                    name.clone(),
+                    e.data_type(&scan_schema).map_err(CoreError::from)?,
+                ));
+            }
+            std::sync::Arc::new(lambada_engine::Schema::new(fields))
+        }
+        None => scan_node.schema()?,
+    };
+
+    // Pipeline projection: plan projection exprs (remapped from scan
+    // output positions to union positions), or a plain column selection
+    // when the union is wider than the scan output.
+    let pipeline_projection = match projection_exprs {
+        Some(exprs) => Some(
+            exprs
+                .into_iter()
+                .map(|(e, n)| (e.remap_columns(&|i| out_to_union[i]), n))
+                .collect(),
+        ),
+        None => {
+            if union_cols == scan_output_cols {
+                None
+            } else {
+                let scan_schema = scan_node.schema()?;
+                Some(
+                    out_to_union
+                        .iter()
+                        .zip(scan_schema.fields.iter())
+                        .map(|(&u, f)| (Expr::Col(u), f.name.clone()))
+                        .collect(),
+                )
+            }
+        }
+    };
+
+    Ok((table.clone(), union_cols, predicate.clone(), pipeline_projection, mid_schema))
+}
+
+fn mid_schema_input(scan_columns: &[usize], node: &LogicalPlan) -> Result<SchemaRef> {
+    let scan = find_scan(node)?;
+    let LogicalPlan::Scan { schema, .. } = scan else { unreachable!() };
+    Ok(std::sync::Arc::new(schema.project(scan_columns)))
+}
+
+fn pipeline_predicate(scan_columns: &[usize], node: &LogicalPlan) -> Result<Option<Expr>> {
+    let scan = find_scan(node)?;
+    let LogicalPlan::Scan { predicate, .. } = scan else { unreachable!() };
+    Ok(predicate.as_ref().map(|p| {
+        p.remap_columns(&|base| {
+            scan_columns.iter().position(|&c| c == base).expect("predicate column in union")
+        })
+    }))
+}
+
+fn find_scan(node: &LogicalPlan) -> Result<&LogicalPlan> {
+    match node {
+        s @ LogicalPlan::Scan { .. } => Ok(s),
+        LogicalPlan::Project { input, .. } => find_scan(input),
+        other => Err(CoreError::Unsupported(format!(
+            "unsupported fragment shape:\n{}",
+            other.display_indent()
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lambada_engine::expr::{col, lit_i64};
+    use lambada_engine::types::{Field, Schema};
+    use lambada_engine::{AggExpr as A, Optimizer};
+
+    fn base_schema() -> Schema {
+        Schema::new(vec![
+            Field::new("a", DataType::Int64),
+            Field::new("b", DataType::Float64),
+            Field::new("g", DataType::Int64),
+            Field::new("d", DataType::Int64),
+        ])
+    }
+
+    fn q1ish() -> LogicalPlan {
+        // SELECT g, sum(b) FROM t WHERE d <= 10 GROUP BY g ORDER BY g
+        let plan = LogicalPlan::Sort {
+            input: Box::new(LogicalPlan::Aggregate {
+                input: Box::new(LogicalPlan::Filter {
+                    input: Box::new(LogicalPlan::Scan {
+                        table: "t".to_string(),
+                        schema: Schema::arc(base_schema().fields),
+                        projection: None,
+                        predicate: None,
+                    }),
+                    predicate: col(3).le(lit_i64(10)),
+                }),
+                group_by: vec![(col(2), "g".to_string())],
+                aggs: vec![A::new(AggFunc::Sum, Some(col(1)), "sum_b")],
+            }),
+            keys: vec![SortKey::asc(col(0))],
+        };
+        Optimizer::new().optimize(&plan).unwrap()
+    }
+
+    #[test]
+    fn splits_aggregate_query() {
+        let stage = split(&q1ish()).unwrap();
+        assert_eq!(stage.table, "t");
+        // Union of projection {b, g} and predicate {d}.
+        assert_eq!(stage.scan_columns, vec![1, 2, 3]);
+        assert_eq!(stage.prune_predicate, Some(col(3).le(lit_i64(10))));
+        // Pipeline predicate remapped to union positions (d is #2).
+        assert_eq!(stage.pipeline.predicate, Some(col(2).le(lit_i64(10))));
+        let FinalStage::MergeAggregate { agg_schema, funcs, post } = &stage.final_stage else {
+            panic!("expected aggregate final stage");
+        };
+        assert_eq!(agg_schema.len(), 2);
+        assert_eq!(funcs.len(), 1);
+        assert_eq!(post.len(), 1, "sort survives as a post-op");
+    }
+
+    #[test]
+    fn collect_fragment_for_filter_only_query() {
+        let plan = LogicalPlan::Filter {
+            input: Box::new(LogicalPlan::Scan {
+                table: "t".to_string(),
+                schema: Schema::arc(base_schema().fields),
+                projection: None,
+                predicate: None,
+            }),
+            predicate: col(0).le(lit_i64(3)),
+        };
+        let plan = Optimizer::new().optimize(&plan).unwrap();
+        let stage = split(&plan).unwrap();
+        assert!(matches!(stage.final_stage, FinalStage::CollectBatches { .. }));
+        assert!(matches!(stage.pipeline.terminal, Terminal::Collect));
+    }
+
+    #[test]
+    fn join_is_unsupported_distributed() {
+        let scan = LogicalPlan::Scan {
+            table: "t".to_string(),
+            schema: Schema::arc(base_schema().fields),
+            projection: None,
+            predicate: None,
+        };
+        let plan = LogicalPlan::Join {
+            left: Box::new(scan.clone()),
+            right: Box::new(scan),
+            on: vec![(0, 0)],
+        };
+        assert!(matches!(split(&plan), Err(CoreError::Unsupported(_))));
+    }
+}

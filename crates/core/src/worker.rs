@@ -1,0 +1,295 @@
+//! The serverless worker: event handler + execution engine wrapper (§3.3).
+//!
+//! The handler extracts the worker id, plan fragment, and inputs from the
+//! invocation payload, invokes its second-generation children (if any),
+//! runs the fragment, and posts a success or error message to the result
+//! queue — including out-of-memory situations, which are *reported* rather
+//! than dying silently.
+
+use std::rc::Rc;
+
+use lambada_engine::pipeline::{Pipeline, PipelineOutput, PipelineSpec};
+use lambada_engine::types::Schema;
+use lambada_engine::Expr;
+use lambada_sim::services::faas::{FaasService, FunctionSpec, InstanceCtx, InvokePayload};
+use lambada_sim::services::object_store::Body;
+use lambada_sim::sync::mpsc;
+use lambada_sim::Cloud;
+
+use crate::costmodel::ComputeCostModel;
+use crate::env::WorkerEnv;
+use crate::error::{CoreError, Result};
+use crate::exchange::{run_exchange, ExchangeConfig, ExchangeSide, PartData};
+use crate::invoke;
+use crate::message::{ResultPayload, WorkerMetrics, WorkerResult};
+use crate::scan::{scan_table, ScanConfig, ScanItem};
+use crate::table::TableFile;
+
+/// Immutable parts of a query fragment, shared across all workers of one
+/// query (the "query plan fragment" of §3.3).
+#[derive(Clone, Debug)]
+pub struct FragmentShared {
+    pub base_schema: Schema,
+    /// Base-schema column indices the scan must produce (ascending).
+    pub scan_columns: Vec<usize>,
+    /// Base-schema predicate used for row-group pruning.
+    pub prune_predicate: Option<Expr>,
+    /// The fragment pipeline over the scan output.
+    pub pipeline: PipelineSpec,
+    pub scan: ScanConfig,
+    /// Where collect-fragments store their batches.
+    pub result_bucket: String,
+}
+
+/// A fragment assignment: shared plan + this worker's files.
+#[derive(Clone, Debug)]
+pub struct FragmentTask {
+    pub shared: Rc<FragmentShared>,
+    pub files: Vec<TableFile>,
+}
+
+/// Standalone exchange task (Table 3 / Fig 13 experiments).
+#[derive(Clone)]
+pub struct ExchangeTask {
+    pub cfg: ExchangeConfig,
+    pub total: usize,
+    /// Bytes this worker holds, split evenly over all destinations
+    /// (modeled payloads).
+    pub data_bytes: u64,
+    /// Optional input object to read first (the "Read input" phase of
+    /// Fig 13).
+    pub input: Option<(String, String)>,
+    pub side: ExchangeSide,
+}
+
+/// What a worker is asked to do.
+#[derive(Clone)]
+pub enum WorkerTask {
+    /// Return immediately (invocation benchmarks, Table 1 / Fig 5).
+    Noop,
+    /// Fixed amount of number crunching on N threads (Fig 4).
+    Compute { vcpu_seconds: f64, threads: usize },
+    /// Scan + filter + project + partial aggregate (queries).
+    Fragment(FragmentTask),
+    /// Repartition data through cloud storage.
+    Exchange(ExchangeTask),
+}
+
+/// The invocation payload (the "event" of the Lambda function).
+#[derive(Clone)]
+pub struct WorkerPayload {
+    pub worker_id: u64,
+    pub task: WorkerTask,
+    /// Second-generation workers to invoke before running `task` (§4.2).
+    pub children: Vec<Rc<WorkerPayload>>,
+    pub result_queue: String,
+}
+
+/// Register the Lambada worker function on the cloud. Re-registering
+/// replaces the function and drops warm containers ("freshly created
+/// function", §5.2).
+pub fn register_worker_function(
+    cloud: &Cloud,
+    name: &str,
+    memory_mib: u32,
+    timeout: std::time::Duration,
+    costs: ComputeCostModel,
+) {
+    let cloud2 = cloud.clone();
+    let fname = name.to_string();
+    let handler = move |ctx: InstanceCtx, payload: InvokePayload| {
+        let cloud = cloud2.clone();
+        let fname = fname.clone();
+        Box::pin(async move {
+            let Ok(payload) = payload.downcast::<WorkerPayload>() else {
+                return; // not a Lambada payload; nothing to report to
+            };
+            run_handler(cloud, fname, ctx, payload, costs).await;
+        }) as std::pin::Pin<Box<dyn std::future::Future<Output = ()>>>
+    };
+    cloud.faas.register(FunctionSpec::new(name, memory_mib, timeout), Rc::new(handler));
+}
+
+/// Shortcut used by the installer.
+pub fn faas(cloud: &Cloud) -> &FaasService {
+    &cloud.faas
+}
+
+async fn run_handler(
+    cloud: Cloud,
+    function: String,
+    ctx: InstanceCtx,
+    payload: Rc<WorkerPayload>,
+    costs: ComputeCostModel,
+) {
+    let wid = payload.worker_id;
+    let now = cloud.handle.now();
+    cloud.trace.record(wid, invoke::labels::RUNNING, now, now);
+    let env = WorkerEnv::new(&cloud, ctx, wid, costs);
+
+    // Invoke second-generation workers first (§4.2).
+    if !payload.children.is_empty() {
+        let caller = cloud.worker_invoker();
+        if let Err(e) =
+            invoke::invoke_children(&cloud, &caller, &function, wid, &payload.children).await
+        {
+            let msg = WorkerResult::error(wid, format!("child invocation failed: {e}"), WorkerMetrics::default());
+            let _ = env.sqs.send(&payload.result_queue, msg.encode()).await;
+            return;
+        }
+    }
+
+    let start = cloud.handle.now();
+    let outcome = run_task(&env, &payload.task).await;
+    let processing = (cloud.handle.now() - start).as_secs_f64();
+    cloud.trace.record(wid, "worker_processing", start, cloud.handle.now());
+
+    let msg = match outcome {
+        Ok((result, mut metrics)) => {
+            metrics.processing_secs = processing;
+            metrics.cold_start = env.ctx.cold;
+            WorkerResult::ok(wid, result, metrics)
+        }
+        Err(e) => {
+            let metrics = WorkerMetrics {
+                processing_secs: processing,
+                cold_start: env.ctx.cold,
+                ..WorkerMetrics::default()
+            };
+            WorkerResult::error(wid, e.to_string(), metrics)
+        }
+    };
+    // Success or error, the handler posts a message to the result queue
+    // from which the driver polls (§3.3).
+    let _ = env.sqs.send(&payload.result_queue, msg.encode()).await;
+}
+
+async fn run_task(env: &WorkerEnv, task: &WorkerTask) -> Result<(ResultPayload, WorkerMetrics)> {
+    match task {
+        WorkerTask::Noop => Ok((ResultPayload::Empty, WorkerMetrics::default())),
+        WorkerTask::Compute { vcpu_seconds, threads } => {
+            let threads = (*threads).max(1);
+            let share = vcpu_seconds / threads as f64;
+            let mut joins = Vec::with_capacity(threads);
+            for _ in 0..threads {
+                let env2 = env.clone();
+                joins.push(env.cloud.handle.spawn(async move { env2.compute(share).await }));
+            }
+            for j in joins {
+                j.await;
+            }
+            Ok((ResultPayload::Empty, WorkerMetrics::default()))
+        }
+        WorkerTask::Fragment(frag) => run_fragment(env, frag).await,
+        WorkerTask::Exchange(x) => run_exchange_task(env, x).await,
+    }
+}
+
+async fn run_fragment(
+    env: &WorkerEnv,
+    frag: &FragmentTask,
+) -> Result<(ResultPayload, WorkerMetrics)> {
+    let shared = &frag.shared;
+    let mut pipeline = Pipeline::new(shared.pipeline.clone())?;
+    let budget = env.engine_memory_budget();
+
+    let (tx, mut rx) = mpsc::channel::<ScanItem>();
+    let scan_handle = {
+        let env2 = env.clone();
+        let files = frag.files.clone();
+        let shared2 = Rc::clone(shared);
+        env.cloud.handle.spawn(async move {
+            scan_table(
+                &env2,
+                &shared2.scan,
+                &files,
+                &shared2.base_schema,
+                &shared2.scan_columns,
+                shared2.prune_predicate.as_ref(),
+                tx,
+            )
+            .await
+        })
+    };
+
+    let mut modeled_rows = 0u64;
+    while let Some(item) = rx.recv().await {
+        match item {
+            ScanItem::Batch(batch) => {
+                env.compute(env.costs.process_seconds(batch.num_rows() as u64)).await;
+                let batch_bytes = (batch.num_rows() * batch.num_columns() * 8) as u64;
+                pipeline.push(&batch)?;
+                let state = pipeline.approx_state_bytes() as u64;
+                if state + 3 * batch_bytes > budget {
+                    // §3.3: report out-of-memory instead of dying silently.
+                    return Err(CoreError::Engine(format!(
+                        "out of memory: engine state {state} B + working set exceeds budget {budget} B"
+                    )));
+                }
+            }
+            ScanItem::Modeled { rows, bytes } => {
+                env.compute(env.costs.process_seconds(rows)).await;
+                modeled_rows += rows;
+                if 3 * bytes > budget {
+                    return Err(CoreError::Engine(format!(
+                        "out of memory: row group of {bytes} B exceeds budget {budget} B"
+                    )));
+                }
+            }
+        }
+    }
+    let scan_metrics = scan_handle.await?;
+
+    let (rows_in, rows_out) = pipeline.row_counts();
+    let mut metrics = WorkerMetrics {
+        rows_in: rows_in + modeled_rows,
+        rows_out,
+        bytes_read: scan_metrics.bytes_read,
+        get_requests: scan_metrics.get_requests,
+        row_groups_pruned: scan_metrics.row_groups_pruned,
+        row_groups_scanned: scan_metrics.row_groups_total - scan_metrics.row_groups_pruned,
+        ..WorkerMetrics::default()
+    };
+    let _ = &mut metrics;
+
+    match pipeline.finish() {
+        PipelineOutput::Aggregate(state) => {
+            Ok((ResultPayload::AggState(state.encode()), metrics))
+        }
+        PipelineOutput::Batches(batches) => {
+            if batches.is_empty() {
+                return Ok((ResultPayload::Empty, metrics));
+            }
+            // Large results go to cloud storage, not through the queue.
+            let rows: u64 = batches.iter().map(|b| b.num_rows() as u64).sum();
+            let bytes = crate::partition::encode_batches(&batches)?;
+            let key = format!("results/w{}", env.worker_id);
+            env.s3.put(&shared.result_bucket, &key, Body::from_vec(bytes)).await?;
+            Ok((
+                ResultPayload::StoredBatches { bucket: shared.result_bucket.clone(), key, rows },
+                metrics,
+            ))
+        }
+    }
+}
+
+async fn run_exchange_task(
+    env: &WorkerEnv,
+    task: &ExchangeTask,
+) -> Result<(ResultPayload, WorkerMetrics)> {
+    let mut metrics = WorkerMetrics::default();
+    if let Some((bucket, key)) = &task.input {
+        let start = env.cloud.handle.now();
+        let body = env.s3.get(bucket, key).await?;
+        metrics.bytes_read += body.len();
+        metrics.get_requests += 1;
+        env.cloud.trace.record(env.worker_id, "exchange_input", start, env.cloud.handle.now());
+    }
+    let per_dest = task.data_bytes / task.total as u64;
+    let parts: Vec<PartData> = (0..task.total).map(|_| PartData::Modeled(per_dest)).collect();
+    let outcome =
+        run_exchange(env, &task.cfg, env.worker_id as usize, task.total, parts, &task.side)
+            .await?;
+    metrics.rows_in = outcome.received.len() as u64;
+    Ok((ResultPayload::Empty, metrics))
+}

@@ -1,0 +1,507 @@
+//! Aggregation: functions, accumulators, and serializable grouped state.
+//!
+//! Workers compute *partial* aggregates over their plan fragments; the
+//! driver merges the partial states it collects from the result queue and
+//! finalizes them (§3.2: "post-processing like aggregating the
+//! intermediate worker results"). [`GroupedAggState`] is therefore both
+//! the hash-aggregation operator state and a wire format.
+
+use std::collections::HashMap;
+
+use lambada_format::binio::{BinReader, BinWriter};
+
+use crate::column::Column;
+use crate::error::{exec_err, plan_err, EngineError, Result};
+use crate::expr::Expr;
+use crate::scalar::{Scalar, ScalarKey};
+use crate::types::DataType;
+
+/// Aggregate functions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum AggFunc {
+    Sum,
+    Min,
+    Max,
+    Count,
+    Avg,
+}
+
+impl AggFunc {
+    pub fn name(self) -> &'static str {
+        match self {
+            AggFunc::Sum => "sum",
+            AggFunc::Min => "min",
+            AggFunc::Max => "max",
+            AggFunc::Count => "count",
+            AggFunc::Avg => "avg",
+        }
+    }
+
+    /// Output type given the argument type (`None` = `COUNT(*)`).
+    pub fn output_type(self, arg: Option<DataType>) -> Result<DataType> {
+        match self {
+            AggFunc::Count => Ok(DataType::Int64),
+            AggFunc::Avg => match arg {
+                Some(t) if t.is_numeric() => Ok(DataType::Float64),
+                _ => plan_err("avg requires a numeric argument"),
+            },
+            AggFunc::Sum | AggFunc::Min | AggFunc::Max => match arg {
+                Some(t) if t.is_numeric() => Ok(t),
+                _ => plan_err(format!("{} requires a numeric argument", self.name())),
+            },
+        }
+    }
+
+}
+
+/// One aggregate in a plan: function, optional argument, output name.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AggExpr {
+    pub func: AggFunc,
+    pub arg: Option<Expr>,
+    pub name: String,
+}
+
+impl AggExpr {
+    pub fn new(func: AggFunc, arg: Option<Expr>, name: impl Into<String>) -> Self {
+        AggExpr { func, arg, name: name.into() }
+    }
+}
+
+/// A single accumulator instance.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Acc {
+    SumI(i64),
+    SumF(f64),
+    Count(i64),
+    MinI(i64),
+    MinF(f64),
+    MaxI(i64),
+    MaxF(f64),
+    Avg { sum: f64, count: i64 },
+}
+
+impl Acc {
+    /// Fresh accumulator for a function over an argument type.
+    pub fn new(func: AggFunc, arg: Option<DataType>) -> Result<Acc> {
+        Ok(match (func, arg) {
+            (AggFunc::Count, _) => Acc::Count(0),
+            (AggFunc::Avg, Some(t)) if t.is_numeric() => Acc::Avg { sum: 0.0, count: 0 },
+            (AggFunc::Sum, Some(DataType::Int64)) => Acc::SumI(0),
+            (AggFunc::Sum, Some(DataType::Float64)) => Acc::SumF(0.0),
+            (AggFunc::Min, Some(DataType::Int64)) => Acc::MinI(i64::MAX),
+            (AggFunc::Min, Some(DataType::Float64)) => Acc::MinF(f64::INFINITY),
+            (AggFunc::Max, Some(DataType::Int64)) => Acc::MaxI(i64::MIN),
+            (AggFunc::Max, Some(DataType::Float64)) => Acc::MaxF(f64::NEG_INFINITY),
+            (f, t) => return exec_err(format!("invalid accumulator {f:?} over {t:?}")),
+        })
+    }
+
+    /// Fold one value in.
+    pub fn update(&mut self, v: Scalar) -> Result<()> {
+        match self {
+            Acc::SumI(s) => *s = s.wrapping_add(v.as_i64()?),
+            Acc::SumF(s) => *s += v.as_f64()?,
+            Acc::Count(c) => *c += 1,
+            Acc::MinI(m) => *m = (*m).min(v.as_i64()?),
+            Acc::MinF(m) => *m = m.min(v.as_f64()?),
+            Acc::MaxI(m) => *m = (*m).max(v.as_i64()?),
+            Acc::MaxF(m) => *m = m.max(v.as_f64()?),
+            Acc::Avg { sum, count } => {
+                *sum += v.as_f64()?;
+                *count += 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// Combine a peer partial state.
+    pub fn merge(&mut self, other: &Acc) -> Result<()> {
+        match (self, other) {
+            (Acc::SumI(a), Acc::SumI(b)) => *a = a.wrapping_add(*b),
+            (Acc::SumF(a), Acc::SumF(b)) => *a += b,
+            (Acc::Count(a), Acc::Count(b)) => *a += b,
+            (Acc::MinI(a), Acc::MinI(b)) => *a = (*a).min(*b),
+            (Acc::MinF(a), Acc::MinF(b)) => *a = a.min(*b),
+            (Acc::MaxI(a), Acc::MaxI(b)) => *a = (*a).max(*b),
+            (Acc::MaxF(a), Acc::MaxF(b)) => *a = a.max(*b),
+            (Acc::Avg { sum: s, count: c }, Acc::Avg { sum: os, count: oc }) => {
+                *s += os;
+                *c += oc;
+            }
+            (a, b) => return exec_err(format!("cannot merge {a:?} with {b:?}")),
+        }
+        Ok(())
+    }
+
+    /// Final value.
+    pub fn finalize(&self) -> Scalar {
+        match self {
+            Acc::SumI(s) => Scalar::Int64(*s),
+            Acc::SumF(s) => Scalar::Float64(*s),
+            Acc::Count(c) => Scalar::Int64(*c),
+            Acc::MinI(m) => Scalar::Int64(*m),
+            Acc::MinF(m) => Scalar::Float64(*m),
+            Acc::MaxI(m) => Scalar::Int64(*m),
+            Acc::MaxF(m) => Scalar::Float64(*m),
+            Acc::Avg { sum, count } => {
+                Scalar::Float64(if *count == 0 { f64::NAN } else { sum / *count as f64 })
+            }
+        }
+    }
+
+    fn encode(&self, w: &mut BinWriter) {
+        match self {
+            Acc::SumI(v) => {
+                w.u8(0);
+                w.i64(*v);
+            }
+            Acc::SumF(v) => {
+                w.u8(1);
+                w.f64(*v);
+            }
+            Acc::Count(v) => {
+                w.u8(2);
+                w.i64(*v);
+            }
+            Acc::MinI(v) => {
+                w.u8(3);
+                w.i64(*v);
+            }
+            Acc::MinF(v) => {
+                w.u8(4);
+                w.f64(*v);
+            }
+            Acc::MaxI(v) => {
+                w.u8(5);
+                w.i64(*v);
+            }
+            Acc::MaxF(v) => {
+                w.u8(6);
+                w.f64(*v);
+            }
+            Acc::Avg { sum, count } => {
+                w.u8(7);
+                w.f64(*sum);
+                w.i64(*count);
+            }
+        }
+    }
+
+    fn decode(r: &mut BinReader<'_>) -> Result<Acc> {
+        Ok(match r.u8().map_err(EngineError::from)? {
+            0 => Acc::SumI(r.i64().map_err(EngineError::from)?),
+            1 => Acc::SumF(r.f64().map_err(EngineError::from)?),
+            2 => Acc::Count(r.i64().map_err(EngineError::from)?),
+            3 => Acc::MinI(r.i64().map_err(EngineError::from)?),
+            4 => Acc::MinF(r.f64().map_err(EngineError::from)?),
+            5 => Acc::MaxI(r.i64().map_err(EngineError::from)?),
+            6 => Acc::MaxF(r.f64().map_err(EngineError::from)?),
+            7 => Acc::Avg {
+                sum: r.f64().map_err(EngineError::from)?,
+                count: r.i64().map_err(EngineError::from)?,
+            },
+            other => return exec_err(format!("unknown accumulator tag {other}")),
+        })
+    }
+}
+
+fn encode_key(k: &ScalarKey, w: &mut BinWriter) {
+    match k {
+        ScalarKey::I(v) => {
+            w.u8(0);
+            w.i64(*v);
+        }
+        ScalarKey::F(v) => {
+            w.u8(1);
+            w.u64(*v);
+        }
+        ScalarKey::B(v) => {
+            w.u8(2);
+            w.bool(*v);
+        }
+    }
+}
+
+fn decode_key(r: &mut BinReader<'_>) -> Result<ScalarKey> {
+    Ok(match r.u8().map_err(EngineError::from)? {
+        0 => ScalarKey::I(r.i64().map_err(EngineError::from)?),
+        1 => ScalarKey::F(r.u64().map_err(EngineError::from)?),
+        2 => ScalarKey::B(r.bool().map_err(EngineError::from)?),
+        other => return exec_err(format!("unknown key tag {other}")),
+    })
+}
+
+/// Hash-aggregation state: group keys mapped to accumulator rows.
+/// Serializable (worker → driver) and mergeable (driver side).
+#[derive(Clone, Debug)]
+pub struct GroupedAggState {
+    /// Prototype accumulators (one per aggregate), used to spawn groups.
+    prototypes: Vec<Acc>,
+    map: HashMap<Box<[ScalarKey]>, usize>,
+    keys: Vec<Box<[ScalarKey]>>,
+    accs: Vec<Vec<Acc>>,
+}
+
+impl GroupedAggState {
+    /// Create state for aggregates over the given argument types.
+    pub fn new(funcs: &[(AggFunc, Option<DataType>)]) -> Result<GroupedAggState> {
+        let prototypes: Result<Vec<Acc>> =
+            funcs.iter().map(|&(f, t)| Acc::new(f, t)).collect();
+        Ok(GroupedAggState {
+            prototypes: prototypes?,
+            map: HashMap::new(),
+            keys: Vec::new(),
+            accs: Vec::new(),
+        })
+    }
+
+    pub fn num_groups(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Approximate in-memory footprint (used for worker OOM modelling).
+    pub fn approx_bytes(&self) -> usize {
+        let per_group = self.prototypes.len() * 24
+            + self.keys.first().map_or(16, |k| k.len() * 16 + 32);
+        self.keys.len() * per_group
+    }
+
+    /// Fold a batch in: `group_cols` are the evaluated grouping columns,
+    /// `arg_cols[i]` the evaluated argument of aggregate `i` (`None` for
+    /// `COUNT(*)`).
+    pub fn update_batch(
+        &mut self,
+        group_cols: &[Column],
+        arg_cols: &[Option<Column>],
+        rows: usize,
+    ) -> Result<()> {
+        debug_assert_eq!(arg_cols.len(), self.prototypes.len());
+        let mut key_buf: Vec<ScalarKey> = Vec::with_capacity(group_cols.len());
+        for row in 0..rows {
+            key_buf.clear();
+            for g in group_cols {
+                key_buf.push(g.value(row).key());
+            }
+            let gid = match self.map.get(key_buf.as_slice()) {
+                Some(&gid) => gid,
+                None => {
+                    let gid = self.keys.len();
+                    let key: Box<[ScalarKey]> = key_buf.as_slice().into();
+                    self.map.insert(key.clone(), gid);
+                    self.keys.push(key);
+                    self.accs.push(self.prototypes.clone());
+                    gid
+                }
+            };
+            let accs = &mut self.accs[gid];
+            for (acc, arg) in accs.iter_mut().zip(arg_cols.iter()) {
+                match arg {
+                    Some(c) => acc.update(c.value(row))?,
+                    None => acc.update(Scalar::Int64(0))?, // COUNT(*): value ignored
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Merge a peer partial state (same shape).
+    pub fn merge(&mut self, other: &GroupedAggState) -> Result<()> {
+        for (key, &ogid) in &other.map {
+            match self.map.get(key.as_ref()) {
+                Some(&gid) => {
+                    for (a, b) in self.accs[gid].iter_mut().zip(other.accs[ogid].iter()) {
+                        a.merge(b)?;
+                    }
+                }
+                None => {
+                    let gid = self.keys.len();
+                    self.map.insert(key.clone(), gid);
+                    self.keys.push(key.clone());
+                    self.accs.push(other.accs[ogid].clone());
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Finalize into `(group_key_scalars, agg_scalars)` rows, sorted by key
+    /// for deterministic output.
+    pub fn finalize_rows(&self) -> Vec<(Vec<Scalar>, Vec<Scalar>)> {
+        let mut order: Vec<usize> = (0..self.keys.len()).collect();
+        order.sort_by(|&a, &b| self.keys[a].cmp(&self.keys[b]));
+        order
+            .into_iter()
+            .map(|gid| {
+                let keys = self.keys[gid].iter().map(|k| k.to_scalar()).collect();
+                let vals = self.accs[gid].iter().map(Acc::finalize).collect();
+                (keys, vals)
+            })
+            .collect()
+    }
+
+    /// Serialize for the wire (worker result messages).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = BinWriter::new();
+        w.varint(self.prototypes.len() as u64);
+        for p in &self.prototypes {
+            p.encode(&mut w);
+        }
+        w.varint(self.keys.len() as u64);
+        for (key, accs) in self.keys.iter().zip(self.accs.iter()) {
+            w.varint(key.len() as u64);
+            for k in key.iter() {
+                encode_key(k, &mut w);
+            }
+            for a in accs {
+                a.encode(&mut w);
+            }
+        }
+        w.into_bytes()
+    }
+
+    /// Deserialize a wire message.
+    pub fn decode(bytes: &[u8]) -> Result<GroupedAggState> {
+        let mut r = BinReader::new(bytes);
+        let nproto = r.varint().map_err(EngineError::from)? as usize;
+        let mut prototypes = Vec::with_capacity(nproto);
+        for _ in 0..nproto {
+            prototypes.push(Acc::decode(&mut r)?);
+        }
+        let ngroups = r.varint().map_err(EngineError::from)? as usize;
+        let mut state = GroupedAggState {
+            prototypes,
+            map: HashMap::with_capacity(ngroups),
+            keys: Vec::with_capacity(ngroups),
+            accs: Vec::with_capacity(ngroups),
+        };
+        for _ in 0..ngroups {
+            let klen = r.varint().map_err(EngineError::from)? as usize;
+            let mut key = Vec::with_capacity(klen);
+            for _ in 0..klen {
+                key.push(decode_key(&mut r)?);
+            }
+            let mut accs = Vec::with_capacity(state.prototypes.len());
+            for _ in 0..state.prototypes.len() {
+                accs.push(Acc::decode(&mut r)?);
+            }
+            let key: Box<[ScalarKey]> = key.into();
+            let gid = state.keys.len();
+            state.map.insert(key.clone(), gid);
+            state.keys.push(key);
+            state.accs.push(accs);
+        }
+        if !r.is_exhausted() {
+            return exec_err("trailing bytes in agg state");
+        }
+        Ok(state)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> Vec<(AggFunc, Option<DataType>)> {
+        vec![
+            (AggFunc::Sum, Some(DataType::Float64)),
+            (AggFunc::Count, None),
+            (AggFunc::Avg, Some(DataType::Float64)),
+            (AggFunc::Min, Some(DataType::Int64)),
+        ]
+    }
+
+    fn sample_state() -> GroupedAggState {
+        let mut st = GroupedAggState::new(&spec()).unwrap();
+        let groups = vec![Column::I64(vec![1, 2, 1, 2, 1])];
+        let vals = Column::F64(vec![1.0, 2.0, 3.0, 4.0, 5.0]);
+        let ints = Column::I64(vec![10, 20, 5, 40, 7]);
+        st.update_batch(
+            &groups,
+            &[Some(vals.clone()), None, Some(vals), Some(ints)],
+            5,
+        )
+        .unwrap();
+        st
+    }
+
+    #[test]
+    fn grouped_aggregation_basics() {
+        let st = sample_state();
+        assert_eq!(st.num_groups(), 2);
+        let rows = st.finalize_rows();
+        // Group 1: sum 9, count 3, avg 3, min 5. Group 2: sum 6, count 2.
+        assert_eq!(rows[0].0, vec![Scalar::Int64(1)]);
+        assert_eq!(
+            rows[0].1,
+            vec![
+                Scalar::Float64(9.0),
+                Scalar::Int64(3),
+                Scalar::Float64(3.0),
+                Scalar::Int64(5)
+            ]
+        );
+        assert_eq!(rows[1].1[0], Scalar::Float64(6.0));
+        assert_eq!(rows[1].1[1], Scalar::Int64(2));
+    }
+
+    #[test]
+    fn merge_equals_union_of_updates() {
+        let mut a = sample_state();
+        let b = sample_state();
+        a.merge(&b).unwrap();
+        let rows = a.finalize_rows();
+        assert_eq!(rows[0].1[0], Scalar::Float64(18.0));
+        assert_eq!(rows[0].1[1], Scalar::Int64(6));
+        assert_eq!(rows[0].1[2], Scalar::Float64(3.0), "avg merges correctly");
+    }
+
+    #[test]
+    fn merge_with_disjoint_groups() {
+        let mut a = GroupedAggState::new(&[(AggFunc::Sum, Some(DataType::Int64))]).unwrap();
+        a.update_batch(&[Column::I64(vec![1])], &[Some(Column::I64(vec![10]))], 1).unwrap();
+        let mut b = GroupedAggState::new(&[(AggFunc::Sum, Some(DataType::Int64))]).unwrap();
+        b.update_batch(&[Column::I64(vec![2])], &[Some(Column::I64(vec![20]))], 1).unwrap();
+        a.merge(&b).unwrap();
+        assert_eq!(a.num_groups(), 2);
+    }
+
+    #[test]
+    fn wire_roundtrip() {
+        let st = sample_state();
+        let bytes = st.encode();
+        let got = GroupedAggState::decode(&bytes).unwrap();
+        assert_eq!(got.finalize_rows(), st.finalize_rows());
+    }
+
+    #[test]
+    fn global_aggregate_uses_empty_key() {
+        let mut st = GroupedAggState::new(&[(AggFunc::Sum, Some(DataType::Float64))]).unwrap();
+        st.update_batch(&[], &[Some(Column::F64(vec![1.0, 2.0]))], 2).unwrap();
+        let rows = st.finalize_rows();
+        assert_eq!(rows.len(), 1);
+        assert!(rows[0].0.is_empty());
+        assert_eq!(rows[0].1[0], Scalar::Float64(3.0));
+    }
+
+    #[test]
+    fn empty_avg_is_nan() {
+        let acc = Acc::new(AggFunc::Avg, Some(DataType::Float64)).unwrap();
+        assert!(matches!(acc.finalize(), Scalar::Float64(v) if v.is_nan()));
+    }
+
+    #[test]
+    fn output_types() {
+        assert_eq!(AggFunc::Count.output_type(None).unwrap(), DataType::Int64);
+        assert_eq!(
+            AggFunc::Avg.output_type(Some(DataType::Int64)).unwrap(),
+            DataType::Float64
+        );
+        assert_eq!(
+            AggFunc::Sum.output_type(Some(DataType::Int64)).unwrap(),
+            DataType::Int64
+        );
+        assert!(AggFunc::Sum.output_type(Some(DataType::Boolean)).is_err());
+        assert!(AggFunc::Sum.output_type(None).is_err());
+    }
+}

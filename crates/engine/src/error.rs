@@ -1,0 +1,52 @@
+//! Engine error type.
+
+use std::fmt;
+
+/// Planning or execution failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EngineError {
+    /// Unknown column name during resolution.
+    UnknownColumn(String),
+    /// Type error with description.
+    TypeError(String),
+    /// Structural plan error.
+    PlanError(String),
+    /// Execution error.
+    ExecError(String),
+    /// Error bubbled up from the file format layer.
+    Format(String),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::UnknownColumn(c) => write!(f, "unknown column: {c}"),
+            EngineError::TypeError(m) => write!(f, "type error: {m}"),
+            EngineError::PlanError(m) => write!(f, "plan error: {m}"),
+            EngineError::ExecError(m) => write!(f, "execution error: {m}"),
+            EngineError::Format(m) => write!(f, "format error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<lambada_format::FormatError> for EngineError {
+    fn from(e: lambada_format::FormatError) -> Self {
+        EngineError::Format(e.to_string())
+    }
+}
+
+pub type Result<T> = std::result::Result<T, EngineError>;
+
+pub fn type_err<T>(msg: impl Into<String>) -> Result<T> {
+    Err(EngineError::TypeError(msg.into()))
+}
+
+pub fn plan_err<T>(msg: impl Into<String>) -> Result<T> {
+    Err(EngineError::PlanError(msg.into()))
+}
+
+pub fn exec_err<T>(msg: impl Into<String>) -> Result<T> {
+    Err(EngineError::ExecError(msg.into()))
+}

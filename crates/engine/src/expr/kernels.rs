@@ -1,0 +1,366 @@
+//! Vectorized kernels: the tight loops expressions compile to.
+//!
+//! The paper JIT-compiles pipelines to LLVM IR to avoid interpretation in
+//! inner loops; the idiomatic Rust equivalent is vectorization — each
+//! kernel is a monomorphic loop over typed slices that the compiler
+//! auto-vectorizes. Interpretation overhead is paid per *batch*, not per
+//! row.
+
+use crate::column::Column;
+use crate::error::{exec_err, type_err, Result};
+use crate::expr::BinOp;
+use crate::scalar::Scalar;
+use crate::types::DataType;
+
+/// Evaluation result: a full column or an unbroadcast constant.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    Column(Column),
+    Scalar(Scalar),
+}
+
+impl Value {
+    pub fn dtype(&self) -> DataType {
+        match self {
+            Value::Column(c) => c.dtype(),
+            Value::Scalar(s) => s.dtype(),
+        }
+    }
+
+    /// Materialize as a column of `rows` values.
+    pub fn into_column(self, rows: usize) -> Column {
+        match self {
+            Value::Column(c) => c,
+            Value::Scalar(s) => Column::broadcast(s, rows),
+        }
+    }
+
+    /// Materialize a boolean value as a mask of `rows` entries.
+    pub fn into_mask(self, rows: usize) -> Result<Vec<bool>> {
+        match self.into_column(rows) {
+            Column::Bool(v) => Ok(v),
+            other => type_err(format!("predicate evaluated to {}, not boolean", other.dtype())),
+        }
+    }
+}
+
+enum Num {
+    I64(NumRepr<i64>),
+    F64(NumRepr<f64>),
+}
+
+enum NumRepr<T> {
+    Col(Vec<T>),
+    Scalar(T),
+}
+
+fn to_numeric(v: Value) -> Result<Num> {
+    Ok(match v {
+        Value::Column(Column::I64(x)) => Num::I64(NumRepr::Col(x)),
+        Value::Column(Column::F64(x)) => Num::F64(NumRepr::Col(x)),
+        Value::Scalar(Scalar::Int64(x)) => Num::I64(NumRepr::Scalar(x)),
+        Value::Scalar(Scalar::Float64(x)) => Num::F64(NumRepr::Scalar(x)),
+        other => return type_err(format!("expected numeric, got {}", other.dtype())),
+    })
+}
+
+fn promote_f64(n: Num) -> NumRepr<f64> {
+    match n {
+        Num::F64(r) => r,
+        Num::I64(NumRepr::Col(v)) => NumRepr::Col(v.into_iter().map(|x| x as f64).collect()),
+        Num::I64(NumRepr::Scalar(x)) => NumRepr::Scalar(x as f64),
+    }
+}
+
+macro_rules! zip_arith {
+    ($l:expr, $r:expr, $f:expr, $col:path, $scalar:path) => {
+        match ($l, $r) {
+            (NumRepr::Col(a), NumRepr::Col(b)) => {
+                debug_assert_eq!(a.len(), b.len());
+                Value::Column($col(a.iter().zip(b.iter()).map(|(x, y)| $f(*x, *y)).collect()))
+            }
+            (NumRepr::Col(a), NumRepr::Scalar(s)) => {
+                Value::Column($col(a.iter().map(|x| $f(*x, s)).collect()))
+            }
+            (NumRepr::Scalar(s), NumRepr::Col(b)) => {
+                Value::Column($col(b.iter().map(|y| $f(s, *y)).collect()))
+            }
+            (NumRepr::Scalar(a), NumRepr::Scalar(b)) => Value::Scalar($scalar($f(a, b))),
+        }
+    };
+}
+
+macro_rules! zip_cmp {
+    ($l:expr, $r:expr, $f:expr) => {
+        match ($l, $r) {
+            (NumRepr::Col(a), NumRepr::Col(b)) => {
+                debug_assert_eq!(a.len(), b.len());
+                Value::Column(Column::Bool(
+                    a.iter().zip(b.iter()).map(|(x, y)| $f(*x, *y)).collect(),
+                ))
+            }
+            (NumRepr::Col(a), NumRepr::Scalar(s)) => {
+                Value::Column(Column::Bool(a.iter().map(|x| $f(*x, s)).collect()))
+            }
+            (NumRepr::Scalar(s), NumRepr::Col(b)) => {
+                Value::Column(Column::Bool(b.iter().map(|y| $f(s, *y)).collect()))
+            }
+            (NumRepr::Scalar(a), NumRepr::Scalar(b)) => Value::Scalar(Scalar::Boolean($f(a, b))),
+        }
+    };
+}
+
+fn arith_i64(op: BinOp, l: NumRepr<i64>, r: NumRepr<i64>) -> Result<Value> {
+    Ok(match op {
+        BinOp::Add => zip_arith!(l, r, i64::wrapping_add, Column::I64, Scalar::Int64),
+        BinOp::Sub => zip_arith!(l, r, i64::wrapping_sub, Column::I64, Scalar::Int64),
+        BinOp::Mul => zip_arith!(l, r, i64::wrapping_mul, Column::I64, Scalar::Int64),
+        BinOp::Div => {
+            // Integer division by zero is a query error, not UB.
+            let f = |a: i64, b: i64| -> Result<i64> {
+                a.checked_div(b).ok_or_else(|| {
+                    crate::error::EngineError::ExecError("integer division by zero".to_string())
+                })
+            };
+            match (l, r) {
+                (NumRepr::Col(a), NumRepr::Col(b)) => Value::Column(Column::I64(
+                    a.iter().zip(b.iter()).map(|(x, y)| f(*x, *y)).collect::<Result<_>>()?,
+                )),
+                (NumRepr::Col(a), NumRepr::Scalar(s)) => Value::Column(Column::I64(
+                    a.iter().map(|x| f(*x, s)).collect::<Result<_>>()?,
+                )),
+                (NumRepr::Scalar(s), NumRepr::Col(b)) => Value::Column(Column::I64(
+                    b.iter().map(|y| f(s, *y)).collect::<Result<_>>()?,
+                )),
+                (NumRepr::Scalar(a), NumRepr::Scalar(b)) => Value::Scalar(Scalar::Int64(f(a, b)?)),
+            }
+        }
+        _ => unreachable!("arith_i64 called with non-arithmetic op"),
+    })
+}
+
+fn arith_f64(op: BinOp, l: NumRepr<f64>, r: NumRepr<f64>) -> Value {
+    match op {
+        BinOp::Add => zip_arith!(l, r, |a: f64, b: f64| a + b, Column::F64, Scalar::Float64),
+        BinOp::Sub => zip_arith!(l, r, |a: f64, b: f64| a - b, Column::F64, Scalar::Float64),
+        BinOp::Mul => zip_arith!(l, r, |a: f64, b: f64| a * b, Column::F64, Scalar::Float64),
+        BinOp::Div => zip_arith!(l, r, |a: f64, b: f64| a / b, Column::F64, Scalar::Float64),
+        _ => unreachable!("arith_f64 called with non-arithmetic op"),
+    }
+}
+
+fn cmp_i64(op: BinOp, l: NumRepr<i64>, r: NumRepr<i64>) -> Value {
+    match op {
+        BinOp::Eq => zip_cmp!(l, r, |a: i64, b: i64| a == b),
+        BinOp::Ne => zip_cmp!(l, r, |a: i64, b: i64| a != b),
+        BinOp::Lt => zip_cmp!(l, r, |a: i64, b: i64| a < b),
+        BinOp::Le => zip_cmp!(l, r, |a: i64, b: i64| a <= b),
+        BinOp::Gt => zip_cmp!(l, r, |a: i64, b: i64| a > b),
+        BinOp::Ge => zip_cmp!(l, r, |a: i64, b: i64| a >= b),
+        _ => unreachable!("cmp_i64 called with non-comparison op"),
+    }
+}
+
+fn cmp_f64(op: BinOp, l: NumRepr<f64>, r: NumRepr<f64>) -> Value {
+    match op {
+        BinOp::Eq => zip_cmp!(l, r, |a: f64, b: f64| a == b),
+        BinOp::Ne => zip_cmp!(l, r, |a: f64, b: f64| a != b),
+        BinOp::Lt => zip_cmp!(l, r, |a: f64, b: f64| a < b),
+        BinOp::Le => zip_cmp!(l, r, |a: f64, b: f64| a <= b),
+        BinOp::Gt => zip_cmp!(l, r, |a: f64, b: f64| a > b),
+        BinOp::Ge => zip_cmp!(l, r, |a: f64, b: f64| a >= b),
+        _ => unreachable!("cmp_f64 called with non-comparison op"),
+    }
+}
+
+fn logical(op: BinOp, l: Value, r: Value) -> Result<Value> {
+    let as_bool = |v: Value| -> Result<NumRepr<bool>> {
+        Ok(match v {
+            Value::Column(Column::Bool(b)) => NumRepr::Col(b),
+            Value::Scalar(Scalar::Boolean(b)) => NumRepr::Scalar(b),
+            other => return type_err(format!("expected boolean, got {}", other.dtype())),
+        })
+    };
+    let l = as_bool(l)?;
+    let r = as_bool(r)?;
+    Ok(match op {
+        BinOp::And => zip_cmp!(l, r, |a: bool, b: bool| a && b),
+        BinOp::Or => zip_cmp!(l, r, |a: bool, b: bool| a || b),
+        _ => unreachable!("logical called with non-logical op"),
+    })
+}
+
+/// Apply a binary operator to two values. Column operands must already be
+/// equal-length (`rows` each, enforced by the caller via the batch).
+pub fn binary(op: BinOp, left: Value, right: Value) -> Result<Value> {
+    if let (Value::Column(a), Value::Column(b)) = (&left, &right) {
+        if a.len() != b.len() {
+            return exec_err(format!("operand lengths differ: {} vs {}", a.len(), b.len()));
+        }
+    }
+    if op.is_logical() {
+        return logical(op, left, right);
+    }
+    let l = to_numeric(left)?;
+    let r = to_numeric(right)?;
+    match (l, r) {
+        (Num::I64(a), Num::I64(b)) => {
+            if op.is_comparison() {
+                Ok(cmp_i64(op, a, b))
+            } else {
+                arith_i64(op, a, b)
+            }
+        }
+        (l, r) => {
+            let a = promote_f64(l);
+            let b = promote_f64(r);
+            if op.is_comparison() {
+                Ok(cmp_f64(op, a, b))
+            } else {
+                Ok(arith_f64(op, a, b))
+            }
+        }
+    }
+}
+
+/// Boolean NOT.
+pub fn not(v: Value) -> Result<Value> {
+    Ok(match v {
+        Value::Column(Column::Bool(b)) => {
+            Value::Column(Column::Bool(b.into_iter().map(|x| !x).collect()))
+        }
+        Value::Scalar(Scalar::Boolean(b)) => Value::Scalar(Scalar::Boolean(!b)),
+        other => return type_err(format!("NOT expects boolean, got {}", other.dtype())),
+    })
+}
+
+/// Arithmetic negation.
+pub fn neg(v: Value) -> Result<Value> {
+    Ok(match v {
+        Value::Column(Column::I64(x)) => {
+            Value::Column(Column::I64(x.into_iter().map(|a| a.wrapping_neg()).collect()))
+        }
+        Value::Column(Column::F64(x)) => {
+            Value::Column(Column::F64(x.into_iter().map(|a| -a).collect()))
+        }
+        Value::Scalar(Scalar::Int64(a)) => Value::Scalar(Scalar::Int64(a.wrapping_neg())),
+        Value::Scalar(Scalar::Float64(a)) => Value::Scalar(Scalar::Float64(-a)),
+        other => return type_err(format!("negation expects numeric, got {}", other.dtype())),
+    })
+}
+
+/// Numeric cast.
+pub fn cast(v: Value, to: DataType) -> Result<Value> {
+    match to {
+        DataType::Int64 => Ok(match v {
+            Value::Column(Column::I64(_)) | Value::Scalar(Scalar::Int64(_)) => v,
+            Value::Column(Column::F64(x)) => {
+                Value::Column(Column::I64(x.into_iter().map(|a| a as i64).collect()))
+            }
+            Value::Scalar(Scalar::Float64(a)) => Value::Scalar(Scalar::Int64(a as i64)),
+            other => return type_err(format!("cannot cast {} to int64", other.dtype())),
+        }),
+        DataType::Float64 => Ok(match v {
+            Value::Column(Column::F64(_)) | Value::Scalar(Scalar::Float64(_)) => v,
+            Value::Column(Column::I64(x)) => {
+                Value::Column(Column::F64(x.into_iter().map(|a| a as f64).collect()))
+            }
+            Value::Scalar(Scalar::Int64(a)) => Value::Scalar(Scalar::Float64(a as f64)),
+            other => return type_err(format!("cannot cast {} to float64", other.dtype())),
+        }),
+        DataType::Boolean => type_err("cannot cast to boolean"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn coli(v: Vec<i64>) -> Value {
+        Value::Column(Column::I64(v))
+    }
+
+    fn colf(v: Vec<f64>) -> Value {
+        Value::Column(Column::F64(v))
+    }
+
+    #[test]
+    fn i64_arithmetic() {
+        let out = binary(BinOp::Add, coli(vec![1, 2]), coli(vec![10, 20])).unwrap();
+        assert_eq!(out, coli(vec![11, 22]));
+        let out = binary(BinOp::Mul, coli(vec![3, 4]), Value::Scalar(Scalar::Int64(2))).unwrap();
+        assert_eq!(out, coli(vec![6, 8]));
+    }
+
+    #[test]
+    fn mixed_promotes_to_f64() {
+        let out = binary(BinOp::Add, coli(vec![1, 2]), colf(vec![0.5, 0.5])).unwrap();
+        assert_eq!(out, colf(vec![1.5, 2.5]));
+    }
+
+    #[test]
+    fn comparisons_produce_bool() {
+        let out = binary(BinOp::Lt, coli(vec![1, 5]), Value::Scalar(Scalar::Int64(3))).unwrap();
+        assert_eq!(out, Value::Column(Column::Bool(vec![true, false])));
+        let out =
+            binary(BinOp::Ge, colf(vec![1.0, 3.0]), Value::Scalar(Scalar::Float64(3.0))).unwrap();
+        assert_eq!(out, Value::Column(Column::Bool(vec![false, true])));
+    }
+
+    #[test]
+    fn logical_ops() {
+        let l = Value::Column(Column::Bool(vec![true, true, false]));
+        let r = Value::Column(Column::Bool(vec![true, false, false]));
+        assert_eq!(
+            binary(BinOp::And, l.clone(), r.clone()).unwrap(),
+            Value::Column(Column::Bool(vec![true, false, false]))
+        );
+        assert_eq!(
+            binary(BinOp::Or, l, r).unwrap(),
+            Value::Column(Column::Bool(vec![true, true, false]))
+        );
+    }
+
+    #[test]
+    fn scalar_scalar_folds() {
+        let out = binary(
+            BinOp::Mul,
+            Value::Scalar(Scalar::Int64(6)),
+            Value::Scalar(Scalar::Int64(7)),
+        )
+        .unwrap();
+        assert_eq!(out, Value::Scalar(Scalar::Int64(42)));
+    }
+
+    #[test]
+    fn division_by_zero_int_errors_float_is_inf() {
+        assert!(binary(BinOp::Div, coli(vec![1]), coli(vec![0])).is_err());
+        let out = binary(BinOp::Div, colf(vec![1.0]), colf(vec![0.0])).unwrap();
+        assert_eq!(out, colf(vec![f64::INFINITY]));
+    }
+
+    #[test]
+    fn length_mismatch_rejected() {
+        assert!(binary(BinOp::Add, coli(vec![1]), coli(vec![1, 2])).is_err());
+    }
+
+    #[test]
+    fn not_neg_cast() {
+        assert_eq!(
+            not(Value::Column(Column::Bool(vec![true, false]))).unwrap(),
+            Value::Column(Column::Bool(vec![false, true]))
+        );
+        assert_eq!(neg(coli(vec![5, -2])).unwrap(), coli(vec![-5, 2]));
+        assert_eq!(cast(coli(vec![2]), DataType::Float64).unwrap(), colf(vec![2.0]));
+        assert_eq!(cast(colf(vec![2.9]), DataType::Int64).unwrap(), coli(vec![2]));
+        assert!(cast(coli(vec![1]), DataType::Boolean).is_err());
+    }
+
+    #[test]
+    fn mask_materialization() {
+        let v = Value::Scalar(Scalar::Boolean(true));
+        assert_eq!(v.into_mask(3).unwrap(), vec![true, true, true]);
+        let v = Value::Column(Column::I64(vec![1]));
+        assert!(v.into_mask(1).is_err());
+    }
+}

@@ -1,0 +1,272 @@
+//! Interval analysis of predicates over column statistics.
+//!
+//! This implements the min/max pruning of §4.3.2/Fig 11: given the
+//! footer's per-chunk statistics, decide whether a row group can possibly
+//! contain a row satisfying a pushed-down predicate. The analysis is
+//! conservative — `can_match` may say "yes" for a group with no matches,
+//! but never "no" for a group with matches (property-tested).
+
+use lambada_format::ChunkStats;
+
+use crate::expr::{BinOp, Expr};
+use crate::scalar::Scalar;
+
+/// Value bounds of a subexpression over all rows of a row group.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Bounds {
+    I64 { min: i64, max: i64 },
+    F64 { min: f64, max: f64 },
+    Bool { can_true: bool, can_false: bool },
+    /// No information.
+    Unknown,
+}
+
+impl Bounds {
+    fn from_stats(s: ChunkStats) -> Bounds {
+        match s {
+            ChunkStats::I64 { min, max } => Bounds::I64 { min, max },
+            ChunkStats::F64 { min, max } => Bounds::F64 { min, max },
+        }
+    }
+
+    fn from_scalar(s: Scalar) -> Bounds {
+        match s {
+            Scalar::Int64(v) => Bounds::I64 { min: v, max: v },
+            Scalar::Float64(v) => {
+                if v.is_nan() {
+                    Bounds::Unknown
+                } else {
+                    Bounds::F64 { min: v, max: v }
+                }
+            }
+            Scalar::Boolean(b) => Bounds::Bool { can_true: b, can_false: !b },
+        }
+    }
+
+    fn as_bool(self) -> (bool, bool) {
+        match self {
+            Bounds::Bool { can_true, can_false } => (can_true, can_false),
+            _ => (true, true),
+        }
+    }
+
+    /// Widen i64 bounds to f64, nudging outward to absorb the precision
+    /// loss of the conversion (i64 values above 2^53 are inexact in f64).
+    fn to_f64(self) -> Option<(f64, f64)> {
+        match self {
+            Bounds::I64 { min, max } => Some(((min as f64).next_down(), (max as f64).next_up())),
+            Bounds::F64 { min, max } => Some((min, max)),
+            _ => None,
+        }
+    }
+}
+
+/// Compute bounds of `expr` given per-column statistics. `stats(i)` returns
+/// the chunk stats of input column `i`, or `None` when unavailable.
+pub fn analyze(expr: &Expr, stats: &dyn Fn(usize) -> Option<ChunkStats>) -> Bounds {
+    match expr {
+        Expr::Col(i) => stats(*i).map_or(Bounds::Unknown, Bounds::from_stats),
+        Expr::Lit(s) => Bounds::from_scalar(*s),
+        Expr::Binary { op, left, right } => {
+            let l = analyze(left, stats);
+            let r = analyze(right, stats);
+            if op.is_logical() {
+                let (lt, lf) = l.as_bool();
+                let (rt, rf) = r.as_bool();
+                return match op {
+                    BinOp::And => Bounds::Bool { can_true: lt && rt, can_false: lf || rf },
+                    BinOp::Or => Bounds::Bool { can_true: lt || rt, can_false: lf && rf },
+                    _ => unreachable!(),
+                };
+            }
+            if op.is_comparison() {
+                return compare(*op, l, r);
+            }
+            arithmetic(*op, l, r)
+        }
+        Expr::Not(e) => {
+            let (t, f) = analyze(e, stats).as_bool();
+            Bounds::Bool { can_true: f, can_false: t }
+        }
+        Expr::Neg(e) => match analyze(e, stats) {
+            Bounds::I64 { min, max } => {
+                Bounds::I64 { min: max.saturating_neg(), max: min.saturating_neg() }
+            }
+            Bounds::F64 { min, max } => Bounds::F64 { min: -max, max: -min },
+            _ => Bounds::Unknown,
+        },
+        Expr::Cast { expr, to } => {
+            let b = analyze(expr, stats);
+            match to {
+                crate::types::DataType::Float64 => {
+                    b.to_f64().map_or(Bounds::Unknown, |(min, max)| Bounds::F64 { min, max })
+                }
+                // f64 -> i64 truncation bounds are fiddly; stay conservative.
+                _ => Bounds::Unknown,
+            }
+        }
+    }
+}
+
+fn compare(op: BinOp, l: Bounds, r: Bounds) -> Bounds {
+    // Same-type integer comparison stays exact; everything else goes
+    // through (outward-widened) f64 bounds.
+    let (lmin, lmax, rmin, rmax) = match (l, r) {
+        (Bounds::I64 { min: a, max: b }, Bounds::I64 { min: c, max: d }) => {
+            return compare_ord(op, a, b, c, d);
+        }
+        _ => match (l.to_f64(), r.to_f64()) {
+            (Some((a, b)), Some((c, d))) => (a, b, c, d),
+            _ => return Bounds::Unknown,
+        },
+    };
+    compare_ord(op, lmin, lmax, rmin, rmax)
+}
+
+fn compare_ord<T: PartialOrd + Copy>(op: BinOp, lmin: T, lmax: T, rmin: T, rmax: T) -> Bounds {
+    let (can_true, can_false) = match op {
+        // a < b possible iff lmin < rmax; certain iff lmax < rmin.
+        BinOp::Lt => (lmin < rmax, lmax >= rmin),
+        BinOp::Le => (lmin <= rmax, lmax > rmin),
+        BinOp::Gt => (lmax > rmin, lmin <= rmax),
+        BinOp::Ge => (lmax >= rmin, lmin < rmax),
+        // a = b possible iff ranges overlap; certain iff both singleton equal.
+        BinOp::Eq => (lmin <= rmax && rmin <= lmax, !(lmin == lmax && rmin == rmax && lmin == rmin)),
+        BinOp::Ne => (!(lmin == lmax && rmin == rmax && lmin == rmin), lmin <= rmax && rmin <= lmax),
+        _ => unreachable!("compare_ord on non-comparison"),
+    };
+    Bounds::Bool { can_true, can_false }
+}
+
+fn arithmetic(op: BinOp, l: Bounds, r: Bounds) -> Bounds {
+    // Exact integer interval arithmetic when both sides are i64 and the
+    // endpoints do not overflow; otherwise widen through f64.
+    if let (Bounds::I64 { min: a, max: b }, Bounds::I64 { min: c, max: d }) = (l, r) {
+        let exact = match op {
+            BinOp::Add => a.checked_add(c).zip(b.checked_add(d)),
+            BinOp::Sub => a.checked_sub(d).zip(b.checked_sub(c)),
+            BinOp::Mul => {
+                let products = [a.checked_mul(c), a.checked_mul(d), b.checked_mul(c), b.checked_mul(d)];
+                if products.iter().all(Option::is_some) {
+                    let vals: Vec<i64> = products.iter().map(|p| p.expect("checked")).collect();
+                    Some((
+                        vals.iter().copied().min().expect("non-empty"),
+                        vals.iter().copied().max().expect("non-empty"),
+                    ))
+                } else {
+                    None
+                }
+            }
+            BinOp::Div => None, // division bounds need zero-crossing care; stay conservative
+            _ => unreachable!("arithmetic on non-arithmetic op"),
+        };
+        return match exact {
+            Some((min, max)) => Bounds::I64 { min, max },
+            None => Bounds::Unknown,
+        };
+    }
+    let (Some((a, b)), Some((c, d))) = (l.to_f64(), r.to_f64()) else {
+        return Bounds::Unknown;
+    };
+    match op {
+        BinOp::Add => Bounds::F64 { min: a + c, max: b + d },
+        BinOp::Sub => Bounds::F64 { min: a - d, max: b - c },
+        BinOp::Mul => {
+            let p = [a * c, a * d, b * c, b * d];
+            let min = p.iter().copied().fold(f64::INFINITY, f64::min);
+            let max = p.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            if min.is_nan() || max.is_nan() {
+                Bounds::Unknown
+            } else {
+                Bounds::F64 { min, max }
+            }
+        }
+        BinOp::Div => Bounds::Unknown,
+        _ => unreachable!("arithmetic on non-arithmetic op"),
+    }
+}
+
+/// Can any row of a row group with these statistics satisfy the predicate?
+pub fn can_match(predicate: &Expr, stats: &dyn Fn(usize) -> Option<ChunkStats>) -> bool {
+    analyze(predicate, stats).as_bool().0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{col, lit_f64, lit_i64};
+
+    fn date_stats(min: i64, max: i64) -> impl Fn(usize) -> Option<ChunkStats> {
+        move |i| (i == 0).then_some(ChunkStats::I64 { min, max })
+    }
+
+    #[test]
+    fn prunes_disjoint_date_range() {
+        // Predicate: shipdate <= 9000; chunk covers [9100, 9400] => prune.
+        let p = col(0).le(lit_i64(9000));
+        assert!(!can_match(&p, &date_stats(9100, 9400)));
+        // Chunk covering [8900, 9100] overlaps => keep.
+        assert!(can_match(&p, &date_stats(8900, 9100)));
+    }
+
+    #[test]
+    fn between_predicate_prunes() {
+        let p = col(0).between(lit_i64(100), lit_i64(200));
+        assert!(!can_match(&p, &date_stats(201, 400)));
+        assert!(!can_match(&p, &date_stats(0, 99)));
+        assert!(can_match(&p, &date_stats(150, 300)));
+    }
+
+    #[test]
+    fn conjunction_with_unknown_column_stays_conservative() {
+        // Column 1 has no stats: the conjunct is unknown, cannot prune on it.
+        let p = col(0).le(lit_i64(10)).and(col(1).gt(lit_f64(0.5)));
+        let stats = |i: usize| (i == 0).then_some(ChunkStats::I64 { min: 0, max: 5 });
+        assert!(can_match(&p, &stats));
+        let stats = |i: usize| (i == 0).then_some(ChunkStats::I64 { min: 20, max: 30 });
+        assert!(!can_match(&p, &stats), "false AND unknown = false");
+    }
+
+    #[test]
+    fn disjunction_requires_both_false() {
+        let p = col(0).lt(lit_i64(0)).or(col(0).gt(lit_i64(100)));
+        assert!(!can_match(&p, &date_stats(10, 90)));
+        assert!(can_match(&p, &date_stats(10, 101)));
+    }
+
+    #[test]
+    fn arithmetic_bounds_propagate() {
+        // col0 * 2 + 1 <= 5 with col0 in [10, 20] => 21..41 <= 5: prune.
+        let p = col(0).mul(lit_i64(2)).add(lit_i64(1)).le(lit_i64(5));
+        assert!(!can_match(&p, &date_stats(10, 20)));
+        assert!(can_match(&p, &date_stats(0, 20)));
+    }
+
+    #[test]
+    fn negation_flips() {
+        let p = col(0).le(lit_i64(10)).not();
+        assert!(!can_match(&p, &date_stats(0, 10)), "NOT(always-true) = false");
+        assert!(can_match(&p, &date_stats(0, 11)));
+    }
+
+    #[test]
+    fn float_comparison_prunes() {
+        let stats = |i: usize| (i == 0).then_some(ChunkStats::F64 { min: 0.05, max: 0.07 });
+        let p = col(0).gt(lit_f64(0.08));
+        assert!(!can_match(&p, &stats));
+        let p = col(0).ge(lit_f64(0.05));
+        assert!(can_match(&p, &stats));
+    }
+
+    #[test]
+    fn division_is_conservative() {
+        let p = col(0).div(lit_i64(2)).le(lit_i64(0));
+        assert!(can_match(&p, &date_stats(100, 200)), "division bounds unknown");
+    }
+
+    #[test]
+    fn overflowing_mul_is_conservative() {
+        let p = col(0).mul(lit_i64(i64::MAX)).ge(lit_i64(0));
+        assert!(can_match(&p, &date_stats(-2, 2)));
+    }
+}

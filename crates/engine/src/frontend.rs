@@ -1,0 +1,201 @@
+//! DataFrame-style frontend, mirroring the paper's Listing 1.
+//!
+//! The paper's Python frontend takes UDF lambdas and JIT-compiles them via
+//! Numba; the Rust equivalent is an expression-builder API — the same
+//! dataflow verbs (`filter`, `map`, `reduce`) over explicit expressions
+//! that the engine vectorizes:
+//!
+//! ```
+//! use lambada_engine::frontend::Df;
+//! use lambada_engine::types::{DataType, Field, Schema};
+//!
+//! let schema = Schema::new(vec![
+//!     Field::new("a", DataType::Float64),
+//!     Field::new("b", DataType::Float64),
+//! ]);
+//! let df = Df::scan("data", &schema);
+//! let plan = df
+//!     .clone()
+//!     .filter(df.col("a").unwrap().ge(lambada_engine::expr::lit_f64(0.05)))
+//!     .unwrap()
+//!     .map(df.col("a").unwrap().mul(df.col("b").unwrap()), "prod")
+//!     .unwrap()
+//!     .reduce_sum("prod")
+//!     .unwrap()
+//!     .build();
+//! assert!(plan.display_indent().contains("Aggregate"));
+//! ```
+
+use std::sync::Arc;
+
+use crate::agg::{AggExpr, AggFunc};
+use crate::error::Result;
+use crate::expr::Expr;
+use crate::logical::{LogicalPlan, SortKey};
+use crate::types::{Schema, SchemaRef};
+
+/// A lazily-built query: wraps a logical plan plus its current schema.
+#[derive(Clone, Debug)]
+pub struct Df {
+    plan: LogicalPlan,
+    schema: SchemaRef,
+}
+
+impl Df {
+    /// Start from a named base table.
+    pub fn scan(table: impl Into<String>, schema: &Schema) -> Df {
+        let schema = Arc::new(schema.clone());
+        Df {
+            plan: LogicalPlan::Scan {
+                table: table.into(),
+                schema: Arc::clone(&schema),
+                projection: None,
+                predicate: None,
+            },
+            schema,
+        }
+    }
+
+    /// Wrap an existing plan.
+    pub fn from_plan(plan: LogicalPlan) -> Result<Df> {
+        let schema = plan.schema()?;
+        Ok(Df { plan, schema })
+    }
+
+    /// Current output schema.
+    pub fn schema(&self) -> &SchemaRef {
+        &self.schema
+    }
+
+    /// Column reference by name, resolved against the current schema.
+    pub fn col(&self, name: &str) -> Result<Expr> {
+        Ok(Expr::Col(self.schema.index_of(name)?))
+    }
+
+    fn wrap(plan: LogicalPlan) -> Result<Df> {
+        let schema = plan.schema()?;
+        Ok(Df { plan, schema })
+    }
+
+    /// Keep rows satisfying the predicate.
+    pub fn filter(self, predicate: Expr) -> Result<Df> {
+        Self::wrap(LogicalPlan::Filter { input: Box::new(self.plan), predicate })
+    }
+
+    /// Project to named expressions.
+    pub fn select(self, exprs: Vec<(Expr, &str)>) -> Result<Df> {
+        let exprs = exprs.into_iter().map(|(e, n)| (e, n.to_string())).collect();
+        Self::wrap(LogicalPlan::Project { input: Box::new(self.plan), exprs })
+    }
+
+    /// Listing-1-style `map`: replace each row by one computed value.
+    pub fn map(self, expr: Expr, name: &str) -> Result<Df> {
+        self.select(vec![(expr, name)])
+    }
+
+    /// Grouped aggregation.
+    pub fn aggregate(self, group_by: Vec<(Expr, &str)>, aggs: Vec<AggExpr>) -> Result<Df> {
+        let group_by = group_by.into_iter().map(|(e, n)| (e, n.to_string())).collect();
+        Self::wrap(LogicalPlan::Aggregate { input: Box::new(self.plan), group_by, aggs })
+    }
+
+    /// Listing-1-style `reduce`: global sum of one column.
+    pub fn reduce_sum(self, column: &str) -> Result<Df> {
+        let arg = self.col(column)?;
+        let name = format!("sum_{column}");
+        self.aggregate(vec![], vec![AggExpr::new(AggFunc::Sum, Some(arg), name)])
+    }
+
+    /// Sort by keys.
+    pub fn sort(self, keys: Vec<SortKey>) -> Result<Df> {
+        Self::wrap(LogicalPlan::Sort { input: Box::new(self.plan), keys })
+    }
+
+    /// Sort ascending by named columns.
+    pub fn sort_by(self, columns: &[&str]) -> Result<Df> {
+        let keys: Result<Vec<SortKey>> =
+            columns.iter().map(|c| Ok(SortKey::asc(self.col(c)?))).collect();
+        self.sort(keys?)
+    }
+
+    /// First `n` rows.
+    pub fn limit(self, n: usize) -> Result<Df> {
+        Self::wrap(LogicalPlan::Limit { input: Box::new(self.plan), n })
+    }
+
+    /// Inner equi-join on named column pairs.
+    pub fn join(self, right: Df, on: &[(&str, &str)]) -> Result<Df> {
+        let mut pairs = Vec::with_capacity(on.len());
+        for (l, r) in on {
+            pairs.push((self.schema.index_of(l)?, right.schema.index_of(r)?));
+        }
+        Self::wrap(LogicalPlan::Join {
+            left: Box::new(self.plan),
+            right: Box::new(right.plan),
+            on: pairs,
+        })
+    }
+
+    /// Finish building.
+    pub fn build(self) -> LogicalPlan {
+        self.plan
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::lit_f64;
+    use crate::types::{DataType, Field};
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Field::new("a", DataType::Float64),
+            Field::new("b", DataType::Float64),
+            Field::new("g", DataType::Int64),
+        ])
+    }
+
+    #[test]
+    fn listing1_pipeline_builds() {
+        // Listing 1: from_parquet(...).filter(x[1] >= 0.05)
+        //            .map(x[1] * x[2]).reduce(+)
+        let df = Df::scan("lineitem", &schema());
+        let a = df.col("a").unwrap();
+        let b = df.col("b").unwrap();
+        let plan = df
+            .filter(a.clone().ge(lit_f64(0.05)))
+            .unwrap()
+            .map(a.mul(b), "prod")
+            .unwrap()
+            .reduce_sum("prod")
+            .unwrap()
+            .build();
+        let text = plan.display_indent();
+        assert!(text.contains("Aggregate"));
+        assert!(text.contains("Filter"));
+        assert!(text.contains("Scan: lineitem"));
+    }
+
+    #[test]
+    fn unknown_column_errors() {
+        let df = Df::scan("t", &schema());
+        assert!(df.col("zzz").is_err());
+    }
+
+    #[test]
+    fn join_resolves_names_on_both_sides() {
+        let left = Df::scan("l", &schema());
+        let right = Df::scan("r", &schema());
+        let joined = left.join(right, &[("g", "g")]).unwrap();
+        assert_eq!(joined.schema().len(), 6);
+    }
+
+    #[test]
+    fn sort_and_limit_chain() {
+        let df = Df::scan("t", &schema()).sort_by(&["g", "a"]).unwrap().limit(5).unwrap();
+        let text = df.build().display_indent();
+        assert!(text.contains("Sort"));
+        assert!(text.contains("Limit: 5"));
+    }
+}

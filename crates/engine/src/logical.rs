@@ -1,0 +1,261 @@
+//! Logical query plans: the common intermediate representation that all
+//! frontends lower into and the optimizer rewrites (§3.2).
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::agg::AggExpr;
+use crate::error::{plan_err, Result};
+use crate::expr::Expr;
+use crate::types::{DataType, Field, Schema, SchemaRef};
+
+/// A sort key: expression plus direction.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SortKey {
+    pub expr: Expr,
+    pub ascending: bool,
+}
+
+impl SortKey {
+    pub fn asc(expr: Expr) -> SortKey {
+        SortKey { expr, ascending: true }
+    }
+
+    pub fn desc(expr: Expr) -> SortKey {
+        SortKey { expr, ascending: false }
+    }
+}
+
+/// Logical plan nodes.
+#[derive(Clone, Debug, PartialEq)]
+pub enum LogicalPlan {
+    /// Base-table scan. `predicate` refers to the full table schema;
+    /// the node's output contains only the `projection` columns (all
+    /// columns when `None`).
+    Scan {
+        table: String,
+        schema: SchemaRef,
+        projection: Option<Vec<usize>>,
+        predicate: Option<Expr>,
+    },
+    /// Row filter; `predicate` refers to the input's output schema.
+    Filter { input: Box<LogicalPlan>, predicate: Expr },
+    /// Compute named expressions over the input.
+    Project { input: Box<LogicalPlan>, exprs: Vec<(Expr, String)> },
+    /// Hash aggregation with grouping expressions.
+    Aggregate {
+        input: Box<LogicalPlan>,
+        group_by: Vec<(Expr, String)>,
+        aggs: Vec<AggExpr>,
+    },
+    /// Total sort.
+    Sort { input: Box<LogicalPlan>, keys: Vec<SortKey> },
+    /// First `n` rows.
+    Limit { input: Box<LogicalPlan>, n: usize },
+    /// Inner equi-join; output = left columns ++ right columns.
+    Join {
+        left: Box<LogicalPlan>,
+        right: Box<LogicalPlan>,
+        on: Vec<(usize, usize)>,
+    },
+}
+
+impl LogicalPlan {
+    /// Output schema of this node.
+    pub fn schema(&self) -> Result<SchemaRef> {
+        match self {
+            LogicalPlan::Scan { schema, projection, .. } => Ok(match projection {
+                Some(idx) => Arc::new(schema.project(idx)),
+                None => Arc::clone(schema),
+            }),
+            LogicalPlan::Filter { input, .. } => input.schema(),
+            LogicalPlan::Project { input, exprs } => {
+                let in_schema = input.schema()?;
+                let mut fields = Vec::with_capacity(exprs.len());
+                for (e, name) in exprs {
+                    fields.push(Field::new(name.clone(), e.data_type(&in_schema)?));
+                }
+                Ok(Arc::new(Schema::new(fields)))
+            }
+            LogicalPlan::Aggregate { input, group_by, aggs } => {
+                let in_schema = input.schema()?;
+                let mut fields = Vec::with_capacity(group_by.len() + aggs.len());
+                for (e, name) in group_by {
+                    fields.push(Field::new(name.clone(), e.data_type(&in_schema)?));
+                }
+                for a in aggs {
+                    let arg_t: Option<DataType> = match &a.arg {
+                        Some(e) => Some(e.data_type(&in_schema)?),
+                        None => None,
+                    };
+                    fields.push(Field::new(a.name.clone(), a.func.output_type(arg_t)?));
+                }
+                Ok(Arc::new(Schema::new(fields)))
+            }
+            LogicalPlan::Sort { input, .. } | LogicalPlan::Limit { input, .. } => input.schema(),
+            LogicalPlan::Join { left, right, on } => {
+                let ls = left.schema()?;
+                let rs = right.schema()?;
+                for &(l, r) in on {
+                    if l >= ls.len() || r >= rs.len() {
+                        return plan_err(format!("join key ({l}, {r}) out of range"));
+                    }
+                }
+                let mut fields = ls.fields.clone();
+                fields.extend(rs.fields.clone());
+                Ok(Arc::new(Schema::new(fields)))
+            }
+        }
+    }
+
+    /// Children of this node.
+    pub fn inputs(&self) -> Vec<&LogicalPlan> {
+        match self {
+            LogicalPlan::Scan { .. } => vec![],
+            LogicalPlan::Filter { input, .. }
+            | LogicalPlan::Project { input, .. }
+            | LogicalPlan::Aggregate { input, .. }
+            | LogicalPlan::Sort { input, .. }
+            | LogicalPlan::Limit { input, .. } => vec![input],
+            LogicalPlan::Join { left, right, .. } => vec![left, right],
+        }
+    }
+
+    /// Multi-line indented plan rendering (EXPLAIN-style).
+    pub fn display_indent(&self) -> String {
+        let mut out = String::new();
+        self.fmt_indent(&mut out, 0);
+        out
+    }
+
+    fn fmt_indent(&self, out: &mut String, depth: usize) {
+        use std::fmt::Write;
+        let pad = "  ".repeat(depth);
+        match self {
+            LogicalPlan::Scan { table, projection, predicate, .. } => {
+                let _ = write!(out, "{pad}Scan: {table}");
+                if let Some(p) = projection {
+                    let _ = write!(out, " projection={p:?}");
+                }
+                if let Some(p) = predicate {
+                    let _ = write!(out, " filter={p}");
+                }
+                let _ = writeln!(out);
+            }
+            LogicalPlan::Filter { predicate, .. } => {
+                let _ = writeln!(out, "{pad}Filter: {predicate}");
+            }
+            LogicalPlan::Project { exprs, .. } => {
+                let items: Vec<String> =
+                    exprs.iter().map(|(e, n)| format!("{e} AS {n}")).collect();
+                let _ = writeln!(out, "{pad}Project: {}", items.join(", "));
+            }
+            LogicalPlan::Aggregate { group_by, aggs, .. } => {
+                let g: Vec<String> = group_by.iter().map(|(e, n)| format!("{e} AS {n}")).collect();
+                let a: Vec<String> = aggs
+                    .iter()
+                    .map(|x| match &x.arg {
+                        Some(e) => format!("{}({e}) AS {}", x.func.name(), x.name),
+                        None => format!("{}(*) AS {}", x.func.name(), x.name),
+                    })
+                    .collect();
+                let _ = writeln!(out, "{pad}Aggregate: group=[{}] aggs=[{}]", g.join(", "), a.join(", "));
+            }
+            LogicalPlan::Sort { keys, .. } => {
+                let k: Vec<String> = keys
+                    .iter()
+                    .map(|s| format!("{}{}", s.expr, if s.ascending { "" } else { " DESC" }))
+                    .collect();
+                let _ = writeln!(out, "{pad}Sort: {}", k.join(", "));
+            }
+            LogicalPlan::Limit { n, .. } => {
+                let _ = writeln!(out, "{pad}Limit: {n}");
+            }
+            LogicalPlan::Join { on, .. } => {
+                let _ = writeln!(out, "{pad}Join: on={on:?}");
+            }
+        }
+        for child in self.inputs() {
+            child.fmt_indent(out, depth + 1);
+        }
+    }
+}
+
+impl fmt::Display for LogicalPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.display_indent().trim_end())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agg::AggFunc;
+    use crate::expr::{col, lit_i64};
+
+    fn scan() -> LogicalPlan {
+        LogicalPlan::Scan {
+            table: "t".to_string(),
+            schema: Schema::arc(vec![
+                Field::new("a", DataType::Int64),
+                Field::new("b", DataType::Float64),
+            ]),
+            projection: None,
+            predicate: None,
+        }
+    }
+
+    #[test]
+    fn scan_schema_respects_projection() {
+        let mut s = scan();
+        if let LogicalPlan::Scan { projection, .. } = &mut s {
+            *projection = Some(vec![1]);
+        }
+        let schema = s.schema().unwrap();
+        assert_eq!(schema.len(), 1);
+        assert_eq!(schema.field(0).name, "b");
+    }
+
+    #[test]
+    fn aggregate_schema_combines_groups_and_aggs() {
+        let plan = LogicalPlan::Aggregate {
+            input: Box::new(scan()),
+            group_by: vec![(col(0), "a".to_string())],
+            aggs: vec![
+                AggExpr::new(AggFunc::Sum, Some(col(1)), "sum_b"),
+                AggExpr::new(AggFunc::Count, None, "n"),
+            ],
+        };
+        let schema = plan.schema().unwrap();
+        assert_eq!(schema.len(), 3);
+        assert_eq!(schema.field(1).dtype, DataType::Float64);
+        assert_eq!(schema.field(2).dtype, DataType::Int64);
+    }
+
+    #[test]
+    fn join_schema_concatenates() {
+        let plan = LogicalPlan::Join {
+            left: Box::new(scan()),
+            right: Box::new(scan()),
+            on: vec![(0, 0)],
+        };
+        assert_eq!(plan.schema().unwrap().len(), 4);
+        let bad = LogicalPlan::Join {
+            left: Box::new(scan()),
+            right: Box::new(scan()),
+            on: vec![(0, 9)],
+        };
+        assert!(bad.schema().is_err());
+    }
+
+    #[test]
+    fn display_renders_tree() {
+        let plan = LogicalPlan::Filter {
+            input: Box::new(scan()),
+            predicate: col(0).le(lit_i64(5)),
+        };
+        let text = plan.display_indent();
+        assert!(text.contains("Filter: (#0 <= 5)"));
+        assert!(text.contains("  Scan: t"));
+    }
+}

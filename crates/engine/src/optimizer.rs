@@ -1,0 +1,602 @@
+//! Rule-based optimizer: the "common set of optimizations such as
+//! selection and projection push-downs, join ordering" of §3.2.
+//!
+//! Passes run in a fixed order:
+//!
+//! 1. [`fold_constants`] — evaluate literal subtrees;
+//! 2. [`pushdown_predicates`] — move filters into scans (enabling the
+//!    min/max row-group pruning of §4.3.2) and through sorts, projects,
+//!    and joins;
+//! 3. [`prune_projections`] — set scan projections to the union of
+//!    columns a plan actually uses (Parquet then downloads only those
+//!    column chunks);
+//! 4. [`order_joins`] — put the smaller estimated input on the build side.
+
+use std::collections::BTreeSet;
+use std::collections::HashMap;
+
+use crate::expr::{fold, BinOp, Expr};
+use crate::logical::LogicalPlan;
+use crate::error::Result;
+
+/// Optimizer entry point.
+#[derive(Default, Clone)]
+pub struct Optimizer {
+    /// Table-name → estimated rows, used by join ordering.
+    pub row_hints: HashMap<String, u64>,
+}
+
+impl Optimizer {
+    pub fn new() -> Optimizer {
+        Optimizer::default()
+    }
+
+    pub fn with_row_hints(row_hints: HashMap<String, u64>) -> Optimizer {
+        Optimizer { row_hints }
+    }
+
+    pub fn optimize(&self, plan: &LogicalPlan) -> Result<LogicalPlan> {
+        let plan = fold_constants(plan);
+        let plan = pushdown_predicates(&plan);
+        let plan = prune_projections(&plan)?;
+        Ok(order_joins(&plan, &self.row_hints))
+    }
+}
+
+/// Map over all expressions of one node (not recursive).
+fn map_exprs(plan: &LogicalPlan, f: &impl Fn(&Expr) -> Expr) -> LogicalPlan {
+    match plan {
+        LogicalPlan::Scan { table, schema, projection, predicate } => LogicalPlan::Scan {
+            table: table.clone(),
+            schema: schema.clone(),
+            projection: projection.clone(),
+            predicate: predicate.as_ref().map(f),
+        },
+        LogicalPlan::Filter { input, predicate } => LogicalPlan::Filter {
+            input: input.clone(),
+            predicate: f(predicate),
+        },
+        LogicalPlan::Project { input, exprs } => LogicalPlan::Project {
+            input: input.clone(),
+            exprs: exprs.iter().map(|(e, n)| (f(e), n.clone())).collect(),
+        },
+        LogicalPlan::Aggregate { input, group_by, aggs } => LogicalPlan::Aggregate {
+            input: input.clone(),
+            group_by: group_by.iter().map(|(e, n)| (f(e), n.clone())).collect(),
+            aggs: aggs
+                .iter()
+                .map(|a| crate::agg::AggExpr {
+                    func: a.func,
+                    arg: a.arg.as_ref().map(f),
+                    name: a.name.clone(),
+                })
+                .collect(),
+        },
+        LogicalPlan::Sort { input, keys } => LogicalPlan::Sort {
+            input: input.clone(),
+            keys: keys
+                .iter()
+                .map(|k| crate::logical::SortKey { expr: f(&k.expr), ascending: k.ascending })
+                .collect(),
+        },
+        LogicalPlan::Limit { .. } | LogicalPlan::Join { .. } => plan.clone(),
+    }
+}
+
+/// Rebuild a node with new children (in `inputs()` order).
+fn with_children(plan: &LogicalPlan, mut children: Vec<LogicalPlan>) -> LogicalPlan {
+    match plan {
+        LogicalPlan::Scan { .. } => plan.clone(),
+        LogicalPlan::Filter { predicate, .. } => LogicalPlan::Filter {
+            input: Box::new(children.remove(0)),
+            predicate: predicate.clone(),
+        },
+        LogicalPlan::Project { exprs, .. } => LogicalPlan::Project {
+            input: Box::new(children.remove(0)),
+            exprs: exprs.clone(),
+        },
+        LogicalPlan::Aggregate { group_by, aggs, .. } => LogicalPlan::Aggregate {
+            input: Box::new(children.remove(0)),
+            group_by: group_by.clone(),
+            aggs: aggs.clone(),
+        },
+        LogicalPlan::Sort { keys, .. } => LogicalPlan::Sort {
+            input: Box::new(children.remove(0)),
+            keys: keys.clone(),
+        },
+        LogicalPlan::Limit { n, .. } => LogicalPlan::Limit {
+            input: Box::new(children.remove(0)),
+            n: *n,
+        },
+        LogicalPlan::Join { on, .. } => LogicalPlan::Join {
+            left: Box::new(children.remove(0)),
+            right: Box::new(children.remove(0)),
+            on: on.clone(),
+        },
+    }
+}
+
+/// Pass 1: constant folding in every expression of the tree.
+pub fn fold_constants(plan: &LogicalPlan) -> LogicalPlan {
+    let children = plan.inputs().into_iter().map(fold_constants).collect();
+    let node = with_children(plan, children);
+    map_exprs(&node, &fold::fold)
+}
+
+/// Split a predicate into its top-level AND conjuncts.
+pub fn split_conjuncts(expr: &Expr) -> Vec<Expr> {
+    match expr {
+        Expr::Binary { op: BinOp::And, left, right } => {
+            let mut out = split_conjuncts(left);
+            out.extend(split_conjuncts(right));
+            out
+        }
+        other => vec![other.clone()],
+    }
+}
+
+/// Conjoin a list of predicates (must be non-empty).
+pub fn conjoin(mut parts: Vec<Expr>) -> Expr {
+    let first = parts.remove(0);
+    parts.into_iter().fold(first, |acc, e| acc.and(e))
+}
+
+/// Pass 2: predicate pushdown.
+pub fn pushdown_predicates(plan: &LogicalPlan) -> LogicalPlan {
+    match plan {
+        LogicalPlan::Filter { input, predicate } => {
+            let input = pushdown_predicates(input);
+            push_filter(input, predicate.clone())
+        }
+        _ => {
+            let children = plan.inputs().into_iter().map(pushdown_predicates).collect();
+            with_children(plan, children)
+        }
+    }
+}
+
+fn push_filter(input: LogicalPlan, predicate: Expr) -> LogicalPlan {
+    match input {
+        LogicalPlan::Scan { table, schema, projection, predicate: scan_pred } => {
+            // Filter indices refer to the scan output; the scan predicate
+            // refers to the base schema. Remap through the projection.
+            let remapped = match &projection {
+                Some(proj) => predicate.remap_columns(&|i| proj[i]),
+                None => predicate,
+            };
+            let merged = remapped.and_also(scan_pred);
+            LogicalPlan::Scan { table, schema, projection, predicate: Some(merged) }
+        }
+        LogicalPlan::Filter { input, predicate: inner } => {
+            push_filter(*input, predicate.and(inner))
+        }
+        LogicalPlan::Sort { input, keys } => LogicalPlan::Sort {
+            input: Box::new(push_filter(*input, predicate)),
+            keys,
+        },
+        LogicalPlan::Project { input, exprs } => {
+            // Push through only if every referenced output column is a
+            // plain column reference in the projection.
+            let refs = predicate.referenced_columns();
+            let mut mapping = HashMap::new();
+            let all_simple = refs.iter().all(|&i| match exprs.get(i) {
+                Some((Expr::Col(src), _)) => {
+                    mapping.insert(i, *src);
+                    true
+                }
+                _ => false,
+            });
+            if all_simple {
+                let below = predicate.remap_columns(&|i| mapping[&i]);
+                LogicalPlan::Project {
+                    input: Box::new(push_filter(*input, below)),
+                    exprs,
+                }
+            } else {
+                LogicalPlan::Filter {
+                    input: Box::new(LogicalPlan::Project { input, exprs }),
+                    predicate,
+                }
+            }
+        }
+        LogicalPlan::Join { left, right, on } => {
+            let left_width = left.schema().map(|s| s.len()).unwrap_or(usize::MAX);
+            let mut to_left = Vec::new();
+            let mut to_right = Vec::new();
+            let mut keep = Vec::new();
+            for c in split_conjuncts(&predicate) {
+                let refs = c.referenced_columns();
+                if refs.iter().all(|&i| i < left_width) {
+                    to_left.push(c);
+                } else if refs.iter().all(|&i| i >= left_width) {
+                    to_right.push(c.remap_columns(&|i| i - left_width));
+                } else {
+                    keep.push(c);
+                }
+            }
+            let left = if to_left.is_empty() { *left } else { push_filter(*left, conjoin(to_left)) };
+            let right =
+                if to_right.is_empty() { *right } else { push_filter(*right, conjoin(to_right)) };
+            let joined = LogicalPlan::Join { left: Box::new(left), right: Box::new(right), on };
+            if keep.is_empty() {
+                joined
+            } else {
+                LogicalPlan::Filter { input: Box::new(joined), predicate: conjoin(keep) }
+            }
+        }
+        other => LogicalPlan::Filter { input: Box::new(other), predicate },
+    }
+}
+
+/// Pass 3: projection pruning.
+///
+/// For the common fragment shape `consumer → Filter* → Scan` (the shape of
+/// every serverless stage in Lambada), set the scan's projection to exactly
+/// the columns the consumer and filters reference, remapping expressions.
+/// Other shapes are left untouched (correct, merely unpruned).
+pub fn prune_projections(plan: &LogicalPlan) -> Result<LogicalPlan> {
+    match plan {
+        LogicalPlan::Project { input, exprs } => {
+            let mut needed = BTreeSet::new();
+            for (e, _) in exprs {
+                needed.extend(e.referenced_columns());
+            }
+            if let Some((new_input, remap)) = prune_chain(input, needed)? {
+                let exprs = exprs
+                    .iter()
+                    .map(|(e, n)| (e.remap_columns(&|i| remap[&i]), n.clone()))
+                    .collect();
+                return Ok(LogicalPlan::Project { input: Box::new(new_input), exprs });
+            }
+            let inner = prune_projections(input)?;
+            Ok(LogicalPlan::Project { input: Box::new(inner), exprs: exprs.clone() })
+        }
+        LogicalPlan::Aggregate { input, group_by, aggs } => {
+            let mut needed = BTreeSet::new();
+            for (e, _) in group_by {
+                needed.extend(e.referenced_columns());
+            }
+            for a in aggs {
+                if let Some(e) = &a.arg {
+                    needed.extend(e.referenced_columns());
+                }
+            }
+            if let Some((new_input, remap)) = prune_chain(input, needed)? {
+                let group_by = group_by
+                    .iter()
+                    .map(|(e, n)| (e.remap_columns(&|i| remap[&i]), n.clone()))
+                    .collect();
+                let aggs = aggs
+                    .iter()
+                    .map(|a| crate::agg::AggExpr {
+                        func: a.func,
+                        arg: a.arg.as_ref().map(|e| e.remap_columns(&|i| remap[&i])),
+                        name: a.name.clone(),
+                    })
+                    .collect();
+                return Ok(LogicalPlan::Aggregate { input: Box::new(new_input), group_by, aggs });
+            }
+            let inner = prune_projections(input)?;
+            Ok(LogicalPlan::Aggregate {
+                input: Box::new(inner),
+                group_by: group_by.clone(),
+                aggs: aggs.clone(),
+            })
+        }
+        _ => {
+            let children: Result<Vec<LogicalPlan>> =
+                plan.inputs().into_iter().map(prune_projections).collect();
+            Ok(with_children(plan, children?))
+        }
+    }
+}
+
+/// Rewrite a `Filter* → Scan(no projection)` chain to scan only `needed`
+/// columns. Returns the new chain plus the base-index → new-index map.
+fn prune_chain(
+    plan: &LogicalPlan,
+    needed: BTreeSet<usize>,
+) -> Result<Option<(LogicalPlan, HashMap<usize, usize>)>> {
+    match plan {
+        LogicalPlan::Filter { input, predicate } => {
+            let mut needed = needed;
+            needed.extend(predicate.referenced_columns());
+            match prune_chain(input, needed)? {
+                Some((new_input, remap)) => {
+                    let predicate = predicate.remap_columns(&|i| remap[&i]);
+                    Ok(Some((
+                        LogicalPlan::Filter { input: Box::new(new_input), predicate },
+                        remap,
+                    )))
+                }
+                None => Ok(None),
+            }
+        }
+        LogicalPlan::Scan { table, schema, projection: None, predicate } => {
+            if needed.len() == schema.len() {
+                return Ok(None); // nothing to prune
+            }
+            let proj: Vec<usize> = needed.iter().copied().collect();
+            let remap: HashMap<usize, usize> =
+                proj.iter().enumerate().map(|(new, &base)| (base, new)).collect();
+            // The scan predicate already refers to the base schema and
+            // needs no remapping.
+            Ok(Some((
+                LogicalPlan::Scan {
+                    table: table.clone(),
+                    schema: schema.clone(),
+                    projection: Some(proj),
+                    predicate: predicate.clone(),
+                },
+                remap,
+            )))
+        }
+        _ => Ok(None),
+    }
+}
+
+/// Estimated output rows of a plan (coarse).
+pub fn estimate_rows(plan: &LogicalPlan, hints: &HashMap<String, u64>) -> u64 {
+    match plan {
+        LogicalPlan::Scan { table, predicate, .. } => {
+            let base = hints.get(table).copied().unwrap_or(10_000);
+            if predicate.is_some() {
+                (base / 4).max(1)
+            } else {
+                base
+            }
+        }
+        LogicalPlan::Filter { input, .. } => (estimate_rows(input, hints) / 4).max(1),
+        LogicalPlan::Project { input, .. } | LogicalPlan::Sort { input, .. } => {
+            estimate_rows(input, hints)
+        }
+        LogicalPlan::Aggregate { input, .. } => (estimate_rows(input, hints) / 10).max(1),
+        LogicalPlan::Limit { input, n } => estimate_rows(input, hints).min(*n as u64),
+        LogicalPlan::Join { left, right, .. } => {
+            let l = estimate_rows(left, hints);
+            let r = estimate_rows(right, hints);
+            l.max(r)
+        }
+    }
+}
+
+/// Pass 4: join ordering — make the smaller input the (right) build side.
+/// Swapping sides changes output column order, so a compensating
+/// projection restores the original schema.
+pub fn order_joins(plan: &LogicalPlan, hints: &HashMap<String, u64>) -> LogicalPlan {
+    match plan {
+        LogicalPlan::Join { left, right, on } => {
+            let left = order_joins(left, hints);
+            let right = order_joins(right, hints);
+            let lrows = estimate_rows(&left, hints);
+            let rrows = estimate_rows(&right, hints);
+            if lrows < rrows {
+                let lw = left.schema().map(|s| s.len()).unwrap_or(0);
+                let rw = right.schema().map(|s| s.len()).unwrap_or(0);
+                let swapped_on: Vec<(usize, usize)> = on.iter().map(|&(l, r)| (r, l)).collect();
+                let swapped = LogicalPlan::Join {
+                    left: Box::new(right),
+                    right: Box::new(left),
+                    on: swapped_on,
+                };
+                let schema = swapped.schema().expect("swapped join schema");
+                // Output of swapped join: right cols (rw) then left (lw).
+                // Restore original order: left cols first.
+                let mut exprs = Vec::with_capacity(lw + rw);
+                for i in 0..lw {
+                    exprs.push((Expr::Col(rw + i), schema.field(rw + i).name.clone()));
+                }
+                for i in 0..rw {
+                    exprs.push((Expr::Col(i), schema.field(i).name.clone()));
+                }
+                LogicalPlan::Project { input: Box::new(swapped), exprs }
+            } else {
+                LogicalPlan::Join { left: Box::new(left), right: Box::new(right), on: on.clone() }
+            }
+        }
+        _ => {
+            let children = plan.inputs().into_iter().map(|c| order_joins(c, hints)).collect();
+            with_children(plan, children)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agg::{AggExpr, AggFunc};
+    use crate::expr::{col, lit_f64, lit_i64};
+    use crate::types::{DataType, Field, Schema};
+
+    fn scan(table: &str, cols: usize) -> LogicalPlan {
+        let fields = (0..cols)
+            .map(|i| Field::new(format!("c{i}"), if i % 2 == 0 { DataType::Int64 } else { DataType::Float64 }))
+            .collect();
+        LogicalPlan::Scan {
+            table: table.to_string(),
+            schema: Schema::arc(fields),
+            projection: None,
+            predicate: None,
+        }
+    }
+
+    #[test]
+    fn filter_merges_into_scan() {
+        let plan = LogicalPlan::Filter {
+            input: Box::new(scan("t", 3)),
+            predicate: col(0).le(lit_i64(10)),
+        };
+        let out = pushdown_predicates(&plan);
+        let LogicalPlan::Scan { predicate: Some(p), .. } = out else {
+            panic!("expected bare scan, got:\n{}", plan.display_indent());
+        };
+        assert_eq!(p, col(0).le(lit_i64(10)));
+    }
+
+    #[test]
+    fn stacked_filters_merge() {
+        let plan = LogicalPlan::Filter {
+            input: Box::new(LogicalPlan::Filter {
+                input: Box::new(scan("t", 3)),
+                predicate: col(1).gt(lit_f64(0.5)),
+            }),
+            predicate: col(0).le(lit_i64(10)),
+        };
+        let out = pushdown_predicates(&plan);
+        let LogicalPlan::Scan { predicate: Some(p), .. } = out else {
+            panic!("expected bare scan");
+        };
+        assert_eq!(p, col(0).le(lit_i64(10)).and(col(1).gt(lit_f64(0.5))));
+    }
+
+    #[test]
+    fn filter_pushes_through_simple_project() {
+        let plan = LogicalPlan::Filter {
+            input: Box::new(LogicalPlan::Project {
+                input: Box::new(scan("t", 3)),
+                exprs: vec![(col(2), "x".to_string()), (col(0), "y".to_string())],
+            }),
+            predicate: col(1).le(lit_i64(5)), // refers to projected col "y" = base col 0
+        };
+        let out = pushdown_predicates(&plan);
+        let LogicalPlan::Project { input, .. } = out else {
+            panic!("project should remain on top");
+        };
+        let LogicalPlan::Scan { predicate: Some(p), .. } = *input else {
+            panic!("filter should reach the scan");
+        };
+        assert_eq!(p, col(0).le(lit_i64(5)));
+    }
+
+    #[test]
+    fn filter_stays_above_computed_project() {
+        let plan = LogicalPlan::Filter {
+            input: Box::new(LogicalPlan::Project {
+                input: Box::new(scan("t", 2)),
+                exprs: vec![(col(0).add(lit_i64(1)), "x".to_string())],
+            }),
+            predicate: col(0).le(lit_i64(5)),
+        };
+        let out = pushdown_predicates(&plan);
+        assert!(matches!(out, LogicalPlan::Filter { .. }));
+    }
+
+    #[test]
+    fn join_filter_splits_by_side() {
+        let join = LogicalPlan::Join {
+            left: Box::new(scan("l", 2)),
+            right: Box::new(scan("r", 2)),
+            on: vec![(0, 0)],
+        };
+        // left-col filter AND right-col filter AND cross filter
+        let pred = col(0)
+            .le(lit_i64(1))
+            .and(col(2).ge(lit_i64(2)))
+            .and(col(1).lt(col(3)));
+        let plan = LogicalPlan::Filter { input: Box::new(join), predicate: pred };
+        let out = pushdown_predicates(&plan);
+        let LogicalPlan::Filter { input, predicate } = out else {
+            panic!("cross predicate must stay above the join");
+        };
+        assert_eq!(predicate, col(1).lt(col(3)));
+        let LogicalPlan::Join { left, right, .. } = *input else {
+            panic!("expected join");
+        };
+        assert!(
+            matches!(*left, LogicalPlan::Scan { predicate: Some(_), .. }),
+            "left conjunct pushed"
+        );
+        let LogicalPlan::Scan { predicate: Some(rp), .. } = *right else {
+            panic!("right conjunct pushed");
+        };
+        assert_eq!(rp, col(0).ge(lit_i64(2)), "right indices rebased");
+    }
+
+    #[test]
+    fn projection_pruned_to_used_columns() {
+        // Aggregate(sum(c3)) over Filter(c1) over Scan(6 cols):
+        // only columns 1 and 3 should be read.
+        let plan = LogicalPlan::Aggregate {
+            input: Box::new(LogicalPlan::Filter {
+                input: Box::new(scan("t", 6)),
+                predicate: col(1).gt(lit_f64(0.0)),
+            }),
+            group_by: vec![],
+            aggs: vec![AggExpr::new(AggFunc::Sum, Some(col(3)), "s")],
+        };
+        let out = prune_projections(&plan).unwrap();
+        let LogicalPlan::Aggregate { input, aggs, .. } = &out else {
+            panic!("expected aggregate");
+        };
+        let LogicalPlan::Filter { input: scan_node, predicate } = input.as_ref() else {
+            panic!("expected filter");
+        };
+        let LogicalPlan::Scan { projection: Some(proj), .. } = scan_node.as_ref() else {
+            panic!("expected pruned scan");
+        };
+        assert_eq!(proj, &vec![1, 3]);
+        assert_eq!(*predicate, col(0).gt(lit_f64(0.0)), "filter remapped");
+        assert_eq!(aggs[0].arg, Some(col(1)), "agg arg remapped");
+        // Schema must be unchanged by the rewrite.
+        assert_eq!(out.schema().unwrap(), plan.schema().unwrap());
+    }
+
+    #[test]
+    fn join_reorder_puts_small_side_right() {
+        let mut hints = HashMap::new();
+        hints.insert("big".to_string(), 1_000_000u64);
+        hints.insert("small".to_string(), 100u64);
+        let plan = LogicalPlan::Join {
+            left: Box::new(scan("small", 2)),
+            right: Box::new(scan("big", 2)),
+            on: vec![(0, 0)],
+        };
+        let before = plan.schema().unwrap();
+        let out = order_joins(&plan, &hints);
+        let LogicalPlan::Project { input, .. } = &out else {
+            panic!("swap adds a restoring projection");
+        };
+        let LogicalPlan::Join { left, on, .. } = input.as_ref() else {
+            panic!("expected join");
+        };
+        assert!(matches!(left.as_ref(), LogicalPlan::Scan { table, .. } if table == "big"));
+        assert_eq!(on, &vec![(0, 0)]);
+        assert_eq!(out.schema().unwrap(), before, "schema preserved");
+    }
+
+    #[test]
+    fn full_pipeline_composes() {
+        let plan = LogicalPlan::Aggregate {
+            input: Box::new(LogicalPlan::Filter {
+                input: Box::new(scan("t", 8)),
+                predicate: col(0).le(lit_i64(2).mul(lit_i64(3))),
+            }),
+            group_by: vec![(col(2), "g".to_string())],
+            aggs: vec![AggExpr::new(AggFunc::Sum, Some(col(5)), "s")],
+        };
+        let opt = Optimizer::new();
+        let out = opt.optimize(&plan).unwrap();
+        // Filter folded and absorbed by the scan; projection pruned.
+        let LogicalPlan::Aggregate { input, .. } = &out else {
+            panic!("aggregate on top");
+        };
+        let LogicalPlan::Scan { projection: Some(proj), predicate: Some(p), .. } = input.as_ref()
+        else {
+            panic!("pruned scan with merged predicate, got:\n{}", out.display_indent());
+        };
+        // The scan predicate refers to the base schema (providers read
+        // predicate columns internally), so the projection holds only the
+        // consumer's columns.
+        assert_eq!(proj, &vec![2, 5]);
+        assert_eq!(*p, col(0).le(lit_i64(6)));
+        assert_eq!(out.schema().unwrap(), plan.schema().unwrap());
+    }
+
+    #[test]
+    fn conjunct_split_and_rejoin() {
+        let e = col(0).le(lit_i64(1)).and(col(1).ge(lit_i64(2))).and(col(2).eq(lit_i64(3)));
+        let parts = split_conjuncts(&e);
+        assert_eq!(parts.len(), 3);
+        assert_eq!(conjoin(parts), e);
+    }
+}

@@ -1,0 +1,378 @@
+//! Local (single-node) plan execution: the reference engine.
+//!
+//! The distributed system in `lambada-core` runs plan *fragments* through
+//! [`crate::pipeline`] inside serverless workers; this module executes
+//! whole plans locally, which the tests use as ground truth for the
+//! distributed results.
+
+use std::cmp::Ordering;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::agg::GroupedAggState;
+use crate::batch::RecordBatch;
+use crate::column::Column;
+use crate::error::{exec_err, Result};
+use crate::expr::{eval, Expr};
+use crate::logical::{LogicalPlan, SortKey};
+use crate::scalar::{Scalar, ScalarKey};
+use crate::table::Catalog;
+use crate::types::{DataType, SchemaRef};
+
+/// Execute a logical plan against a catalog.
+pub fn execute(plan: &LogicalPlan, catalog: &Catalog) -> Result<Vec<RecordBatch>> {
+    match plan {
+        LogicalPlan::Scan { table, projection, predicate, .. } => {
+            let provider = catalog.get(table)?;
+            provider.scan(projection.as_deref(), predicate.as_ref())
+        }
+        LogicalPlan::Filter { input, predicate } => {
+            let batches = execute(input, catalog)?;
+            batches
+                .into_iter()
+                .map(|b| {
+                    let mask = eval::evaluate_mask(predicate, &b)?;
+                    b.filter(&mask)
+                })
+                .collect()
+        }
+        LogicalPlan::Project { input, exprs } => {
+            let schema = plan.schema()?;
+            let batches = execute(input, catalog)?;
+            batches.into_iter().map(|b| project_batch(&b, exprs, &schema)).collect()
+        }
+        LogicalPlan::Aggregate { input, group_by, aggs } => {
+            let schema = plan.schema()?;
+            let in_schema = input.schema()?;
+            let batches = execute(input, catalog)?;
+            let funcs = crate::pipeline::agg_func_types(aggs, &in_schema)?;
+            let mut state = GroupedAggState::new(&funcs)?;
+            for b in &batches {
+                let (gcols, acols) = crate::pipeline::eval_agg_inputs(group_by, aggs, b)?;
+                state.update_batch(&gcols, &acols, b.num_rows())?;
+            }
+            Ok(vec![agg_state_to_batch(&state, &schema)?])
+        }
+        LogicalPlan::Sort { input, keys } => {
+            let schema = plan.schema()?;
+            let batches = execute(input, catalog)?;
+            let all = RecordBatch::concat(schema, &batches)?;
+            Ok(vec![sort_batch(&all, keys)?])
+        }
+        LogicalPlan::Limit { input, n } => {
+            let batches = execute(input, catalog)?;
+            let mut out = Vec::new();
+            let mut remaining = *n;
+            for b in batches {
+                if remaining == 0 {
+                    break;
+                }
+                if b.num_rows() <= remaining {
+                    remaining -= b.num_rows();
+                    out.push(b);
+                } else {
+                    let idx: Vec<usize> = (0..remaining).collect();
+                    out.push(b.gather(&idx));
+                    remaining = 0;
+                }
+            }
+            Ok(out)
+        }
+        LogicalPlan::Join { left, right, on } => {
+            let schema = plan.schema()?;
+            let lbatches = execute(left, catalog)?;
+            let rbatches = execute(right, catalog)?;
+            hash_join(&lbatches, &rbatches, on, left.schema()?, right.schema()?, schema)
+        }
+    }
+}
+
+/// Execute and concatenate into one batch.
+pub fn execute_into_batch(plan: &LogicalPlan, catalog: &Catalog) -> Result<RecordBatch> {
+    let schema = plan.schema()?;
+    let batches = execute(plan, catalog)?;
+    RecordBatch::concat(schema, &batches)
+}
+
+/// Evaluate projection expressions over one batch.
+pub fn project_batch(
+    batch: &RecordBatch,
+    exprs: &[(Expr, String)],
+    out_schema: &SchemaRef,
+) -> Result<RecordBatch> {
+    let rows = batch.num_rows();
+    let mut columns = Vec::with_capacity(exprs.len());
+    for (e, _) in exprs {
+        columns.push(eval::evaluate(e, batch)?.into_column(rows));
+    }
+    RecordBatch::new(Arc::clone(out_schema), columns)
+}
+
+/// Build a column of the given type from scalars.
+pub fn column_from_scalars(dtype: DataType, values: &[Scalar]) -> Result<Column> {
+    match dtype {
+        DataType::Int64 => {
+            let v: Result<Vec<i64>> = values.iter().map(Scalar::as_i64).collect();
+            Ok(Column::I64(v?))
+        }
+        DataType::Float64 => {
+            let v: Result<Vec<f64>> = values.iter().map(Scalar::as_f64).collect();
+            Ok(Column::F64(v?))
+        }
+        DataType::Boolean => {
+            let v: Result<Vec<bool>> = values.iter().map(Scalar::as_bool).collect();
+            Ok(Column::Bool(v?))
+        }
+    }
+}
+
+/// Convert finalized aggregation state into a batch with the aggregate
+/// node's output schema (group columns first, then aggregates).
+pub fn agg_state_to_batch(state: &GroupedAggState, schema: &SchemaRef) -> Result<RecordBatch> {
+    let rows = state.finalize_rows();
+    let ncols = schema.len();
+    let mut cols_scalars: Vec<Vec<Scalar>> = vec![Vec::with_capacity(rows.len()); ncols];
+    for (keys, vals) in &rows {
+        if keys.len() + vals.len() != ncols {
+            return exec_err("aggregate row width does not match schema");
+        }
+        for (j, k) in keys.iter().enumerate() {
+            cols_scalars[j].push(*k);
+        }
+        for (j, v) in vals.iter().enumerate() {
+            cols_scalars[keys.len() + j].push(*v);
+        }
+    }
+    let mut columns = Vec::with_capacity(ncols);
+    for (j, scalars) in cols_scalars.iter().enumerate() {
+        columns.push(column_from_scalars(schema.field(j).dtype, scalars)?);
+    }
+    RecordBatch::new(Arc::clone(schema), columns)
+}
+
+/// Sort a batch by the given keys.
+pub fn sort_batch(batch: &RecordBatch, keys: &[SortKey]) -> Result<RecordBatch> {
+    let rows = batch.num_rows();
+    let mut key_cols = Vec::with_capacity(keys.len());
+    for k in keys {
+        key_cols.push(eval::evaluate(&k.expr, batch)?.into_column(rows));
+    }
+    let mut indices: Vec<usize> = (0..rows).collect();
+    indices.sort_by(|&a, &b| {
+        for (k, c) in keys.iter().zip(key_cols.iter()) {
+            let ord = c.value(a).total_cmp(&c.value(b));
+            let ord = if k.ascending { ord } else { ord.reverse() };
+            if ord != Ordering::Equal {
+                return ord;
+            }
+        }
+        Ordering::Equal
+    });
+    Ok(batch.gather(&indices))
+}
+
+fn hash_join(
+    left: &[RecordBatch],
+    right: &[RecordBatch],
+    on: &[(usize, usize)],
+    left_schema: SchemaRef,
+    right_schema: SchemaRef,
+    out_schema: SchemaRef,
+) -> Result<Vec<RecordBatch>> {
+    // Build side: the right input, collected into one batch.
+    let build = RecordBatch::concat(right_schema, right)?;
+    let mut table: HashMap<Box<[ScalarKey]>, Vec<usize>> = HashMap::new();
+    let mut key_buf: Vec<ScalarKey> = Vec::with_capacity(on.len());
+    for row in 0..build.num_rows() {
+        key_buf.clear();
+        for &(_, r) in on {
+            key_buf.push(build.column(r).value(row).key());
+        }
+        table.entry(key_buf.as_slice().into()).or_default().push(row);
+    }
+
+    let mut out = Vec::with_capacity(left.len());
+    for lb in left {
+        let mut l_idx: Vec<usize> = Vec::new();
+        let mut r_idx: Vec<usize> = Vec::new();
+        for row in 0..lb.num_rows() {
+            key_buf.clear();
+            for &(l, _) in on {
+                key_buf.push(lb.column(l).value(row).key());
+            }
+            if let Some(matches) = table.get(key_buf.as_slice()) {
+                for &m in matches {
+                    l_idx.push(row);
+                    r_idx.push(m);
+                }
+            }
+        }
+        let lpart = lb.gather(&l_idx);
+        let rpart = build.gather(&r_idx);
+        let mut columns = lpart.into_columns();
+        columns.extend(rpart.into_columns());
+        out.push(RecordBatch::new(Arc::clone(&out_schema), columns)?);
+    }
+    let _ = left_schema;
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agg::{AggExpr, AggFunc};
+    use crate::expr::{col, lit_f64, lit_i64};
+    use crate::table::MemTable;
+    use crate::types::{Field, Schema};
+    use std::rc::Rc;
+
+    fn catalog() -> Catalog {
+        let batch = RecordBatch::from_columns(
+            &["k", "grp", "v"],
+            vec![
+                Column::I64(vec![1, 2, 3, 4, 5, 6]),
+                Column::I64(vec![1, 2, 1, 2, 1, 2]),
+                Column::F64(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]),
+            ],
+        )
+        .unwrap();
+        let mut cat = Catalog::new();
+        cat.register("t", Rc::new(MemTable::from_batch(batch)));
+        cat
+    }
+
+    fn scan() -> LogicalPlan {
+        LogicalPlan::Scan {
+            table: "t".to_string(),
+            schema: Schema::arc(vec![
+                Field::new("k", DataType::Int64),
+                Field::new("grp", DataType::Int64),
+                Field::new("v", DataType::Float64),
+            ]),
+            projection: None,
+            predicate: None,
+        }
+    }
+
+    #[test]
+    fn filter_project_pipeline() {
+        let plan = LogicalPlan::Project {
+            input: Box::new(LogicalPlan::Filter {
+                input: Box::new(scan()),
+                predicate: col(0).gt(lit_i64(3)),
+            }),
+            exprs: vec![(col(2).mul(lit_f64(10.0)), "v10".to_string())],
+        };
+        let out = execute_into_batch(&plan, &catalog()).unwrap();
+        assert_eq!(out.num_rows(), 3);
+        assert_eq!(out.column(0).as_f64().unwrap(), &[40.0, 50.0, 60.0]);
+    }
+
+    #[test]
+    fn grouped_aggregate_matches_manual() {
+        let plan = LogicalPlan::Aggregate {
+            input: Box::new(scan()),
+            group_by: vec![(col(1), "grp".to_string())],
+            aggs: vec![
+                AggExpr::new(AggFunc::Sum, Some(col(2)), "sum_v"),
+                AggExpr::new(AggFunc::Count, None, "n"),
+                AggExpr::new(AggFunc::Avg, Some(col(2)), "avg_v"),
+            ],
+        };
+        let out = execute_into_batch(&plan, &catalog()).unwrap();
+        assert_eq!(out.num_rows(), 2);
+        // Groups sorted by key: grp=1 (1+3+5=9), grp=2 (2+4+6=12).
+        assert_eq!(out.column(0).as_i64().unwrap(), &[1, 2]);
+        assert_eq!(out.column(1).as_f64().unwrap(), &[9.0, 12.0]);
+        assert_eq!(out.column(2).as_i64().unwrap(), &[3, 3]);
+        assert_eq!(out.column(3).as_f64().unwrap(), &[3.0, 4.0]);
+    }
+
+    #[test]
+    fn global_aggregate_without_groups() {
+        let plan = LogicalPlan::Aggregate {
+            input: Box::new(scan()),
+            group_by: vec![],
+            aggs: vec![AggExpr::new(AggFunc::Sum, Some(col(2)), "s")],
+        };
+        let out = execute_into_batch(&plan, &catalog()).unwrap();
+        assert_eq!(out.num_rows(), 1);
+        assert_eq!(out.column(0).as_f64().unwrap(), &[21.0]);
+    }
+
+    #[test]
+    fn sort_multi_key_with_direction() {
+        let plan = LogicalPlan::Sort {
+            input: Box::new(scan()),
+            keys: vec![SortKey::asc(col(1)), SortKey::desc(col(0))],
+        };
+        let out = execute_into_batch(&plan, &catalog()).unwrap();
+        assert_eq!(out.column(0).as_i64().unwrap(), &[5, 3, 1, 6, 4, 2]);
+    }
+
+    #[test]
+    fn limit_truncates() {
+        let plan = LogicalPlan::Limit { input: Box::new(scan()), n: 4 };
+        let out = execute_into_batch(&plan, &catalog()).unwrap();
+        assert_eq!(out.num_rows(), 4);
+    }
+
+    #[test]
+    fn hash_join_inner() {
+        let mut cat = catalog();
+        let dim = RecordBatch::from_columns(
+            &["grp_id", "w"],
+            vec![Column::I64(vec![1, 3]), Column::F64(vec![0.5, 0.9])],
+        )
+        .unwrap();
+        cat.register("dim", Rc::new(MemTable::from_batch(dim)));
+        let plan = LogicalPlan::Join {
+            left: Box::new(scan()),
+            right: Box::new(LogicalPlan::Scan {
+                table: "dim".to_string(),
+                schema: Schema::arc(vec![
+                    Field::new("grp_id", DataType::Int64),
+                    Field::new("w", DataType::Float64),
+                ]),
+                projection: None,
+                predicate: None,
+            }),
+            on: vec![(1, 0)],
+        };
+        let out = execute_into_batch(&plan, &cat).unwrap();
+        // Only grp=1 rows match (grp=2 and dim key 3 have no partner).
+        assert_eq!(out.num_rows(), 3);
+        assert_eq!(out.num_columns(), 5);
+        for row in out.rows() {
+            assert_eq!(row[1], Scalar::Int64(1));
+            assert_eq!(row[3], Scalar::Int64(1));
+            assert_eq!(row[4], Scalar::Float64(0.5));
+        }
+    }
+
+    #[test]
+    fn join_preserves_duplicate_matches() {
+        let mut cat = Catalog::new();
+        let l = RecordBatch::from_columns(&["k"], vec![Column::I64(vec![1, 1])]).unwrap();
+        let r = RecordBatch::from_columns(&["k2"], vec![Column::I64(vec![1, 1, 1])]).unwrap();
+        cat.register("l", Rc::new(MemTable::from_batch(l.clone())));
+        cat.register("r", Rc::new(MemTable::from_batch(r.clone())));
+        let plan = LogicalPlan::Join {
+            left: Box::new(LogicalPlan::Scan {
+                table: "l".to_string(),
+                schema: Arc::clone(l.schema()),
+                projection: None,
+                predicate: None,
+            }),
+            right: Box::new(LogicalPlan::Scan {
+                table: "r".to_string(),
+                schema: Arc::clone(r.schema()),
+                projection: None,
+                predicate: None,
+            }),
+            on: vec![(0, 0)],
+        };
+        let out = execute_into_batch(&plan, &cat).unwrap();
+        assert_eq!(out.num_rows(), 6, "2 x 3 matching pairs");
+    }
+}

@@ -1,0 +1,278 @@
+//! Worker-side streaming pipelines.
+//!
+//! A serverless worker executes one plan *fragment*: scan → filter →
+//! project → partial aggregate (§3.2–3.3). The scan feeds batches in as
+//! they are downloaded and decoded; everything downstream is a push-based
+//! pipeline that keeps only aggregate state (or collected batches, for
+//! fragments that feed an exchange) in memory.
+
+use crate::agg::{AggExpr, AggFunc, GroupedAggState};
+use crate::batch::RecordBatch;
+use crate::column::Column;
+use crate::error::{plan_err, Result};
+use crate::expr::{eval, Expr};
+use crate::types::{DataType, Schema, SchemaRef};
+
+/// What a fragment does with the rows that survive filter + projection.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Terminal {
+    /// Partial hash aggregation (the common case for Q1/Q6-style queries).
+    PartialAggregate { group_by: Vec<(Expr, String)>, aggs: Vec<AggExpr> },
+    /// Collect projected batches (feeding an exchange or a result upload).
+    Collect,
+}
+
+/// A compiled plan fragment: predicate and projection refer to the
+/// fragment's *input* schema (the scan output).
+#[derive(Clone, Debug, PartialEq)]
+pub struct PipelineSpec {
+    pub input_schema: SchemaRef,
+    pub predicate: Option<Expr>,
+    /// `None` means pass input columns through unchanged.
+    pub projection: Option<Vec<(Expr, String)>>,
+    pub terminal: Terminal,
+}
+
+impl PipelineSpec {
+    /// Schema after filter + projection (what the terminal consumes).
+    pub fn intermediate_schema(&self) -> Result<SchemaRef> {
+        match &self.projection {
+            None => Ok(self.input_schema.clone()),
+            Some(exprs) => {
+                let mut fields = Vec::with_capacity(exprs.len());
+                for (e, name) in exprs {
+                    fields.push(crate::types::Field::new(
+                        name.clone(),
+                        e.data_type(&self.input_schema)?,
+                    ));
+                }
+                Ok(Schema::arc(fields))
+            }
+        }
+    }
+}
+
+/// Result of a finished pipeline.
+pub enum PipelineOutput {
+    Aggregate(GroupedAggState),
+    Batches(Vec<RecordBatch>),
+}
+
+/// Running pipeline state.
+pub struct Pipeline {
+    spec: PipelineSpec,
+    mid_schema: SchemaRef,
+    agg: Option<GroupedAggState>,
+    collected: Vec<RecordBatch>,
+    rows_in: u64,
+    rows_out: u64,
+}
+
+/// Resolve `(func, argument type)` pairs for aggregate expressions.
+pub fn agg_func_types(
+    aggs: &[AggExpr],
+    input: &Schema,
+) -> Result<Vec<(AggFunc, Option<DataType>)>> {
+    aggs.iter()
+        .map(|a| {
+            let t = match &a.arg {
+                Some(e) => Some(e.data_type(input)?),
+                None => None,
+            };
+            Ok((a.func, t))
+        })
+        .collect()
+}
+
+/// Evaluate grouping and aggregate-argument expressions over a batch.
+pub fn eval_agg_inputs(
+    group_by: &[(Expr, String)],
+    aggs: &[AggExpr],
+    batch: &RecordBatch,
+) -> Result<(Vec<Column>, Vec<Option<Column>>)> {
+    let rows = batch.num_rows();
+    let mut gcols = Vec::with_capacity(group_by.len());
+    for (e, _) in group_by {
+        gcols.push(eval::evaluate(e, batch)?.into_column(rows));
+    }
+    let mut acols = Vec::with_capacity(aggs.len());
+    for a in aggs {
+        acols.push(match &a.arg {
+            Some(e) => Some(eval::evaluate(e, batch)?.into_column(rows)),
+            None => None,
+        });
+    }
+    Ok((gcols, acols))
+}
+
+impl Pipeline {
+    pub fn new(spec: PipelineSpec) -> Result<Pipeline> {
+        let mid_schema = spec.intermediate_schema()?;
+        let agg = match &spec.terminal {
+            Terminal::PartialAggregate { aggs, .. } => {
+                Some(GroupedAggState::new(&agg_func_types(aggs, &mid_schema)?)?)
+            }
+            Terminal::Collect => None,
+        };
+        Ok(Pipeline { spec, mid_schema, agg, collected: Vec::new(), rows_in: 0, rows_out: 0 })
+    }
+
+    /// Rows seen / rows surviving the filter so far.
+    pub fn row_counts(&self) -> (u64, u64) {
+        (self.rows_in, self.rows_out)
+    }
+
+    /// Approximate memory footprint of retained state, for OOM modelling.
+    pub fn approx_state_bytes(&self) -> usize {
+        let agg = self.agg.as_ref().map_or(0, GroupedAggState::approx_bytes);
+        let collected: usize =
+            self.collected.iter().map(|b| b.num_rows() * b.num_columns() * 8).sum();
+        agg + collected
+    }
+
+    /// Push one input batch through filter → project → terminal.
+    pub fn push(&mut self, batch: &RecordBatch) -> Result<()> {
+        if batch.schema().as_ref() != self.spec.input_schema.as_ref() {
+            return plan_err(format!(
+                "pipeline input schema mismatch: got {}, expected {}",
+                batch.schema(),
+                self.spec.input_schema
+            ));
+        }
+        self.rows_in += batch.num_rows() as u64;
+        let filtered = match &self.spec.predicate {
+            Some(p) => {
+                let mask = eval::evaluate_mask(p, batch)?;
+                batch.filter(&mask)?
+            }
+            None => batch.clone(),
+        };
+        self.rows_out += filtered.num_rows() as u64;
+        if filtered.num_rows() == 0 {
+            return Ok(());
+        }
+        let projected = match &self.spec.projection {
+            Some(exprs) => {
+                crate::physical::project_batch(&filtered, exprs, &self.mid_schema)?
+            }
+            None => filtered,
+        };
+        match (&self.spec.terminal, &mut self.agg) {
+            (Terminal::PartialAggregate { group_by, aggs }, Some(state)) => {
+                let (gcols, acols) = eval_agg_inputs(group_by, aggs, &projected)?;
+                state.update_batch(&gcols, &acols, projected.num_rows())?;
+            }
+            (Terminal::Collect, _) => self.collected.push(projected),
+            _ => unreachable!("agg state exists iff terminal is aggregate"),
+        }
+        Ok(())
+    }
+
+    /// Finish and return the fragment output.
+    pub fn finish(self) -> PipelineOutput {
+        match self.agg {
+            Some(state) => PipelineOutput::Aggregate(state),
+            None => PipelineOutput::Batches(self.collected),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agg::AggFunc;
+    use crate::expr::{col, lit_f64, lit_i64};
+    use crate::scalar::Scalar;
+    use crate::types::Field;
+
+    fn input_schema() -> SchemaRef {
+        Schema::arc(vec![
+            Field::new("qty", DataType::Int64),
+            Field::new("price", DataType::Float64),
+            Field::new("grp", DataType::Int64),
+        ])
+    }
+
+    fn batch(qty: Vec<i64>, price: Vec<f64>, grp: Vec<i64>) -> RecordBatch {
+        RecordBatch::new(
+            input_schema(),
+            vec![Column::I64(qty), Column::F64(price), Column::I64(grp)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn filter_project_partial_agg() {
+        let spec = PipelineSpec {
+            input_schema: input_schema(),
+            predicate: Some(col(0).lt(lit_i64(30))),
+            projection: Some(vec![
+                (col(2), "grp".to_string()),
+                (col(1).mul(lit_f64(2.0)), "p2".to_string()),
+            ]),
+            terminal: Terminal::PartialAggregate {
+                group_by: vec![(col(0), "grp".to_string())],
+                aggs: vec![AggExpr::new(AggFunc::Sum, Some(col(1)), "s")],
+            },
+        };
+        let mut p = Pipeline::new(spec).unwrap();
+        p.push(&batch(vec![10, 40, 20], vec![1.0, 2.0, 3.0], vec![1, 1, 2])).unwrap();
+        p.push(&batch(vec![25, 50], vec![4.0, 5.0], vec![2, 2])).unwrap();
+        assert_eq!(p.row_counts(), (5, 3));
+        let PipelineOutput::Aggregate(state) = p.finish() else {
+            panic!("expected aggregate output");
+        };
+        let rows = state.finalize_rows();
+        // grp=1: 2*1.0 = 2.0; grp=2: 2*3.0 + 2*4.0 = 14.0.
+        assert_eq!(rows[0].1[0], Scalar::Float64(2.0));
+        assert_eq!(rows[1].1[0], Scalar::Float64(14.0));
+    }
+
+    #[test]
+    fn collect_terminal_returns_projected_batches() {
+        let spec = PipelineSpec {
+            input_schema: input_schema(),
+            predicate: None,
+            projection: Some(vec![(col(0), "qty".to_string())]),
+            terminal: Terminal::Collect,
+        };
+        let mut p = Pipeline::new(spec).unwrap();
+        p.push(&batch(vec![1, 2], vec![0.0, 0.0], vec![0, 0])).unwrap();
+        let PipelineOutput::Batches(out) = p.finish() else {
+            panic!("expected batches");
+        };
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].num_columns(), 1);
+    }
+
+    #[test]
+    fn schema_mismatch_rejected() {
+        let spec = PipelineSpec {
+            input_schema: input_schema(),
+            predicate: None,
+            projection: None,
+            terminal: Terminal::Collect,
+        };
+        let mut p = Pipeline::new(spec).unwrap();
+        let wrong = RecordBatch::from_columns(&["x"], vec![Column::I64(vec![1])]).unwrap();
+        assert!(p.push(&wrong).is_err());
+    }
+
+    #[test]
+    fn empty_batches_are_cheap() {
+        let spec = PipelineSpec {
+            input_schema: input_schema(),
+            predicate: Some(lit_i64(0).gt(lit_i64(1))), // always false
+            projection: None,
+            terminal: Terminal::Collect,
+        };
+        let mut p = Pipeline::new(spec).unwrap();
+        p.push(&batch(vec![1, 2, 3], vec![1.0, 2.0, 3.0], vec![1, 2, 3])).unwrap();
+        assert_eq!(p.row_counts(), (3, 0));
+        assert_eq!(p.approx_state_bytes(), 0);
+        let PipelineOutput::Batches(out) = p.finish() else {
+            panic!("expected batches");
+        };
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,176 @@
+//! Logical types and schemas.
+
+use std::fmt;
+use std::sync::Arc;
+
+use lambada_format::{ColumnSchema, FileSchema, PhysicalType};
+
+use crate::error::{plan_err, Result};
+
+/// Logical data type. Numeric types map 1:1 onto the file format;
+/// `Boolean` exists only in memory (predicate masks, computed columns).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum DataType {
+    Int64,
+    Float64,
+    Boolean,
+}
+
+impl DataType {
+    pub fn name(self) -> &'static str {
+        match self {
+            DataType::Int64 => "int64",
+            DataType::Float64 => "float64",
+            DataType::Boolean => "boolean",
+        }
+    }
+
+    pub fn is_numeric(self) -> bool {
+        matches!(self, DataType::Int64 | DataType::Float64)
+    }
+
+    pub fn from_physical(p: PhysicalType) -> DataType {
+        match p {
+            PhysicalType::I64 => DataType::Int64,
+            PhysicalType::F64 => DataType::Float64,
+        }
+    }
+
+    pub fn to_physical(self) -> Result<PhysicalType> {
+        match self {
+            DataType::Int64 => Ok(PhysicalType::I64),
+            DataType::Float64 => Ok(PhysicalType::F64),
+            DataType::Boolean => plan_err("boolean columns cannot be stored in files"),
+        }
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A named, typed column in a schema.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Field {
+    pub name: String,
+    pub dtype: DataType,
+}
+
+impl Field {
+    pub fn new(name: impl Into<String>, dtype: DataType) -> Self {
+        Field { name: name.into(), dtype }
+    }
+}
+
+/// An ordered set of fields.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct Schema {
+    pub fields: Vec<Field>,
+}
+
+pub type SchemaRef = Arc<Schema>;
+
+impl Schema {
+    pub fn new(fields: Vec<Field>) -> Self {
+        Schema { fields }
+    }
+
+    pub fn arc(fields: Vec<Field>) -> SchemaRef {
+        Arc::new(Schema::new(fields))
+    }
+
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    pub fn field(&self, i: usize) -> &Field {
+        &self.fields[i]
+    }
+
+    pub fn index_of(&self, name: &str) -> Result<usize> {
+        self.fields
+            .iter()
+            .position(|f| f.name == name)
+            .ok_or_else(|| crate::error::EngineError::UnknownColumn(name.to_string()))
+    }
+
+    /// Sub-schema selecting the given column indices, in order.
+    pub fn project(&self, indices: &[usize]) -> Schema {
+        Schema::new(indices.iter().map(|&i| self.fields[i].clone()).collect())
+    }
+
+    /// Convert from a file schema (all columns numeric).
+    pub fn from_file_schema(fs: &FileSchema) -> Schema {
+        Schema::new(
+            fs.columns
+                .iter()
+                .map(|c| Field::new(c.name.clone(), DataType::from_physical(c.ptype)))
+                .collect(),
+        )
+    }
+
+    /// Convert to a file schema; fails on boolean columns.
+    pub fn to_file_schema(&self) -> Result<FileSchema> {
+        let mut cols = Vec::with_capacity(self.fields.len());
+        for f in &self.fields {
+            cols.push(ColumnSchema::new(f.name.clone(), f.dtype.to_physical()?));
+        }
+        Ok(FileSchema::new(cols))
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, field) in self.fields.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}: {}", field.name, field.dtype)?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_lookup_and_project() {
+        let s = Schema::new(vec![
+            Field::new("a", DataType::Int64),
+            Field::new("b", DataType::Float64),
+            Field::new("c", DataType::Boolean),
+        ]);
+        assert_eq!(s.index_of("b").unwrap(), 1);
+        assert!(s.index_of("zzz").is_err());
+        let p = s.project(&[2, 0]);
+        assert_eq!(p.fields[0].name, "c");
+        assert_eq!(p.fields[1].name, "a");
+    }
+
+    #[test]
+    fn file_schema_conversion() {
+        let s = Schema::new(vec![
+            Field::new("a", DataType::Int64),
+            Field::new("b", DataType::Float64),
+        ]);
+        let fs = s.to_file_schema().unwrap();
+        assert_eq!(Schema::from_file_schema(&fs), s);
+        let with_bool = Schema::new(vec![Field::new("m", DataType::Boolean)]);
+        assert!(with_bool.to_file_schema().is_err());
+    }
+
+    #[test]
+    fn display_formats() {
+        let s = Schema::new(vec![Field::new("a", DataType::Int64)]);
+        assert_eq!(format!("{s}"), "[a: int64]");
+    }
+}

@@ -1,0 +1,227 @@
+//! Minimal binary serialization used for footers, metadata, and the
+//! messages Lambada components exchange through queues.
+//!
+//! Hand-rolled because the workspace deliberately avoids serde *format*
+//! crates; the encoding is little-endian fixed-width primitives plus
+//! LEB128 varints for lengths.
+
+use crate::error::{FormatError, Result};
+
+/// Append-only binary writer.
+#[derive(Default)]
+pub struct BinWriter {
+    buf: Vec<u8>,
+}
+
+impl BinWriter {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn with_capacity(cap: usize) -> Self {
+        BinWriter { buf: Vec::with_capacity(cap) }
+    }
+
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn bool(&mut self, v: bool) {
+        self.buf.push(u8::from(v));
+    }
+
+    /// Unsigned LEB128.
+    pub fn varint(&mut self, mut v: u64) {
+        loop {
+            let byte = (v & 0x7f) as u8;
+            v >>= 7;
+            if v == 0 {
+                self.buf.push(byte);
+                return;
+            }
+            self.buf.push(byte | 0x80);
+        }
+    }
+
+    /// Length-prefixed UTF-8 string.
+    pub fn string(&mut self, s: &str) {
+        self.varint(s.len() as u64);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    /// Length-prefixed raw bytes.
+    pub fn bytes(&mut self, b: &[u8]) {
+        self.varint(b.len() as u64);
+        self.buf.extend_from_slice(b);
+    }
+
+    /// Raw bytes without a length prefix.
+    pub fn raw(&mut self, b: &[u8]) {
+        self.buf.extend_from_slice(b);
+    }
+}
+
+/// Cursor-based binary reader over a byte slice.
+pub struct BinReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> BinReader<'a> {
+    pub fn new(buf: &'a [u8]) -> Self {
+        BinReader { buf, pos: 0 }
+    }
+
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    pub fn is_exhausted(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(FormatError::UnexpectedEof);
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    pub fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub fn u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    pub fn u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    pub fn i64(&mut self) -> Result<i64> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    pub fn f64(&mut self) -> Result<f64> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    pub fn bool(&mut self) -> Result<bool> {
+        Ok(self.u8()? != 0)
+    }
+
+    pub fn varint(&mut self) -> Result<u64> {
+        let mut out: u64 = 0;
+        let mut shift = 0u32;
+        loop {
+            let byte = self.u8()?;
+            if shift >= 64 {
+                return Err(crate::error::corrupt("varint overflow"));
+            }
+            out |= u64::from(byte & 0x7f) << shift;
+            if byte & 0x80 == 0 {
+                return Ok(out);
+            }
+            shift += 7;
+        }
+    }
+
+    pub fn string(&mut self) -> Result<String> {
+        let len = self.varint()? as usize;
+        let raw = self.take(len)?;
+        String::from_utf8(raw.to_vec()).map_err(|_| crate::error::corrupt("invalid UTF-8 string"))
+    }
+
+    pub fn bytes(&mut self) -> Result<&'a [u8]> {
+        let len = self.varint()? as usize;
+        self.take(len)
+    }
+
+    pub fn raw(&mut self, n: usize) -> Result<&'a [u8]> {
+        self.take(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitive_roundtrip() {
+        let mut w = BinWriter::new();
+        w.u8(7);
+        w.u32(0xDEAD_BEEF);
+        w.u64(u64::MAX);
+        w.i64(-42);
+        w.f64(1.5);
+        w.bool(true);
+        w.string("hello");
+        w.bytes(&[1, 2, 3]);
+        let buf = w.into_bytes();
+        let mut r = BinReader::new(&buf);
+        assert_eq!(r.u8().unwrap(), 7);
+        assert_eq!(r.u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.u64().unwrap(), u64::MAX);
+        assert_eq!(r.i64().unwrap(), -42);
+        assert_eq!(r.f64().unwrap(), 1.5);
+        assert!(r.bool().unwrap());
+        assert_eq!(r.string().unwrap(), "hello");
+        assert_eq!(r.bytes().unwrap(), &[1, 2, 3]);
+        assert!(r.is_exhausted());
+    }
+
+    #[test]
+    fn varint_boundaries() {
+        for v in [0u64, 1, 127, 128, 16_383, 16_384, u64::MAX / 2, u64::MAX] {
+            let mut w = BinWriter::new();
+            w.varint(v);
+            let buf = w.into_bytes();
+            let mut r = BinReader::new(&buf);
+            assert_eq!(r.varint().unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn eof_detected() {
+        let mut r = BinReader::new(&[1, 2]);
+        assert_eq!(r.u32().unwrap_err(), FormatError::UnexpectedEof);
+    }
+
+    #[test]
+    fn varint_overflow_rejected() {
+        let buf = [0xFFu8; 11];
+        let mut r = BinReader::new(&buf);
+        assert!(matches!(r.varint().unwrap_err(), FormatError::Corrupt(_)));
+    }
+}

@@ -1,0 +1,73 @@
+//! In-memory column data as stored in files.
+
+use crate::schema::PhysicalType;
+
+/// A decoded column chunk: a typed vector of values.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ColumnData {
+    I64(Vec<i64>),
+    F64(Vec<f64>),
+}
+
+impl ColumnData {
+    pub fn ptype(&self) -> PhysicalType {
+        match self {
+            ColumnData::I64(_) => PhysicalType::I64,
+            ColumnData::F64(_) => PhysicalType::F64,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        match self {
+            ColumnData::I64(v) => v.len(),
+            ColumnData::F64(v) => v.len(),
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Uncompressed plain-encoded size in bytes.
+    pub fn plain_size(&self) -> usize {
+        self.len() * self.ptype().plain_width()
+    }
+
+    pub fn as_i64(&self) -> Option<&[i64]> {
+        match self {
+            ColumnData::I64(v) => Some(v),
+            ColumnData::F64(_) => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<&[f64]> {
+        match self {
+            ColumnData::F64(v) => Some(v),
+            ColumnData::I64(_) => None,
+        }
+    }
+
+    /// Copy of the sub-range `[start, start + len)`.
+    pub fn slice(&self, start: usize, len: usize) -> ColumnData {
+        match self {
+            ColumnData::I64(v) => ColumnData::I64(v[start..start + len].to_vec()),
+            ColumnData::F64(v) => ColumnData::F64(v[start..start + len].to_vec()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        let c = ColumnData::I64(vec![1, 2, 3]);
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.plain_size(), 24);
+        assert_eq!(c.ptype(), PhysicalType::I64);
+        assert_eq!(c.as_i64().unwrap(), &[1, 2, 3]);
+        assert!(c.as_f64().is_none());
+        assert_eq!(c.slice(1, 2), ColumnData::I64(vec![2, 3]));
+    }
+}

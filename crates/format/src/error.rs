@@ -1,0 +1,42 @@
+//! Errors produced while encoding or decoding files.
+
+use std::fmt;
+
+/// Decoding/encoding failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FormatError {
+    /// Input ended before a complete value could be read.
+    UnexpectedEof,
+    /// The file trailer's magic bytes did not match.
+    BadMagic,
+    /// Structurally invalid data with a human-readable description.
+    Corrupt(String),
+    /// A feature tag this version does not understand.
+    Unsupported(String),
+    /// The provided file tail was too short to contain the footer; retry
+    /// with at least this many bytes from the end of the file.
+    TailTooShort(usize),
+}
+
+impl fmt::Display for FormatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FormatError::UnexpectedEof => write!(f, "unexpected end of input"),
+            FormatError::BadMagic => write!(f, "bad magic bytes (not a Lambada columnar file)"),
+            FormatError::Corrupt(msg) => write!(f, "corrupt file: {msg}"),
+            FormatError::Unsupported(msg) => write!(f, "unsupported feature: {msg}"),
+            FormatError::TailTooShort(n) => {
+                write!(f, "file tail too short for footer; need the last {n} bytes")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FormatError {}
+
+pub type Result<T> = std::result::Result<T, FormatError>;
+
+/// Convenience constructor for corruption errors.
+pub fn corrupt(msg: impl Into<String>) -> FormatError {
+    FormatError::Corrupt(msg.into())
+}

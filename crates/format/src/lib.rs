@@ -1,0 +1,52 @@
+//! # lambada-format
+//!
+//! A Parquet-like columnar file format, standing in for Apache Parquet in
+//! the Lambada reproduction. It keeps exactly the structural properties the
+//! paper's scan operator exploits (§4.3.2):
+//!
+//! * data stored as **row groups** of **column chunks**, so projections
+//!   download only the referenced columns;
+//! * per-chunk **light-weight encodings** (plain / RLE / delta) and an
+//!   optional **heavy-weight LZ codec** (the GZIP stand-in) whose
+//!   decompression is CPU-bound;
+//! * a **footer** holding the schema, every chunk's byte range, and
+//!   optional **min/max statistics**, loadable "with a single file read"
+//!   and enabling row-group pruning against pushed-down predicates;
+//! * all reads addressable by byte range, matching S3 ranged GETs.
+//!
+//! Like the paper's prototype, the format is numeric-only (`i64`/`f64`).
+//!
+//! ```
+//! use lambada_format::{
+//!     ColumnData, ColumnSchema, FileSchema, PhysicalType, WriterOptions,
+//!     read_all, write_file,
+//! };
+//!
+//! let schema = FileSchema::new(vec![ColumnSchema::new("x", PhysicalType::I64)]);
+//! let groups = vec![vec![ColumnData::I64(vec![1, 2, 3])]];
+//! let bytes = write_file(schema, &groups, WriterOptions::default()).unwrap();
+//! let (meta, decoded) = read_all(&bytes).unwrap();
+//! assert_eq!(meta.num_rows, 3);
+//! assert_eq!(decoded, groups);
+//! ```
+
+pub mod binio;
+pub mod compress;
+pub mod data;
+pub mod encoding;
+pub mod error;
+pub mod footer;
+pub mod reader;
+pub mod schema;
+pub mod stats;
+pub mod writer;
+
+pub use compress::Compression;
+pub use data::ColumnData;
+pub use encoding::Encoding;
+pub use error::{FormatError, Result};
+pub use footer::{ColumnChunkMeta, FileMeta, RowGroupMeta, MAGIC, TRAILER_LEN};
+pub use reader::{decode_chunk, read_all, read_footer, read_row_group};
+pub use schema::{ColumnSchema, FileSchema, PhysicalType};
+pub use stats::ChunkStats;
+pub use writer::{chunk_rows, write_file, FileWriter, WriterOptions};

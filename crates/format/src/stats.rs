@@ -1,0 +1,121 @@
+//! Per-column-chunk min/max statistics.
+//!
+//! These are the "(optional) min/max statistics" in the file footer that
+//! the scan operator uses to prune row groups against pushed-down
+//! predicates (§4.3.2, Fig 11).
+
+use crate::binio::{BinReader, BinWriter};
+use crate::data::ColumnData;
+use crate::error::{corrupt, Result};
+
+/// Min/max of one column chunk.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ChunkStats {
+    I64 { min: i64, max: i64 },
+    F64 { min: f64, max: f64 },
+}
+
+impl ChunkStats {
+    /// Compute stats for a chunk; `None` for empty chunks. NaNs are ignored
+    /// for f64 bounds (like Parquet, NaN-only chunks get no stats).
+    pub fn compute(data: &ColumnData) -> Option<ChunkStats> {
+        match data {
+            ColumnData::I64(v) => {
+                let mut it = v.iter().copied();
+                let first = it.next()?;
+                let (min, max) = it.fold((first, first), |(lo, hi), x| (lo.min(x), hi.max(x)));
+                Some(ChunkStats::I64 { min, max })
+            }
+            ColumnData::F64(v) => {
+                let mut min = f64::INFINITY;
+                let mut max = f64::NEG_INFINITY;
+                let mut seen = false;
+                for &x in v {
+                    if x.is_nan() {
+                        continue;
+                    }
+                    seen = true;
+                    min = min.min(x);
+                    max = max.max(x);
+                }
+                seen.then_some(ChunkStats::F64 { min, max })
+            }
+        }
+    }
+
+    /// Merge two chunk statistics of the same type.
+    pub fn merge(self, other: ChunkStats) -> ChunkStats {
+        match (self, other) {
+            (ChunkStats::I64 { min: a, max: b }, ChunkStats::I64 { min: c, max: d }) => {
+                ChunkStats::I64 { min: a.min(c), max: b.max(d) }
+            }
+            (ChunkStats::F64 { min: a, max: b }, ChunkStats::F64 { min: c, max: d }) => {
+                ChunkStats::F64 { min: a.min(c), max: b.max(d) }
+            }
+            _ => panic!("cannot merge stats of different types"),
+        }
+    }
+
+    pub(crate) fn encode(&self, w: &mut BinWriter) {
+        match self {
+            ChunkStats::I64 { min, max } => {
+                w.u8(0);
+                w.i64(*min);
+                w.i64(*max);
+            }
+            ChunkStats::F64 { min, max } => {
+                w.u8(1);
+                w.f64(*min);
+                w.f64(*max);
+            }
+        }
+    }
+
+    pub(crate) fn decode(r: &mut BinReader<'_>) -> Result<ChunkStats> {
+        match r.u8()? {
+            0 => Ok(ChunkStats::I64 { min: r.i64()?, max: r.i64()? }),
+            1 => Ok(ChunkStats::F64 { min: r.f64()?, max: r.f64()? }),
+            other => Err(corrupt(format!("unknown stats tag {other}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn i64_stats() {
+        let s = ChunkStats::compute(&ColumnData::I64(vec![3, -1, 7])).unwrap();
+        assert_eq!(s, ChunkStats::I64 { min: -1, max: 7 });
+    }
+
+    #[test]
+    fn f64_stats_skip_nan() {
+        let s = ChunkStats::compute(&ColumnData::F64(vec![f64::NAN, 2.0, -5.0])).unwrap();
+        assert_eq!(s, ChunkStats::F64 { min: -5.0, max: 2.0 });
+        assert!(ChunkStats::compute(&ColumnData::F64(vec![f64::NAN])).is_none());
+    }
+
+    #[test]
+    fn empty_has_no_stats() {
+        assert!(ChunkStats::compute(&ColumnData::I64(vec![])).is_none());
+    }
+
+    #[test]
+    fn merge_widens() {
+        let a = ChunkStats::I64 { min: 0, max: 5 };
+        let b = ChunkStats::I64 { min: -2, max: 3 };
+        assert_eq!(a.merge(b), ChunkStats::I64 { min: -2, max: 5 });
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        for s in [ChunkStats::I64 { min: -9, max: 9 }, ChunkStats::F64 { min: 0.25, max: 1e9 }] {
+            let mut w = BinWriter::new();
+            s.encode(&mut w);
+            let buf = w.into_bytes();
+            assert_eq!(ChunkStats::decode(&mut BinReader::new(&buf)).unwrap(), s);
+        }
+    }
+}

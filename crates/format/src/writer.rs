@@ -1,0 +1,225 @@
+//! File writer: assembles row groups of column chunks plus a footer.
+
+use crate::compress::{self, Compression};
+use crate::data::ColumnData;
+use crate::encoding::{self, Encoding};
+use crate::error::{corrupt, Result};
+use crate::footer::{ColumnChunkMeta, FileMeta, RowGroupMeta};
+use crate::schema::FileSchema;
+use crate::stats::ChunkStats;
+
+/// Writer knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct WriterOptions {
+    /// Heavy-weight compression applied after encoding (§4.3.2's GZIP
+    /// stand-in; the paper's dataset uses "standard encoding and GZIP
+    /// compression").
+    pub compression: Compression,
+    /// Force one encoding for all chunks, or pick per chunk heuristically.
+    pub encoding: Option<Encoding>,
+    /// Whether to record min/max statistics.
+    pub write_stats: bool,
+}
+
+impl Default for WriterOptions {
+    fn default() -> Self {
+        WriterOptions { compression: Compression::Lz, encoding: None, write_stats: true }
+    }
+}
+
+/// Streaming writer: feed row groups, then [`FileWriter::finish`].
+pub struct FileWriter {
+    schema: FileSchema,
+    opts: WriterOptions,
+    buf: Vec<u8>,
+    row_groups: Vec<RowGroupMeta>,
+    num_rows: u64,
+}
+
+impl FileWriter {
+    pub fn new(schema: FileSchema, opts: WriterOptions) -> Self {
+        FileWriter { schema, opts, buf: Vec::new(), row_groups: Vec::new(), num_rows: 0 }
+    }
+
+    /// Append one row group. `columns` must match the schema in arity,
+    /// types, and per-column length.
+    pub fn write_row_group(&mut self, columns: &[ColumnData]) -> Result<()> {
+        if columns.len() != self.schema.len() {
+            return Err(corrupt(format!(
+                "row group has {} columns, schema has {}",
+                columns.len(),
+                self.schema.len()
+            )));
+        }
+        let num_rows = columns.first().map_or(0, ColumnData::len) as u64;
+        let mut metas = Vec::with_capacity(columns.len());
+        for (i, col) in columns.iter().enumerate() {
+            let expected = self.schema.column(i).ptype;
+            if col.ptype() != expected {
+                return Err(corrupt(format!(
+                    "column {i} ({}) has type {}, schema says {}",
+                    self.schema.column(i).name,
+                    col.ptype().name(),
+                    expected.name()
+                )));
+            }
+            if col.len() as u64 != num_rows {
+                return Err(corrupt(format!(
+                    "column {i} has {} values, row group has {num_rows} rows",
+                    col.len()
+                )));
+            }
+            let enc = self.opts.encoding.unwrap_or_else(|| encoding::choose_encoding(col));
+            let encoded = encoding::encode(col, enc)?;
+            let stored = compress::apply(&encoded, self.opts.compression);
+            let offset = self.buf.len() as u64;
+            self.buf.extend_from_slice(&stored);
+            metas.push(ColumnChunkMeta {
+                offset,
+                compressed_len: stored.len() as u64,
+                uncompressed_len: encoded.len() as u64,
+                num_values: num_rows,
+                encoding: enc,
+                compression: self.opts.compression,
+                stats: if self.opts.write_stats { ChunkStats::compute(col) } else { None },
+            });
+        }
+        self.num_rows += num_rows;
+        self.row_groups.push(RowGroupMeta { num_rows, columns: metas });
+        Ok(())
+    }
+
+    /// The footer metadata as it stands (useful before finishing).
+    pub fn meta(&self) -> FileMeta {
+        FileMeta {
+            schema: self.schema.clone(),
+            num_rows: self.num_rows,
+            row_groups: self.row_groups.clone(),
+        }
+    }
+
+    /// Finalize: append the footer and return the complete file bytes.
+    pub fn finish(self) -> Vec<u8> {
+        let meta = FileMeta {
+            schema: self.schema,
+            num_rows: self.num_rows,
+            row_groups: self.row_groups,
+        };
+        let mut buf = self.buf;
+        buf.extend(meta.encode_footer());
+        buf
+    }
+}
+
+/// One-shot helper: write `row_groups` (each a full set of columns).
+pub fn write_file(
+    schema: FileSchema,
+    row_groups: &[Vec<ColumnData>],
+    opts: WriterOptions,
+) -> Result<Vec<u8>> {
+    let mut w = FileWriter::new(schema, opts);
+    for rg in row_groups {
+        w.write_row_group(rg)?;
+    }
+    Ok(w.finish())
+}
+
+/// Split columns into row groups of at most `rows_per_group` rows.
+pub fn chunk_rows(columns: &[ColumnData], rows_per_group: usize) -> Vec<Vec<ColumnData>> {
+    assert!(rows_per_group > 0);
+    let total = columns.first().map_or(0, ColumnData::len);
+    let mut out = Vec::new();
+    let mut start = 0;
+    while start < total {
+        let len = rows_per_group.min(total - start);
+        out.push(columns.iter().map(|c| c.slice(start, len)).collect());
+        start += len;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{ColumnSchema, PhysicalType};
+
+    fn schema() -> FileSchema {
+        FileSchema::new(vec![
+            ColumnSchema::new("k", PhysicalType::I64),
+            ColumnSchema::new("v", PhysicalType::F64),
+        ])
+    }
+
+    #[test]
+    fn writes_valid_footer() {
+        let bytes = write_file(
+            schema(),
+            &[vec![ColumnData::I64(vec![1, 2, 3]), ColumnData::F64(vec![0.5, 1.5, 2.5])]],
+            WriterOptions::default(),
+        )
+        .unwrap();
+        let meta = FileMeta::parse_tail(&bytes).unwrap();
+        assert_eq!(meta.num_rows, 3);
+        assert_eq!(meta.row_groups.len(), 1);
+        assert_eq!(
+            meta.row_groups[0].columns[0].stats,
+            Some(ChunkStats::I64 { min: 1, max: 3 })
+        );
+        meta.validate().unwrap();
+    }
+
+    #[test]
+    fn rejects_type_mismatch() {
+        let mut w = FileWriter::new(schema(), WriterOptions::default());
+        let err = w
+            .write_row_group(&[ColumnData::F64(vec![1.0]), ColumnData::F64(vec![1.0])])
+            .unwrap_err();
+        assert!(err.to_string().contains("type"));
+    }
+
+    #[test]
+    fn rejects_ragged_columns() {
+        let mut w = FileWriter::new(schema(), WriterOptions::default());
+        let err = w
+            .write_row_group(&[ColumnData::I64(vec![1, 2]), ColumnData::F64(vec![1.0])])
+            .unwrap_err();
+        assert!(err.to_string().contains("values"));
+    }
+
+    #[test]
+    fn rejects_wrong_arity() {
+        let mut w = FileWriter::new(schema(), WriterOptions::default());
+        assert!(w.write_row_group(&[ColumnData::I64(vec![1])]).is_err());
+    }
+
+    #[test]
+    fn chunk_rows_splits_evenly_with_remainder() {
+        let cols = vec![ColumnData::I64((0..10).collect())];
+        let groups = chunk_rows(&cols, 4);
+        assert_eq!(groups.len(), 3);
+        assert_eq!(groups[0][0].len(), 4);
+        assert_eq!(groups[2][0].len(), 2);
+    }
+
+    #[test]
+    fn forced_encoding_is_respected() {
+        let opts = WriterOptions {
+            encoding: Some(Encoding::Plain),
+            compression: Compression::None,
+            write_stats: false,
+        };
+        let bytes = write_file(
+            schema(),
+            &[vec![ColumnData::I64(vec![7; 100]), ColumnData::F64(vec![1.0; 100])]],
+            opts,
+        )
+        .unwrap();
+        let meta = FileMeta::parse_tail(&bytes).unwrap();
+        for c in &meta.row_groups[0].columns {
+            assert_eq!(c.encoding, Encoding::Plain);
+            assert_eq!(c.compression, Compression::None);
+            assert!(c.stats.is_none());
+            assert_eq!(c.compressed_len, 800);
+        }
+    }
+}

@@ -1,0 +1,120 @@
+//! Property tests: encodings, compression, and whole files round-trip for
+//! arbitrary data; statistics always bound the data they describe.
+
+use proptest::prelude::*;
+
+use lambada_format::{
+    compress, encoding, read_all, write_file, ChunkStats, ColumnData, ColumnSchema, Compression,
+    Encoding, FileSchema, PhysicalType, WriterOptions,
+};
+
+fn arb_i64_column() -> impl Strategy<Value = Vec<i64>> {
+    prop_oneof![
+        prop::collection::vec(any::<i64>(), 0..200),
+        // Run-heavy data (exercises RLE).
+        prop::collection::vec(-3i64..3, 0..200),
+        // Sorted data (exercises delta).
+        prop::collection::vec(any::<i32>(), 0..200).prop_map(|mut v| {
+            v.sort_unstable();
+            v.into_iter().map(i64::from).collect()
+        }),
+    ]
+}
+
+fn arb_f64_column() -> impl Strategy<Value = Vec<f64>> {
+    prop_oneof![
+        prop::collection::vec(any::<f64>(), 0..200),
+        prop::collection::vec((-100i32..100).prop_map(|x| f64::from(x) * 0.25), 0..200),
+    ]
+}
+
+fn bits_equal(a: &ColumnData, b: &ColumnData) -> bool {
+    match (a, b) {
+        (ColumnData::I64(x), ColumnData::I64(y)) => x == y,
+        (ColumnData::F64(x), ColumnData::F64(y)) => {
+            x.len() == y.len()
+                && x.iter().zip(y.iter()).all(|(a, b)| a.to_bits() == b.to_bits())
+        }
+        _ => false,
+    }
+}
+
+proptest! {
+    #[test]
+    fn i64_encodings_roundtrip(v in arb_i64_column()) {
+        let data = ColumnData::I64(v);
+        for enc in [Encoding::Plain, Encoding::Rle, Encoding::Delta] {
+            let bytes = encoding::encode(&data, enc).unwrap();
+            let got = encoding::decode(&bytes, enc, PhysicalType::I64, data.len()).unwrap();
+            prop_assert!(bits_equal(&got, &data));
+        }
+    }
+
+    #[test]
+    fn f64_encodings_roundtrip(v in arb_f64_column()) {
+        let data = ColumnData::F64(v);
+        for enc in [Encoding::Plain, Encoding::Rle] {
+            let bytes = encoding::encode(&data, enc).unwrap();
+            let got = encoding::decode(&bytes, enc, PhysicalType::F64, data.len()).unwrap();
+            prop_assert!(bits_equal(&got, &data));
+        }
+    }
+
+    #[test]
+    fn lz_roundtrips(data in prop::collection::vec(any::<u8>(), 0..4096)) {
+        let c = compress::compress(&data);
+        let d = compress::decompress(&c, data.len()).unwrap();
+        prop_assert_eq!(d, data);
+    }
+
+    #[test]
+    fn lz_roundtrips_repetitive(
+        pattern in prop::collection::vec(any::<u8>(), 1..16),
+        reps in 1usize..400,
+    ) {
+        let data: Vec<u8> = pattern.iter().copied().cycle().take(pattern.len() * reps).collect();
+        let c = compress::compress(&data);
+        let d = compress::decompress(&c, data.len()).unwrap();
+        prop_assert_eq!(d, data);
+    }
+
+    #[test]
+    fn stats_bound_values(v in prop::collection::vec(any::<i64>(), 1..200)) {
+        let data = ColumnData::I64(v.clone());
+        let Some(ChunkStats::I64 { min, max }) = ChunkStats::compute(&data) else {
+            return Err(TestCaseError::fail("expected i64 stats"));
+        };
+        for x in v {
+            prop_assert!(min <= x && x <= max);
+        }
+    }
+
+    #[test]
+    fn whole_file_roundtrips(
+        ints in arb_i64_column(),
+        group_rows in 1usize..64,
+        lz in any::<bool>(),
+    ) {
+        let n = ints.len();
+        let floats: Vec<f64> = (0..n).map(|i| i as f64 * 0.5 - 3.0).collect();
+        let schema = FileSchema::new(vec![
+            ColumnSchema::new("a", PhysicalType::I64),
+            ColumnSchema::new("b", PhysicalType::F64),
+        ]);
+        let cols = vec![ColumnData::I64(ints), ColumnData::F64(floats)];
+        let groups = lambada_format::chunk_rows(&cols, group_rows);
+        let opts = WriterOptions {
+            compression: if lz { Compression::Lz } else { Compression::None },
+            ..WriterOptions::default()
+        };
+        let bytes = write_file(schema, &groups, opts).unwrap();
+        let (meta, got) = read_all(&bytes).unwrap();
+        prop_assert_eq!(meta.num_rows as usize, n);
+        prop_assert_eq!(got.len(), groups.len());
+        for (g, e) in got.iter().zip(groups.iter()) {
+            for (gc, ec) in g.iter().zip(e.iter()) {
+                prop_assert!(bits_equal(gc, ec));
+            }
+        }
+    }
+}

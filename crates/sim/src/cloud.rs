@@ -1,0 +1,174 @@
+//! The assembled cloud: every serverless service sharing one clock, one
+//! billing ledger, one trace, and one seeded RNG tree.
+
+use std::rc::Rc;
+use std::time::Duration;
+
+use crate::billing::{Billing, Prices};
+use crate::executor::{SimHandle, Simulation};
+use crate::region::Region;
+use crate::resource::{BurstLink, BurstLinkConfig};
+use crate::rng::SimRng;
+use crate::services::faas::{FaasCaller, FaasConfig, FaasService, Instance, NicModel};
+use crate::services::kv::{KvClient, KvConfig, KvService};
+use crate::services::object_store::{ObjectStore, S3Client, S3Config};
+use crate::services::queue::{QueueService, SqsClient, SqsConfig};
+use crate::trace::Trace;
+
+/// Full configuration of a simulated cloud environment.
+#[derive(Clone, Debug)]
+pub struct CloudConfig {
+    pub region: Region,
+    pub seed: u64,
+    pub prices: Prices,
+    pub faas: FaasConfig,
+    pub nic: NicModel,
+    pub s3: S3Config,
+    pub sqs: SqsConfig,
+    pub kv: KvConfig,
+    /// Driver machine's WAN bandwidth in bytes/s (1 Gbps by default; the
+    /// driver only ships plans and collects small results).
+    pub driver_bandwidth: f64,
+}
+
+impl Default for CloudConfig {
+    fn default() -> Self {
+        CloudConfig {
+            region: Region::Eu,
+            seed: 0xDA7A,
+            prices: Prices::default(),
+            faas: FaasConfig::default(),
+            nic: NicModel::default(),
+            s3: S3Config::default(),
+            sqs: SqsConfig::default(),
+            kv: KvConfig::default(),
+            driver_bandwidth: 125e6,
+        }
+    }
+}
+
+/// Handle bundle to all simulated services.
+#[derive(Clone)]
+pub struct Cloud {
+    pub handle: SimHandle,
+    pub config: Rc<CloudConfig>,
+    pub billing: Billing,
+    pub trace: Trace,
+    pub rng: SimRng,
+    pub s3: ObjectStore,
+    pub faas: FaasService,
+    pub sqs: QueueService,
+    pub kv: KvService,
+    driver_link: BurstLink,
+}
+
+impl Cloud {
+    pub fn new(sim: &Simulation, config: CloudConfig) -> Cloud {
+        let handle = sim.handle();
+        let billing = Billing::new(config.prices);
+        let trace = Trace::new();
+        let rng = SimRng::new(config.seed);
+        let s3 = ObjectStore::new(handle.clone(), config.s3.clone(), billing.clone(), rng.fork());
+        let faas = FaasService::new(
+            handle.clone(),
+            config.faas.clone(),
+            config.nic.clone(),
+            billing.clone(),
+            rng.fork(),
+            trace.clone(),
+        );
+        let sqs = QueueService::new(handle.clone(), config.sqs.clone(), billing.clone(), rng.fork());
+        let kv = KvService::new(handle.clone(), config.kv.clone(), billing.clone(), rng.fork());
+        let driver_link =
+            BurstLink::new(handle.clone(), BurstLinkConfig::flat(config.driver_bandwidth));
+        Cloud {
+            handle,
+            config: Rc::new(config),
+            billing,
+            trace,
+            rng,
+            s3,
+            faas,
+            sqs,
+            kv,
+            driver_link,
+        }
+    }
+
+    /// Region the driver talks to.
+    pub fn region(&self) -> Region {
+        self.config.region
+    }
+
+    /// S3 access from the driver's machine: WAN latency, driver bandwidth.
+    pub fn driver_s3(&self) -> S3Client {
+        self.s3.client(self.driver_link.clone(), self.config.region.driver_rtt())
+    }
+
+    /// SQS access from the driver's machine.
+    pub fn driver_sqs(&self) -> SqsClient {
+        self.sqs.client(self.config.region.driver_rtt())
+    }
+
+    /// KV access from the driver's machine.
+    pub fn driver_kv(&self) -> KvClient {
+        self.kv.client(self.config.region.driver_rtt())
+    }
+
+    /// An invocation caller with the driver's Table-1 profile.
+    pub fn driver_invoker(&self) -> FaasCaller {
+        self.faas.driver_caller(self.config.region)
+    }
+
+    /// An invocation caller for one worker inside the region. Each worker
+    /// that spawns second-generation workers should get its own.
+    pub fn worker_invoker(&self) -> FaasCaller {
+        self.faas.worker_caller(self.config.region)
+    }
+
+    /// S3 access from inside a function instance: no WAN latency, the
+    /// instance's traffic-shaped NIC.
+    pub fn instance_s3(&self, instance: &Rc<Instance>) -> S3Client {
+        self.s3.client(instance.link.clone(), Duration::ZERO)
+    }
+
+    /// SQS access from inside a function instance.
+    pub fn instance_sqs(&self) -> SqsClient {
+        self.sqs.client(Duration::ZERO)
+    }
+
+    /// KV access from inside a function instance.
+    pub fn instance_kv(&self) -> KvClient {
+        self.kv.client(Duration::ZERO)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::billing::CostItem;
+    use crate::services::object_store::Body;
+
+    #[test]
+    fn cloud_wires_shared_billing() {
+        let sim = Simulation::new();
+        let cloud = Cloud::new(&sim, CloudConfig::default());
+        cloud.s3.create_bucket("b");
+        cloud.sqs.create_queue("q");
+        let cloud2 = cloud.clone();
+        sim.block_on(async move {
+            cloud2.driver_s3().put("b", "k", Body::Synthetic(10)).await.unwrap();
+            cloud2.driver_sqs().send("q", vec![1]).await.unwrap();
+        });
+        assert_eq!(cloud.billing.units(CostItem::S3Put), 1.0);
+        assert_eq!(cloud.billing.units(CostItem::SqsRequests), 1.0);
+    }
+
+    #[test]
+    fn default_config_is_eu_with_paper_prices() {
+        let cfg = CloudConfig::default();
+        assert_eq!(cfg.region, Region::Eu);
+        assert!((cfg.prices.lambda_gib_second - 1.65e-5).abs() < 1e-12);
+        assert_eq!(cfg.faas.account_concurrency, 1000);
+    }
+}

@@ -1,0 +1,437 @@
+//! A single-threaded, deterministic async executor driven by virtual time.
+//!
+//! Futures model cloud entities (the driver, serverless workers, background
+//! drainers). Nothing ever blocks a real thread: awaiting [`Sleep`] registers
+//! a timer in virtual time, and when no task is runnable the executor jumps
+//! the clock to the earliest pending timer. Identical inputs (and seeds)
+//! therefore produce byte-identical schedules, traces, and bills.
+
+use std::cell::{Cell, RefCell};
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::sync::{Arc, Mutex};
+use std::task::{Context, Poll, Wake, Waker};
+use std::time::Duration;
+
+use crate::sync::oneshot;
+use crate::time::SimTime;
+
+type LocalFuture = Pin<Box<dyn Future<Output = ()>>>;
+
+/// Queue of task ids that are ready to be polled. Shared with wakers, which
+/// must be `Send + Sync` per the `Waker` contract even though the executor
+/// itself is single-threaded.
+#[derive(Default)]
+struct ReadyQueue {
+    queue: Mutex<VecDeque<u64>>,
+}
+
+impl ReadyQueue {
+    fn push(&self, id: u64) {
+        self.queue.lock().expect("ready queue poisoned").push_back(id);
+    }
+
+    fn pop(&self) -> Option<u64> {
+        self.queue.lock().expect("ready queue poisoned").pop_front()
+    }
+}
+
+struct TaskWaker {
+    id: u64,
+    ready: Arc<ReadyQueue>,
+}
+
+impl Wake for TaskWaker {
+    fn wake(self: Arc<Self>) {
+        self.ready.push(self.id);
+    }
+
+    fn wake_by_ref(self: &Arc<Self>) {
+        self.ready.push(self.id);
+    }
+}
+
+struct RootWaker {
+    flag: Mutex<bool>,
+}
+
+impl Wake for RootWaker {
+    fn wake(self: Arc<Self>) {
+        *self.flag.lock().expect("root flag poisoned") = true;
+    }
+
+    fn wake_by_ref(self: &Arc<Self>) {
+        *self.flag.lock().expect("root flag poisoned") = true;
+    }
+}
+
+struct TimerEntry {
+    deadline: SimTime,
+    seq: u64,
+    waker: Waker,
+}
+
+impl PartialEq for TimerEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.deadline == other.deadline && self.seq == other.seq
+    }
+}
+
+impl Eq for TimerEntry {}
+
+impl PartialOrd for TimerEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for TimerEntry {
+    // Reversed so that `BinaryHeap` (a max-heap) pops the earliest deadline;
+    // ties break by registration order for determinism.
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (other.deadline, other.seq).cmp(&(self.deadline, self.seq))
+    }
+}
+
+pub(crate) struct Inner {
+    now: Cell<SimTime>,
+    next_task: Cell<u64>,
+    timer_seq: Cell<u64>,
+    tasks: RefCell<HashMap<u64, LocalFuture>>,
+    ready: Arc<ReadyQueue>,
+    timers: RefCell<BinaryHeap<TimerEntry>>,
+    steps: Cell<u64>,
+}
+
+impl Inner {
+    fn register_timer(&self, deadline: SimTime, waker: Waker) {
+        let seq = self.timer_seq.get();
+        self.timer_seq.set(seq + 1);
+        self.timers.borrow_mut().push(TimerEntry { deadline, seq, waker });
+    }
+}
+
+/// Owns the virtual clock, the task set, and the timer heap.
+///
+/// Create one per experiment, [`spawn`](SimHandle::spawn) entity tasks via a
+/// [`SimHandle`], and drive everything with [`Simulation::block_on`].
+pub struct Simulation {
+    inner: Rc<Inner>,
+}
+
+impl Default for Simulation {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Simulation {
+    pub fn new() -> Self {
+        Simulation {
+            inner: Rc::new(Inner {
+                now: Cell::new(SimTime::ZERO),
+                next_task: Cell::new(0),
+                timer_seq: Cell::new(0),
+                tasks: RefCell::new(HashMap::new()),
+                ready: Arc::new(ReadyQueue::default()),
+                timers: RefCell::new(BinaryHeap::new()),
+                steps: Cell::new(0),
+            }),
+        }
+    }
+
+    /// A cloneable handle for spawning tasks and reading the clock.
+    pub fn handle(&self) -> SimHandle {
+        SimHandle { inner: Rc::clone(&self.inner) }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.inner.now.get()
+    }
+
+    /// Total number of task polls performed so far (for diagnostics).
+    pub fn steps(&self) -> u64 {
+        self.inner.steps.get()
+    }
+
+    /// Drive the simulation until `root` completes, advancing virtual time
+    /// as needed. Spawned tasks that are still pending when `root` finishes
+    /// are left in place (and dropped with the simulation).
+    ///
+    /// Panics on deadlock: no runnable task, no pending timer, root pending.
+    pub fn block_on<F: Future>(&self, root: F) -> F::Output {
+        let mut root = Box::pin(root);
+        let root_flag = Arc::new(RootWaker { flag: Mutex::new(true) });
+        let root_waker = Waker::from(Arc::clone(&root_flag));
+
+        loop {
+            // Poll the root future whenever it has been woken.
+            let root_ready = {
+                let mut flag = root_flag.flag.lock().expect("root flag poisoned");
+                std::mem::take(&mut *flag)
+            };
+            if root_ready {
+                self.inner.steps.set(self.inner.steps.get() + 1);
+                let mut cx = Context::from_waker(&root_waker);
+                if let Poll::Ready(out) = root.as_mut().poll(&mut cx) {
+                    return out;
+                }
+                // The poll may have re-woken the root (e.g. `yield_now`);
+                // re-check the flag before looking at timers.
+                continue;
+            }
+
+            // Drain one ready task, then re-check the root.
+            if let Some(id) = self.inner.ready.pop() {
+                self.poll_task(id);
+                continue;
+            }
+
+            // Nothing runnable: advance virtual time to the next timer.
+            let entry = self.inner.timers.borrow_mut().pop();
+            match entry {
+                Some(entry) => {
+                    debug_assert!(entry.deadline >= self.inner.now.get());
+                    if entry.deadline > self.inner.now.get() {
+                        self.inner.now.set(entry.deadline);
+                    }
+                    entry.waker.wake();
+                }
+                None => panic!(
+                    "simulation deadlock at {}: {} task(s) pending but no timer is set",
+                    self.inner.now.get(),
+                    self.inner.tasks.borrow().len(),
+                ),
+            }
+        }
+    }
+
+    fn poll_task(&self, id: u64) {
+        // Remove the future while polling so the task can re-entrantly spawn
+        // or wake other tasks without aliasing the task map.
+        let fut = self.inner.tasks.borrow_mut().remove(&id);
+        let Some(mut fut) = fut else {
+            return; // stale wake for a completed task
+        };
+        self.inner.steps.set(self.inner.steps.get() + 1);
+        let waker = Waker::from(Arc::new(TaskWaker { id, ready: Arc::clone(&self.inner.ready) }));
+        let mut cx = Context::from_waker(&waker);
+        if fut.as_mut().poll(&mut cx).is_pending() {
+            self.inner.tasks.borrow_mut().insert(id, fut);
+        }
+    }
+}
+
+impl Drop for Simulation {
+    fn drop(&mut self) {
+        // Task futures frequently capture `SimHandle`s (an `Rc` back to
+        // `Inner`); clearing them here breaks those cycles.
+        self.inner.tasks.borrow_mut().clear();
+        self.inner.timers.borrow_mut().clear();
+    }
+}
+
+/// Cheap, cloneable access to the executor from inside tasks.
+#[derive(Clone)]
+pub struct SimHandle {
+    inner: Rc<Inner>,
+}
+
+impl SimHandle {
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.inner.now.get()
+    }
+
+    /// Spawn a task. The returned [`JoinHandle`] resolves to the task's
+    /// output; dropping it detaches the task.
+    pub fn spawn<T: 'static>(&self, fut: impl Future<Output = T> + 'static) -> JoinHandle<T> {
+        let (tx, rx) = oneshot::channel();
+        let id = self.inner.next_task.get();
+        self.inner.next_task.set(id + 1);
+        let wrapped: LocalFuture = Box::pin(async move {
+            let out = fut.await;
+            let _ = tx.send(out);
+        });
+        self.inner.tasks.borrow_mut().insert(id, wrapped);
+        self.inner.ready.push(id);
+        JoinHandle { rx }
+    }
+
+    /// Sleep for `dur` of virtual time.
+    pub fn sleep(&self, dur: Duration) -> Sleep {
+        self.sleep_until(self.now() + dur)
+    }
+
+    /// Sleep until the given instant (completes immediately if in the past).
+    pub fn sleep_until(&self, deadline: SimTime) -> Sleep {
+        Sleep { deadline, inner: Rc::clone(&self.inner), registered: false }
+    }
+
+    /// Yield to other ready tasks without advancing time.
+    pub fn yield_now(&self) -> YieldNow {
+        YieldNow { yielded: false }
+    }
+}
+
+/// Future returned by [`SimHandle::sleep`].
+pub struct Sleep {
+    deadline: SimTime,
+    inner: Rc<Inner>,
+    registered: bool,
+}
+
+impl Future for Sleep {
+    type Output = ();
+
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        if self.inner.now.get() >= self.deadline {
+            return Poll::Ready(());
+        }
+        if !self.registered {
+            self.inner.register_timer(self.deadline, cx.waker().clone());
+            self.registered = true;
+        }
+        Poll::Pending
+    }
+}
+
+/// Future returned by [`SimHandle::yield_now`].
+pub struct YieldNow {
+    yielded: bool,
+}
+
+impl Future for YieldNow {
+    type Output = ();
+
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        if self.yielded {
+            Poll::Ready(())
+        } else {
+            self.yielded = true;
+            cx.waker().wake_by_ref();
+            Poll::Pending
+        }
+    }
+}
+
+/// Handle to a spawned task's result.
+pub struct JoinHandle<T> {
+    rx: oneshot::Receiver<T>,
+}
+
+impl<T> Future for JoinHandle<T> {
+    type Output = T;
+
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<T> {
+        match Pin::new(&mut self.rx).poll(cx) {
+            Poll::Ready(Ok(v)) => Poll::Ready(v),
+            Poll::Ready(Err(_)) => panic!("spawned task dropped without completing"),
+            Poll::Pending => Poll::Pending,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::secs;
+    use std::cell::RefCell;
+
+    #[test]
+    fn sleep_advances_virtual_time() {
+        let sim = Simulation::new();
+        let h = sim.handle();
+        let out = sim.block_on(async move {
+            let start = h.now();
+            h.sleep(secs(5.0)).await;
+            (h.now() - start).as_secs_f64()
+        });
+        assert_eq!(out, 5.0);
+    }
+
+    #[test]
+    fn spawned_tasks_interleave_deterministically() {
+        let sim = Simulation::new();
+        let h = sim.handle();
+        let log: Rc<RefCell<Vec<(u32, f64)>>> = Rc::default();
+        let out = sim.block_on({
+            let h2 = h.clone();
+            let log = Rc::clone(&log);
+            async move {
+                let mut joins = Vec::new();
+                for i in 0..3u32 {
+                    let h3 = h2.clone();
+                    let log = Rc::clone(&log);
+                    joins.push(h2.spawn(async move {
+                        h3.sleep(secs(f64::from(3 - i))).await;
+                        log.borrow_mut().push((i, h3.now().as_secs_f64()));
+                    }));
+                }
+                for j in joins {
+                    j.await;
+                }
+                log.borrow().clone()
+            }
+        });
+        assert_eq!(out, vec![(2, 1.0), (1, 2.0), (0, 3.0)]);
+    }
+
+    #[test]
+    fn join_handle_returns_value() {
+        let sim = Simulation::new();
+        let h = sim.handle();
+        let v = sim.block_on(async move {
+            let jh = h.spawn(async { 41 + 1 });
+            jh.await
+        });
+        assert_eq!(v, 42);
+    }
+
+    #[test]
+    fn same_deadline_fires_in_registration_order() {
+        let sim = Simulation::new();
+        let h = sim.handle();
+        let order: Rc<RefCell<Vec<u32>>> = Rc::default();
+        sim.block_on({
+            let h2 = h.clone();
+            let order = Rc::clone(&order);
+            async move {
+                let mut joins = Vec::new();
+                for i in 0..4u32 {
+                    let h3 = h2.clone();
+                    let order = Rc::clone(&order);
+                    joins.push(h2.spawn(async move {
+                        h3.sleep(secs(1.0)).await;
+                        order.borrow_mut().push(i);
+                    }));
+                }
+                for j in joins {
+                    j.await;
+                }
+            }
+        });
+        assert_eq!(*order.borrow(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "deadlock")]
+    fn deadlock_panics() {
+        let sim = Simulation::new();
+        sim.block_on(std::future::pending::<()>());
+    }
+
+    #[test]
+    fn yield_now_runs_other_tasks_at_same_instant() {
+        let sim = Simulation::new();
+        let h = sim.handle();
+        let t = sim.block_on(async move {
+            h.yield_now().await;
+            h.now()
+        });
+        assert_eq!(t, SimTime::ZERO);
+    }
+}

@@ -1,0 +1,114 @@
+//! Region model: where the driver sits relative to the data center.
+//!
+//! Table 1 of the paper measures invocation characteristics from Zurich to
+//! four AWS regions. The constants here are calibrated to that table.
+
+use std::time::Duration;
+
+/// AWS regions as measured in Table 1 (from the authors' location in
+/// Zurich, Switzerland).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Region {
+    /// eu (Frankfurt): 36 ms single invocation.
+    Eu,
+    /// us (N. Virginia): 363 ms.
+    Us,
+    /// sa (São Paulo): 474 ms.
+    Sa,
+    /// ap (Sydney): 536 ms.
+    Ap,
+}
+
+impl Region {
+    pub const ALL: [Region; 4] = [Region::Eu, Region::Us, Region::Sa, Region::Ap];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Region::Eu => "eu",
+            Region::Us => "us",
+            Region::Sa => "sa",
+            Region::Ap => "ap",
+        }
+    }
+
+    /// Latency of a single Lambda `Invoke` API call from the driver's
+    /// machine (Table 1, row 1).
+    pub fn single_invocation(self) -> Duration {
+        match self {
+            Region::Eu => Duration::from_millis(36),
+            Region::Us => Duration::from_millis(363),
+            Region::Sa => Duration::from_millis(474),
+            Region::Ap => Duration::from_millis(536),
+        }
+    }
+
+    /// Sustained invocation rate achievable from the driver with 128
+    /// concurrent requester threads (Table 1, row 2), in invocations/s.
+    pub fn concurrent_invocation_rate(self) -> f64 {
+        match self {
+            Region::Eu => 294.0,
+            Region::Us => 276.0,
+            Region::Sa => 243.0,
+            Region::Ap => 222.0,
+        }
+    }
+
+    /// Invocation rate achievable by a single worker inside the region
+    /// (Table 1, row 3), in invocations/s.
+    pub fn intra_region_rate(self) -> f64 {
+        match self {
+            Region::Eu => 81.0,
+            Region::Us => 79.0,
+            Region::Sa => 84.0,
+            Region::Ap => 81.0,
+        }
+    }
+
+    /// Round-trip latency for non-invoke API calls (S3/SQS) from the
+    /// driver's machine. Approximated as the network share of the single
+    /// invocation latency.
+    pub fn driver_rtt(self) -> Duration {
+        match self {
+            Region::Eu => Duration::from_millis(20),
+            Region::Us => Duration::from_millis(110),
+            Region::Sa => Duration::from_millis(210),
+            Region::Ap => Duration::from_millis(290),
+        }
+    }
+
+    /// Latency of an invoke call made from *inside* the region (one worker
+    /// spawning another, §4.2). Derived from Table 1 row 3 assuming the
+    /// worker drives the invocations from a small thread pool.
+    pub fn intra_invocation(self) -> Duration {
+        // With `INTRA_INVOKER_THREADS` threads, rate = threads / latency.
+        let rate = self.intra_region_rate();
+        Duration::from_secs_f64(INTRA_INVOKER_THREADS as f64 / rate)
+    }
+}
+
+/// Threads the driver uses to push invocations (§4.2: "128 threads").
+pub const DRIVER_INVOKER_THREADS: usize = 128;
+
+/// Threads a first-generation worker uses for second-generation invocations.
+pub const INTRA_INVOKER_THREADS: usize = 16;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_values() {
+        assert_eq!(Region::Eu.single_invocation(), Duration::from_millis(36));
+        assert_eq!(Region::Ap.concurrent_invocation_rate(), 222.0);
+        assert_eq!(Region::Sa.intra_region_rate(), 84.0);
+    }
+
+    #[test]
+    fn intra_invocation_latency_matches_rate() {
+        for r in Region::ALL {
+            let lat = r.intra_invocation().as_secs_f64();
+            let rate = INTRA_INVOKER_THREADS as f64 / lat;
+            assert!((rate - r.intra_region_rate()).abs() < 1.0);
+        }
+    }
+}

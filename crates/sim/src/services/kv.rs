@@ -1,0 +1,208 @@
+//! DynamoDB-like key-value store, used for small coordination metadata
+//! (§3.1: "the key-value store AWS DynamoDB for small amounts of data").
+
+use std::cell::RefCell;
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::rc::Rc;
+use std::time::Duration;
+
+use crate::billing::{Billing, CostItem};
+use crate::executor::SimHandle;
+use crate::rng::SimRng;
+
+/// KV service parameters.
+#[derive(Clone, Debug)]
+pub struct KvConfig {
+    /// Median request latency (single-digit milliseconds on DynamoDB).
+    pub latency_median: Duration,
+    /// Log-normal sigma on request latency.
+    pub latency_sigma: f64,
+    /// Item size covered by one request unit (1 KiB writes, 4 KiB reads).
+    pub write_unit_bytes: u64,
+    pub read_unit_bytes: u64,
+}
+
+impl Default for KvConfig {
+    fn default() -> Self {
+        KvConfig {
+            latency_median: Duration::from_millis(5),
+            latency_sigma: 0.2,
+            write_unit_bytes: 1024,
+            read_unit_bytes: 4096,
+        }
+    }
+}
+
+/// Errors surfaced by the KV service.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum KvError {
+    NoSuchTable(String),
+}
+
+impl fmt::Display for KvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KvError::NoSuchTable(t) => write!(f, "no such table: {t}"),
+        }
+    }
+}
+
+impl std::error::Error for KvError {}
+
+type Table = Rc<RefCell<BTreeMap<String, Vec<u8>>>>;
+
+/// The shared KV service.
+#[derive(Clone)]
+pub struct KvService {
+    st: Rc<RefCell<HashMap<String, Table>>>,
+    cfg: Rc<KvConfig>,
+    handle: SimHandle,
+    billing: Billing,
+    rng: SimRng,
+}
+
+impl KvService {
+    pub fn new(handle: SimHandle, cfg: KvConfig, billing: Billing, rng: SimRng) -> Self {
+        KvService {
+            st: Rc::new(RefCell::new(HashMap::new())),
+            cfg: Rc::new(cfg),
+            handle,
+            billing,
+            rng,
+        }
+    }
+
+    /// Create a table (idempotent, free — installation time).
+    pub fn create_table(&self, name: &str) {
+        self.st.borrow_mut().entry(name.to_string()).or_default();
+    }
+
+    /// Number of items in a table.
+    pub fn table_len(&self, name: &str) -> usize {
+        self.st.borrow().get(name).map(|t| t.borrow().len()).unwrap_or(0)
+    }
+
+    /// A per-caller client with extra request latency.
+    pub fn client(&self, extra_latency: Duration) -> KvClient {
+        KvClient { svc: self.clone(), extra_latency }
+    }
+
+    fn table(&self, name: &str) -> Result<Table, KvError> {
+        self.st
+            .borrow()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| KvError::NoSuchTable(name.to_string()))
+    }
+
+    fn latency(&self) -> Duration {
+        Duration::from_secs_f64(
+            self.rng.lognormal(self.cfg.latency_median.as_secs_f64(), self.cfg.latency_sigma),
+        )
+    }
+}
+
+/// Per-caller KV access.
+#[derive(Clone)]
+pub struct KvClient {
+    svc: KvService,
+    extra_latency: Duration,
+}
+
+impl KvClient {
+    /// Put an item; billed in write units of item size.
+    pub async fn put(&self, table: &str, key: &str, value: Vec<u8>) -> Result<(), KvError> {
+        let t = self.svc.table(table)?;
+        self.svc.handle.sleep(self.extra_latency + self.svc.latency()).await;
+        let units = (value.len() as u64).max(1).div_ceil(self.svc.cfg.write_unit_bytes) as f64;
+        self.svc.billing.record(CostItem::KvWrites, units);
+        t.borrow_mut().insert(key.to_string(), value);
+        Ok(())
+    }
+
+    /// Get an item; billed in read units (missing items bill one unit).
+    pub async fn get(&self, table: &str, key: &str) -> Result<Option<Vec<u8>>, KvError> {
+        let t = self.svc.table(table)?;
+        self.svc.handle.sleep(self.extra_latency + self.svc.latency()).await;
+        let value = t.borrow().get(key).cloned();
+        let units = match &value {
+            Some(v) => (v.len() as u64).max(1).div_ceil(self.svc.cfg.read_unit_bytes) as f64,
+            None => 1.0,
+        };
+        self.svc.billing.record(CostItem::KvReads, units);
+        Ok(value)
+    }
+
+    /// All items whose key starts with `prefix`. Billed like a read per
+    /// returned item (simplified query pricing).
+    pub async fn query_prefix(
+        &self,
+        table: &str,
+        prefix: &str,
+    ) -> Result<Vec<(String, Vec<u8>)>, KvError> {
+        let t = self.svc.table(table)?;
+        self.svc.handle.sleep(self.extra_latency + self.svc.latency()).await;
+        let out: Vec<(String, Vec<u8>)> = t
+            .borrow()
+            .range(prefix.to_string()..)
+            .take_while(|(k, _)| k.starts_with(prefix))
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect();
+        self.svc.billing.record(CostItem::KvReads, out.len().max(1) as f64);
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::billing::Prices;
+    use crate::executor::Simulation;
+
+    #[test]
+    fn put_get_roundtrip_and_units() {
+        let sim = Simulation::new();
+        let billing = Billing::new(Prices::default());
+        let svc = KvService::new(sim.handle(), KvConfig::default(), billing.clone(), SimRng::new(1));
+        svc.create_table("t");
+        let client = svc.client(Duration::ZERO);
+        let got = sim.block_on(async move {
+            client.put("t", "k", vec![0u8; 2048]).await.unwrap();
+            client.get("t", "k").await.unwrap()
+        });
+        assert_eq!(got.unwrap().len(), 2048);
+        // 2048-byte item = 2 write units, 1 read unit (4 KiB).
+        assert_eq!(billing.units(CostItem::KvWrites), 2.0);
+        assert_eq!(billing.units(CostItem::KvReads), 1.0);
+    }
+
+    #[test]
+    fn query_prefix_returns_sorted_matches() {
+        let sim = Simulation::new();
+        let billing = Billing::new(Prices::default());
+        let svc = KvService::new(sim.handle(), KvConfig::default(), billing, SimRng::new(1));
+        svc.create_table("t");
+        let client = svc.client(Duration::ZERO);
+        let keys = sim.block_on(async move {
+            client.put("t", "a/2", vec![2]).await.unwrap();
+            client.put("t", "a/1", vec![1]).await.unwrap();
+            client.put("t", "b/1", vec![9]).await.unwrap();
+            client.query_prefix("t", "a/").await.unwrap()
+        });
+        assert_eq!(
+            keys.iter().map(|(k, _)| k.as_str()).collect::<Vec<_>>(),
+            vec!["a/1", "a/2"]
+        );
+    }
+
+    #[test]
+    fn missing_table_errors() {
+        let sim = Simulation::new();
+        let billing = Billing::new(Prices::default());
+        let svc = KvService::new(sim.handle(), KvConfig::default(), billing, SimRng::new(1));
+        let client = svc.client(Duration::ZERO);
+        let err = sim.block_on(async move { client.get("nope", "k").await.unwrap_err() });
+        assert_eq!(err, KvError::NoSuchTable("nope".to_string()));
+    }
+}

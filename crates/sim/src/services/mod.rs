@@ -1,0 +1,6 @@
+//! Serverless service models: FaaS, object store, queue, and KV store.
+
+pub mod faas;
+pub mod kv;
+pub mod object_store;
+pub mod queue;

@@ -1,0 +1,263 @@
+//! SQS-like message queue.
+//!
+//! Lambada uses the queue for short messages only: workers post success or
+//! error reports, and the driver polls until it has heard from all workers
+//! (§3.3). Both sends and (possibly empty) receives are billed requests.
+
+use std::cell::RefCell;
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+use std::rc::Rc;
+use std::time::Duration;
+
+use crate::billing::{Billing, CostItem};
+use crate::executor::SimHandle;
+use crate::rng::SimRng;
+use crate::sync::{select2, Notify};
+
+/// Queue service parameters.
+#[derive(Clone, Debug)]
+pub struct SqsConfig {
+    /// Median request latency.
+    pub latency_median: Duration,
+    /// Log-normal sigma on request latency.
+    pub latency_sigma: f64,
+    /// Maximum messages per receive call (10 on AWS).
+    pub max_batch: usize,
+}
+
+impl Default for SqsConfig {
+    fn default() -> Self {
+        SqsConfig {
+            latency_median: Duration::from_millis(10),
+            latency_sigma: 0.2,
+            max_batch: 10,
+        }
+    }
+}
+
+/// Errors surfaced by the queue service.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SqsError {
+    NoSuchQueue(String),
+}
+
+impl fmt::Display for SqsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SqsError::NoSuchQueue(q) => write!(f, "no such queue: {q}"),
+        }
+    }
+}
+
+impl std::error::Error for SqsError {}
+
+struct QueueState {
+    messages: VecDeque<Vec<u8>>,
+    arrivals: Notify,
+}
+
+/// The shared queue service.
+#[derive(Clone)]
+pub struct QueueService {
+    st: Rc<RefCell<HashMap<String, Rc<RefCell<QueueState>>>>>,
+    cfg: Rc<SqsConfig>,
+    handle: SimHandle,
+    billing: Billing,
+    rng: SimRng,
+}
+
+impl QueueService {
+    pub fn new(handle: SimHandle, cfg: SqsConfig, billing: Billing, rng: SimRng) -> Self {
+        QueueService {
+            st: Rc::new(RefCell::new(HashMap::new())),
+            cfg: Rc::new(cfg),
+            handle,
+            billing,
+            rng,
+        }
+    }
+
+    /// Create a queue (idempotent, free — done at installation time).
+    pub fn create_queue(&self, name: &str) {
+        self.st
+            .borrow_mut()
+            .entry(name.to_string())
+            .or_insert_with(|| {
+                Rc::new(RefCell::new(QueueState {
+                    messages: VecDeque::new(),
+                    arrivals: Notify::new(),
+                }))
+            });
+    }
+
+    /// Drop all pending messages.
+    pub fn purge(&self, name: &str) {
+        if let Some(q) = self.st.borrow().get(name) {
+            q.borrow_mut().messages.clear();
+        }
+    }
+
+    /// Messages currently queued.
+    pub fn depth(&self, name: &str) -> usize {
+        self.st.borrow().get(name).map(|q| q.borrow().messages.len()).unwrap_or(0)
+    }
+
+    /// A per-caller client with extra request latency (distance to region).
+    pub fn client(&self, extra_latency: Duration) -> SqsClient {
+        SqsClient { svc: self.clone(), extra_latency }
+    }
+
+    fn queue(&self, name: &str) -> Result<Rc<RefCell<QueueState>>, SqsError> {
+        self.st
+            .borrow()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| SqsError::NoSuchQueue(name.to_string()))
+    }
+
+    fn latency(&self) -> Duration {
+        Duration::from_secs_f64(
+            self.rng.lognormal(self.cfg.latency_median.as_secs_f64(), self.cfg.latency_sigma),
+        )
+    }
+}
+
+/// Per-caller queue access.
+#[derive(Clone)]
+pub struct SqsClient {
+    svc: QueueService,
+    extra_latency: Duration,
+}
+
+impl SqsClient {
+    /// Send one message.
+    pub async fn send(&self, queue: &str, msg: Vec<u8>) -> Result<(), SqsError> {
+        let q = self.svc.queue(queue)?;
+        self.svc.handle.sleep(self.extra_latency + self.svc.latency()).await;
+        self.svc.billing.record(CostItem::SqsRequests, 1.0);
+        let mut st = q.borrow_mut();
+        st.messages.push_back(msg);
+        let arrivals = st.arrivals.clone();
+        drop(st);
+        arrivals.notify_all();
+        Ok(())
+    }
+
+    /// Receive up to `max` messages, long-polling up to `wait` if the queue
+    /// is empty. Every call — including ones returning nothing — is a
+    /// billed request.
+    pub async fn receive(
+        &self,
+        queue: &str,
+        max: usize,
+        wait: Duration,
+    ) -> Result<Vec<Vec<u8>>, SqsError> {
+        let q = self.svc.queue(queue)?;
+        self.svc.handle.sleep(self.extra_latency + self.svc.latency()).await;
+        self.svc.billing.record(CostItem::SqsRequests, 1.0);
+        let deadline = self.svc.handle.now() + wait;
+        let max = max.min(self.svc.cfg.max_batch);
+        loop {
+            let (batch, arrivals) = {
+                let mut st = q.borrow_mut();
+                let n = st.messages.len().min(max);
+                let batch: Vec<Vec<u8>> = st.messages.drain(..n).collect();
+                (batch, st.arrivals.clone())
+            };
+            if !batch.is_empty() || self.svc.handle.now() >= deadline {
+                return Ok(batch);
+            }
+            select2(self.svc.handle.sleep_until(deadline), arrivals.notified()).await;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::billing::Prices;
+    use crate::executor::Simulation;
+
+    fn setup(sim: &Simulation) -> (QueueService, SqsClient, Billing) {
+        let billing = Billing::new(Prices::default());
+        let svc = QueueService::new(sim.handle(), SqsConfig::default(), billing.clone(), SimRng::new(3));
+        let client = svc.client(Duration::ZERO);
+        (svc, client, billing)
+    }
+
+    #[test]
+    fn send_receive_roundtrip() {
+        let sim = Simulation::new();
+        let (svc, client, billing) = setup(&sim);
+        svc.create_queue("results");
+        let got = sim.block_on(async move {
+            client.send("results", vec![1, 2]).await.unwrap();
+            client.send("results", vec![3]).await.unwrap();
+            client.receive("results", 10, Duration::from_secs(1)).await.unwrap()
+        });
+        assert_eq!(got, vec![vec![1, 2], vec![3]]);
+        assert_eq!(billing.units(CostItem::SqsRequests), 3.0);
+    }
+
+    #[test]
+    fn long_poll_wakes_on_arrival() {
+        let sim = Simulation::new();
+        let h = sim.handle();
+        let (svc, client, _) = setup(&sim);
+        svc.create_queue("q");
+        let sender = svc.client(Duration::ZERO);
+        let (msgs, t) = sim.block_on({
+            let h2 = h.clone();
+            async move {
+                h2.spawn({
+                    let h3 = h2.clone();
+                    async move {
+                        h3.sleep(Duration::from_secs(2)).await;
+                        sender.send("q", vec![9]).await.unwrap();
+                    }
+                });
+                let msgs = client.receive("q", 10, Duration::from_secs(20)).await.unwrap();
+                (msgs, h2.now().as_secs_f64())
+            }
+        });
+        assert_eq!(msgs, vec![vec![9]]);
+        assert!(t < 3.0, "long poll returned promptly at t = {t}");
+    }
+
+    #[test]
+    fn empty_receive_times_out_and_is_billed() {
+        let sim = Simulation::new();
+        let (svc, client, billing) = setup(&sim);
+        svc.create_queue("q");
+        let msgs = sim.block_on(async move {
+            client.receive("q", 10, Duration::from_secs(1)).await.unwrap()
+        });
+        assert!(msgs.is_empty());
+        assert_eq!(billing.units(CostItem::SqsRequests), 1.0);
+        assert!(sim.now().as_secs_f64() >= 1.0);
+    }
+
+    #[test]
+    fn receive_caps_batch_at_sqs_limit() {
+        let sim = Simulation::new();
+        let (svc, client, _) = setup(&sim);
+        svc.create_queue("q");
+        let got = sim.block_on(async move {
+            for i in 0..15u8 {
+                client.send("q", vec![i]).await.unwrap();
+            }
+            client.receive("q", 100, Duration::ZERO).await.unwrap()
+        });
+        assert_eq!(got.len(), 10, "AWS caps receive batches at 10");
+        assert_eq!(svc.depth("q"), 5);
+    }
+
+    #[test]
+    fn missing_queue_errors() {
+        let sim = Simulation::new();
+        let (_, client, _) = setup(&sim);
+        let err = sim.block_on(async move { client.send("nope", vec![]).await.unwrap_err() });
+        assert_eq!(err, SqsError::NoSuchQueue("nope".to_string()));
+    }
+}

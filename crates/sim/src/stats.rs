@@ -1,0 +1,102 @@
+//! Small descriptive-statistics helpers used by the experiment harness when
+//! summarizing per-worker distributions (Figs 6, 11, 13).
+
+/// Summary of a sample: min / percentiles / max / mean.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Summary {
+    pub n: usize,
+    pub min: f64,
+    pub p25: f64,
+    pub median: f64,
+    pub p75: f64,
+    pub p95: f64,
+    pub p99: f64,
+    pub max: f64,
+    pub mean: f64,
+}
+
+impl Summary {
+    /// Compute a summary; returns `None` for an empty sample.
+    pub fn of(values: &[f64]) -> Option<Summary> {
+        if values.is_empty() {
+            return None;
+        }
+        let mut v = values.to_vec();
+        v.sort_by(f64::total_cmp);
+        let mean = v.iter().sum::<f64>() / v.len() as f64;
+        Some(Summary {
+            n: v.len(),
+            min: v[0],
+            p25: percentile_sorted(&v, 0.25),
+            median: percentile_sorted(&v, 0.50),
+            p75: percentile_sorted(&v, 0.75),
+            p95: percentile_sorted(&v, 0.95),
+            p99: percentile_sorted(&v, 0.99),
+            max: *v.last().expect("non-empty"),
+            mean,
+        })
+    }
+}
+
+/// Linear-interpolated percentile of an already-sorted slice, `p` in [0, 1].
+pub fn percentile_sorted(sorted: &[f64], p: f64) -> f64 {
+    assert!(!sorted.is_empty(), "percentile of empty slice");
+    assert!((0.0..=1.0).contains(&p), "p out of range");
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let pos = p * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    sorted[lo] + (sorted[hi] - sorted[lo]) * frac
+}
+
+/// Percentile of an unsorted slice.
+pub fn percentile(values: &[f64], p: f64) -> f64 {
+    let mut v = values.to_vec();
+    v.sort_by(f64::total_cmp);
+    percentile_sorted(&v, p)
+}
+
+/// Median of an unsorted slice.
+pub fn median(values: &[f64]) -> f64 {
+    percentile(values, 0.5)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_interpolate() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        assert_eq!(percentile(&v, 1.0), 4.0);
+        assert_eq!(percentile(&v, 0.5), 2.5);
+        assert_eq!(median(&[5.0, 1.0, 3.0]), 3.0);
+    }
+
+    #[test]
+    fn summary_of_uniform() {
+        let v: Vec<f64> = (0..101).map(f64::from).collect();
+        let s = Summary::of(&v).unwrap();
+        assert_eq!(s.min, 0.0);
+        assert_eq!(s.max, 100.0);
+        assert_eq!(s.median, 50.0);
+        assert_eq!(s.mean, 50.0);
+        assert_eq!(s.p95, 95.0);
+    }
+
+    #[test]
+    fn summary_of_empty_is_none() {
+        assert!(Summary::of(&[]).is_none());
+    }
+
+    #[test]
+    fn single_element() {
+        let s = Summary::of(&[7.0]).unwrap();
+        assert_eq!(s.median, 7.0);
+        assert_eq!(s.p99, 7.0);
+    }
+}

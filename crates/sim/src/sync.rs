@@ -1,0 +1,548 @@
+//! Synchronization primitives for the single-threaded virtual-time executor.
+//!
+//! These mirror the usual async toolbox (oneshot, mpsc, notify, semaphore,
+//! select) but are `Rc`-based: the executor never crosses threads, so no
+//! atomics are needed beyond what `Waker` requires.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::task::{Context, Poll, Waker};
+
+/// Single-producer, single-consumer, single-value channel.
+pub mod oneshot {
+    use super::*;
+
+    struct Inner<T> {
+        value: Option<T>,
+        waker: Option<Waker>,
+        sender_alive: bool,
+        receiver_alive: bool,
+    }
+
+    /// Sending half; consumed by [`Sender::send`].
+    pub struct Sender<T> {
+        inner: Rc<RefCell<Inner<T>>>,
+    }
+
+    /// Receiving half; a future resolving to `Result<T, Closed>`.
+    pub struct Receiver<T> {
+        inner: Rc<RefCell<Inner<T>>>,
+    }
+
+    /// Error: the sender was dropped without sending.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct Closed;
+
+    pub fn channel<T>() -> (Sender<T>, Receiver<T>) {
+        let inner = Rc::new(RefCell::new(Inner {
+            value: None,
+            waker: None,
+            sender_alive: true,
+            receiver_alive: true,
+        }));
+        (Sender { inner: Rc::clone(&inner) }, Receiver { inner })
+    }
+
+    impl<T> Sender<T> {
+        /// Send the value; fails (returning it) if the receiver is gone.
+        pub fn send(self, value: T) -> Result<(), T> {
+            let mut inner = self.inner.borrow_mut();
+            if !inner.receiver_alive {
+                return Err(value);
+            }
+            inner.value = Some(value);
+            if let Some(w) = inner.waker.take() {
+                drop(inner);
+                w.wake();
+            }
+            Ok(())
+        }
+
+        /// Whether the receiving half still exists.
+        pub fn receiver_alive(&self) -> bool {
+            self.inner.borrow().receiver_alive
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut inner = self.inner.borrow_mut();
+            inner.sender_alive = false;
+            if let Some(w) = inner.waker.take() {
+                drop(inner);
+                w.wake();
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            self.inner.borrow_mut().receiver_alive = false;
+        }
+    }
+
+    impl<T> Future for Receiver<T> {
+        type Output = Result<T, Closed>;
+
+        fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+            let mut inner = self.inner.borrow_mut();
+            if let Some(v) = inner.value.take() {
+                return Poll::Ready(Ok(v));
+            }
+            if !inner.sender_alive {
+                return Poll::Ready(Err(Closed));
+            }
+            inner.waker = Some(cx.waker().clone());
+            Poll::Pending
+        }
+    }
+}
+
+/// Unbounded multi-producer, single-consumer channel.
+pub mod mpsc {
+    use super::*;
+
+    struct Inner<T> {
+        queue: VecDeque<T>,
+        recv_waker: Option<Waker>,
+        senders: usize,
+        receiver_alive: bool,
+    }
+
+    pub struct Sender<T> {
+        inner: Rc<RefCell<Inner<T>>>,
+    }
+
+    pub struct Receiver<T> {
+        inner: Rc<RefCell<Inner<T>>>,
+    }
+
+    /// Error: the receiver was dropped; the message is returned.
+    #[derive(Debug)]
+    pub struct SendError<T>(pub T);
+
+    pub fn channel<T>() -> (Sender<T>, Receiver<T>) {
+        let inner = Rc::new(RefCell::new(Inner {
+            queue: VecDeque::new(),
+            recv_waker: None,
+            senders: 1,
+            receiver_alive: true,
+        }));
+        (Sender { inner: Rc::clone(&inner) }, Receiver { inner })
+    }
+
+    impl<T> Sender<T> {
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut inner = self.inner.borrow_mut();
+            if !inner.receiver_alive {
+                return Err(SendError(value));
+            }
+            inner.queue.push_back(value);
+            if let Some(w) = inner.recv_waker.take() {
+                drop(inner);
+                w.wake();
+            }
+            Ok(())
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.inner.borrow_mut().senders += 1;
+            Sender { inner: Rc::clone(&self.inner) }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut inner = self.inner.borrow_mut();
+            inner.senders -= 1;
+            if inner.senders == 0 {
+                if let Some(w) = inner.recv_waker.take() {
+                    drop(inner);
+                    w.wake();
+                }
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            self.inner.borrow_mut().receiver_alive = false;
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Receive the next message; resolves to `None` once the queue is
+        /// empty and every sender has been dropped.
+        pub fn recv(&mut self) -> Recv<'_, T> {
+            Recv { rx: self }
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&mut self) -> Option<T> {
+            self.inner.borrow_mut().queue.pop_front()
+        }
+
+        pub fn len(&self) -> usize {
+            self.inner.borrow().queue.len()
+        }
+
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    pub struct Recv<'a, T> {
+        rx: &'a mut Receiver<T>,
+    }
+
+    impl<T> Future for Recv<'_, T> {
+        type Output = Option<T>;
+
+        fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+            let mut inner = self.rx.inner.borrow_mut();
+            if let Some(v) = inner.queue.pop_front() {
+                return Poll::Ready(Some(v));
+            }
+            if inner.senders == 0 {
+                return Poll::Ready(None);
+            }
+            inner.recv_waker = Some(cx.waker().clone());
+            Poll::Pending
+        }
+    }
+}
+
+/// Edge-triggered broadcast notification.
+///
+/// [`Notify::notified`] captures the current epoch and resolves once any
+/// later [`Notify::notify_all`] bumps it, so a notification between creating
+/// the future and first polling it is never lost.
+#[derive(Clone, Default)]
+pub struct Notify {
+    inner: Rc<RefCell<NotifyInner>>,
+}
+
+#[derive(Default)]
+struct NotifyInner {
+    epoch: u64,
+    wakers: Vec<Waker>,
+}
+
+impl Notify {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Wake every pending [`Notified`] future.
+    pub fn notify_all(&self) {
+        let wakers = {
+            let mut inner = self.inner.borrow_mut();
+            inner.epoch += 1;
+            std::mem::take(&mut inner.wakers)
+        };
+        for w in wakers {
+            w.wake();
+        }
+    }
+
+    /// A future that resolves at the next `notify_all` after this call.
+    pub fn notified(&self) -> Notified {
+        Notified { inner: Rc::clone(&self.inner), epoch: self.inner.borrow().epoch }
+    }
+}
+
+pub struct Notified {
+    inner: Rc<RefCell<NotifyInner>>,
+    epoch: u64,
+}
+
+impl Future for Notified {
+    type Output = ();
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        let mut inner = self.inner.borrow_mut();
+        if inner.epoch != self.epoch {
+            return Poll::Ready(());
+        }
+        inner.wakers.push(cx.waker().clone());
+        Poll::Pending
+    }
+}
+
+/// Counting semaphore with FIFO fairness.
+///
+/// Used for account-level concurrency limits (AWS Lambda's concurrent
+/// execution quota) and client-side thread pools (the driver's 128 invoker
+/// threads in §4.2 of the paper).
+#[derive(Clone)]
+pub struct Semaphore {
+    inner: Rc<RefCell<SemInner>>,
+}
+
+struct SemInner {
+    permits: usize,
+    waiters: VecDeque<(usize, oneshot::Sender<()>)>,
+}
+
+impl Semaphore {
+    pub fn new(permits: usize) -> Self {
+        Semaphore { inner: Rc::new(RefCell::new(SemInner { permits, waiters: VecDeque::new() })) }
+    }
+
+    /// Currently available permits.
+    pub fn available(&self) -> usize {
+        self.inner.borrow().permits
+    }
+
+    /// Acquire `n` permits, waiting FIFO behind earlier acquirers.
+    pub async fn acquire(&self, n: usize) -> SemaphorePermit {
+        let rx = {
+            let mut inner = self.inner.borrow_mut();
+            if inner.waiters.is_empty() && inner.permits >= n {
+                inner.permits -= n;
+                return SemaphorePermit { sem: self.clone(), n };
+            }
+            let (tx, rx) = oneshot::channel();
+            inner.waiters.push_back((n, tx));
+            rx
+        };
+        rx.await.expect("semaphore dropped while waiting");
+        SemaphorePermit { sem: self.clone(), n }
+    }
+
+    fn release(&self, n: usize) {
+        let mut inner = self.inner.borrow_mut();
+        inner.permits += n;
+        // Grant as many FIFO waiters as fit. Cancelled waiters (dropped
+        // receivers) forfeit their slot and the permits are reclaimed.
+        while let Some((need, _)) = inner.waiters.front() {
+            let need = *need;
+            if inner.permits < need {
+                break;
+            }
+            let (_, tx) = inner.waiters.pop_front().expect("front checked");
+            inner.permits -= need;
+            if tx.send(()).is_err() {
+                inner.permits += need;
+            }
+        }
+    }
+}
+
+/// RAII guard returning permits on drop.
+pub struct SemaphorePermit {
+    sem: Semaphore,
+    n: usize,
+}
+
+impl Drop for SemaphorePermit {
+    fn drop(&mut self) {
+        self.sem.release(self.n);
+    }
+}
+
+/// Result of [`select2`].
+pub enum Either<A, B> {
+    Left(A),
+    Right(B),
+}
+
+/// Await whichever of two futures completes first; the loser is dropped.
+pub fn select2<A: Future, B: Future>(a: A, b: B) -> Select2<A, B> {
+    Select2 { a, b }
+}
+
+pub struct Select2<A, B> {
+    a: A,
+    b: B,
+}
+
+impl<A: Future, B: Future> Future for Select2<A, B> {
+    type Output = Either<A::Output, B::Output>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        // Safety: `a` and `b` are structurally pinned; they are never moved
+        // out of `self` while pinned.
+        let this = unsafe { self.get_unchecked_mut() };
+        let a = unsafe { Pin::new_unchecked(&mut this.a) };
+        if let Poll::Ready(v) = a.poll(cx) {
+            return Poll::Ready(Either::Left(v));
+        }
+        let b = unsafe { Pin::new_unchecked(&mut this.b) };
+        if let Poll::Ready(v) = b.poll(cx) {
+            return Poll::Ready(Either::Right(v));
+        }
+        Poll::Pending
+    }
+}
+
+/// Await all futures in a vector, returning outputs in input order.
+pub async fn join_all<F: Future>(futures: Vec<F>) -> Vec<F::Output> {
+    let mut out = Vec::with_capacity(futures.len());
+    for f in futures {
+        out.push(f.await);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::Simulation;
+    use crate::time::secs;
+
+    #[test]
+    fn oneshot_roundtrip() {
+        let sim = Simulation::new();
+        let h = sim.handle();
+        let v = sim.block_on(async move {
+            let (tx, rx) = oneshot::channel();
+            h.spawn(async move {
+                let _ = tx.send(7u32);
+            });
+            rx.await.unwrap()
+        });
+        assert_eq!(v, 7);
+    }
+
+    #[test]
+    fn oneshot_sender_drop_closes() {
+        let sim = Simulation::new();
+        let v = sim.block_on(async {
+            let (tx, rx) = oneshot::channel::<u32>();
+            drop(tx);
+            rx.await
+        });
+        assert_eq!(v, Err(oneshot::Closed));
+    }
+
+    #[test]
+    fn mpsc_delivers_in_order_and_closes() {
+        let sim = Simulation::new();
+        let h = sim.handle();
+        let v = sim.block_on(async move {
+            let (tx, mut rx) = mpsc::channel();
+            for i in 0..3 {
+                let tx = tx.clone();
+                let h2 = h.clone();
+                h.spawn(async move {
+                    h2.sleep(secs(f64::from(i + 1))).await;
+                    tx.send(i).unwrap();
+                });
+            }
+            drop(tx);
+            let mut got = Vec::new();
+            while let Some(v) = rx.recv().await {
+                got.push(v);
+            }
+            got
+        });
+        assert_eq!(v, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn semaphore_limits_concurrency() {
+        let sim = Simulation::new();
+        let h = sim.handle();
+        let peak = sim.block_on(async move {
+            let sem = Semaphore::new(2);
+            let active = Rc::new(RefCell::new((0usize, 0usize))); // (current, peak)
+            let mut joins = Vec::new();
+            for _ in 0..6 {
+                let sem = sem.clone();
+                let h2 = h.clone();
+                let active = Rc::clone(&active);
+                joins.push(h.spawn(async move {
+                    let _p = sem.acquire(1).await;
+                    {
+                        let mut a = active.borrow_mut();
+                        a.0 += 1;
+                        a.1 = a.1.max(a.0);
+                    }
+                    h2.sleep(secs(1.0)).await;
+                    active.borrow_mut().0 -= 1;
+                }));
+            }
+            for j in joins {
+                j.await;
+            }
+            let p = active.borrow().1;
+            p
+        });
+        assert_eq!(peak, 2);
+    }
+
+    #[test]
+    fn semaphore_fifo_order() {
+        let sim = Simulation::new();
+        let h = sim.handle();
+        let order = sim.block_on(async move {
+            let sem = Semaphore::new(1);
+            let order = Rc::new(RefCell::new(Vec::new()));
+            let mut joins = Vec::new();
+            for i in 0..4u32 {
+                let sem = sem.clone();
+                let h2 = h.clone();
+                let order = Rc::clone(&order);
+                joins.push(h.spawn(async move {
+                    let _p = sem.acquire(1).await;
+                    order.borrow_mut().push(i);
+                    h2.sleep(secs(0.1)).await;
+                }));
+            }
+            for j in joins {
+                j.await;
+            }
+            let o = order.borrow().clone();
+            o
+        });
+        assert_eq!(order, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn notify_wakes_all_waiters_without_lost_wakeups() {
+        let sim = Simulation::new();
+        let h = sim.handle();
+        let n = sim.block_on(async move {
+            let notify = Notify::new();
+            let count = Rc::new(RefCell::new(0));
+            let mut joins = Vec::new();
+            for _ in 0..3 {
+                let fut = notify.notified();
+                let count = Rc::clone(&count);
+                joins.push(h.spawn(async move {
+                    fut.await;
+                    *count.borrow_mut() += 1;
+                }));
+            }
+            // Notification happens before the spawned tasks first poll;
+            // epoch capture at `notified()` must prevent a lost wakeup.
+            notify.notify_all();
+            for j in joins {
+                j.await;
+            }
+            let c = *count.borrow();
+            c
+        });
+        assert_eq!(n, 3);
+    }
+
+    #[test]
+    fn select2_picks_earlier_timer() {
+        let sim = Simulation::new();
+        let h = sim.handle();
+        let which = sim.block_on(async move {
+            match select2(h.sleep(secs(2.0)), h.sleep(secs(1.0))).await {
+                Either::Left(()) => "left",
+                Either::Right(()) => "right",
+            }
+        });
+        assert_eq!(which, "right");
+        assert_eq!(sim.now().as_secs_f64(), 1.0);
+    }
+}

@@ -1,0 +1,121 @@
+//! Virtual time.
+//!
+//! The simulation measures time in nanoseconds since simulation start.
+//! Durations are plain [`std::time::Duration`]; only *points* in time get a
+//! dedicated type so they cannot be confused with wall-clock instants.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+use std::time::Duration;
+
+/// A point in virtual time (nanoseconds since simulation start).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// The simulation epoch.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Largest representable time; used as an "infinitely far" sentinel.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Construct from raw nanoseconds.
+    pub const fn from_nanos(nanos: u64) -> Self {
+        SimTime(nanos)
+    }
+
+    /// Raw nanoseconds since simulation start.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Construct from fractional seconds (rounded to the nearest nanosecond).
+    pub fn from_secs_f64(secs: f64) -> Self {
+        debug_assert!(secs >= 0.0, "negative SimTime");
+        SimTime((secs * 1e9).round() as u64)
+    }
+
+    /// Seconds since simulation start as a float.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Duration since `earlier`, saturating to zero if `earlier` is later.
+    pub fn saturating_since(self, earlier: SimTime) -> Duration {
+        Duration::from_nanos(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl Add<Duration> for SimTime {
+    type Output = SimTime;
+
+    fn add(self, rhs: Duration) -> SimTime {
+        SimTime(self.0.saturating_add(rhs.as_nanos() as u64))
+    }
+}
+
+impl AddAssign<Duration> for SimTime {
+    fn add_assign(&mut self, rhs: Duration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = Duration;
+
+    /// Duration between two instants. Panics in debug builds if `rhs` is
+    /// later than `self` (saturates in release builds).
+    fn sub(self, rhs: SimTime) -> Duration {
+        debug_assert!(self >= rhs, "SimTime subtraction went negative");
+        Duration::from_nanos(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}s", self.as_secs_f64())
+    }
+}
+
+/// Shorthand for a `Duration` from fractional seconds.
+pub fn secs(s: f64) -> Duration {
+    Duration::from_secs_f64(s)
+}
+
+/// Shorthand for a `Duration` from milliseconds.
+pub fn millis(ms: u64) -> Duration {
+    Duration::from_millis(ms)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_roundtrips() {
+        let t = SimTime::from_secs_f64(1.5);
+        assert_eq!(t.as_nanos(), 1_500_000_000);
+        let u = t + secs(0.25);
+        assert_eq!(u.as_secs_f64(), 1.75);
+        assert_eq!(u - t, secs(0.25));
+        assert_eq!(t.saturating_since(u), Duration::ZERO);
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(SimTime::ZERO < SimTime::from_nanos(1));
+        assert!(SimTime::from_secs_f64(2.0) > SimTime::from_secs_f64(1.0));
+        assert_eq!(SimTime::MAX.as_nanos(), u64::MAX);
+    }
+
+    #[test]
+    fn display_formats_seconds() {
+        assert_eq!(format!("{}", SimTime::from_secs_f64(12.3456)), "12.346s");
+    }
+}

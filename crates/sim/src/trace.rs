@@ -1,0 +1,106 @@
+//! Execution tracing: per-worker, per-phase spans used to regenerate the
+//! paper's timeline and distribution figures (Figs 5, 11, 13).
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use crate::time::SimTime;
+
+/// A labelled time span attributed to a worker (or the driver, worker id
+/// [`TraceEvent::DRIVER`]).
+#[derive(Clone, Debug, PartialEq)]
+pub struct TraceEvent {
+    pub worker: u64,
+    pub label: &'static str,
+    pub start: SimTime,
+    pub end: SimTime,
+}
+
+impl TraceEvent {
+    /// Pseudo worker-id for driver-side spans.
+    pub const DRIVER: u64 = u64::MAX;
+
+    pub fn duration_secs(&self) -> f64 {
+        self.end.saturating_since(self.start).as_secs_f64()
+    }
+}
+
+/// Shared trace collector.
+#[derive(Clone, Default)]
+pub struct Trace {
+    events: Rc<RefCell<Vec<TraceEvent>>>,
+}
+
+impl Trace {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a completed span.
+    pub fn record(&self, worker: u64, label: &'static str, start: SimTime, end: SimTime) {
+        self.events.borrow_mut().push(TraceEvent { worker, label, start, end });
+    }
+
+    /// All events recorded so far, in recording order.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.events.borrow().clone()
+    }
+
+    /// Events with the given label.
+    pub fn spans(&self, label: &str) -> Vec<TraceEvent> {
+        self.events.borrow().iter().filter(|e| e.label == label).cloned().collect()
+    }
+
+    /// Durations (seconds) of all spans with the given label.
+    pub fn durations(&self, label: &str) -> Vec<f64> {
+        self.events
+            .borrow()
+            .iter()
+            .filter(|e| e.label == label)
+            .map(TraceEvent::duration_secs)
+            .collect()
+    }
+
+    /// Total seconds spent by `worker` in spans with the given label.
+    pub fn worker_total(&self, worker: u64, label: &str) -> f64 {
+        self.events
+            .borrow()
+            .iter()
+            .filter(|e| e.worker == worker && e.label == label)
+            .map(TraceEvent::duration_secs)
+            .sum()
+    }
+
+    pub fn clear(&self) {
+        self.events.borrow_mut().clear();
+    }
+
+    pub fn len(&self) -> usize {
+        self.events.borrow().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::secs;
+
+    #[test]
+    fn records_and_filters_spans() {
+        let t = Trace::new();
+        let s = SimTime::ZERO;
+        t.record(1, "read", s, s + secs(2.0));
+        t.record(1, "write", s + secs(2.0), s + secs(3.0));
+        t.record(2, "read", s, s + secs(4.0));
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.spans("read").len(), 2);
+        assert_eq!(t.durations("write"), vec![1.0]);
+        assert_eq!(t.worker_total(2, "read"), 4.0);
+        t.clear();
+        assert!(t.is_empty());
+    }
+}

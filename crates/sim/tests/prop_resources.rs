@@ -1,0 +1,148 @@
+//! Property tests for the resource models: the virtual-time physics every
+//! experiment's timing rests on.
+
+use proptest::prelude::*;
+
+use lambada_sim::{BurstLink, BurstLinkConfig, PsResource, Simulation, TokenBucket};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Token bucket conservation: acquiring N tokens total takes at least
+    /// (N - capacity)/rate seconds and at most N/rate plus slack.
+    #[test]
+    fn token_bucket_conserves_rate(
+        rate in 1.0f64..500.0,
+        cap in 1.0f64..50.0,
+        n in 1usize..200,
+    ) {
+        let sim = Simulation::new();
+        let h = sim.handle();
+        let elapsed = sim.block_on({
+            let h = h.clone();
+            async move {
+                let tb = TokenBucket::new(h.clone(), rate, cap);
+                for _ in 0..n {
+                    tb.acquire(1.0).await;
+                }
+                h.now().as_secs_f64()
+            }
+        });
+        let lower = ((n as f64 - cap) / rate).max(0.0);
+        let upper = n as f64 / rate + 1.0;
+        prop_assert!(elapsed >= lower - 1e-6, "elapsed {elapsed} < lower {lower}");
+        prop_assert!(elapsed <= upper + 1e-6, "elapsed {elapsed} > upper {upper}");
+    }
+
+    /// Processor sharing conservation: K concurrent jobs of equal work
+    /// finish together at total_work / min(capacity, K * per_job_cap).
+    #[test]
+    fn ps_resource_conserves_work(
+        capacity in 0.1f64..4.0,
+        jobs in 1usize..6,
+        work in 0.01f64..5.0,
+    ) {
+        let sim = Simulation::new();
+        let h = sim.handle();
+        let elapsed = sim.block_on({
+            let h = h.clone();
+            async move {
+                let cpu = PsResource::new(h.clone(), capacity, 1.0);
+                let mut joins = Vec::new();
+                for _ in 0..jobs {
+                    let cpu = cpu.clone();
+                    joins.push(h.spawn(async move { cpu.run(work).await }));
+                }
+                for j in joins {
+                    j.await;
+                }
+                h.now().as_secs_f64()
+            }
+        });
+        let rate = capacity.min(jobs as f64 * 1.0);
+        let expected = jobs as f64 * work / rate;
+        prop_assert!(
+            (elapsed - expected).abs() < 1e-3 * expected.max(1.0),
+            "elapsed {elapsed} vs expected {expected}"
+        );
+    }
+
+    /// Burst link conservation: a single transfer of B bytes takes exactly
+    /// the piecewise burst-then-sustained time.
+    #[test]
+    fn burst_link_piecewise_time(
+        sustained in 10.0f64..100.0,
+        burst_extra in 0.0f64..200.0,
+        credits in 0.0f64..500.0,
+        bytes in 1.0f64..5000.0,
+    ) {
+        let burst = sustained + burst_extra;
+        let sim = Simulation::new();
+        let h = sim.handle();
+        let elapsed = sim.block_on({
+            let h = h.clone();
+            async move {
+                let link = BurstLink::new(
+                    h.clone(),
+                    BurstLinkConfig {
+                        sustained,
+                        burst,
+                        per_conn: burst + 1.0,
+                        credit_cap: credits,
+                    },
+                );
+                link.transfer(bytes).await;
+                h.now().as_secs_f64()
+            }
+        });
+        // Analytic expectation: burst phase until credits drain, then
+        // sustained.
+        let expected = if burst_extra < 1e-9 {
+            bytes / sustained
+        } else {
+            let burst_secs = credits / burst_extra;
+            let burst_bytes = burst_secs * burst;
+            if bytes <= burst_bytes {
+                bytes / burst
+            } else {
+                burst_secs + (bytes - burst_bytes) / sustained
+            }
+        };
+        prop_assert!(
+            (elapsed - expected).abs() < 1e-3 * expected.max(1e-3),
+            "elapsed {elapsed} vs expected {expected}"
+        );
+    }
+
+    /// Determinism: the executor schedules identically for identical
+    /// workloads.
+    #[test]
+    fn executor_schedule_is_deterministic(delays in prop::collection::vec(0u64..1000, 1..30)) {
+        let run = |delays: &[u64]| -> Vec<(usize, f64)> {
+            let sim = Simulation::new();
+            let h = sim.handle();
+            sim.block_on({
+                let h = h.clone();
+                let delays = delays.to_vec();
+                async move {
+                    let log = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+                    let mut joins = Vec::new();
+                    for (i, &d) in delays.iter().enumerate() {
+                        let h2 = h.clone();
+                        let log = std::rc::Rc::clone(&log);
+                        joins.push(h.spawn(async move {
+                            h2.sleep(std::time::Duration::from_millis(d)).await;
+                            log.borrow_mut().push((i, h2.now().as_secs_f64()));
+                        }));
+                    }
+                    for j in joins {
+                        j.await;
+                    }
+                    let out = log.borrow().clone();
+                    out
+                }
+            })
+        };
+        prop_assert_eq!(run(&delays), run(&delays));
+    }
+}

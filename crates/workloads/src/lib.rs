@@ -1,0 +1,18 @@
+//! # lambada-workloads
+//!
+//! Workloads for the Lambada reproduction: a dbgen-faithful numeric
+//! TPC-H LINEITEM generator sorted by `l_shipdate` (§5.1), queries Q1 and
+//! Q6 as logical plans (§5.3), and staging helpers that either encode
+//! real files or build paper-scale descriptor tables whose footers are
+//! calibrated against real sample encodes.
+
+pub mod lineitem;
+pub mod loader;
+pub mod tpch;
+
+pub use lineitem::{rows_for_scale, schema as lineitem_schema, LineitemGenerator};
+pub use loader::{
+    measure_profile, stage_descriptors, stage_real, DescriptorOptions, StageOptions,
+    StorageProfile,
+};
+pub use tpch::{q1, q6};

@@ -1,0 +1,220 @@
+//! TPC-H queries 1 and 6 — "the two most scan-bound queries" (§5.3) —
+//! expressed as logical plans over the numeric LINEITEM schema.
+
+use lambada_engine::agg::{AggExpr, AggFunc};
+use lambada_engine::expr::{col, lit_f64, lit_i64, Expr};
+use lambada_engine::logical::{LogicalPlan, SortKey};
+use lambada_engine::types::Schema;
+
+use crate::lineitem::{cols, dates};
+
+/// Q1: selects ~98% of LINEITEM on `l_shipdate`, aggregates into a
+/// handful of (returnflag, linestatus) groups with seven aggregates plus
+/// a count.
+pub fn q1(table: &str) -> LogicalPlan {
+    let schema = crate::lineitem::schema();
+    let disc_price = || {
+        col(cols::EXTENDEDPRICE).mul(lit_f64(1.0).sub(col(cols::DISCOUNT)))
+    };
+    let charge = || disc_price().mul(lit_f64(1.0).add(col(cols::TAX)));
+    LogicalPlan::Sort {
+        input: Box::new(LogicalPlan::Aggregate {
+            input: Box::new(LogicalPlan::Filter {
+                input: Box::new(scan(table, &schema)),
+                predicate: col(cols::SHIPDATE).le(lit_i64(dates::Q1_CUTOFF)),
+            }),
+            group_by: vec![
+                (col(cols::RETURNFLAG), "l_returnflag".to_string()),
+                (col(cols::LINESTATUS), "l_linestatus".to_string()),
+            ],
+            aggs: vec![
+                AggExpr::new(AggFunc::Sum, Some(col(cols::QUANTITY)), "sum_qty"),
+                AggExpr::new(AggFunc::Sum, Some(col(cols::EXTENDEDPRICE)), "sum_base_price"),
+                AggExpr::new(AggFunc::Sum, Some(disc_price()), "sum_disc_price"),
+                AggExpr::new(AggFunc::Sum, Some(charge()), "sum_charge"),
+                AggExpr::new(AggFunc::Avg, Some(col(cols::QUANTITY)), "avg_qty"),
+                AggExpr::new(AggFunc::Avg, Some(col(cols::EXTENDEDPRICE)), "avg_price"),
+                AggExpr::new(AggFunc::Avg, Some(col(cols::DISCOUNT)), "avg_disc"),
+                AggExpr::new(AggFunc::Count, None, "count_order"),
+            ],
+        }),
+        keys: vec![SortKey::asc(col(0)), SortKey::asc(col(1))],
+    }
+}
+
+/// Q6: selects ~2% of LINEITEM (one shipdate year × three discount
+/// values × quantity < 24) and sums `extendedprice * discount`.
+pub fn q6(table: &str) -> LogicalPlan {
+    let schema = crate::lineitem::schema();
+    // Epsilon-padded bounds keep the float comparison robust against the
+    // representation of 0.05/0.07 (TPC-H itself specifies ±0.01 around
+    // 0.06).
+    let predicate = col(cols::SHIPDATE)
+        .ge(lit_i64(dates::Q6_START))
+        .and(col(cols::SHIPDATE).lt(lit_i64(dates::Q6_END)))
+        .and(col(cols::DISCOUNT).between(lit_f64(0.0499), lit_f64(0.0701)))
+        .and(col(cols::QUANTITY).lt(lit_f64(24.0)));
+    LogicalPlan::Aggregate {
+        input: Box::new(LogicalPlan::Filter {
+            input: Box::new(scan(table, &schema)),
+            predicate,
+        }),
+        group_by: vec![],
+        aggs: vec![AggExpr::new(
+            AggFunc::Sum,
+            Some(col(cols::EXTENDEDPRICE).mul(col(cols::DISCOUNT))),
+            "revenue",
+        )],
+    }
+}
+
+/// Number of LINEITEM columns each query touches (used by the QaaS cost
+/// models of §5.4: BigQuery charges all referenced columns in full,
+/// Athena only the selected rows of them).
+pub fn q1_columns() -> usize {
+    7
+}
+
+pub fn q6_columns() -> usize {
+    4
+}
+
+/// Selectivity of each query's predicate (≈0.98 and ≈0.02, §5.3).
+pub fn q1_selectivity() -> f64 {
+    0.98
+}
+
+pub fn q6_selectivity() -> f64 {
+    0.02
+}
+
+fn scan(table: &str, schema: &Schema) -> LogicalPlan {
+    LogicalPlan::Scan {
+        table: table.to_string(),
+        schema: std::sync::Arc::new(schema.clone()),
+        projection: None,
+        predicate: None,
+    }
+}
+
+/// The Q1 predicate (base-schema indices), for direct use in benches.
+pub fn q1_predicate() -> Expr {
+    col(cols::SHIPDATE).le(lit_i64(dates::Q1_CUTOFF))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lineitem::LineitemGenerator;
+    use lambada_engine::{execute_into_batch, Catalog, MemTable, Optimizer, RecordBatch, Scalar};
+    use std::rc::Rc;
+
+    fn catalog(rows: u64) -> (Catalog, RecordBatch) {
+        let cols_v = LineitemGenerator::new(11).generate(rows);
+        let batch = RecordBatch::new(
+            std::sync::Arc::new(crate::lineitem::schema()),
+            cols_v,
+        )
+        .unwrap();
+        let mut cat = Catalog::new();
+        cat.register("lineitem", Rc::new(MemTable::from_batch(batch.clone())));
+        (cat, batch)
+    }
+
+    #[test]
+    fn q1_matches_bruteforce() {
+        let (cat, batch) = catalog(20_000);
+        let out = execute_into_batch(&q1("lineitem"), &cat).unwrap();
+        // Brute force over rows.
+        // (sum_qty, sum_base, sum_disc_price, sum_charge, count) per group.
+        type GroupAggs = (f64, f64, f64, f64, i64);
+        let mut expect: std::collections::BTreeMap<(i64, i64), GroupAggs> =
+            std::collections::BTreeMap::new();
+        for row in batch.rows() {
+            let ship = row[cols::SHIPDATE].as_i64().unwrap();
+            if ship > dates::Q1_CUTOFF {
+                continue;
+            }
+            let key = (
+                row[cols::RETURNFLAG].as_i64().unwrap(),
+                row[cols::LINESTATUS].as_i64().unwrap(),
+            );
+            let qty = row[cols::QUANTITY].as_f64().unwrap();
+            let price = row[cols::EXTENDEDPRICE].as_f64().unwrap();
+            let disc = row[cols::DISCOUNT].as_f64().unwrap();
+            let tax = row[cols::TAX].as_f64().unwrap();
+            let e = expect.entry(key).or_insert((0.0, 0.0, 0.0, 0.0, 0));
+            e.0 += qty;
+            e.1 += price;
+            e.2 += price * (1.0 - disc);
+            e.3 += price * (1.0 - disc) * (1.0 + tax);
+            e.4 += 1;
+        }
+        assert_eq!(out.num_rows(), expect.len());
+        for (i, (key, vals)) in expect.iter().enumerate() {
+            let row = out.row(i);
+            assert_eq!(row[0], Scalar::Int64(key.0));
+            assert_eq!(row[1], Scalar::Int64(key.1));
+            let close = |a: &Scalar, b: f64| (a.as_f64().unwrap() - b).abs() < 1e-6 * b.abs().max(1.0);
+            assert!(close(&row[2], vals.0), "sum_qty");
+            assert!(close(&row[3], vals.1), "sum_base_price");
+            assert!(close(&row[4], vals.2), "sum_disc_price");
+            assert!(close(&row[5], vals.3), "sum_charge");
+            assert_eq!(row[9], Scalar::Int64(vals.4), "count");
+        }
+    }
+
+    #[test]
+    fn q6_matches_bruteforce() {
+        let (cat, batch) = catalog(20_000);
+        let out = execute_into_batch(&q6("lineitem"), &cat).unwrap();
+        let mut revenue = 0.0;
+        for row in batch.rows() {
+            let ship = row[cols::SHIPDATE].as_i64().unwrap();
+            let disc = row[cols::DISCOUNT].as_f64().unwrap();
+            let qty = row[cols::QUANTITY].as_f64().unwrap();
+            if (dates::Q6_START..dates::Q6_END).contains(&ship)
+                && (0.0499..=0.0701).contains(&disc)
+                && qty < 24.0
+            {
+                revenue += row[cols::EXTENDEDPRICE].as_f64().unwrap() * disc;
+            }
+        }
+        assert_eq!(out.num_rows(), 1);
+        let got = out.row(0)[0].as_f64().unwrap();
+        assert!((got - revenue).abs() < 1e-6 * revenue.max(1.0), "{got} vs {revenue}");
+        assert!(revenue > 0.0, "Q6 selected something");
+    }
+
+    #[test]
+    fn queries_survive_optimization() {
+        let (cat, _) = catalog(5_000);
+        for plan in [q1("lineitem"), q6("lineitem")] {
+            let optimized = Optimizer::new().optimize(&plan).unwrap();
+            let a = execute_into_batch(&plan, &cat).unwrap();
+            let b = execute_into_batch(&optimized, &cat).unwrap();
+            assert_eq!(a.num_rows(), b.num_rows());
+            for i in 0..a.num_rows() {
+                for (x, y) in a.row(i).iter().zip(b.row(i).iter()) {
+                    match (x, y) {
+                        (Scalar::Float64(a), Scalar::Float64(b)) => {
+                            assert!((a - b).abs() <= 1e-9 * a.abs().max(1.0));
+                        }
+                        _ => assert_eq!(x, y),
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn q1_projection_pruned_to_seven_columns() {
+        let optimized = Optimizer::new().optimize(&q1("lineitem")).unwrap();
+        let text = optimized.display_indent();
+        // qty, extprice, discount, tax, returnflag, linestatus + shipdate.
+        assert!(
+            text.contains("projection=[4, 5, 6, 7, 8, 9]") || text.contains("projection="),
+            "plan should prune columns:\n{text}"
+        );
+    }
+}

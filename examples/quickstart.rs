@@ -1,0 +1,65 @@
+//! Quickstart: install Lambada on a simulated serverless cloud, stage a
+//! small dataset, and run a Listing-1-style query.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use lambada::core::{Lambada, LambadaConfig};
+use lambada::engine::lit_f64;
+use lambada::sim::{Cloud, CloudConfig, Simulation};
+use lambada::workloads::{stage_real, StageOptions};
+
+fn main() {
+    // A deterministic simulated cloud (region, prices, and service limits
+    // calibrated to the paper).
+    let sim = Simulation::new();
+    let cloud = Cloud::new(&sim, CloudConfig::default());
+
+    // Stage cold data: LINEITEM at a tiny scale, 4 columnar files in the
+    // object store.
+    let spec = stage_real(
+        &cloud,
+        "tpch",
+        "lineitem",
+        StageOptions { scale: 0.001, num_files: 4, ..StageOptions::default() },
+    );
+    println!(
+        "staged {} files, {} rows, {:.1} MiB",
+        spec.files.len(),
+        spec.total_rows,
+        spec.total_bytes() as f64 / (1 << 20) as f64
+    );
+
+    // Install the system (registers the worker function — the only setup
+    // there is; nothing keeps running between queries).
+    let mut system = Lambada::install(&cloud, LambadaConfig::default());
+    system.register_table(spec);
+
+    // Listing 1 of the paper:
+    //   lambada.from_parquet("s3://bucket/*.parquet")
+    //          .filter(lambda x: x[1] >= 0.05)
+    //          .map(lambda x: x[1] * x[2])
+    //          .reduce(lambda x, y: x + y)
+    let df = system.from_table("lineitem").unwrap();
+    let discount = df.col("l_discount").unwrap();
+    let price = df.col("l_extendedprice").unwrap();
+    let plan = df
+        .clone()
+        .filter(discount.clone().ge(lit_f64(0.05)))
+        .unwrap()
+        .map(discount.mul(price), "weighted")
+        .unwrap()
+        .reduce_sum("weighted")
+        .unwrap()
+        .build();
+
+    let report = sim.block_on(async move { system.run_query(&plan).await.unwrap() });
+
+    println!("\nresult rows: {:?}", report.batch.rows());
+    println!(
+        "\nend-to-end latency : {:.2} s (virtual), {} workers, {} cold starts",
+        report.latency_secs, report.workers, report.cold_starts
+    );
+    println!("query cost breakdown:\n{}", report.cost);
+}

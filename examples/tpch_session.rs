@@ -1,0 +1,67 @@
+//! The paper's usage model (§2.1): a "lone-wolf data scientist" session —
+//! explore a sample, then run the real queries on the full dataset, cold
+//! and hot, and look at what each one cost.
+//!
+//! ```sh
+//! cargo run --release --example tpch_session
+//! ```
+
+use lambada::core::{Lambada, LambadaConfig};
+use lambada::sim::{Cloud, CloudConfig, Simulation};
+use lambada::workloads::{q1, q6, stage_descriptors, stage_real, DescriptorOptions, StageOptions};
+
+fn main() {
+    let sim = Simulation::new();
+    let cloud = Cloud::new(&sim, CloudConfig::default());
+
+    // The "sample" the user explores first: small but real data.
+    let sample = stage_real(
+        &cloud,
+        "tpch-sample",
+        "lineitem_sample",
+        StageOptions { scale: 0.002, num_files: 4, ..StageOptions::default() },
+    );
+    // The full dataset: SF 1000 as 320 descriptor-backed files (151 GiB
+    // equivalent; see DESIGN.md for the substitution).
+    let full = stage_descriptors(
+        &cloud,
+        "tpch",
+        "lineitem",
+        &DescriptorOptions { num_files: 64, ..DescriptorOptions::default() },
+    );
+    let mut system = Lambada::install(&cloud, LambadaConfig::default());
+    system.register_table(sample);
+    system.register_table(full);
+
+    sim.block_on(async move {
+        println!("== session: explore the sample ==");
+        let r = system.run_query(&q1("lineitem_sample")).await.unwrap();
+        println!(
+            "Q1 on sample: {} groups in {:.2} s for ${:.6}",
+            r.batch.num_rows(),
+            r.latency_secs,
+            r.dollars()
+        );
+        for row in r.batch.rows().iter().take(2) {
+            println!("  {row:?}");
+        }
+
+        println!("\n== full dataset: cold run (first query of the session) ==");
+        for (name, plan) in [("Q1", q1("lineitem")), ("Q6", q6("lineitem"))] {
+            let cold = system.run_query(&plan).await.unwrap();
+            let hot = system.run_query(&plan).await.unwrap();
+            println!(
+                "{name}: cold {:.1} s / ${:.4}   hot {:.1} s / ${:.4}   ({} workers, {} pruned row groups)",
+                cold.latency_secs,
+                cold.dollars(),
+                hot.latency_secs,
+                hot.dollars(),
+                hot.workers,
+                hot.worker_metrics.iter().map(|m| m.row_groups_pruned).sum::<u64>(),
+            );
+        }
+
+        println!("\n== think time costs nothing: no always-on infrastructure ==");
+        println!("total session cost so far:\n{}", system.cloud().billing.snapshot());
+    });
+}

@@ -1,0 +1,20 @@
+//! # Lambada
+//!
+//! Facade crate for the Lambada workspace: serverless interactive data
+//! analytics on cold data, reproducing Müller, Marroquín & Alonso
+//! (SIGMOD 2020). See the individual crates for details:
+//!
+//! * [`sim`] — deterministic serverless-cloud simulation substrate
+//! * [`format`] — Parquet-like columnar file format
+//! * [`engine`] — vectorized query engine and planner
+//! * [`core`] — the Lambada system itself (driver, workers, invocation
+//!   tree, S3 scan operator, serverless exchange operator)
+//! * [`workloads`] — TPC-H LINEITEM generator and queries
+//! * [`baselines`] — QaaS / IaaS / ephemeral-store comparator models
+
+pub use lambada_baselines as baselines;
+pub use lambada_core as core;
+pub use lambada_engine as engine;
+pub use lambada_format as format;
+pub use lambada_sim as sim;
+pub use lambada_workloads as workloads;

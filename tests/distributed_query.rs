@@ -1,0 +1,201 @@
+//! End-to-end distributed execution: Lambada's serverless Q1/Q6 results
+//! must match the single-node reference engine bit-for-bit in structure
+//! and within float tolerance in values.
+
+use std::rc::Rc;
+use std::sync::Arc;
+
+use lambada::core::{InvocationStrategy, Lambada, LambadaConfig};
+use lambada::engine::{execute_into_batch, Catalog, MemTable, RecordBatch, Scalar};
+use lambada::sim::{Cloud, CloudConfig, CostItem, Simulation};
+use lambada::workloads::{lineitem_schema, stage_real, StageOptions};
+
+fn stage_opts(scale: f64, seed: u64) -> StageOptions {
+    StageOptions { scale, num_files: 6, row_groups_per_file: 3, seed }
+}
+
+/// The exact same rows the staged files contain, as an in-memory table.
+fn reference_catalog(scale: f64, seed: u64) -> Catalog {
+    let schema = Arc::new(lineitem_schema());
+    let batches: Vec<RecordBatch> = lambada::workloads::loader::generate_file_columns(
+        stage_opts(scale, seed),
+    )
+    .into_iter()
+    .map(|cols| RecordBatch::new(Arc::clone(&schema), cols).unwrap())
+    .collect();
+    let mut cat = Catalog::new();
+    cat.register("lineitem", Rc::new(MemTable::new(schema, batches).unwrap()));
+    cat
+}
+
+fn assert_batches_close(a: &RecordBatch, b: &RecordBatch) {
+    assert_eq!(a.num_rows(), b.num_rows(), "row count");
+    assert_eq!(a.num_columns(), b.num_columns(), "column count");
+    for i in 0..a.num_rows() {
+        for (x, y) in a.row(i).iter().zip(b.row(i).iter()) {
+            match (x, y) {
+                (Scalar::Float64(p), Scalar::Float64(q)) => {
+                    assert!(
+                        (p - q).abs() <= 1e-6 * p.abs().max(1.0),
+                        "row {i}: {p} vs {q}"
+                    );
+                }
+                _ => assert_eq!(x, y, "row {i}"),
+            }
+        }
+    }
+}
+
+fn run_distributed(
+    plan: &lambada::engine::LogicalPlan,
+    scale: f64,
+    seed: u64,
+    config: LambadaConfig,
+) -> (RecordBatch, lambada::core::QueryReport) {
+    let sim = Simulation::new();
+    let cloud = Cloud::new(&sim, CloudConfig::default());
+    let opts = stage_opts(scale, seed);
+    let spec = stage_real(&cloud, "tpch", "lineitem", opts);
+    let mut system = Lambada::install(&cloud, config);
+    system.register_table(spec);
+    let report = sim.block_on({
+        let plan = plan.clone();
+        async move { system.run_query(&plan).await.unwrap() }
+    });
+    (report.batch.clone(), report)
+}
+
+#[test]
+fn q1_distributed_matches_reference() {
+    let scale = 0.002;
+    let seed = 41;
+    let plan = lambada::workloads::q1("lineitem");
+    let reference = execute_into_batch(
+        &lambada::engine::Optimizer::new().optimize(&plan).unwrap(),
+        &reference_catalog(scale, seed),
+    )
+    .unwrap();
+    let (batch, report) = run_distributed(&plan, scale, seed, LambadaConfig::default());
+    assert_batches_close(&batch, &reference);
+    assert_eq!(report.workers, 6);
+    assert!(report.latency_secs > 0.0);
+    assert!(report.cost.total() > 0.0);
+    // Q1 groups: 4 (A/F, N/F, N/O, R/F).
+    assert_eq!(batch.num_rows(), 4);
+}
+
+#[test]
+fn q6_distributed_matches_reference() {
+    let scale = 0.002;
+    let seed = 42;
+    let plan = lambada::workloads::q6("lineitem");
+    let reference = execute_into_batch(
+        &lambada::engine::Optimizer::new().optimize(&plan).unwrap(),
+        &reference_catalog(scale, seed),
+    )
+    .unwrap();
+    let (batch, _) = run_distributed(&plan, scale, seed, LambadaConfig::default());
+    assert_batches_close(&batch, &reference);
+    assert_eq!(batch.num_rows(), 1);
+    assert!(batch.row(0)[0].as_f64().unwrap() > 0.0);
+}
+
+#[test]
+fn direct_and_two_level_invocation_agree() {
+    let plan = lambada::workloads::q6("lineitem");
+    let (direct, _) = run_distributed(
+        &plan,
+        0.001,
+        7,
+        LambadaConfig { strategy: InvocationStrategy::Direct, ..LambadaConfig::default() },
+    );
+    let (tree, _) = run_distributed(
+        &plan,
+        0.001,
+        7,
+        LambadaConfig { strategy: InvocationStrategy::TwoLevel, ..LambadaConfig::default() },
+    );
+    assert_batches_close(&direct, &tree);
+}
+
+#[test]
+fn files_per_worker_changes_worker_count_not_results() {
+    let plan = lambada::workloads::q1("lineitem");
+    let (b1, r1) = run_distributed(
+        &plan,
+        0.001,
+        3,
+        LambadaConfig { files_per_worker: 1, ..LambadaConfig::default() },
+    );
+    let (b2, r2) = run_distributed(
+        &plan,
+        0.001,
+        3,
+        LambadaConfig { files_per_worker: 3, ..LambadaConfig::default() },
+    );
+    assert_eq!(r1.workers, 6);
+    assert_eq!(r2.workers, 2);
+    assert_batches_close(&b1, &b2);
+}
+
+#[test]
+fn collect_query_roundtrips_through_storage() {
+    // A filter-only query exercises the collect fragment path: workers
+    // store batches in S3, the driver downloads and concatenates.
+    let sim = Simulation::new();
+    let cloud = Cloud::new(&sim, CloudConfig::default());
+    let opts = stage_opts(0.0005, 9);
+    let spec = stage_real(&cloud, "tpch", "lineitem", opts);
+    let mut system = Lambada::install(&cloud, LambadaConfig::default());
+    system.register_table(spec);
+    let df = system.from_table("lineitem").unwrap();
+    let pred = df.col("l_quantity").unwrap().lt(lambada::engine::lit_f64(3.0));
+    let plan = df.filter(pred).unwrap().build();
+
+    let reference =
+        execute_into_batch(&plan, &reference_catalog(0.0005, 9)).unwrap();
+    let report = sim.block_on({
+        let plan = plan.clone();
+        async move { system.run_query(&plan).await.unwrap() }
+    });
+    assert_eq!(report.batch.num_rows(), reference.num_rows());
+    assert!(report.batch.num_rows() > 0);
+}
+
+#[test]
+fn cold_runs_slower_than_hot() {
+    // Fig 10: cold runs carry a ~20% end-to-end penalty.
+    let sim = Simulation::new();
+    let cloud = Cloud::new(&sim, CloudConfig::default());
+    let opts = stage_opts(0.002, 5);
+    let spec = stage_real(&cloud, "tpch", "lineitem", opts);
+    let mut system = Lambada::install(&cloud, LambadaConfig::default());
+    system.register_table(spec);
+    let plan = lambada::workloads::q1("lineitem");
+    let (cold, hot) = sim.block_on(async move {
+        let cold = system.run_query(&plan).await.unwrap();
+        let hot = system.run_query(&plan).await.unwrap();
+        (cold, hot)
+    });
+    assert!(cold.cold_starts as usize >= cold.workers / 2, "mostly cold");
+    // The warm pool holds as many containers as the cold run's *peak
+    // concurrency*, which can be one short of the worker count when an
+    // early finisher's container served a late invocation.
+    assert!(hot.cold_starts <= 1, "second run reuses warm containers");
+    assert!(
+        cold.latency_secs > hot.latency_secs,
+        "cold {} vs hot {}",
+        cold.latency_secs,
+        hot.latency_secs
+    );
+}
+
+#[test]
+fn query_cost_is_dominated_by_lambda_compute() {
+    let plan = lambada::workloads::q1("lineitem");
+    let (_, report) = run_distributed(&plan, 0.002, 13, LambadaConfig::default());
+    let lambda = report.cost.dollars(CostItem::LambdaGibSeconds);
+    assert!(lambda > 0.0);
+    assert!(report.cost.units(CostItem::S3Get) >= 12.0, "footer + chunks per file");
+    assert!(report.cost.units(CostItem::SqsRequests) >= 6.0, "one result per worker");
+}

@@ -1,0 +1,298 @@
+//! Exchange operator correctness: every part reaches exactly its
+//! destination for every algorithm variant, and the observed request
+//! counts match the closed-form cost models of Table 2.
+
+use std::rc::Rc;
+
+use lambada::core::{
+    install_exchange_buckets, run_exchange, ComputeCostModel, ExchangeAlgo, ExchangeConfig,
+    ExchangeSide, PartData, WorkerEnv,
+};
+use lambada::sim::services::faas::{cpu_share, InstanceCtx, Instance};
+use lambada::sim::{BurstLink, Cloud, CloudConfig, CostItem, PsResource, Simulation};
+
+/// Spin up `total` bare worker environments (no FaaS dispatch — these
+/// tests isolate the exchange itself).
+fn worker_envs(cloud: &Cloud, total: usize, memory_mib: u32) -> Vec<WorkerEnv> {
+    (0..total)
+        .map(|i| {
+            let instance = Rc::new(Instance {
+                id: i as u64,
+                memory_mib,
+                cpu: PsResource::new(cloud.handle.clone(), cpu_share(memory_mib), 1.0),
+                link: BurstLink::new(
+                    cloud.handle.clone(),
+                    cloud.config.nic.link_config(memory_mib),
+                ),
+            });
+            let ctx = InstanceCtx::bare(cloud.handle.clone(), instance);
+            WorkerEnv::new(cloud, ctx, i as u64, ComputeCostModel::default())
+        })
+        .collect()
+}
+
+/// Run a full exchange where worker `p` holds one real payload
+/// `"{p}->{d}"` for every destination `d`; verify delivery.
+fn run_real_exchange(total: usize, cfg: ExchangeConfig) -> (Cloud, f64) {
+    let sim = Simulation::new();
+    let cloud = Cloud::new(&sim, CloudConfig::default());
+    install_exchange_buckets(&cloud, &cfg);
+    let envs = worker_envs(&cloud, total, 2048);
+    let side = ExchangeSide::new();
+    let start = cloud.handle.now();
+    let outcomes = sim.block_on({
+        let cloud2 = cloud.clone();
+        async move {
+            let mut joins = Vec::new();
+            for (p, env) in envs.into_iter().enumerate() {
+                let cfg = cfg.clone();
+                let side = side.clone();
+                joins.push(cloud2.handle.spawn(async move {
+                    let parts: Vec<PartData> = (0..total)
+                        .map(|d| PartData::Real(format!("{p}->{d}").into_bytes()))
+                        .collect();
+                    run_exchange(&env, &cfg, p, total, parts, &side).await.unwrap()
+                }));
+            }
+            let mut out = Vec::new();
+            for j in joins {
+                out.push(j.await);
+            }
+            out
+        }
+    });
+    let elapsed = (cloud.handle.now() - start).as_secs_f64();
+    // Every worker must have received exactly one part from every sender,
+    // all destined to itself.
+    for (p, outcome) in outcomes.iter().enumerate() {
+        assert_eq!(outcome.received.len(), total, "worker {p} received wrong count");
+        let mut senders: Vec<usize> = Vec::new();
+        for (dest, data) in &outcome.received {
+            assert_eq!(*dest as usize, p, "worker {p} got a part for {dest}");
+            let PartData::Real(bytes) = data else { panic!("real exchange") };
+            let text = String::from_utf8(bytes.clone()).unwrap();
+            let (from, to) = text.split_once("->").unwrap();
+            assert_eq!(to.parse::<usize>().unwrap(), p);
+            senders.push(from.parse().unwrap());
+        }
+        senders.sort_unstable();
+        assert_eq!(senders, (0..total).collect::<Vec<_>>(), "worker {p} senders");
+    }
+    (cloud, elapsed)
+}
+
+#[test]
+fn one_level_delivers_everything() {
+    let cfg = ExchangeConfig {
+        algo: ExchangeAlgo::OneLevel,
+        write_combining: false,
+        ..ExchangeConfig::default()
+    };
+    run_real_exchange(9, cfg);
+}
+
+#[test]
+fn one_level_write_combining_delivers() {
+    let cfg = ExchangeConfig {
+        algo: ExchangeAlgo::OneLevel,
+        write_combining: true,
+        ..ExchangeConfig::default()
+    };
+    run_real_exchange(9, cfg);
+}
+
+#[test]
+fn two_level_delivers_perfect_square() {
+    let cfg = ExchangeConfig {
+        algo: ExchangeAlgo::TwoLevel,
+        write_combining: false,
+        ..ExchangeConfig::default()
+    };
+    run_real_exchange(16, cfg);
+}
+
+#[test]
+fn two_level_delivers_ragged_sizes() {
+    for total in [5usize, 11, 13] {
+        let cfg = ExchangeConfig {
+            algo: ExchangeAlgo::TwoLevel,
+            write_combining: true,
+            run_id: total as u64,
+            ..ExchangeConfig::default()
+        };
+        run_real_exchange(total, cfg);
+    }
+}
+
+#[test]
+fn three_level_delivers_perfect_cube() {
+    for wc in [false, true] {
+        let cfg = ExchangeConfig {
+            algo: ExchangeAlgo::ThreeLevel,
+            write_combining: wc,
+            run_id: u64::from(wc),
+            ..ExchangeConfig::default()
+        };
+        run_real_exchange(8, cfg);
+    }
+}
+
+/// Observed S3 request counts must match Table 2's closed forms.
+#[test]
+fn request_counts_match_table2() {
+    // (algo, wc, P, expected reads, expected writes)
+    let cases = [
+        (ExchangeAlgo::OneLevel, false, 9usize, 81.0, 81.0),
+        (ExchangeAlgo::OneLevel, true, 9, 81.0, 9.0),
+        (ExchangeAlgo::TwoLevel, false, 16, 128.0, 128.0),
+        (ExchangeAlgo::TwoLevel, true, 16, 128.0, 32.0),
+        (ExchangeAlgo::ThreeLevel, false, 8, 48.0, 48.0),
+        (ExchangeAlgo::ThreeLevel, true, 8, 48.0, 24.0),
+    ];
+    for (algo, wc, total, reads, writes) in cases {
+        let cfg = ExchangeConfig {
+            algo,
+            write_combining: wc,
+            run_id: total as u64 * 10 + u64::from(wc),
+            ..ExchangeConfig::default()
+        };
+        let (cloud, _) = run_real_exchange(total, cfg);
+        let label = algo.label(wc);
+        let got_reads = cloud.billing.units(CostItem::S3Get);
+        let got_writes = cloud.billing.units(CostItem::S3Put);
+        assert_eq!(got_reads, reads, "{label} P={total} reads");
+        assert_eq!(got_writes, writes, "{label} P={total} writes");
+        // LISTs are O(P): a handful of polls per worker per round.
+        let lists = cloud.billing.units(CostItem::S3List);
+        let k = f64::from(algo.levels());
+        assert!(
+            lists >= k * total as f64 && lists <= 8.0 * k * total as f64,
+            "{label} P={total} lists = {lists}"
+        );
+    }
+}
+
+/// Modeled (synthetic) payloads must produce identical request counts and
+/// deliver the right sizes.
+#[test]
+fn modeled_exchange_matches_real_request_counts() {
+    let total = 16usize;
+    let make_cfg = |run_id| ExchangeConfig {
+        algo: ExchangeAlgo::TwoLevel,
+        write_combining: true,
+        run_id,
+        ..ExchangeConfig::default()
+    };
+    let (real_cloud, _) = run_real_exchange(total, make_cfg(1));
+
+    let sim = Simulation::new();
+    let cloud = Cloud::new(&sim, CloudConfig::default());
+    let cfg = make_cfg(2);
+    install_exchange_buckets(&cloud, &cfg);
+    let envs = worker_envs(&cloud, total, 2048);
+    let side = ExchangeSide::new();
+    let outcomes = sim.block_on({
+        let cloud2 = cloud.clone();
+        async move {
+            let mut joins = Vec::new();
+            for (p, env) in envs.into_iter().enumerate() {
+                let cfg = cfg.clone();
+                let side = side.clone();
+                joins.push(cloud2.handle.spawn(async move {
+                    let parts: Vec<PartData> =
+                        (0..total).map(|_| PartData::Modeled(1 << 20)).collect();
+                    run_exchange(&env, &cfg, p, total, parts, &side).await.unwrap()
+                }));
+            }
+            let mut out = Vec::new();
+            for j in joins {
+                out.push(j.await);
+            }
+            out
+        }
+    });
+    assert_eq!(
+        cloud.billing.units(CostItem::S3Put),
+        real_cloud.billing.units(CostItem::S3Put),
+        "modeled and real runs issue identical writes"
+    );
+    for (p, o) in outcomes.iter().enumerate() {
+        assert_eq!(o.received.len(), total);
+        let bytes: u64 = o.received.iter().map(|(_, d)| d.len()).sum();
+        assert_eq!(bytes, (total as u64) << 20, "worker {p} received sizes");
+    }
+}
+
+/// The exchange also runs as a regular worker task through the full FaaS
+/// dispatch path (invocation, handler, result queue) — the §5.5 set-up.
+#[test]
+fn exchange_runs_through_faas_workers() {
+    use lambada::core::{
+        invoke_workers, register_worker_function, ExchangeTask, InvocationStrategy,
+        WorkerPayload, WorkerResult, WorkerTask,
+    };
+    use std::time::Duration;
+
+    let total = 9usize;
+    let sim = Simulation::new();
+    let cloud = Cloud::new(&sim, CloudConfig::default());
+    let cfg = ExchangeConfig {
+        algo: ExchangeAlgo::TwoLevel,
+        write_combining: true,
+        ..ExchangeConfig::default()
+    };
+    install_exchange_buckets(&cloud, &cfg);
+    cloud.s3.stage(
+        "input",
+        "shard",
+        lambada::sim::services::object_store::Body::Synthetic(1 << 20),
+    );
+    register_worker_function(
+        &cloud,
+        "xchg",
+        2048,
+        Duration::from_secs(600),
+        ComputeCostModel::default(),
+    );
+    cloud.sqs.create_queue("xresults");
+    let side = ExchangeSide::new();
+    let payloads: Vec<WorkerPayload> = (0..total as u64)
+        .map(|i| WorkerPayload {
+            worker_id: i,
+            task: WorkerTask::Exchange(ExchangeTask {
+                cfg: cfg.clone(),
+                total,
+                data_bytes: 9 << 20,
+                input: Some(("input".to_string(), "shard".to_string())),
+                side: side.clone(),
+            }),
+            children: Vec::new(),
+            result_queue: "xresults".to_string(),
+        })
+        .collect();
+    let results = sim.block_on({
+        let cloud2 = cloud.clone();
+        async move {
+            invoke_workers(&cloud2, "xchg", payloads, InvocationStrategy::TwoLevel)
+                .await
+                .unwrap();
+            let sqs = cloud2.driver_sqs();
+            let mut out = Vec::new();
+            while out.len() < total {
+                for msg in sqs.receive("xresults", 10, Duration::from_secs(2)).await.unwrap() {
+                    out.push(WorkerResult::decode(&msg).unwrap());
+                }
+            }
+            out
+        }
+    });
+    assert_eq!(results.len(), total);
+    for r in &results {
+        assert!(r.outcome.is_ok(), "worker {} failed: {:?}", r.worker_id, r.outcome);
+        // Each worker received one bundle per sender.
+        assert_eq!(r.metrics.rows_in, total as u64);
+        assert!(r.metrics.bytes_read >= 1 << 20, "input read charged");
+    }
+    // Exchange spans were traced for Fig 13-style analysis.
+    assert_eq!(cloud.trace.spans("exchange_write").len(), total * 2);
+}

@@ -1,0 +1,91 @@
+//! Failure handling: workers report out-of-memory instead of dying
+//! silently (§3.3), timed-out workers *do* die silently and the driver's
+//! wait gives up, and error reports carry metrics.
+
+use std::time::Duration;
+
+use lambada::core::{CoreError, Lambada, LambadaConfig};
+use lambada::sim::{Cloud, CloudConfig, Simulation};
+use lambada::workloads::{q1, stage_real, StageOptions};
+
+fn staged(sim: &Simulation, scale: f64) -> (Cloud, lambada::core::TableSpec) {
+    let cloud = Cloud::new(sim, CloudConfig::default());
+    let opts = StageOptions { scale, num_files: 4, row_groups_per_file: 2, seed: 21 };
+    let spec = stage_real(&cloud, "tpch", "lineitem", opts);
+    (cloud, spec)
+}
+
+#[test]
+fn oom_is_reported_not_silent() {
+    // A paper-scale descriptor table with huge row groups: a 512 MiB
+    // worker cannot hold one decoded row group of Q1's seven columns.
+    let sim = Simulation::new();
+    let cloud = Cloud::new(&sim, CloudConfig::default());
+    let opts = lambada::workloads::DescriptorOptions {
+        scale: 100.0,
+        num_files: 2,
+        row_groups_per_file: 2,
+        sample_rows: 5_000,
+        ..lambada::workloads::DescriptorOptions::default()
+    };
+    let spec = lambada::workloads::stage_descriptors(&cloud, "tpch", "lineitem", &opts);
+    let mut system = Lambada::install(
+        &cloud,
+        LambadaConfig { memory_mib: 512, ..LambadaConfig::default() },
+    );
+    system.register_table(spec);
+    let err = sim.block_on(async move { system.run_query(&q1("lineitem")).await.unwrap_err() });
+    match err {
+        CoreError::Worker { message, .. } => {
+            assert!(message.contains("out of memory"), "got: {message}");
+        }
+        other => panic!("expected a worker error report, got {other}"),
+    }
+}
+
+#[test]
+fn big_enough_workers_succeed_on_same_data() {
+    let sim = Simulation::new();
+    let (cloud, spec) = staged(&sim, 0.01);
+    let mut system = Lambada::install(
+        &cloud,
+        LambadaConfig { memory_mib: 2048, ..LambadaConfig::default() },
+    );
+    system.register_table(spec);
+    let report = sim.block_on(async move { system.run_query(&q1("lineitem")).await.unwrap() });
+    assert_eq!(report.batch.num_rows(), 4);
+}
+
+#[test]
+fn function_timeout_kills_workers_and_driver_gives_up() {
+    let sim = Simulation::new();
+    let (cloud, spec) = staged(&sim, 0.01);
+    // A timeout far below the work required: every worker is killed
+    // mid-flight and never posts a result (the realistic silent death).
+    let mut system = Lambada::install(
+        &cloud,
+        LambadaConfig {
+            timeout: Duration::from_millis(200),
+            max_wait: Duration::from_secs(30),
+            ..LambadaConfig::default()
+        },
+    );
+    system.register_table(spec);
+    let err = sim.block_on(async move { system.run_query(&q1("lineitem")).await.unwrap_err() });
+    match err {
+        CoreError::Timeout { missing_workers, .. } => assert!(missing_workers > 0),
+        other => panic!("expected driver timeout, got {other}"),
+    }
+    // The FaaS layer counted the kills.
+    let (_, _, timeouts) = cloud.faas.counters("lambada-worker");
+    assert!(timeouts > 0);
+}
+
+#[test]
+fn unknown_table_is_a_clean_error() {
+    let sim = Simulation::new();
+    let cloud = Cloud::new(&sim, CloudConfig::default());
+    let system = Lambada::install(&cloud, LambadaConfig::default());
+    let err = sim.block_on(async move { system.run_query(&q1("nope")).await.unwrap_err() });
+    assert!(matches!(err, CoreError::Unsupported(_)));
+}

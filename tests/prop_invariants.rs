@@ -1,0 +1,155 @@
+//! Cross-crate property tests on the invariants the system relies on.
+
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+use lambada::core::partition::{partition_batch, row_partition};
+use lambada::core::routing::Grid;
+use lambada::engine::agg::{AggFunc, GroupedAggState};
+use lambada::engine::expr::range::can_match;
+use lambada::engine::expr::{col, lit_f64, lit_i64, Expr};
+use lambada::engine::{Column, DataType, RecordBatch};
+use lambada::format::ChunkStats;
+
+fn arb_predicate() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        (0usize..2, -50i64..50).prop_map(|(c, v)| col(c).le(lit_i64(v))),
+        (0usize..2, -50i64..50).prop_map(|(c, v)| col(c).ge(lit_i64(v))),
+        (0usize..2, -50i64..50).prop_map(|(c, v)| col(c).eq(lit_i64(v))),
+        (2usize..3, -5.0f64..5.0).prop_map(|(c, v)| col(c).lt(lit_f64(v))),
+        (0usize..2, -20i64..20, 0i64..40)
+            .prop_map(|(c, lo, w)| col(c).between(lit_i64(lo), lit_i64(lo + w))),
+    ];
+    leaf.prop_recursive(3, 16, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.and(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.or(b)),
+            inner.prop_map(|a| a.not()),
+        ]
+    })
+}
+
+proptest! {
+    /// Min/max pruning soundness: if `can_match` says a row group cannot
+    /// match, then no row in it satisfies the predicate.
+    #[test]
+    fn pruning_never_drops_matching_rows(
+        pred in arb_predicate(),
+        a in prop::collection::vec(-60i64..60, 1..80),
+        b in prop::collection::vec(-60i64..60, 1..80),
+        f in prop::collection::vec(-6.0f64..6.0, 1..80),
+    ) {
+        let n = a.len().min(b.len()).min(f.len());
+        let batch = RecordBatch::from_columns(
+            &["a", "b", "f"],
+            vec![
+                Column::I64(a[..n].to_vec()),
+                Column::I64(b[..n].to_vec()),
+                Column::F64(f[..n].to_vec()),
+            ],
+        ).unwrap();
+        let stats: Vec<Option<ChunkStats>> = (0..3)
+            .map(|i| ChunkStats::compute(&batch.column(i).clone().into_data().unwrap()))
+            .collect();
+        let lookup = |i: usize| stats.get(i).copied().flatten();
+        if !can_match(&pred, &lookup) {
+            let mask = lambada::engine::expr::eval::evaluate_mask(&pred, &batch).unwrap();
+            prop_assert!(
+                mask.iter().all(|&m| !m),
+                "pruned a row group containing matches: {pred}"
+            );
+        }
+    }
+
+    /// Merging partial aggregate states commutes with computing on the
+    /// union of the inputs.
+    #[test]
+    fn agg_merge_equals_union(
+        xs in prop::collection::vec((-5i64..5, -100i64..100), 1..200),
+        split in 0usize..200,
+    ) {
+        let split = split.min(xs.len());
+        let spec = [
+            (AggFunc::Sum, Some(DataType::Int64)),
+            (AggFunc::Count, None),
+            (AggFunc::Min, Some(DataType::Int64)),
+            (AggFunc::Max, Some(DataType::Int64)),
+        ];
+        let feed = |rows: &[(i64, i64)]| {
+            let mut st = GroupedAggState::new(&spec).unwrap();
+            if !rows.is_empty() {
+                let g = Column::I64(rows.iter().map(|r| r.0).collect());
+                let v = Column::I64(rows.iter().map(|r| r.1).collect());
+                st.update_batch(
+                    std::slice::from_ref(&g),
+                    &[Some(v.clone()), None, Some(v.clone()), Some(v)],
+                    rows.len(),
+                ).unwrap();
+            }
+            st
+        };
+        let whole = feed(&xs);
+        let mut merged = feed(&xs[..split]);
+        merged.merge(&feed(&xs[split..])).unwrap();
+        prop_assert_eq!(whole.finalize_rows(), merged.finalize_rows());
+    }
+
+    /// Aggregate state wire-format round-trips.
+    #[test]
+    fn agg_state_roundtrips(xs in prop::collection::vec((-5i64..5, -100i64..100), 0..100)) {
+        let spec = [(AggFunc::Sum, Some(DataType::Int64)), (AggFunc::Count, None)];
+        let mut st = GroupedAggState::new(&spec).unwrap();
+        if !xs.is_empty() {
+            let g = Column::I64(xs.iter().map(|r| r.0).collect());
+            let v = Column::I64(xs.iter().map(|r| r.1).collect());
+            st.update_batch(std::slice::from_ref(&g), &[Some(v), None], xs.len()).unwrap();
+        }
+        let decoded = GroupedAggState::decode(&st.encode()).unwrap();
+        prop_assert_eq!(decoded.finalize_rows(), st.finalize_rows());
+    }
+
+    /// Hash partitioning is a partition: total, disjoint, and stable.
+    #[test]
+    fn partitioning_is_a_partition(
+        keys in prop::collection::vec(any::<i64>(), 1..300),
+        parts in 1usize..40,
+    ) {
+        let batch = RecordBatch::from_columns(
+            &["k"],
+            vec![Column::I64(keys.clone())],
+        ).unwrap();
+        let out = partition_batch(&batch, &[0], parts).unwrap();
+        prop_assert_eq!(out.len(), parts);
+        let total: usize = out.iter().map(RecordBatch::num_rows).sum();
+        prop_assert_eq!(total, keys.len());
+        // Key counts preserved across the union.
+        let mut before: HashMap<i64, usize> = HashMap::new();
+        for &k in &keys {
+            *before.entry(k).or_default() += 1;
+        }
+        let mut after: HashMap<i64, usize> = HashMap::new();
+        for (pid, p) in out.iter().enumerate() {
+            for row in 0..p.num_rows() {
+                let k = p.column(0).value(row).as_i64().unwrap();
+                *after.entry(k).or_default() += 1;
+                prop_assert_eq!(row_partition(p, &[0], parts, row), pid);
+            }
+        }
+        prop_assert_eq!(before, after);
+    }
+
+    /// Two-level routing delivers for arbitrary worker counts, and every
+    /// receiver's expected-sender list matches reality.
+    #[test]
+    fn grid_routing_delivers(total in 1usize..120) {
+        let g = Grid::new(total);
+        for sender in 0..total {
+            for dest in 0..total {
+                let hop = g.round1_target(sender, dest);
+                prop_assert!(hop < total);
+                prop_assert_eq!(g.col(hop), g.col(dest));
+                prop_assert_eq!(g.round2_target(hop, dest), dest);
+            }
+        }
+    }
+}
