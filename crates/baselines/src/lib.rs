@@ -7,9 +7,9 @@
 //! rules and the latency behaviour the paper reports; constants are
 //! documented inline with their sources.
 
+pub mod ephemeral;
 pub mod iaas;
 pub mod qaas;
-pub mod ephemeral;
 
 pub use iaas::{AlwaysOnConfig, InstanceType, JobScopedPoint};
 pub use qaas::{athena, bigquery, QaasEstimate};

@@ -119,8 +119,8 @@ mod tests {
     fn athena_scales_linearly_bigquery_sublinearly() {
         let a = athena(q1(10.0)).running_time_secs / athena(q1(1.0)).running_time_secs;
         assert!((a - 10.0).abs() < 1e-9);
-        let b = bigquery(q1(10.0), 3.9).running_time_secs
-            / bigquery(q1(1.0), 3.9).running_time_secs;
+        let b =
+            bigquery(q1(10.0), 3.9).running_time_secs / bigquery(q1(1.0), 3.9).running_time_secs;
         assert!(b > 3.0 && b < 10.0, "sublinear growth, got {b}");
     }
 

@@ -51,11 +51,31 @@ fn main() {
     let base = ScanConfig::default();
     println!("{:<52} {:>10}", "configuration (1792 MiB worker)", "scan [s]");
     let configs: Vec<(&str, u32, ScanConfig)> = vec![
-        ("all levels off: 1 conn, no rg pipeline", 1792, ScanConfig { connections: 1, row_group_pipeline: 1, ..base }),
-        ("level 1+2: 4 connections, no rg pipeline", 1792, ScanConfig { connections: 4, row_group_pipeline: 1, ..base }),
-        ("level 3: + 2 row groups in flight (paper default)", 1792, ScanConfig { connections: 4, row_group_pipeline: 2, ..base }),
-        ("deeper pipeline: 4 row groups in flight", 1792, ScanConfig { connections: 4, row_group_pipeline: 4, ..base }),
-        ("small requests: 1 MiB chunks (more GETs)", 1792, ScanConfig { max_request_bytes: 1 << 20, ..base }),
+        (
+            "all levels off: 1 conn, no rg pipeline",
+            1792,
+            ScanConfig { connections: 1, row_group_pipeline: 1, ..base },
+        ),
+        (
+            "level 1+2: 4 connections, no rg pipeline",
+            1792,
+            ScanConfig { connections: 4, row_group_pipeline: 1, ..base },
+        ),
+        (
+            "level 3: + 2 row groups in flight (paper default)",
+            1792,
+            ScanConfig { connections: 4, row_group_pipeline: 2, ..base },
+        ),
+        (
+            "deeper pipeline: 4 row groups in flight",
+            1792,
+            ScanConfig { connections: 4, row_group_pipeline: 4, ..base },
+        ),
+        (
+            "small requests: 1 MiB chunks (more GETs)",
+            1792,
+            ScanConfig { max_request_bytes: 1 << 20, ..base },
+        ),
     ];
     for (label, mem, cfg) in configs {
         println!("{:<52} {:>10.2}", label, run(mem, cfg));
@@ -63,7 +83,10 @@ fn main() {
     println!("\n{:<52} {:>10}", "configuration (3008 MiB worker)", "scan [s]");
     for (label, cfg) in [
         ("single-threaded decompression", ScanConfig { parallel_decompress: false, ..base }),
-        ("parallel decompression (2nd hw thread, §4.3.2)", ScanConfig { parallel_decompress: true, ..base }),
+        (
+            "parallel decompression (2nd hw thread, §4.3.2)",
+            ScanConfig { parallel_decompress: true, ..base },
+        ),
     ] {
         println!("{:<52} {:>10.2}", label, run(3008, cfg));
     }

@@ -17,11 +17,17 @@ fn main() {
     for i in 0..9 {
         let w = 1u64 << i;
         let p = job_scoped_vm(InstanceType::c5n_xlarge(), w, TB);
-        println!("{:<8} {:>10} {:>14.1} {:>12.4}", "IaaS", p.workers, p.running_time_secs, p.cost_usd);
+        println!(
+            "{:<8} {:>10} {:>14.1} {:>12.4}",
+            "IaaS", p.workers, p.running_time_secs, p.cost_usd
+        );
     }
     for w in [8u64, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096] {
         let p = job_scoped_faas(w, TB);
-        println!("{:<8} {:>10} {:>14.1} {:>12.4}", "FaaS", p.workers, p.running_time_secs, p.cost_usd);
+        println!(
+            "{:<8} {:>10} {:>14.1} {:>12.4}",
+            "FaaS", p.workers, p.running_time_secs, p.cost_usd
+        );
     }
     let vm_best = (0..9)
         .map(|i| job_scoped_vm(InstanceType::c5n_xlarge(), 1 << i, TB))
@@ -30,7 +36,10 @@ fn main() {
     let faas_best = job_scoped_faas(4096, TB);
     println!(
         "--> cheapest IaaS ${:.3} (at {:.0}s) vs interactive FaaS ${:.3} (at {:.1}s)",
-        vm_best.cost_usd, vm_best.running_time_secs, faas_best.cost_usd, faas_best.running_time_secs
+        vm_best.cost_usd,
+        vm_best.running_time_secs,
+        faas_best.cost_usd,
+        faas_best.running_time_secs
     );
     println!("    paper: IaaS up to an order of magnitude cheaper; FaaS interactive (<10 s)");
 

@@ -6,7 +6,9 @@
 
 use lambada_bench::{banner, env_usize, fresh_cloud};
 use lambada_core::invoke::{self, labels};
-use lambada_core::{register_worker_function, ComputeCostModel, InvocationStrategy, WorkerPayload, WorkerTask};
+use lambada_core::{
+    register_worker_function, ComputeCostModel, InvocationStrategy, WorkerPayload, WorkerTask,
+};
 use std::time::Duration;
 
 fn main() {
@@ -36,9 +38,14 @@ fn main() {
     sim.block_on({
         let cloud2 = cloud.clone();
         async move {
-            invoke::invoke_workers(&cloud2, "lambada-worker", payloads, InvocationStrategy::TwoLevel)
-                .await
-                .unwrap();
+            invoke::invoke_workers(
+                &cloud2,
+                "lambada-worker",
+                payloads,
+                InvocationStrategy::TwoLevel,
+            )
+            .await
+            .unwrap();
             // Wait for every worker to start running.
             loop {
                 if cloud2.trace.spans(labels::RUNNING).len() >= total {

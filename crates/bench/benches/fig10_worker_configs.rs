@@ -5,10 +5,7 @@ use lambada_bench::{banner, env_usize, run_tpch_descriptor};
 
 fn main() {
     let num_files = env_usize("LAMBADA_FILES", 320);
-    banner(
-        "Fig 10a",
-        &format!("Q1, SF 1k ({num_files} files), F=1, varying memory M"),
-    );
+    banner("Fig 10a", &format!("Q1, SF 1k ({num_files} files), F=1, varying memory M"));
     println!(
         "{:>10} {:>8} {:>12} {:>10} {:>12} {:>10}",
         "M [MiB]", "workers", "cold [s]", "cold [c]", "hot [s]", "hot [c]"

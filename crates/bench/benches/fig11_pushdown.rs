@@ -12,13 +12,14 @@ fn main() {
         let mut times: Vec<f64> =
             run.hot.worker_metrics.iter().map(|m| m.processing_secs).collect();
         times.sort_by(f64::total_cmp);
-        let pruned_workers = run
-            .hot
-            .worker_metrics
-            .iter()
-            .filter(|m| m.row_groups_scanned == 0)
-            .count();
-        println!("\n{query}: {} workers, {} fully pruned ({:.0}%)", times.len(), pruned_workers, 100.0 * pruned_workers as f64 / times.len() as f64);
+        let pruned_workers =
+            run.hot.worker_metrics.iter().filter(|m| m.row_groups_scanned == 0).count();
+        println!(
+            "\n{query}: {} workers, {} fully pruned ({:.0}%)",
+            times.len(),
+            pruned_workers,
+            100.0 * pruned_workers as f64 / times.len() as f64
+        );
         println!(
             "  processing time: min {:.2}s p25 {:.2}s median {:.2}s p75 {:.2}s max {:.2}s",
             times[0],

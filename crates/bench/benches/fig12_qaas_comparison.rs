@@ -41,12 +41,7 @@ fn main() {
         let a = athena(shape(query, sf_factor));
         println!("{:<26} {:>12.1} {:>12.4}", "Athena", a.running_time_secs, a.cost_usd);
         let b = bigquery(shape(query, sf_factor), bigquery_hot_sf1k(query));
-        println!(
-            "{:<26} {:>12.1} {:>12.4}",
-            "BigQuery hot",
-            b.running_time_secs,
-            b.cost_usd
-        );
+        println!("{:<26} {:>12.1} {:>12.4}", "BigQuery hot", b.running_time_secs, b.cost_usd);
         println!(
             "{:<26} {:>12.1} {:>12.4}",
             "BigQuery cold (w/ load)",

@@ -9,17 +9,17 @@ fn main() {
     let w2 = env_usize("LAMBADA_FIG13_W2", 2500);
     for (bytes, workers, straggle_p, straggle_f, paper) in [
         (1e12, w1, 0.002, 0.6, "fastest ~85% of slowest; waits moderate; tail ~1.3x median"),
-        (3e12, w2, 0.004, 0.25, ">2x slower than straggler-free; >half the time is waiting; tail ~4x"),
+        (
+            3e12,
+            w2,
+            0.004,
+            0.25,
+            ">2x slower than straggler-free; >half the time is waiting; tail ~4x",
+        ),
     ] {
-        banner(
-            "Fig 13",
-            &format!("{:.0} TB, {workers} workers — phase break-down", bytes / 1e12),
-        );
-        let cfg = ExchangeConfig {
-            num_buckets: 64,
-            run_id: workers as u64,
-            ..ExchangeConfig::default()
-        };
+        banner("Fig 13", &format!("{:.0} TB, {workers} workers — phase break-down", bytes / 1e12));
+        let cfg =
+            ExchangeConfig { num_buckets: 64, run_id: workers as u64, ..ExchangeConfig::default() };
         let s = run_modeled_exchange(workers, bytes, cfg, straggle_p, straggle_f, 1234);
         println!(
             "makespan {:.1} s; fastest worker {:.1} s ({:.0}% of slowest)",

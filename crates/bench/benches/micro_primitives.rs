@@ -20,13 +20,8 @@ fn bench_encodings(c: &mut Criterion) {
         });
         g.bench_function(format!("decode/{}", enc.name()), |b| {
             b.iter(|| {
-                encoding::decode(
-                    black_box(&bytes),
-                    enc,
-                    lambada_format::PhysicalType::I64,
-                    65_536,
-                )
-                .unwrap()
+                encoding::decode(black_box(&bytes), enc, lambada_format::PhysicalType::I64, 65_536)
+                    .unwrap()
             })
         });
     }
@@ -85,8 +80,7 @@ fn bench_hash_agg(c: &mut Criterion) {
     g.throughput(Throughput::Elements(65_536));
     g.bench_function("update_batch_8_groups", |b| {
         b.iter(|| {
-            let mut st =
-                GroupedAggState::new(&[(AggFunc::Sum, Some(DataType::Float64))]).unwrap();
+            let mut st = GroupedAggState::new(&[(AggFunc::Sum, Some(DataType::Float64))]).unwrap();
             st.update_batch(
                 black_box(std::slice::from_ref(&groups)),
                 &[Some(vals.clone())],

@@ -87,10 +87,7 @@ fn intra_region_rate(region: Region, n: usize) -> f64 {
 
 fn main() {
     banner("Table 1", "characteristics of function invocations by region");
-    println!(
-        "{:<28} {:>8} {:>8} {:>8} {:>8}",
-        "metric", "eu", "us", "sa", "ap"
-    );
+    println!("{:<28} {:>8} {:>8} {:>8} {:>8}", "metric", "eu", "us", "sa", "ap");
     let singles: Vec<f64> = Region::ALL.iter().map(|&r| single_invocation_ms(r)).collect();
     println!(
         "{:<28} {:>8.0} {:>8.0} {:>8.0} {:>8.0}   (paper: 36 / 363 / 474 / 536)",
@@ -106,6 +103,9 @@ fn main() {
         "{:<28} {:>8.0} {:>8.0} {:>8.0} {:>8.0}   (paper:  81 /  79 /  84 /  81)",
         "intra-region rate [inv/s]", intra[0], intra[1], intra[2], intra[3]
     );
-    println!("--> invoking 1000 workers directly takes {:.1} s from 'eu' — too slow for", 1000.0 / rates[0]);
+    println!(
+        "--> invoking 1000 workers directly takes {:.1} s from 'eu' — too slow for",
+        1000.0 / rates[0]
+    );
     println!("    interactive queries, motivating the two-level invocation of Fig 5");
 }

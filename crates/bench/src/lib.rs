@@ -7,8 +7,8 @@
 //! everything; see EXPERIMENTS.md for the paper-vs-measured record.
 
 use lambada_core::{
-    run_exchange, ComputeCostModel, ExchangeConfig, ExchangeSide, Lambada, LambadaConfig,
-    PartData, QueryReport, WorkerEnv,
+    run_exchange, ComputeCostModel, ExchangeConfig, ExchangeSide, Lambada, LambadaConfig, PartData,
+    QueryReport, WorkerEnv,
 };
 use lambada_sim::{Cloud, CloudConfig, SimRng, Simulation};
 use lambada_workloads::{stage_descriptors, DescriptorOptions};

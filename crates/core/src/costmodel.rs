@@ -44,7 +44,6 @@ impl ComputeCostModel {
         uncompressed_len: u64,
         heavy: bool,
     ) -> f64 {
-        
         if heavy {
             compressed_len as f64 / self.decompress_bytes_per_s
                 + uncompressed_len as f64 / self.decode_bytes_per_s
@@ -62,6 +61,28 @@ impl ComputeCostModel {
     pub fn partition_seconds(&self, bytes: u64) -> f64 {
         bytes as f64 / self.partition_bytes_per_s
     }
+
+    /// Worker count for a join stage, given the estimated exchanged bytes
+    /// of both inputs and the per-worker engine memory budget.
+    ///
+    /// Per-stage fleet sizing follows the resource-allocation trade-off
+    /// of serverless query processing (Kassing et al., CIDR 2022): more
+    /// workers cut per-worker state and latency but every worker pays
+    /// invocation, request, and straggler overheads, so the model picks
+    /// the *smallest* fleet whose co-partitions fit comfortably in
+    /// memory. Each worker must simultaneously hold its build-side hash
+    /// table, a probe slice, and the join output, so a quarter of the
+    /// budget is treated as usable for raw input bytes.
+    pub fn join_stage_workers(
+        &self,
+        probe_bytes: u64,
+        build_bytes: u64,
+        memory_budget: u64,
+    ) -> usize {
+        let usable = (memory_budget / 4).max(1);
+        let total = probe_bytes + build_bytes;
+        (total.div_ceil(usable) as usize).clamp(1, 256)
+    }
 }
 
 #[cfg(test)]
@@ -76,8 +97,7 @@ mod tests {
         let compressed = 207e6 as u64;
         let uncompressed = 1050e6 as u64;
         let rows = 18_750_000;
-        let secs = m.chunk_decode_seconds(compressed, uncompressed, true)
-            + m.process_seconds(rows);
+        let secs = m.chunk_decode_seconds(compressed, uncompressed, true) + m.process_seconds(rows);
         assert!(
             (1.5..3.5).contains(&secs),
             "per-file processing {secs:.2}s outside the 2-3s band of Fig 11"
@@ -90,5 +110,23 @@ mod tests {
         let heavy = m.chunk_decode_seconds(1000, 8000, true);
         let light = m.chunk_decode_seconds(8000, 8000, false);
         assert!(light < heavy);
+    }
+
+    #[test]
+    fn join_fleet_scales_with_data_and_memory() {
+        let m = ComputeCostModel::default();
+        let gib = 1u64 << 30;
+        // Tiny join: one worker suffices.
+        assert_eq!(m.join_stage_workers(1 << 20, 1 << 20, 2 * gib), 1);
+        // 64 GiB across 2 GiB workers (512 MiB usable each): 128 workers.
+        assert_eq!(m.join_stage_workers(48 * gib, 16 * gib, 2 * gib), 128);
+        // More memory per worker shrinks the fleet.
+        assert!(
+            m.join_stage_workers(48 * gib, 16 * gib, 8 * gib)
+                < m.join_stage_workers(48 * gib, 16 * gib, 2 * gib)
+        );
+        // Clamped to a sane band.
+        assert_eq!(m.join_stage_workers(u64::MAX / 4, 0, 2 * gib), 256);
+        assert_eq!(m.join_stage_workers(0, 0, 2 * gib), 1);
     }
 }

@@ -2,6 +2,14 @@
 //! serverless workers, and collects their results from the result queue
 //! (§3.1/§3.3). Nothing here is "always on" — every run pays only for the
 //! requests and worker-seconds it uses.
+//!
+//! Single-fragment queries (Q1/Q6-style) launch one fleet. Join queries
+//! execute as a stage DAG in dependency *waves*: independent stages (the
+//! two scans of a join) launch concurrently, each hash-partitioning its
+//! rows onto an exchange edge in cloud storage; the join fleet launches
+//! one wave later and picks its co-partitions up from there. The join
+//! fleet is sized by the compute cost model. Per-stage worker counts and
+//! exact request counters are reported in [`QueryReport::stages`].
 
 use std::collections::{HashMap, HashSet};
 use std::rc::Rc;
@@ -10,18 +18,21 @@ use std::time::Duration;
 use lambada_engine::agg::GroupedAggState;
 use lambada_engine::logical::LogicalPlan;
 use lambada_engine::physical::{agg_state_to_batch, project_batch, sort_batch};
+use lambada_engine::pipeline::{PipelineSpec, Terminal};
 use lambada_engine::{Df, Optimizer, RecordBatch};
 use lambada_sim::{BillingSnapshot, Cloud};
 
 use crate::costmodel::ComputeCostModel;
 use crate::error::{CoreError, Result};
+use crate::exchange::{install_exchange_buckets, ExchangeConfig, ExchangeSide};
 use crate::invoke::{invoke_workers, InvocationStrategy};
 use crate::message::{ResultPayload, WorkerMetrics, WorkerResult};
 use crate::scan::ScanConfig;
-use crate::stage::{self, FinalStage, PostOp};
+use crate::stage::{self, FinalStage, PostOp, QueryDag, ScanStage, StageKind, StageOutput};
 use crate::table::TableSpec;
 use crate::worker::{
-    register_worker_function, FragmentShared, FragmentTask, WorkerPayload, WorkerTask,
+    register_worker_function, FragmentShared, FragmentTask, JoinShared, JoinTask,
+    ScanExchangeShared, ScanExchangeTask, WorkerPayload, WorkerTask,
 };
 
 /// System configuration fixed at installation time (§2.1's "installation").
@@ -42,6 +53,12 @@ pub struct LambadaConfig {
     pub max_wait: Duration,
     /// Bucket for collect-fragment outputs.
     pub result_bucket: String,
+    /// Exchange-edge configuration for multi-stage (join) queries.
+    pub exchange: ExchangeConfig,
+    /// Fixed join-fleet size (= exchange partition count). `None` lets
+    /// the compute cost model size the fleet from the estimated
+    /// exchanged bytes and the worker memory budget.
+    pub join_workers: Option<usize>,
 }
 
 impl Default for LambadaConfig {
@@ -57,7 +74,45 @@ impl Default for LambadaConfig {
             receive_wait: Duration::from_secs(1),
             max_wait: Duration::from_secs(900),
             result_bucket: "lambada-results".to_string(),
+            exchange: ExchangeConfig::default(),
+            join_workers: None,
         }
+    }
+}
+
+/// Per-stage execution summary of one query.
+#[derive(Clone, Debug)]
+pub struct StageReport {
+    /// `scan:<table>` or `join`.
+    pub label: String,
+    pub workers: usize,
+    /// Virtual seconds from stage launch to last worker report.
+    pub wall_secs: f64,
+    /// Billing delta of the *wave* this stage ran in. Independent stages
+    /// launch concurrently and share one snapshot, so summing this field
+    /// across stages over-counts; use the per-stage request counters
+    /// below for exact attribution.
+    pub cost: BillingSnapshot,
+    /// Rows produced by the stage (exchanged or reported).
+    pub rows_out: u64,
+    /// Bytes this stage's workers moved onto exchange edges (scan stages
+    /// of a join; zero for stages that report to the driver).
+    pub bytes_exchanged: u64,
+    /// Exact S3 request counts summed over this stage's workers: table
+    /// scans + exchange reads (GET), exchange writes + result uploads
+    /// (PUT), exchange-edge discovery polls (LIST).
+    pub get_requests: u64,
+    pub put_requests: u64,
+    pub list_requests: u64,
+}
+
+impl StageReport {
+    /// Dollar cost of this stage's S3 requests (exact, per worker
+    /// accounting — unlike [`StageReport::cost`], safe to sum).
+    pub fn request_dollars(&self, prices: &lambada_sim::Prices) -> f64 {
+        self.get_requests as f64 * prices.s3_get
+            + self.put_requests as f64 * prices.s3_put
+            + self.list_requests as f64 * prices.s3_list
     }
 }
 
@@ -69,13 +124,16 @@ pub struct QueryReport {
     /// End-to-end latency in (virtual) seconds: invocation + work +
     /// result collection (§5.1's measurement definition).
     pub latency_secs: f64,
-    /// Seconds until all driver-side invocations were accepted.
+    /// Seconds spent in driver-side invocation calls, summed over stages.
     pub invoke_secs: f64,
     /// Billing delta attributable to this query.
     pub cost: BillingSnapshot,
+    /// Total workers across all stages.
     pub workers: usize,
     pub cold_starts: u64,
     pub worker_metrics: Vec<WorkerMetrics>,
+    /// One entry per executed stage, in launch order.
+    pub stages: Vec<StageReport>,
 }
 
 impl QueryReport {
@@ -90,11 +148,26 @@ pub struct Lambada {
     config: LambadaConfig,
     tables: HashMap<String, TableSpec>,
     query_seq: std::cell::Cell<u64>,
+    /// Process-unique installation id, namespacing exchange-edge keys so
+    /// several installations (or re-installs) on one cloud never collide.
+    instance: u64,
+}
+
+static INSTANCE_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+/// Result of one stage's fleet: the collected worker reports plus timing.
+struct StageRun {
+    results: Vec<WorkerResult>,
+    workers: usize,
+    invoke_secs: f64,
+    wall_secs: f64,
+    cost: BillingSnapshot,
 }
 
 impl Lambada {
     /// Install the system: register the worker function and create the
-    /// result bucket. Only serverless resources — nothing keeps running.
+    /// result + exchange buckets. Only serverless resources — nothing
+    /// keeps running between queries.
     pub fn install(cloud: &Cloud, config: LambadaConfig) -> Lambada {
         register_worker_function(
             cloud,
@@ -104,11 +177,13 @@ impl Lambada {
             config.costs,
         );
         cloud.s3.create_bucket(&config.result_bucket);
+        install_exchange_buckets(cloud, &config.exchange);
         Lambada {
             cloud: cloud.clone(),
             config,
             tables: HashMap::new(),
             query_seq: std::cell::Cell::new(0),
+            instance: INSTANCE_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
         }
     }
 
@@ -149,117 +224,297 @@ impl Lambada {
         Ok(Df::scan(name, &spec.schema))
     }
 
+    fn table_spec(&self, name: &str) -> Result<&TableSpec> {
+        self.tables.get(name).ok_or_else(|| CoreError::Unsupported(format!("unknown table {name}")))
+    }
+
     /// Optimize and execute a query across serverless workers.
     pub async fn run_query(&self, plan: &LogicalPlan) -> Result<QueryReport> {
         let hints: HashMap<String, u64> =
             self.tables.iter().map(|(k, v)| (k.clone(), v.total_rows)).collect();
         let optimized = Optimizer::with_row_hints(hints).optimize(plan)?;
-        let stage = stage::split(&optimized)?;
-        let spec = self
-            .tables
-            .get(&stage.table)
-            .ok_or_else(|| CoreError::Unsupported(format!("unknown table {}", stage.table)))?;
+        let dag = stage::split(&optimized)?;
 
         let qid = self.query_seq.get();
         self.query_seq.set(qid + 1);
-        let result_queue = format!("lambada-results-q{qid}");
-        self.cloud.sqs.create_queue(&result_queue);
-
-        // One worker per F files (§5.2: W = #files / F).
-        let shared = Rc::new(FragmentShared {
-            base_schema: spec.schema.clone(),
-            scan_columns: stage.scan_columns.clone(),
-            prune_predicate: stage.prune_predicate.clone(),
-            pipeline: stage.pipeline.clone(),
-            scan: self.config.scan,
-            result_bucket: self.config.result_bucket.clone(),
-        });
-        let f = self.config.files_per_worker.max(1);
-        let mut payloads = Vec::new();
-        for (wid, chunk) in spec.files.chunks(f).enumerate() {
-            payloads.push(WorkerPayload {
-                worker_id: wid as u64,
-                task: WorkerTask::Fragment(FragmentTask {
-                    shared: Rc::clone(&shared),
-                    files: chunk.to_vec(),
-                }),
-                children: Vec::new(),
-                result_queue: result_queue.clone(),
-            });
-        }
-        let workers = payloads.len();
 
         let start = self.cloud.handle.now();
         let cost_before = self.cloud.billing.snapshot();
-        invoke_workers(&self.cloud, &self.config.function_name, payloads, self.config.strategy)
-            .await?;
-        let invoke_secs = (self.cloud.handle.now() - start).as_secs_f64();
 
-        let results = self.collect_results(&result_queue, workers).await?;
-        let batch = self.finalize(&stage.final_stage, &results).await?;
+        let mut stage_reports: Vec<StageReport> = Vec::new();
+        let mut all_metrics: Vec<WorkerMetrics> = Vec::new();
+        let mut invoke_secs = 0.0;
+        let mut cold_starts = 0u64;
+        let mut workers_total = 0usize;
 
+        // The join fleet's size doubles as the partition count of every
+        // exchange edge, so it is fixed before any stage launches. Worker
+        // counts of every stage are likewise known up front, which is
+        // what lets independent stages launch together.
+        let partitions = self.join_partitions(&dag)?;
+        let side = ExchangeSide::new();
+        let planned_workers = self.planned_workers(&dag, partitions)?;
+
+        // Group stages into dependency waves: all scans are sources,
+        // a join runs one wave after its latest input. Stages within a
+        // wave execute concurrently (the exchange edges synchronize
+        // through storage either way).
+        let mut levels: Vec<usize> = Vec::with_capacity(dag.stages.len());
+        for kind in &dag.stages {
+            levels.push(match kind {
+                StageKind::Scan(_) => 0,
+                StageKind::Join(j) => 1 + levels[j.probe_input].max(levels[j.build_input]),
+            });
+        }
+        let max_level = levels.iter().copied().max().unwrap_or(0);
+
+        let mut runs: Vec<Option<StageRun>> = dag.stages.iter().map(|_| None).collect();
+        for level in 0..=max_level {
+            let wave: Vec<usize> =
+                (0..dag.stages.len()).filter(|&sid| levels[sid] == level).collect();
+            let wave_before = self.cloud.billing.snapshot();
+            let mut handles = Vec::with_capacity(wave.len());
+            for &sid in &wave {
+                let result_queue = format!("lambada-results-x{}-q{qid}-s{sid}", self.instance);
+                self.cloud.sqs.create_queue(&result_queue);
+                let payloads = match &dag.stages[sid] {
+                    StageKind::Scan(scan) => {
+                        self.scan_stage_payloads(qid, sid, scan, partitions, &side, &result_queue)?
+                    }
+                    StageKind::Join(join) => self.join_stage_payloads(
+                        qid,
+                        join,
+                        partitions,
+                        &side,
+                        &planned_workers,
+                        &result_queue,
+                    ),
+                };
+                handles.push(self.cloud.handle.spawn(run_fleet(
+                    self.cloud.clone(),
+                    self.config.clone(),
+                    result_queue,
+                    payloads,
+                )));
+            }
+            let wave_runs = lambada_sim::sync::join_all(handles).await;
+            let wave_cost = self.cloud.billing.snapshot().since(&wave_before);
+            for (&sid, run) in wave.iter().zip(wave_runs) {
+                let mut run = run?;
+                run.cost = wave_cost;
+                runs[sid] = Some(run);
+            }
+        }
+
+        let mut final_results: Vec<WorkerResult> = Vec::new();
+        for (sid, kind) in dag.stages.iter().enumerate() {
+            let run = runs[sid].take().expect("every stage ran");
+            workers_total += run.workers;
+            invoke_secs += run.invoke_secs;
+            cold_starts += run.results.iter().filter(|r| r.metrics.cold_start).count() as u64;
+            all_metrics.extend(run.results.iter().map(|r| r.metrics));
+            stage_reports.push(StageReport {
+                label: kind.label(),
+                workers: run.workers,
+                wall_secs: run.wall_secs,
+                cost: run.cost,
+                rows_out: run
+                    .results
+                    .iter()
+                    .map(|r| match &r.outcome {
+                        Ok(ResultPayload::Exchanged { rows, .. }) => *rows,
+                        Ok(ResultPayload::StoredBatches { rows, .. }) => *rows,
+                        _ => r.metrics.rows_out,
+                    })
+                    .sum(),
+                bytes_exchanged: run
+                    .results
+                    .iter()
+                    .map(|r| match &r.outcome {
+                        Ok(ResultPayload::Exchanged { bytes, .. }) => *bytes,
+                        _ => 0,
+                    })
+                    .sum(),
+                get_requests: run.results.iter().map(|r| r.metrics.get_requests).sum(),
+                put_requests: run.results.iter().map(|r| r.metrics.put_requests).sum(),
+                list_requests: run.results.iter().map(|r| r.metrics.list_requests).sum(),
+            });
+            if sid + 1 == dag.stages.len() {
+                final_results = run.results;
+            }
+        }
+
+        let batch = self.finalize(&dag.final_stage, &final_results).await?;
         let latency_secs = (self.cloud.handle.now() - start).as_secs_f64();
         let cost = self.cloud.billing.snapshot().since(&cost_before);
-        let cold_starts = results.iter().filter(|r| r.metrics.cold_start).count() as u64;
         Ok(QueryReport {
             batch,
             latency_secs,
             invoke_secs,
             cost,
-            workers,
+            workers: workers_total,
             cold_starts,
-            worker_metrics: results.iter().map(|r| r.metrics).collect(),
+            worker_metrics: all_metrics,
+            stages: stage_reports,
         })
     }
 
-    /// Poll the result queue until all workers reported (§3.3). Like the
-    /// invoker, the driver polls from a small thread pool — with
-    /// thousands of workers a single serial receive loop would dominate
-    /// query latency.
-    async fn collect_results(&self, queue: &str, workers: usize) -> Result<Vec<WorkerResult>> {
-        let mut seen: HashSet<u64> = HashSet::with_capacity(workers);
-        let mut results = Vec::with_capacity(workers);
-        let deadline = self.cloud.handle.now() + self.config.max_wait;
-        let pollers = workers.div_ceil(10).clamp(1, 16);
-        while seen.len() < workers {
-            if self.cloud.handle.now() >= deadline {
-                return Err(CoreError::Timeout {
-                    waited_secs: self.config.max_wait.as_secs_f64(),
-                    missing_workers: workers - seen.len(),
-                });
-            }
-            let mut receives = Vec::with_capacity(pollers);
-            for _ in 0..pollers {
-                let sqs = self.cloud.driver_sqs();
-                let queue = queue.to_string();
-                let wait = self.config.receive_wait;
-                receives.push(
-                    self.cloud.handle.spawn(async move { sqs.receive(&queue, 10, wait).await }),
-                );
-            }
-            for r in lambada_sim::sync::join_all(receives).await {
-                for msg in r? {
-                    let result = WorkerResult::decode(&msg)?;
-                    if seen.insert(result.worker_id) {
-                        results.push(result);
-                    }
+    /// Size the join fleet (= exchange partition count) from the scan
+    /// stages' estimated output volume and the worker memory budget.
+    fn join_partitions(&self, dag: &QueryDag) -> Result<usize> {
+        if let Some(w) = self.config.join_workers {
+            return Ok(w.max(1));
+        }
+        let mut exchanged = Vec::new();
+        for kind in &dag.stages {
+            if let StageKind::Scan(scan) = kind {
+                if matches!(scan.output, StageOutput::Exchange { .. }) {
+                    let spec = self.table_spec(&scan.table)?;
+                    let width = spec.schema.len().max(1);
+                    // Crude column-selectivity estimate: exchanged bytes
+                    // scale with the fraction of columns that survive.
+                    let frac = scan.scan_columns.len() as f64 / width as f64;
+                    exchanged.push((spec.total_bytes() as f64 * frac) as u64);
                 }
             }
         }
-        // Surface the first worker error (§3.3: errors are reported, the
-        // driver decides).
-        for r in &results {
-            if let Err(message) = &r.outcome {
-                return Err(CoreError::Worker { worker_id: r.worker_id, message: message.clone() });
+        if exchanged.is_empty() {
+            return Ok(1);
+        }
+        let budget = u64::from(self.config.memory_mib) * 1024 * 1024;
+        let probe = exchanged.first().copied().unwrap_or(0);
+        let build = exchanged.get(1).copied().unwrap_or(0);
+        Ok(self.config.costs.join_stage_workers(probe, build, budget))
+    }
+
+    /// Worker count of every stage, derivable before anything launches:
+    /// `ceil(#files / F)` per scan (§5.2), the partition count for joins.
+    fn planned_workers(&self, dag: &QueryDag, partitions: usize) -> Result<Vec<usize>> {
+        let f = self.config.files_per_worker.max(1);
+        dag.stages
+            .iter()
+            .map(|kind| match kind {
+                StageKind::Scan(scan) => Ok(self.table_spec(&scan.table)?.files.len().div_ceil(f)),
+                StageKind::Join(_) => Ok(partitions),
+            })
+            .collect()
+    }
+
+    /// Build one scan stage's worker payloads.
+    fn scan_stage_payloads(
+        &self,
+        qid: u64,
+        sid: usize,
+        scan: &ScanStage,
+        partitions: usize,
+        side: &ExchangeSide,
+        result_queue: &str,
+    ) -> Result<Vec<WorkerPayload>> {
+        let spec = self.table_spec(&scan.table)?;
+        // One worker per F files (§5.2: W = #files / F).
+        let f = self.config.files_per_worker.max(1);
+        let fragment = FragmentShared {
+            base_schema: spec.schema.clone(),
+            scan_columns: scan.scan_columns.clone(),
+            prune_predicate: scan.prune_predicate.clone(),
+            pipeline: scan.pipeline.clone(),
+            scan: self.config.scan,
+            result_bucket: self.config.result_bucket.clone(),
+        };
+        let mut payloads = Vec::new();
+        match &scan.output {
+            StageOutput::Driver => {
+                let shared = Rc::new(fragment);
+                for (wid, chunk) in spec.files.chunks(f).enumerate() {
+                    payloads.push(WorkerPayload {
+                        worker_id: wid as u64,
+                        task: WorkerTask::Fragment(FragmentTask {
+                            shared: Rc::clone(&shared),
+                            files: chunk.to_vec(),
+                        }),
+                        children: Vec::new(),
+                        result_queue: result_queue.to_string(),
+                    });
+                }
+            }
+            StageOutput::Exchange { keys } => {
+                let mut fragment = fragment;
+                fragment.pipeline = PipelineSpec {
+                    terminal: Terminal::HashPartition { keys: keys.clone(), partitions },
+                    ..fragment.pipeline
+                };
+                let shared = Rc::new(ScanExchangeShared {
+                    fragment,
+                    channel: self.channel(qid, sid),
+                    exchange: self.config.exchange.clone(),
+                    side: side.clone(),
+                });
+                for (wid, chunk) in spec.files.chunks(f).enumerate() {
+                    payloads.push(WorkerPayload {
+                        worker_id: wid as u64,
+                        task: WorkerTask::ScanExchange(ScanExchangeTask {
+                            shared: Rc::clone(&shared),
+                            files: chunk.to_vec(),
+                        }),
+                        children: Vec::new(),
+                        result_queue: result_queue.to_string(),
+                    });
+                }
             }
         }
-        results.sort_by_key(|r| r.worker_id);
-        Ok(results)
+        Ok(payloads)
+    }
+
+    /// Build the join fleet's payloads: worker `p` handles co-partition
+    /// `p` of both exchange edges.
+    fn join_stage_payloads(
+        &self,
+        qid: u64,
+        join: &crate::stage::JoinStage,
+        partitions: usize,
+        side: &ExchangeSide,
+        planned_workers: &[usize],
+        result_queue: &str,
+    ) -> Vec<WorkerPayload> {
+        let shared = Rc::new(JoinShared {
+            probe_channel: self.channel(qid, join.probe_input),
+            build_channel: self.channel(qid, join.build_input),
+            probe_senders: planned_workers[join.probe_input],
+            build_senders: planned_workers[join.build_input],
+            probe_schema: join.probe_schema.clone(),
+            build_schema: join.build_schema.clone(),
+            probe_keys: join.probe_keys.clone(),
+            build_keys: join.build_keys.clone(),
+            post: join.post.clone(),
+            exchange: self.config.exchange.clone(),
+            side: side.clone(),
+            result_bucket: self.config.result_bucket.clone(),
+            result_prefix: format!("results/x{}-q{qid}", self.instance),
+        });
+        (0..partitions)
+            .map(|p| WorkerPayload {
+                worker_id: p as u64,
+                task: WorkerTask::Join(JoinTask { shared: Rc::clone(&shared) }),
+                children: Vec::new(),
+                result_queue: result_queue.to_string(),
+            })
+            .collect()
+    }
+
+    /// Exchange-edge key prefix of stage `sid` of query `qid`, namespaced
+    /// by the installation so concurrent or successive installations on
+    /// one cloud never read each other's shuffle files.
+    fn channel(&self, qid: u64, sid: usize) -> String {
+        format!("x{}/q{qid}/s{sid}", self.instance)
     }
 
     /// Driver-scope post-processing (§3.2: "post-processing like
     /// aggregating the intermediate worker results").
-    async fn finalize(&self, final_stage: &FinalStage, results: &[WorkerResult]) -> Result<RecordBatch> {
+    async fn finalize(
+        &self,
+        final_stage: &FinalStage,
+        results: &[WorkerResult],
+    ) -> Result<RecordBatch> {
         match final_stage {
             FinalStage::MergeAggregate { agg_schema, funcs, post } => {
                 let mut state = GroupedAggState::new(funcs)?;
@@ -302,4 +557,75 @@ impl Lambada {
         }
         Ok(batch)
     }
+}
+
+/// Invoke one stage's fleet and collect every worker's report. A free
+/// function over owned handles so waves of independent stages can run as
+/// concurrently spawned tasks.
+async fn run_fleet(
+    cloud: Cloud,
+    config: LambadaConfig,
+    result_queue: String,
+    payloads: Vec<WorkerPayload>,
+) -> Result<StageRun> {
+    let workers = payloads.len();
+    let stage_start = cloud.handle.now();
+    invoke_workers(&cloud, &config.function_name, payloads, config.strategy).await?;
+    let invoke_secs = (cloud.handle.now() - stage_start).as_secs_f64();
+    let results = collect_results(&cloud, &config, &result_queue, workers).await?;
+    Ok(StageRun {
+        results,
+        workers,
+        invoke_secs,
+        wall_secs: (cloud.handle.now() - stage_start).as_secs_f64(),
+        // Filled in by the caller with the wave's billing delta.
+        cost: BillingSnapshot::default(),
+    })
+}
+
+/// Poll the result queue until all workers reported (§3.3). Like the
+/// invoker, the driver polls from a small thread pool — with thousands
+/// of workers a single serial receive loop would dominate query latency.
+async fn collect_results(
+    cloud: &Cloud,
+    config: &LambadaConfig,
+    queue: &str,
+    workers: usize,
+) -> Result<Vec<WorkerResult>> {
+    let mut seen: HashSet<u64> = HashSet::with_capacity(workers);
+    let mut results = Vec::with_capacity(workers);
+    let deadline = cloud.handle.now() + config.max_wait;
+    let pollers = workers.div_ceil(10).clamp(1, 16);
+    while seen.len() < workers {
+        if cloud.handle.now() >= deadline {
+            return Err(CoreError::Timeout {
+                waited_secs: config.max_wait.as_secs_f64(),
+                missing_workers: workers - seen.len(),
+            });
+        }
+        let mut receives = Vec::with_capacity(pollers);
+        for _ in 0..pollers {
+            let sqs = cloud.driver_sqs();
+            let queue = queue.to_string();
+            let wait = config.receive_wait;
+            receives.push(cloud.handle.spawn(async move { sqs.receive(&queue, 10, wait).await }));
+        }
+        for r in lambada_sim::sync::join_all(receives).await {
+            for msg in r? {
+                let result = WorkerResult::decode(&msg)?;
+                if seen.insert(result.worker_id) {
+                    results.push(result);
+                }
+            }
+        }
+    }
+    // Surface the first worker error (§3.3: errors are reported, the
+    // driver decides).
+    for r in &results {
+        if let Err(message) = &r.outcome {
+            return Err(CoreError::Worker { worker_id: r.worker_id, message: message.clone() });
+        }
+    }
+    results.sort_by_key(|r| r.worker_id);
+    Ok(results)
 }

@@ -210,8 +210,7 @@ fn encode_bundle(parts: &[(u32, PartData)]) -> Result<(Body, Option<BundleSizes>
         }
         Ok((Body::from_vec(w.into_bytes()), None))
     } else {
-        let total: u64 =
-            parts.iter().map(|(_, d)| d.len() + 10).sum::<u64>() + 4;
+        let total: u64 = parts.iter().map(|(_, d)| d.len() + 10).sum::<u64>() + 4;
         let sizes = parts.iter().map(|(dest, d)| (*dest, d.len())).collect();
         Ok((Body::Synthetic(total), Some(sizes)))
     }
@@ -239,7 +238,12 @@ fn decode_bundle(body: Body, side_sizes: Vec<(u32, u64)>) -> Result<Vec<(u32, Pa
 /// Offsets encoded into write-combined file names (§4.4.3 variant 2):
 /// `snd{p}.{rcv}_{len}.{rcv}_{len}...`
 fn wc_name(run: u64, round: usize, group: usize, sender: usize, sections: &[(u32, u64)]) -> String {
-    let mut name = format!("x{run}/r{round}/g{group}/snd{sender}");
+    wc_key(&format!("x{run}/r{round}/g{group}"), sender, sections)
+}
+
+/// Same name scheme under an arbitrary prefix (stage-edge exchanges).
+fn wc_key(prefix: &str, sender: usize, sections: &[(u32, u64)]) -> String {
+    let mut name = format!("{prefix}/snd{sender}");
     for (rcv, len) in sections {
         name.push_str(&format!(".{rcv}_{len}"));
     }
@@ -404,6 +408,174 @@ pub async fn run_exchange(
     }
 
     Ok(ExchangeOutcome { received: held, rounds: timings })
+}
+
+/// Write one sender's partitioned output onto a *stage edge*: the
+/// exchange variant where the producer and consumer are different worker
+/// fleets (the scan → join edges of a distributed join) rather than one
+/// fleet shuffling among itself. Always write-combined: a single PUT per
+/// sender carries every receiver's section, with per-receiver offsets in
+/// the file *name* (§4.4.3), sharded over the exchange buckets by sender
+/// id (§4.4.1).
+///
+/// `parts[r]` is the payload destined to consumer-stage worker `r`;
+/// zero-length parts still get a name section (so receivers learn they
+/// have nothing to fetch) but no bytes.
+pub async fn exchange_stage_write(
+    env: &WorkerEnv,
+    cfg: &ExchangeConfig,
+    channel: &str,
+    sender: usize,
+    parts: Vec<PartData>,
+    side: &ExchangeSide,
+) -> Result<u64> {
+    let held_bytes: u64 = parts.iter().map(PartData::len).sum();
+    env.compute(env.costs.partition_seconds(held_bytes)).await;
+    let start = env.cloud.handle.now();
+    let mut file_bytes: Vec<u8> = Vec::new();
+    let mut synthetic_total = 0u64;
+    let mut any_synthetic = false;
+    let mut name_sections: Vec<(u32, u64)> = Vec::with_capacity(parts.len());
+    let mut side_entries: Vec<(u32, Vec<(u32, u64)>)> = Vec::new();
+    for (rcv, data) in parts.into_iter().enumerate() {
+        if data.is_empty() {
+            name_sections.push((rcv as u32, 0));
+            continue;
+        }
+        let (body, sizes) = encode_bundle(&[(rcv as u32, data)])?;
+        name_sections.push((rcv as u32, body.len()));
+        match body {
+            Body::Real(b) => file_bytes.extend_from_slice(&b),
+            Body::Synthetic(n) => {
+                any_synthetic = true;
+                synthetic_total += n;
+            }
+        }
+        if let Some(sizes) = sizes {
+            side_entries.push((rcv as u32, sizes));
+        }
+    }
+    let key = wc_key(channel, sender, &name_sections);
+    let bucket = cfg.bucket_of(sender);
+    let body = if any_synthetic {
+        Body::Synthetic(synthetic_total + file_bytes.len() as u64)
+    } else {
+        Body::from_vec(file_bytes)
+    };
+    let written = body.len();
+    for (rcv, sizes) in side_entries {
+        side.put(format!("{bucket}/{key}"), rcv, sizes);
+    }
+    env.s3.put(&bucket, &key, body).await?;
+    env.cloud.trace.record(env.worker_id, "exchange_write", start, env.cloud.handle.now());
+    Ok(written)
+}
+
+/// Request accounting of one [`exchange_stage_read`] call.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct EdgeReadStats {
+    pub list_requests: u64,
+    pub get_requests: u64,
+    pub bytes_read: u64,
+}
+
+/// Read one receiver's co-partition from a stage edge: LIST-poll until
+/// all `senders` producer files are visible (receivers may start before
+/// producers finish — everything synchronizes through storage), then
+/// ranged-GET this receiver's section of each file.
+pub async fn exchange_stage_read(
+    env: &WorkerEnv,
+    cfg: &ExchangeConfig,
+    channel: &str,
+    receiver: usize,
+    senders: usize,
+    side: &ExchangeSide,
+) -> Result<(Vec<PartData>, EdgeReadStats)> {
+    let mut stats = EdgeReadStats::default();
+    if senders == 0 {
+        return Ok((Vec::new(), stats));
+    }
+    let wait_start = env.cloud.handle.now();
+    // Senders shard across buckets by id; poll each (bucket, prefix) pair
+    // that holds at least one expected sender.
+    let mut groups: HashMap<String, Vec<usize>> = HashMap::new();
+    for s in 0..senders {
+        groups.entry(cfg.bucket_of(s)).or_default().push(s);
+    }
+    let prefix = format!("{channel}/");
+    let mut refs: Vec<FileRef> = Vec::with_capacity(senders);
+    for (bucket, expected) in groups {
+        let mut polls = 0;
+        loop {
+            let listing = env.s3.list(&bucket, &prefix).await?;
+            stats.list_requests += 1;
+            let mut found: HashMap<usize, (String, Vec<(u32, u64)>)> = HashMap::new();
+            for (key, _) in &listing {
+                let (snd, sections) = parse_wc_sections(key)?;
+                found.insert(snd, (key.clone(), sections));
+            }
+            if expected.iter().all(|s| found.contains_key(s)) {
+                for s in &expected {
+                    let (key, sections) = &found[s];
+                    let mut offset = 0u64;
+                    let mut my_len = None;
+                    for (rcv, len) in sections {
+                        if *rcv as usize == receiver {
+                            my_len = Some(*len);
+                            break;
+                        }
+                        offset += len;
+                    }
+                    let len = my_len.ok_or_else(|| {
+                        CoreError::Storage(format!("no section for receiver {receiver} in {key}"))
+                    })?;
+                    refs.push((bucket.clone(), key.clone(), Some(offset), Some(len)));
+                }
+                break;
+            }
+            polls += 1;
+            if polls >= cfg.max_polls {
+                return Err(CoreError::Timeout {
+                    waited_secs: cfg.poll_interval.as_secs_f64() * polls as f64,
+                    missing_workers: expected.iter().filter(|s| !found.contains_key(s)).count(),
+                });
+            }
+            env.cloud.handle.sleep(backoff(cfg.poll_interval, polls)).await;
+        }
+    }
+    let wait_end = env.cloud.handle.now();
+    env.cloud.trace.record(env.worker_id, "exchange_wait", wait_start, wait_end);
+
+    let conn = Semaphore::new(16);
+    let mut gets = Vec::new();
+    for (bucket, key, offset, len) in refs {
+        if len == Some(0) {
+            continue; // empty section, nothing to fetch
+        }
+        let env2 = env.clone();
+        let conn2 = conn.clone();
+        let side2 = side.clone();
+        let receiver = receiver as u32;
+        gets.push(env.cloud.handle.spawn(async move {
+            let _permit = conn2.acquire(1).await;
+            let body = match (offset, len) {
+                (Some(off), Some(l)) => env2.s3.get_range(&bucket, &key, off, l).await?,
+                _ => env2.s3.get(&bucket, &key).await?,
+            };
+            let sizes = side2.get(&format!("{bucket}/{key}"), receiver);
+            decode_bundle(body, sizes)
+        }));
+    }
+    let mut out = Vec::new();
+    for r in join_all(gets).await {
+        for (_, data) in r? {
+            stats.get_requests += 1;
+            stats.bytes_read += data.len();
+            out.push(data);
+        }
+    }
+    env.cloud.trace.record(env.worker_id, "exchange_read", wait_end, env.cloud.handle.now());
+    Ok((out, stats))
 }
 
 type FileRef = (String, String, Option<u64>, Option<u64>); // bucket, key, offset, len

@@ -16,11 +16,18 @@
 //!   request concurrency (§4.3, Figs 6–8, 11);
 //! * [`exchange`] — the purely serverless exchange operator family with
 //!   multi-level routing and write combining (§4.4, Fig 9, Tables 2–3,
-//!   Fig 13), plus its closed-form cost models in [`exchange_cost`];
+//!   Fig 13), plus its closed-form cost models in [`exchange_cost`]. The
+//!   same machinery powers *stage edges*
+//!   ([`exchange::exchange_stage_write`] / [`exchange::exchange_stage_read`]):
+//!   write-combined, bucket-sharded shuffles between the producer and
+//!   consumer fleets of a multi-stage query;
 //! * [`worker`] / [`driver`] / [`stage`] — the worker handler, the
-//!   driver/session logic, and the scope-splitting distributed planner
-//!   (§3.2–3.3);
-//! * [`costmodel`] — calibrated vCPU-second charges for engine work.
+//!   driver/session logic, and the distributed planner. [`stage::split`]
+//!   turns an optimized plan into a [`stage::QueryDag`]: one fragment for
+//!   scan-only queries, or scan → exchange → join stages for partitioned
+//!   hash joins, which the driver executes fleet by fleet;
+//! * [`costmodel`] — calibrated vCPU-second charges for engine work and
+//!   per-stage fleet sizing for join queries.
 
 pub mod costmodel;
 pub mod driver;
@@ -38,19 +45,20 @@ pub mod table;
 pub mod worker;
 
 pub use costmodel::ComputeCostModel;
-pub use driver::{Lambada, LambadaConfig, QueryReport};
+pub use driver::{Lambada, LambadaConfig, QueryReport, StageReport};
 pub use env::WorkerEnv;
 pub use error::{CoreError, Result};
 pub use exchange::{
-    install_exchange_buckets, run_exchange, ExchangeConfig, ExchangeOutcome, ExchangeSide,
-    PartData,
+    exchange_stage_read, exchange_stage_write, install_exchange_buckets, run_exchange,
+    ExchangeConfig, ExchangeOutcome, ExchangeSide, PartData,
 };
 pub use exchange_cost::{request_counts, request_dollars, ExchangeAlgo, RequestCounts};
 pub use invoke::{invoke_workers, InvocationStrategy};
 pub use message::{ResultPayload, WorkerMetrics, WorkerResult};
 pub use scan::{scan_table, ScanConfig, ScanItem, ScanMetrics};
+pub use stage::{QueryDag, StageKind};
 pub use table::{TableFile, TableSpec};
 pub use worker::{
-    register_worker_function, ExchangeTask, FragmentShared, FragmentTask, WorkerPayload,
-    WorkerTask,
+    register_worker_function, ExchangeTask, FragmentShared, FragmentTask, JoinShared, JoinTask,
+    ScanExchangeShared, ScanExchangeTask, WorkerPayload, WorkerTask,
 };

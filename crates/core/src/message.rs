@@ -27,6 +27,15 @@ pub struct WorkerMetrics {
     pub row_groups_pruned: u64,
     /// Row groups scanned.
     pub row_groups_scanned: u64,
+    /// Bytes written to cloud storage (exchange edges, stored results).
+    pub bytes_written: u64,
+    /// PUT requests issued (exchange writes, result uploads).
+    pub put_requests: u64,
+    /// LIST requests issued (exchange-edge discovery polls).
+    pub list_requests: u64,
+    /// Rows exchanged to the consumer stage (hash-partition fragments) or
+    /// received from producer stages (join workers).
+    pub rows_exchanged: u64,
     /// Whether this invocation was a cold start.
     pub cold_start: bool,
 }
@@ -40,6 +49,10 @@ impl WorkerMetrics {
         w.varint(self.get_requests);
         w.varint(self.row_groups_pruned);
         w.varint(self.row_groups_scanned);
+        w.varint(self.bytes_written);
+        w.varint(self.put_requests);
+        w.varint(self.list_requests);
+        w.varint(self.rows_exchanged);
         w.bool(self.cold_start);
     }
 
@@ -52,6 +65,10 @@ impl WorkerMetrics {
             get_requests: r.varint()?,
             row_groups_pruned: r.varint()?,
             row_groups_scanned: r.varint()?,
+            bytes_written: r.varint()?,
+            put_requests: r.varint()?,
+            list_requests: r.varint()?,
+            rows_exchanged: r.varint()?,
             cold_start: r.bool()?,
         })
     }
@@ -66,6 +83,9 @@ pub enum ResultPayload {
     StoredBatches { bucket: String, key: String, rows: u64 },
     /// Fragment produced nothing (e.g. all row groups pruned).
     Empty,
+    /// The fragment's rows went to an exchange edge, not to the driver
+    /// (scan stages of a distributed join).
+    Exchanged { rows: u64, bytes: u64 },
 }
 
 /// One message on the result queue.
@@ -81,7 +101,11 @@ impl WorkerResult {
         WorkerResult { worker_id, outcome: Ok(payload), metrics }
     }
 
-    pub fn error(worker_id: u64, message: impl Into<String>, metrics: WorkerMetrics) -> WorkerResult {
+    pub fn error(
+        worker_id: u64,
+        message: impl Into<String>,
+        metrics: WorkerMetrics,
+    ) -> WorkerResult {
         WorkerResult { worker_id, outcome: Err(message.into()), metrics }
     }
 
@@ -101,6 +125,11 @@ impl WorkerResult {
             }
             Ok(ResultPayload::Empty) => {
                 w.u8(2);
+            }
+            Ok(ResultPayload::Exchanged { rows, bytes }) => {
+                w.u8(4);
+                w.varint(*rows);
+                w.varint(*bytes);
             }
             Err(msg) => {
                 w.u8(3);
@@ -124,6 +153,7 @@ impl WorkerResult {
                 }),
                 2 => Ok(ResultPayload::Empty),
                 3 => Err(r.string()?),
+                4 => Ok(ResultPayload::Exchanged { rows: r.varint()?, bytes: r.varint()? }),
                 other => {
                     return Err(FormatError::Corrupt(format!("unknown result tag {other}")));
                 }
@@ -148,6 +178,10 @@ mod tests {
             get_requests: 9,
             row_groups_pruned: 3,
             row_groups_scanned: 5,
+            bytes_written: 1 << 18,
+            put_requests: 2,
+            list_requests: 3,
+            rows_exchanged: 17,
             cold_start: true,
         }
     }
@@ -174,6 +208,13 @@ mod tests {
         let got = WorkerResult::decode(&msg.encode()).unwrap();
         assert_eq!(got.outcome.clone().unwrap_err(), "out of memory");
         assert_eq!(got, msg);
+    }
+
+    #[test]
+    fn exchanged_result_roundtrip() {
+        let msg =
+            WorkerResult::ok(2, ResultPayload::Exchanged { rows: 1234, bytes: 56789 }, metrics());
+        assert_eq!(WorkerResult::decode(&msg.encode()).unwrap(), msg);
     }
 
     #[test]

@@ -9,30 +9,23 @@
 use std::sync::Arc;
 
 use lambada_engine::{Column, RecordBatch};
-use lambada_format::{
-    read_all, write_file, Compression, Encoding, WriterOptions,
-};
+use lambada_format::{read_all, write_file, Compression, Encoding, WriterOptions};
 
 use crate::error::{CoreError, Result};
 
-/// Multiply-shift hash of one scalar key part.
-fn hash_key(k: lambada_engine::ScalarKey) -> u64 {
-    let raw = match k {
-        lambada_engine::ScalarKey::I(v) => v as u64,
-        lambada_engine::ScalarKey::F(bits) => bits,
-        lambada_engine::ScalarKey::B(b) => u64::from(b),
-    };
-    raw.wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(31)
-}
-
-/// Partition id of row `row` given key columns.
-pub fn row_partition(batch: &RecordBatch, key_cols: &[usize], partitions: usize, row: usize) -> usize {
-    let mut h = 0xcbf2_9ce4_8422_2325u64;
-    for &c in key_cols {
-        h ^= hash_key(batch.column(c).value(row).key());
-        h = h.wrapping_mul(0x1000_0000_01b3);
-    }
-    (h % partitions as u64) as usize
+/// Partition id of row `row` given key columns. Delegates to the
+/// engine's shared partition hash so the exchange operator and the
+/// distributed join's [`Terminal::HashPartition`] pipelines agree on
+/// where every key lives.
+///
+/// [`Terminal::HashPartition`]: lambada_engine::pipeline::Terminal
+pub fn row_partition(
+    batch: &RecordBatch,
+    key_cols: &[usize],
+    partitions: usize,
+    row: usize,
+) -> usize {
+    lambada_engine::join::row_partition(batch, key_cols, partitions, row)
 }
 
 /// Split a batch into `partitions` batches by key hash. Every input row
@@ -125,11 +118,8 @@ mod tests {
 
     #[test]
     fn same_key_same_partition() {
-        let b = RecordBatch::from_columns(
-            &["k"],
-            vec![Column::I64(vec![42, 42, 42, 7, 7])],
-        )
-        .unwrap();
+        let b =
+            RecordBatch::from_columns(&["k"], vec![Column::I64(vec![42, 42, 42, 7, 7])]).unwrap();
         let parts = partition_batch(&b, &[0], 5).unwrap();
         let nonempty: Vec<usize> =
             parts.iter().map(RecordBatch::num_rows).filter(|&n| n > 0).collect();

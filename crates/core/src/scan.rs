@@ -24,8 +24,8 @@ use std::rc::Rc;
 use lambada_engine::expr::range::can_match;
 use lambada_engine::{Column, Expr, RecordBatch, Schema};
 use lambada_format::{ColumnChunkMeta, Compression, FileMeta, FormatError};
-use lambada_sim::sync::{mpsc, Semaphore};
 use lambada_sim::services::object_store::Body;
+use lambada_sim::sync::{mpsc, Semaphore};
 
 use crate::env::WorkerEnv;
 use crate::error::{CoreError, Result};
@@ -126,9 +126,9 @@ async fn fetch_metadata(
                 m.get_requests += 1;
                 m.bytes_read += body.len();
             }
-            let bytes = body
-                .as_real()
-                .ok_or_else(|| CoreError::Format("real file returned synthetic body".to_string()))?;
+            let bytes = body.as_real().ok_or_else(|| {
+                CoreError::Format("real file returned synthetic body".to_string())
+            })?;
             Ok(Rc::new(FileMeta::parse_tail(bytes)?))
         }
         Err(e) => Err(e.into()),
@@ -264,7 +264,8 @@ pub async fn scan_table(
         let item = if all_real && !rg.columns.is_empty() {
             let mut cols = Vec::with_capacity(columns.len());
             for (col_idx, chunk, bytes) in &rg.columns {
-                let ptype = base_schema.field(*col_idx).dtype.to_physical().map_err(CoreError::from)?;
+                let ptype =
+                    base_schema.field(*col_idx).dtype.to_physical().map_err(CoreError::from)?;
                 let data = lambada_format::decode_chunk(
                     chunk,
                     ptype,
@@ -279,8 +280,7 @@ pub async fn scan_table(
             let bytes: u64 = rg.columns.iter().map(|(_, c, _)| c.uncompressed_len).sum();
             ScanItem::Modeled { rows: rg.rows, bytes }
         };
-        tx.send(item)
-            .map_err(|_| CoreError::Engine("scan consumer dropped".to_string()))?;
+        tx.send(item).map_err(|_| CoreError::Engine("scan consumer dropped".to_string()))?;
         Ok(())
     }
 

@@ -1,7 +1,21 @@
-//! The distributed planner: split an optimized logical plan into a
-//! serverless-scope fragment and a driver-scope final stage (§3.2:
-//! "a query plan is divided into scopes, each of which may run in a
-//! different target platform").
+//! The distributed planner: split an optimized logical plan into a DAG of
+//! serverless stages plus a driver-scope final stage (§3.2: "a query plan
+//! is divided into scopes, each of which may run in a different target
+//! platform").
+//!
+//! Two DAG shapes exist today:
+//!
+//! * **single stage** — `[Sort|Limit|Project]* → [Aggregate]? → [Project]?
+//!   → [Filter]? → Scan`: one scan-rooted fragment whose workers report
+//!   straight to the driver (the Q1/Q6 path);
+//! * **partitioned hash join** — the same peel above an inner equi-join:
+//!   two scan stages hash-partition their (filtered, projected) rows on
+//!   the join keys and ship them over an exchange edge; a join stage
+//!   builds a hash table from the build side of each co-partition, probes
+//!   it with the probe side, and runs the post-join pipeline (residual
+//!   filter, projection, partial aggregation) before reporting to the
+//!   driver. Repartitioning runs entirely through serverless storage
+//!   (§4.4) — no always-on infrastructure anywhere.
 
 use lambada_engine::logical::{LogicalPlan, SortKey};
 use lambada_engine::pipeline::{agg_func_types, PipelineSpec, Terminal};
@@ -18,7 +32,7 @@ pub enum PostOp {
     Project(Vec<(Expr, String)>, SchemaRef),
 }
 
-/// What the driver does with worker results.
+/// What the driver does with the final stage's worker results.
 #[derive(Clone, Debug)]
 pub enum FinalStage {
     /// Merge partial aggregate states, finalize, then apply post-ops.
@@ -34,29 +48,99 @@ pub enum FinalStage {
     CollectBatches { schema: SchemaRef, post: Vec<PostOp> },
 }
 
-/// A distributed query: one scan-rooted fragment + a final stage.
+/// Where a scan stage's pipeline output goes.
 #[derive(Clone, Debug)]
-pub struct StagePlan {
+pub enum StageOutput {
+    /// Workers report to the driver (the stage is the DAG's last).
+    Driver,
+    /// Workers hash-partition their rows on `keys` (indices into the
+    /// pipeline's intermediate schema) and write them to the exchange
+    /// edge feeding the consumer stage.
+    Exchange { keys: Vec<usize> },
+}
+
+/// A scan-rooted fragment: one serverless fleet scanning table files.
+#[derive(Clone, Debug)]
+pub struct ScanStage {
     pub table: String,
     /// Base-schema columns the scan must produce (union of projection and
     /// filter columns), ascending.
     pub scan_columns: Vec<usize>,
     /// Base-schema predicate for row-group pruning.
     pub prune_predicate: Option<Expr>,
-    /// Worker pipeline over the scan output.
+    /// Worker pipeline over the scan output. For [`StageOutput::Exchange`]
+    /// the terminal is [`Terminal::Collect`] here; the driver swaps in
+    /// [`Terminal::HashPartition`] once it has chosen the consumer
+    /// stage's worker count.
     pub pipeline: PipelineSpec,
+    pub output: StageOutput,
+}
+
+/// A partitioned hash-join stage: worker `p` of the fleet receives
+/// co-partition `p` of both exchange inputs, builds a hash table from the
+/// build side, probes it with the probe side, and runs `post`.
+#[derive(Clone, Debug)]
+pub struct JoinStage {
+    /// DAG index of the probe-side (left) input stage.
+    pub probe_input: usize,
+    /// DAG index of the build-side (right) input stage.
+    pub build_input: usize,
+    /// Schema of the probe input rows (its producer's intermediate schema).
+    pub probe_schema: SchemaRef,
+    pub build_schema: SchemaRef,
+    /// Join-key columns within the probe / build schemas.
+    pub probe_keys: Vec<usize>,
+    pub build_keys: Vec<usize>,
+    /// Post-join pipeline: `input_schema` is `probe ++ build`, predicate
+    /// is the residual (cross-side) filter, projection restores the
+    /// plan's output columns, and the terminal is partial aggregation or
+    /// collection.
+    pub post: PipelineSpec,
+}
+
+/// One node of the stage DAG.
+#[derive(Clone, Debug)]
+pub enum StageKind {
+    Scan(ScanStage),
+    Join(JoinStage),
+}
+
+impl StageKind {
+    pub fn label(&self) -> String {
+        match self {
+            StageKind::Scan(s) => format!("scan:{}", s.table),
+            StageKind::Join(_) => "join".to_string(),
+        }
+    }
+}
+
+/// A distributed query: stages in topological order (the last stage feeds
+/// the driver), connected by exchange edges, plus the driver-scope final
+/// stage.
+#[derive(Clone, Debug)]
+pub struct QueryDag {
+    pub stages: Vec<StageKind>,
     pub final_stage: FinalStage,
 }
 
-/// Split an *optimized* plan. Supported shape (everything Q1/Q6-like):
+impl QueryDag {
+    /// `true` when the plan is the classic one-fleet fragment.
+    pub fn is_single_stage(&self) -> bool {
+        self.stages.len() == 1
+    }
+}
+
+/// Split an *optimized* plan into a stage DAG. Supported shapes:
 ///
 /// ```text
-/// [Project|Sort|Limit]* → [Aggregate] → [Project] → [Filter] → Scan
+/// [Project|Sort|Limit]* → [Aggregate]? → [Project]? → [Filter]? → Scan
+/// [Project|Sort|Limit]* → [Aggregate]? → [Project|Filter]* → Join
+///                                          where Join inputs are [Project?] → Scan
 /// ```
 ///
-/// Joins and nested aggregates are executed locally by the reference
-/// engine instead (`CoreError::Unsupported`).
-pub fn split(plan: &LogicalPlan) -> Result<StagePlan> {
+/// Anything else (nested joins, aggregates below joins) still reports
+/// `CoreError::Unsupported` and falls back to the local reference engine.
+pub fn split(plan: &LogicalPlan) -> Result<QueryDag> {
     let mut post: Vec<PostOp> = Vec::new();
     let mut node = plan;
     // Peel driver-side post-ops.
@@ -85,55 +169,219 @@ pub fn split(plan: &LogicalPlan) -> Result<StagePlan> {
     match node {
         LogicalPlan::Aggregate { input, group_by, aggs } => {
             let agg_schema = node.schema()?;
-            let (table, scan_columns, prune_predicate, pre_projection, mid_schema) =
-                lower_fragment_input(input)?;
+            let mid_schema = input.schema()?;
             let funcs = agg_func_types(aggs, &mid_schema)?;
-            let pipeline = PipelineSpec {
-                input_schema: mid_schema_input(&scan_columns, input)?,
-                predicate: pipeline_predicate(&scan_columns, input)?,
-                projection: pre_projection,
-                terminal: Terminal::PartialAggregate {
-                    group_by: group_by.clone(),
-                    aggs: aggs.clone(),
-                },
-            };
-            Ok(StagePlan {
-                table,
-                scan_columns,
-                prune_predicate,
-                pipeline,
-                final_stage: FinalStage::MergeAggregate { agg_schema, funcs, post },
-            })
+            let terminal =
+                Terminal::PartialAggregate { group_by: group_by.clone(), aggs: aggs.clone() };
+            let final_stage = FinalStage::MergeAggregate { agg_schema, funcs, post };
+            if contains_join(input) {
+                split_join(input, terminal, final_stage)
+            } else {
+                split_scan_only(input, terminal, final_stage)
+            }
         }
         _ => {
             let schema = node.schema()?;
-            let (table, scan_columns, prune_predicate, pre_projection, _mid) =
-                lower_fragment_input(node)?;
-            let pipeline = PipelineSpec {
-                input_schema: mid_schema_input(&scan_columns, node)?,
-                predicate: pipeline_predicate(&scan_columns, node)?,
-                projection: pre_projection,
-                terminal: Terminal::Collect,
-            };
-            Ok(StagePlan {
-                table,
-                scan_columns,
-                prune_predicate,
-                pipeline,
-                final_stage: FinalStage::CollectBatches { schema, post },
-            })
+            let final_stage = FinalStage::CollectBatches { schema, post };
+            if contains_join(node) {
+                split_join(node, Terminal::Collect, final_stage)
+            } else {
+                split_scan_only(node, Terminal::Collect, final_stage)
+            }
         }
     }
 }
 
-/// Walk `Project? → Filter? → Scan` below the aggregate. Returns
+/// Does a `Project|Filter`-chain end in a join?
+fn contains_join(node: &LogicalPlan) -> bool {
+    match node {
+        LogicalPlan::Join { .. } => true,
+        LogicalPlan::Project { input, .. } | LogicalPlan::Filter { input, .. } => {
+            contains_join(input)
+        }
+        _ => false,
+    }
+}
+
+/// The classic single-fragment path.
+fn split_scan_only(
+    node: &LogicalPlan,
+    terminal: Terminal,
+    final_stage: FinalStage,
+) -> Result<QueryDag> {
+    let (table, scan_columns, prune_predicate, pre_projection, _mid) = lower_fragment_input(node)?;
+    let pipeline = PipelineSpec {
+        input_schema: mid_schema_input(&scan_columns, node)?,
+        predicate: pipeline_predicate(&scan_columns, node)?,
+        projection: pre_projection,
+        terminal,
+    };
+    Ok(QueryDag {
+        stages: vec![StageKind::Scan(ScanStage {
+            table,
+            scan_columns,
+            prune_predicate,
+            pipeline,
+            output: StageOutput::Driver,
+        })],
+        final_stage,
+    })
+}
+
+/// The partitioned hash-join path: peel residual `Project|Filter` nodes
+/// above the join into the join stage's post pipeline, then lower each
+/// join input into a hash-partitioning scan stage.
+fn split_join(node: &LogicalPlan, terminal: Terminal, final_stage: FinalStage) -> Result<QueryDag> {
+    // Collect the ops between the consumer and the join, top-down.
+    enum PostJoinOp {
+        Proj(Vec<(Expr, String)>),
+        Pred(Expr),
+    }
+    let mut ops: Vec<PostJoinOp> = Vec::new();
+    let mut cur = node;
+    loop {
+        match cur {
+            LogicalPlan::Project { input, exprs } => {
+                ops.push(PostJoinOp::Proj(exprs.clone()));
+                cur = input;
+            }
+            LogicalPlan::Filter { input, predicate } => {
+                ops.push(PostJoinOp::Pred(predicate.clone()));
+                cur = input;
+            }
+            LogicalPlan::Join { .. } => break,
+            other => {
+                return Err(CoreError::Unsupported(format!(
+                    "unsupported shape above join:\n{}",
+                    other.display_indent()
+                )))
+            }
+        }
+    }
+    let LogicalPlan::Join { left, right, on } = cur else { unreachable!() };
+
+    // Lower the peeled ops (bottom-up) into one (predicate, projection)
+    // pair over the join output. Stacked projections compose only when
+    // the lower one is simple column references (which is what the join
+    // reorderer emits); otherwise the plan is unsupported.
+    let mut projection: Option<Vec<(Expr, String)>> = None;
+    let mut predicates: Vec<Expr> = Vec::new();
+    for op in ops.into_iter().rev() {
+        match op {
+            PostJoinOp::Pred(p) => match &projection {
+                None => predicates.push(p),
+                Some(exprs) => {
+                    let remapped = remap_through_simple(&p, exprs).ok_or_else(|| {
+                        CoreError::Unsupported(
+                            "filter above a computed projection above a join".to_string(),
+                        )
+                    })?;
+                    predicates.push(remapped);
+                }
+            },
+            PostJoinOp::Proj(exprs) => match &projection {
+                None => projection = Some(exprs),
+                Some(lower) => {
+                    let mut composed = Vec::with_capacity(exprs.len());
+                    for (e, name) in exprs {
+                        let through = remap_through_simple(&e, lower).ok_or_else(|| {
+                            CoreError::Unsupported(
+                                "stacked computed projections above a join".to_string(),
+                            )
+                        })?;
+                        composed.push((through, name));
+                    }
+                    projection = Some(composed);
+                }
+            },
+        }
+    }
+    let predicate = if predicates.is_empty() {
+        None
+    } else {
+        Some(lambada_engine::optimizer::conjoin(predicates))
+    };
+
+    let probe_schema = left.schema()?;
+    let build_schema = right.schema()?;
+    let probe_keys: Vec<usize> = on.iter().map(|&(l, _)| l).collect();
+    let build_keys: Vec<usize> = on.iter().map(|&(_, r)| r).collect();
+
+    // The post pipeline's input is the joined row: probe ++ build.
+    let mut joined_fields = probe_schema.fields.clone();
+    joined_fields.extend(build_schema.fields.clone());
+    let post = PipelineSpec {
+        input_schema: lambada_engine::Schema::arc(joined_fields),
+        predicate,
+        projection,
+        terminal,
+    };
+
+    let probe_stage = lower_exchange_scan(left, probe_keys.clone())?;
+    let build_stage = lower_exchange_scan(right, build_keys.clone())?;
+    Ok(QueryDag {
+        stages: vec![
+            StageKind::Scan(probe_stage),
+            StageKind::Scan(build_stage),
+            StageKind::Join(JoinStage {
+                probe_input: 0,
+                build_input: 1,
+                probe_schema,
+                build_schema,
+                probe_keys,
+                build_keys,
+                post,
+            }),
+        ],
+        final_stage,
+    })
+}
+
+/// Rewrite `expr`'s column references through a projection whose entries
+/// must all be simple columns. Returns `None` when any referenced entry
+/// is computed.
+fn remap_through_simple(expr: &Expr, projection: &[(Expr, String)]) -> Option<Expr> {
+    let refs = expr.referenced_columns();
+    let mut mapping = std::collections::HashMap::new();
+    for i in refs {
+        match projection.get(i) {
+            Some((Expr::Col(src), _)) => {
+                mapping.insert(i, *src);
+            }
+            _ => return None,
+        }
+    }
+    Some(expr.remap_columns(&|i| mapping[&i]))
+}
+
+/// Lower one join input (`[Project?] → Scan`) into a scan stage feeding
+/// an exchange edge. The terminal is `Collect` here; the driver swaps in
+/// `HashPartition { keys, partitions }` once the join fleet is sized.
+fn lower_exchange_scan(node: &LogicalPlan, keys: Vec<usize>) -> Result<ScanStage> {
+    let (table, scan_columns, prune_predicate, pre_projection, _mid) = lower_fragment_input(node)?;
+    let pipeline = PipelineSpec {
+        input_schema: mid_schema_input(&scan_columns, node)?,
+        predicate: pipeline_predicate(&scan_columns, node)?,
+        projection: pre_projection,
+        terminal: Terminal::Collect,
+    };
+    Ok(ScanStage {
+        table,
+        scan_columns,
+        prune_predicate,
+        pipeline,
+        output: StageOutput::Exchange { keys },
+    })
+}
+
+/// Walk `Project? → Filter? → Scan` below the consumer. Returns
 /// (table, scan columns, prune predicate, pipeline projection, schema the
-/// aggregate's expressions refer to).
+/// consumer's expressions refer to).
 #[allow(clippy::type_complexity)]
 fn lower_fragment_input(
     node: &LogicalPlan,
 ) -> Result<(String, Vec<usize>, Option<Expr>, Option<Vec<(Expr, String)>>, SchemaRef)> {
-    // Optional projection between aggregate and scan.
+    // Optional projection between consumer and scan.
     let (projection_exprs, scan_node) = match node {
         LogicalPlan::Project { input, exprs } => (Some(exprs.clone()), input.as_ref()),
         other => (None, other),
@@ -182,10 +430,7 @@ fn lower_fragment_input(
     // when the union is wider than the scan output.
     let pipeline_projection = match projection_exprs {
         Some(exprs) => Some(
-            exprs
-                .into_iter()
-                .map(|(e, n)| (e.remap_columns(&|i| out_to_union[i]), n))
-                .collect(),
+            exprs.into_iter().map(|(e, n)| (e.remap_columns(&|i| out_to_union[i]), n)).collect(),
         ),
         None => {
             if union_cols == scan_output_cols {
@@ -249,17 +494,21 @@ mod tests {
         ])
     }
 
+    fn scan(table: &str) -> LogicalPlan {
+        LogicalPlan::Scan {
+            table: table.to_string(),
+            schema: Schema::arc(base_schema().fields),
+            projection: None,
+            predicate: None,
+        }
+    }
+
     fn q1ish() -> LogicalPlan {
         // SELECT g, sum(b) FROM t WHERE d <= 10 GROUP BY g ORDER BY g
         let plan = LogicalPlan::Sort {
             input: Box::new(LogicalPlan::Aggregate {
                 input: Box::new(LogicalPlan::Filter {
-                    input: Box::new(LogicalPlan::Scan {
-                        table: "t".to_string(),
-                        schema: Schema::arc(base_schema().fields),
-                        projection: None,
-                        predicate: None,
-                    }),
+                    input: Box::new(scan("t")),
                     predicate: col(3).le(lit_i64(10)),
                 }),
                 group_by: vec![(col(2), "g".to_string())],
@@ -272,14 +521,19 @@ mod tests {
 
     #[test]
     fn splits_aggregate_query() {
-        let stage = split(&q1ish()).unwrap();
+        let dag = split(&q1ish()).unwrap();
+        assert!(dag.is_single_stage());
+        let StageKind::Scan(stage) = &dag.stages[0] else {
+            panic!("expected scan stage");
+        };
         assert_eq!(stage.table, "t");
         // Union of projection {b, g} and predicate {d}.
         assert_eq!(stage.scan_columns, vec![1, 2, 3]);
         assert_eq!(stage.prune_predicate, Some(col(3).le(lit_i64(10))));
         // Pipeline predicate remapped to union positions (d is #2).
         assert_eq!(stage.pipeline.predicate, Some(col(2).le(lit_i64(10))));
-        let FinalStage::MergeAggregate { agg_schema, funcs, post } = &stage.final_stage else {
+        assert!(matches!(stage.output, StageOutput::Driver));
+        let FinalStage::MergeAggregate { agg_schema, funcs, post } = &dag.final_stage else {
             panic!("expected aggregate final stage");
         };
         assert_eq!(agg_schema.len(), 2);
@@ -289,32 +543,109 @@ mod tests {
 
     #[test]
     fn collect_fragment_for_filter_only_query() {
-        let plan = LogicalPlan::Filter {
-            input: Box::new(LogicalPlan::Scan {
-                table: "t".to_string(),
-                schema: Schema::arc(base_schema().fields),
-                projection: None,
-                predicate: None,
-            }),
-            predicate: col(0).le(lit_i64(3)),
-        };
+        let plan =
+            LogicalPlan::Filter { input: Box::new(scan("t")), predicate: col(0).le(lit_i64(3)) };
         let plan = Optimizer::new().optimize(&plan).unwrap();
-        let stage = split(&plan).unwrap();
-        assert!(matches!(stage.final_stage, FinalStage::CollectBatches { .. }));
+        let dag = split(&plan).unwrap();
+        assert!(dag.is_single_stage());
+        let StageKind::Scan(stage) = &dag.stages[0] else {
+            panic!("expected scan stage");
+        };
+        assert!(matches!(dag.final_stage, FinalStage::CollectBatches { .. }));
         assert!(matches!(stage.pipeline.terminal, Terminal::Collect));
     }
 
     #[test]
-    fn join_is_unsupported_distributed() {
-        let scan = LogicalPlan::Scan {
-            table: "t".to_string(),
-            schema: Schema::arc(base_schema().fields),
-            projection: None,
-            predicate: None,
+    fn join_splits_into_three_stage_dag() {
+        // SELECT * FROM t JOIN u ON t.a = u.g WHERE t.d <= 10
+        let plan = LogicalPlan::Filter {
+            input: Box::new(LogicalPlan::Join {
+                left: Box::new(scan("t")),
+                right: Box::new(scan("u")),
+                on: vec![(0, 2)],
+            }),
+            predicate: col(3).le(lit_i64(10)),
+        };
+        let plan = Optimizer::new().optimize(&plan).unwrap();
+        let dag = split(&plan).unwrap();
+        assert_eq!(dag.stages.len(), 3);
+        let StageKind::Scan(probe) = &dag.stages[0] else { panic!("probe scan") };
+        let StageKind::Scan(build) = &dag.stages[1] else { panic!("build scan") };
+        let StageKind::Join(join) = &dag.stages[2] else { panic!("join stage") };
+        // The join reorderer put the filtered (smaller-estimated) side on
+        // the build side; the restoring projection lands in the join
+        // stage's post pipeline.
+        assert_eq!(probe.table, "u");
+        assert_eq!(build.table, "t");
+        assert!(join.post.projection.is_some(), "column order restored after the swap");
+        let StageOutput::Exchange { keys } = &probe.output else {
+            panic!("probe feeds the exchange");
+        };
+        assert_eq!(keys, &join.probe_keys);
+        assert_eq!(join.probe_input, 0);
+        assert_eq!(join.build_input, 1);
+        // Pushed-down filter reached the build scan, not the join stage.
+        assert!(build.prune_predicate.is_some());
+        assert!(join.post.predicate.is_none());
+        assert!(matches!(join.post.terminal, Terminal::Collect));
+        assert!(matches!(dag.final_stage, FinalStage::CollectBatches { .. }));
+    }
+
+    #[test]
+    fn aggregate_over_join_lands_in_join_stage() {
+        // SELECT t.g, sum(u.b) FROM t JOIN u ON t.a = u.a GROUP BY t.g
+        let plan = LogicalPlan::Aggregate {
+            input: Box::new(LogicalPlan::Join {
+                left: Box::new(scan("t")),
+                right: Box::new(scan("u")),
+                on: vec![(0, 0)],
+            }),
+            group_by: vec![(col(2), "g".to_string())],
+            aggs: vec![A::new(AggFunc::Sum, Some(col(5)), "sum_ub")],
+        };
+        let plan = Optimizer::new().optimize(&plan).unwrap();
+        let dag = split(&plan).unwrap();
+        assert_eq!(dag.stages.len(), 3);
+        let StageKind::Join(join) = &dag.stages[2] else { panic!("join stage") };
+        assert!(matches!(join.post.terminal, Terminal::PartialAggregate { .. }));
+        assert!(matches!(dag.final_stage, FinalStage::MergeAggregate { .. }));
+        // Both scans pruned to what the join + aggregate need.
+        let StageKind::Scan(probe) = &dag.stages[0] else { panic!() };
+        let StageKind::Scan(build) = &dag.stages[1] else { panic!() };
+        assert_eq!(probe.scan_columns, vec![0, 2], "key + group column");
+        assert_eq!(build.scan_columns, vec![0, 1], "key + agg argument");
+        // Keys are expressed in the pruned (intermediate) schemas.
+        assert_eq!(join.probe_keys, vec![0]);
+        assert_eq!(join.build_keys, vec![0]);
+    }
+
+    #[test]
+    fn cross_side_residual_stays_in_join_stage() {
+        // WHERE t.b < u.b cannot be pushed to either side.
+        let plan = LogicalPlan::Filter {
+            input: Box::new(LogicalPlan::Join {
+                left: Box::new(scan("t")),
+                right: Box::new(scan("u")),
+                on: vec![(0, 0)],
+            }),
+            predicate: col(1).lt(col(5)),
+        };
+        let plan = Optimizer::new().optimize(&plan).unwrap();
+        let dag = split(&plan).unwrap();
+        let StageKind::Join(join) = &dag.stages[2] else { panic!("join stage") };
+        assert!(join.post.predicate.is_some(), "residual predicate kept for the join stage");
+    }
+
+    #[test]
+    fn nested_joins_still_unsupported() {
+        let inner = LogicalPlan::Join {
+            left: Box::new(scan("t")),
+            right: Box::new(scan("u")),
+            on: vec![(0, 0)],
         };
         let plan = LogicalPlan::Join {
-            left: Box::new(scan.clone()),
-            right: Box::new(scan),
+            left: Box::new(inner),
+            right: Box::new(scan("v")),
             on: vec![(0, 0)],
         };
         assert!(matches!(split(&plan), Err(CoreError::Unsupported(_))));

@@ -2,8 +2,8 @@
 
 use std::rc::Rc;
 
-use lambada_format::FileMeta;
 use lambada_engine::types::Schema;
+use lambada_format::FileMeta;
 
 /// One file of a table.
 ///

@@ -8,8 +8,9 @@
 
 use std::rc::Rc;
 
-use lambada_engine::pipeline::{Pipeline, PipelineOutput, PipelineSpec};
-use lambada_engine::types::Schema;
+use lambada_engine::join::JoinState;
+use lambada_engine::pipeline::{Pipeline, PipelineOutput, PipelineSpec, Terminal};
+use lambada_engine::types::{Schema, SchemaRef};
 use lambada_engine::Expr;
 use lambada_sim::services::faas::{FaasService, FunctionSpec, InstanceCtx, InvokePayload};
 use lambada_sim::services::object_store::Body;
@@ -19,7 +20,9 @@ use lambada_sim::Cloud;
 use crate::costmodel::ComputeCostModel;
 use crate::env::WorkerEnv;
 use crate::error::{CoreError, Result};
-use crate::exchange::{run_exchange, ExchangeConfig, ExchangeSide, PartData};
+use crate::exchange::{
+    exchange_stage_read, exchange_stage_write, run_exchange, ExchangeConfig, ExchangeSide, PartData,
+};
 use crate::invoke;
 use crate::message::{ResultPayload, WorkerMetrics, WorkerResult};
 use crate::scan::{scan_table, ScanConfig, ScanItem};
@@ -62,6 +65,54 @@ pub struct ExchangeTask {
     pub side: ExchangeSide,
 }
 
+/// Immutable parts of a scan stage feeding an exchange edge (the scan
+/// sides of a distributed join). The pipeline terminal is
+/// [`Terminal::HashPartition`], so the fragment's surviving rows leave
+/// through [`exchange_stage_write`] instead of the result queue.
+#[derive(Clone)]
+pub struct ScanExchangeShared {
+    pub fragment: FragmentShared,
+    /// Key prefix namespacing this stage edge (e.g. `q3/s0`).
+    pub channel: String,
+    pub exchange: ExchangeConfig,
+    pub side: ExchangeSide,
+}
+
+/// A scan-exchange assignment: shared stage + this worker's files.
+#[derive(Clone)]
+pub struct ScanExchangeTask {
+    pub shared: Rc<ScanExchangeShared>,
+    pub files: Vec<TableFile>,
+}
+
+/// Immutable parts of a join stage, shared across its fleet. Worker `p`
+/// of the fleet owns co-partition `p` of both inputs.
+#[derive(Clone)]
+pub struct JoinShared {
+    pub probe_channel: String,
+    pub build_channel: String,
+    /// Producer worker counts per edge (how many sender files to await).
+    pub probe_senders: usize,
+    pub build_senders: usize,
+    pub probe_schema: SchemaRef,
+    pub build_schema: SchemaRef,
+    pub probe_keys: Vec<usize>,
+    pub build_keys: Vec<usize>,
+    /// Post-join pipeline over `probe ++ build` rows.
+    pub post: PipelineSpec,
+    pub exchange: ExchangeConfig,
+    pub side: ExchangeSide,
+    pub result_bucket: String,
+    /// Namespaces stored results (join fleets run once per query).
+    pub result_prefix: String,
+}
+
+/// A join assignment; the worker id doubles as the partition id.
+#[derive(Clone)]
+pub struct JoinTask {
+    pub shared: Rc<JoinShared>,
+}
+
 /// What a worker is asked to do.
 #[derive(Clone)]
 pub enum WorkerTask {
@@ -71,6 +122,12 @@ pub enum WorkerTask {
     Compute { vcpu_seconds: f64, threads: usize },
     /// Scan + filter + project + partial aggregate (queries).
     Fragment(FragmentTask),
+    /// Scan + filter + project + hash-partition onto an exchange edge
+    /// (the scan stages of a distributed join).
+    ScanExchange(ScanExchangeTask),
+    /// Build + probe one co-partition of a distributed hash join, then
+    /// run the post-join pipeline.
+    Join(JoinTask),
     /// Repartition data through cloud storage.
     Exchange(ExchangeTask),
 }
@@ -133,7 +190,11 @@ async fn run_handler(
         if let Err(e) =
             invoke::invoke_children(&cloud, &caller, &function, wid, &payload.children).await
         {
-            let msg = WorkerResult::error(wid, format!("child invocation failed: {e}"), WorkerMetrics::default());
+            let msg = WorkerResult::error(
+                wid,
+                format!("child invocation failed: {e}"),
+                WorkerMetrics::default(),
+            );
             let _ = env.sqs.send(&payload.result_queue, msg.encode()).await;
             return;
         }
@@ -181,23 +242,26 @@ async fn run_task(env: &WorkerEnv, task: &WorkerTask) -> Result<(ResultPayload, 
             Ok((ResultPayload::Empty, WorkerMetrics::default()))
         }
         WorkerTask::Fragment(frag) => run_fragment(env, frag).await,
+        WorkerTask::ScanExchange(task) => run_scan_exchange(env, task).await,
+        WorkerTask::Join(task) => run_join(env, task).await,
         WorkerTask::Exchange(x) => run_exchange_task(env, x).await,
     }
 }
 
-async fn run_fragment(
+/// Run the scan pipeline of one worker, feeding items into `pipeline`
+/// with OOM accounting; returns the scan metrics and modeled row count.
+async fn drive_scan(
     env: &WorkerEnv,
-    frag: &FragmentTask,
-) -> Result<(ResultPayload, WorkerMetrics)> {
-    let shared = &frag.shared;
-    let mut pipeline = Pipeline::new(shared.pipeline.clone())?;
+    shared: &FragmentShared,
+    files: &[TableFile],
+    pipeline: &mut Pipeline,
+) -> Result<(crate::scan::ScanMetrics, u64)> {
     let budget = env.engine_memory_budget();
-
     let (tx, mut rx) = mpsc::channel::<ScanItem>();
     let scan_handle = {
         let env2 = env.clone();
-        let files = frag.files.clone();
-        let shared2 = Rc::clone(shared);
+        let files = files.to_vec();
+        let shared2 = shared.clone();
         env.cloud.handle.spawn(async move {
             scan_table(
                 &env2,
@@ -239,9 +303,19 @@ async fn run_fragment(
         }
     }
     let scan_metrics = scan_handle.await?;
+    Ok((scan_metrics, modeled_rows))
+}
+
+async fn run_fragment(
+    env: &WorkerEnv,
+    frag: &FragmentTask,
+) -> Result<(ResultPayload, WorkerMetrics)> {
+    let shared = &frag.shared;
+    let mut pipeline = Pipeline::new(shared.pipeline.clone())?;
+    let (scan_metrics, modeled_rows) = drive_scan(env, shared, &frag.files, &mut pipeline).await?;
 
     let (rows_in, rows_out) = pipeline.row_counts();
-    let mut metrics = WorkerMetrics {
+    let metrics = WorkerMetrics {
         rows_in: rows_in + modeled_rows,
         rows_out,
         bytes_read: scan_metrics.bytes_read,
@@ -250,12 +324,9 @@ async fn run_fragment(
         row_groups_scanned: scan_metrics.row_groups_total - scan_metrics.row_groups_pruned,
         ..WorkerMetrics::default()
     };
-    let _ = &mut metrics;
 
     match pipeline.finish() {
-        PipelineOutput::Aggregate(state) => {
-            Ok((ResultPayload::AggState(state.encode()), metrics))
-        }
+        PipelineOutput::Aggregate(state) => Ok((ResultPayload::AggState(state.encode()), metrics)),
         PipelineOutput::Batches(batches) => {
             if batches.is_empty() {
                 return Ok((ResultPayload::Empty, metrics));
@@ -270,6 +341,184 @@ async fn run_fragment(
                 metrics,
             ))
         }
+        PipelineOutput::Partitions(_) => Err(CoreError::Engine(
+            "fragment task cannot end in a hash-partition terminal".to_string(),
+        )),
+    }
+}
+
+/// Scan stage of a distributed join: scan → filter → project →
+/// hash-partition, then one write-combined PUT onto the exchange edge.
+async fn run_scan_exchange(
+    env: &WorkerEnv,
+    task: &ScanExchangeTask,
+) -> Result<(ResultPayload, WorkerMetrics)> {
+    let shared = &task.shared;
+    let mut pipeline = Pipeline::new(shared.fragment.pipeline.clone())?;
+    let (scan_metrics, modeled_rows) =
+        drive_scan(env, &shared.fragment, &task.files, &mut pipeline).await?;
+    if modeled_rows > 0 {
+        return Err(CoreError::Unsupported(
+            "distributed joins need real table files (descriptor-backed tables carry no rows to repartition)"
+                .to_string(),
+        ));
+    }
+
+    let (rows_in, rows_out) = pipeline.row_counts();
+    let PipelineOutput::Partitions(partitions) = pipeline.finish() else {
+        return Err(CoreError::Engine(
+            "scan-exchange task needs a hash-partition terminal".to_string(),
+        ));
+    };
+    let mut parts = Vec::with_capacity(partitions.len());
+    for batches in &partitions {
+        if batches.is_empty() {
+            parts.push(PartData::Real(Vec::new()));
+        } else {
+            parts.push(PartData::Real(crate::partition::encode_batches(batches)?));
+        }
+    }
+    let bytes_written = exchange_stage_write(
+        env,
+        &shared.exchange,
+        &shared.channel,
+        env.worker_id as usize,
+        parts,
+        &shared.side,
+    )
+    .await?;
+
+    let metrics = WorkerMetrics {
+        rows_in,
+        rows_out,
+        bytes_read: scan_metrics.bytes_read,
+        get_requests: scan_metrics.get_requests,
+        row_groups_pruned: scan_metrics.row_groups_pruned,
+        row_groups_scanned: scan_metrics.row_groups_total - scan_metrics.row_groups_pruned,
+        bytes_written,
+        put_requests: 1,
+        rows_exchanged: rows_out,
+        ..WorkerMetrics::default()
+    };
+    Ok((ResultPayload::Exchanged { rows: rows_out, bytes: bytes_written }, metrics))
+}
+
+/// Join stage: read both co-partitions from the exchange edges, build a
+/// hash table from the build side, probe it with the probe side, and run
+/// the post-join pipeline (§4.4's "operators that repartition data" —
+/// executed with no infrastructure beyond storage and functions).
+async fn run_join(env: &WorkerEnv, task: &JoinTask) -> Result<(ResultPayload, WorkerMetrics)> {
+    let shared = &task.shared;
+    let p = env.worker_id as usize;
+    let budget = env.engine_memory_budget();
+    let mut metrics = WorkerMetrics::default();
+
+    // ---- Build side -----------------------------------------------------
+    let (build_parts, build_stats) = exchange_stage_read(
+        env,
+        &shared.exchange,
+        &shared.build_channel,
+        p,
+        shared.build_senders,
+        &shared.side,
+    )
+    .await?;
+    metrics.bytes_read += build_stats.bytes_read;
+    metrics.get_requests += build_stats.get_requests;
+    metrics.list_requests += build_stats.list_requests;
+    let mut build_batches = Vec::new();
+    for part in &build_parts {
+        let PartData::Real(bytes) = part else {
+            return Err(CoreError::Unsupported(
+                "join stages need real exchange payloads".to_string(),
+            ));
+        };
+        build_batches.extend(crate::partition::decode_batches(bytes)?);
+    }
+    let build_rows: u64 = build_batches.iter().map(|b| b.num_rows() as u64).sum();
+    env.compute(env.costs.process_seconds(build_rows)).await;
+    let build =
+        JoinState::build(shared.build_schema.clone(), shared.build_keys.clone(), &build_batches)?;
+    drop(build_batches);
+    if build.approx_bytes() as u64 > budget / 2 {
+        return Err(CoreError::Engine(format!(
+            "out of memory: build-side hash table of {} B exceeds half the budget {budget} B",
+            build.approx_bytes()
+        )));
+    }
+
+    // ---- Probe side -----------------------------------------------------
+    let probe_spec = PipelineSpec {
+        input_schema: shared.probe_schema.clone(),
+        predicate: None,
+        projection: None,
+        terminal: Terminal::Probe { build: Rc::new(build), probe_keys: shared.probe_keys.clone() },
+    };
+    let mut probe_pipeline = Pipeline::new(probe_spec)?;
+    let (probe_parts, probe_stats) = exchange_stage_read(
+        env,
+        &shared.exchange,
+        &shared.probe_channel,
+        p,
+        shared.probe_senders,
+        &shared.side,
+    )
+    .await?;
+    metrics.bytes_read += probe_stats.bytes_read;
+    metrics.get_requests += probe_stats.get_requests;
+    metrics.list_requests += probe_stats.list_requests;
+    for part in &probe_parts {
+        let PartData::Real(bytes) = part else {
+            return Err(CoreError::Unsupported(
+                "join stages need real exchange payloads".to_string(),
+            ));
+        };
+        for batch in crate::partition::decode_batches(bytes)? {
+            env.compute(env.costs.process_seconds(batch.num_rows() as u64)).await;
+            probe_pipeline.push(&batch)?;
+            if probe_pipeline.approx_state_bytes() as u64 > budget / 2 {
+                return Err(CoreError::Engine(format!(
+                    "out of memory: joined rows exceed half the budget {budget} B"
+                )));
+            }
+        }
+    }
+    let (probe_rows, _) = probe_pipeline.row_counts();
+    metrics.rows_in = probe_rows + build_rows;
+    metrics.rows_exchanged = probe_rows + build_rows;
+    let PipelineOutput::Batches(joined) = probe_pipeline.finish() else {
+        unreachable!("probe terminal collects joined batches");
+    };
+
+    // ---- Post-join pipeline --------------------------------------------
+    let mut post = Pipeline::new(shared.post.clone())?;
+    for batch in &joined {
+        env.compute(env.costs.process_seconds(batch.num_rows() as u64)).await;
+        post.push(batch)?;
+    }
+    let (_, rows_out) = post.row_counts();
+    metrics.rows_out = rows_out;
+
+    match post.finish() {
+        PipelineOutput::Aggregate(state) => Ok((ResultPayload::AggState(state.encode()), metrics)),
+        PipelineOutput::Batches(batches) => {
+            if batches.is_empty() {
+                return Ok((ResultPayload::Empty, metrics));
+            }
+            let rows: u64 = batches.iter().map(|b| b.num_rows() as u64).sum();
+            let bytes = crate::partition::encode_batches(&batches)?;
+            let key = format!("{}/w{}", shared.result_prefix, env.worker_id);
+            metrics.bytes_written = bytes.len() as u64;
+            metrics.put_requests += 1;
+            env.s3.put(&shared.result_bucket, &key, Body::from_vec(bytes)).await?;
+            Ok((
+                ResultPayload::StoredBatches { bucket: shared.result_bucket.clone(), key, rows },
+                metrics,
+            ))
+        }
+        PipelineOutput::Partitions(_) => Err(CoreError::Engine(
+            "join post pipeline cannot end in a hash-partition terminal".to_string(),
+        )),
     }
 }
 
@@ -288,8 +537,7 @@ async fn run_exchange_task(
     let per_dest = task.data_bytes / task.total as u64;
     let parts: Vec<PartData> = (0..task.total).map(|_| PartData::Modeled(per_dest)).collect();
     let outcome =
-        run_exchange(env, &task.cfg, env.worker_id as usize, task.total, parts, &task.side)
-            .await?;
+        run_exchange(env, &task.cfg, env.worker_id as usize, task.total, parts, &task.side).await?;
     metrics.rows_in = outcome.received.len() as u64;
     Ok((ResultPayload::Empty, metrics))
 }

@@ -51,7 +51,6 @@ impl AggFunc {
             },
         }
     }
-
 }
 
 /// One aggregate in a plan: function, optional argument, output name.
@@ -246,8 +245,7 @@ pub struct GroupedAggState {
 impl GroupedAggState {
     /// Create state for aggregates over the given argument types.
     pub fn new(funcs: &[(AggFunc, Option<DataType>)]) -> Result<GroupedAggState> {
-        let prototypes: Result<Vec<Acc>> =
-            funcs.iter().map(|&(f, t)| Acc::new(f, t)).collect();
+        let prototypes: Result<Vec<Acc>> = funcs.iter().map(|&(f, t)| Acc::new(f, t)).collect();
         Ok(GroupedAggState {
             prototypes: prototypes?,
             map: HashMap::new(),
@@ -262,8 +260,8 @@ impl GroupedAggState {
 
     /// Approximate in-memory footprint (used for worker OOM modelling).
     pub fn approx_bytes(&self) -> usize {
-        let per_group = self.prototypes.len() * 24
-            + self.keys.first().map_or(16, |k| k.len() * 16 + 32);
+        let per_group =
+            self.prototypes.len() * 24 + self.keys.first().map_or(16, |k| k.len() * 16 + 32);
         self.keys.len() * per_group
     }
 
@@ -416,12 +414,7 @@ mod tests {
         let groups = vec![Column::I64(vec![1, 2, 1, 2, 1])];
         let vals = Column::F64(vec![1.0, 2.0, 3.0, 4.0, 5.0]);
         let ints = Column::I64(vec![10, 20, 5, 40, 7]);
-        st.update_batch(
-            &groups,
-            &[Some(vals.clone()), None, Some(vals), Some(ints)],
-            5,
-        )
-        .unwrap();
+        st.update_batch(&groups, &[Some(vals.clone()), None, Some(vals), Some(ints)], 5).unwrap();
         st
     }
 
@@ -434,12 +427,7 @@ mod tests {
         assert_eq!(rows[0].0, vec![Scalar::Int64(1)]);
         assert_eq!(
             rows[0].1,
-            vec![
-                Scalar::Float64(9.0),
-                Scalar::Int64(3),
-                Scalar::Float64(3.0),
-                Scalar::Int64(5)
-            ]
+            vec![Scalar::Float64(9.0), Scalar::Int64(3), Scalar::Float64(3.0), Scalar::Int64(5)]
         );
         assert_eq!(rows[1].1[0], Scalar::Float64(6.0));
         assert_eq!(rows[1].1[1], Scalar::Int64(2));
@@ -493,14 +481,8 @@ mod tests {
     #[test]
     fn output_types() {
         assert_eq!(AggFunc::Count.output_type(None).unwrap(), DataType::Int64);
-        assert_eq!(
-            AggFunc::Avg.output_type(Some(DataType::Int64)).unwrap(),
-            DataType::Float64
-        );
-        assert_eq!(
-            AggFunc::Sum.output_type(Some(DataType::Int64)).unwrap(),
-            DataType::Int64
-        );
+        assert_eq!(AggFunc::Avg.output_type(Some(DataType::Int64)).unwrap(), DataType::Float64);
+        assert_eq!(AggFunc::Sum.output_type(Some(DataType::Int64)).unwrap(), DataType::Int64);
         assert!(AggFunc::Sum.output_type(Some(DataType::Boolean)).is_err());
         assert!(AggFunc::Sum.output_type(None).is_err());
     }

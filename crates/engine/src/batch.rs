@@ -140,7 +140,8 @@ mod tests {
 
     #[test]
     fn construction_validates() {
-        let schema = Schema::arc(vec![crate::types::Field::new("a", crate::types::DataType::Int64)]);
+        let schema =
+            Schema::arc(vec![crate::types::Field::new("a", crate::types::DataType::Int64)]);
         assert!(RecordBatch::new(Arc::clone(&schema), vec![]).is_err());
         assert!(RecordBatch::new(schema, vec![Column::F64(vec![1.0])]).is_err());
     }

@@ -86,11 +86,7 @@ impl Column {
     /// Keep rows where `mask` is true.
     pub fn filter(&self, mask: &[bool]) -> Result<Column> {
         if mask.len() != self.len() {
-            return exec_err(format!(
-                "mask length {} != column length {}",
-                mask.len(),
-                self.len()
-            ));
+            return exec_err(format!("mask length {} != column length {}", mask.len(), self.len()));
         }
         fn keep<T: Copy>(v: &[T], mask: &[bool]) -> Vec<T> {
             v.iter().zip(mask).filter_map(|(x, &m)| m.then_some(*x)).collect()
@@ -182,8 +178,7 @@ mod tests {
 
     #[test]
     fn concat_same_type() {
-        let out =
-            Column::concat(&[Column::F64(vec![1.0]), Column::F64(vec![2.0, 3.0])]).unwrap();
+        let out = Column::concat(&[Column::F64(vec![1.0]), Column::F64(vec![2.0, 3.0])]).unwrap();
         assert_eq!(out, Column::F64(vec![1.0, 2.0, 3.0]));
         assert!(Column::concat(&[Column::F64(vec![1.0]), Column::I64(vec![1])]).is_err());
     }

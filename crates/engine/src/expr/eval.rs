@@ -36,10 +36,7 @@ mod tests {
     fn batch() -> RecordBatch {
         RecordBatch::from_columns(
             &["qty", "price"],
-            vec![
-                Column::I64(vec![10, 30, 50]),
-                Column::F64(vec![1.0, 2.0, 3.0]),
-            ],
+            vec![Column::I64(vec![10, 30, 50]), Column::F64(vec![1.0, 2.0, 3.0])],
         )
         .unwrap()
     }

@@ -58,9 +58,7 @@ fn simplify_logical(op: crate::expr::BinOp, l: Expr, r: Expr) -> Expr {
         (BinOp::And, Expr::Lit(Scalar::Boolean(true)), _) => r,
         (BinOp::And, _, Expr::Lit(Scalar::Boolean(true))) => l,
         (BinOp::And, Expr::Lit(Scalar::Boolean(false)), _)
-        | (BinOp::And, _, Expr::Lit(Scalar::Boolean(false))) => {
-            Expr::Lit(Scalar::Boolean(false))
-        }
+        | (BinOp::And, _, Expr::Lit(Scalar::Boolean(false))) => Expr::Lit(Scalar::Boolean(false)),
         (BinOp::Or, Expr::Lit(Scalar::Boolean(false)), _) => r,
         (BinOp::Or, _, Expr::Lit(Scalar::Boolean(false))) => l,
         (BinOp::Or, Expr::Lit(Scalar::Boolean(true)), _)
@@ -117,9 +115,6 @@ mod tests {
     fn folds_not_neg_cast() {
         assert_eq!(fold(&lit_bool(false).not()), lit_bool(true));
         assert_eq!(fold(&lit_i64(5).neg()), lit_i64(-5));
-        assert_eq!(
-            fold(&lit_i64(3).cast(crate::types::DataType::Float64)),
-            lit_f64(3.0)
-        );
+        assert_eq!(fold(&lit_i64(3).cast(crate::types::DataType::Float64)), lit_f64(3.0));
     }
 }

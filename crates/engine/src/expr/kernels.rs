@@ -126,12 +126,12 @@ fn arith_i64(op: BinOp, l: NumRepr<i64>, r: NumRepr<i64>) -> Result<Value> {
                 (NumRepr::Col(a), NumRepr::Col(b)) => Value::Column(Column::I64(
                     a.iter().zip(b.iter()).map(|(x, y)| f(*x, *y)).collect::<Result<_>>()?,
                 )),
-                (NumRepr::Col(a), NumRepr::Scalar(s)) => Value::Column(Column::I64(
-                    a.iter().map(|x| f(*x, s)).collect::<Result<_>>()?,
-                )),
-                (NumRepr::Scalar(s), NumRepr::Col(b)) => Value::Column(Column::I64(
-                    b.iter().map(|y| f(s, *y)).collect::<Result<_>>()?,
-                )),
+                (NumRepr::Col(a), NumRepr::Scalar(s)) => {
+                    Value::Column(Column::I64(a.iter().map(|x| f(*x, s)).collect::<Result<_>>()?))
+                }
+                (NumRepr::Scalar(s), NumRepr::Col(b)) => {
+                    Value::Column(Column::I64(b.iter().map(|y| f(s, *y)).collect::<Result<_>>()?))
+                }
                 (NumRepr::Scalar(a), NumRepr::Scalar(b)) => Value::Scalar(Scalar::Int64(f(a, b)?)),
             }
         }
@@ -323,12 +323,9 @@ mod tests {
 
     #[test]
     fn scalar_scalar_folds() {
-        let out = binary(
-            BinOp::Mul,
-            Value::Scalar(Scalar::Int64(6)),
-            Value::Scalar(Scalar::Int64(7)),
-        )
-        .unwrap();
+        let out =
+            binary(BinOp::Mul, Value::Scalar(Scalar::Int64(6)), Value::Scalar(Scalar::Int64(7)))
+                .unwrap();
         assert_eq!(out, Value::Scalar(Scalar::Int64(42)));
     }
 

@@ -160,7 +160,10 @@ impl Expr {
                 let rt = right.data_type(input)?;
                 if op.is_logical() {
                     if lt != DataType::Boolean || rt != DataType::Boolean {
-                        return type_err(format!("{} requires booleans, got {lt} and {rt}", op.symbol()));
+                        return type_err(format!(
+                            "{} requires booleans, got {lt} and {rt}",
+                            op.symbol()
+                        ));
                     }
                     return Ok(DataType::Boolean);
                 }

@@ -14,9 +14,18 @@ use crate::scalar::Scalar;
 /// Value bounds of a subexpression over all rows of a row group.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub enum Bounds {
-    I64 { min: i64, max: i64 },
-    F64 { min: f64, max: f64 },
-    Bool { can_true: bool, can_false: bool },
+    I64 {
+        min: i64,
+        max: i64,
+    },
+    F64 {
+        min: f64,
+        max: f64,
+    },
+    Bool {
+        can_true: bool,
+        can_false: bool,
+    },
     /// No information.
     Unknown,
 }
@@ -131,8 +140,12 @@ fn compare_ord<T: PartialOrd + Copy>(op: BinOp, lmin: T, lmax: T, rmin: T, rmax:
         BinOp::Gt => (lmax > rmin, lmin <= rmax),
         BinOp::Ge => (lmax >= rmin, lmin < rmax),
         // a = b possible iff ranges overlap; certain iff both singleton equal.
-        BinOp::Eq => (lmin <= rmax && rmin <= lmax, !(lmin == lmax && rmin == rmax && lmin == rmin)),
-        BinOp::Ne => (!(lmin == lmax && rmin == rmax && lmin == rmin), lmin <= rmax && rmin <= lmax),
+        BinOp::Eq => {
+            (lmin <= rmax && rmin <= lmax, !(lmin == lmax && rmin == rmax && lmin == rmin))
+        }
+        BinOp::Ne => {
+            (!(lmin == lmax && rmin == rmax && lmin == rmin), lmin <= rmax && rmin <= lmax)
+        }
         _ => unreachable!("compare_ord on non-comparison"),
     };
     Bounds::Bool { can_true, can_false }
@@ -146,7 +159,8 @@ fn arithmetic(op: BinOp, l: Bounds, r: Bounds) -> Bounds {
             BinOp::Add => a.checked_add(c).zip(b.checked_add(d)),
             BinOp::Sub => a.checked_sub(d).zip(b.checked_sub(c)),
             BinOp::Mul => {
-                let products = [a.checked_mul(c), a.checked_mul(d), b.checked_mul(c), b.checked_mul(d)];
+                let products =
+                    [a.checked_mul(c), a.checked_mul(d), b.checked_mul(c), b.checked_mul(d)];
                 if products.iter().all(Option::is_some) {
                     let vals: Vec<i64> = products.iter().map(|p| p.expect("checked")).collect();
                     Some((

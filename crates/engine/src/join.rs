@@ -1,0 +1,390 @@
+//! Hash-join state: the build-side hash table and the row-level hash
+//! partitioning both sides of a distributed join share.
+//!
+//! The distributed planner in `lambada-core` splits an equi-join into
+//! scan stages that hash-partition their rows on the join keys and a join
+//! stage whose workers each receive one co-partition of both inputs
+//! (§4.4: repartitioning operators run entirely over the serverless
+//! exchange). [`JoinState`] mirrors [`crate::agg::GroupedAggState`]: it is
+//! simultaneously the operator state (build + probe) and a wire format
+//! (mergeable partial states encoded with the same binary codec the file
+//! format uses), so build sides can travel through cloud storage.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use lambada_format::binio::{BinReader, BinWriter};
+
+use crate::batch::RecordBatch;
+use crate::column::Column;
+use crate::error::{exec_err, plan_err, EngineError, Result};
+use crate::scalar::ScalarKey;
+use crate::types::{DataType, Field, Schema, SchemaRef};
+
+/// Multiply-shift hash of one scalar key part.
+#[inline]
+pub fn hash_scalar_key(k: ScalarKey) -> u64 {
+    let raw = match k {
+        ScalarKey::I(v) => v as u64,
+        ScalarKey::F(bits) => bits,
+        ScalarKey::B(b) => u64::from(b),
+    };
+    raw.wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(31)
+}
+
+/// FNV-style combination of the key columns of one row. Every component
+/// that co-partitions data (the exchange operator, both sides of a
+/// distributed join) must agree on this function, which is why it lives
+/// here rather than in `lambada-core`.
+#[inline]
+pub fn hash_row_key(batch: &RecordBatch, key_cols: &[usize], row: usize) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &c in key_cols {
+        h ^= hash_scalar_key(batch.column(c).value(row).key());
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+/// Partition id of one row under `partitions`-way hash partitioning.
+#[inline]
+pub fn row_partition(
+    batch: &RecordBatch,
+    key_cols: &[usize],
+    partitions: usize,
+    row: usize,
+) -> usize {
+    (hash_row_key(batch, key_cols, row) % partitions as u64) as usize
+}
+
+/// Build-side hash table of a partitioned hash join. Rows are stored
+/// columnar (one concatenated batch); the map indexes them by key.
+#[derive(Clone, Debug, PartialEq)]
+pub struct JoinState {
+    schema: SchemaRef,
+    key_cols: Vec<usize>,
+    rows: RecordBatch,
+    map: HashMap<Box<[ScalarKey]>, Vec<usize>>,
+}
+
+impl JoinState {
+    /// Empty state for a build side with the given schema and key columns.
+    pub fn new(schema: SchemaRef, key_cols: Vec<usize>) -> Result<JoinState> {
+        for &k in &key_cols {
+            if k >= schema.len() {
+                return plan_err(format!("join key column {k} out of range"));
+            }
+        }
+        Ok(JoinState {
+            rows: RecordBatch::empty(Arc::clone(&schema)),
+            schema,
+            key_cols,
+            map: HashMap::new(),
+        })
+    }
+
+    /// Build from a set of batches in one go (concatenates once, so it is
+    /// linear in the total row count regardless of batch granularity).
+    pub fn build(
+        schema: SchemaRef,
+        key_cols: Vec<usize>,
+        batches: &[RecordBatch],
+    ) -> Result<JoinState> {
+        let all = RecordBatch::concat(Arc::clone(&schema), batches)?;
+        let mut state = JoinState::new(schema, key_cols)?;
+        state.push(&all)?;
+        Ok(state)
+    }
+
+    pub fn schema(&self) -> &SchemaRef {
+        &self.schema
+    }
+
+    pub fn key_cols(&self) -> &[usize] {
+        &self.key_cols
+    }
+
+    pub fn num_rows(&self) -> usize {
+        self.rows.num_rows()
+    }
+
+    pub fn num_keys(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Approximate retained bytes, for worker OOM modelling.
+    pub fn approx_bytes(&self) -> usize {
+        let data = self.rows.num_rows() * self.rows.num_columns() * 8;
+        let index = self.map.len() * (self.key_cols.len() * 16 + 48) + self.rows.num_rows() * 8;
+        data + index
+    }
+
+    /// Fold one batch of build-side rows in.
+    pub fn push(&mut self, batch: &RecordBatch) -> Result<()> {
+        if batch.schema().as_ref() != self.schema.as_ref() {
+            return exec_err(format!(
+                "join build schema mismatch: got {}, expected {}",
+                batch.schema(),
+                self.schema
+            ));
+        }
+        let base = self.rows.num_rows();
+        let mut key_buf: Vec<ScalarKey> = Vec::with_capacity(self.key_cols.len());
+        for row in 0..batch.num_rows() {
+            key_buf.clear();
+            for &c in &self.key_cols {
+                key_buf.push(batch.column(c).value(row).key());
+            }
+            self.map.entry(key_buf.as_slice().into()).or_default().push(base + row);
+        }
+        self.rows =
+            RecordBatch::concat(Arc::clone(&self.schema), &[self.rows.clone(), batch.clone()])?;
+        Ok(())
+    }
+
+    /// Merge a peer partial state (same schema and keys), mirroring
+    /// [`crate::agg::GroupedAggState::merge`].
+    pub fn merge(&mut self, other: &JoinState) -> Result<()> {
+        if other.schema.as_ref() != self.schema.as_ref() || other.key_cols != self.key_cols {
+            return exec_err("cannot merge join states with different shapes");
+        }
+        let base = self.rows.num_rows();
+        for (key, rows) in &other.map {
+            let entry = self.map.entry(key.clone()).or_default();
+            entry.extend(rows.iter().map(|r| base + r));
+        }
+        self.rows = RecordBatch::concat(
+            Arc::clone(&self.schema),
+            &[self.rows.clone(), other.rows.clone()],
+        )?;
+        Ok(())
+    }
+
+    /// Inner-equi-join probe: returns `probe columns ++ build columns`
+    /// for every matching pair, preserving probe-row order (and duplicate
+    /// matches), exactly like the reference executor's hash join.
+    pub fn probe(&self, batch: &RecordBatch, probe_keys: &[usize]) -> Result<RecordBatch> {
+        if probe_keys.len() != self.key_cols.len() {
+            return plan_err(format!(
+                "probe key count {} != build key count {}",
+                probe_keys.len(),
+                self.key_cols.len()
+            ));
+        }
+        let mut p_idx: Vec<usize> = Vec::new();
+        let mut b_idx: Vec<usize> = Vec::new();
+        let mut key_buf: Vec<ScalarKey> = Vec::with_capacity(probe_keys.len());
+        for row in 0..batch.num_rows() {
+            key_buf.clear();
+            for &c in probe_keys {
+                key_buf.push(batch.column(c).value(row).key());
+            }
+            if let Some(matches) = self.map.get(key_buf.as_slice()) {
+                for &m in matches {
+                    p_idx.push(row);
+                    b_idx.push(m);
+                }
+            }
+        }
+        let ppart = batch.gather(&p_idx);
+        let bpart = self.rows.gather(&b_idx);
+        let mut fields = batch.schema().fields.clone();
+        fields.extend(self.schema.fields.clone());
+        let mut columns = ppart.into_columns();
+        columns.extend(bpart.into_columns());
+        RecordBatch::new(Schema::arc(fields), columns)
+    }
+
+    /// The joined output schema for a given probe schema:
+    /// `probe fields ++ build fields`.
+    pub fn output_schema(&self, probe_schema: &Schema) -> SchemaRef {
+        let mut fields = probe_schema.fields.clone();
+        fields.extend(self.schema.fields.clone());
+        Schema::arc(fields)
+    }
+
+    /// Serialize for the wire (worker → worker via cloud storage).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = BinWriter::new();
+        w.varint(self.schema.len() as u64);
+        for f in &self.schema.fields {
+            w.string(&f.name);
+            w.u8(match f.dtype {
+                DataType::Int64 => 0,
+                DataType::Float64 => 1,
+                DataType::Boolean => 2,
+            });
+        }
+        w.varint(self.key_cols.len() as u64);
+        for &k in &self.key_cols {
+            w.varint(k as u64);
+        }
+        w.varint(self.rows.num_rows() as u64);
+        for col in self.rows.columns() {
+            match col {
+                Column::I64(v) => v.iter().for_each(|&x| w.i64(x)),
+                Column::F64(v) => v.iter().for_each(|&x| w.f64(x)),
+                Column::Bool(v) => v.iter().for_each(|&x| w.bool(x)),
+            }
+        }
+        w.into_bytes()
+    }
+
+    /// Deserialize a wire message; the hash index is rebuilt locally.
+    pub fn decode(bytes: &[u8]) -> Result<JoinState> {
+        let mut r = BinReader::new(bytes);
+        let e = EngineError::from;
+        let ncols = r.varint().map_err(e)? as usize;
+        let mut fields = Vec::with_capacity(ncols);
+        for _ in 0..ncols {
+            let name = r.string().map_err(e)?;
+            let dtype = match r.u8().map_err(e)? {
+                0 => DataType::Int64,
+                1 => DataType::Float64,
+                2 => DataType::Boolean,
+                other => return exec_err(format!("unknown dtype tag {other}")),
+            };
+            fields.push(Field::new(name, dtype));
+        }
+        let schema = Schema::arc(fields);
+        let nkeys = r.varint().map_err(e)? as usize;
+        let mut key_cols = Vec::with_capacity(nkeys);
+        for _ in 0..nkeys {
+            key_cols.push(r.varint().map_err(e)? as usize);
+        }
+        let nrows = r.varint().map_err(e)? as usize;
+        let mut columns = Vec::with_capacity(schema.len());
+        for f in &schema.fields {
+            columns.push(match f.dtype {
+                DataType::Int64 => {
+                    let mut v = Vec::with_capacity(nrows);
+                    for _ in 0..nrows {
+                        v.push(r.i64().map_err(e)?);
+                    }
+                    Column::I64(v)
+                }
+                DataType::Float64 => {
+                    let mut v = Vec::with_capacity(nrows);
+                    for _ in 0..nrows {
+                        v.push(r.f64().map_err(e)?);
+                    }
+                    Column::F64(v)
+                }
+                DataType::Boolean => {
+                    let mut v = Vec::with_capacity(nrows);
+                    for _ in 0..nrows {
+                        v.push(r.bool().map_err(e)?);
+                    }
+                    Column::Bool(v)
+                }
+            });
+        }
+        if !r.is_exhausted() {
+            return exec_err("trailing bytes in join state");
+        }
+        let batch = RecordBatch::new(Arc::clone(&schema), columns)?;
+        let mut state = JoinState::new(schema, key_cols)?;
+        state.push(&batch)?;
+        Ok(state)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scalar::Scalar;
+
+    fn build_schema() -> SchemaRef {
+        Schema::arc(vec![Field::new("k", DataType::Int64), Field::new("w", DataType::Float64)])
+    }
+
+    fn build_batch(keys: Vec<i64>, weights: Vec<f64>) -> RecordBatch {
+        RecordBatch::new(build_schema(), vec![Column::I64(keys), Column::F64(weights)]).unwrap()
+    }
+
+    #[test]
+    fn probe_matches_with_duplicates() {
+        let state = JoinState::build(
+            build_schema(),
+            vec![0],
+            &[build_batch(vec![1, 1, 2], vec![0.1, 0.2, 0.3])],
+        )
+        .unwrap();
+        let probe = RecordBatch::from_columns(
+            &["pk", "v"],
+            vec![Column::I64(vec![2, 1, 9]), Column::I64(vec![20, 10, 90])],
+        )
+        .unwrap();
+        let out = state.probe(&probe, &[0]).unwrap();
+        // pk=2 matches one build row, pk=1 matches two, pk=9 none.
+        assert_eq!(out.num_rows(), 3);
+        assert_eq!(out.num_columns(), 4);
+        assert_eq!(
+            out.row(0),
+            vec![Scalar::Int64(2), Scalar::Int64(20), Scalar::Int64(2), Scalar::Float64(0.3),]
+        );
+        assert_eq!(out.row(1)[0], Scalar::Int64(1));
+        assert_eq!(out.row(2)[0], Scalar::Int64(1));
+    }
+
+    #[test]
+    fn merge_equals_single_build() {
+        let a = build_batch(vec![1, 2], vec![0.1, 0.2]);
+        let b = build_batch(vec![2, 3], vec![0.3, 0.4]);
+        let together = JoinState::build(build_schema(), vec![0], &[a.clone(), b.clone()]).unwrap();
+        let mut merged = JoinState::build(build_schema(), vec![0], &[a]).unwrap();
+        merged.merge(&JoinState::build(build_schema(), vec![0], &[b]).unwrap()).unwrap();
+        let probe = RecordBatch::from_columns(&["k"], vec![Column::I64(vec![1, 2, 3, 4])]).unwrap();
+        assert_eq!(together.probe(&probe, &[0]).unwrap(), merged.probe(&probe, &[0]).unwrap());
+        assert_eq!(merged.num_rows(), 4);
+        assert_eq!(merged.num_keys(), 3);
+    }
+
+    #[test]
+    fn wire_roundtrip_preserves_probes() {
+        let state = JoinState::build(
+            build_schema(),
+            vec![0],
+            &[build_batch(vec![5, 6, 5], vec![1.5, 2.5, 3.5])],
+        )
+        .unwrap();
+        let got = JoinState::decode(&state.encode()).unwrap();
+        let probe = RecordBatch::from_columns(&["k"], vec![Column::I64(vec![5, 6, 7])]).unwrap();
+        assert_eq!(got.probe(&probe, &[0]).unwrap(), state.probe(&probe, &[0]).unwrap());
+        assert_eq!(got, state);
+    }
+
+    #[test]
+    fn empty_state_probes_to_zero_rows() {
+        let state = JoinState::new(build_schema(), vec![0]).unwrap();
+        let probe = RecordBatch::from_columns(&["k"], vec![Column::I64(vec![1, 2])]).unwrap();
+        let out = state.probe(&probe, &[0]).unwrap();
+        assert_eq!(out.num_rows(), 0);
+        assert_eq!(out.num_columns(), 3);
+    }
+
+    #[test]
+    fn partitioning_is_stable_and_total() {
+        let b = build_batch((0..500).collect(), vec![0.0; 500]);
+        let mut counts = vec![0usize; 7];
+        for row in 0..b.num_rows() {
+            let p = row_partition(&b, &[0], 7, row);
+            assert!(p < 7);
+            counts[p] += 1;
+            assert_eq!(p, row_partition(&b, &[0], 7, row), "deterministic");
+        }
+        assert_eq!(counts.iter().sum::<usize>(), 500);
+        assert!(counts.iter().all(|&c| c > 20), "no empty partition at n=500: {counts:?}");
+    }
+
+    #[test]
+    fn bad_shapes_rejected() {
+        assert!(JoinState::new(build_schema(), vec![9]).is_err());
+        let state = JoinState::build(build_schema(), vec![0], &[]).unwrap();
+        let probe = RecordBatch::from_columns(&["k"], vec![Column::I64(vec![1])]).unwrap();
+        assert!(state.probe(&probe, &[0, 1]).is_err());
+        let mut a = JoinState::new(build_schema(), vec![0]).unwrap();
+        let b = JoinState::new(build_schema(), vec![1]).unwrap();
+        assert!(a.merge(&b).is_err());
+    }
+}

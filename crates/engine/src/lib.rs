@@ -17,10 +17,15 @@
 //!   and interval analysis for min/max row-group pruning;
 //! * [`logical`] + [`frontend`] — the plan IR and the Listing-1-style
 //!   DataFrame builder;
-//! * [`optimizer`] — push-downs and join ordering;
+//! * [`optimizer`] — push-downs (selections *and* projections reach below
+//!   joins into the scans) and join ordering;
 //! * [`physical`] — the local reference executor (ground truth in tests);
-//! * [`pipeline`] — push-based fragment execution inside workers;
-//! * [`agg`] — mergeable, wire-serializable partial aggregates.
+//! * [`pipeline`] — push-based fragment execution inside workers, with
+//!   terminals for partial aggregation, collection, hash partitioning
+//!   (feeding exchange edges), and hash-join probing;
+//! * [`agg`] — mergeable, wire-serializable partial aggregates;
+//! * [`join`] — the shared partition hash plus [`join::JoinState`], the
+//!   mergeable, wire-serializable build side of a distributed hash join.
 
 pub mod agg;
 pub mod batch;
@@ -28,6 +33,7 @@ pub mod column;
 pub mod error;
 pub mod expr;
 pub mod frontend;
+pub mod join;
 pub mod logical;
 pub mod optimizer;
 pub mod physical;
@@ -42,6 +48,7 @@ pub use column::Column;
 pub use error::{EngineError, Result};
 pub use expr::{col, lit_bool, lit_f64, lit_i64, BinOp, Expr};
 pub use frontend::Df;
+pub use join::JoinState;
 pub use logical::{LogicalPlan, SortKey};
 pub use optimizer::Optimizer;
 pub use physical::{execute, execute_into_batch};

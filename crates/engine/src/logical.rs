@@ -43,21 +43,13 @@ pub enum LogicalPlan {
     /// Compute named expressions over the input.
     Project { input: Box<LogicalPlan>, exprs: Vec<(Expr, String)> },
     /// Hash aggregation with grouping expressions.
-    Aggregate {
-        input: Box<LogicalPlan>,
-        group_by: Vec<(Expr, String)>,
-        aggs: Vec<AggExpr>,
-    },
+    Aggregate { input: Box<LogicalPlan>, group_by: Vec<(Expr, String)>, aggs: Vec<AggExpr> },
     /// Total sort.
     Sort { input: Box<LogicalPlan>, keys: Vec<SortKey> },
     /// First `n` rows.
     Limit { input: Box<LogicalPlan>, n: usize },
     /// Inner equi-join; output = left columns ++ right columns.
-    Join {
-        left: Box<LogicalPlan>,
-        right: Box<LogicalPlan>,
-        on: Vec<(usize, usize)>,
-    },
+    Join { left: Box<LogicalPlan>, right: Box<LogicalPlan>, on: Vec<(usize, usize)> },
 }
 
 impl LogicalPlan {
@@ -146,8 +138,7 @@ impl LogicalPlan {
                 let _ = writeln!(out, "{pad}Filter: {predicate}");
             }
             LogicalPlan::Project { exprs, .. } => {
-                let items: Vec<String> =
-                    exprs.iter().map(|(e, n)| format!("{e} AS {n}")).collect();
+                let items: Vec<String> = exprs.iter().map(|(e, n)| format!("{e} AS {n}")).collect();
                 let _ = writeln!(out, "{pad}Project: {}", items.join(", "));
             }
             LogicalPlan::Aggregate { group_by, aggs, .. } => {
@@ -159,7 +150,12 @@ impl LogicalPlan {
                         None => format!("{}(*) AS {}", x.func.name(), x.name),
                     })
                     .collect();
-                let _ = writeln!(out, "{pad}Aggregate: group=[{}] aggs=[{}]", g.join(", "), a.join(", "));
+                let _ = writeln!(
+                    out,
+                    "{pad}Aggregate: group=[{}] aggs=[{}]",
+                    g.join(", "),
+                    a.join(", ")
+                );
             }
             LogicalPlan::Sort { keys, .. } => {
                 let k: Vec<String> = keys
@@ -234,26 +230,18 @@ mod tests {
 
     #[test]
     fn join_schema_concatenates() {
-        let plan = LogicalPlan::Join {
-            left: Box::new(scan()),
-            right: Box::new(scan()),
-            on: vec![(0, 0)],
-        };
+        let plan =
+            LogicalPlan::Join { left: Box::new(scan()), right: Box::new(scan()), on: vec![(0, 0)] };
         assert_eq!(plan.schema().unwrap().len(), 4);
-        let bad = LogicalPlan::Join {
-            left: Box::new(scan()),
-            right: Box::new(scan()),
-            on: vec![(0, 9)],
-        };
+        let bad =
+            LogicalPlan::Join { left: Box::new(scan()), right: Box::new(scan()), on: vec![(0, 9)] };
         assert!(bad.schema().is_err());
     }
 
     #[test]
     fn display_renders_tree() {
-        let plan = LogicalPlan::Filter {
-            input: Box::new(scan()),
-            predicate: col(0).le(lit_i64(5)),
-        };
+        let plan =
+            LogicalPlan::Filter { input: Box::new(scan()), predicate: col(0).le(lit_i64(5)) };
         let text = plan.display_indent();
         assert!(text.contains("Filter: (#0 <= 5)"));
         assert!(text.contains("  Scan: t"));

@@ -15,9 +15,9 @@
 use std::collections::BTreeSet;
 use std::collections::HashMap;
 
+use crate::error::Result;
 use crate::expr::{fold, BinOp, Expr};
 use crate::logical::LogicalPlan;
-use crate::error::Result;
 
 /// Optimizer entry point.
 #[derive(Default, Clone)]
@@ -52,10 +52,9 @@ fn map_exprs(plan: &LogicalPlan, f: &impl Fn(&Expr) -> Expr) -> LogicalPlan {
             projection: projection.clone(),
             predicate: predicate.as_ref().map(f),
         },
-        LogicalPlan::Filter { input, predicate } => LogicalPlan::Filter {
-            input: input.clone(),
-            predicate: f(predicate),
-        },
+        LogicalPlan::Filter { input, predicate } => {
+            LogicalPlan::Filter { input: input.clone(), predicate: f(predicate) }
+        }
         LogicalPlan::Project { input, exprs } => LogicalPlan::Project {
             input: input.clone(),
             exprs: exprs.iter().map(|(e, n)| (f(e), n.clone())).collect(),
@@ -91,23 +90,20 @@ fn with_children(plan: &LogicalPlan, mut children: Vec<LogicalPlan>) -> LogicalP
             input: Box::new(children.remove(0)),
             predicate: predicate.clone(),
         },
-        LogicalPlan::Project { exprs, .. } => LogicalPlan::Project {
-            input: Box::new(children.remove(0)),
-            exprs: exprs.clone(),
-        },
+        LogicalPlan::Project { exprs, .. } => {
+            LogicalPlan::Project { input: Box::new(children.remove(0)), exprs: exprs.clone() }
+        }
         LogicalPlan::Aggregate { group_by, aggs, .. } => LogicalPlan::Aggregate {
             input: Box::new(children.remove(0)),
             group_by: group_by.clone(),
             aggs: aggs.clone(),
         },
-        LogicalPlan::Sort { keys, .. } => LogicalPlan::Sort {
-            input: Box::new(children.remove(0)),
-            keys: keys.clone(),
-        },
-        LogicalPlan::Limit { n, .. } => LogicalPlan::Limit {
-            input: Box::new(children.remove(0)),
-            n: *n,
-        },
+        LogicalPlan::Sort { keys, .. } => {
+            LogicalPlan::Sort { input: Box::new(children.remove(0)), keys: keys.clone() }
+        }
+        LogicalPlan::Limit { n, .. } => {
+            LogicalPlan::Limit { input: Box::new(children.remove(0)), n: *n }
+        }
         LogicalPlan::Join { on, .. } => LogicalPlan::Join {
             left: Box::new(children.remove(0)),
             right: Box::new(children.remove(0)),
@@ -170,10 +166,9 @@ fn push_filter(input: LogicalPlan, predicate: Expr) -> LogicalPlan {
         LogicalPlan::Filter { input, predicate: inner } => {
             push_filter(*input, predicate.and(inner))
         }
-        LogicalPlan::Sort { input, keys } => LogicalPlan::Sort {
-            input: Box::new(push_filter(*input, predicate)),
-            keys,
-        },
+        LogicalPlan::Sort { input, keys } => {
+            LogicalPlan::Sort { input: Box::new(push_filter(*input, predicate)), keys }
+        }
         LogicalPlan::Project { input, exprs } => {
             // Push through only if every referenced output column is a
             // plain column reference in the projection.
@@ -188,10 +183,7 @@ fn push_filter(input: LogicalPlan, predicate: Expr) -> LogicalPlan {
             });
             if all_simple {
                 let below = predicate.remap_columns(&|i| mapping[&i]);
-                LogicalPlan::Project {
-                    input: Box::new(push_filter(*input, below)),
-                    exprs,
-                }
+                LogicalPlan::Project { input: Box::new(push_filter(*input, below)), exprs }
             } else {
                 LogicalPlan::Filter {
                     input: Box::new(LogicalPlan::Project { input, exprs }),
@@ -214,7 +206,8 @@ fn push_filter(input: LogicalPlan, predicate: Expr) -> LogicalPlan {
                     keep.push(c);
                 }
             }
-            let left = if to_left.is_empty() { *left } else { push_filter(*left, conjoin(to_left)) };
+            let left =
+                if to_left.is_empty() { *left } else { push_filter(*left, conjoin(to_left)) };
             let right =
                 if to_right.is_empty() { *right } else { push_filter(*right, conjoin(to_right)) };
             let joined = LogicalPlan::Join { left: Box::new(left), right: Box::new(right), on };
@@ -291,8 +284,11 @@ pub fn prune_projections(plan: &LogicalPlan) -> Result<LogicalPlan> {
     }
 }
 
-/// Rewrite a `Filter* → Scan(no projection)` chain to scan only `needed`
-/// columns. Returns the new chain plus the base-index → new-index map.
+/// Rewrite a `Filter* → (Scan(no projection) | Join)` chain to scan only
+/// `needed` columns. Returns the new chain plus the old-index → new-index
+/// map. For joins, the needed set is split by side (join keys are always
+/// kept) and pushed into each input — this is how projections reach below
+/// a join into its scans.
 fn prune_chain(
     plan: &LogicalPlan,
     needed: BTreeSet<usize>,
@@ -304,10 +300,7 @@ fn prune_chain(
             match prune_chain(input, needed)? {
                 Some((new_input, remap)) => {
                     let predicate = predicate.remap_columns(&|i| remap[&i]);
-                    Ok(Some((
-                        LogicalPlan::Filter { input: Box::new(new_input), predicate },
-                        remap,
-                    )))
+                    Ok(Some((LogicalPlan::Filter { input: Box::new(new_input), predicate }, remap)))
                 }
                 None => Ok(None),
             }
@@ -331,7 +324,54 @@ fn prune_chain(
                 remap,
             )))
         }
+        LogicalPlan::Join { left, right, on } => {
+            let left_width = left.schema()?.len();
+            // Split the needed set by side; join keys must survive.
+            let mut needed_left: BTreeSet<usize> =
+                needed.iter().filter(|&&i| i < left_width).copied().collect();
+            let mut needed_right: BTreeSet<usize> =
+                needed.iter().filter(|&&i| i >= left_width).map(|&i| i - left_width).collect();
+            for &(l, r) in on {
+                needed_left.insert(l);
+                needed_right.insert(r);
+            }
+            let (new_left, remap_l) = prune_side(left, needed_left)?;
+            let (new_right, remap_r) = prune_side(right, needed_right)?;
+            let new_left_width = new_left.schema()?.len();
+            let new_on: Vec<(usize, usize)> =
+                on.iter().map(|&(l, r)| (remap_l[&l], remap_r[&r])).collect();
+            let mut remap = HashMap::with_capacity(remap_l.len() + remap_r.len());
+            for (&old, &new) in &remap_l {
+                remap.insert(old, new);
+            }
+            for (&old, &new) in &remap_r {
+                remap.insert(left_width + old, new_left_width + new);
+            }
+            Ok(Some((
+                LogicalPlan::Join {
+                    left: Box::new(new_left),
+                    right: Box::new(new_right),
+                    on: new_on,
+                },
+                remap,
+            )))
+        }
         _ => Ok(None),
+    }
+}
+
+/// Prune one join input, falling back to the identity mapping when the
+/// input's shape offers nothing to prune.
+fn prune_side(
+    side: &LogicalPlan,
+    needed: BTreeSet<usize>,
+) -> Result<(LogicalPlan, HashMap<usize, usize>)> {
+    match prune_chain(side, needed)? {
+        Some(pruned) => Ok(pruned),
+        None => {
+            let width = side.schema()?.len();
+            Ok((side.clone(), (0..width).map(|i| (i, i)).collect()))
+        }
     }
 }
 
@@ -410,7 +450,12 @@ mod tests {
 
     fn scan(table: &str, cols: usize) -> LogicalPlan {
         let fields = (0..cols)
-            .map(|i| Field::new(format!("c{i}"), if i % 2 == 0 { DataType::Int64 } else { DataType::Float64 }))
+            .map(|i| {
+                Field::new(
+                    format!("c{i}"),
+                    if i % 2 == 0 { DataType::Int64 } else { DataType::Float64 },
+                )
+            })
             .collect();
         LogicalPlan::Scan {
             table: table.to_string(),
@@ -489,10 +534,7 @@ mod tests {
             on: vec![(0, 0)],
         };
         // left-col filter AND right-col filter AND cross filter
-        let pred = col(0)
-            .le(lit_i64(1))
-            .and(col(2).ge(lit_i64(2)))
-            .and(col(1).lt(col(3)));
+        let pred = col(0).le(lit_i64(1)).and(col(2).ge(lit_i64(2))).and(col(1).lt(col(3)));
         let plan = LogicalPlan::Filter { input: Box::new(join), predicate: pred };
         let out = pushdown_predicates(&plan);
         let LogicalPlan::Filter { input, predicate } = out else {
@@ -538,6 +580,75 @@ mod tests {
         assert_eq!(*predicate, col(0).gt(lit_f64(0.0)), "filter remapped");
         assert_eq!(aggs[0].arg, Some(col(1)), "agg arg remapped");
         // Schema must be unchanged by the rewrite.
+        assert_eq!(out.schema().unwrap(), plan.schema().unwrap());
+    }
+
+    #[test]
+    fn projection_pruned_below_join_into_both_scans() {
+        // Aggregate(group l.c1, sum(r.c3)) over Join(l.c0 = r.c0):
+        // left scan needs {0, 1}, right scan needs {0, 3}.
+        let plan = LogicalPlan::Aggregate {
+            input: Box::new(LogicalPlan::Join {
+                left: Box::new(scan("l", 4)),
+                right: Box::new(scan("r", 5)),
+                on: vec![(0, 0)],
+            }),
+            group_by: vec![(col(1), "g".to_string())],
+            aggs: vec![AggExpr::new(AggFunc::Sum, Some(col(7)), "s")],
+        };
+        let out = prune_projections(&plan).unwrap();
+        let LogicalPlan::Aggregate { input, group_by, aggs } = &out else {
+            panic!("expected aggregate");
+        };
+        let LogicalPlan::Join { left, right, on } = input.as_ref() else {
+            panic!("expected join");
+        };
+        let LogicalPlan::Scan { projection: Some(lp), .. } = left.as_ref() else {
+            panic!("left scan pruned");
+        };
+        let LogicalPlan::Scan { projection: Some(rp), .. } = right.as_ref() else {
+            panic!("right scan pruned");
+        };
+        assert_eq!(lp, &vec![0, 1], "left: key + group column");
+        assert_eq!(rp, &vec![0, 3], "right: key + agg argument");
+        assert_eq!(on, &vec![(0, 0)], "keys remapped to pruned positions");
+        assert_eq!(group_by[0].0, col(1));
+        assert_eq!(aggs[0].arg, Some(col(3)), "agg arg remapped across the seam");
+        assert_eq!(out.schema().unwrap(), plan.schema().unwrap());
+    }
+
+    #[test]
+    fn join_prune_keeps_filters_in_place() {
+        // Filter above the join (cross-side residual) + filters below.
+        let join = LogicalPlan::Join {
+            left: Box::new(LogicalPlan::Filter {
+                input: Box::new(scan("l", 4)),
+                predicate: col(2).gt(lit_i64(0)),
+            }),
+            right: Box::new(scan("r", 3)),
+            on: vec![(1, 0)],
+        };
+        let plan = LogicalPlan::Project {
+            input: Box::new(join),
+            exprs: vec![(col(3), "x".to_string()), (col(5), "y".to_string())],
+        };
+        let out = prune_projections(&plan).unwrap();
+        let LogicalPlan::Project { input, exprs } = &out else {
+            panic!("project on top");
+        };
+        let LogicalPlan::Join { left, on, .. } = input.as_ref() else {
+            panic!("join below");
+        };
+        let LogicalPlan::Filter { input: lscan, predicate } = left.as_ref() else {
+            panic!("left filter preserved");
+        };
+        let LogicalPlan::Scan { projection: Some(lp), .. } = lscan.as_ref() else {
+            panic!("left scan pruned");
+        };
+        assert_eq!(lp, &vec![1, 2, 3], "key + filter + projected columns");
+        assert_eq!(*predicate, col(1).gt(lit_i64(0)), "filter remapped");
+        assert_eq!(on, &vec![(0, 0)]);
+        assert_eq!(exprs[0].0, col(2));
         assert_eq!(out.schema().unwrap(), plan.schema().unwrap());
     }
 

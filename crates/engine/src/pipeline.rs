@@ -6,11 +6,14 @@
 //! pipeline that keeps only aggregate state (or collected batches, for
 //! fragments that feed an exchange) in memory.
 
+use std::rc::Rc;
+
 use crate::agg::{AggExpr, AggFunc, GroupedAggState};
 use crate::batch::RecordBatch;
 use crate::column::Column;
 use crate::error::{plan_err, Result};
 use crate::expr::{eval, Expr};
+use crate::join::{row_partition, JoinState};
 use crate::types::{DataType, Schema, SchemaRef};
 
 /// What a fragment does with the rows that survive filter + projection.
@@ -20,6 +23,16 @@ pub enum Terminal {
     PartialAggregate { group_by: Vec<(Expr, String)>, aggs: Vec<AggExpr> },
     /// Collect projected batches (feeding an exchange or a result upload).
     Collect,
+    /// Hash-partition rows on key columns for an exchange edge: output
+    /// batch `p` of the result holds exactly the rows whose key hashes to
+    /// partition `p`. Used by the scan stages of a distributed join.
+    HashPartition { keys: Vec<usize>, partitions: usize },
+    /// Probe a build-side hash table ([`JoinState`]) with each batch,
+    /// collecting `probe columns ++ build columns` for every match. Used
+    /// by the join stage; the build state is constructed at runtime from
+    /// the exchanged build input, which is why it rides along as a shared
+    /// handle rather than plan data.
+    Probe { build: Rc<JoinState>, probe_keys: Vec<usize> },
 }
 
 /// A compiled plan fragment: predicate and projection refer to the
@@ -56,6 +69,8 @@ impl PipelineSpec {
 pub enum PipelineOutput {
     Aggregate(GroupedAggState),
     Batches(Vec<RecordBatch>),
+    /// `partitions[p]` holds the batches destined to partition `p`.
+    Partitions(Vec<Vec<RecordBatch>>),
 }
 
 /// Running pipeline state.
@@ -64,6 +79,7 @@ pub struct Pipeline {
     mid_schema: SchemaRef,
     agg: Option<GroupedAggState>,
     collected: Vec<RecordBatch>,
+    partitioned: Vec<Vec<RecordBatch>>,
     rows_in: u64,
     rows_out: u64,
 }
@@ -108,13 +124,45 @@ pub fn eval_agg_inputs(
 impl Pipeline {
     pub fn new(spec: PipelineSpec) -> Result<Pipeline> {
         let mid_schema = spec.intermediate_schema()?;
+        let mut partitioned = Vec::new();
         let agg = match &spec.terminal {
             Terminal::PartialAggregate { aggs, .. } => {
                 Some(GroupedAggState::new(&agg_func_types(aggs, &mid_schema)?)?)
             }
+            Terminal::HashPartition { keys, partitions } => {
+                if *partitions == 0 {
+                    return plan_err("hash partition terminal needs at least one partition");
+                }
+                for &k in keys {
+                    if k >= mid_schema.len() {
+                        return plan_err(format!("partition key column {k} out of range"));
+                    }
+                }
+                partitioned = vec![Vec::new(); *partitions];
+                None
+            }
+            Terminal::Probe { build, probe_keys } => {
+                for &k in probe_keys {
+                    if k >= mid_schema.len() {
+                        return plan_err(format!("probe key column {k} out of range"));
+                    }
+                }
+                if probe_keys.len() != build.key_cols().len() {
+                    return plan_err("probe key count differs from build key count");
+                }
+                None
+            }
             Terminal::Collect => None,
         };
-        Ok(Pipeline { spec, mid_schema, agg, collected: Vec::new(), rows_in: 0, rows_out: 0 })
+        Ok(Pipeline {
+            spec,
+            mid_schema,
+            agg,
+            collected: Vec::new(),
+            partitioned,
+            rows_in: 0,
+            rows_out: 0,
+        })
     }
 
     /// Rows seen / rows surviving the filter so far.
@@ -127,7 +175,9 @@ impl Pipeline {
         let agg = self.agg.as_ref().map_or(0, GroupedAggState::approx_bytes);
         let collected: usize =
             self.collected.iter().map(|b| b.num_rows() * b.num_columns() * 8).sum();
-        agg + collected
+        let partitioned: usize =
+            self.partitioned.iter().flatten().map(|b| b.num_rows() * b.num_columns() * 8).sum();
+        agg + collected + partitioned
     }
 
     /// Push one input batch through filter → project → terminal.
@@ -152,9 +202,7 @@ impl Pipeline {
             return Ok(());
         }
         let projected = match &self.spec.projection {
-            Some(exprs) => {
-                crate::physical::project_batch(&filtered, exprs, &self.mid_schema)?
-            }
+            Some(exprs) => crate::physical::project_batch(&filtered, exprs, &self.mid_schema)?,
             None => filtered,
         };
         match (&self.spec.terminal, &mut self.agg) {
@@ -163,6 +211,23 @@ impl Pipeline {
                 state.update_batch(&gcols, &acols, projected.num_rows())?;
             }
             (Terminal::Collect, _) => self.collected.push(projected),
+            (Terminal::HashPartition { keys, partitions }, _) => {
+                let mut indices: Vec<Vec<usize>> = vec![Vec::new(); *partitions];
+                for row in 0..projected.num_rows() {
+                    indices[row_partition(&projected, keys, *partitions, row)].push(row);
+                }
+                for (p, idx) in indices.into_iter().enumerate() {
+                    if !idx.is_empty() {
+                        self.partitioned[p].push(projected.gather(&idx));
+                    }
+                }
+            }
+            (Terminal::Probe { build, probe_keys }, _) => {
+                let joined = build.probe(&projected, probe_keys)?;
+                if joined.num_rows() > 0 {
+                    self.collected.push(joined);
+                }
+            }
             _ => unreachable!("agg state exists iff terminal is aggregate"),
         }
         Ok(())
@@ -170,9 +235,12 @@ impl Pipeline {
 
     /// Finish and return the fragment output.
     pub fn finish(self) -> PipelineOutput {
-        match self.agg {
-            Some(state) => PipelineOutput::Aggregate(state),
-            None => PipelineOutput::Batches(self.collected),
+        if let Some(state) = self.agg {
+            return PipelineOutput::Aggregate(state);
+        }
+        match self.spec.terminal {
+            Terminal::HashPartition { .. } => PipelineOutput::Partitions(self.partitioned),
+            _ => PipelineOutput::Batches(self.collected),
         }
     }
 }
@@ -256,6 +324,82 @@ mod tests {
         let mut p = Pipeline::new(spec).unwrap();
         let wrong = RecordBatch::from_columns(&["x"], vec![Column::I64(vec![1])]).unwrap();
         assert!(p.push(&wrong).is_err());
+    }
+
+    #[test]
+    fn hash_partition_terminal_splits_rows() {
+        let spec = PipelineSpec {
+            input_schema: input_schema(),
+            predicate: Some(col(0).lt(lit_i64(40))),
+            projection: None,
+            terminal: Terminal::HashPartition { keys: vec![2], partitions: 4 },
+        };
+        let mut p = Pipeline::new(spec).unwrap();
+        p.push(&batch(vec![10, 40, 20], vec![1.0, 2.0, 3.0], vec![1, 1, 2])).unwrap();
+        p.push(&batch(vec![25, 50], vec![4.0, 5.0], vec![2, 2])).unwrap();
+        let PipelineOutput::Partitions(parts) = p.finish() else {
+            panic!("expected partitions");
+        };
+        assert_eq!(parts.len(), 4);
+        let total: usize = parts.iter().flatten().map(RecordBatch::num_rows).sum();
+        assert_eq!(total, 3, "rows surviving the filter, each in exactly one partition");
+        // Rows land in the partition their key hash dictates.
+        for (pid, bs) in parts.iter().enumerate() {
+            for b in bs {
+                for row in 0..b.num_rows() {
+                    assert_eq!(crate::join::row_partition(b, &[2], 4, row), pid);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn probe_terminal_joins_against_build_state() {
+        use crate::join::JoinState;
+        let build_schema = Schema::arc(vec![
+            Field::new("bk", DataType::Int64),
+            Field::new("w", DataType::Float64),
+        ]);
+        let build = RecordBatch::new(
+            build_schema.clone(),
+            vec![Column::I64(vec![1, 2]), Column::F64(vec![0.5, 0.7])],
+        )
+        .unwrap();
+        let state = std::rc::Rc::new(JoinState::build(build_schema, vec![0], &[build]).unwrap());
+        let spec = PipelineSpec {
+            input_schema: input_schema(),
+            predicate: None,
+            projection: None,
+            terminal: Terminal::Probe { build: state, probe_keys: vec![2] },
+        };
+        let mut p = Pipeline::new(spec).unwrap();
+        p.push(&batch(vec![10, 40, 20], vec![1.0, 2.0, 3.0], vec![1, 3, 2])).unwrap();
+        let PipelineOutput::Batches(out) = p.finish() else {
+            panic!("expected joined batches");
+        };
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].num_rows(), 2, "grp=3 has no build partner");
+        assert_eq!(out[0].num_columns(), 5, "probe cols ++ build cols");
+        assert_eq!(out[0].row(0)[4], Scalar::Float64(0.5));
+        assert_eq!(out[0].row(1)[4], Scalar::Float64(0.7));
+    }
+
+    #[test]
+    fn bad_terminal_shapes_rejected() {
+        let spec = PipelineSpec {
+            input_schema: input_schema(),
+            predicate: None,
+            projection: None,
+            terminal: Terminal::HashPartition { keys: vec![9], partitions: 4 },
+        };
+        assert!(Pipeline::new(spec).is_err(), "key out of range");
+        let spec = PipelineSpec {
+            input_schema: input_schema(),
+            predicate: None,
+            projection: None,
+            terminal: Terminal::HashPartition { keys: vec![0], partitions: 0 },
+        };
+        assert!(Pipeline::new(spec).is_err(), "zero partitions");
     }
 
     #[test]

@@ -118,9 +118,6 @@ mod tests {
     #[test]
     fn ordering() {
         assert_eq!(Scalar::Int64(1).total_cmp(&Scalar::Int64(2)), Ordering::Less);
-        assert_eq!(
-            Scalar::Float64(-0.0).total_cmp(&Scalar::Float64(0.0)),
-            Ordering::Less
-        );
+        assert_eq!(Scalar::Float64(-0.0).total_cmp(&Scalar::Float64(0.0)), Ordering::Less);
     }
 }

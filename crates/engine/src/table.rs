@@ -23,7 +23,11 @@ pub trait TableProvider {
     /// Scan with optional projection and pushed-down predicate. The
     /// predicate refers to the *full* table schema; the returned batches
     /// contain only the projected columns (in projection order).
-    fn scan(&self, projection: Option<&[usize]>, predicate: Option<&Expr>) -> Result<Vec<RecordBatch>>;
+    fn scan(
+        &self,
+        projection: Option<&[usize]>,
+        predicate: Option<&Expr>,
+    ) -> Result<Vec<RecordBatch>>;
 }
 
 /// An in-memory table.
@@ -65,7 +69,11 @@ impl TableProvider for MemTable {
         Some(self.rows)
     }
 
-    fn scan(&self, projection: Option<&[usize]>, predicate: Option<&Expr>) -> Result<Vec<RecordBatch>> {
+    fn scan(
+        &self,
+        projection: Option<&[usize]>,
+        predicate: Option<&Expr>,
+    ) -> Result<Vec<RecordBatch>> {
         let mut out = Vec::with_capacity(self.batches.len());
         for b in &self.batches {
             let filtered = match predicate {

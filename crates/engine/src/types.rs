@@ -158,10 +158,8 @@ mod tests {
 
     #[test]
     fn file_schema_conversion() {
-        let s = Schema::new(vec![
-            Field::new("a", DataType::Int64),
-            Field::new("b", DataType::Float64),
-        ]);
+        let s =
+            Schema::new(vec![Field::new("a", DataType::Int64), Field::new("b", DataType::Float64)]);
         let fs = s.to_file_schema().unwrap();
         assert_eq!(Schema::from_file_schema(&fs), s);
         let with_bool = Schema::new(vec![Field::new("m", DataType::Boolean)]);

@@ -40,10 +40,7 @@ fn catalog(rows: &[(i64, i64, f64, f64)]) -> Catalog {
 }
 
 fn arb_rows() -> impl Strategy<Value = Vec<(i64, i64, f64, f64)>> {
-    prop::collection::vec(
-        (-20i64..20, -5i64..5, -10.0f64..10.0, -10.0f64..10.0),
-        0..120,
-    )
+    prop::collection::vec((-20i64..20, -5i64..5, -10.0f64..10.0, -10.0f64..10.0), 0..120)
 }
 
 /// Boolean predicates over the four columns, with arithmetic inside.
@@ -200,5 +197,98 @@ proptest! {
         before.sort_unstable();
         after.sort_unstable();
         prop_assert_eq!(before, after);
+    }
+}
+
+/// The pipeline probe terminal (build-side `JoinState` + streamed probe
+/// batches) must agree with the reference executor's hash join, and the
+/// wire roundtrip must not change results.
+fn join_row_multiset(batches: &[RecordBatch]) -> Vec<Vec<lambada_engine::ScalarKey>> {
+    let mut rows: Vec<Vec<lambada_engine::ScalarKey>> = batches
+        .iter()
+        .flat_map(|b| {
+            (0..b.num_rows())
+                .map(|i| b.row(i).iter().map(Scalar::key).collect::<Vec<_>>())
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    rows.sort();
+    rows
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn probe_pipeline_matches_reference_join(
+        left in prop::collection::vec((-8i64..8, -4.0f64..4.0), 0..60),
+        right in prop::collection::vec((-8i64..8, -4.0f64..4.0), 0..40),
+        chunk in 1usize..16,
+    ) {
+        use lambada_engine::join::JoinState;
+        use lambada_engine::pipeline::{Pipeline, PipelineOutput, PipelineSpec, Terminal};
+
+        let schema = |prefix: &str| {
+            std::sync::Arc::new(lambada_engine::Schema::new(vec![
+                lambada_engine::Field::new(format!("{prefix}k"), lambada_engine::DataType::Int64),
+                lambada_engine::Field::new(format!("{prefix}v"), lambada_engine::DataType::Float64),
+            ]))
+        };
+        let to_batch = |rows: &[(i64, f64)], s: &lambada_engine::SchemaRef| {
+            RecordBatch::new(
+                Arc::clone(s),
+                vec![
+                    Column::I64(rows.iter().map(|r| r.0).collect()),
+                    Column::F64(rows.iter().map(|r| r.1).collect()),
+                ],
+            )
+            .unwrap()
+        };
+        let (ls, rs) = (schema("l"), schema("r"));
+        let lbatch = to_batch(&left, &ls);
+        let rbatch = to_batch(&right, &rs);
+
+        // Reference: the executor's hash join over in-memory tables.
+        let mut cat = Catalog::new();
+        cat.register("l", Rc::new(MemTable::from_batch(lbatch.clone())));
+        cat.register("r", Rc::new(MemTable::from_batch(rbatch.clone())));
+        let plan = LogicalPlan::Join {
+            left: Box::new(LogicalPlan::Scan {
+                table: "l".to_string(),
+                schema: Arc::clone(&ls),
+                projection: None,
+                predicate: None,
+            }),
+            right: Box::new(LogicalPlan::Scan {
+                table: "r".to_string(),
+                schema: Arc::clone(&rs),
+                projection: None,
+                predicate: None,
+            }),
+            on: vec![(0, 0)],
+        };
+        let reference = lambada_engine::physical::execute(&plan, &cat).unwrap();
+
+        // Build side travels through its wire format, probe side streams
+        // through a pipeline in `chunk`-row batches.
+        let state = JoinState::build(Arc::clone(&rs), vec![0], &[rbatch]).unwrap();
+        let state = JoinState::decode(&state.encode()).unwrap();
+        let spec = PipelineSpec {
+            input_schema: Arc::clone(&ls),
+            predicate: None,
+            projection: None,
+            terminal: Terminal::Probe { build: Rc::new(state), probe_keys: vec![0] },
+        };
+        let mut pipeline = Pipeline::new(spec).unwrap();
+        let mut start = 0;
+        while start < left.len() {
+            let idx: Vec<usize> = (start..(start + chunk).min(left.len())).collect();
+            pipeline.push(&lbatch.gather(&idx)).unwrap();
+            start += chunk;
+        }
+        let PipelineOutput::Batches(joined) = pipeline.finish() else {
+            panic!("probe terminal collects batches");
+        };
+        prop_assert_eq!(join_row_multiset(&joined), join_row_multiset(&reference));
     }
 }

@@ -129,8 +129,7 @@ pub fn decompress(input: &[u8], expected_len: usize) -> Result<Vec<u8>> {
             i += n;
         } else {
             let len = (control & 0x7f) as usize + MIN_MATCH;
-            let dist_bytes =
-                input.get(i..i + 2).ok_or(crate::error::FormatError::UnexpectedEof)?;
+            let dist_bytes = input.get(i..i + 2).ok_or(crate::error::FormatError::UnexpectedEof)?;
             let dist = u16::from_le_bytes(dist_bytes.try_into().expect("2 bytes")) as usize;
             i += 2;
             if dist == 0 || dist > out.len() {
@@ -148,10 +147,7 @@ pub fn decompress(input: &[u8], expected_len: usize) -> Result<Vec<u8>> {
         }
     }
     if out.len() != expected_len {
-        return Err(corrupt(format!(
-            "LZ output length {} != expected {expected_len}",
-            out.len()
-        )));
+        return Err(corrupt(format!("LZ output length {} != expected {expected_len}", out.len())));
     }
     Ok(out)
 }

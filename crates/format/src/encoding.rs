@@ -291,10 +291,7 @@ mod tests {
     #[test]
     fn choose_encoding_heuristics() {
         assert_eq!(choose_encoding(&ColumnData::I64(vec![7; 100])), Encoding::Rle);
-        assert_eq!(
-            choose_encoding(&ColumnData::I64((0..100).collect())),
-            Encoding::Delta
-        );
+        assert_eq!(choose_encoding(&ColumnData::I64((0..100).collect())), Encoding::Delta);
         let random_like: Vec<i64> =
             (0..100i64).map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15u64 as i64)).collect();
         assert_eq!(choose_encoding(&ColumnData::I64(random_like)), Encoding::Plain);

@@ -18,7 +18,11 @@ pub fn read_footer(file: &[u8]) -> Result<FileMeta> {
 }
 
 /// Decode one column chunk from its stored bytes.
-pub fn decode_chunk(meta: &ColumnChunkMeta, ptype: PhysicalType, bytes: &[u8]) -> Result<ColumnData> {
+pub fn decode_chunk(
+    meta: &ColumnChunkMeta,
+    ptype: PhysicalType,
+    bytes: &[u8],
+) -> Result<ColumnData> {
     if bytes.len() as u64 != meta.compressed_len {
         return Err(corrupt(format!(
             "chunk payload is {} bytes, metadata says {}",
@@ -43,15 +47,11 @@ pub fn read_row_group(
         .ok_or_else(|| corrupt(format!("row group {row_group} out of range")))?;
     let mut out = Vec::with_capacity(projection.len());
     for &col in projection {
-        let chunk = rg
-            .columns
-            .get(col)
-            .ok_or_else(|| corrupt(format!("column {col} out of range")))?;
+        let chunk =
+            rg.columns.get(col).ok_or_else(|| corrupt(format!("column {col} out of range")))?;
         let start = chunk.offset as usize;
         let end = start + chunk.compressed_len as usize;
-        let bytes = file
-            .get(start..end)
-            .ok_or_else(|| corrupt("chunk byte range outside file"))?;
+        let bytes = file.get(start..end).ok_or_else(|| corrupt("chunk byte range outside file"))?;
         out.push(decode_chunk(chunk, meta.schema.column(col).ptype, bytes)?);
     }
     Ok(out)

@@ -100,11 +100,8 @@ impl FileWriter {
 
     /// Finalize: append the footer and return the complete file bytes.
     pub fn finish(self) -> Vec<u8> {
-        let meta = FileMeta {
-            schema: self.schema,
-            num_rows: self.num_rows,
-            row_groups: self.row_groups,
-        };
+        let meta =
+            FileMeta { schema: self.schema, num_rows: self.num_rows, row_groups: self.row_groups };
         let mut buf = self.buf;
         buf.extend(meta.encode_footer());
         buf
@@ -161,10 +158,7 @@ mod tests {
         let meta = FileMeta::parse_tail(&bytes).unwrap();
         assert_eq!(meta.num_rows, 3);
         assert_eq!(meta.row_groups.len(), 1);
-        assert_eq!(
-            meta.row_groups[0].columns[0].stats,
-            Some(ChunkStats::I64 { min: 1, max: 3 })
-        );
+        assert_eq!(meta.row_groups[0].columns[0].stats, Some(ChunkStats::I64 { min: 1, max: 3 }));
         meta.validate().unwrap();
     }
 

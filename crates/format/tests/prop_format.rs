@@ -32,8 +32,7 @@ fn bits_equal(a: &ColumnData, b: &ColumnData) -> bool {
     match (a, b) {
         (ColumnData::I64(x), ColumnData::I64(y)) => x == y,
         (ColumnData::F64(x), ColumnData::F64(y)) => {
-            x.len() == y.len()
-                && x.iter().zip(y.iter()).all(|(a, b)| a.to_bits() == b.to_bits())
+            x.len() == y.len() && x.iter().zip(y.iter()).all(|(a, b)| a.to_bits() == b.to_bits())
         }
         _ => false,
     }

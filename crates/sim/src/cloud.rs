@@ -77,7 +77,8 @@ impl Cloud {
             rng.fork(),
             trace.clone(),
         );
-        let sqs = QueueService::new(handle.clone(), config.sqs.clone(), billing.clone(), rng.fork());
+        let sqs =
+            QueueService::new(handle.clone(), config.sqs.clone(), billing.clone(), rng.fork());
         let kv = KvService::new(handle.clone(), config.kv.clone(), billing.clone(), rng.fork());
         let driver_link =
             BurstLink::new(handle.clone(), BurstLinkConfig::flat(config.driver_bandwidth));

@@ -262,7 +262,14 @@ impl FaasService {
         let mut inner = self.inner.borrow_mut();
         inner.functions.insert(
             spec.name.clone(),
-            Function { spec, handler, warm: VecDeque::new(), invocations: 0, cold_starts: 0, timeouts: 0 },
+            Function {
+                spec,
+                handler,
+                warm: VecDeque::new(),
+                invocations: 0,
+                cold_starts: 0,
+                timeouts: 0,
+            },
         );
     }
 
@@ -364,10 +371,7 @@ impl FaasService {
             compute_penalty: if cold { self.cfg.cold_compute_penalty } else { 1.0 },
         };
         let fut = handler(ctx, payload);
-        let timed_out = matches!(
-            select2(fut, self.handle.sleep(timeout)).await,
-            Either::Right(())
-        );
+        let timed_out = matches!(select2(fut, self.handle.sleep(timeout)).await, Either::Right(()));
         let end = self.handle.now();
         self.billing.record_lambda_duration(
             mem_gib,
@@ -401,7 +405,8 @@ impl FaasCaller {
     /// once the request is accepted, not when the function finishes).
     pub async fn invoke(&self, function: &str, payload: InvokePayload) -> Result<(), InvokeError> {
         self.rate.acquire(1.0).await;
-        let jitter = self.svc.rng.lognormal(self.latency.as_secs_f64(), self.svc.cfg.invoke_jitter_sigma);
+        let jitter =
+            self.svc.rng.lognormal(self.latency.as_secs_f64(), self.svc.cfg.invoke_jitter_sigma);
         self.svc.handle.sleep(Duration::from_secs_f64(jitter)).await;
         self.svc.billing.record(CostItem::LambdaRequests, 1.0);
         self.svc.spawn_execution(function, payload)

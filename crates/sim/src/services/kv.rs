@@ -89,11 +89,7 @@ impl KvService {
     }
 
     fn table(&self, name: &str) -> Result<Table, KvError> {
-        self.st
-            .borrow()
-            .get(name)
-            .cloned()
-            .ok_or_else(|| KvError::NoSuchTable(name.to_string()))
+        self.st.borrow().get(name).cloned().ok_or_else(|| KvError::NoSuchTable(name.to_string()))
     }
 
     fn latency(&self) -> Duration {
@@ -164,7 +160,8 @@ mod tests {
     fn put_get_roundtrip_and_units() {
         let sim = Simulation::new();
         let billing = Billing::new(Prices::default());
-        let svc = KvService::new(sim.handle(), KvConfig::default(), billing.clone(), SimRng::new(1));
+        let svc =
+            KvService::new(sim.handle(), KvConfig::default(), billing.clone(), SimRng::new(1));
         svc.create_table("t");
         let client = svc.client(Duration::ZERO);
         let got = sim.block_on(async move {
@@ -190,10 +187,7 @@ mod tests {
             client.put("t", "b/1", vec![9]).await.unwrap();
             client.query_prefix("t", "a/").await.unwrap()
         });
-        assert_eq!(
-            keys.iter().map(|(k, _)| k.as_str()).collect::<Vec<_>>(),
-            vec!["a/1", "a/2"]
-        );
+        assert_eq!(keys.iter().map(|(k, _)| k.as_str()).collect::<Vec<_>>(), vec!["a/1", "a/2"]);
     }
 
     #[test]

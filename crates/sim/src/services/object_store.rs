@@ -216,10 +216,7 @@ impl ObjectStore {
     /// Total bytes stored in a bucket.
     pub fn bucket_bytes(&self, bucket: &str) -> u64 {
         let st = self.st.borrow();
-        st.map
-            .get(bucket)
-            .map(|b| b.borrow().objects.values().map(Body::len).sum())
-            .unwrap_or(0)
+        st.map.get(bucket).map(|b| b.borrow().objects.values().map(Body::len).sum()).unwrap_or(0)
     }
 
     /// Number of objects in a bucket.
@@ -317,10 +314,9 @@ impl S3Client {
         b.borrow_mut().gets += 1;
         let body = {
             let st = b.borrow();
-            st.objects
-                .get(key)
-                .map(|body| body.slice(offset, len))
-                .ok_or_else(|| S3Error::NoSuchKey { bucket: bucket.to_string(), key: key.to_string() })?
+            st.objects.get(key).map(|body| body.slice(offset, len)).ok_or_else(|| {
+                S3Error::NoSuchKey { bucket: bucket.to_string(), key: key.to_string() }
+            })?
         };
         self.link.transfer(body.len() as f64).await;
         Ok(body)
@@ -517,10 +513,8 @@ mod tests {
         let h = sim.handle();
         let (store, client, billing) = setup(&sim);
         store.create_bucket("b");
-        let writer = store.client(
-            BurstLink::new(h.clone(), BurstLinkConfig::flat(1e9)),
-            Duration::ZERO,
-        );
+        let writer =
+            store.client(BurstLink::new(h.clone(), BurstLinkConfig::flat(1e9)), Duration::ZERO);
         let body = sim.block_on({
             let h2 = h.clone();
             async move {
@@ -531,10 +525,7 @@ mod tests {
                         writer.put("b", "late", Body::Synthetic(7)).await.unwrap();
                     }
                 });
-                client
-                    .get_with_retry("b", "late", Duration::from_millis(100), 100)
-                    .await
-                    .unwrap()
+                client.get_with_retry("b", "late", Duration::from_millis(100), 100).await.unwrap()
             }
         });
         assert_eq!(body.len(), 7);

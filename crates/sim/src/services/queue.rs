@@ -28,11 +28,7 @@ pub struct SqsConfig {
 
 impl Default for SqsConfig {
     fn default() -> Self {
-        SqsConfig {
-            latency_median: Duration::from_millis(10),
-            latency_sigma: 0.2,
-            max_batch: 10,
-        }
+        SqsConfig { latency_median: Duration::from_millis(10), latency_sigma: 0.2, max_batch: 10 }
     }
 }
 
@@ -80,15 +76,9 @@ impl QueueService {
 
     /// Create a queue (idempotent, free — done at installation time).
     pub fn create_queue(&self, name: &str) {
-        self.st
-            .borrow_mut()
-            .entry(name.to_string())
-            .or_insert_with(|| {
-                Rc::new(RefCell::new(QueueState {
-                    messages: VecDeque::new(),
-                    arrivals: Notify::new(),
-                }))
-            });
+        self.st.borrow_mut().entry(name.to_string()).or_insert_with(|| {
+            Rc::new(RefCell::new(QueueState { messages: VecDeque::new(), arrivals: Notify::new() }))
+        });
     }
 
     /// Drop all pending messages.
@@ -109,11 +99,7 @@ impl QueueService {
     }
 
     fn queue(&self, name: &str) -> Result<Rc<RefCell<QueueState>>, SqsError> {
-        self.st
-            .borrow()
-            .get(name)
-            .cloned()
-            .ok_or_else(|| SqsError::NoSuchQueue(name.to_string()))
+        self.st.borrow().get(name).cloned().ok_or_else(|| SqsError::NoSuchQueue(name.to_string()))
     }
 
     fn latency(&self) -> Duration {
@@ -181,7 +167,8 @@ mod tests {
 
     fn setup(sim: &Simulation) -> (QueueService, SqsClient, Billing) {
         let billing = Billing::new(Prices::default());
-        let svc = QueueService::new(sim.handle(), SqsConfig::default(), billing.clone(), SimRng::new(3));
+        let svc =
+            QueueService::new(sim.handle(), SqsConfig::default(), billing.clone(), SimRng::new(3));
         let client = svc.client(Duration::ZERO);
         (svc, client, billing)
     }
@@ -230,9 +217,10 @@ mod tests {
         let sim = Simulation::new();
         let (svc, client, billing) = setup(&sim);
         svc.create_queue("q");
-        let msgs = sim.block_on(async move {
-            client.receive("q", 10, Duration::from_secs(1)).await.unwrap()
-        });
+        let msgs =
+            sim.block_on(
+                async move { client.receive("q", 10, Duration::from_secs(1)).await.unwrap() },
+            );
         assert!(msgs.is_empty());
         assert_eq!(billing.units(CostItem::SqsRequests), 1.0);
         assert!(sim.now().as_secs_f64() >= 1.0);

@@ -1,18 +1,21 @@
 //! # lambada-workloads
 //!
-//! Workloads for the Lambada reproduction: a dbgen-faithful numeric
-//! TPC-H LINEITEM generator sorted by `l_shipdate` (§5.1), queries Q1 and
-//! Q6 as logical plans (§5.3), and staging helpers that either encode
-//! real files or build paper-scale descriptor tables whose footers are
-//! calibrated against real sample encodes.
+//! Workloads for the Lambada reproduction: dbgen-faithful numeric TPC-H
+//! generators — LINEITEM sorted by `l_shipdate` (§5.1) and ORDERS sorted
+//! by `o_orderkey` — the scan-bound queries Q1 and Q6 plus the Q12-style
+//! shipping-priority join as logical plans, and staging helpers that
+//! either encode real files or build paper-scale descriptor tables whose
+//! footers are calibrated against real sample encodes.
 
 pub mod lineitem;
 pub mod loader;
+pub mod orders;
 pub mod tpch;
 
 pub use lineitem::{rows_for_scale, schema as lineitem_schema, LineitemGenerator};
 pub use loader::{
-    measure_profile, stage_descriptors, stage_real, DescriptorOptions, StageOptions,
-    StorageProfile,
+    measure_profile, stage_descriptors, stage_real, stage_real_orders, stage_table_real,
+    DescriptorOptions, OrdersStageOptions, StageOptions, StorageProfile,
 };
-pub use tpch::{q1, q6};
+pub use orders::{schema as orders_schema, OrdersGenerator};
+pub use tpch::{q1, q12, q6};

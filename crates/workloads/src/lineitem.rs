@@ -155,7 +155,7 @@ impl LineitemGenerator {
             receiptdate.push(receipt);
             // dbgen: R or A when received by CURRENTDATE, else N.
             returnflag.push(if receipt <= dates::CURRENT {
-                i64::from(rng.random_bool(0.5))  // 0 = A, 1 = R
+                i64::from(rng.random_bool(0.5)) // 0 = A, 1 = R
             } else {
                 2 // N
             });

@@ -58,27 +58,99 @@ pub fn generate_file_columns(opts: StageOptions) -> Vec<Vec<lambada_engine::Colu
 /// Generate, encode, and stage real LINEITEM files. Returns the table
 /// spec to register with the driver.
 pub fn stage_real(cloud: &Cloud, bucket: &str, table: &str, opts: StageOptions) -> TableSpec {
-    cloud.s3.create_bucket(bucket);
     let total_rows = rows_for_scale(opts.scale);
-    let file_schema = schema().to_file_schema().expect("numeric schema");
+    stage_table_real(
+        cloud,
+        bucket,
+        table,
+        schema(),
+        generate_file_columns(opts),
+        total_rows,
+        opts.row_groups_per_file,
+    )
+}
 
-    let file_columns = generate_file_columns(opts);
+/// Encode and stage pre-generated column sets as real files of `table`.
+/// Shared by every relation's staging path.
+pub fn stage_table_real(
+    cloud: &Cloud,
+    bucket: &str,
+    table: &str,
+    table_schema: lambada_engine::Schema,
+    file_columns: Vec<Vec<lambada_engine::Column>>,
+    total_rows: u64,
+    row_groups_per_file: usize,
+) -> TableSpec {
+    cloud.s3.create_bucket(bucket);
+    let file_schema = table_schema.to_file_schema().expect("numeric schema");
     let mut files = Vec::with_capacity(file_columns.len());
     for (file_idx, columns) in file_columns.into_iter().enumerate() {
         let rows = columns.first().map_or(0, lambada_engine::Column::len);
-        let rg_rows = rows.div_ceil(opts.row_groups_per_file.max(1));
+        let rg_rows = rows.div_ceil(row_groups_per_file.max(1));
         let groups: Vec<Vec<lambada_format::ColumnData>> = chunk_rows(
             &columns.into_iter().map(|c| c.into_data().expect("numeric")).collect::<Vec<_>>(),
             rg_rows.max(1),
         );
         let bytes = write_file(file_schema.clone(), &groups, WriterOptions::default())
-            .expect("encode lineitem file");
+            .expect("encode table file");
         let key = format!("{table}/p{file_idx:05}/part.lpq");
         let size = bytes.len() as u64;
         cloud.s3.stage(bucket, &key, Body::from_vec(bytes));
         files.push(TableFile::real(bucket, key, size));
     }
-    TableSpec::new(table, schema(), files, total_rows)
+    TableSpec::new(table, table_schema, files, total_rows)
+}
+
+/// Options for staging a real ORDERS table.
+#[derive(Clone, Copy, Debug)]
+pub struct OrdersStageOptions {
+    /// Total order rows; use
+    /// [`crate::orders::rows_matching_lineitem`] for a fully-matching
+    /// join against a LINEITEM staged at the same scale.
+    pub rows: u64,
+    pub num_files: usize,
+    pub row_groups_per_file: usize,
+    pub seed: u64,
+}
+
+impl Default for OrdersStageOptions {
+    fn default() -> Self {
+        OrdersStageOptions { rows: 60_000, num_files: 4, row_groups_per_file: 4, seed: 0x0_12D }
+    }
+}
+
+/// Generate the per-file ORDERS column sets exactly as
+/// [`stage_real_orders`] lays them out.
+pub fn generate_orders_file_columns(opts: OrdersStageOptions) -> Vec<Vec<lambada_engine::Column>> {
+    let generator = crate::orders::OrdersGenerator::new(opts.seed);
+    let rows_per_file = (opts.rows as usize).div_ceil(opts.num_files.max(1));
+    let mut out = Vec::with_capacity(opts.num_files);
+    let mut offset = 0usize;
+    while offset < opts.rows as usize {
+        let n = rows_per_file.min(opts.rows as usize - offset);
+        out.push(generator.columns_for_range(offset as u64, n));
+        offset += n;
+    }
+    out
+}
+
+/// Generate, encode, and stage real ORDERS files, sorted by `o_orderkey`
+/// across files.
+pub fn stage_real_orders(
+    cloud: &Cloud,
+    bucket: &str,
+    table: &str,
+    opts: OrdersStageOptions,
+) -> TableSpec {
+    stage_table_real(
+        cloud,
+        bucket,
+        table,
+        crate::orders::schema(),
+        generate_orders_file_columns(opts),
+        opts.rows,
+        opts.row_groups_per_file,
+    )
 }
 
 /// Per-column storage profile measured from a real sample encode.
@@ -169,7 +241,11 @@ pub fn stage_descriptors(
             let frac_lo = (i as f64 + g as f64 / rg_per_file as f64) / opts.num_files as f64;
             let frac_hi =
                 (i as f64 + (g as f64 + 1.0) / rg_per_file as f64) / opts.num_files as f64;
-            let rows = if g + 1 == rg_per_file { rows_per_file - rg_rows * (rg_per_file as u64 - 1) } else { rg_rows };
+            let rows = if g + 1 == rg_per_file {
+                rows_per_file - rg_rows * (rg_per_file as u64 - 1)
+            } else {
+                rg_rows
+            };
             let mut columns = Vec::with_capacity(file_schema.len());
             for (c, &full) in full_stats.iter().enumerate() {
                 let compressed = (profile.compressed_per_row[c] * rows as f64).ceil() as u64;
@@ -212,10 +288,8 @@ fn full_range_stats(profile: &StorageProfile) -> Vec<Option<ChunkStats>> {
     out[cols::TAX] = Some(ChunkStats::F64 { min: 0.0, max: 0.08 });
     out[cols::RETURNFLAG] = Some(ChunkStats::I64 { min: 0, max: 2 });
     out[cols::LINESTATUS] = Some(ChunkStats::I64 { min: 0, max: 1 });
-    out[cols::COMMITDATE] =
-        Some(ChunkStats::I64 { min: dates::START + 30, max: dates::END + 90 });
-    out[cols::RECEIPTDATE] =
-        Some(ChunkStats::I64 { min: dates::START + 2, max: dates::END });
+    out[cols::COMMITDATE] = Some(ChunkStats::I64 { min: dates::START + 30, max: dates::END + 90 });
+    out[cols::RECEIPTDATE] = Some(ChunkStats::I64 { min: dates::START + 2, max: dates::END });
     out
 }
 

@@ -1,0 +1,200 @@
+//! TPC-H ORDERS generator, numeric like the LINEITEM generator (§5.1:
+//! strings are replaced by numbers) and sorted by `o_orderkey` so the
+//! min/max indices of the columnar format can prune key ranges.
+//!
+//! One deviation from dbgen, inherited from this reproduction's LINEITEM:
+//! the seed LINEITEM generator emits one *distinct* order key per line
+//! item (dbgen averages four line items per order), so referential
+//! integrity — every `l_orderkey` has exactly one ORDERS row — requires
+//! as many orders as line items. [`rows_matching_lineitem`] returns that
+//! count; generating fewer rows yields a partial-match join, which the
+//! tests use too.
+
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+
+use lambada_engine::types::{DataType, Field, Schema};
+use lambada_engine::Column;
+
+use crate::lineitem::dates;
+
+/// Column indices in the ORDERS schema (stable, used by the queries).
+pub mod cols {
+    pub const ORDERKEY: usize = 0;
+    pub const CUSTKEY: usize = 1;
+    pub const ORDERSTATUS: usize = 2;
+    pub const TOTALPRICE: usize = 3;
+    pub const ORDERDATE: usize = 4;
+    pub const ORDERPRIORITY: usize = 5;
+    pub const CLERK: usize = 6;
+    pub const SHIPPRIORITY: usize = 7;
+    pub const COMMENT: usize = 8;
+}
+
+/// The 9-column numeric ORDERS schema.
+pub fn schema() -> Schema {
+    Schema::new(vec![
+        Field::new("o_orderkey", DataType::Int64),
+        Field::new("o_custkey", DataType::Int64),
+        Field::new("o_orderstatus", DataType::Int64),
+        Field::new("o_totalprice", DataType::Float64),
+        Field::new("o_orderdate", DataType::Int64),
+        Field::new("o_orderpriority", DataType::Int64),
+        Field::new("o_clerk", DataType::Int64),
+        Field::new("o_shippriority", DataType::Int64),
+        Field::new("o_comment", DataType::Int64),
+    ])
+}
+
+/// The sparse order key of ordinal `j` — the same mapping the LINEITEM
+/// generator uses for its row-to-key assignment, so `rows` orders cover
+/// exactly the keys of the first `rows` line items.
+pub fn orderkey_of(j: u64) -> i64 {
+    ((j / 4) * 8 + j % 4) as i64 + 1
+}
+
+/// Orders needed for full referential integrity against a LINEITEM
+/// relation of `lineitem_rows` rows (see the module docs).
+pub fn rows_matching_lineitem(lineitem_rows: u64) -> u64 {
+    lineitem_rows
+}
+
+/// Deterministic ORDERS generator.
+pub struct OrdersGenerator {
+    pub seed: u64,
+}
+
+impl Default for OrdersGenerator {
+    fn default() -> Self {
+        OrdersGenerator { seed: 0x0_12D }
+    }
+}
+
+impl OrdersGenerator {
+    pub fn new(seed: u64) -> Self {
+        OrdersGenerator { seed }
+    }
+
+    /// Materialize all 9 columns for orders `row_offset..row_offset + n`
+    /// of the (orderkey-sorted) relation. Repeated calls with consecutive
+    /// ranges produce one consistent relation.
+    pub fn columns_for_range(&self, row_offset: u64, n: usize) -> Vec<Column> {
+        let mut rng = SmallRng::seed_from_u64(self.seed ^ row_offset.wrapping_mul(0x9E37_79B9));
+        let mut orderkey = Vec::with_capacity(n);
+        let mut custkey = Vec::with_capacity(n);
+        let mut orderstatus = Vec::with_capacity(n);
+        let mut totalprice = Vec::with_capacity(n);
+        let mut orderdate = Vec::with_capacity(n);
+        let mut orderpriority = Vec::with_capacity(n);
+        let mut clerk = Vec::with_capacity(n);
+        let mut shippriority = Vec::with_capacity(n);
+        let mut comment = Vec::with_capacity(n);
+        let od_max = dates::END - 151; // dbgen: orderdate <= ENDDATE - 151
+
+        for i in 0..n {
+            let j = row_offset + i as u64;
+            orderkey.push(orderkey_of(j));
+            // dbgen: custkey skips every third key (sparse customers).
+            let ck = rng.random_range(1..=49_999i64);
+            custkey.push(ck * 3 - 2);
+            let date = rng.random_range(dates::START..=od_max);
+            orderdate.push(date);
+            // dbgen: F when fully shipped before CURRENTDATE, O when all
+            // open, P otherwise — approximated from the order date.
+            orderstatus.push(if date + 121 <= dates::CURRENT {
+                0 // F
+            } else if date > dates::CURRENT {
+                1 // O
+            } else {
+                2 // P
+            });
+            // Aggregate of 1..7 line items' extended prices.
+            totalprice.push(rng.random_range(900.0..460_000.0));
+            orderpriority.push(rng.random_range(0..5i64)); // 1-URGENT .. 5-LOW
+            clerk.push(rng.random_range(1..=1_000i64));
+            shippriority.push(0);
+            comment.push(rng.random_range(0..1_000_000i64));
+        }
+
+        vec![
+            Column::I64(orderkey),
+            Column::I64(custkey),
+            Column::I64(orderstatus),
+            Column::F64(totalprice),
+            Column::I64(orderdate),
+            Column::I64(orderpriority),
+            Column::I64(clerk),
+            Column::I64(shippriority),
+            Column::I64(comment),
+        ]
+    }
+
+    /// Generate the whole relation at once (small scales only).
+    pub fn generate(&self, rows: u64) -> Vec<Column> {
+        self.columns_for_range(0, rows as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lineitem::LineitemGenerator;
+
+    #[test]
+    fn schema_has_9_numeric_columns() {
+        let s = schema();
+        assert_eq!(s.len(), 9);
+        assert!(s.fields.iter().all(|f| f.dtype.is_numeric()));
+        assert_eq!(s.index_of("o_orderkey").unwrap(), cols::ORDERKEY);
+        assert_eq!(s.index_of("o_orderpriority").unwrap(), cols::ORDERPRIORITY);
+    }
+
+    #[test]
+    fn keys_are_sorted_sparse_and_cover_lineitem() {
+        let g = OrdersGenerator::new(3);
+        let rows = 4_000u64;
+        let cols_v = g.generate(rows);
+        let keys = cols_v[cols::ORDERKEY].as_i64().unwrap();
+        assert!(keys.windows(2).all(|w| w[0] < w[1]), "strictly increasing");
+        // Sparse: keys 5..8 of every 8-block are unused (mod 8 in 1..=4).
+        assert!(keys.iter().all(|&k| (1..=4).contains(&((k - 1) % 8 + 1))));
+        // Exactly the keys the LINEITEM generator assigns to rows 0..n.
+        let li = LineitemGenerator::new(9).generate(rows);
+        let li_keys = li[crate::lineitem::cols::ORDERKEY].as_i64().unwrap();
+        let mut li_sorted = li_keys.to_vec();
+        li_sorted.sort_unstable();
+        assert_eq!(keys, &li_sorted[..]);
+    }
+
+    #[test]
+    fn generation_is_deterministic_and_chunks_continue_keys() {
+        let g = OrdersGenerator::new(7);
+        let whole = g.generate(1000);
+        assert_eq!(OrdersGenerator::new(7).generate(1000), whole, "deterministic");
+        assert_ne!(OrdersGenerator::new(8).generate(1000), whole, "seed-sensitive");
+        // Like the LINEITEM generator, non-key columns reseed per chunk
+        // offset; the *keys* of consecutive chunks continue seamlessly.
+        let head = g.columns_for_range(0, 600);
+        let tail = g.columns_for_range(600, 400);
+        let keys =
+            Column::concat(&[head[cols::ORDERKEY].clone(), tail[cols::ORDERKEY].clone()]).unwrap();
+        assert_eq!(keys, whole[cols::ORDERKEY]);
+        assert_eq!(head[cols::CUSTKEY], g.columns_for_range(0, 600)[cols::CUSTKEY]);
+    }
+
+    #[test]
+    fn value_domains() {
+        let cols_v = OrdersGenerator::new(5).generate(5_000);
+        let prio = cols_v[cols::ORDERPRIORITY].as_i64().unwrap();
+        assert!(prio.iter().all(|&p| (0..5).contains(&p)));
+        assert!(prio.contains(&0) && prio.contains(&4));
+        let price = cols_v[cols::TOTALPRICE].as_f64().unwrap();
+        assert!(price.iter().all(|&p| (900.0..460_000.0).contains(&p)));
+        let date = cols_v[cols::ORDERDATE].as_i64().unwrap();
+        assert!(date.iter().all(|&d| (dates::START..=dates::END - 151).contains(&d)));
+        let status = cols_v[cols::ORDERSTATUS].as_i64().unwrap();
+        assert!(status.iter().all(|&s| (0..=2).contains(&s)));
+        let ck = cols_v[cols::CUSTKEY].as_i64().unwrap();
+        assert!(ck.iter().all(|&c| c % 3 == 1), "every third customer key");
+    }
+}

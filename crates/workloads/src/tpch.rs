@@ -13,9 +13,7 @@ use crate::lineitem::{cols, dates};
 /// a count.
 pub fn q1(table: &str) -> LogicalPlan {
     let schema = crate::lineitem::schema();
-    let disc_price = || {
-        col(cols::EXTENDEDPRICE).mul(lit_f64(1.0).sub(col(cols::DISCOUNT)))
-    };
+    let disc_price = || col(cols::EXTENDEDPRICE).mul(lit_f64(1.0).sub(col(cols::DISCOUNT)));
     let charge = || disc_price().mul(lit_f64(1.0).add(col(cols::TAX)));
     LogicalPlan::Sort {
         input: Box::new(LogicalPlan::Aggregate {
@@ -55,16 +53,67 @@ pub fn q6(table: &str) -> LogicalPlan {
         .and(col(cols::DISCOUNT).between(lit_f64(0.0499), lit_f64(0.0701)))
         .and(col(cols::QUANTITY).lt(lit_f64(24.0)));
     LogicalPlan::Aggregate {
-        input: Box::new(LogicalPlan::Filter {
-            input: Box::new(scan(table, &schema)),
-            predicate,
-        }),
+        input: Box::new(LogicalPlan::Filter { input: Box::new(scan(table, &schema)), predicate }),
         group_by: vec![],
         aggs: vec![AggExpr::new(
             AggFunc::Sum,
             Some(col(cols::EXTENDEDPRICE).mul(col(cols::DISCOUNT))),
             "revenue",
         )],
+    }
+}
+
+/// Q12-style shipping-priority join: LINEITEM ⋈ ORDERS on the order key,
+/// with Q12's lineitem-side predicates (receipt-date year window,
+/// commit-before-receipt, ship-before-commit, two ship modes), grouped by
+/// `l_shipmode`.
+///
+/// Q12 proper counts high/low-priority lines with CASE expressions; the
+/// engine has no CASE yet, so this variant reports the line count plus
+/// order-priority and total-price statistics per ship mode — the same
+/// join + repartition shape with the same selectivities.
+pub fn q12(lineitem_table: &str, orders_table: &str) -> LogicalPlan {
+    let li_schema = crate::lineitem::schema();
+    let ord_schema = crate::orders::schema();
+    let li_width = li_schema.len();
+    // Two of the seven numeric ship modes (Q12 picks e.g. MAIL, SHIP).
+    let predicate = col(cols::SHIPMODE)
+        .le(lit_i64(1))
+        .and(col(cols::COMMITDATE).lt(col(cols::RECEIPTDATE)))
+        .and(col(cols::SHIPDATE).lt(col(cols::COMMITDATE)))
+        .and(col(cols::RECEIPTDATE).ge(lit_i64(dates::Q6_START)))
+        .and(col(cols::RECEIPTDATE).lt(lit_i64(dates::Q6_END)));
+    LogicalPlan::Sort {
+        input: Box::new(LogicalPlan::Aggregate {
+            input: Box::new(LogicalPlan::Join {
+                left: Box::new(LogicalPlan::Filter {
+                    input: Box::new(scan(lineitem_table, &li_schema)),
+                    predicate,
+                }),
+                right: Box::new(scan(orders_table, &ord_schema)),
+                on: vec![(cols::ORDERKEY, crate::orders::cols::ORDERKEY)],
+            }),
+            group_by: vec![(col(cols::SHIPMODE), "l_shipmode".to_string())],
+            aggs: vec![
+                AggExpr::new(AggFunc::Count, None, "line_count"),
+                AggExpr::new(
+                    AggFunc::Min,
+                    Some(col(li_width + crate::orders::cols::ORDERPRIORITY)),
+                    "min_priority",
+                ),
+                AggExpr::new(
+                    AggFunc::Avg,
+                    Some(col(li_width + crate::orders::cols::ORDERPRIORITY)),
+                    "avg_priority",
+                ),
+                AggExpr::new(
+                    AggFunc::Sum,
+                    Some(col(li_width + crate::orders::cols::TOTALPRICE)),
+                    "sum_totalprice",
+                ),
+            ],
+        }),
+        keys: vec![SortKey::asc(col(0))],
     }
 }
 
@@ -111,11 +160,8 @@ mod tests {
 
     fn catalog(rows: u64) -> (Catalog, RecordBatch) {
         let cols_v = LineitemGenerator::new(11).generate(rows);
-        let batch = RecordBatch::new(
-            std::sync::Arc::new(crate::lineitem::schema()),
-            cols_v,
-        )
-        .unwrap();
+        let batch =
+            RecordBatch::new(std::sync::Arc::new(crate::lineitem::schema()), cols_v).unwrap();
         let mut cat = Catalog::new();
         cat.register("lineitem", Rc::new(MemTable::from_batch(batch.clone())));
         (cat, batch)
@@ -135,10 +181,8 @@ mod tests {
             if ship > dates::Q1_CUTOFF {
                 continue;
             }
-            let key = (
-                row[cols::RETURNFLAG].as_i64().unwrap(),
-                row[cols::LINESTATUS].as_i64().unwrap(),
-            );
+            let key =
+                (row[cols::RETURNFLAG].as_i64().unwrap(), row[cols::LINESTATUS].as_i64().unwrap());
             let qty = row[cols::QUANTITY].as_f64().unwrap();
             let price = row[cols::EXTENDEDPRICE].as_f64().unwrap();
             let disc = row[cols::DISCOUNT].as_f64().unwrap();
@@ -155,7 +199,8 @@ mod tests {
             let row = out.row(i);
             assert_eq!(row[0], Scalar::Int64(key.0));
             assert_eq!(row[1], Scalar::Int64(key.1));
-            let close = |a: &Scalar, b: f64| (a.as_f64().unwrap() - b).abs() < 1e-6 * b.abs().max(1.0);
+            let close =
+                |a: &Scalar, b: f64| (a.as_f64().unwrap() - b).abs() < 1e-6 * b.abs().max(1.0);
             assert!(close(&row[2], vals.0), "sum_qty");
             assert!(close(&row[3], vals.1), "sum_base_price");
             assert!(close(&row[4], vals.2), "sum_disc_price");
@@ -184,6 +229,88 @@ mod tests {
         let got = out.row(0)[0].as_f64().unwrap();
         assert!((got - revenue).abs() < 1e-6 * revenue.max(1.0), "{got} vs {revenue}");
         assert!(revenue > 0.0, "Q6 selected something");
+    }
+
+    fn join_catalog(rows: u64) -> (Catalog, RecordBatch, RecordBatch) {
+        let (mut cat, lineitem) = catalog(rows);
+        let ord_cols = crate::orders::OrdersGenerator::new(12).generate(rows);
+        let orders =
+            RecordBatch::new(std::sync::Arc::new(crate::orders::schema()), ord_cols).unwrap();
+        cat.register("orders", Rc::new(MemTable::from_batch(orders.clone())));
+        (cat, lineitem, orders)
+    }
+
+    #[test]
+    fn q12_matches_bruteforce() {
+        let (cat, lineitem, orders) = join_catalog(20_000);
+        let out = execute_into_batch(&q12("lineitem", "orders"), &cat).unwrap();
+        // Brute force: index orders by key, scan lineitem.
+        let okeys = orders.column(crate::orders::cols::ORDERKEY).as_i64().unwrap();
+        let oprio = orders.column(crate::orders::cols::ORDERPRIORITY).as_i64().unwrap();
+        let oprice = orders.column(crate::orders::cols::TOTALPRICE).as_f64().unwrap();
+        let by_key: std::collections::HashMap<i64, usize> =
+            okeys.iter().enumerate().map(|(i, &k)| (k, i)).collect();
+        // (count, min_prio, sum_prio, sum_price) per ship mode.
+        let mut expect: std::collections::BTreeMap<i64, (i64, i64, i64, f64)> =
+            std::collections::BTreeMap::new();
+        for row in lineitem.rows() {
+            let mode = row[cols::SHIPMODE].as_i64().unwrap();
+            let commit = row[cols::COMMITDATE].as_i64().unwrap();
+            let receipt = row[cols::RECEIPTDATE].as_i64().unwrap();
+            let ship = row[cols::SHIPDATE].as_i64().unwrap();
+            if mode > 1
+                || commit >= receipt
+                || ship >= commit
+                || !(dates::Q6_START..dates::Q6_END).contains(&receipt)
+            {
+                continue;
+            }
+            let key = row[cols::ORDERKEY].as_i64().unwrap();
+            let Some(&o) = by_key.get(&key) else { continue };
+            let e = expect.entry(mode).or_insert((0, i64::MAX, 0, 0.0));
+            e.0 += 1;
+            e.1 = e.1.min(oprio[o]);
+            e.2 += oprio[o];
+            e.3 += oprice[o];
+        }
+        assert!(!expect.is_empty(), "Q12 selected something");
+        assert_eq!(out.num_rows(), expect.len());
+        for (i, (mode, vals)) in expect.iter().enumerate() {
+            let row = out.row(i);
+            assert_eq!(row[0], Scalar::Int64(*mode));
+            assert_eq!(row[1], Scalar::Int64(vals.0), "line_count");
+            assert_eq!(row[2], Scalar::Int64(vals.1), "min_priority");
+            let avg = row[3].as_f64().unwrap();
+            let want_avg = vals.2 as f64 / vals.0 as f64;
+            assert!((avg - want_avg).abs() < 1e-9, "avg_priority {avg} vs {want_avg}");
+            let sum = row[4].as_f64().unwrap();
+            assert!((sum - vals.3).abs() < 1e-6 * vals.3.abs().max(1.0), "sum_totalprice");
+        }
+    }
+
+    #[test]
+    fn q12_survives_optimization() {
+        let (cat, _, _) = join_catalog(8_000);
+        let plan = q12("lineitem", "orders");
+        let optimized = Optimizer::new().optimize(&plan).unwrap();
+        let a = execute_into_batch(&plan, &cat).unwrap();
+        let b = execute_into_batch(&optimized, &cat).unwrap();
+        assert_eq!(a.num_rows(), b.num_rows());
+        assert!(a.num_rows() > 0);
+        for i in 0..a.num_rows() {
+            for (x, y) in a.row(i).iter().zip(b.row(i).iter()) {
+                match (x, y) {
+                    (Scalar::Float64(a), Scalar::Float64(b)) => {
+                        assert!((a - b).abs() <= 1e-9 * a.abs().max(1.0));
+                    }
+                    _ => assert_eq!(x, y),
+                }
+            }
+        }
+        // Both scans must be pruned: the join needs only a handful of
+        // columns from each side.
+        let text = optimized.display_indent();
+        assert!(text.matches("projection=").count() >= 2, "both scans pruned:\n{text}");
     }
 
     #[test]

@@ -39,7 +39,9 @@ fn main() {
         let cfg = AlwaysOnConfig::sized_for(instance, bytes, 10.0);
         println!(
             "  {:>2}x {:<22}: ${:>7.2}/hour regardless of load",
-            cfg.nodes, instance.name, cfg.hourly_cost(qph)
+            cfg.nodes,
+            instance.name,
+            cfg.hourly_cost(qph)
         );
     }
 

@@ -1,0 +1,89 @@
+//! Distributed hash join end to end: the TPC-H Q12-style shipping-priority
+//! query (LINEITEM ⋈ ORDERS) running as a purely serverless stage DAG —
+//! scan fleets hash-partition both tables onto exchange edges in cloud
+//! storage, a join fleet builds + probes its co-partitions, the driver
+//! merges partial aggregates. No always-on infrastructure anywhere.
+//!
+//! ```sh
+//! cargo run --release --example tpch_join
+//! ```
+
+use lambada::core::{Lambada, LambadaConfig};
+use lambada::sim::{Cloud, CloudConfig, Simulation};
+use lambada::workloads::{stage_real, stage_real_orders, OrdersStageOptions, StageOptions};
+
+fn main() {
+    let sim = Simulation::new();
+    let cloud = Cloud::new(&sim, CloudConfig::default());
+
+    // Stage both relations as real columnar files in the object store.
+    let scale = 0.005;
+    let li = stage_real(
+        &cloud,
+        "tpch",
+        "lineitem",
+        StageOptions { scale, num_files: 8, ..StageOptions::default() },
+    );
+    let orders = stage_real_orders(
+        &cloud,
+        "tpch",
+        "orders",
+        OrdersStageOptions { rows: li.total_rows, num_files: 6, ..OrdersStageOptions::default() },
+    );
+    println!(
+        "staged lineitem: {} rows in {} files ({:.1} MiB); orders: {} rows in {} files ({:.1} MiB)",
+        li.total_rows,
+        li.files.len(),
+        li.total_bytes() as f64 / (1 << 20) as f64,
+        orders.total_rows,
+        orders.files.len(),
+        orders.total_bytes() as f64 / (1 << 20) as f64,
+    );
+
+    let mut system = Lambada::install(&cloud, LambadaConfig::default());
+    system.register_table(li);
+    system.register_table(orders);
+
+    // Q12-style: join on the order key, filter the lineitem side, group
+    // by ship mode. The planner splits this into scan → exchange → join
+    // stages; the optimizer pushes the filter and both projections into
+    // the scans first.
+    let plan = lambada::workloads::q12("lineitem", "orders");
+    let report = sim.block_on(async move { system.run_query(&plan).await.unwrap() });
+
+    println!("\nresult ({} ship-mode groups):", report.batch.num_rows());
+    for row in report.batch.rows() {
+        println!("  {row:?}");
+    }
+
+    let prices = cloud.billing.prices();
+    println!("\nper-stage execution (request counts are exact per-worker sums):");
+    println!(
+        "  {:<16} {:>8} {:>10} {:>12} {:>8} {:>8} {:>8} {:>12}",
+        "stage", "workers", "wall s", "rows out", "GETs", "PUTs", "LISTs", "requests $"
+    );
+    for s in &report.stages {
+        println!(
+            "  {:<16} {:>8} {:>10.2} {:>12} {:>8} {:>8} {:>8} {:>12.8}",
+            s.label,
+            s.workers,
+            s.wall_secs,
+            s.rows_out,
+            s.get_requests,
+            s.put_requests,
+            s.list_requests,
+            s.request_dollars(&prices),
+        );
+    }
+    println!(
+        "\ntotal: {} workers, {:.2}s end-to-end, ${:.6} ({} cold starts)",
+        report.workers,
+        report.latency_secs,
+        report.dollars(),
+        report.cold_starts,
+    );
+    println!(
+        "exchange moved {:.2} MiB through cloud storage — the join ran with zero always-on nodes",
+        report.stages.iter().map(|s| s.bytes_exchanged).sum::<u64>() as f64 / (1 << 20) as f64
+    );
+}

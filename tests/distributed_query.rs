@@ -17,12 +17,11 @@ fn stage_opts(scale: f64, seed: u64) -> StageOptions {
 /// The exact same rows the staged files contain, as an in-memory table.
 fn reference_catalog(scale: f64, seed: u64) -> Catalog {
     let schema = Arc::new(lineitem_schema());
-    let batches: Vec<RecordBatch> = lambada::workloads::loader::generate_file_columns(
-        stage_opts(scale, seed),
-    )
-    .into_iter()
-    .map(|cols| RecordBatch::new(Arc::clone(&schema), cols).unwrap())
-    .collect();
+    let batches: Vec<RecordBatch> =
+        lambada::workloads::loader::generate_file_columns(stage_opts(scale, seed))
+            .into_iter()
+            .map(|cols| RecordBatch::new(Arc::clone(&schema), cols).unwrap())
+            .collect();
     let mut cat = Catalog::new();
     cat.register("lineitem", Rc::new(MemTable::new(schema, batches).unwrap()));
     cat
@@ -35,10 +34,7 @@ fn assert_batches_close(a: &RecordBatch, b: &RecordBatch) {
         for (x, y) in a.row(i).iter().zip(b.row(i).iter()) {
             match (x, y) {
                 (Scalar::Float64(p), Scalar::Float64(q)) => {
-                    assert!(
-                        (p - q).abs() <= 1e-6 * p.abs().max(1.0),
-                        "row {i}: {p} vs {q}"
-                    );
+                    assert!((p - q).abs() <= 1e-6 * p.abs().max(1.0), "row {i}: {p} vs {q}");
                 }
                 _ => assert_eq!(x, y, "row {i}"),
             }
@@ -152,8 +148,7 @@ fn collect_query_roundtrips_through_storage() {
     let pred = df.col("l_quantity").unwrap().lt(lambada::engine::lit_f64(3.0));
     let plan = df.filter(pred).unwrap().build();
 
-    let reference =
-        execute_into_batch(&plan, &reference_catalog(0.0005, 9)).unwrap();
+    let reference = execute_into_batch(&plan, &reference_catalog(0.0005, 9)).unwrap();
     let report = sim.block_on({
         let plan = plan.clone();
         async move { system.run_query(&plan).await.unwrap() }
@@ -198,4 +193,79 @@ fn query_cost_is_dominated_by_lambda_compute() {
     assert!(lambda > 0.0);
     assert!(report.cost.units(CostItem::S3Get) >= 12.0, "footer + chunks per file");
     assert!(report.cost.units(CostItem::SqsRequests) >= 6.0, "one result per worker");
+}
+
+#[test]
+fn q12_join_runs_distributed_and_matches_reference() {
+    // The Q12-style lineitem ⋈ orders query must execute through the
+    // serverless stage DAG (scan fleets → exchange → join fleet) and
+    // match the local reference executor.
+    let sim = Simulation::new();
+    let cloud = Cloud::new(&sim, CloudConfig::default());
+    let scale = 0.002;
+    let seed = 21;
+    let li_spec = stage_real(&cloud, "tpch", "lineitem", stage_opts(scale, seed));
+    let orders_opts = lambada::workloads::OrdersStageOptions {
+        rows: li_spec.total_rows,
+        num_files: 4,
+        row_groups_per_file: 3,
+        seed,
+    };
+    let ord_spec = lambada::workloads::stage_real_orders(&cloud, "tpch", "orders", orders_opts);
+    let mut system = Lambada::install(&cloud, LambadaConfig::default());
+    system.register_table(li_spec);
+    system.register_table(ord_spec);
+
+    // Reference: the exact same rows, executed locally.
+    let mut cat = reference_catalog(scale, seed);
+    let ord_schema = Arc::new(lambada::workloads::orders_schema());
+    let ord_batches: Vec<RecordBatch> =
+        lambada::workloads::loader::generate_orders_file_columns(orders_opts)
+            .into_iter()
+            .map(|cols| RecordBatch::new(Arc::clone(&ord_schema), cols).unwrap())
+            .collect();
+    cat.register(
+        "orders",
+        Rc::new(lambada::engine::MemTable::new(ord_schema, ord_batches).unwrap()),
+    );
+    let plan = lambada::workloads::q12("lineitem", "orders");
+    let reference =
+        execute_into_batch(&lambada::engine::Optimizer::new().optimize(&plan).unwrap(), &cat)
+            .unwrap();
+
+    let report = sim.block_on({
+        let plan = plan.clone();
+        async move { system.run_query(&plan).await.unwrap() }
+    });
+    assert_batches_close(&report.batch, &reference);
+    assert!(report.batch.num_rows() > 0, "Q12 selected something");
+
+    // The stage DAG really ran: two scan fleets + one join fleet. The
+    // join reorderer made the filtered lineitem side the (smaller) build
+    // input, so the orders scan launches first as the probe stage.
+    assert_eq!(report.stages.len(), 3);
+    let labels: Vec<&str> = report.stages.iter().map(|s| s.label.as_str()).collect();
+    assert_eq!(labels, vec!["scan:orders", "scan:lineitem", "join"]);
+    assert_eq!(report.stages[0].workers, 4, "one worker per orders file");
+    assert_eq!(report.stages[1].workers, 6, "one worker per lineitem file");
+    assert!(report.stages[2].workers >= 1);
+    // The scan stages exchanged bytes through storage (one write-combined
+    // PUT per scanner), and the join fleet read them back (exact
+    // per-worker request counters).
+    assert!(report.stages[0].bytes_exchanged > 0);
+    assert!(report.stages[1].bytes_exchanged > 0);
+    assert_eq!(report.stages[2].bytes_exchanged, 0, "result uploads are not exchange bytes");
+    assert_eq!(report.stages[0].put_requests, 4, "one combined PUT per orders scanner");
+    assert_eq!(report.stages[1].put_requests, 6, "one combined PUT per lineitem scanner");
+    assert!(report.stages[2].get_requests >= 1, "join workers fetch partitions");
+    assert!(report.stages[2].list_requests >= 1, "partition discovery via LIST");
+    // Concurrent scan wave: both scans share one billing snapshot and the
+    // query is not slower than the two scans run back to back.
+    assert!(report.latency_secs > 0.0);
+    assert!(
+        report.latency_secs
+            < report.stages[0].wall_secs + report.stages[1].wall_secs + report.stages[2].wall_secs,
+        "independent scan stages overlap"
+    );
+    assert!(report.cost.total() > 0.0);
 }

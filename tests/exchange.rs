@@ -8,7 +8,7 @@ use lambada::core::{
     install_exchange_buckets, run_exchange, ComputeCostModel, ExchangeAlgo, ExchangeConfig,
     ExchangeSide, PartData, WorkerEnv,
 };
-use lambada::sim::services::faas::{cpu_share, InstanceCtx, Instance};
+use lambada::sim::services::faas::{cpu_share, Instance, InstanceCtx};
 use lambada::sim::{BurstLink, Cloud, CloudConfig, CostItem, PsResource, Simulation};
 
 /// Spin up `total` bare worker environments (no FaaS dispatch — these
@@ -228,8 +228,8 @@ fn modeled_exchange_matches_real_request_counts() {
 #[test]
 fn exchange_runs_through_faas_workers() {
     use lambada::core::{
-        invoke_workers, register_worker_function, ExchangeTask, InvocationStrategy,
-        WorkerPayload, WorkerResult, WorkerTask,
+        invoke_workers, register_worker_function, ExchangeTask, InvocationStrategy, WorkerPayload,
+        WorkerResult, WorkerTask,
     };
     use std::time::Duration;
 
@@ -273,9 +273,7 @@ fn exchange_runs_through_faas_workers() {
     let results = sim.block_on({
         let cloud2 = cloud.clone();
         async move {
-            invoke_workers(&cloud2, "xchg", payloads, InvocationStrategy::TwoLevel)
-                .await
-                .unwrap();
+            invoke_workers(&cloud2, "xchg", payloads, InvocationStrategy::TwoLevel).await.unwrap();
             let sqs = cloud2.driver_sqs();
             let mut out = Vec::new();
             while out.len() < total {

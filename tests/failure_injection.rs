@@ -29,10 +29,8 @@ fn oom_is_reported_not_silent() {
         ..lambada::workloads::DescriptorOptions::default()
     };
     let spec = lambada::workloads::stage_descriptors(&cloud, "tpch", "lineitem", &opts);
-    let mut system = Lambada::install(
-        &cloud,
-        LambadaConfig { memory_mib: 512, ..LambadaConfig::default() },
-    );
+    let mut system =
+        Lambada::install(&cloud, LambadaConfig { memory_mib: 512, ..LambadaConfig::default() });
     system.register_table(spec);
     let err = sim.block_on(async move { system.run_query(&q1("lineitem")).await.unwrap_err() });
     match err {
@@ -47,10 +45,8 @@ fn oom_is_reported_not_silent() {
 fn big_enough_workers_succeed_on_same_data() {
     let sim = Simulation::new();
     let (cloud, spec) = staged(&sim, 0.01);
-    let mut system = Lambada::install(
-        &cloud,
-        LambadaConfig { memory_mib: 2048, ..LambadaConfig::default() },
-    );
+    let mut system =
+        Lambada::install(&cloud, LambadaConfig { memory_mib: 2048, ..LambadaConfig::default() });
     system.register_table(spec);
     let report = sim.block_on(async move { system.run_query(&q1("lineitem")).await.unwrap() });
     assert_eq!(report.batch.num_rows(), 4);

@@ -1,0 +1,87 @@
+//! Offline stand-in for the `bytes` crate, providing the small `Bytes`
+//! subset this workspace uses: cheap clones of an immutable buffer plus
+//! zero-copy sub-slicing.
+
+use std::ops::{Deref, Range};
+use std::sync::Arc;
+
+/// A cheaply cloneable, immutable byte buffer.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Hash)]
+pub struct Bytes {
+    data: Arc<Vec<u8>>,
+    start: usize,
+    end: usize,
+}
+
+impl Bytes {
+    pub fn new() -> Bytes {
+        Bytes::default()
+    }
+
+    pub fn copy_from_slice(data: &[u8]) -> Bytes {
+        Bytes::from(data.to_vec())
+    }
+
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Zero-copy sub-slice; the range is clamped to the buffer bounds.
+    pub fn slice(&self, range: Range<usize>) -> Bytes {
+        let start = self.start + range.start.min(self.len());
+        let end = self.start + range.end.min(self.len());
+        Bytes { data: Arc::clone(&self.data), start, end: end.max(start) }
+    }
+
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_ref().to_vec()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Bytes {
+        let end = v.len();
+        Bytes { data: Arc::new(v), start: 0, end }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(v: &[u8]) -> Bytes {
+        Bytes::from(v.to_vec())
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        self.as_ref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_and_slice() {
+        let b = Bytes::from(vec![1u8, 2, 3, 4, 5]);
+        assert_eq!(b.len(), 5);
+        assert_eq!(b.as_ref(), &[1, 2, 3, 4, 5]);
+        let s = b.slice(1..3);
+        assert_eq!(s.as_ref(), &[2, 3]);
+        let clamped = b.slice(3..99);
+        assert_eq!(clamped.as_ref(), &[4, 5]);
+        assert!(b.slice(9..12).is_empty());
+    }
+}

@@ -1,0 +1,118 @@
+//! Offline stand-in for the `criterion` crate: runs each benchmark
+//! closure for a short, fixed measurement window and prints mean iteration
+//! time (plus throughput when configured). No statistical analysis, no
+//! HTML reports — just enough to keep `cargo bench` targets compiling and
+//! producing comparable numbers offline.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Throughput annotation for a benchmark group.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        let name = name.into();
+        println!("\nbenchmark group: {name}");
+        BenchmarkGroup { name, throughput: None }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, mut f: F) {
+        let mut b = Bencher::default();
+        f(&mut b);
+        b.report(&id.to_string(), None);
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup {
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup {
+    pub fn throughput(&mut self, t: Throughput) {
+        self.throughput = Some(t);
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, mut f: F) {
+        let mut b = Bencher::default();
+        f(&mut b);
+        b.report(&format!("{}/{}", self.name, id), self.throughput);
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Handed to each benchmark closure; `iter` runs the workload.
+#[derive(Default)]
+pub struct Bencher {
+    mean_ns: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // Warm up briefly, then measure for a fixed window.
+        let warmup_end = Instant::now() + Duration::from_millis(50);
+        while Instant::now() < warmup_end {
+            std::hint::black_box(f());
+        }
+        let start = Instant::now();
+        let window = Duration::from_millis(300);
+        let mut iters = 0u64;
+        while start.elapsed() < window {
+            std::hint::black_box(f());
+            iters += 1;
+        }
+        let total = start.elapsed().as_nanos() as f64;
+        self.iters = iters.max(1);
+        self.mean_ns = total / self.iters as f64;
+    }
+
+    fn report(&self, id: &str, throughput: Option<Throughput>) {
+        let per_iter = self.mean_ns;
+        let rate = match throughput {
+            Some(Throughput::Bytes(n)) => {
+                format!("  {:>8.1} MiB/s", n as f64 / (per_iter * 1e-9) / (1 << 20) as f64)
+            }
+            Some(Throughput::Elements(n)) => {
+                format!("  {:>8.1} Melem/s", n as f64 / (per_iter * 1e-9) / 1e6)
+            }
+            None => String::new(),
+        };
+        println!("  {id:<40} {:>12.0} ns/iter ({} iters){rate}", per_iter, self.iters);
+    }
+}
+
+/// Re-export for code that imports `criterion::black_box`.
+pub use std::hint::black_box;
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
