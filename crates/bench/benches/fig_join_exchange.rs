@@ -15,21 +15,9 @@
 //! ```
 
 use lambada_bench::{banner, env_f64, env_usize};
-use lambada_core::{request_dollars, Lambada, LambadaConfig, RequestCounts};
+use lambada_core::{request_dollars, stage_edge_counts, Lambada, LambadaConfig};
 use lambada_sim::{Cloud, CloudConfig, CostItem, Prices, Simulation};
 use lambada_workloads::{stage_real, stage_real_orders, OrdersStageOptions, StageOptions};
-
-/// Request counts of one stage-edge exchange: `senders` write-combined
-/// PUTs, one ranged GET per (sender, receiver) pair with data, a LIST
-/// poll per receiver per bucket group.
-fn stage_edge_counts(senders: f64, receivers: f64, buckets: f64) -> RequestCounts {
-    RequestCounts {
-        reads: senders * receivers,
-        writes: senders,
-        lists: receivers * buckets.min(senders),
-        scans: 1,
-    }
-}
 
 fn main() {
     banner(

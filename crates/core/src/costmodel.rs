@@ -83,6 +83,25 @@ impl ComputeCostModel {
         let total = probe_bytes + build_bytes;
         (total.div_ceil(usable) as usize).clamp(1, 256)
     }
+
+    /// Worker count for the merge stage of a repartitioned aggregation,
+    /// given the estimated bytes entering the producer's partial
+    /// aggregation and the per-worker engine memory budget.
+    ///
+    /// Partial aggregation compacts its input before anything is
+    /// exchanged — only grouped states travel, and even a pathological
+    /// all-distinct group-by shrinks rows to fixed-width accumulator
+    /// entries — so the model charges an 8:1 reduction over the raw
+    /// input estimate, then (like [`Self::join_stage_workers`]) picks
+    /// the smallest fleet whose merged partition states fit in a quarter
+    /// of the budget: merge workers hold the merged state plus decode
+    /// buffers, and every extra worker pays invocation, request, and
+    /// straggler overheads (Kassing et al., CIDR 2022).
+    pub fn agg_merge_workers(&self, input_bytes: u64, memory_budget: u64) -> usize {
+        let usable = (memory_budget / 4).max(1);
+        let state_bytes = input_bytes / 8;
+        (state_bytes.div_ceil(usable) as usize).clamp(1, 256)
+    }
 }
 
 #[cfg(test)]
@@ -128,5 +147,21 @@ mod tests {
         // Clamped to a sane band.
         assert_eq!(m.join_stage_workers(u64::MAX / 4, 0, 2 * gib), 256);
         assert_eq!(m.join_stage_workers(0, 0, 2 * gib), 1);
+    }
+
+    #[test]
+    fn agg_merge_fleet_is_smaller_than_the_join_fleet_for_the_same_input() {
+        let m = ComputeCostModel::default();
+        let gib = 1u64 << 30;
+        // Pre-aggregation compacts the exchanged volume 8:1, so the merge
+        // fleet undercuts a join fleet fed the same raw bytes.
+        assert!(
+            m.agg_merge_workers(64 * gib, 2 * gib) < m.join_stage_workers(64 * gib, 0, 2 * gib)
+        );
+        // Tiny aggregations need one merge worker; huge ones are clamped.
+        assert_eq!(m.agg_merge_workers(1 << 20, 2 * gib), 1);
+        assert_eq!(m.agg_merge_workers(u64::MAX / 2, 2 * gib), 256);
+        // More memory per worker shrinks the fleet.
+        assert!(m.agg_merge_workers(256 * gib, 8 * gib) < m.agg_merge_workers(256 * gib, 2 * gib));
     }
 }

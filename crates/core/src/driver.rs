@@ -3,12 +3,13 @@
 //! (§3.1/§3.3). Nothing here is "always on" — every run pays only for the
 //! requests and worker-seconds it uses.
 //!
-//! Single-fragment queries (Q1/Q6-style) launch one fleet. Join queries
-//! execute as a stage DAG in dependency *waves*: independent stages (the
-//! two scans of a join) launch concurrently, each hash-partitioning its
-//! rows onto an exchange edge in cloud storage; the join fleet launches
-//! one wave later and picks its co-partitions up from there. The join
-//! fleet is sized by the compute cost model. Per-stage worker counts and
+//! Single-fragment queries (Q1/Q6-style) launch one fleet. Multi-stage
+//! queries execute as a stage DAG in dependency *waves*: independent
+//! stages (the two scans of a join) launch concurrently, each writing its
+//! output onto an exchange edge in cloud storage; consumer fleets (join
+//! workers, agg-merge workers) launch one wave after their latest input
+//! and pick their co-partitions up from there. Join and agg-merge fleets
+//! are sized by the compute cost model. Per-stage worker counts and
 //! exact request counters are reported in [`QueryReport::stages`].
 
 use std::collections::{HashMap, HashSet};
@@ -28,12 +29,35 @@ use crate::exchange::{install_exchange_buckets, ExchangeConfig, ExchangeSide};
 use crate::invoke::{invoke_workers, InvocationStrategy};
 use crate::message::{ResultPayload, WorkerMetrics, WorkerResult};
 use crate::scan::ScanConfig;
-use crate::stage::{self, FinalStage, PostOp, QueryDag, ScanStage, StageKind, StageOutput};
+use crate::stage::{
+    self, AggMergeStage, FinalStage, PostOp, QueryDag, ScanStage, SplitOptions, StageKind,
+    StageOutput,
+};
 use crate::table::TableSpec;
 use crate::worker::{
-    register_worker_function, FragmentShared, FragmentTask, JoinShared, JoinTask,
-    ScanExchangeShared, ScanExchangeTask, WorkerPayload, WorkerTask,
+    register_worker_function, AggMergeShared, AggMergeTask, FragmentShared, FragmentTask,
+    JoinOutput, JoinShared, JoinTask, ScanExchangeShared, ScanExchangeTask, WorkerPayload,
+    WorkerTask,
 };
+
+/// How grouped aggregates are finalized.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub enum AggStrategy {
+    /// Workers report partial states to the driver, which merges and
+    /// finalizes them (§3.2's scatter-gather shape) — right for
+    /// low-cardinality group-bys like Q1's four groups, where shipping
+    /// states through the exchange would cost more than it saves.
+    #[default]
+    DriverMerge,
+    /// Repartitioned aggregation: producers shard their grouped partial
+    /// states by group-key hash over the exchange and a dedicated
+    /// serverless fleet merges + finalizes each disjoint partition, so
+    /// the driver only concatenates finished batches — high-cardinality
+    /// group-bys stop being O(groups × workers) on the client. `workers`
+    /// fixes the merge-fleet size (= shard count); `None` lets the
+    /// compute cost model size it.
+    Exchange { workers: Option<usize> },
+}
 
 /// System configuration fixed at installation time (§2.1's "installation").
 #[derive(Clone, Debug)]
@@ -59,6 +83,8 @@ pub struct LambadaConfig {
     /// the compute cost model size the fleet from the estimated
     /// exchanged bytes and the worker memory budget.
     pub join_workers: Option<usize>,
+    /// Where grouped aggregates are merged and finalized.
+    pub agg: AggStrategy,
 }
 
 impl Default for LambadaConfig {
@@ -76,6 +102,7 @@ impl Default for LambadaConfig {
             result_bucket: "lambada-results".to_string(),
             exchange: ExchangeConfig::default(),
             join_workers: None,
+            agg: AggStrategy::DriverMerge,
         }
     }
 }
@@ -83,7 +110,7 @@ impl Default for LambadaConfig {
 /// Per-stage execution summary of one query.
 #[derive(Clone, Debug)]
 pub struct StageReport {
-    /// `scan:<table>` or `join`.
+    /// `scan:<table>`, `join`, or `agg`.
     pub label: String,
     pub workers: usize,
     /// Virtual seconds from stage launch to last worker report.
@@ -233,7 +260,10 @@ impl Lambada {
         let hints: HashMap<String, u64> =
             self.tables.iter().map(|(k, v)| (k.clone(), v.total_rows)).collect();
         let optimized = Optimizer::with_row_hints(hints).optimize(plan)?;
-        let dag = stage::split(&optimized)?;
+        let opts = SplitOptions {
+            exchange_aggregates: matches!(self.config.agg, AggStrategy::Exchange { .. }),
+        };
+        let dag = stage::split_with(&optimized, &opts)?;
 
         let qid = self.query_seq.get();
         self.query_seq.set(qid + 1);
@@ -247,23 +277,37 @@ impl Lambada {
         let mut cold_starts = 0u64;
         let mut workers_total = 0usize;
 
-        // The join fleet's size doubles as the partition count of every
-        // exchange edge, so it is fixed before any stage launches. Worker
-        // counts of every stage are likewise known up front, which is
-        // what lets independent stages launch together.
-        let partitions = self.join_partitions(&dag)?;
+        // Every consumer fleet's size doubles as the partition count of
+        // the exchange edges feeding it, so all fleet sizes are fixed
+        // before any stage launches. That is what lets independent
+        // stages launch together: a producer can shard its output for a
+        // consumer fleet that does not exist yet.
         let side = ExchangeSide::new();
-        let planned_workers = self.planned_workers(&dag, partitions)?;
+        let planned_workers = self.planned_workers(&dag)?;
+        // Partition count each producer stage must shard its output into
+        // (= its consumer's planned fleet size; 0 for driver-bound stages).
+        let mut consumer_parts: Vec<usize> = vec![0; dag.stages.len()];
+        for (sid, kind) in dag.stages.iter().enumerate() {
+            match kind {
+                StageKind::Scan(_) => {}
+                StageKind::Join(j) => {
+                    consumer_parts[j.probe_input] = planned_workers[sid];
+                    consumer_parts[j.build_input] = planned_workers[sid];
+                }
+                StageKind::AggMerge(a) => consumer_parts[a.input] = planned_workers[sid],
+            }
+        }
 
-        // Group stages into dependency waves: all scans are sources,
-        // a join runs one wave after its latest input. Stages within a
-        // wave execute concurrently (the exchange edges synchronize
-        // through storage either way).
+        // Group stages into dependency waves: all scans are sources; a
+        // consumer (join, agg-merge) runs one wave after its latest
+        // input. Stages within a wave execute concurrently (the exchange
+        // edges synchronize through storage either way).
         let mut levels: Vec<usize> = Vec::with_capacity(dag.stages.len());
         for kind in &dag.stages {
             levels.push(match kind {
                 StageKind::Scan(_) => 0,
                 StageKind::Join(j) => 1 + levels[j.probe_input].max(levels[j.build_input]),
+                StageKind::AggMerge(a) => 1 + levels[a.input],
             });
         }
         let max_level = levels.iter().copied().max().unwrap_or(0);
@@ -278,13 +322,28 @@ impl Lambada {
                 let result_queue = format!("lambada-results-x{}-q{qid}-s{sid}", self.instance);
                 self.cloud.sqs.create_queue(&result_queue);
                 let payloads = match &dag.stages[sid] {
-                    StageKind::Scan(scan) => {
-                        self.scan_stage_payloads(qid, sid, scan, partitions, &side, &result_queue)?
-                    }
+                    StageKind::Scan(scan) => self.scan_stage_payloads(
+                        qid,
+                        sid,
+                        scan,
+                        consumer_parts[sid],
+                        &side,
+                        &result_queue,
+                    )?,
                     StageKind::Join(join) => self.join_stage_payloads(
                         qid,
+                        sid,
                         join,
-                        partitions,
+                        planned_workers[sid],
+                        consumer_parts[sid],
+                        &side,
+                        &planned_workers,
+                        &result_queue,
+                    )?,
+                    StageKind::AggMerge(agg) => self.agg_stage_payloads(
+                        qid,
+                        agg,
+                        planned_workers[sid],
                         &side,
                         &planned_workers,
                         &result_queue,
@@ -359,16 +418,13 @@ impl Lambada {
         })
     }
 
-    /// Size the join fleet (= exchange partition count) from the scan
-    /// stages' estimated output volume and the worker memory budget.
-    fn join_partitions(&self, dag: &QueryDag) -> Result<usize> {
-        if let Some(w) = self.config.join_workers {
-            return Ok(w.max(1));
-        }
+    /// Per-scan-stage estimate of the bytes surviving into the exchange:
+    /// table bytes scaled by the fraction of columns the stage keeps.
+    fn estimated_scan_exchange_bytes(&self, dag: &QueryDag) -> Result<Vec<u64>> {
         let mut exchanged = Vec::new();
         for kind in &dag.stages {
             if let StageKind::Scan(scan) = kind {
-                if matches!(scan.output, StageOutput::Exchange { .. }) {
+                if !matches!(scan.output, StageOutput::Driver) {
                     let spec = self.table_spec(&scan.table)?;
                     let width = spec.schema.len().max(1);
                     // Crude column-selectivity estimate: exchanged bytes
@@ -378,6 +434,17 @@ impl Lambada {
                 }
             }
         }
+        Ok(exchanged)
+    }
+
+    /// Size the join fleet (= exchange partition count of its input
+    /// edges) from the scan stages' estimated output volume and the
+    /// worker memory budget.
+    fn join_partitions(&self, dag: &QueryDag) -> Result<usize> {
+        if let Some(w) = self.config.join_workers {
+            return Ok(w.max(1));
+        }
+        let exchanged = self.estimated_scan_exchange_bytes(dag)?;
         if exchanged.is_empty() {
             return Ok(1);
         }
@@ -387,20 +454,51 @@ impl Lambada {
         Ok(self.config.costs.join_stage_workers(probe, build, budget))
     }
 
+    /// Size the agg-merge fleet (= shard count of the grouped states)
+    /// from the configured strategy or the compute cost model. The
+    /// estimate feeds the producer's *input* volume into the model; the
+    /// model discounts for pre-aggregation.
+    fn agg_partitions(&self, dag: &QueryDag) -> Result<usize> {
+        match self.config.agg {
+            AggStrategy::Exchange { workers: Some(w) } => Ok(w.max(1)),
+            _ => {
+                let est: u64 = self.estimated_scan_exchange_bytes(dag)?.iter().sum();
+                let budget = u64::from(self.config.memory_mib) * 1024 * 1024;
+                Ok(self.config.costs.agg_merge_workers(est, budget))
+            }
+        }
+    }
+
     /// Worker count of every stage, derivable before anything launches:
-    /// `ceil(#files / F)` per scan (§5.2), the partition count for joins.
-    fn planned_workers(&self, dag: &QueryDag, partitions: usize) -> Result<Vec<usize>> {
+    /// `ceil(#files / F)` per scan (§5.2), the consumer partition count
+    /// for join and agg-merge fleets.
+    fn planned_workers(&self, dag: &QueryDag) -> Result<Vec<usize>> {
         let f = self.config.files_per_worker.max(1);
+        // Only size the fleets the DAG actually has: the common scan-only
+        // query skips both estimate walks.
+        let join_parts = if dag.stages.iter().any(|k| matches!(k, StageKind::Join(_))) {
+            self.join_partitions(dag)?
+        } else {
+            1
+        };
+        let agg_parts = if dag.stages.iter().any(|k| matches!(k, StageKind::AggMerge(_))) {
+            self.agg_partitions(dag)?
+        } else {
+            1
+        };
         dag.stages
             .iter()
             .map(|kind| match kind {
                 StageKind::Scan(scan) => Ok(self.table_spec(&scan.table)?.files.len().div_ceil(f)),
-                StageKind::Join(_) => Ok(partitions),
+                StageKind::Join(_) => Ok(join_parts),
+                StageKind::AggMerge(_) => Ok(agg_parts),
             })
             .collect()
     }
 
-    /// Build one scan stage's worker payloads.
+    /// Build one scan stage's worker payloads. `partitions` is the
+    /// consumer fleet's size for exchange-bound stages (how many ways to
+    /// shard the output), unused for driver-bound stages.
     fn scan_stage_payloads(
         &self,
         qid: u64,
@@ -437,12 +535,29 @@ impl Lambada {
                     });
                 }
             }
-            StageOutput::Exchange { keys } => {
+            output => {
+                // Swap the planner's placeholder terminal for the
+                // sharding variant, now that the consumer fleet is sized.
                 let mut fragment = fragment;
-                fragment.pipeline = PipelineSpec {
-                    terminal: Terminal::HashPartition { keys: keys.clone(), partitions },
-                    ..fragment.pipeline
+                let terminal = match (output, &fragment.pipeline.terminal) {
+                    (StageOutput::Exchange { keys }, _) => {
+                        Terminal::HashPartition { keys: keys.clone(), partitions }
+                    }
+                    (StageOutput::AggExchange, Terminal::PartialAggregate { group_by, aggs }) => {
+                        Terminal::PartitionedAggregate {
+                            group_by: group_by.clone(),
+                            aggs: aggs.clone(),
+                            partitions,
+                        }
+                    }
+                    (StageOutput::AggExchange, other) => {
+                        return Err(CoreError::Engine(format!(
+                        "agg-exchange scan stage needs a partial-aggregate terminal, got {other:?}"
+                    )))
+                    }
+                    (StageOutput::Driver, _) => unreachable!("handled above"),
                 };
+                fragment.pipeline = PipelineSpec { terminal, ..fragment.pipeline };
                 let shared = Rc::new(ScanExchangeShared {
                     fragment,
                     channel: self.channel(qid, sid),
@@ -466,16 +581,47 @@ impl Lambada {
     }
 
     /// Build the join fleet's payloads: worker `p` handles co-partition
-    /// `p` of both exchange edges.
+    /// `p` of both exchange edges. `out_partitions` is the agg-merge
+    /// fleet's size when the join feeds a repartitioned aggregation.
+    #[allow(clippy::too_many_arguments)]
     fn join_stage_payloads(
         &self,
         qid: u64,
+        sid: usize,
         join: &crate::stage::JoinStage,
         partitions: usize,
+        out_partitions: usize,
         side: &ExchangeSide,
         planned_workers: &[usize],
         result_queue: &str,
-    ) -> Vec<WorkerPayload> {
+    ) -> Result<Vec<WorkerPayload>> {
+        // Like the scan stages, the post pipeline's terminal is patched
+        // once the consumer fleet is sized.
+        let (post, output) = match &join.output {
+            StageOutput::Driver => (join.post.clone(), JoinOutput::Driver),
+            StageOutput::AggExchange => {
+                let Terminal::PartialAggregate { group_by, aggs } = &join.post.terminal else {
+                    return Err(CoreError::Engine(format!(
+                        "agg-exchange join stage needs a partial-aggregate terminal, got {:?}",
+                        join.post.terminal
+                    )));
+                };
+                let post = PipelineSpec {
+                    terminal: Terminal::PartitionedAggregate {
+                        group_by: group_by.clone(),
+                        aggs: aggs.clone(),
+                        partitions: out_partitions,
+                    },
+                    ..join.post.clone()
+                };
+                (post, JoinOutput::AggExchange { channel: self.channel(qid, sid) })
+            }
+            StageOutput::Exchange { .. } => {
+                return Err(CoreError::Unsupported(
+                    "join stages cannot feed a row exchange".to_string(),
+                ))
+            }
+        };
         let shared = Rc::new(JoinShared {
             probe_channel: self.channel(qid, join.probe_input),
             build_channel: self.channel(qid, join.build_input),
@@ -485,16 +631,48 @@ impl Lambada {
             build_schema: join.build_schema.clone(),
             probe_keys: join.probe_keys.clone(),
             build_keys: join.build_keys.clone(),
-            post: join.post.clone(),
+            post,
             exchange: self.config.exchange.clone(),
             side: side.clone(),
             result_bucket: self.config.result_bucket.clone(),
             result_prefix: format!("results/x{}-q{qid}", self.instance),
+            output,
+        });
+        Ok((0..partitions)
+            .map(|p| WorkerPayload {
+                worker_id: p as u64,
+                task: WorkerTask::Join(JoinTask { shared: Rc::clone(&shared) }),
+                children: Vec::new(),
+                result_queue: result_queue.to_string(),
+            })
+            .collect())
+    }
+
+    /// Build the agg-merge fleet's payloads: worker `p` merges shard `p`
+    /// of every producer's grouped state and finalizes it.
+    fn agg_stage_payloads(
+        &self,
+        qid: u64,
+        agg: &AggMergeStage,
+        partitions: usize,
+        side: &ExchangeSide,
+        planned_workers: &[usize],
+        result_queue: &str,
+    ) -> Vec<WorkerPayload> {
+        let shared = Rc::new(AggMergeShared {
+            channel: self.channel(qid, agg.input),
+            senders: planned_workers[agg.input],
+            agg_schema: agg.agg_schema.clone(),
+            funcs: agg.funcs.clone(),
+            exchange: self.config.exchange.clone(),
+            side: side.clone(),
+            result_bucket: self.config.result_bucket.clone(),
+            result_prefix: format!("results/x{}-q{qid}-agg", self.instance),
         });
         (0..partitions)
             .map(|p| WorkerPayload {
                 worker_id: p as u64,
-                task: WorkerTask::Join(JoinTask { shared: Rc::clone(&shared) }),
+                task: WorkerTask::AggMerge(AggMergeTask { shared: Rc::clone(&shared) }),
                 children: Vec::new(),
                 result_queue: result_queue.to_string(),
             })

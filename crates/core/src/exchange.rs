@@ -16,6 +16,28 @@
 //! File names shard across `num_buckets` buckets to spread S3's
 //! per-bucket request-rate limits (§4.4.1).
 //!
+//! # Stage edges and key namespacing
+//!
+//! The same machinery powers *stage edges*
+//! ([`exchange_stage_write`]/[`exchange_stage_read`]): write-combined
+//! shuffles where the producer and consumer are different worker fleets
+//! (scan → join, scan/join → agg-merge). Every stage-edge key lives
+//! under a caller-supplied `channel` prefix of the form
+//!
+//! ```text
+//! x{instance}/q{query}/s{stage}/snd{sender}.{rcv}_{len}...
+//! ```
+//!
+//! where `instance` is the process-unique installation id, `query` the
+//! installation's query sequence number, and `stage` the producer's DAG
+//! index. Receivers LIST-poll exactly this prefix, so two concurrent
+//! installations (or two concurrent queries of one installation) with
+//! identical DAG shapes can never read each other's shuffle files —
+//! isolation is part of the key, not a runtime check. The per-receiver
+//! byte offsets ride in the file *name* (the `.{rcv}_{len}` sections),
+//! which is what lets a receiver turn one LIST into ranged GETs without
+//! touching file contents (§4.4.3).
+//!
 //! Payloads are either real bytes (tests, small-scale validation) or
 //! modeled sizes ([`PartData::Modeled`]) for paper-scale runs; modeled
 //! bundle composition is carried by [`ExchangeSide`], a zero-cost

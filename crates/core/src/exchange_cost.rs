@@ -57,6 +57,21 @@ pub fn request_counts(algo: ExchangeAlgo, write_combining: bool, p: f64) -> Requ
     RequestCounts { reads, writes, lists, scans: algo.levels() }
 }
 
+/// Request counts of one *stage edge* exchange (producer fleet →
+/// consumer fleet, always write-combined): `senders` PUTs (one combined
+/// file per producer), at most one ranged GET per (sender, receiver)
+/// pair holding data — empty sections are skipped, so measurements come
+/// in at or under this bound — and a LIST poll per receiver per bucket
+/// group the senders shard across.
+pub fn stage_edge_counts(senders: f64, receivers: f64, buckets: f64) -> RequestCounts {
+    RequestCounts {
+        reads: senders * receivers,
+        writes: senders,
+        lists: receivers * buckets.min(senders),
+        scans: 1,
+    }
+}
+
 /// Dollar cost of the S3 requests of one exchange (the bars of Fig 9).
 pub fn request_dollars(counts: &RequestCounts, prices: &Prices) -> (f64, f64) {
     let read = counts.reads * prices.s3_get;

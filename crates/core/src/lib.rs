@@ -24,10 +24,12 @@
 //! * [`worker`] / [`driver`] / [`stage`] — the worker handler, the
 //!   driver/session logic, and the distributed planner. [`stage::split`]
 //!   turns an optimized plan into a [`stage::QueryDag`]: one fragment for
-//!   scan-only queries, or scan → exchange → join stages for partitioned
-//!   hash joins, which the driver executes fleet by fleet;
+//!   scan-only queries, scan → exchange → join stages for partitioned
+//!   hash joins, and (with [`stage::SplitOptions::exchange_aggregates`])
+//!   scan/join → exchange → agg-merge stages for repartitioned group-by
+//!   aggregation, which the driver executes wave by wave;
 //! * [`costmodel`] — calibrated vCPU-second charges for engine work and
-//!   per-stage fleet sizing for join queries.
+//!   per-stage fleet sizing for join and agg-merge fleets.
 
 pub mod costmodel;
 pub mod driver;
@@ -45,20 +47,23 @@ pub mod table;
 pub mod worker;
 
 pub use costmodel::ComputeCostModel;
-pub use driver::{Lambada, LambadaConfig, QueryReport, StageReport};
+pub use driver::{AggStrategy, Lambada, LambadaConfig, QueryReport, StageReport};
 pub use env::WorkerEnv;
 pub use error::{CoreError, Result};
 pub use exchange::{
     exchange_stage_read, exchange_stage_write, install_exchange_buckets, run_exchange,
     ExchangeConfig, ExchangeOutcome, ExchangeSide, PartData,
 };
-pub use exchange_cost::{request_counts, request_dollars, ExchangeAlgo, RequestCounts};
+pub use exchange_cost::{
+    request_counts, request_dollars, stage_edge_counts, ExchangeAlgo, RequestCounts,
+};
 pub use invoke::{invoke_workers, InvocationStrategy};
 pub use message::{ResultPayload, WorkerMetrics, WorkerResult};
 pub use scan::{scan_table, ScanConfig, ScanItem, ScanMetrics};
-pub use stage::{QueryDag, StageKind};
+pub use stage::{QueryDag, SplitOptions, StageKind};
 pub use table::{TableFile, TableSpec};
 pub use worker::{
-    register_worker_function, ExchangeTask, FragmentShared, FragmentTask, JoinShared, JoinTask,
-    ScanExchangeShared, ScanExchangeTask, WorkerPayload, WorkerTask,
+    register_worker_function, AggMergeShared, AggMergeTask, ExchangeTask, FragmentShared,
+    FragmentTask, JoinOutput, JoinShared, JoinTask, ScanExchangeShared, ScanExchangeTask,
+    WorkerPayload, WorkerTask,
 };

@@ -3,11 +3,16 @@
 //! is divided into scopes, each of which may run in a different target
 //! platform").
 //!
-//! Two DAG shapes exist today:
+//! # The fragment grammar
+//!
+//! [`split`] peels driver-side post-ops (`Sort`, `Limit`, the projection
+//! above an aggregate) off the top of the optimized plan, then lowers the
+//! remainder into one of three DAG shapes:
 //!
 //! * **single stage** — `[Sort|Limit|Project]* → [Aggregate]? → [Project]?
 //!   → [Filter]? → Scan`: one scan-rooted fragment whose workers report
-//!   straight to the driver (the Q1/Q6 path);
+//!   straight to the driver (the Q1/Q6 path). Partial aggregate states are
+//!   merged *on the driver* ([`FinalStage::MergeAggregate`]);
 //! * **partitioned hash join** — the same peel above an inner equi-join:
 //!   two scan stages hash-partition their (filtered, projected) rows on
 //!   the join keys and ship them over an exchange edge; a join stage
@@ -15,7 +20,23 @@
 //!   it with the probe side, and runs the post-join pipeline (residual
 //!   filter, projection, partial aggregation) before reporting to the
 //!   driver. Repartitioning runs entirely through serverless storage
-//!   (§4.4) — no always-on infrastructure anywhere.
+//!   (§4.4) — no always-on infrastructure anywhere;
+//! * **repartitioned aggregation** — when
+//!   [`SplitOptions::exchange_aggregates`] is set and the consumer is a
+//!   *grouped* aggregate, the producer stage (scan or join) keeps its
+//!   partial-aggregation terminal but ships the grouped state over an
+//!   exchange edge instead of the result queue: the driver swaps in
+//!   [`Terminal::PartitionedAggregate`], which shards the state by
+//!   group-key hash, and a dedicated [`AggMergeStage`] fleet merges and
+//!   finalizes each disjoint group range. The driver then only
+//!   concatenates finalized partition results
+//!   ([`FinalStage::CollectBatches`]) — no driver-side merge, so
+//!   high-cardinality group-bys stop being O(groups × workers) on the
+//!   client.
+//!
+//! Anything else (nested joins, aggregates below joins) reports
+//! [`CoreError::Unsupported`] and falls back to the local reference
+//! engine.
 
 use lambada_engine::logical::{LogicalPlan, SortKey};
 use lambada_engine::pipeline::{agg_func_types, PipelineSpec, Terminal};
@@ -23,6 +44,17 @@ use lambada_engine::types::{DataType, SchemaRef};
 use lambada_engine::{AggFunc, Expr};
 
 use crate::error::{CoreError, Result};
+
+/// Planner knobs, fixed by the driver's installation config.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SplitOptions {
+    /// Route grouped aggregates through the exchange (scan/join stages
+    /// ship sharded partial states to an [`AggMergeStage`] fleet) instead
+    /// of merging partial states on the driver. Global aggregates (empty
+    /// `GROUP BY`) always stay on the driver — one group repartitions to
+    /// one shard, so a merge fleet would only add a wave.
+    pub exchange_aggregates: bool,
+}
 
 /// Driver-side operators applied after merging worker outputs.
 #[derive(Clone, Debug)]
@@ -48,7 +80,7 @@ pub enum FinalStage {
     CollectBatches { schema: SchemaRef, post: Vec<PostOp> },
 }
 
-/// Where a scan stage's pipeline output goes.
+/// Where a stage's pipeline output goes.
 #[derive(Clone, Debug)]
 pub enum StageOutput {
     /// Workers report to the driver (the stage is the DAG's last).
@@ -57,6 +89,12 @@ pub enum StageOutput {
     /// pipeline's intermediate schema) and write them to the exchange
     /// edge feeding the consumer stage.
     Exchange { keys: Vec<usize> },
+    /// Workers shard their partial-aggregate *state* by group-key hash
+    /// and write the shards to the exchange edge feeding an
+    /// [`AggMergeStage`]. The stage's pipeline terminal is
+    /// [`Terminal::PartialAggregate`] here; the driver swaps in
+    /// [`Terminal::PartitionedAggregate`] once the merge fleet is sized.
+    AggExchange,
 }
 
 /// A scan-rooted fragment: one serverless fleet scanning table files.
@@ -96,6 +134,28 @@ pub struct JoinStage {
     /// plan's output columns, and the terminal is partial aggregation or
     /// collection.
     pub post: PipelineSpec,
+    /// Driver for join-rooted queries; [`StageOutput::AggExchange`] when a
+    /// grouped aggregate above the join runs repartitioned.
+    pub output: StageOutput,
+}
+
+/// A repartitioned-aggregation merge stage: worker `p` of the fleet
+/// receives shard `p` of every producer's partial-aggregate state (the
+/// groups whose key hashes to `p`), merges them, finalizes, and stores the
+/// resulting batch for the driver to collect. Because producers shard by
+/// group-key hash, the fleet's group ranges are disjoint and no
+/// driver-side merge is needed.
+#[derive(Clone, Debug)]
+pub struct AggMergeStage {
+    /// DAG index of the producer stage (a scan or join stage with
+    /// [`StageOutput::AggExchange`]).
+    pub input: usize,
+    /// Output schema of the aggregate node (group keys ++ finalized
+    /// aggregates) — what the stored batches use.
+    pub agg_schema: SchemaRef,
+    /// Accumulator shapes, to build an empty state when a partition
+    /// receives no groups.
+    pub funcs: Vec<(AggFunc, Option<DataType>)>,
 }
 
 /// One node of the stage DAG.
@@ -103,6 +163,7 @@ pub struct JoinStage {
 pub enum StageKind {
     Scan(ScanStage),
     Join(JoinStage),
+    AggMerge(AggMergeStage),
 }
 
 impl StageKind {
@@ -110,6 +171,7 @@ impl StageKind {
         match self {
             StageKind::Scan(s) => format!("scan:{}", s.table),
             StageKind::Join(_) => "join".to_string(),
+            StageKind::AggMerge(_) => "agg".to_string(),
         }
     }
 }
@@ -130,7 +192,8 @@ impl QueryDag {
     }
 }
 
-/// Split an *optimized* plan into a stage DAG. Supported shapes:
+/// Split an *optimized* plan into a stage DAG with default options
+/// (driver-side aggregate merging). Supported shapes:
 ///
 /// ```text
 /// [Project|Sort|Limit]* → [Aggregate]? → [Project]? → [Filter]? → Scan
@@ -141,6 +204,11 @@ impl QueryDag {
 /// Anything else (nested joins, aggregates below joins) still reports
 /// `CoreError::Unsupported` and falls back to the local reference engine.
 pub fn split(plan: &LogicalPlan) -> Result<QueryDag> {
+    split_with(plan, &SplitOptions::default())
+}
+
+/// [`split`] with explicit planner options; see [`SplitOptions`].
+pub fn split_with(plan: &LogicalPlan, opts: &SplitOptions) -> Result<QueryDag> {
     let mut post: Vec<PostOp> = Vec::new();
     let mut node = plan;
     // Peel driver-side post-ops.
@@ -173,20 +241,39 @@ pub fn split(plan: &LogicalPlan) -> Result<QueryDag> {
             let funcs = agg_func_types(aggs, &mid_schema)?;
             let terminal =
                 Terminal::PartialAggregate { group_by: group_by.clone(), aggs: aggs.clone() };
-            let final_stage = FinalStage::MergeAggregate { agg_schema, funcs, post };
-            if contains_join(input) {
-                split_join(input, terminal, final_stage)
+            if opts.exchange_aggregates && !group_by.is_empty() {
+                // Repartitioned aggregation: the producer ships sharded
+                // grouped states over an exchange edge; an agg-merge
+                // fleet finalizes; the driver only concatenates.
+                let final_stage = FinalStage::CollectBatches { schema: agg_schema.clone(), post };
+                let mut dag = if contains_join(input) {
+                    split_join(input, terminal, final_stage, StageOutput::AggExchange)?
+                } else {
+                    split_scan_only(input, terminal, final_stage, StageOutput::AggExchange)?
+                };
+                let input_idx = dag.stages.len() - 1;
+                dag.stages.push(StageKind::AggMerge(AggMergeStage {
+                    input: input_idx,
+                    agg_schema,
+                    funcs,
+                }));
+                Ok(dag)
             } else {
-                split_scan_only(input, terminal, final_stage)
+                let final_stage = FinalStage::MergeAggregate { agg_schema, funcs, post };
+                if contains_join(input) {
+                    split_join(input, terminal, final_stage, StageOutput::Driver)
+                } else {
+                    split_scan_only(input, terminal, final_stage, StageOutput::Driver)
+                }
             }
         }
         _ => {
             let schema = node.schema()?;
             let final_stage = FinalStage::CollectBatches { schema, post };
             if contains_join(node) {
-                split_join(node, Terminal::Collect, final_stage)
+                split_join(node, Terminal::Collect, final_stage, StageOutput::Driver)
             } else {
-                split_scan_only(node, Terminal::Collect, final_stage)
+                split_scan_only(node, Terminal::Collect, final_stage, StageOutput::Driver)
             }
         }
     }
@@ -203,11 +290,14 @@ fn contains_join(node: &LogicalPlan) -> bool {
     }
 }
 
-/// The classic single-fragment path.
+/// The classic single-fragment path; `output` is [`StageOutput::Driver`]
+/// for driver-merged queries or [`StageOutput::AggExchange`] when a
+/// grouped aggregate runs repartitioned.
 fn split_scan_only(
     node: &LogicalPlan,
     terminal: Terminal,
     final_stage: FinalStage,
+    output: StageOutput,
 ) -> Result<QueryDag> {
     let (table, scan_columns, prune_predicate, pre_projection, _mid) = lower_fragment_input(node)?;
     let pipeline = PipelineSpec {
@@ -222,7 +312,7 @@ fn split_scan_only(
             scan_columns,
             prune_predicate,
             pipeline,
-            output: StageOutput::Driver,
+            output,
         })],
         final_stage,
     })
@@ -230,8 +320,14 @@ fn split_scan_only(
 
 /// The partitioned hash-join path: peel residual `Project|Filter` nodes
 /// above the join into the join stage's post pipeline, then lower each
-/// join input into a hash-partitioning scan stage.
-fn split_join(node: &LogicalPlan, terminal: Terminal, final_stage: FinalStage) -> Result<QueryDag> {
+/// join input into a hash-partitioning scan stage. `output` is where the
+/// join stage's post pipeline sends its result.
+fn split_join(
+    node: &LogicalPlan,
+    terminal: Terminal,
+    final_stage: FinalStage,
+    output: StageOutput,
+) -> Result<QueryDag> {
     // Collect the ops between the consumer and the join, top-down.
     enum PostJoinOp {
         Proj(Vec<(Expr, String)>),
@@ -331,6 +427,7 @@ fn split_join(node: &LogicalPlan, terminal: Terminal, final_stage: FinalStage) -
                 probe_keys,
                 build_keys,
                 post,
+                output,
             }),
         ],
         final_stage,
@@ -634,6 +731,67 @@ mod tests {
         let dag = split(&plan).unwrap();
         let StageKind::Join(join) = &dag.stages[2] else { panic!("join stage") };
         assert!(join.post.predicate.is_some(), "residual predicate kept for the join stage");
+    }
+
+    #[test]
+    fn exchange_planned_aggregate_splits_into_scan_exchange_merge() {
+        let opts = SplitOptions { exchange_aggregates: true };
+        let dag = split_with(&q1ish(), &opts).unwrap();
+        assert_eq!(dag.stages.len(), 2);
+        let StageKind::Scan(scan) = &dag.stages[0] else { panic!("scan stage") };
+        // The scan keeps its partial-aggregation terminal (the driver
+        // swaps in the partitioned variant) but feeds the agg exchange.
+        assert!(matches!(scan.pipeline.terminal, Terminal::PartialAggregate { .. }));
+        assert!(matches!(scan.output, StageOutput::AggExchange));
+        let StageKind::AggMerge(merge) = &dag.stages[1] else { panic!("agg-merge stage") };
+        assert_eq!(merge.input, 0);
+        assert_eq!(merge.agg_schema.len(), 2);
+        assert_eq!(merge.funcs.len(), 1);
+        // The driver-side merge path is gone: the final stage only
+        // concatenates finalized partition batches.
+        let FinalStage::CollectBatches { schema, post } = &dag.final_stage else {
+            panic!("expected collect final stage, not a driver merge");
+        };
+        assert_eq!(schema.len(), 2);
+        assert_eq!(post.len(), 1, "sort survives as a post-op");
+    }
+
+    #[test]
+    fn exchange_planned_aggregate_over_join_appends_merge_stage() {
+        let plan = LogicalPlan::Aggregate {
+            input: Box::new(LogicalPlan::Join {
+                left: Box::new(scan("t")),
+                right: Box::new(scan("u")),
+                on: vec![(0, 0)],
+            }),
+            group_by: vec![(col(2), "g".to_string())],
+            aggs: vec![A::new(AggFunc::Sum, Some(col(5)), "sum_ub")],
+        };
+        let plan = Optimizer::new().optimize(&plan).unwrap();
+        let opts = SplitOptions { exchange_aggregates: true };
+        let dag = split_with(&plan, &opts).unwrap();
+        assert_eq!(dag.stages.len(), 4);
+        let StageKind::Join(join) = &dag.stages[2] else { panic!("join stage") };
+        assert!(matches!(join.post.terminal, Terminal::PartialAggregate { .. }));
+        assert!(matches!(join.output, StageOutput::AggExchange));
+        let StageKind::AggMerge(merge) = &dag.stages[3] else { panic!("agg-merge stage") };
+        assert_eq!(merge.input, 2, "merge fleet consumes the join stage's shards");
+        assert!(matches!(dag.final_stage, FinalStage::CollectBatches { .. }));
+    }
+
+    #[test]
+    fn global_aggregate_stays_on_the_driver_even_with_exchange_aggregates() {
+        // SELECT sum(b) FROM t — one group, nothing to repartition.
+        let plan = LogicalPlan::Aggregate {
+            input: Box::new(scan("t")),
+            group_by: vec![],
+            aggs: vec![A::new(AggFunc::Sum, Some(col(1)), "sum_b")],
+        };
+        let plan = Optimizer::new().optimize(&plan).unwrap();
+        let opts = SplitOptions { exchange_aggregates: true };
+        let dag = split_with(&plan, &opts).unwrap();
+        assert!(dag.is_single_stage());
+        assert!(matches!(dag.final_stage, FinalStage::MergeAggregate { .. }));
     }
 
     #[test]

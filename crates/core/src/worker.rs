@@ -8,10 +8,12 @@
 
 use std::rc::Rc;
 
+use lambada_engine::agg::GroupedAggState;
 use lambada_engine::join::JoinState;
+use lambada_engine::physical::agg_state_to_batch;
 use lambada_engine::pipeline::{Pipeline, PipelineOutput, PipelineSpec, Terminal};
-use lambada_engine::types::{Schema, SchemaRef};
-use lambada_engine::Expr;
+use lambada_engine::types::{DataType, Schema, SchemaRef};
+use lambada_engine::{AggFunc, Expr};
 use lambada_sim::services::faas::{FaasService, FunctionSpec, InstanceCtx, InvokePayload};
 use lambada_sim::services::object_store::Body;
 use lambada_sim::sync::mpsc;
@@ -85,6 +87,17 @@ pub struct ScanExchangeTask {
     pub files: Vec<TableFile>,
 }
 
+/// Where a join stage's post-pipeline output goes.
+#[derive(Clone)]
+pub enum JoinOutput {
+    /// Report to the driver: agg state inline, large batches via storage.
+    Driver,
+    /// Shard the post pipeline's grouped aggregate state by group-key
+    /// hash onto the exchange edge `channel` (the post terminal is
+    /// [`Terminal::PartitionedAggregate`]), feeding an agg-merge fleet.
+    AggExchange { channel: String },
+}
+
 /// Immutable parts of a join stage, shared across its fleet. Worker `p`
 /// of the fleet owns co-partition `p` of both inputs.
 #[derive(Clone)]
@@ -105,12 +118,43 @@ pub struct JoinShared {
     pub result_bucket: String,
     /// Namespaces stored results (join fleets run once per query).
     pub result_prefix: String,
+    /// Driver for join-rooted queries, an exchange edge when a grouped
+    /// aggregate above the join runs repartitioned.
+    pub output: JoinOutput,
 }
 
 /// A join assignment; the worker id doubles as the partition id.
 #[derive(Clone)]
 pub struct JoinTask {
     pub shared: Rc<JoinShared>,
+}
+
+/// Immutable parts of an agg-merge stage, shared across its fleet.
+/// Worker `p` merges shard `p` of every producer's partial-aggregate
+/// state — the groups whose key hashes to `p` — then finalizes and
+/// stores the resulting batch. Producers shard by group-key hash, so the
+/// fleet's group ranges are disjoint and no further merging is needed.
+#[derive(Clone)]
+pub struct AggMergeShared {
+    /// Key prefix namespacing the producer stage's exchange edge.
+    pub channel: String,
+    /// Producer worker count (how many sender files to await).
+    pub senders: usize,
+    /// Output schema of the aggregate (group keys ++ finalized values).
+    pub agg_schema: SchemaRef,
+    /// Accumulator shapes, to build the empty initial state.
+    pub funcs: Vec<(AggFunc, Option<DataType>)>,
+    pub exchange: ExchangeConfig,
+    pub side: ExchangeSide,
+    pub result_bucket: String,
+    /// Namespaces stored results (one merge fleet per query).
+    pub result_prefix: String,
+}
+
+/// An agg-merge assignment; the worker id doubles as the partition id.
+#[derive(Clone)]
+pub struct AggMergeTask {
+    pub shared: Rc<AggMergeShared>,
 }
 
 /// What a worker is asked to do.
@@ -128,6 +172,9 @@ pub enum WorkerTask {
     /// Build + probe one co-partition of a distributed hash join, then
     /// run the post-join pipeline.
     Join(JoinTask),
+    /// Merge one co-partition of sharded partial-aggregate states and
+    /// finalize it (the merge stage of a repartitioned aggregation).
+    AggMerge(AggMergeTask),
     /// Repartition data through cloud storage.
     Exchange(ExchangeTask),
 }
@@ -244,6 +291,7 @@ async fn run_task(env: &WorkerEnv, task: &WorkerTask) -> Result<(ResultPayload, 
         WorkerTask::Fragment(frag) => run_fragment(env, frag).await,
         WorkerTask::ScanExchange(task) => run_scan_exchange(env, task).await,
         WorkerTask::Join(task) => run_join(env, task).await,
+        WorkerTask::AggMerge(task) => run_agg_merge(env, task).await,
         WorkerTask::Exchange(x) => run_exchange_task(env, x).await,
     }
 }
@@ -341,14 +389,32 @@ async fn run_fragment(
                 metrics,
             ))
         }
-        PipelineOutput::Partitions(_) => Err(CoreError::Engine(
-            "fragment task cannot end in a hash-partition terminal".to_string(),
-        )),
+        PipelineOutput::Partitions(_) | PipelineOutput::AggShards(_) => {
+            Err(CoreError::Engine("fragment task cannot end in a sharding terminal".to_string()))
+        }
     }
 }
 
-/// Scan stage of a distributed join: scan → filter → project →
-/// hash-partition, then one write-combined PUT onto the exchange edge.
+/// Encode sharded partial-aggregate states as exchange parts. Empty
+/// shards become zero-length parts, so receivers learn from the file
+/// name that they have nothing to fetch.
+fn agg_shard_parts(shards: &[GroupedAggState]) -> Vec<PartData> {
+    shards
+        .iter()
+        .map(|s| {
+            if s.num_groups() == 0 {
+                PartData::Real(Vec::new())
+            } else {
+                PartData::Real(s.encode())
+            }
+        })
+        .collect()
+}
+
+/// Scan stage feeding an exchange edge: scan → filter → project, then
+/// either hash-partitioned rows (join inputs) or sharded partial
+/// aggregate states (repartitioned aggregation), leaving through one
+/// write-combined PUT.
 async fn run_scan_exchange(
     env: &WorkerEnv,
     task: &ScanExchangeTask,
@@ -359,25 +425,37 @@ async fn run_scan_exchange(
         drive_scan(env, &shared.fragment, &task.files, &mut pipeline).await?;
     if modeled_rows > 0 {
         return Err(CoreError::Unsupported(
-            "distributed joins need real table files (descriptor-backed tables carry no rows to repartition)"
+            "exchange edges need real table files (descriptor-backed tables carry no rows to repartition)"
                 .to_string(),
         ));
     }
 
     let (rows_in, rows_out) = pipeline.row_counts();
-    let PipelineOutput::Partitions(partitions) = pipeline.finish() else {
-        return Err(CoreError::Engine(
-            "scan-exchange task needs a hash-partition terminal".to_string(),
-        ));
-    };
-    let mut parts = Vec::with_capacity(partitions.len());
-    for batches in &partitions {
-        if batches.is_empty() {
-            parts.push(PartData::Real(Vec::new()));
-        } else {
-            parts.push(PartData::Real(crate::partition::encode_batches(batches)?));
+    // What actually leaves on the edge: filtered rows for hash-partition
+    // stages, grouped states (one "row" per group) for agg stages.
+    let (parts, exchanged_rows) = match pipeline.finish() {
+        PipelineOutput::Partitions(partitions) => {
+            let mut parts = Vec::with_capacity(partitions.len());
+            for batches in &partitions {
+                if batches.is_empty() {
+                    parts.push(PartData::Real(Vec::new()));
+                } else {
+                    parts.push(PartData::Real(crate::partition::encode_batches(batches)?));
+                }
+            }
+            (parts, rows_out)
         }
-    }
+        PipelineOutput::AggShards(shards) => {
+            let groups: u64 = shards.iter().map(|s| s.num_groups() as u64).sum();
+            (agg_shard_parts(&shards), groups)
+        }
+        _ => {
+            return Err(CoreError::Engine(
+                "scan-exchange task needs a hash-partition or partitioned-aggregate terminal"
+                    .to_string(),
+            ))
+        }
+    };
     let bytes_written = exchange_stage_write(
         env,
         &shared.exchange,
@@ -397,10 +475,10 @@ async fn run_scan_exchange(
         row_groups_scanned: scan_metrics.row_groups_total - scan_metrics.row_groups_pruned,
         bytes_written,
         put_requests: 1,
-        rows_exchanged: rows_out,
+        rows_exchanged: exchanged_rows,
         ..WorkerMetrics::default()
     };
-    Ok((ResultPayload::Exchanged { rows: rows_out, bytes: bytes_written }, metrics))
+    Ok((ResultPayload::Exchanged { rows: exchanged_rows, bytes: bytes_written }, metrics))
 }
 
 /// Join stage: read both co-partitions from the exchange edges, build a
@@ -501,6 +579,26 @@ async fn run_join(env: &WorkerEnv, task: &JoinTask) -> Result<(ResultPayload, Wo
 
     match post.finish() {
         PipelineOutput::Aggregate(state) => Ok((ResultPayload::AggState(state.encode()), metrics)),
+        PipelineOutput::AggShards(shards) => {
+            let JoinOutput::AggExchange { channel } = &shared.output else {
+                return Err(CoreError::Engine(
+                    "partitioned-aggregate terminal needs an agg-exchange output".to_string(),
+                ));
+            };
+            let groups: u64 = shards.iter().map(|s| s.num_groups() as u64).sum();
+            let bytes_written = exchange_stage_write(
+                env,
+                &shared.exchange,
+                channel,
+                p,
+                agg_shard_parts(&shards),
+                &shared.side,
+            )
+            .await?;
+            metrics.bytes_written += bytes_written;
+            metrics.put_requests += 1;
+            Ok((ResultPayload::Exchanged { rows: groups, bytes: bytes_written }, metrics))
+        }
         PipelineOutput::Batches(batches) => {
             if batches.is_empty() {
                 return Ok((ResultPayload::Empty, metrics));
@@ -520,6 +618,70 @@ async fn run_join(env: &WorkerEnv, task: &JoinTask) -> Result<(ResultPayload, Wo
             "join post pipeline cannot end in a hash-partition terminal".to_string(),
         )),
     }
+}
+
+/// Agg-merge stage of a repartitioned aggregation: read shard `p` of
+/// every producer's partial-aggregate state from the exchange edge, merge
+/// them (this fleet owns disjoint group ranges, so merging is local),
+/// finalize, and store the resulting batch for the driver to collect —
+/// the driver-side merge of §3.2 moved into the serverless scope.
+async fn run_agg_merge(
+    env: &WorkerEnv,
+    task: &AggMergeTask,
+) -> Result<(ResultPayload, WorkerMetrics)> {
+    let shared = &task.shared;
+    let p = env.worker_id as usize;
+    let budget = env.engine_memory_budget();
+    let mut metrics = WorkerMetrics::default();
+
+    let (parts, stats) = exchange_stage_read(
+        env,
+        &shared.exchange,
+        &shared.channel,
+        p,
+        shared.senders,
+        &shared.side,
+    )
+    .await?;
+    metrics.bytes_read += stats.bytes_read;
+    metrics.get_requests += stats.get_requests;
+    metrics.list_requests += stats.list_requests;
+
+    let mut state = GroupedAggState::new(&shared.funcs)?;
+    for part in &parts {
+        let PartData::Real(bytes) = part else {
+            return Err(CoreError::Unsupported(
+                "agg-merge stages need real exchange payloads".to_string(),
+            ));
+        };
+        if bytes.is_empty() {
+            continue;
+        }
+        let shard = GroupedAggState::decode(bytes)?;
+        metrics.rows_in += shard.num_groups() as u64;
+        env.compute(env.costs.process_seconds(shard.num_groups() as u64)).await;
+        state.merge(&shard)?;
+        if state.approx_bytes() as u64 > budget {
+            return Err(CoreError::Engine(format!(
+                "out of memory: merged aggregate state {} B exceeds budget {budget} B",
+                state.approx_bytes()
+            )));
+        }
+    }
+    metrics.rows_exchanged = metrics.rows_in;
+
+    let batch = agg_state_to_batch(&state, &shared.agg_schema)?;
+    metrics.rows_out = batch.num_rows() as u64;
+    if batch.num_rows() == 0 {
+        return Ok((ResultPayload::Empty, metrics));
+    }
+    let rows = batch.num_rows() as u64;
+    let bytes = crate::partition::encode_batches(&[batch])?;
+    let key = format!("{}/w{}", shared.result_prefix, env.worker_id);
+    metrics.bytes_written = bytes.len() as u64;
+    metrics.put_requests += 1;
+    env.s3.put(&shared.result_bucket, &key, Body::from_vec(bytes)).await?;
+    Ok((ResultPayload::StoredBatches { bucket: shared.result_bucket.clone(), key, rows }, metrics))
 }
 
 async fn run_exchange_task(

@@ -323,6 +323,36 @@ impl GroupedAggState {
         Ok(())
     }
 
+    /// Shard this state `partitions` ways by group-key hash: shard `p`
+    /// holds exactly the groups whose key tuple hashes to partition `p`
+    /// under [`crate::join::hash_scalar_keys`] — the same hash family the
+    /// exchange operator uses for rows, so every producer of a
+    /// distributed aggregation routes a given group to the same merge
+    /// worker. Merging all shards (in any order) reproduces the input.
+    /// Consumes the state so keys and accumulators *move* into their
+    /// shards — splitting happens at a worker's memory high-water mark,
+    /// where a deep copy would double the footprint the OOM model sees.
+    pub fn split(self, partitions: usize) -> Vec<GroupedAggState> {
+        let partitions = partitions.max(1);
+        let mut shards: Vec<GroupedAggState> = (0..partitions)
+            .map(|_| GroupedAggState {
+                prototypes: self.prototypes.clone(),
+                map: HashMap::new(),
+                keys: Vec::new(),
+                accs: Vec::new(),
+            })
+            .collect();
+        for (key, accs) in self.keys.into_iter().zip(self.accs) {
+            let p = (crate::join::hash_scalar_keys(&key) % partitions as u64) as usize;
+            let shard = &mut shards[p];
+            let sid = shard.keys.len();
+            shard.map.insert(key.clone(), sid);
+            shard.keys.push(key);
+            shard.accs.push(accs);
+        }
+        shards
+    }
+
     /// Finalize into `(group_key_scalars, agg_scalars)` rows, sorted by key
     /// for deterministic output.
     pub fn finalize_rows(&self) -> Vec<(Vec<Scalar>, Vec<Scalar>)> {
@@ -452,6 +482,39 @@ mod tests {
         b.update_batch(&[Column::I64(vec![2])], &[Some(Column::I64(vec![20]))], 1).unwrap();
         a.merge(&b).unwrap();
         assert_eq!(a.num_groups(), 2);
+    }
+
+    #[test]
+    fn split_shards_partition_groups_and_merge_back() {
+        let mut st = GroupedAggState::new(&[(AggFunc::Sum, Some(DataType::Int64))]).unwrap();
+        let keys: Vec<i64> = (0..97).collect();
+        let vals: Vec<i64> = keys.iter().map(|k| k * 10).collect();
+        st.update_batch(&[Column::I64(keys)], &[Some(Column::I64(vals))], 97).unwrap();
+        let shards = st.clone().split(5);
+        assert_eq!(shards.len(), 5);
+        assert_eq!(shards.iter().map(GroupedAggState::num_groups).sum::<usize>(), 97);
+        // Each group lands in the shard its key hash dictates.
+        for (p, shard) in shards.iter().enumerate() {
+            for key in &shard.keys {
+                assert_eq!((crate::join::hash_scalar_keys(key) % 5) as usize, p);
+            }
+        }
+        // Merging shards back (in reverse order) reproduces the state.
+        let mut merged = GroupedAggState::new(&[(AggFunc::Sum, Some(DataType::Int64))]).unwrap();
+        for shard in shards.iter().rev() {
+            merged.merge(shard).unwrap();
+        }
+        assert_eq!(merged.finalize_rows(), st.finalize_rows());
+    }
+
+    #[test]
+    fn split_roundtrips_through_the_wire() {
+        let st = sample_state();
+        let mut merged = GroupedAggState::new(&spec()).unwrap();
+        for shard in st.clone().split(3) {
+            merged.merge(&GroupedAggState::decode(&shard.encode()).unwrap()).unwrap();
+        }
+        assert_eq!(merged.finalize_rows(), st.finalize_rows());
     }
 
     #[test]

@@ -2,8 +2,9 @@
 //!
 //! Column references are positional (indices into the operator's input
 //! schema); the DataFrame frontend resolves names to indices at plan-build
-//! time. Expressions evaluate over [`RecordBatch`]es to [`Value`]s —
-//! whole columns or scalars (constants broadcast lazily).
+//! time. Expressions evaluate over [`crate::RecordBatch`]es to
+//! [`kernels::Value`]s — whole columns or scalars (constants broadcast
+//! lazily).
 
 pub mod eval;
 pub mod fold;

@@ -32,16 +32,34 @@ pub fn hash_scalar_key(k: ScalarKey) -> u64 {
     raw.wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(31)
 }
 
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x1000_0000_01b3;
+
+/// FNV-style combination of an already-materialized key tuple. This is
+/// the same function as [`hash_row_key`] applied to the row's key
+/// columns; [`crate::agg::GroupedAggState`] uses it to shard grouped
+/// aggregate states by group key over the exchange.
+#[inline]
+pub fn hash_scalar_keys(keys: &[ScalarKey]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &k in keys {
+        h ^= hash_scalar_key(k);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
 /// FNV-style combination of the key columns of one row. Every component
 /// that co-partitions data (the exchange operator, both sides of a
-/// distributed join) must agree on this function, which is why it lives
-/// here rather than in `lambada-core`.
+/// distributed join, the group-key sharding of distributed aggregation)
+/// must agree on this function, which is why it lives here rather than in
+/// `lambada-core`.
 #[inline]
 pub fn hash_row_key(batch: &RecordBatch, key_cols: &[usize], row: usize) -> u64 {
-    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    let mut h = FNV_OFFSET;
     for &c in key_cols {
         h ^= hash_scalar_key(batch.column(c).value(row).key());
-        h = h.wrapping_mul(0x1000_0000_01b3);
+        h = h.wrapping_mul(FNV_PRIME);
     }
     h
 }

@@ -12,7 +12,7 @@
 //!
 //! Layer map:
 //!
-//! * [`types`] / [`scalar`] / [`column`] / [`batch`] — the data model;
+//! * [`types`] / [`scalar`] / [`mod@column`] / [`batch`] — the data model;
 //! * [`expr`] — expression trees, vectorized kernels, constant folding,
 //!   and interval analysis for min/max row-group pruning;
 //! * [`logical`] + [`frontend`] — the plan IR and the Listing-1-style

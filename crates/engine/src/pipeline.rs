@@ -1,10 +1,30 @@
 //! Worker-side streaming pipelines.
 //!
-//! A serverless worker executes one plan *fragment*: scan → filter →
-//! project → partial aggregate (§3.2–3.3). The scan feeds batches in as
-//! they are downloaded and decoded; everything downstream is a push-based
-//! pipeline that keeps only aggregate state (or collected batches, for
-//! fragments that feed an exchange) in memory.
+//! A serverless worker executes one plan *fragment* (§3.2–3.3). Every
+//! fragment has the same shape — the fragment grammar the distributed
+//! planner in `lambada-core` lowers stages into:
+//!
+//! ```text
+//! input → [Filter]? → [Project]? → Terminal
+//! ```
+//!
+//! The input is pushed in batch by batch (scan output, exchanged
+//! co-partitions, or probe input); predicate and projection refer to the
+//! fragment's *input* schema; and the [`Terminal`] decides what is
+//! retained and what the fragment produces when it finishes:
+//!
+//! | terminal | retains | produces |
+//! |---|---|---|
+//! | [`Terminal::PartialAggregate`] | grouped agg state | one [`GroupedAggState`] |
+//! | [`Terminal::PartitionedAggregate`] | grouped agg state | per-partition state shards |
+//! | [`Terminal::Collect`] | projected batches | batches |
+//! | [`Terminal::HashPartition`] | per-partition batches | per-partition batches |
+//! | [`Terminal::Probe`] | joined batches | batches |
+//!
+//! Everything is a push-based pipeline that keeps only the terminal's
+//! state in memory, so a worker's footprint is bounded by its retained
+//! state rather than its input ([`Pipeline::approx_state_bytes`] feeds
+//! the OOM modelling).
 
 use std::rc::Rc;
 
@@ -21,6 +41,13 @@ use crate::types::{DataType, Schema, SchemaRef};
 pub enum Terminal {
     /// Partial hash aggregation (the common case for Q1/Q6-style queries).
     PartialAggregate { group_by: Vec<(Expr, String)>, aggs: Vec<AggExpr> },
+    /// Partial hash aggregation whose finished [`GroupedAggState`] is
+    /// sharded `partitions` ways by group-key hash for an exchange edge
+    /// (see [`GroupedAggState::split`]). Used by the producer stages of a
+    /// distributed (repartitioned) group-by aggregation: every producer
+    /// routes a given group to the same merge worker, so merge workers
+    /// own disjoint group ranges and can finalize without coordination.
+    PartitionedAggregate { group_by: Vec<(Expr, String)>, aggs: Vec<AggExpr>, partitions: usize },
     /// Collect projected batches (feeding an exchange or a result upload).
     Collect,
     /// Hash-partition rows on key columns for an exchange edge: output
@@ -71,6 +98,9 @@ pub enum PipelineOutput {
     Batches(Vec<RecordBatch>),
     /// `partitions[p]` holds the batches destined to partition `p`.
     Partitions(Vec<Vec<RecordBatch>>),
+    /// `shards[p]` holds the partial-aggregate state of the groups whose
+    /// key hashes to partition `p` (from [`Terminal::PartitionedAggregate`]).
+    AggShards(Vec<GroupedAggState>),
 }
 
 /// Running pipeline state.
@@ -127,6 +157,12 @@ impl Pipeline {
         let mut partitioned = Vec::new();
         let agg = match &spec.terminal {
             Terminal::PartialAggregate { aggs, .. } => {
+                Some(GroupedAggState::new(&agg_func_types(aggs, &mid_schema)?)?)
+            }
+            Terminal::PartitionedAggregate { aggs, partitions, .. } => {
+                if *partitions == 0 {
+                    return plan_err("partitioned aggregate terminal needs at least one partition");
+                }
                 Some(GroupedAggState::new(&agg_func_types(aggs, &mid_schema)?)?)
             }
             Terminal::HashPartition { keys, partitions } => {
@@ -206,7 +242,11 @@ impl Pipeline {
             None => filtered,
         };
         match (&self.spec.terminal, &mut self.agg) {
-            (Terminal::PartialAggregate { group_by, aggs }, Some(state)) => {
+            (
+                Terminal::PartialAggregate { group_by, aggs }
+                | Terminal::PartitionedAggregate { group_by, aggs, .. },
+                Some(state),
+            ) => {
                 let (gcols, acols) = eval_agg_inputs(group_by, aggs, &projected)?;
                 state.update_batch(&gcols, &acols, projected.num_rows())?;
             }
@@ -236,7 +276,12 @@ impl Pipeline {
     /// Finish and return the fragment output.
     pub fn finish(self) -> PipelineOutput {
         if let Some(state) = self.agg {
-            return PipelineOutput::Aggregate(state);
+            return match self.spec.terminal {
+                Terminal::PartitionedAggregate { partitions, .. } => {
+                    PipelineOutput::AggShards(state.split(partitions))
+                }
+                _ => PipelineOutput::Aggregate(state),
+            };
         }
         match self.spec.terminal {
             Terminal::HashPartition { .. } => PipelineOutput::Partitions(self.partitioned),
@@ -294,6 +339,72 @@ mod tests {
         // grp=1: 2*1.0 = 2.0; grp=2: 2*3.0 + 2*4.0 = 14.0.
         assert_eq!(rows[0].1[0], Scalar::Float64(2.0));
         assert_eq!(rows[1].1[0], Scalar::Float64(14.0));
+    }
+
+    #[test]
+    fn partitioned_agg_shards_agree_with_plain_partial_agg() {
+        let terminal = |partitions| Terminal::PartitionedAggregate {
+            group_by: vec![(col(2), "grp".to_string())],
+            aggs: vec![
+                AggExpr::new(AggFunc::Sum, Some(col(0)), "s"),
+                AggExpr::new(AggFunc::Count, None, "c"),
+            ],
+            partitions,
+        };
+        let spec = PipelineSpec {
+            input_schema: input_schema(),
+            predicate: Some(col(0).lt(lit_i64(40))),
+            projection: None,
+            terminal: terminal(3),
+        };
+        let mut p = Pipeline::new(spec.clone()).unwrap();
+        let mut reference = Pipeline::new(PipelineSpec {
+            terminal: Terminal::PartialAggregate {
+                group_by: vec![(col(2), "grp".to_string())],
+                aggs: vec![
+                    AggExpr::new(AggFunc::Sum, Some(col(0)), "s"),
+                    AggExpr::new(AggFunc::Count, None, "c"),
+                ],
+            },
+            ..spec
+        })
+        .unwrap();
+        for b in [
+            batch(vec![10, 40, 20], vec![1.0, 2.0, 3.0], vec![1, 1, 2]),
+            batch(vec![25, 50, 5], vec![4.0, 5.0, 6.0], vec![2, 3, 4]),
+        ] {
+            p.push(&b).unwrap();
+            reference.push(&b).unwrap();
+        }
+        let PipelineOutput::AggShards(shards) = p.finish() else {
+            panic!("expected agg shards");
+        };
+        assert_eq!(shards.len(), 3);
+        let PipelineOutput::Aggregate(want) = reference.finish() else {
+            panic!("expected aggregate");
+        };
+        let mut merged =
+            GroupedAggState::new(&[(AggFunc::Sum, Some(DataType::Int64)), (AggFunc::Count, None)])
+                .unwrap();
+        for s in &shards {
+            merged.merge(s).unwrap();
+        }
+        assert_eq!(merged.finalize_rows(), want.finalize_rows());
+    }
+
+    #[test]
+    fn partitioned_agg_rejects_zero_partitions() {
+        let spec = PipelineSpec {
+            input_schema: input_schema(),
+            predicate: None,
+            projection: None,
+            terminal: Terminal::PartitionedAggregate {
+                group_by: vec![(col(2), "grp".to_string())],
+                aggs: vec![AggExpr::new(AggFunc::Count, None, "c")],
+                partitions: 0,
+            },
+        };
+        assert!(Pipeline::new(spec).is_err());
     }
 
     #[test]

@@ -18,4 +18,4 @@ pub use loader::{
     DescriptorOptions, OrdersStageOptions, StageOptions, StorageProfile,
 };
 pub use orders::{schema as orders_schema, OrdersGenerator};
-pub use tpch::{q1, q12, q6};
+pub use tpch::{q1, q12, q3, q6};

@@ -5,11 +5,12 @@
 //! (SIGMOD 2020). See the individual crates for details:
 //!
 //! * [`sim`] — deterministic serverless-cloud simulation substrate
-//! * [`format`] — Parquet-like columnar file format
+//! * [`mod@format`] — Parquet-like columnar file format
 //! * [`engine`] — vectorized query engine and planner
 //! * [`core`] — the Lambada system itself (driver, workers, invocation
-//!   tree, S3 scan operator, serverless exchange operator)
-//! * [`workloads`] — TPC-H LINEITEM generator and queries
+//!   tree, S3 scan operator, serverless exchange operator, distributed
+//!   stage planner)
+//! * [`workloads`] — TPC-H LINEITEM/ORDERS generators and queries
 //! * [`baselines`] — QaaS / IaaS / ephemeral-store comparator models
 
 pub use lambada_baselines as baselines;

@@ -5,7 +5,7 @@
 use std::rc::Rc;
 use std::sync::Arc;
 
-use lambada::core::{InvocationStrategy, Lambada, LambadaConfig};
+use lambada::core::{stage_edge_counts, AggStrategy, InvocationStrategy, Lambada, LambadaConfig};
 use lambada::engine::{execute_into_batch, Catalog, MemTable, RecordBatch, Scalar};
 use lambada::sim::{Cloud, CloudConfig, CostItem, Simulation};
 use lambada::workloads::{lineitem_schema, stage_real, StageOptions};
@@ -193,6 +193,106 @@ fn query_cost_is_dominated_by_lambda_compute() {
     assert!(lambda > 0.0);
     assert!(report.cost.units(CostItem::S3Get) >= 12.0, "footer + chunks per file");
     assert!(report.cost.units(CostItem::SqsRequests) >= 6.0, "one result per worker");
+}
+
+#[test]
+fn q3_group_by_runs_repartitioned_and_matches_reference() {
+    // The Q3-style join + high-cardinality group-by must execute as a
+    // scan → exchange → join → exchange → agg-merge QueryDag — the
+    // driver-side merge path replaced by a serverless merge fleet — with
+    // per-stage request counts matching the stage-edge cost model.
+    let sim = Simulation::new();
+    let cloud = Cloud::new(&sim, CloudConfig::default());
+    let scale = 0.002;
+    let seed = 33;
+    let li_spec = stage_real(&cloud, "tpch", "lineitem", stage_opts(scale, seed));
+    let orders_opts = lambada::workloads::OrdersStageOptions {
+        rows: li_spec.total_rows,
+        num_files: 4,
+        row_groups_per_file: 3,
+        seed,
+    };
+    let ord_spec = lambada::workloads::stage_real_orders(&cloud, "tpch", "orders", orders_opts);
+    let join_workers = 3;
+    let agg_workers = 4;
+    let mut system = Lambada::install(
+        &cloud,
+        LambadaConfig {
+            join_workers: Some(join_workers),
+            agg: AggStrategy::Exchange { workers: Some(agg_workers) },
+            ..LambadaConfig::default()
+        },
+    );
+    system.register_table(li_spec);
+    system.register_table(ord_spec);
+
+    // Reference: the exact same rows, executed locally.
+    let mut cat = reference_catalog(scale, seed);
+    let ord_schema = Arc::new(lambada::workloads::orders_schema());
+    let ord_batches: Vec<RecordBatch> =
+        lambada::workloads::loader::generate_orders_file_columns(orders_opts)
+            .into_iter()
+            .map(|cols| RecordBatch::new(Arc::clone(&ord_schema), cols).unwrap())
+            .collect();
+    cat.register(
+        "orders",
+        Rc::new(lambada::engine::MemTable::new(ord_schema, ord_batches).unwrap()),
+    );
+    let plan = lambada::workloads::q3("lineitem", "orders");
+    let reference =
+        execute_into_batch(&lambada::engine::Optimizer::new().optimize(&plan).unwrap(), &cat)
+            .unwrap();
+
+    let report = sim.block_on({
+        let plan = plan.clone();
+        async move { system.run_query(&plan).await.unwrap() }
+    });
+    assert_batches_close(&report.batch, &reference);
+    assert_eq!(report.batch.num_rows(), 10, "top-10 post-op applied on the driver");
+
+    // The full DAG ran: two scan fleets, the join fleet, the merge fleet.
+    assert_eq!(report.stages.len(), 4);
+    let labels: Vec<&str> = report.stages.iter().map(|s| s.label.as_str()).collect();
+    assert!(labels[0].starts_with("scan:") && labels[1].starts_with("scan:"));
+    assert_eq!(&labels[2..], ["join", "agg"]);
+    let scans = &report.stages[..2];
+    let join = &report.stages[2];
+    let agg = &report.stages[3];
+    assert_eq!(join.workers, join_workers);
+    assert_eq!(agg.workers, agg_workers);
+    // High cardinality really reached the merge fleet: far more groups
+    // than Q1's four, all finalized serverlessly.
+    assert!(agg.rows_out > 100, "{} groups finalized by the merge fleet", agg.rows_out);
+
+    // Request counts match the stage-edge cost model (writes exact, GETs
+    // bounded by senders × receivers since empty sections are skipped).
+    let buckets = system_buckets();
+    let scan_senders: usize = scans.iter().map(|s| s.workers).sum();
+    let join_edge = stage_edge_counts(scan_senders as f64, join_workers as f64, buckets);
+    assert_eq!(
+        scans.iter().map(|s| s.put_requests).sum::<u64>(),
+        join_edge.writes as u64,
+        "one write-combined PUT per scan worker"
+    );
+    assert!(join.get_requests >= 1 && join.get_requests <= join_edge.reads as u64);
+    assert!(join.list_requests >= 1 && join.list_requests <= join_edge.lists as u64);
+    let agg_edge = stage_edge_counts(join_workers as f64, agg_workers as f64, buckets);
+    assert_eq!(
+        join.put_requests, agg_edge.writes as u64,
+        "one write-combined shard PUT per join worker"
+    );
+    assert!(agg.get_requests >= 1 && agg.get_requests <= agg_edge.reads as u64);
+    assert!(agg.list_requests >= 1 && agg.list_requests <= agg_edge.lists as u64);
+    // Merge workers upload finalized batches (no driver merge): one PUT
+    // per merge worker that owned at least one group.
+    assert!(agg.put_requests >= 1 && agg.put_requests <= agg_workers as u64);
+    // Both exchange edges carried bytes.
+    assert!(scans.iter().all(|s| s.bytes_exchanged > 0));
+    assert!(join.bytes_exchanged > 0, "join fleet exchanged grouped state shards");
+}
+
+fn system_buckets() -> f64 {
+    LambadaConfig::default().exchange.num_buckets as f64
 }
 
 #[test]

@@ -294,3 +294,96 @@ fn exchange_runs_through_faas_workers() {
     // Exchange spans were traced for Fig 13-style analysis.
     assert_eq!(cloud.trace.spans("exchange_write").len(), total * 2);
 }
+
+/// Exchange-edge keys are namespaced per installation *and* per query:
+/// two concurrent installs of the same query shape on one cloud — same
+/// table name, same stage indices, same fleet sizes — must never read
+/// each other's shuffle files. A collision would either mix the two
+/// tables' groups or trip the sender-count discovery, so disjoint,
+/// correct results prove isolation.
+#[test]
+fn concurrent_installs_never_collide_on_exchange_keys() {
+    use lambada::core::{AggStrategy, Lambada, LambadaConfig};
+    use lambada::engine::{AggExpr, AggFunc, DataType, Field, Schema};
+    use lambada::workloads::stage_table_real;
+
+    let schema =
+        || Schema::new(vec![Field::new("g", DataType::Int64), Field::new("v", DataType::Int64)]);
+    let table = |offset: i64| -> Vec<lambada::engine::Column> {
+        vec![
+            lambada::engine::Column::I64((0..60).map(|i| offset + i).collect()),
+            lambada::engine::Column::I64((0..60).collect()),
+        ]
+    };
+    let split = |cols: &[lambada::engine::Column]| -> Vec<Vec<lambada::engine::Column>> {
+        (0..3)
+            .map(|f| {
+                let idx: Vec<usize> = (f * 20..(f + 1) * 20).collect();
+                cols.iter().map(|c| c.gather(&idx)).collect()
+            })
+            .collect()
+    };
+    let plan = |sys: &Lambada| {
+        let df = sys.from_table("t").unwrap();
+        let g = df.col("g").unwrap();
+        df.aggregate(vec![(g, "g")], vec![AggExpr::new(AggFunc::Count, None, "cnt")])
+            .unwrap()
+            .build()
+    };
+
+    let sim = Simulation::new();
+    let cloud = Cloud::new(&sim, CloudConfig::default());
+    // Identical query shape, disjoint key domains: install A groups keys
+    // 0..60, install B keys 1000..1060.
+    let config = || LambadaConfig {
+        agg: AggStrategy::Exchange { workers: Some(3) },
+        ..LambadaConfig::default()
+    };
+    let mut sys_a = Lambada::install(&cloud, config());
+    sys_a.register_table(stage_table_real(
+        &cloud,
+        "data-a",
+        "t",
+        schema(),
+        split(&table(0)),
+        60,
+        2,
+    ));
+    let mut sys_b = Lambada::install(&cloud, config());
+    sys_b.register_table(stage_table_real(
+        &cloud,
+        "data-b",
+        "t",
+        schema(),
+        split(&table(1000)),
+        60,
+        2,
+    ));
+    let plan_a = plan(&sys_a);
+    let plan_b = plan(&sys_b);
+
+    let (a, b) = sim.block_on({
+        let cloud2 = cloud.clone();
+        async move {
+            let ha = cloud2.handle.spawn(async move { sys_a.run_query(&plan_a).await.unwrap() });
+            let hb = cloud2.handle.spawn(async move { sys_b.run_query(&plan_b).await.unwrap() });
+            (ha.await, hb.await)
+        }
+    });
+    assert_eq!(a.batch.num_rows(), 60, "install A sees exactly its own 60 groups");
+    assert_eq!(b.batch.num_rows(), 60, "install B sees exactly its own 60 groups");
+    let keys_of = |batch: &lambada::engine::RecordBatch| -> Vec<i64> {
+        let mut k: Vec<i64> =
+            (0..batch.num_rows()).map(|i| batch.row(i)[0].as_i64().unwrap()).collect();
+        k.sort_unstable();
+        k
+    };
+    assert_eq!(keys_of(&a.batch), (0..60).collect::<Vec<i64>>());
+    assert_eq!(keys_of(&b.batch), (1000..1060).collect::<Vec<i64>>());
+    for report in [&a, &b] {
+        assert_eq!(report.stages.len(), 2);
+        assert_eq!(report.stages[1].label, "agg");
+        // Each merge fleet discovered exactly its own 3 senders.
+        assert_eq!(report.stages[0].put_requests, 3);
+    }
+}
