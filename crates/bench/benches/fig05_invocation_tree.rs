@@ -26,6 +26,7 @@ fn main() {
     let payloads: Vec<WorkerPayload> = (0..total as u64)
         .map(|i| WorkerPayload {
             worker_id: i,
+            attempt: 0,
             task: WorkerTask::Noop,
             children: Vec::new(),
             result_queue: "results".to_string(),

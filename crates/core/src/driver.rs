@@ -26,7 +26,7 @@ use lambada_sim::{BillingSnapshot, Cloud};
 use crate::costmodel::ComputeCostModel;
 use crate::error::{CoreError, Result};
 use crate::exchange::{install_exchange_buckets, ExchangeConfig, ExchangeSide};
-use crate::invoke::{invoke_workers, InvocationStrategy};
+use crate::invoke::{self, invoke_workers, InvocationStrategy};
 use crate::message::{ResultPayload, WorkerMetrics, WorkerResult};
 use crate::scan::ScanConfig;
 use crate::stage::{
@@ -59,6 +59,44 @@ pub enum AggStrategy {
     Exchange { workers: Option<usize> },
 }
 
+/// Speculative re-invocation of straggling workers.
+///
+/// The driver watches per-worker result arrivals while it polls the
+/// result queue. Once at least `quantile` of a fleet has reported and
+/// the stragglers' elapsed time exceeds `multiplier ×` the median span
+/// of the workers that did report, every missing worker is re-invoked
+/// as a backup attempt. The first result per `worker_id` wins; the
+/// exchange's attempt-suffixed keys keep a backup's re-written shuffle
+/// files from ever being mixed with the original's.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SpeculationConfig {
+    pub enabled: bool,
+    /// Fraction of the fleet that must have reported before backups are
+    /// considered (the paper-era rule of thumb: react once the fastest
+    /// ~90% are in). The quorum is clamped to `workers - 1`, so on small
+    /// fleets — where `ceil(quantile × workers)` would demand the whole
+    /// fleet — a single holdout can still be speculated against.
+    pub quantile: f64,
+    /// A straggler is re-invoked once the fleet's elapsed time exceeds
+    /// `multiplier ×` the median span of the reported workers.
+    pub multiplier: f64,
+    /// Backup attempts per worker beyond the original (attempt 0).
+    pub max_attempts: u32,
+}
+
+impl Default for SpeculationConfig {
+    fn default() -> Self {
+        SpeculationConfig { enabled: false, quantile: 0.9, multiplier: 2.0, max_attempts: 1 }
+    }
+}
+
+impl SpeculationConfig {
+    /// Speculation on with the default thresholds.
+    pub fn on() -> SpeculationConfig {
+        SpeculationConfig { enabled: true, ..SpeculationConfig::default() }
+    }
+}
+
 /// System configuration fixed at installation time (§2.1's "installation").
 #[derive(Clone, Debug)]
 pub struct LambadaConfig {
@@ -85,6 +123,8 @@ pub struct LambadaConfig {
     pub join_workers: Option<usize>,
     /// Where grouped aggregates are merged and finalized.
     pub agg: AggStrategy,
+    /// Speculative re-invocation of straggling workers.
+    pub speculation: SpeculationConfig,
 }
 
 impl Default for LambadaConfig {
@@ -103,6 +143,7 @@ impl Default for LambadaConfig {
             exchange: ExchangeConfig::default(),
             join_workers: None,
             agg: AggStrategy::DriverMerge,
+            speculation: SpeculationConfig::default(),
         }
     }
 }
@@ -131,6 +172,9 @@ pub struct StageReport {
     pub get_requests: u64,
     pub put_requests: u64,
     pub list_requests: u64,
+    /// Speculative backup invocations this stage's fleet needed (0 when
+    /// no worker straggled past the speculation thresholds).
+    pub backup_invocations: u64,
 }
 
 impl StageReport {
@@ -167,6 +211,11 @@ impl QueryReport {
     pub fn dollars(&self) -> f64 {
         self.cost.total()
     }
+
+    /// Total speculative backup invocations across all stages.
+    pub fn backup_invocations(&self) -> u64 {
+        self.stages.iter().map(|s| s.backup_invocations).sum()
+    }
 }
 
 /// A Lambada installation bound to one simulated cloud.
@@ -189,6 +238,7 @@ struct StageRun {
     invoke_secs: f64,
     wall_secs: f64,
     cost: BillingSnapshot,
+    backup_invocations: u64,
 }
 
 impl Lambada {
@@ -319,8 +369,9 @@ impl Lambada {
             let wave_before = self.cloud.billing.snapshot();
             let mut handles = Vec::with_capacity(wave.len());
             for &sid in &wave {
+                // The queue is created only after the payloads built
+                // without error, so a planning failure cannot leak it.
                 let result_queue = format!("lambada-results-x{}-q{qid}-s{sid}", self.instance);
-                self.cloud.sqs.create_queue(&result_queue);
                 let payloads = match &dag.stages[sid] {
                     StageKind::Scan(scan) => self.scan_stage_payloads(
                         qid,
@@ -349,6 +400,7 @@ impl Lambada {
                         &result_queue,
                     ),
                 };
+                self.cloud.sqs.create_queue(&result_queue);
                 handles.push(self.cloud.handle.spawn(run_fleet(
                     self.cloud.clone(),
                     self.config.clone(),
@@ -397,6 +449,7 @@ impl Lambada {
                 get_requests: run.results.iter().map(|r| r.metrics.get_requests).sum(),
                 put_requests: run.results.iter().map(|r| r.metrics.put_requests).sum(),
                 list_requests: run.results.iter().map(|r| r.metrics.list_requests).sum(),
+                backup_invocations: run.backup_invocations,
             });
             if sid + 1 == dag.stages.len() {
                 final_results = run.results;
@@ -526,6 +579,7 @@ impl Lambada {
                 for (wid, chunk) in spec.files.chunks(f).enumerate() {
                     payloads.push(WorkerPayload {
                         worker_id: wid as u64,
+                        attempt: 0,
                         task: WorkerTask::Fragment(FragmentTask {
                             shared: Rc::clone(&shared),
                             files: chunk.to_vec(),
@@ -567,6 +621,7 @@ impl Lambada {
                 for (wid, chunk) in spec.files.chunks(f).enumerate() {
                     payloads.push(WorkerPayload {
                         worker_id: wid as u64,
+                        attempt: 0,
                         task: WorkerTask::ScanExchange(ScanExchangeTask {
                             shared: Rc::clone(&shared),
                             files: chunk.to_vec(),
@@ -641,6 +696,7 @@ impl Lambada {
         Ok((0..partitions)
             .map(|p| WorkerPayload {
                 worker_id: p as u64,
+                attempt: 0,
                 task: WorkerTask::Join(JoinTask { shared: Rc::clone(&shared) }),
                 children: Vec::new(),
                 result_queue: result_queue.to_string(),
@@ -672,6 +728,7 @@ impl Lambada {
         (0..partitions)
             .map(|p| WorkerPayload {
                 worker_id: p as u64,
+                attempt: 0,
                 task: WorkerTask::AggMerge(AggMergeTask { shared: Rc::clone(&shared) }),
                 children: Vec::new(),
                 result_queue: result_queue.to_string(),
@@ -739,7 +796,11 @@ impl Lambada {
 
 /// Invoke one stage's fleet and collect every worker's report. A free
 /// function over owned handles so waves of independent stages can run as
-/// concurrently spawned tasks.
+/// concurrently spawned tasks. The stage's result queue is deleted once
+/// the fleet is collected (success or failure) — per-stage queues would
+/// otherwise leak one queue per stage per query. Late reports from
+/// superseded stragglers land on the deleted queue and vanish, which is
+/// exactly first-result-wins.
 async fn run_fleet(
     cloud: Cloud,
     config: LambadaConfig,
@@ -748,36 +809,76 @@ async fn run_fleet(
 ) -> Result<StageRun> {
     let workers = payloads.len();
     let stage_start = cloud.handle.now();
-    invoke_workers(&cloud, &config.function_name, payloads, config.strategy).await?;
+    // Only the straggler watcher re-reads the assignments; don't copy a
+    // paper-scale fleet's payloads when speculation is off.
+    let retained: Vec<WorkerPayload> =
+        if config.speculation.enabled { payloads.clone() } else { Vec::new() };
+    let invoked = invoke_workers(&cloud, &config.function_name, payloads, config.strategy).await;
     let invoke_secs = (cloud.handle.now() - stage_start).as_secs_f64();
-    let results = collect_results(&cloud, &config, &result_queue, workers).await?;
+    let collected = match invoked {
+        Ok(()) => {
+            collect_results(&cloud, &config, &result_queue, workers, &retained, stage_start).await
+        }
+        Err(e) => Err(e),
+    };
+    cloud.sqs.delete_queue(&result_queue);
+    let collected = collected?;
     Ok(StageRun {
-        results,
+        results: collected.results,
         workers,
         invoke_secs,
         wall_secs: (cloud.handle.now() - stage_start).as_secs_f64(),
         // Filled in by the caller with the wave's billing delta.
         cost: BillingSnapshot::default(),
+        backup_invocations: collected.backup_invocations,
     })
+}
+
+/// What [`collect_results`] hands back: one report per worker, plus how
+/// many speculative backups the straggler watcher launched.
+struct Collected {
+    results: Vec<WorkerResult>,
+    backup_invocations: u64,
 }
 
 /// Poll the result queue until all workers reported (§3.3). Like the
 /// invoker, the driver polls from a small thread pool — with thousands
 /// of workers a single serial receive loop would dominate query latency.
+///
+/// Between receive rounds the driver plays straggler watcher: once the
+/// configured quantile of the fleet has reported and the holdouts exceed
+/// `multiplier ×` the fleet's median span, every missing worker is
+/// speculatively re-invoked (§3.3's "the driver decides", applied to
+/// silent deaths and stragglers instead of error reports). The first
+/// result per `worker_id` wins, whatever its attempt id.
 async fn collect_results(
     cloud: &Cloud,
     config: &LambadaConfig,
     queue: &str,
     workers: usize,
-) -> Result<Vec<WorkerResult>> {
+    payloads: &[WorkerPayload],
+    stage_start: lambada_sim::SimTime,
+) -> Result<Collected> {
+    let spec = config.speculation;
     let mut seen: HashSet<u64> = HashSet::with_capacity(workers);
     let mut results = Vec::with_capacity(workers);
+    // Arrival spans (launch → report) of the workers heard so far; the
+    // speculation threshold is a multiple of their median.
+    let mut spans: Vec<f64> = Vec::with_capacity(workers);
+    let mut attempts_launched: HashMap<u64, u32> = HashMap::new();
+    let mut backup_invocations = 0u64;
+    // Clamp the quorum to leave at least one reporter short: with small
+    // fleets `ceil(quantile × workers)` would otherwise equal the whole
+    // fleet and speculation could never trigger. (A one-worker fleet has
+    // no reporters to take a median from, so it never speculates.)
+    let quorum = ((spec.quantile * workers as f64).ceil() as usize)
+        .clamp(1, workers.saturating_sub(1).max(1));
     let deadline = cloud.handle.now() + config.max_wait;
     let pollers = workers.div_ceil(10).clamp(1, 16);
     while seen.len() < workers {
         if cloud.handle.now() >= deadline {
             return Err(CoreError::Timeout {
-                waited_secs: config.max_wait.as_secs_f64(),
+                waited_secs: (cloud.handle.now() - stage_start).as_secs_f64(),
                 missing_workers: workers - seen.len(),
             });
         }
@@ -791,19 +892,57 @@ async fn collect_results(
         for r in lambada_sim::sync::join_all(receives).await {
             for msg in r? {
                 let result = WorkerResult::decode(&msg)?;
-                if seen.insert(result.worker_id) {
-                    results.push(result);
+                if seen.contains(&result.worker_id) {
+                    continue; // a superseded duplicate lost the race
+                }
+                if let Err(message) = &result.outcome {
+                    // Fail fast (§3.3: errors are reported, the driver
+                    // decides): a fast OOM must not wait out the
+                    // slowest worker before surfacing. Only an
+                    // *original* attempt's error is terminal, though —
+                    // a failed backup is a lost race whose original is
+                    // still running (or will hit max_wait), so
+                    // speculation can never fail a query that would
+                    // have succeeded without it.
+                    if result.attempt == 0 {
+                        return Err(CoreError::Worker {
+                            worker_id: result.worker_id,
+                            message: message.clone(),
+                        });
+                    }
+                    continue;
+                }
+                seen.insert(result.worker_id);
+                spans.push((cloud.handle.now() - stage_start).as_secs_f64());
+                results.push(result);
+            }
+        }
+
+        if spec.enabled && seen.len() < workers && seen.len() >= quorum {
+            let mut sorted = spans.clone();
+            sorted.sort_by(f64::total_cmp);
+            let median = sorted[sorted.len() / 2];
+            let elapsed = (cloud.handle.now() - stage_start).as_secs_f64();
+            if elapsed > spec.multiplier * median {
+                let mut backups = Vec::new();
+                for p in payloads {
+                    if seen.contains(&p.worker_id) {
+                        continue;
+                    }
+                    let launched = attempts_launched.entry(p.worker_id).or_insert(0);
+                    if *launched >= spec.max_attempts {
+                        continue;
+                    }
+                    *launched += 1;
+                    backups.push(p.backup(*launched));
+                }
+                if !backups.is_empty() {
+                    backup_invocations += backups.len() as u64;
+                    invoke::invoke_backups(cloud, &config.function_name, backups).await?;
                 }
             }
         }
     }
-    // Surface the first worker error (§3.3: errors are reported, the
-    // driver decides).
-    for r in &results {
-        if let Err(message) = &r.outcome {
-            return Err(CoreError::Worker { worker_id: r.worker_id, message: message.clone() });
-        }
-    }
     results.sort_by_key(|r| r.worker_id);
-    Ok(results)
+    Ok(Collected { results, backup_invocations })
 }

@@ -18,6 +18,10 @@ pub struct WorkerEnv {
     pub s3: S3Client,
     pub sqs: SqsClient,
     pub worker_id: u64,
+    /// Attempt id of this invocation: 0 for the original, 1.. for the
+    /// driver's speculative backups. Suffixed onto every exchange key
+    /// this worker writes so duplicates stay distinguishable.
+    pub attempt: u32,
     pub costs: ComputeCostModel,
 }
 
@@ -25,7 +29,7 @@ impl WorkerEnv {
     pub fn new(cloud: &Cloud, ctx: InstanceCtx, worker_id: u64, costs: ComputeCostModel) -> Self {
         let s3 = cloud.s3.client(ctx.link(), std::time::Duration::ZERO);
         let sqs = cloud.instance_sqs();
-        WorkerEnv { cloud: cloud.clone(), ctx, s3, sqs, worker_id, costs }
+        WorkerEnv { cloud: cloud.clone(), ctx, s3, sqs, worker_id, attempt: 0, costs }
     }
 
     /// An environment outside the FaaS dispatch path (benches and tests

@@ -25,7 +25,7 @@
 //! under a caller-supplied `channel` prefix of the form
 //!
 //! ```text
-//! x{instance}/q{query}/s{stage}/snd{sender}.{rcv}_{len}...
+//! x{instance}/q{query}/s{stage}/snd{sender}a{attempt}.{rcv}_{len}...
 //! ```
 //!
 //! where `instance` is the process-unique installation id, `query` the
@@ -37,6 +37,14 @@
 //! byte offsets ride in the file *name* (the `.{rcv}_{len}` sections),
 //! which is what lets a receiver turn one LIST into ranged GETs without
 //! touching file contents (§4.4.3).
+//!
+//! The `a{attempt}` component makes the exchange *duplicate-tolerant*:
+//! when the driver speculatively re-invokes a straggling producer, the
+//! backup writes a fresh file under the next attempt id instead of
+//! overwriting the original's. Receivers collapse the listing to one
+//! file per sender with a deterministic highest-attempt-wins rule, so
+//! sections of different attempts are never combined and duplicate
+//! files from one sender never satisfy the wait for another.
 //!
 //! Payloads are either real bytes (tests, small-scale validation) or
 //! modeled sizes ([`PartData::Modeled`]) for paper-scale runs; modeled
@@ -257,32 +265,64 @@ fn decode_bundle(body: Body, side_sizes: Vec<(u32, u64)>) -> Result<Vec<(u32, Pa
     }
 }
 
-/// Offsets encoded into write-combined file names (§4.4.3 variant 2):
-/// `snd{p}.{rcv}_{len}.{rcv}_{len}...`
-fn wc_name(run: u64, round: usize, group: usize, sender: usize, sections: &[(u32, u64)]) -> String {
-    wc_key(&format!("x{run}/r{round}/g{group}"), sender, sections)
+/// Offsets encoded into write-combined file names (§4.4.3 variant 2),
+/// extended with the sender's attempt id so speculative backup workers
+/// never overwrite or get mixed with the original's file:
+/// `snd{p}a{attempt}.{rcv}_{len}.{rcv}_{len}...`
+fn wc_name(
+    run: u64,
+    round: usize,
+    group: usize,
+    sender: usize,
+    attempt: u32,
+    sections: &[(u32, u64)],
+) -> String {
+    wc_key(&format!("x{run}/r{round}/g{group}"), sender, attempt, sections)
 }
 
 /// Same name scheme under an arbitrary prefix (stage-edge exchanges).
-fn wc_key(prefix: &str, sender: usize, sections: &[(u32, u64)]) -> String {
-    let mut name = format!("{prefix}/snd{sender}");
+fn wc_key(prefix: &str, sender: usize, attempt: u32, sections: &[(u32, u64)]) -> String {
+    let mut name = format!("{prefix}/snd{sender}a{attempt}");
     for (rcv, len) in sections {
         name.push_str(&format!(".{rcv}_{len}"));
     }
     name
 }
 
-fn parse_wc_sections(key: &str) -> Result<(usize, Vec<(u32, u64)>)> {
+/// Parse `snd{p}` or `snd{p}a{attempt}` (a bare suffix is attempt 0).
+fn parse_sender_attempt(token: &str, key: &str) -> Result<(usize, u32)> {
+    let body = token
+        .strip_prefix("snd")
+        .ok_or_else(|| CoreError::Storage(format!("bad exchange key {key}")))?;
+    let (snd, attempt) =
+        match body.split_once('a') {
+            Some((s, a)) => (
+                s.parse::<usize>().ok(),
+                Some(a.parse::<u32>().map_err(|_| {
+                    CoreError::Storage(format!("bad attempt in exchange key {key}"))
+                })?),
+            ),
+            None => (body.parse::<usize>().ok(), Some(0)),
+        };
+    match (snd, attempt) {
+        (Some(s), Some(a)) => Ok((s, a)),
+        _ => Err(CoreError::Storage(format!("bad exchange key {key}"))),
+    }
+}
+
+/// A parsed write-combined key: sender id, attempt id, name sections.
+type ParsedWcKey = (usize, u32, BundleSizes);
+
+fn parse_wc_sections(key: &str) -> Result<ParsedWcKey> {
     let tail = key
         .rsplit('/')
         .next()
         .ok_or_else(|| CoreError::Storage(format!("bad exchange key {key}")))?;
     let mut parts = tail.split('.');
-    let snd = parts
-        .next()
-        .and_then(|s| s.strip_prefix("snd"))
-        .and_then(|s| s.parse::<usize>().ok())
-        .ok_or_else(|| CoreError::Storage(format!("bad exchange key {key}")))?;
+    let (snd, attempt) = parse_sender_attempt(
+        parts.next().ok_or_else(|| CoreError::Storage(format!("bad exchange key {key}")))?,
+        key,
+    )?;
     let mut sections = Vec::new();
     for item in parts {
         let (rcv, len) = item
@@ -292,7 +332,25 @@ fn parse_wc_sections(key: &str) -> Result<(usize, Vec<(u32, u64)>)> {
         let len = len.parse::<u64>().map_err(|_| CoreError::Storage(format!("bad key {key}")))?;
         sections.push((rcv, len));
     }
-    Ok((snd, sections))
+    Ok((snd, attempt, sections))
+}
+
+/// Collapse a listing to one file per sender with a deterministic
+/// highest-attempt-wins rule, so a speculative backup's re-written
+/// shuffle file can never be combined with the original's. Sections are
+/// per-file, so whichever attempt wins is read self-consistently.
+fn dedupe_listing(listing: &[(String, u64)]) -> Result<HashMap<usize, (u32, String, BundleSizes)>> {
+    let mut found: HashMap<usize, (u32, String, BundleSizes)> = HashMap::new();
+    for (key, _) in listing {
+        let (snd, attempt, sections) = parse_wc_sections(key)?;
+        match found.get(&snd) {
+            Some((best, _, _)) if *best >= attempt => {}
+            _ => {
+                found.insert(snd, (attempt, key.clone(), sections));
+            }
+        }
+    }
+    Ok(found)
 }
 
 /// Run one worker's side of the exchange. `parts[d]` is the data this
@@ -358,7 +416,7 @@ pub async fn run_exchange(
                     side_entries.push((rcv as u32, sizes));
                 }
             }
-            let key = wc_name(cfg.run_id, round_idx, gid, p, &name_sections);
+            let key = wc_name(cfg.run_id, round_idx, gid, p, env.attempt, &name_sections);
             let bucket = cfg.bucket_of(gid);
             let body = if any_synthetic {
                 Body::Synthetic(synthetic_total + file_bytes.len() as u64)
@@ -373,7 +431,8 @@ pub async fn run_exchange(
             let mut puts = Vec::new();
             for (&target, bundle) in &bundles {
                 let (body, sizes) = encode_bundle(bundle)?;
-                let key = format!("x{}/r{round_idx}/rcv{target}/snd{p}", cfg.run_id);
+                let key =
+                    format!("x{}/r{round_idx}/rcv{target}/snd{p}a{}", cfg.run_id, env.attempt);
                 let bucket = cfg.bucket_of(target);
                 if let Some(sizes) = sizes {
                     side.put(format!("{bucket}/{key}"), target as u32, sizes);
@@ -477,7 +536,7 @@ pub async fn exchange_stage_write(
             side_entries.push((rcv as u32, sizes));
         }
     }
-    let key = wc_key(channel, sender, &name_sections);
+    let key = wc_key(channel, sender, env.attempt, &name_sections);
     let bucket = cfg.bucket_of(sender);
     let body = if any_synthetic {
         Body::Synthetic(synthetic_total + file_bytes.len() as u64)
@@ -531,14 +590,10 @@ pub async fn exchange_stage_read(
         loop {
             let listing = env.s3.list(&bucket, &prefix).await?;
             stats.list_requests += 1;
-            let mut found: HashMap<usize, (String, Vec<(u32, u64)>)> = HashMap::new();
-            for (key, _) in &listing {
-                let (snd, sections) = parse_wc_sections(key)?;
-                found.insert(snd, (key.clone(), sections));
-            }
+            let found = dedupe_listing(&listing)?;
             if expected.iter().all(|s| found.contains_key(s)) {
                 for s in &expected {
-                    let (key, sections) = &found[s];
+                    let (_, key, sections) = &found[s];
                     let mut offset = 0u64;
                     let mut my_len = None;
                     for (rcv, len) in sections {
@@ -558,7 +613,7 @@ pub async fn exchange_stage_read(
             polls += 1;
             if polls >= cfg.max_polls {
                 return Err(CoreError::Timeout {
-                    waited_secs: cfg.poll_interval.as_secs_f64() * polls as f64,
+                    waited_secs: (env.cloud.handle.now() - wait_start).as_secs_f64(),
                     missing_workers: expected.iter().filter(|s| !found.contains_key(s)).count(),
                 });
             }
@@ -611,7 +666,9 @@ fn backoff(base: std::time::Duration, polls: usize) -> std::time::Duration {
 }
 
 /// Poll LISTs until every expected sender's file for this round is
-/// visible; returns the file references this worker must read.
+/// visible; returns the file references this worker must read. Listings
+/// are deduped per sender (highest attempt wins), so speculative backup
+/// workers are safe duplicates rather than phantom extra senders.
 async fn wait_for_senders(
     env: &WorkerEnv,
     cfg: &ExchangeConfig,
@@ -619,6 +676,7 @@ async fn wait_for_senders(
     round_idx: usize,
     round: &RoundPlan,
 ) -> Result<Vec<FileRef>> {
+    let wait_start = env.cloud.handle.now();
     if cfg.write_combining {
         // Senders' files live under their group prefix; group senders by
         // (bucket, prefix) and poll each until all expected names appear.
@@ -634,14 +692,10 @@ async fn wait_for_senders(
             let mut polls = 0;
             loop {
                 let listing = env.s3.list(&bucket, &prefix).await?;
-                let mut found: HashMap<usize, (String, Vec<(u32, u64)>)> = HashMap::new();
-                for (key, _) in &listing {
-                    let (snd, sections) = parse_wc_sections(key)?;
-                    found.insert(snd, (key.clone(), sections));
-                }
+                let found = dedupe_listing(&listing)?;
                 if expected.iter().all(|s| found.contains_key(s)) {
                     for s in &expected {
-                        let (key, sections) = &found[s];
+                        let (_, key, sections) = &found[s];
                         let mut offset = 0u64;
                         let mut my_len = None;
                         for (rcv, len) in sections {
@@ -661,7 +715,7 @@ async fn wait_for_senders(
                 polls += 1;
                 if polls >= cfg.max_polls {
                     return Err(CoreError::Timeout {
-                        waited_secs: cfg.poll_interval.as_secs_f64() * polls as f64,
+                        waited_secs: (env.cloud.handle.now() - wait_start).as_secs_f64(),
                         missing_workers: expected.iter().filter(|s| !found.contains_key(s)).count(),
                     });
                 }
@@ -675,17 +729,28 @@ async fn wait_for_senders(
         let mut polls = 0;
         loop {
             let listing = env.s3.list(&bucket, &prefix).await?;
-            if listing.len() >= round.senders.len() {
-                return Ok(listing
-                    .into_iter()
-                    .map(|(key, _)| (bucket.clone(), key, None, None))
+            // "Enough files" is not "all senders": duplicate attempts
+            // from one sender must not mask another still missing, so
+            // dedupe per sender id and require the distinct set. (These
+            // per-receiver keys carry no name sections; the whole file
+            // is fetched.)
+            let found = dedupe_listing(&listing)?;
+            if round.senders.iter().all(|s| found.contains_key(s)) {
+                return Ok(round
+                    .senders
+                    .iter()
+                    .map(|s| (bucket.clone(), found[s].1.clone(), None, None))
                     .collect());
             }
             polls += 1;
             if polls >= cfg.max_polls {
                 return Err(CoreError::Timeout {
-                    waited_secs: cfg.poll_interval.as_secs_f64() * polls as f64,
-                    missing_workers: round.senders.len() - listing.len(),
+                    waited_secs: (env.cloud.handle.now() - wait_start).as_secs_f64(),
+                    missing_workers: round
+                        .senders
+                        .iter()
+                        .filter(|s| !found.contains_key(s))
+                        .count(),
                 });
             }
             env.cloud.handle.sleep(backoff(cfg.poll_interval, polls)).await;

@@ -47,7 +47,9 @@ pub mod table;
 pub mod worker;
 
 pub use costmodel::ComputeCostModel;
-pub use driver::{AggStrategy, Lambada, LambadaConfig, QueryReport, StageReport};
+pub use driver::{
+    AggStrategy, Lambada, LambadaConfig, QueryReport, SpeculationConfig, StageReport,
+};
 pub use env::WorkerEnv;
 pub use error::{CoreError, Result};
 pub use exchange::{
@@ -57,13 +59,13 @@ pub use exchange::{
 pub use exchange_cost::{
     request_counts, request_dollars, stage_edge_counts, ExchangeAlgo, RequestCounts,
 };
-pub use invoke::{invoke_workers, InvocationStrategy};
+pub use invoke::{invoke_backups, invoke_workers, InvocationStrategy};
 pub use message::{ResultPayload, WorkerMetrics, WorkerResult};
 pub use scan::{scan_table, ScanConfig, ScanItem, ScanMetrics};
 pub use stage::{QueryDag, SplitOptions, StageKind};
 pub use table::{TableFile, TableSpec};
 pub use worker::{
-    register_worker_function, AggMergeShared, AggMergeTask, ExchangeTask, FragmentShared,
-    FragmentTask, JoinOutput, JoinShared, JoinTask, ScanExchangeShared, ScanExchangeTask,
-    WorkerPayload, WorkerTask,
+    inject_worker_faults, register_worker_function, AggMergeShared, AggMergeTask, ExchangeTask,
+    FragmentShared, FragmentTask, JoinOutput, JoinShared, JoinTask, ScanExchangeShared,
+    ScanExchangeTask, WorkerPayload, WorkerTask,
 };

@@ -92,13 +92,17 @@ pub enum ResultPayload {
 #[derive(Clone, Debug, PartialEq)]
 pub struct WorkerResult {
     pub worker_id: u64,
+    /// Which invocation attempt produced this result: 0 for the
+    /// original, 1.. for speculative backups. The driver keeps the first
+    /// result per `worker_id` regardless of attempt.
+    pub attempt: u32,
     pub outcome: std::result::Result<ResultPayload, String>,
     pub metrics: WorkerMetrics,
 }
 
 impl WorkerResult {
     pub fn ok(worker_id: u64, payload: ResultPayload, metrics: WorkerMetrics) -> WorkerResult {
-        WorkerResult { worker_id, outcome: Ok(payload), metrics }
+        WorkerResult { worker_id, attempt: 0, outcome: Ok(payload), metrics }
     }
 
     pub fn error(
@@ -106,12 +110,19 @@ impl WorkerResult {
         message: impl Into<String>,
         metrics: WorkerMetrics,
     ) -> WorkerResult {
-        WorkerResult { worker_id, outcome: Err(message.into()), metrics }
+        WorkerResult { worker_id, attempt: 0, outcome: Err(message.into()), metrics }
+    }
+
+    /// Tag this result with the attempt id that produced it.
+    pub fn with_attempt(mut self, attempt: u32) -> WorkerResult {
+        self.attempt = attempt;
+        self
     }
 
     pub fn encode(&self) -> Vec<u8> {
         let mut w = BinWriter::new();
         w.varint(self.worker_id);
+        w.varint(u64::from(self.attempt));
         match &self.outcome {
             Ok(ResultPayload::AggState(bytes)) => {
                 w.u8(0);
@@ -144,6 +155,7 @@ impl WorkerResult {
         let mut r = BinReader::new(bytes);
         let inner = (|| -> std::result::Result<WorkerResult, FormatError> {
             let worker_id = r.varint()?;
+            let attempt = r.varint()? as u32;
             let outcome = match r.u8()? {
                 0 => Ok(ResultPayload::AggState(r.bytes()?.to_vec())),
                 1 => Ok(ResultPayload::StoredBatches {
@@ -159,7 +171,7 @@ impl WorkerResult {
                 }
             };
             let metrics = WorkerMetrics::decode(&mut r)?;
-            Ok(WorkerResult { worker_id, outcome, metrics })
+            Ok(WorkerResult { worker_id, attempt, outcome, metrics })
         })();
         inner.map_err(|e| CoreError::Format(e.to_string()))
     }
@@ -190,6 +202,14 @@ mod tests {
     fn agg_result_roundtrip() {
         let msg = WorkerResult::ok(7, ResultPayload::AggState(vec![1, 2, 3]), metrics());
         assert_eq!(WorkerResult::decode(&msg.encode()).unwrap(), msg);
+    }
+
+    #[test]
+    fn backup_attempt_roundtrips() {
+        let msg = WorkerResult::ok(7, ResultPayload::Empty, metrics()).with_attempt(2);
+        let got = WorkerResult::decode(&msg.encode()).unwrap();
+        assert_eq!(got.attempt, 2);
+        assert_eq!(got, msg);
     }
 
     #[test]

@@ -183,10 +183,30 @@ pub enum WorkerTask {
 #[derive(Clone)]
 pub struct WorkerPayload {
     pub worker_id: u64,
+    /// 0 for the original invocation; speculative backups of a straggler
+    /// carry 1.. so their exchange writes and result reports stay
+    /// distinguishable from the original's.
+    pub attempt: u32,
     pub task: WorkerTask,
     /// Second-generation workers to invoke before running `task` (§4.2).
     pub children: Vec<Rc<WorkerPayload>>,
     pub result_queue: String,
+}
+
+impl WorkerPayload {
+    /// The same assignment re-issued as a speculative backup: next
+    /// attempt id, no children (every missing worker is re-invoked
+    /// individually, so a dead first-generation worker's subtree is
+    /// recovered leaf by leaf).
+    pub fn backup(&self, attempt: u32) -> WorkerPayload {
+        WorkerPayload {
+            worker_id: self.worker_id,
+            attempt,
+            task: self.task.clone(),
+            children: Vec::new(),
+            result_queue: self.result_queue.clone(),
+        }
+    }
 }
 
 /// Register the Lambada worker function on the cloud. Re-registering
@@ -219,6 +239,21 @@ pub fn faas(cloud: &Cloud) -> &FaasService {
     &cloud.faas
 }
 
+/// Install a per-worker fault injector on the cloud's FaaS service:
+/// `decide(worker_id, attempt)` picks the fault (if any) for each
+/// Lambada worker invocation. Straggler/failure experiments use this to
+/// make worker *k* slow or kill it mid-flight through the real dispatch
+/// path — e.g. `(wid == 3 && attempt == 0).then(|| InjectedFault::slowdown(10.0))`
+/// slows only the original attempt, so the speculative backup recovers.
+pub fn inject_worker_faults<F>(cloud: &Cloud, decide: F)
+where
+    F: Fn(u64, u32) -> Option<lambada_sim::InjectedFault> + 'static,
+{
+    cloud.faas.set_fault_injector(Rc::new(move |payload: &dyn std::any::Any| {
+        payload.downcast_ref::<WorkerPayload>().and_then(|p| decide(p.worker_id, p.attempt))
+    }));
+}
+
 async fn run_handler(
     cloud: Cloud,
     function: String,
@@ -229,7 +264,8 @@ async fn run_handler(
     let wid = payload.worker_id;
     let now = cloud.handle.now();
     cloud.trace.record(wid, invoke::labels::RUNNING, now, now);
-    let env = WorkerEnv::new(&cloud, ctx, wid, costs);
+    let mut env = WorkerEnv::new(&cloud, ctx, wid, costs);
+    env.attempt = payload.attempt;
 
     // Invoke second-generation workers first (§4.2).
     if !payload.children.is_empty() {
@@ -241,7 +277,8 @@ async fn run_handler(
                 wid,
                 format!("child invocation failed: {e}"),
                 WorkerMetrics::default(),
-            );
+            )
+            .with_attempt(payload.attempt);
             let _ = env.sqs.send(&payload.result_queue, msg.encode()).await;
             return;
         }
@@ -266,7 +303,8 @@ async fn run_handler(
             };
             WorkerResult::error(wid, e.to_string(), metrics)
         }
-    };
+    }
+    .with_attempt(payload.attempt);
     // Success or error, the handler posts a message to the result queue
     // from which the driver polls (§3.3).
     let _ = env.sqs.send(&payload.result_queue, msg.encode()).await;

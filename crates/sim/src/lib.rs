@@ -56,5 +56,6 @@ pub use executor::{JoinHandle, SimHandle, Simulation};
 pub use region::Region;
 pub use resource::{BurstLink, BurstLinkConfig, PsResource, TokenBucket};
 pub use rng::SimRng;
+pub use services::faas::{FaultInjector, InjectedFault};
 pub use time::{millis, secs, SimTime};
 pub use trace::{Trace, TraceEvent};

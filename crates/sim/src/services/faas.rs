@@ -39,6 +39,54 @@ type LocalBoxFuture = Pin<Box<dyn Future<Output = ()>>>;
 /// The code of a function: maps an instance context and payload to a future.
 pub type Handler = Rc<dyn Fn(InstanceCtx, InvokePayload) -> LocalBoxFuture>;
 
+/// A fault injected into one invocation (straggler / failure experiments).
+///
+/// Generalizes the bench-only NIC degradation of
+/// `WorkerEnv::bare_with_nic_factor` to the real FaaS dispatch path, so
+/// end-to-end tests can make worker *k* of a fleet slow or kill it
+/// mid-flight without bypassing invocation, cold starts, or timeouts.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct InjectedFault {
+    /// Multiplier on the handler's compute charges (> 1 slows it down).
+    pub compute_factor: f64,
+    /// Multiplier on the container's NIC bandwidth (< 1 slows transfers).
+    pub nic_factor: f64,
+    /// Kill the invocation silently after this much execution time — the
+    /// same silent death as a function timeout, but per invocation.
+    pub kill_after: Option<Duration>,
+}
+
+impl Default for InjectedFault {
+    fn default() -> Self {
+        InjectedFault { compute_factor: 1.0, nic_factor: 1.0, kill_after: None }
+    }
+}
+
+impl InjectedFault {
+    /// A straggler: compute slowed and NIC degraded by `factor`.
+    pub fn slowdown(factor: f64) -> InjectedFault {
+        InjectedFault {
+            compute_factor: factor.max(1.0),
+            nic_factor: (1.0 / factor.max(1.0)).min(1.0),
+            ..InjectedFault::default()
+        }
+    }
+
+    /// A silent mid-flight death after `after` of execution.
+    pub fn kill(after: Duration) -> InjectedFault {
+        InjectedFault { kill_after: Some(after), ..InjectedFault::default() }
+    }
+
+    fn degrades_nic(&self) -> bool {
+        self.nic_factor != 1.0
+    }
+}
+
+/// Decides, per invocation, whether to inject a fault. The callback sees
+/// the raw payload (`&dyn Any`); callers that know the concrete payload
+/// type downcast it to target specific workers/attempts.
+pub type FaultInjector = Rc<dyn Fn(&dyn Any) -> Option<InjectedFault>>;
+
 /// Service-level tunables.
 #[derive(Clone, Debug)]
 pub struct FaasConfig {
@@ -213,6 +261,7 @@ struct Function {
     invocations: u64,
     cold_starts: u64,
     timeouts: u64,
+    injected_kills: u64,
 }
 
 struct FaasInner {
@@ -231,6 +280,7 @@ pub struct FaasService {
     billing: Billing,
     rng: SimRng,
     trace: Trace,
+    injector: Rc<RefCell<Option<FaultInjector>>>,
 }
 
 impl FaasService {
@@ -252,7 +302,25 @@ impl FaasService {
             billing,
             rng,
             trace,
+            injector: Rc::new(RefCell::new(None)),
         }
+    }
+
+    /// Install a per-invocation fault injector (replaces any previous
+    /// one). Every subsequent execution consults it with the invocation
+    /// payload; `None` leaves the invocation untouched.
+    pub fn set_fault_injector(&self, injector: FaultInjector) {
+        *self.injector.borrow_mut() = Some(injector);
+    }
+
+    /// Remove the fault injector.
+    pub fn clear_fault_injector(&self) {
+        *self.injector.borrow_mut() = None;
+    }
+
+    /// Number of invocations of `name` silently killed by injected faults.
+    pub fn injected_kills(&self, name: &str) -> u64 {
+        self.inner.borrow().functions.get(name).map_or(0, |f| f.injected_kills)
     }
 
     /// Register (or replace) a function. Replacing drops all warm
@@ -269,6 +337,7 @@ impl FaasService {
                 invocations: 0,
                 cold_starts: 0,
                 timeouts: 0,
+                injected_kills: 0,
             },
         );
     }
@@ -322,8 +391,12 @@ impl FaasService {
 
     async fn execute(&self, name: &str, payload: InvokePayload) {
         let _permit = self.concurrency.acquire(1).await;
+        let fault = {
+            let injector = self.injector.borrow();
+            injector.as_ref().and_then(|f| f(&*payload))
+        };
         // Take a warm container or start a cold one.
-        let (instance, handler, cold, timeout, mem_gib) = {
+        let (mut instance, handler, cold, timeout, mem_gib) = {
             let mut inner = self.inner.borrow_mut();
             let next_id = inner.next_instance;
             let f = inner.functions.get_mut(name).expect("function checked at invoke");
@@ -351,6 +424,21 @@ impl FaasService {
             let f = inner.functions.get(name).expect("function exists");
             (instance, Rc::clone(&f.handler), cold, f.spec.timeout, f.spec.memory_gib())
         };
+        // An NIC fault gets a dedicated degraded container (never returned
+        // to the warm pool, so healthy invocations stay unaffected).
+        if let Some(fault) = fault.filter(InjectedFault::degrades_nic) {
+            let mut nic = self.nic.link_config(instance.memory_mib);
+            nic.sustained *= fault.nic_factor;
+            nic.burst *= fault.nic_factor;
+            nic.per_conn *= fault.nic_factor;
+            nic.credit_cap *= fault.nic_factor;
+            instance = Rc::new(Instance {
+                id: instance.id,
+                memory_mib: instance.memory_mib,
+                cpu: PsResource::new(self.handle.clone(), cpu_share(instance.memory_mib), 1.0),
+                link: BurstLink::new(self.handle.clone(), nic),
+            });
+        }
 
         let init_start = self.handle.now();
         if cold {
@@ -364,14 +452,18 @@ impl FaasService {
         self.trace.record(instance.id, "faas_init", init_start, self.handle.now());
 
         let start = self.handle.now();
+        let base_penalty = if cold { self.cfg.cold_compute_penalty } else { 1.0 };
         let ctx = InstanceCtx {
             handle: self.handle.clone(),
             instance: Rc::clone(&instance),
             cold,
-            compute_penalty: if cold { self.cfg.cold_compute_penalty } else { 1.0 },
+            compute_penalty: base_penalty * fault.map_or(1.0, |f| f.compute_factor.max(1.0)),
         };
         let fut = handler(ctx, payload);
-        let timed_out = matches!(select2(fut, self.handle.sleep(timeout)).await, Either::Right(()));
+        // The handler races the function timeout and (if injected) the
+        // kill point — both end in the same silent death.
+        let death = fault.and_then(|f| f.kill_after).map_or(timeout, |k| k.min(timeout));
+        let died = matches!(select2(fut, self.handle.sleep(death)).await, Either::Right(()));
         let end = self.handle.now();
         self.billing.record_lambda_duration(
             mem_gib,
@@ -380,11 +472,15 @@ impl FaasService {
         );
         self.trace.record(instance.id, "faas_exec", start, end);
 
+        let killed = died && fault.and_then(|f| f.kill_after).is_some_and(|k| k < timeout);
+        let degraded = fault.is_some_and(|f| f.degrades_nic());
         let mut inner = self.inner.borrow_mut();
         if let Some(f) = inner.functions.get_mut(name) {
-            if timed_out {
+            if killed {
+                f.injected_kills += 1; // container discarded; silent death
+            } else if died {
                 f.timeouts += 1; // container is discarded; the worker died silently
-            } else {
+            } else if !degraded {
                 f.warm.push_back(instance);
             }
         }

@@ -88,6 +88,20 @@ impl QueueService {
         }
     }
 
+    /// Delete a queue (control-plane, free). Pending messages are
+    /// dropped, later sends fail with [`SqsError::NoSuchQueue`] and
+    /// in-flight receives drain nothing more — close enough to SQS for
+    /// the driver's per-stage result queues, which would otherwise leak
+    /// one queue per stage per query.
+    pub fn delete_queue(&self, name: &str) {
+        self.st.borrow_mut().remove(name);
+    }
+
+    /// Number of queues currently in existence (leak checks in tests).
+    pub fn queue_count(&self) -> usize {
+        self.st.borrow().len()
+    }
+
     /// Messages currently queued.
     pub fn depth(&self, name: &str) -> usize {
         self.st.borrow().get(name).map(|q| q.borrow().messages.len()).unwrap_or(0)
@@ -239,6 +253,22 @@ mod tests {
         });
         assert_eq!(got.len(), 10, "AWS caps receive batches at 10");
         assert_eq!(svc.depth("q"), 5);
+    }
+
+    #[test]
+    fn delete_queue_drops_messages_and_rejects_sends() {
+        let sim = Simulation::new();
+        let (svc, client, _) = setup(&sim);
+        svc.create_queue("q");
+        assert_eq!(svc.queue_count(), 1);
+        let err = sim.block_on(async move {
+            client.send("q", vec![1]).await.unwrap();
+            client.svc.delete_queue("q");
+            client.send("q", vec![2]).await.unwrap_err()
+        });
+        assert_eq!(err, SqsError::NoSuchQueue("q".to_string()));
+        assert_eq!(svc.queue_count(), 0);
+        assert_eq!(svc.depth("q"), 0);
     }
 
     #[test]

@@ -259,6 +259,7 @@ fn exchange_runs_through_faas_workers() {
     let payloads: Vec<WorkerPayload> = (0..total as u64)
         .map(|i| WorkerPayload {
             worker_id: i,
+            attempt: 0,
             task: WorkerTask::Exchange(ExchangeTask {
                 cfg: cfg.clone(),
                 total,
@@ -293,6 +294,112 @@ fn exchange_runs_through_faas_workers() {
     }
     // Exchange spans were traced for Fig 13-style analysis.
     assert_eq!(cloud.trace.spans("exchange_write").len(), total * 2);
+}
+
+/// Run an exchange where worker `p` holds payload `"{p}->{d}"` for every
+/// destination `d`, with `duplicates[p]` additional backup attempts of
+/// worker `p` running the same exchange concurrently (each delayed by
+/// `delay_ms[p]` virtual milliseconds, so attempts interleave every
+/// which way). Returns each *original* worker's received parts, sorted.
+fn run_exchange_with_duplicates(
+    total: usize,
+    cfg: ExchangeConfig,
+    duplicates: &[u32],
+    delay_ms: &[u64],
+) -> Vec<Vec<(u32, Vec<u8>)>> {
+    let sim = Simulation::new();
+    let cloud = Cloud::new(&sim, CloudConfig::default());
+    install_exchange_buckets(&cloud, &cfg);
+    let side = ExchangeSide::new();
+    let spawn_worker = |p: usize, attempt: u32, delay: u64| {
+        let mut env = worker_envs(&cloud, total, 2048).swap_remove(p);
+        env.worker_id = p as u64;
+        env.attempt = attempt;
+        let cfg = cfg.clone();
+        let side = side.clone();
+        cloud.handle.spawn(async move {
+            env.cloud.handle.sleep(std::time::Duration::from_millis(delay)).await;
+            let parts: Vec<PartData> =
+                (0..total).map(|d| PartData::Real(format!("{p}->{d}").into_bytes())).collect();
+            run_exchange(&env, &cfg, p, total, parts, &side).await.unwrap()
+        })
+    };
+    let originals: Vec<_> = (0..total).map(|p| spawn_worker(p, 0, 0)).collect();
+    let mut backups = Vec::new();
+    for (p, &extra) in duplicates.iter().enumerate().take(total) {
+        for attempt in 1..=extra {
+            backups.push(spawn_worker(p, attempt, delay_ms.get(p).copied().unwrap_or(0)));
+        }
+    }
+    let outcomes = sim.block_on({
+        let handle = cloud.handle.clone();
+        async move {
+            let outcomes = lambada::sim::sync::join_all(originals).await;
+            // Drain the backups too: they must complete without error.
+            let _ = lambada::sim::sync::join_all(backups).await;
+            let _ = handle;
+            outcomes
+        }
+    });
+    outcomes
+        .into_iter()
+        .map(|o| {
+            let mut received: Vec<(u32, Vec<u8>)> = o
+                .received
+                .into_iter()
+                .map(|(d, data)| match data {
+                    PartData::Real(b) => (d, b),
+                    PartData::Modeled(_) => panic!("real exchange"),
+                })
+                .collect();
+            received.sort();
+            received
+        })
+        .collect()
+}
+
+mod duplicate_tolerance {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_algo_wc() -> impl Strategy<Value = (ExchangeAlgo, bool)> {
+        prop_oneof![
+            Just((ExchangeAlgo::OneLevel, false)),
+            Just((ExchangeAlgo::OneLevel, true)),
+            Just((ExchangeAlgo::TwoLevel, false)),
+            Just((ExchangeAlgo::TwoLevel, true)),
+        ]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+        /// Duplicate sender files — any number of backup attempts per
+        /// worker, starting at any offset, under every algorithm and
+        /// write-combining variant — must decode to results bit-identical
+        /// to the single-attempt run: the highest-attempt-wins dedup never
+        /// mixes attempts, double-counts a sender, or lets one sender's
+        /// duplicates satisfy the wait for another.
+        #[test]
+        fn duplicate_sender_files_decode_identically(
+            total in 4usize..9,
+            algo_wc in arb_algo_wc(),
+            duplicates in prop::collection::vec(0u32..3, 9..10),
+            delay_ms in prop::collection::vec(0u64..2_000, 9..10),
+        ) {
+            let (algo, wc) = algo_wc;
+            let cfg = ExchangeConfig {
+                algo,
+                write_combining: wc,
+                run_id: 7,
+                ..ExchangeConfig::default()
+            };
+            let reference =
+                run_exchange_with_duplicates(total, cfg.clone(), &vec![0; total], &[]);
+            let with_dups =
+                run_exchange_with_duplicates(total, cfg, &duplicates[..total], &delay_ms);
+            prop_assert_eq!(reference, with_dups);
+        }
+    }
 }
 
 /// Exchange-edge keys are namespaced per installation *and* per query:

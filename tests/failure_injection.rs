@@ -1,11 +1,14 @@
 //! Failure handling: workers report out-of-memory instead of dying
-//! silently (§3.3), timed-out workers *do* die silently and the driver's
-//! wait gives up, and error reports carry metrics.
+//! silently (§3.3) and the driver fails fast on the first error report;
+//! timed-out workers *do* die silently; stragglers and silent deaths are
+//! recovered by speculative re-invocation when enabled, and pinned to
+//! stall the query when not.
 
 use std::time::Duration;
 
-use lambada::core::{CoreError, Lambada, LambadaConfig};
-use lambada::sim::{Cloud, CloudConfig, Simulation};
+use lambada::core::{inject_worker_faults, CoreError, Lambada, LambadaConfig, SpeculationConfig};
+use lambada::engine::{RecordBatch, Scalar};
+use lambada::sim::{Cloud, CloudConfig, InjectedFault, Simulation};
 use lambada::workloads::{q1, stage_real, StageOptions};
 
 fn staged(sim: &Simulation, scale: f64) -> (Cloud, lambada::core::TableSpec) {
@@ -13,6 +16,28 @@ fn staged(sim: &Simulation, scale: f64) -> (Cloud, lambada::core::TableSpec) {
     let opts = StageOptions { scale, num_files: 4, row_groups_per_file: 2, seed: 21 };
     let spec = stage_real(&cloud, "tpch", "lineitem", opts);
     (cloud, spec)
+}
+
+/// A paper-scale descriptor table whose per-worker scan takes seconds —
+/// the regime where a straggler's slowdown dominates the fleet span
+/// instead of hiding behind cold starts.
+fn staged_descriptors(sim: &Simulation) -> (Cloud, lambada::core::TableSpec) {
+    let cloud = Cloud::new(sim, CloudConfig::default());
+    let opts = lambada::workloads::DescriptorOptions {
+        scale: 4.0,
+        num_files: 4,
+        ..lambada::workloads::DescriptorOptions::default()
+    };
+    let spec = lambada::workloads::stage_descriptors(&cloud, "tpch", "lineitem", &opts);
+    (cloud, spec)
+}
+
+/// Speculation thresholds for the 4–6 worker test fleets. (The quorum
+/// is clamped to `workers - 1`, so even the default 0.9 quantile would
+/// trigger; 0.7 makes the intent explicit and keeps two-straggler
+/// setups speculating too.)
+fn test_speculation(enabled: bool) -> SpeculationConfig {
+    SpeculationConfig { enabled, quantile: 0.7, multiplier: 2.0, max_attempts: 1 }
 }
 
 #[test]
@@ -33,12 +58,42 @@ fn oom_is_reported_not_silent() {
         Lambada::install(&cloud, LambadaConfig { memory_mib: 512, ..LambadaConfig::default() });
     system.register_table(spec);
     let err = sim.block_on(async move { system.run_query(&q1("lineitem")).await.unwrap_err() });
+    // The driver fails fast: the *first* error report surfaces without
+    // waiting for the rest of the fleet.
     match err {
         CoreError::Worker { message, .. } => {
             assert!(message.contains("out of memory"), "got: {message}");
         }
         other => panic!("expected a worker error report, got {other}"),
     }
+}
+
+#[test]
+fn worker_errors_fail_fast() {
+    // Same OOM setup, but every worker except 0 is also injected ~30x
+    // slow. Before fail-fast the driver sat on worker 0's OOM report
+    // until the stragglers' reports trickled in; now the query must fail
+    // at the speed of the fastest error, not the slowest worker.
+    let sim = Simulation::new();
+    let cloud = Cloud::new(&sim, CloudConfig::default());
+    let opts = lambada::workloads::DescriptorOptions {
+        scale: 100.0,
+        num_files: 2,
+        row_groups_per_file: 2,
+        sample_rows: 5_000,
+        ..lambada::workloads::DescriptorOptions::default()
+    };
+    let spec = lambada::workloads::stage_descriptors(&cloud, "tpch", "lineitem", &opts);
+    let mut system =
+        Lambada::install(&cloud, LambadaConfig { memory_mib: 512, ..LambadaConfig::default() });
+    system.register_table(spec);
+    inject_worker_faults(&cloud, |wid, _| (wid != 0).then(|| InjectedFault::slowdown(30.0)));
+    let err = sim.block_on(async move { system.run_query(&q1("lineitem")).await.unwrap_err() });
+    assert!(matches!(err, CoreError::Worker { worker_id: 0, .. }), "got {err}");
+    // Worker 0 hits its OOM after scanning one huge row group (~100
+    // virtual seconds); worker 1's equivalent scan runs ~30x longer
+    // under the fault. The error must surface at worker 0's pace.
+    assert!(sim.now().as_secs_f64() < 150.0, "failed only at t = {}", sim.now().as_secs_f64());
 }
 
 #[test]
@@ -75,6 +130,223 @@ fn function_timeout_kills_workers_and_driver_gives_up() {
     // The FaaS layer counted the kills.
     let (_, _, timeouts) = cloud.faas.counters("lambada-worker");
     assert!(timeouts > 0);
+    // Even the failed stage's result queue was cleaned up.
+    assert_eq!(cloud.sqs.queue_count(), 0);
+}
+
+#[test]
+fn slow_worker_is_recovered_by_a_speculative_backup() {
+    // One worker of four runs 10x slow (compute and NIC). With
+    // speculation on, the driver notices the holdout once the other
+    // three have reported and ~2x their median span has elapsed,
+    // re-invokes it, and the fast backup's result wins — the query
+    // finishes in a fraction of the straggler's time and never
+    // approaches max_wait.
+    let sim = Simulation::new();
+    let (cloud, spec) = staged_descriptors(&sim);
+    let mut system = Lambada::install(
+        &cloud,
+        LambadaConfig {
+            max_wait: Duration::from_secs(8),
+            speculation: test_speculation(true),
+            ..LambadaConfig::default()
+        },
+    );
+    system.register_table(spec);
+    inject_worker_faults(&cloud, |wid, attempt| {
+        (wid == 3 && attempt == 0).then(|| InjectedFault::slowdown(10.0))
+    });
+    let report = sim.block_on(async move { system.run_query(&q1("lineitem")).await.unwrap() });
+    assert_eq!(report.stages.len(), 1);
+    assert_eq!(report.stages[0].workers, 4);
+    // Exactly the one straggler was re-invoked, once.
+    assert_eq!(report.stages[0].backup_invocations, 1);
+    let (invocations, _, _) = cloud.faas.counters("lambada-worker");
+    assert_eq!(invocations, 5, "4 originals + 1 backup");
+    // Bounded latency: well under the deadline, and far below the
+    // straggler's solo finish (~10s; see the pinned stall below).
+    assert!(report.latency_secs < 6.0, "latency {}", report.latency_secs);
+}
+
+#[test]
+fn without_speculation_a_straggler_stalls_the_query() {
+    // The same 10x straggler with speculation disabled (the default):
+    // the driver waits for every worker and gives up at max_wait. This
+    // pins the no-speculation behavior so the recovery above is
+    // attributable to the backup, not to the fault being mild.
+    let sim = Simulation::new();
+    let (cloud, spec) = staged_descriptors(&sim);
+    let mut system = Lambada::install(
+        &cloud,
+        LambadaConfig {
+            max_wait: Duration::from_secs(8),
+            speculation: test_speculation(false),
+            ..LambadaConfig::default()
+        },
+    );
+    system.register_table(spec);
+    inject_worker_faults(&cloud, |wid, attempt| {
+        (wid == 3 && attempt == 0).then(|| InjectedFault::slowdown(10.0))
+    });
+    let err = sim.block_on(async move { system.run_query(&q1("lineitem")).await.unwrap_err() });
+    match err {
+        CoreError::Timeout { missing_workers, waited_secs } => {
+            assert_eq!(missing_workers, 1, "only the straggler is missing");
+            assert!(waited_secs >= 8.0, "the driver really waited: {waited_secs}");
+        }
+        other => panic!("expected driver timeout, got {other}"),
+    }
+    assert_eq!(cloud.sqs.queue_count(), 0, "queue cleaned up even on timeout");
+}
+
+#[test]
+fn killed_worker_is_recovered_by_a_speculative_backup() {
+    // A worker dies silently mid-flight (the realistic straggler of
+    // §3.3's threat model — no error report, no result). Speculation
+    // re-invokes it and the backup delivers the correct Q1 result.
+    let sim = Simulation::new();
+    let (cloud, spec) = staged(&sim, 0.01);
+    let mut system = Lambada::install(
+        &cloud,
+        LambadaConfig {
+            max_wait: Duration::from_secs(60),
+            speculation: test_speculation(true),
+            ..LambadaConfig::default()
+        },
+    );
+    system.register_table(spec);
+    inject_worker_faults(&cloud, |wid, attempt| {
+        (wid == 1 && attempt == 0).then(|| InjectedFault::kill(Duration::from_millis(10)))
+    });
+    let report = sim.block_on(async move { system.run_query(&q1("lineitem")).await.unwrap() });
+    assert_eq!(report.batch.num_rows(), 4, "Q1's four groups survive the death");
+    assert_eq!(report.backup_invocations(), 1);
+    assert_eq!(cloud.faas.injected_kills("lambada-worker"), 1);
+    assert!(report.latency_secs < 15.0, "bounded recovery: {}", report.latency_secs);
+}
+
+#[test]
+fn a_lost_backup_never_fails_the_query() {
+    // Speculation must be strictly safe: if the backup itself dies
+    // silently, the slow-but-healthy original still wins and the query
+    // completes (at the straggler's pace) instead of failing.
+    let sim = Simulation::new();
+    let (cloud, spec) = staged_descriptors(&sim);
+    let mut system = Lambada::install(
+        &cloud,
+        LambadaConfig {
+            max_wait: Duration::from_secs(60),
+            speculation: test_speculation(true),
+            ..LambadaConfig::default()
+        },
+    );
+    system.register_table(spec);
+    inject_worker_faults(&cloud, |wid, attempt| match (wid, attempt) {
+        (3, 0) => Some(InjectedFault::slowdown(10.0)),
+        (3, _) => Some(InjectedFault::kill(Duration::from_millis(10))),
+        _ => None,
+    });
+    let report = sim.block_on(async move { system.run_query(&q1("lineitem")).await.unwrap() });
+    assert_eq!(report.backup_invocations(), 1, "the backup was tried");
+    assert_eq!(cloud.faas.injected_kills("lambada-worker"), 1, "... and died");
+    // The original straggler delivered (~10s solo span), not the backup.
+    assert!(report.latency_secs > 6.0 && report.latency_secs < 20.0);
+}
+
+fn assert_batches_close(a: &RecordBatch, b: &RecordBatch) {
+    assert_eq!(a.num_rows(), b.num_rows(), "row count");
+    assert_eq!(a.num_columns(), b.num_columns(), "column count");
+    for i in 0..a.num_rows() {
+        for (x, y) in a.row(i).iter().zip(b.row(i).iter()) {
+            match (x, y) {
+                (Scalar::Float64(p), Scalar::Float64(q)) => {
+                    assert!((p - q).abs() <= 1e-6 * p.abs().max(1.0), "row {i}: {p} vs {q}");
+                }
+                _ => assert_eq!(x, y, "row {i}"),
+            }
+        }
+    }
+}
+
+/// Run the Q12 join with an optional straggling lineitem scanner;
+/// returns the result batch and total backup invocations.
+fn run_q12_join(straggler: bool) -> (RecordBatch, lambada::core::QueryReport) {
+    let sim = Simulation::new();
+    let cloud = Cloud::new(&sim, CloudConfig::default());
+    let scale = 0.05;
+    let seed = 21;
+    let li_opts = StageOptions { scale, num_files: 6, row_groups_per_file: 3, seed };
+    let li_spec = stage_real(&cloud, "tpch", "lineitem", li_opts);
+    let orders_opts = lambada::workloads::OrdersStageOptions {
+        rows: li_spec.total_rows,
+        num_files: 4,
+        row_groups_per_file: 3,
+        seed,
+    };
+    let ord_spec = lambada::workloads::stage_real_orders(&cloud, "tpch", "orders", orders_opts);
+    let mut system = Lambada::install(
+        &cloud,
+        LambadaConfig { speculation: test_speculation(true), ..LambadaConfig::default() },
+    );
+    system.register_table(li_spec);
+    system.register_table(ord_spec);
+    if straggler {
+        // Worker 1 exists in both concurrent scan fleets (orders and
+        // lineitem), so each stage gets one straggler with a crippled
+        // NIC. Both stay busy long past the speculation threshold, so
+        // backups re-scan their files and re-write their shuffle
+        // partitions under the next attempt id. The originals still
+        // finish later and write their own files — the join fleet must
+        // never mix the two attempts.
+        inject_worker_faults(&cloud, |wid, attempt| {
+            (wid == 1 && attempt == 0).then_some(InjectedFault {
+                compute_factor: 50.0,
+                nic_factor: 0.001,
+                kill_after: None,
+            })
+        });
+    }
+    let plan = lambada::workloads::q12("lineitem", "orders");
+    let report = sim.block_on(async move { system.run_query(&plan).await.unwrap() });
+    (report.batch.clone(), report)
+}
+
+#[test]
+fn straggling_scan_workers_recover_with_duplicate_shuffle_files() {
+    // End to end through the duplicate-tolerant exchange: backup scan
+    // workers re-write their shuffle files on the scan → join edges, and
+    // the join result still matches the run without any fault.
+    let (clean, clean_report) = run_q12_join(false);
+    assert_eq!(clean_report.backup_invocations(), 0);
+    let (faulted, report) = run_q12_join(true);
+    // Each scan stage counts exactly its one straggler's backup; the
+    // join fleet needed none.
+    assert_eq!(report.stages[0].label, "scan:orders");
+    assert_eq!(report.stages[0].backup_invocations, 1);
+    assert_eq!(report.stages[1].label, "scan:lineitem");
+    assert_eq!(report.stages[1].backup_invocations, 1);
+    assert_eq!(report.stages[2].backup_invocations, 0);
+    assert!(faulted.num_rows() > 0);
+    assert_batches_close(&faulted, &clean);
+}
+
+#[test]
+fn result_queues_do_not_leak_across_queries() {
+    // The driver creates one result queue per stage per query; each must
+    // be deleted once its fleet is collected, or a query sequence leaks
+    // queues without bound.
+    let sim = Simulation::new();
+    let (cloud, spec) = staged(&sim, 0.01);
+    let mut system = Lambada::install(&cloud, LambadaConfig::default());
+    system.register_table(spec);
+    let cloud2 = cloud.clone();
+    sim.block_on(async move {
+        for _ in 0..3 {
+            system.run_query(&q1("lineitem")).await.unwrap();
+            assert_eq!(cloud2.sqs.queue_count(), 0, "stage queues deleted after collection");
+        }
+    });
+    assert_eq!(cloud.sqs.queue_count(), 0);
 }
 
 #[test]
