@@ -77,8 +77,10 @@ fn main() {
         let plan = lambada_workloads::q3("lineitem", "orders");
         let report = sim.block_on(async move { system.run_query(&plan).await.unwrap() });
 
-        let join_stage = report.stages.iter().find(|s| s.label == "join").expect("join stage");
-        let agg_stage = report.stages.iter().find(|s| s.label == "agg").expect("agg stage");
+        let join_stage =
+            report.stages.iter().find(|s| s.label.starts_with("join#")).expect("join stage");
+        let agg_stage =
+            report.stages.iter().find(|s| s.label.starts_with("agg#")).expect("agg stage");
         // The agg edge exactly: the join fleet's shard PUTs plus the
         // merge fleet's discovery LISTs and shard GETs.
         let agg_edge_dollars = join_stage.put_requests as f64 * prices.s3_put

@@ -71,7 +71,7 @@ fn main() {
             .stages
             .iter()
             .map(|s| {
-                if s.label == "join" {
+                if s.label.starts_with("join#") {
                     s.get_requests as f64 * prices.s3_get + s.list_requests as f64 * prices.s3_list
                 } else {
                     s.put_requests as f64 * prices.s3_put

@@ -102,6 +102,22 @@ impl ComputeCostModel {
         let state_bytes = input_bytes / 8;
         (state_bytes.div_ceil(usable) as usize).clamp(1, 256)
     }
+
+    /// Worker count for the sort fleet of a distributed range-partitioned
+    /// sort, given the estimated bytes entering it (its producer's edge
+    /// volume) and the per-worker engine memory budget.
+    ///
+    /// A sort worker holds its whole range plus the sorted copy and
+    /// decode buffers, so — like the other consumer fleets — the model
+    /// picks the smallest fleet whose ranges fit in a quarter of the
+    /// budget; every extra worker pays invocation, request, and straggler
+    /// overheads (Kassing et al., CIDR 2022), and with top-k limit
+    /// pushdown the real exchanged volume is usually far below this
+    /// estimate anyway.
+    pub fn sort_stage_workers(&self, input_bytes: u64, memory_budget: u64) -> usize {
+        let usable = (memory_budget / 4).max(1);
+        (input_bytes.div_ceil(usable) as usize).clamp(1, 256)
+    }
 }
 
 #[cfg(test)]
@@ -147,6 +163,18 @@ mod tests {
         // Clamped to a sane band.
         assert_eq!(m.join_stage_workers(u64::MAX / 4, 0, 2 * gib), 256);
         assert_eq!(m.join_stage_workers(0, 0, 2 * gib), 1);
+    }
+
+    #[test]
+    fn sort_fleet_scales_with_data_and_memory() {
+        let m = ComputeCostModel::default();
+        let gib = 1u64 << 30;
+        assert_eq!(m.sort_stage_workers(1 << 20, 2 * gib), 1, "tiny sorts need one worker");
+        assert!(
+            m.sort_stage_workers(64 * gib, 8 * gib) < m.sort_stage_workers(64 * gib, 2 * gib),
+            "more memory per worker shrinks the fleet"
+        );
+        assert_eq!(m.sort_stage_workers(u64::MAX / 2, 2 * gib), 256, "clamped");
     }
 
     #[test]

@@ -3,14 +3,18 @@
 //! (§3.1/§3.3). Nothing here is "always on" — every run pays only for the
 //! requests and worker-seconds it uses.
 //!
-//! Single-fragment queries (Q1/Q6-style) launch one fleet. Multi-stage
-//! queries execute as a stage DAG in dependency *waves*: independent
-//! stages (the two scans of a join) launch concurrently, each writing its
-//! output onto an exchange edge in cloud storage; consumer fleets (join
-//! workers, agg-merge workers) launch one wave after their latest input
-//! and pick their co-partitions up from there. Join and agg-merge fleets
-//! are sized by the compute cost model. Per-stage worker counts and
-//! exact request counters are reported in [`QueryReport::stages`].
+//! Queries execute as a stage DAG under a *topological wave scheduler*:
+//! stage `s` runs in wave `1 + max(wave of s's inputs)` (sources in wave
+//! 0), so independent stages — the scans of a join, both sides of a
+//! diamond — launch concurrently, each writing its output onto an
+//! exchange edge in cloud storage; consumer fleets (join, agg-merge,
+//! sort workers) pick their co-partitions up from there. The scheduler
+//! is shape-agnostic: a single-fragment Q1 is just a one-stage DAG, a
+//! five-way join tree or a diamond runs through exactly the same loop,
+//! and speculation, fleet sizing, and [`StageReport`]s apply to every
+//! stage uniformly. Consumer fleets are sized per stage by the compute
+//! cost model. Per-stage worker counts and exact request counters are
+//! reported in [`QueryReport::stages`].
 
 use std::collections::{HashMap, HashSet};
 use std::rc::Rc;
@@ -30,14 +34,14 @@ use crate::invoke::{self, invoke_workers, InvocationStrategy};
 use crate::message::{ResultPayload, WorkerMetrics, WorkerResult};
 use crate::scan::ScanConfig;
 use crate::stage::{
-    self, AggMergeStage, FinalStage, PostOp, QueryDag, ScanStage, SplitOptions, StageKind,
-    StageOutput,
+    self, AggMergeStage, FinalStage, PostOp, QueryDag, ScanStage, SortStage, SplitOptions,
+    StageKind, StageOutput,
 };
 use crate::table::TableSpec;
 use crate::worker::{
     register_worker_function, AggMergeShared, AggMergeTask, FragmentShared, FragmentTask,
-    JoinOutput, JoinShared, JoinTask, ScanExchangeShared, ScanExchangeTask, WorkerPayload,
-    WorkerTask,
+    JoinOutput, JoinShared, JoinTask, ScanExchangeShared, ScanExchangeTask, SortEdgeSpec,
+    SortShared, SortTask, WorkerPayload, WorkerTask,
 };
 
 /// How grouped aggregates are finalized.
@@ -56,6 +60,23 @@ pub enum AggStrategy {
     /// group-bys stop being O(groups × workers) on the client. `workers`
     /// fixes the merge-fleet size (= shard count); `None` lets the
     /// compute cost model size it.
+    Exchange { workers: Option<usize> },
+}
+
+/// How trailing `ORDER BY [LIMIT]` clauses are executed.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub enum SortStrategy {
+    /// The driver sorts the collected result — right for the small
+    /// results of driver-merged aggregates, where a sort fleet would only
+    /// add a wave.
+    #[default]
+    Driver,
+    /// Distributed range-partitioned sort: producers locally sort (and
+    /// top-k-truncate) their rows, agree on range boundaries through a
+    /// sample exchange, and ship each range to a dedicated sort fleet;
+    /// the driver only concatenates the fleet's pre-sorted runs in
+    /// partition order. `workers` fixes the sort-fleet size (= range
+    /// count); `None` lets the compute cost model size it.
     Exchange { workers: Option<usize> },
 }
 
@@ -123,6 +144,8 @@ pub struct LambadaConfig {
     pub join_workers: Option<usize>,
     /// Where grouped aggregates are merged and finalized.
     pub agg: AggStrategy,
+    /// Where trailing sorts run.
+    pub sort: SortStrategy,
     /// Speculative re-invocation of straggling workers.
     pub speculation: SpeculationConfig,
 }
@@ -143,6 +166,7 @@ impl Default for LambadaConfig {
             exchange: ExchangeConfig::default(),
             join_workers: None,
             agg: AggStrategy::DriverMerge,
+            sort: SortStrategy::Driver,
             speculation: SpeculationConfig::default(),
         }
     }
@@ -151,7 +175,11 @@ impl Default for LambadaConfig {
 /// Per-stage execution summary of one query.
 #[derive(Clone, Debug)]
 pub struct StageReport {
-    /// `scan:<table>`, `join`, or `agg`.
+    /// Stable topologically ordered stage id within the DAG (also the
+    /// exchange-channel suffix `s{id}` of the stage's output edge).
+    pub id: usize,
+    /// Human label carrying the id: `scan:lineitem#0`, `join#2`,
+    /// `agg#3`, `sort#4`.
     pub label: String,
     pub workers: usize,
     /// Virtual seconds from stage launch to last worker report.
@@ -312,9 +340,18 @@ impl Lambada {
         let optimized = Optimizer::with_row_hints(hints).optimize(plan)?;
         let opts = SplitOptions {
             exchange_aggregates: matches!(self.config.agg, AggStrategy::Exchange { .. }),
+            exchange_sorts: matches!(self.config.sort, SortStrategy::Exchange { .. }),
         };
         let dag = stage::split_with(&optimized, &opts)?;
+        self.run_dag(&dag).await
+    }
 
+    /// Execute a stage DAG across serverless workers — the topological
+    /// wave scheduler. Public so tests (and adventurous callers) can run
+    /// hand-built DAG shapes, diamonds included, that the planner does
+    /// not emit.
+    pub async fn run_dag(&self, dag: &QueryDag) -> Result<QueryReport> {
+        dag.validate()?;
         let qid = self.query_seq.get();
         self.query_seq.set(qid + 1);
 
@@ -333,32 +370,61 @@ impl Lambada {
         // stages launch together: a producer can shard its output for a
         // consumer fleet that does not exist yet.
         let side = ExchangeSide::new();
-        let planned_workers = self.planned_workers(&dag)?;
+        let planned_workers = self.planned_workers(dag)?;
         // Partition count each producer stage must shard its output into
-        // (= its consumer's planned fleet size; 0 for driver-bound stages).
+        // (= its consumer's planned fleet size; 0 for driver-bound
+        // stages). In a diamond, one producer may feed several consumers
+        // — they all read the same partitioned edge, so their fleets
+        // must agree in size.
         let mut consumer_parts: Vec<usize> = vec![0; dag.stages.len()];
         for (sid, kind) in dag.stages.iter().enumerate() {
-            match kind {
-                StageKind::Scan(_) => {}
-                StageKind::Join(j) => {
-                    consumer_parts[j.probe_input] = planned_workers[sid];
-                    consumer_parts[j.build_input] = planned_workers[sid];
+            for input in kind.inputs() {
+                let parts = planned_workers[sid];
+                if consumer_parts[input] != 0 && consumer_parts[input] != parts {
+                    return Err(CoreError::Unsupported(format!(
+                        "stage {input} feeds consumers of different fleet sizes \
+                         ({} vs {parts}); shared edges need equal consumer fleets",
+                        consumer_parts[input]
+                    )));
                 }
-                StageKind::AggMerge(a) => consumer_parts[a.input] = planned_workers[sid],
+                consumer_parts[input] = parts;
+            }
+        }
+        // Sort-exchange edges: a producer feeding a sort stage needs the
+        // edge spec (keys, limit, fleet sizes) to run the sample protocol.
+        // A producer can feed at most one sort stage — its run is range
+        // partitioned by exactly one boundary set — so, like conflicting
+        // consumer fleets above, a second consumer is an explicit error
+        // rather than a silent overwrite.
+        let mut sort_edges: Vec<Option<SortEdgeSpec>> = vec![None; dag.stages.len()];
+        for (sid, kind) in dag.stages.iter().enumerate() {
+            if let StageKind::Sort(s) = kind {
+                if sort_edges[s.input].is_some() {
+                    return Err(CoreError::Unsupported(format!(
+                        "stage {} feeds more than one sort stage; a sort edge carries \
+                         exactly one boundary set",
+                        s.input
+                    )));
+                }
+                sort_edges[s.input] = Some(SortEdgeSpec {
+                    keys: s.keys.clone(),
+                    limit: s.limit,
+                    schema: s.schema.clone(),
+                    partitions: planned_workers[sid],
+                    senders: planned_workers[s.input],
+                });
             }
         }
 
-        // Group stages into dependency waves: all scans are sources; a
-        // consumer (join, agg-merge) runs one wave after its latest
-        // input. Stages within a wave execute concurrently (the exchange
-        // edges synchronize through storage either way).
+        // Group stages into dependency waves: sources are wave 0; every
+        // consumer runs one wave after its latest input — a plain
+        // topological level assignment over `StageKind::inputs`, so any
+        // DAG shape schedules. Stages within a wave execute concurrently
+        // (the exchange edges synchronize through storage either way).
         let mut levels: Vec<usize> = Vec::with_capacity(dag.stages.len());
         for kind in &dag.stages {
-            levels.push(match kind {
-                StageKind::Scan(_) => 0,
-                StageKind::Join(j) => 1 + levels[j.probe_input].max(levels[j.build_input]),
-                StageKind::AggMerge(a) => 1 + levels[a.input],
-            });
+            let level = kind.inputs().iter().map(|&i| levels[i] + 1).max().unwrap_or(0);
+            levels.push(level);
         }
         let max_level = levels.iter().copied().max().unwrap_or(0);
 
@@ -378,6 +444,7 @@ impl Lambada {
                         sid,
                         scan,
                         consumer_parts[sid],
+                        sort_edges[sid].clone(),
                         &side,
                         &result_queue,
                     )?,
@@ -387,16 +454,27 @@ impl Lambada {
                         join,
                         planned_workers[sid],
                         consumer_parts[sid],
+                        sort_edges[sid].clone(),
                         &side,
                         &planned_workers,
                         &result_queue,
                     )?,
                     StageKind::AggMerge(agg) => self.agg_stage_payloads(
                         qid,
+                        sid,
                         agg,
                         planned_workers[sid],
+                        sort_edges[sid].clone(),
                         &side,
                         &planned_workers,
+                        &result_queue,
+                    )?,
+                    StageKind::Sort(sort) => self.sort_stage_payloads(
+                        qid,
+                        sort,
+                        planned_workers[sid],
+                        &planned_workers,
+                        &side,
                         &result_queue,
                     ),
                 };
@@ -425,7 +503,8 @@ impl Lambada {
             cold_starts += run.results.iter().filter(|r| r.metrics.cold_start).count() as u64;
             all_metrics.extend(run.results.iter().map(|r| r.metrics));
             stage_reports.push(StageReport {
-                label: kind.label(),
+                id: sid,
+                label: kind.label(sid),
                 workers: run.workers,
                 wall_secs: run.wall_secs,
                 cost: run.cost,
@@ -471,93 +550,91 @@ impl Lambada {
         })
     }
 
-    /// Per-scan-stage estimate of the bytes surviving into the exchange:
-    /// table bytes scaled by the fraction of columns the stage keeps.
-    fn estimated_scan_exchange_bytes(&self, dag: &QueryDag) -> Result<Vec<u64>> {
-        let mut exchanged = Vec::new();
+    /// Per-stage estimate of the bytes each stage emits onto its output
+    /// edge, computed bottom-up over the DAG: table bytes scaled by the
+    /// fraction of surviving columns for scans, the larger input for
+    /// joins (equi-joins rarely exceed their bigger side by much at this
+    /// granularity), an 8:1 pre-aggregation compaction for agg-merge
+    /// fleets, and pass-through for sorts.
+    fn estimated_stage_bytes(&self, dag: &QueryDag) -> Result<Vec<u64>> {
+        let mut est: Vec<u64> = Vec::with_capacity(dag.stages.len());
         for kind in &dag.stages {
-            if let StageKind::Scan(scan) = kind {
-                if !matches!(scan.output, StageOutput::Driver) {
+            let bytes = match kind {
+                StageKind::Scan(scan) => {
                     let spec = self.table_spec(&scan.table)?;
                     let width = spec.schema.len().max(1);
                     // Crude column-selectivity estimate: exchanged bytes
                     // scale with the fraction of columns that survive.
                     let frac = scan.scan_columns.len() as f64 / width as f64;
-                    exchanged.push((spec.total_bytes() as f64 * frac) as u64);
+                    (spec.total_bytes() as f64 * frac) as u64
                 }
-            }
+                StageKind::Join(j) => est[j.probe_input].max(est[j.build_input]),
+                StageKind::AggMerge(a) => est[a.input] / 8,
+                StageKind::Sort(s) => est[s.input],
+            };
+            est.push(bytes);
         }
-        Ok(exchanged)
-    }
-
-    /// Size the join fleet (= exchange partition count of its input
-    /// edges) from the scan stages' estimated output volume and the
-    /// worker memory budget.
-    fn join_partitions(&self, dag: &QueryDag) -> Result<usize> {
-        if let Some(w) = self.config.join_workers {
-            return Ok(w.max(1));
-        }
-        let exchanged = self.estimated_scan_exchange_bytes(dag)?;
-        if exchanged.is_empty() {
-            return Ok(1);
-        }
-        let budget = u64::from(self.config.memory_mib) * 1024 * 1024;
-        let probe = exchanged.first().copied().unwrap_or(0);
-        let build = exchanged.get(1).copied().unwrap_or(0);
-        Ok(self.config.costs.join_stage_workers(probe, build, budget))
-    }
-
-    /// Size the agg-merge fleet (= shard count of the grouped states)
-    /// from the configured strategy or the compute cost model. The
-    /// estimate feeds the producer's *input* volume into the model; the
-    /// model discounts for pre-aggregation.
-    fn agg_partitions(&self, dag: &QueryDag) -> Result<usize> {
-        match self.config.agg {
-            AggStrategy::Exchange { workers: Some(w) } => Ok(w.max(1)),
-            _ => {
-                let est: u64 = self.estimated_scan_exchange_bytes(dag)?.iter().sum();
-                let budget = u64::from(self.config.memory_mib) * 1024 * 1024;
-                Ok(self.config.costs.agg_merge_workers(est, budget))
-            }
-        }
+        Ok(est)
     }
 
     /// Worker count of every stage, derivable before anything launches:
-    /// `ceil(#files / F)` per scan (§5.2), the consumer partition count
-    /// for join and agg-merge fleets.
+    /// `ceil(#files / F)` per scan (§5.2); consumer fleets (join,
+    /// agg-merge, sort) sized per stage by the compute cost model from
+    /// their inputs' estimated edge volume — the resource-allocation
+    /// trade-off of Kassing et al. applied at every level of the DAG —
+    /// unless the installation pins them.
     fn planned_workers(&self, dag: &QueryDag) -> Result<Vec<usize>> {
         let f = self.config.files_per_worker.max(1);
-        // Only size the fleets the DAG actually has: the common scan-only
-        // query skips both estimate walks.
-        let join_parts = if dag.stages.iter().any(|k| matches!(k, StageKind::Join(_))) {
-            self.join_partitions(dag)?
-        } else {
-            1
-        };
-        let agg_parts = if dag.stages.iter().any(|k| matches!(k, StageKind::AggMerge(_))) {
-            self.agg_partitions(dag)?
-        } else {
-            1
-        };
+        // Only walk the estimates when some fleet actually needs sizing:
+        // the common scan-only query skips the whole walk.
+        let needs_estimates = dag.stages.iter().any(|k| match k {
+            StageKind::Scan(_) => false,
+            StageKind::Join(_) => self.config.join_workers.is_none(),
+            StageKind::AggMerge(_) => {
+                !matches!(self.config.agg, AggStrategy::Exchange { workers: Some(_) })
+            }
+            StageKind::Sort(_) => {
+                !matches!(self.config.sort, SortStrategy::Exchange { workers: Some(_) })
+            }
+        });
+        let est = if needs_estimates { self.estimated_stage_bytes(dag)? } else { Vec::new() };
+        let budget = u64::from(self.config.memory_mib) * 1024 * 1024;
         dag.stages
             .iter()
             .map(|kind| match kind {
                 StageKind::Scan(scan) => Ok(self.table_spec(&scan.table)?.files.len().div_ceil(f)),
-                StageKind::Join(_) => Ok(join_parts),
-                StageKind::AggMerge(_) => Ok(agg_parts),
+                StageKind::Join(j) => match self.config.join_workers {
+                    Some(w) => Ok(w.max(1)),
+                    None => Ok(self.config.costs.join_stage_workers(
+                        est[j.probe_input],
+                        est[j.build_input],
+                        budget,
+                    )),
+                },
+                StageKind::AggMerge(a) => match self.config.agg {
+                    AggStrategy::Exchange { workers: Some(w) } => Ok(w.max(1)),
+                    _ => Ok(self.config.costs.agg_merge_workers(est[a.input], budget)),
+                },
+                StageKind::Sort(s) => match self.config.sort {
+                    SortStrategy::Exchange { workers: Some(w) } => Ok(w.max(1)),
+                    _ => Ok(self.config.costs.sort_stage_workers(est[s.input], budget)),
+                },
             })
             .collect()
     }
 
     /// Build one scan stage's worker payloads. `partitions` is the
     /// consumer fleet's size for exchange-bound stages (how many ways to
-    /// shard the output), unused for driver-bound stages.
+    /// shard the output), unused for driver-bound stages. `sort_edge` is
+    /// set when the consumer is a sort stage.
+    #[allow(clippy::too_many_arguments)]
     fn scan_stage_payloads(
         &self,
         qid: u64,
         sid: usize,
         scan: &ScanStage,
         partitions: usize,
+        sort_edge: Option<SortEdgeSpec>,
         side: &ExchangeSide,
         result_queue: &str,
     ) -> Result<Vec<WorkerPayload>> {
@@ -592,6 +669,8 @@ impl Lambada {
             output => {
                 // Swap the planner's placeholder terminal for the
                 // sharding variant, now that the consumer fleet is sized.
+                // (Sort-exchange stages keep their SortPartition terminal
+                // — range counts live in the edge spec, not the terminal.)
                 let mut fragment = fragment;
                 let terminal = match (output, &fragment.pipeline.terminal) {
                     (StageOutput::Exchange { keys }, _) => {
@@ -609,14 +688,27 @@ impl Lambada {
                         "agg-exchange scan stage needs a partial-aggregate terminal, got {other:?}"
                     )))
                     }
+                    (StageOutput::SortExchange, t @ Terminal::SortPartition { .. }) => t.clone(),
+                    (StageOutput::SortExchange, other) => {
+                        return Err(CoreError::Engine(format!(
+                            "sort-exchange scan stage needs a sort-partition terminal, got \
+                             {other:?}"
+                        )))
+                    }
                     (StageOutput::Driver, _) => unreachable!("handled above"),
                 };
+                if matches!(output, StageOutput::SortExchange) && sort_edge.is_none() {
+                    return Err(CoreError::Engine(
+                        "sort-exchange scan stage has no consumer sort stage".to_string(),
+                    ));
+                }
                 fragment.pipeline = PipelineSpec { terminal, ..fragment.pipeline };
                 let shared = Rc::new(ScanExchangeShared {
                     fragment,
                     channel: self.channel(qid, sid),
                     exchange: self.config.exchange.clone(),
                     side: side.clone(),
+                    sort: sort_edge,
                 });
                 for (wid, chunk) in spec.files.chunks(f).enumerate() {
                     payloads.push(WorkerPayload {
@@ -636,8 +728,9 @@ impl Lambada {
     }
 
     /// Build the join fleet's payloads: worker `p` handles co-partition
-    /// `p` of both exchange edges. `out_partitions` is the agg-merge
-    /// fleet's size when the join feeds a repartitioned aggregation.
+    /// `p` of both exchange edges. `out_partitions` is the consumer
+    /// fleet's size when the join feeds another stage (a parent join's
+    /// row exchange, an agg-merge fleet, or a sort fleet).
     #[allow(clippy::too_many_arguments)]
     fn join_stage_payloads(
         &self,
@@ -646,6 +739,7 @@ impl Lambada {
         join: &crate::stage::JoinStage,
         partitions: usize,
         out_partitions: usize,
+        sort_edge: Option<SortEdgeSpec>,
         side: &ExchangeSide,
         planned_workers: &[usize],
         result_queue: &str,
@@ -654,6 +748,24 @@ impl Lambada {
         // once the consumer fleet is sized.
         let (post, output) = match &join.output {
             StageOutput::Driver => (join.post.clone(), JoinOutput::Driver),
+            StageOutput::Exchange { keys } => {
+                // Nested join: rows leave on a hash-partitioned edge
+                // feeding the parent join, exactly like a scan stage's.
+                if !matches!(join.post.terminal, Terminal::Collect) {
+                    return Err(CoreError::Engine(format!(
+                        "row-exchange join stage needs a collect terminal, got {:?}",
+                        join.post.terminal
+                    )));
+                }
+                let post = PipelineSpec {
+                    terminal: Terminal::HashPartition {
+                        keys: keys.clone(),
+                        partitions: out_partitions,
+                    },
+                    ..join.post.clone()
+                };
+                (post, JoinOutput::Exchange { channel: self.channel(qid, sid) })
+            }
             StageOutput::AggExchange => {
                 let Terminal::PartialAggregate { group_by, aggs } = &join.post.terminal else {
                     return Err(CoreError::Engine(format!(
@@ -671,10 +783,22 @@ impl Lambada {
                 };
                 (post, JoinOutput::AggExchange { channel: self.channel(qid, sid) })
             }
-            StageOutput::Exchange { .. } => {
-                return Err(CoreError::Unsupported(
-                    "join stages cannot feed a row exchange".to_string(),
-                ))
+            StageOutput::SortExchange => {
+                if !matches!(join.post.terminal, Terminal::SortPartition { .. }) {
+                    return Err(CoreError::Engine(format!(
+                        "sort-exchange join stage needs a sort-partition terminal, got {:?}",
+                        join.post.terminal
+                    )));
+                }
+                let edge = sort_edge.ok_or_else(|| {
+                    CoreError::Engine(
+                        "sort-exchange join stage has no consumer sort stage".to_string(),
+                    )
+                })?;
+                (
+                    join.post.clone(),
+                    JoinOutput::SortExchange { channel: self.channel(qid, sid), edge },
+                )
             }
         };
         let shared = Rc::new(JoinShared {
@@ -705,16 +829,36 @@ impl Lambada {
     }
 
     /// Build the agg-merge fleet's payloads: worker `p` merges shard `p`
-    /// of every producer's grouped state and finalizes it.
+    /// of every producer's grouped state, finalizes it, and either stores
+    /// the batch or feeds it onto a sort-exchange edge.
+    #[allow(clippy::too_many_arguments)]
     fn agg_stage_payloads(
         &self,
         qid: u64,
+        sid: usize,
         agg: &AggMergeStage,
         partitions: usize,
+        sort_edge: Option<SortEdgeSpec>,
         side: &ExchangeSide,
         planned_workers: &[usize],
         result_queue: &str,
-    ) -> Vec<WorkerPayload> {
+    ) -> Result<Vec<WorkerPayload>> {
+        let sort = match &agg.output {
+            StageOutput::Driver => None,
+            StageOutput::SortExchange => {
+                let edge = sort_edge.ok_or_else(|| {
+                    CoreError::Engine(
+                        "sort-exchange agg-merge stage has no consumer sort stage".to_string(),
+                    )
+                })?;
+                Some((self.channel(qid, sid), edge))
+            }
+            other => {
+                return Err(CoreError::Engine(format!(
+                    "agg-merge stages report to the driver or a sort fleet, not {other:?}"
+                )))
+            }
+        };
         let shared = Rc::new(AggMergeShared {
             channel: self.channel(qid, agg.input),
             senders: planned_workers[agg.input],
@@ -724,12 +868,46 @@ impl Lambada {
             side: side.clone(),
             result_bucket: self.config.result_bucket.clone(),
             result_prefix: format!("results/x{}-q{qid}-agg", self.instance),
+            sort,
+        });
+        Ok((0..partitions)
+            .map(|p| WorkerPayload {
+                worker_id: p as u64,
+                attempt: 0,
+                task: WorkerTask::AggMerge(AggMergeTask { shared: Rc::clone(&shared) }),
+                children: Vec::new(),
+                result_queue: result_queue.to_string(),
+            })
+            .collect())
+    }
+
+    /// Build the sort fleet's payloads: worker `p` sorts range partition
+    /// `p` of every producer's run and truncates it to the limit.
+    fn sort_stage_payloads(
+        &self,
+        qid: u64,
+        sort: &SortStage,
+        partitions: usize,
+        planned_workers: &[usize],
+        side: &ExchangeSide,
+        result_queue: &str,
+    ) -> Vec<WorkerPayload> {
+        let shared = Rc::new(SortShared {
+            channel: self.channel(qid, sort.input),
+            senders: planned_workers[sort.input],
+            schema: sort.schema.clone(),
+            keys: sort.keys.clone(),
+            limit: sort.limit,
+            exchange: self.config.exchange.clone(),
+            side: side.clone(),
+            result_bucket: self.config.result_bucket.clone(),
+            result_prefix: format!("results/x{}-q{qid}-sort", self.instance),
         });
         (0..partitions)
             .map(|p| WorkerPayload {
                 worker_id: p as u64,
                 attempt: 0,
-                task: WorkerTask::AggMerge(AggMergeTask { shared: Rc::clone(&shared) }),
+                task: WorkerTask::Sort(SortTask { shared: Rc::clone(&shared) }),
                 children: Vec::new(),
                 result_queue: result_queue.to_string(),
             })

@@ -22,14 +22,16 @@
 //!   write-combined, bucket-sharded shuffles between the producer and
 //!   consumer fleets of a multi-stage query;
 //! * [`worker`] / [`driver`] / [`stage`] — the worker handler, the
-//!   driver/session logic, and the distributed planner. [`stage::split`]
-//!   turns an optimized plan into a [`stage::QueryDag`]: one fragment for
-//!   scan-only queries, scan → exchange → join stages for partitioned
-//!   hash joins, and (with [`stage::SplitOptions::exchange_aggregates`])
-//!   scan/join → exchange → agg-merge stages for repartitioned group-by
-//!   aggregation, which the driver executes wave by wave;
+//!   driver/session logic, and the distributed planner.
+//!   [`stage::split`] recursively lowers any supported plan tree into a
+//!   [`stage::QueryDag`] of scan, join (arbitrarily nested), agg-merge
+//!   (with [`stage::SplitOptions::exchange_aggregates`]), and
+//!   range-partitioned sort stages (with
+//!   [`stage::SplitOptions::exchange_sorts`]), which the driver's
+//!   topological wave scheduler ([`driver::Lambada::run_dag`]) executes
+//!   shape-agnostically — diamonds included;
 //! * [`costmodel`] — calibrated vCPU-second charges for engine work and
-//!   per-stage fleet sizing for join and agg-merge fleets.
+//!   per-stage fleet sizing for join, agg-merge, and sort fleets.
 
 pub mod costmodel;
 pub mod driver;
@@ -48,7 +50,7 @@ pub mod worker;
 
 pub use costmodel::ComputeCostModel;
 pub use driver::{
-    AggStrategy, Lambada, LambadaConfig, QueryReport, SpeculationConfig, StageReport,
+    AggStrategy, Lambada, LambadaConfig, QueryReport, SortStrategy, SpeculationConfig, StageReport,
 };
 pub use env::WorkerEnv;
 pub use error::{CoreError, Result};
@@ -67,5 +69,5 @@ pub use table::{TableFile, TableSpec};
 pub use worker::{
     inject_worker_faults, register_worker_function, AggMergeShared, AggMergeTask, ExchangeTask,
     FragmentShared, FragmentTask, JoinOutput, JoinShared, JoinTask, ScanExchangeShared,
-    ScanExchangeTask, WorkerPayload, WorkerTask,
+    ScanExchangeTask, SortEdgeSpec, SortShared, SortTask, WorkerPayload, WorkerTask,
 };

@@ -3,40 +3,46 @@
 //! is divided into scopes, each of which may run in a different target
 //! platform").
 //!
-//! # The fragment grammar
+//! # The lowering
 //!
 //! [`split`] peels driver-side post-ops (`Sort`, `Limit`, the projection
-//! above an aggregate) off the top of the optimized plan, then lowers the
-//! remainder into one of three DAG shapes:
+//! above an aggregate) off the top of the optimized plan, then *recursively*
+//! lowers the remainder into a [`QueryDag`] — stages in topological order,
+//! connected by exchange edges through serverless storage (§4.4). There is
+//! no fixed set of plan shapes: any tree of the supported operators lowers,
+//! nested joins included.
 //!
-//! * **single stage** — `[Sort|Limit|Project]* → [Aggregate]? → [Project]?
-//!   → [Filter]? → Scan`: one scan-rooted fragment whose workers report
-//!   straight to the driver (the Q1/Q6 path). Partial aggregate states are
-//!   merged *on the driver* ([`FinalStage::MergeAggregate`]);
-//! * **partitioned hash join** — the same peel above an inner equi-join:
-//!   two scan stages hash-partition their (filtered, projected) rows on
-//!   the join keys and ship them over an exchange edge; a join stage
-//!   builds a hash table from the build side of each co-partition, probes
-//!   it with the probe side, and runs the post-join pipeline (residual
-//!   filter, projection, partial aggregation) before reporting to the
-//!   driver. Repartitioning runs entirely through serverless storage
-//!   (§4.4) — no always-on infrastructure anywhere;
-//! * **repartitioned aggregation** — when
-//!   [`SplitOptions::exchange_aggregates`] is set and the consumer is a
-//!   *grouped* aggregate, the producer stage (scan or join) keeps its
-//!   partial-aggregation terminal but ships the grouped state over an
-//!   exchange edge instead of the result queue: the driver swaps in
-//!   [`Terminal::PartitionedAggregate`], which shards the state by
-//!   group-key hash, and a dedicated [`AggMergeStage`] fleet merges and
-//!   finalizes each disjoint group range. The driver then only
-//!   concatenates finalized partition results
-//!   ([`FinalStage::CollectBatches`]) — no driver-side merge, so
-//!   high-cardinality group-bys stop being O(groups × workers) on the
-//!   client.
+//! * **scan stages** are the leaves: one fleet per base table scanning its
+//!   files, running `filter → project → terminal` over the scan output.
+//!   A scan rooted directly under the driver reports its results; a scan
+//!   feeding a consumer stage hash-partitions its rows onto an exchange
+//!   edge ([`StageOutput::Exchange`]);
+//! * **join stages** consume two row-exchange edges — each produced by a
+//!   scan *or another join stage*, which is what unlocks multi-way
+//!   (3+-table) join trees. Worker `p` of a join fleet owns co-partition
+//!   `p` of both inputs: it builds a hash table from the build side,
+//!   probes it with the probe side, and runs the post-join pipeline
+//!   (residual filter, projection, terminal). A join below another join
+//!   hash-partitions its output rows on the parent's keys, exactly like a
+//!   scan stage would;
+//! * **agg-merge stages** finalize a repartitioned group-by aggregation
+//!   (enabled by [`SplitOptions::exchange_aggregates`]): producers shard
+//!   their grouped partial states by group-key hash over the exchange
+//!   ([`StageOutput::AggExchange`]), and the merge fleet owns disjoint
+//!   group ranges. Global aggregates (empty `GROUP BY`) always merge on
+//!   the driver — one group repartitions to one shard;
+//! * **sort stages** run a trailing `ORDER BY [LIMIT]` as a distributed
+//!   range-partitioned sort (enabled by [`SplitOptions::exchange_sorts`]):
+//!   the producer fleet locally sorts (and top-k-truncates) its rows
+//!   ([`lambada_engine::pipeline::Terminal::SortPartition`]), agrees on
+//!   range boundaries through a sample exchange, and range-partitions the
+//!   runs onto the edge ([`StageOutput::SortExchange`]); sort worker `p`
+//!   then sorts range `p`, so the driver only *concatenates* the runs in
+//!   partition order — no driver-side sort or merge anywhere.
 //!
-//! Anything else (nested joins, aggregates below joins) reports
-//! [`CoreError::Unsupported`] and falls back to the local reference
-//! engine.
+//! Anything else (aggregates below joins, computed projections that do not
+//! compose) reports [`CoreError::Unsupported`] and falls back to the local
+//! reference engine.
 
 use lambada_engine::logical::{LogicalPlan, SortKey};
 use lambada_engine::pipeline::{agg_func_types, PipelineSpec, Terminal};
@@ -54,6 +60,13 @@ pub struct SplitOptions {
     /// `GROUP BY`) always stay on the driver — one group repartitions to
     /// one shard, so a merge fleet would only add a wave.
     pub exchange_aggregates: bool,
+    /// Lower a trailing `ORDER BY [LIMIT]` into a distributed
+    /// range-partitioned [`SortStage`] whenever the sorted rows already
+    /// live in the serverless scope as batches (collect-rooted queries,
+    /// or repartitioned aggregations whose merge fleet feeds the sort).
+    /// Driver-merged aggregates keep the driver-side sort post-op: their
+    /// result only materializes on the driver.
+    pub exchange_sorts: bool,
 }
 
 /// Driver-side operators applied after merging worker outputs.
@@ -76,7 +89,8 @@ pub enum FinalStage {
         funcs: Vec<(AggFunc, Option<DataType>)>,
         post: Vec<PostOp>,
     },
-    /// Concatenate collected batches, then apply post-ops.
+    /// Concatenate collected batches (in worker order — which is range
+    /// order below a sort stage), then apply post-ops.
     CollectBatches { schema: SchemaRef, post: Vec<PostOp> },
 }
 
@@ -95,6 +109,11 @@ pub enum StageOutput {
     /// [`Terminal::PartialAggregate`] here; the driver swaps in
     /// [`Terminal::PartitionedAggregate`] once the merge fleet is sized.
     AggExchange,
+    /// Workers range-partition their locally sorted runs onto the
+    /// exchange edge feeding a [`SortStage`], after agreeing on sample
+    /// boundaries through storage. The consumer sort stage carries the
+    /// keys and limit; the driver wires partition counts at launch.
+    SortExchange,
 }
 
 /// A scan-rooted fragment: one serverless fleet scanning table files.
@@ -119,9 +138,9 @@ pub struct ScanStage {
 /// build side, probes it with the probe side, and runs `post`.
 #[derive(Clone, Debug)]
 pub struct JoinStage {
-    /// DAG index of the probe-side (left) input stage.
+    /// DAG index of the probe-side (left) input stage — a scan or a join.
     pub probe_input: usize,
-    /// DAG index of the build-side (right) input stage.
+    /// DAG index of the build-side (right) input stage — a scan or a join.
     pub build_input: usize,
     /// Schema of the probe input rows (its producer's intermediate schema).
     pub probe_schema: SchemaRef,
@@ -131,20 +150,22 @@ pub struct JoinStage {
     pub build_keys: Vec<usize>,
     /// Post-join pipeline: `input_schema` is `probe ++ build`, predicate
     /// is the residual (cross-side) filter, projection restores the
-    /// plan's output columns, and the terminal is partial aggregation or
-    /// collection.
+    /// plan's output columns, and the terminal is partial aggregation,
+    /// local sorting, or collection.
     pub post: PipelineSpec,
-    /// Driver for join-rooted queries; [`StageOutput::AggExchange`] when a
-    /// grouped aggregate above the join runs repartitioned.
+    /// Driver for join-rooted queries; [`StageOutput::Exchange`] when a
+    /// parent join consumes this join's rows; [`StageOutput::AggExchange`]
+    /// / [`StageOutput::SortExchange`] when a repartitioned aggregation or
+    /// distributed sort sits above.
     pub output: StageOutput,
 }
 
 /// A repartitioned-aggregation merge stage: worker `p` of the fleet
 /// receives shard `p` of every producer's partial-aggregate state (the
-/// groups whose key hashes to `p`), merges them, finalizes, and stores the
-/// resulting batch for the driver to collect. Because producers shard by
-/// group-key hash, the fleet's group ranges are disjoint and no
-/// driver-side merge is needed.
+/// groups whose key hashes to `p`), merges them, finalizes, and either
+/// stores the resulting batch for the driver or feeds it to a sort stage.
+/// Because producers shard by group-key hash, the fleet's group ranges
+/// are disjoint and no driver-side merge is needed.
 #[derive(Clone, Debug)]
 pub struct AggMergeStage {
     /// DAG index of the producer stage (a scan or join stage with
@@ -156,6 +177,27 @@ pub struct AggMergeStage {
     /// Accumulator shapes, to build an empty state when a partition
     /// receives no groups.
     pub funcs: Vec<(AggFunc, Option<DataType>)>,
+    /// Driver, or [`StageOutput::SortExchange`] when a distributed sort
+    /// consumes the finalized groups.
+    pub output: StageOutput,
+}
+
+/// A distributed sort/top-k stage: worker `p` of the fleet receives range
+/// partition `p` of every producer's locally sorted run, sorts it, and
+/// truncates to `limit`. Ranges are disjoint and ordered, so the driver
+/// concatenates the fleet's outputs in worker order and the result is
+/// globally sorted — the driver-side sort of §3.2 moved into the
+/// serverless scope.
+#[derive(Clone, Debug)]
+pub struct SortStage {
+    /// DAG index of the producer stage (with [`StageOutput::SortExchange`]).
+    pub input: usize,
+    /// Schema of the rows on the edge (the producer's output schema).
+    pub schema: SchemaRef,
+    /// Sort keys over `schema`.
+    pub keys: Vec<SortKey>,
+    /// Per-partition top-k truncation (the query's `LIMIT`).
+    pub limit: Option<usize>,
 }
 
 /// One node of the stage DAG.
@@ -164,21 +206,48 @@ pub enum StageKind {
     Scan(ScanStage),
     Join(JoinStage),
     AggMerge(AggMergeStage),
+    Sort(SortStage),
 }
 
 impl StageKind {
-    pub fn label(&self) -> String {
+    /// DAG indices of the stages feeding this one (always smaller than
+    /// this stage's own index — [`QueryDag::stages`] is topologically
+    /// ordered).
+    pub fn inputs(&self) -> Vec<usize> {
         match self {
-            StageKind::Scan(s) => format!("scan:{}", s.table),
-            StageKind::Join(_) => "join".to_string(),
-            StageKind::AggMerge(_) => "agg".to_string(),
+            StageKind::Scan(_) => Vec::new(),
+            StageKind::Join(j) => vec![j.probe_input, j.build_input],
+            StageKind::AggMerge(a) => vec![a.input],
+            StageKind::Sort(s) => vec![s.input],
+        }
+    }
+
+    /// Where this stage's output goes.
+    pub fn output(&self) -> &StageOutput {
+        match self {
+            StageKind::Scan(s) => &s.output,
+            StageKind::Join(j) => &j.output,
+            StageKind::AggMerge(a) => &a.output,
+            StageKind::Sort(_) => &StageOutput::Driver,
+        }
+    }
+
+    /// Human label carrying the stage's stable topo-ordered id:
+    /// `scan:lineitem#0`, `join#2`, `agg#3`, `sort#4`.
+    pub fn label(&self, id: usize) -> String {
+        match self {
+            StageKind::Scan(s) => format!("scan:{}#{id}", s.table),
+            StageKind::Join(_) => format!("join#{id}"),
+            StageKind::AggMerge(_) => format!("agg#{id}"),
+            StageKind::Sort(_) => format!("sort#{id}"),
         }
     }
 }
 
 /// A distributed query: stages in topological order (the last stage feeds
 /// the driver), connected by exchange edges, plus the driver-scope final
-/// stage.
+/// stage. Single-stage plans are just trivial DAGs — the scheduler treats
+/// every shape, diamonds included, uniformly.
 #[derive(Clone, Debug)]
 pub struct QueryDag {
     pub stages: Vec<StageKind>,
@@ -186,23 +255,35 @@ pub struct QueryDag {
 }
 
 impl QueryDag {
-    /// `true` when the plan is the classic one-fleet fragment.
-    pub fn is_single_stage(&self) -> bool {
-        self.stages.len() == 1
+    /// Verify the topological invariant every scheduler pass relies on:
+    /// each stage's inputs precede it, and only the last stage reports to
+    /// the driver.
+    pub fn validate(&self) -> Result<()> {
+        for (sid, kind) in self.stages.iter().enumerate() {
+            for input in kind.inputs() {
+                if input >= sid {
+                    return Err(CoreError::Engine(format!(
+                        "stage {sid} consumes stage {input}: not topologically ordered"
+                    )));
+                }
+            }
+            let is_last = sid + 1 == self.stages.len();
+            if is_last != matches!(kind.output(), StageOutput::Driver) {
+                return Err(CoreError::Engine(format!(
+                    "stage {sid} of {}: exactly the last stage must output to the driver",
+                    self.stages.len()
+                )));
+            }
+        }
+        Ok(())
     }
 }
 
 /// Split an *optimized* plan into a stage DAG with default options
-/// (driver-side aggregate merging). Supported shapes:
-///
-/// ```text
-/// [Project|Sort|Limit]* → [Aggregate]? → [Project]? → [Filter]? → Scan
-/// [Project|Sort|Limit]* → [Aggregate]? → [Project|Filter]* → Join
-///                                          where Join inputs are [Project?] → Scan
-/// ```
-///
-/// Anything else (nested joins, aggregates below joins) still reports
-/// `CoreError::Unsupported` and falls back to the local reference engine.
+/// (driver-side aggregate merging and sorting). Any tree of
+/// `Scan | Filter | Project | Join | Aggregate(top) | Sort(top) | Limit(top)`
+/// lowers — joins nest arbitrarily. Aggregates below joins still report
+/// `CoreError::Unsupported` and fall back to the local reference engine.
 pub fn split(plan: &LogicalPlan) -> Result<QueryDag> {
     split_with(plan, &SplitOptions::default())
 }
@@ -234,6 +315,18 @@ pub fn split_with(plan: &LogicalPlan, opts: &SplitOptions) -> Result<QueryDag> {
     }
     post.reverse(); // apply bottom-up
 
+    // A trailing `ORDER BY [LIMIT]` (and nothing else) can lower into a
+    // distributed sort stage when the sorted rows materialize serverlessly.
+    let sort_spec: Option<(Vec<SortKey>, Option<usize>)> = if opts.exchange_sorts {
+        match post.as_slice() {
+            [PostOp::Sort(keys)] => Some((keys.clone(), None)),
+            [PostOp::Sort(keys), PostOp::Limit(n)] => Some((keys.clone(), Some(*n))),
+            _ => None,
+        }
+    } else {
+        None
+    };
+
     match node {
         LogicalPlan::Aggregate { input, group_by, aggs } => {
             let agg_schema = node.schema()?;
@@ -245,35 +338,82 @@ pub fn split_with(plan: &LogicalPlan, opts: &SplitOptions) -> Result<QueryDag> {
                 // Repartitioned aggregation: the producer ships sharded
                 // grouped states over an exchange edge; an agg-merge
                 // fleet finalizes; the driver only concatenates.
-                let final_stage = FinalStage::CollectBatches { schema: agg_schema.clone(), post };
-                let mut dag = if contains_join(input) {
-                    split_join(input, terminal, final_stage, StageOutput::AggExchange)?
-                } else {
-                    split_scan_only(input, terminal, final_stage, StageOutput::AggExchange)?
-                };
-                let input_idx = dag.stages.len() - 1;
-                dag.stages.push(StageKind::AggMerge(AggMergeStage {
-                    input: input_idx,
-                    agg_schema,
-                    funcs,
-                }));
-                Ok(dag)
-            } else {
-                let final_stage = FinalStage::MergeAggregate { agg_schema, funcs, post };
-                if contains_join(input) {
-                    split_join(input, terminal, final_stage, StageOutput::Driver)
-                } else {
-                    split_scan_only(input, terminal, final_stage, StageOutput::Driver)
+                let mut stages = Vec::new();
+                let input_idx =
+                    lower_producer(input, terminal, StageOutput::AggExchange, &mut stages)?;
+                match sort_spec {
+                    Some((keys, limit)) => {
+                        // …and a sort fleet totally orders the finalized
+                        // groups: nothing but concatenation on the driver.
+                        stages.push(StageKind::AggMerge(AggMergeStage {
+                            input: input_idx,
+                            agg_schema: agg_schema.clone(),
+                            funcs,
+                            output: StageOutput::SortExchange,
+                        }));
+                        let merge_idx = stages.len() - 1;
+                        stages.push(StageKind::Sort(SortStage {
+                            input: merge_idx,
+                            schema: agg_schema.clone(),
+                            keys,
+                            limit,
+                        }));
+                        let post = limit.map(PostOp::Limit).into_iter().collect();
+                        Ok(QueryDag {
+                            stages,
+                            final_stage: FinalStage::CollectBatches { schema: agg_schema, post },
+                        })
+                    }
+                    None => {
+                        stages.push(StageKind::AggMerge(AggMergeStage {
+                            input: input_idx,
+                            agg_schema: agg_schema.clone(),
+                            funcs,
+                            output: StageOutput::Driver,
+                        }));
+                        Ok(QueryDag {
+                            stages,
+                            final_stage: FinalStage::CollectBatches { schema: agg_schema, post },
+                        })
+                    }
                 }
+            } else {
+                // Driver-merged aggregates only materialize on the
+                // driver, so Sort/Limit stay driver post-ops.
+                let final_stage = FinalStage::MergeAggregate { agg_schema, funcs, post };
+                let mut stages = Vec::new();
+                lower_producer(input, terminal, StageOutput::Driver, &mut stages)?;
+                Ok(QueryDag { stages, final_stage })
             }
         }
         _ => {
             let schema = node.schema()?;
-            let final_stage = FinalStage::CollectBatches { schema, post };
-            if contains_join(node) {
-                split_join(node, Terminal::Collect, final_stage, StageOutput::Driver)
-            } else {
-                split_scan_only(node, Terminal::Collect, final_stage, StageOutput::Driver)
+            match sort_spec {
+                Some((keys, limit)) => {
+                    // Producer fleet locally sorts + truncates, then range
+                    // partitions into the sort fleet.
+                    let terminal = Terminal::SortPartition { keys: keys.clone(), limit };
+                    let mut stages = Vec::new();
+                    let input_idx =
+                        lower_producer(node, terminal, StageOutput::SortExchange, &mut stages)?;
+                    stages.push(StageKind::Sort(SortStage {
+                        input: input_idx,
+                        schema: schema.clone(),
+                        keys,
+                        limit,
+                    }));
+                    let post = limit.map(PostOp::Limit).into_iter().collect();
+                    Ok(QueryDag {
+                        stages,
+                        final_stage: FinalStage::CollectBatches { schema, post },
+                    })
+                }
+                None => {
+                    let final_stage = FinalStage::CollectBatches { schema, post };
+                    let mut stages = Vec::new();
+                    lower_producer(node, Terminal::Collect, StageOutput::Driver, &mut stages)?;
+                    Ok(QueryDag { stages, final_stage })
+                }
             }
         }
     }
@@ -290,44 +430,52 @@ fn contains_join(node: &LogicalPlan) -> bool {
     }
 }
 
-/// The classic single-fragment path; `output` is [`StageOutput::Driver`]
-/// for driver-merged queries or [`StageOutput::AggExchange`] when a
-/// grouped aggregate runs repartitioned.
-fn split_scan_only(
+/// Lower a producer subtree `[Project|Filter]* → (Scan | Join)` with the
+/// given root terminal and output, appending its stages in topological
+/// order. Returns the root stage's DAG index.
+fn lower_producer(
     node: &LogicalPlan,
     terminal: Terminal,
-    final_stage: FinalStage,
     output: StageOutput,
-) -> Result<QueryDag> {
-    let (table, scan_columns, prune_predicate, pre_projection, _mid) = lower_fragment_input(node)?;
-    let pipeline = PipelineSpec {
-        input_schema: mid_schema_input(&scan_columns, node)?,
-        predicate: pipeline_predicate(&scan_columns, node)?,
-        projection: pre_projection,
-        terminal,
-    };
-    Ok(QueryDag {
-        stages: vec![StageKind::Scan(ScanStage {
-            table,
-            scan_columns,
-            prune_predicate,
-            pipeline,
-            output,
-        })],
-        final_stage,
-    })
+    stages: &mut Vec<StageKind>,
+) -> Result<usize> {
+    if contains_join(node) {
+        lower_join(node, terminal, output, stages)
+    } else {
+        stages.push(StageKind::Scan(lower_scan_stage(node, terminal, output)?));
+        Ok(stages.len() - 1)
+    }
 }
 
-/// The partitioned hash-join path: peel residual `Project|Filter` nodes
-/// above the join into the join stage's post pipeline, then lower each
-/// join input into a hash-partitioning scan stage. `output` is where the
-/// join stage's post pipeline sends its result.
-fn split_join(
+/// Lower one join input into a stage feeding a row-exchange edge
+/// hash-partitioned on `keys` (expressed in the input's output schema):
+/// a scan stage for `[Project?] → Scan`, recursively a join stage for a
+/// nested join — its post pipeline's rows leave through the exchange
+/// exactly like a scan's would.
+fn lower_join_input(
+    node: &LogicalPlan,
+    keys: Vec<usize>,
+    stages: &mut Vec<StageKind>,
+) -> Result<usize> {
+    if contains_join(node) {
+        lower_join(node, Terminal::Collect, StageOutput::Exchange { keys }, stages)
+    } else {
+        stages.push(StageKind::Scan(lower_exchange_scan(node, keys)?));
+        Ok(stages.len() - 1)
+    }
+}
+
+/// The partitioned hash-join lowering: peel residual `Project|Filter`
+/// nodes above the join into the join stage's post pipeline, then lower
+/// each join input — scan or nested join — into a stage feeding a
+/// hash-partitioned exchange edge. `output` is where the join stage's
+/// post pipeline sends its result. Returns the join stage's DAG index.
+fn lower_join(
     node: &LogicalPlan,
     terminal: Terminal,
-    final_stage: FinalStage,
     output: StageOutput,
-) -> Result<QueryDag> {
+    stages: &mut Vec<StageKind>,
+) -> Result<usize> {
     // Collect the ops between the consumer and the join, top-down.
     enum PostJoinOp {
         Proj(Vec<(Expr, String)>),
@@ -413,25 +561,19 @@ fn split_join(
         terminal,
     };
 
-    let probe_stage = lower_exchange_scan(left, probe_keys.clone())?;
-    let build_stage = lower_exchange_scan(right, build_keys.clone())?;
-    Ok(QueryDag {
-        stages: vec![
-            StageKind::Scan(probe_stage),
-            StageKind::Scan(build_stage),
-            StageKind::Join(JoinStage {
-                probe_input: 0,
-                build_input: 1,
-                probe_schema,
-                build_schema,
-                probe_keys,
-                build_keys,
-                post,
-                output,
-            }),
-        ],
-        final_stage,
-    })
+    let probe_input = lower_join_input(left, probe_keys.clone(), stages)?;
+    let build_input = lower_join_input(right, build_keys.clone(), stages)?;
+    stages.push(StageKind::Join(JoinStage {
+        probe_input,
+        build_input,
+        probe_schema,
+        build_schema,
+        probe_keys,
+        build_keys,
+        post,
+        output,
+    }));
+    Ok(stages.len() - 1)
 }
 
 /// Rewrite `expr`'s column references through a projection whose entries
@@ -451,24 +593,28 @@ fn remap_through_simple(expr: &Expr, projection: &[(Expr, String)]) -> Option<Ex
     Some(expr.remap_columns(&|i| mapping[&i]))
 }
 
-/// Lower one join input (`[Project?] → Scan`) into a scan stage feeding
-/// an exchange edge. The terminal is `Collect` here; the driver swaps in
-/// `HashPartition { keys, partitions }` once the join fleet is sized.
-fn lower_exchange_scan(node: &LogicalPlan, keys: Vec<usize>) -> Result<ScanStage> {
+/// Lower a scan-rooted fragment `[Project?] → Scan` into one scan stage
+/// with the given terminal and output.
+fn lower_scan_stage(
+    node: &LogicalPlan,
+    terminal: Terminal,
+    output: StageOutput,
+) -> Result<ScanStage> {
     let (table, scan_columns, prune_predicate, pre_projection, _mid) = lower_fragment_input(node)?;
     let pipeline = PipelineSpec {
         input_schema: mid_schema_input(&scan_columns, node)?,
         predicate: pipeline_predicate(&scan_columns, node)?,
         projection: pre_projection,
-        terminal: Terminal::Collect,
+        terminal,
     };
-    Ok(ScanStage {
-        table,
-        scan_columns,
-        prune_predicate,
-        pipeline,
-        output: StageOutput::Exchange { keys },
-    })
+    Ok(ScanStage { table, scan_columns, prune_predicate, pipeline, output })
+}
+
+/// Lower one join input (`[Project?] → Scan`) into a scan stage feeding
+/// an exchange edge. The terminal is `Collect` here; the driver swaps in
+/// `HashPartition { keys, partitions }` once the join fleet is sized.
+fn lower_exchange_scan(node: &LogicalPlan, keys: Vec<usize>) -> Result<ScanStage> {
+    lower_scan_stage(node, Terminal::Collect, StageOutput::Exchange { keys })
 }
 
 /// Walk `Project? → Filter? → Scan` below the consumer. Returns
@@ -619,7 +765,8 @@ mod tests {
     #[test]
     fn splits_aggregate_query() {
         let dag = split(&q1ish()).unwrap();
-        assert!(dag.is_single_stage());
+        assert_eq!(dag.stages.len(), 1);
+        dag.validate().unwrap();
         let StageKind::Scan(stage) = &dag.stages[0] else {
             panic!("expected scan stage");
         };
@@ -644,7 +791,7 @@ mod tests {
             LogicalPlan::Filter { input: Box::new(scan("t")), predicate: col(0).le(lit_i64(3)) };
         let plan = Optimizer::new().optimize(&plan).unwrap();
         let dag = split(&plan).unwrap();
-        assert!(dag.is_single_stage());
+        assert_eq!(dag.stages.len(), 1);
         let StageKind::Scan(stage) = &dag.stages[0] else {
             panic!("expected scan stage");
         };
@@ -666,6 +813,7 @@ mod tests {
         let plan = Optimizer::new().optimize(&plan).unwrap();
         let dag = split(&plan).unwrap();
         assert_eq!(dag.stages.len(), 3);
+        dag.validate().unwrap();
         let StageKind::Scan(probe) = &dag.stages[0] else { panic!("probe scan") };
         let StageKind::Scan(build) = &dag.stages[1] else { panic!("build scan") };
         let StageKind::Join(join) = &dag.stages[2] else { panic!("join stage") };
@@ -735,9 +883,10 @@ mod tests {
 
     #[test]
     fn exchange_planned_aggregate_splits_into_scan_exchange_merge() {
-        let opts = SplitOptions { exchange_aggregates: true };
+        let opts = SplitOptions { exchange_aggregates: true, ..SplitOptions::default() };
         let dag = split_with(&q1ish(), &opts).unwrap();
         assert_eq!(dag.stages.len(), 2);
+        dag.validate().unwrap();
         let StageKind::Scan(scan) = &dag.stages[0] else { panic!("scan stage") };
         // The scan keeps its partial-aggregation terminal (the driver
         // swaps in the partitioned variant) but feeds the agg exchange.
@@ -747,6 +896,7 @@ mod tests {
         assert_eq!(merge.input, 0);
         assert_eq!(merge.agg_schema.len(), 2);
         assert_eq!(merge.funcs.len(), 1);
+        assert!(matches!(merge.output, StageOutput::Driver));
         // The driver-side merge path is gone: the final stage only
         // concatenates finalized partition batches.
         let FinalStage::CollectBatches { schema, post } = &dag.final_stage else {
@@ -768,7 +918,7 @@ mod tests {
             aggs: vec![A::new(AggFunc::Sum, Some(col(5)), "sum_ub")],
         };
         let plan = Optimizer::new().optimize(&plan).unwrap();
-        let opts = SplitOptions { exchange_aggregates: true };
+        let opts = SplitOptions { exchange_aggregates: true, ..SplitOptions::default() };
         let dag = split_with(&plan, &opts).unwrap();
         assert_eq!(dag.stages.len(), 4);
         let StageKind::Join(join) = &dag.stages[2] else { panic!("join stage") };
@@ -788,24 +938,198 @@ mod tests {
             aggs: vec![A::new(AggFunc::Sum, Some(col(1)), "sum_b")],
         };
         let plan = Optimizer::new().optimize(&plan).unwrap();
-        let opts = SplitOptions { exchange_aggregates: true };
+        let opts = SplitOptions { exchange_aggregates: true, ..SplitOptions::default() };
         let dag = split_with(&plan, &opts).unwrap();
-        assert!(dag.is_single_stage());
+        assert_eq!(dag.stages.len(), 1);
         assert!(matches!(dag.final_stage, FinalStage::MergeAggregate { .. }));
     }
 
-    #[test]
-    fn nested_joins_still_unsupported() {
+    fn three_way_join() -> LogicalPlan {
+        // (t ⋈ u) ⋈ v — the shape the old fixed matcher rejected.
         let inner = LogicalPlan::Join {
             left: Box::new(scan("t")),
             right: Box::new(scan("u")),
             on: vec![(0, 0)],
         };
+        LogicalPlan::Join { left: Box::new(inner), right: Box::new(scan("v")), on: vec![(2, 0)] }
+    }
+
+    #[test]
+    fn nested_joins_lower_to_a_five_stage_dag() {
+        let dag = split(&three_way_join()).unwrap();
+        assert_eq!(dag.stages.len(), 5);
+        dag.validate().unwrap();
+        // Topological order: inner join's scans, inner join, outer
+        // build scan, outer join.
+        let StageKind::Join(inner) = &dag.stages[2] else { panic!("inner join at 2") };
+        let StageKind::Join(outer) = &dag.stages[4] else { panic!("outer join last") };
+        assert_eq!((inner.probe_input, inner.build_input), (0, 1));
+        assert_eq!((outer.probe_input, outer.build_input), (2, 3));
+        // The inner join's rows leave on a hash-partitioned row exchange
+        // keyed by the outer join's probe keys.
+        let StageOutput::Exchange { keys } = &inner.output else {
+            panic!("inner join feeds a row exchange");
+        };
+        assert_eq!(keys, &outer.probe_keys);
+        assert_eq!(outer.probe_keys, vec![2]);
+        assert!(matches!(inner.post.terminal, Terminal::Collect));
+        assert!(matches!(outer.output, StageOutput::Driver));
+        // The inner join's output schema (t ++ u) is the outer probe side.
+        assert_eq!(outer.probe_schema.len(), 8);
+        assert_eq!(outer.build_schema.len(), 4);
+        // Labels carry stable topo ids.
+        let labels: Vec<String> = dag.stages.iter().enumerate().map(|(i, s)| s.label(i)).collect();
+        assert_eq!(labels, ["scan:t#0", "scan:u#1", "join#2", "scan:v#3", "join#4"]);
+    }
+
+    #[test]
+    fn join_depth_three_lowers() {
+        // ((t ⋈ u) ⋈ v) ⋈ w: seven stages, joins at 2, 4, 6.
         let plan = LogicalPlan::Join {
-            left: Box::new(inner),
-            right: Box::new(scan("v")),
+            left: Box::new(three_way_join()),
+            right: Box::new(scan("w")),
             on: vec![(0, 0)],
         };
-        assert!(matches!(split(&plan), Err(CoreError::Unsupported(_))));
+        let dag = split(&plan).unwrap();
+        assert_eq!(dag.stages.len(), 7);
+        dag.validate().unwrap();
+        assert!(matches!(&dag.stages[6], StageKind::Join(j)
+            if j.probe_input == 4 && j.build_input == 5));
+    }
+
+    #[test]
+    fn aggregate_over_nested_join_repartitions_from_the_outer_join() {
+        let plan = LogicalPlan::Aggregate {
+            input: Box::new(three_way_join()),
+            group_by: vec![(col(2), "g".to_string())],
+            aggs: vec![A::new(AggFunc::Sum, Some(col(1)), "s")],
+        };
+        let opts = SplitOptions { exchange_aggregates: true, ..SplitOptions::default() };
+        let dag = split_with(&plan, &opts).unwrap();
+        assert_eq!(dag.stages.len(), 6);
+        dag.validate().unwrap();
+        let StageKind::Join(outer) = &dag.stages[4] else { panic!("outer join") };
+        assert!(matches!(outer.output, StageOutput::AggExchange));
+        let StageKind::AggMerge(merge) = &dag.stages[5] else { panic!("merge fleet") };
+        assert_eq!(merge.input, 4);
+    }
+
+    #[test]
+    fn trailing_sort_limit_lowers_to_a_sort_stage() {
+        // SELECT * FROM t WHERE a <= 3 ORDER BY b DESC LIMIT 5
+        let plan = LogicalPlan::Limit {
+            input: Box::new(LogicalPlan::Sort {
+                input: Box::new(LogicalPlan::Filter {
+                    input: Box::new(scan("t")),
+                    predicate: col(0).le(lit_i64(3)),
+                }),
+                keys: vec![SortKey::desc(col(1))],
+            }),
+            n: 5,
+        };
+        let plan = Optimizer::new().optimize(&plan).unwrap();
+        let opts = SplitOptions { exchange_sorts: true, ..SplitOptions::default() };
+        let dag = split_with(&plan, &opts).unwrap();
+        assert_eq!(dag.stages.len(), 2);
+        dag.validate().unwrap();
+        let StageKind::Scan(producer) = &dag.stages[0] else { panic!("scan stage") };
+        assert!(matches!(producer.output, StageOutput::SortExchange));
+        let Terminal::SortPartition { keys, limit } = &producer.pipeline.terminal else {
+            panic!("producer locally sorts + truncates");
+        };
+        assert_eq!(keys.len(), 1);
+        assert_eq!(*limit, Some(5), "limit pushed into the producer");
+        let StageKind::Sort(sort) = &dag.stages[1] else { panic!("sort stage") };
+        assert_eq!(sort.input, 0);
+        assert_eq!(sort.limit, Some(5));
+        // The driver only concatenates + truncates; no Sort post-op left.
+        let FinalStage::CollectBatches { post, .. } = &dag.final_stage else {
+            panic!("collect final stage");
+        };
+        assert_eq!(post.len(), 1);
+        assert!(matches!(post[0], PostOp::Limit(5)));
+    }
+
+    #[test]
+    fn exchange_agg_with_trailing_sort_appends_merge_and_sort_stages() {
+        // Q5-ish shape: agg over a join, ORDER BY + LIMIT on top, both
+        // exchange options on — the whole query runs serverlessly.
+        let plan = LogicalPlan::Limit {
+            input: Box::new(LogicalPlan::Sort {
+                input: Box::new(LogicalPlan::Aggregate {
+                    input: Box::new(LogicalPlan::Join {
+                        left: Box::new(scan("t")),
+                        right: Box::new(scan("u")),
+                        on: vec![(0, 0)],
+                    }),
+                    group_by: vec![(col(2), "g".to_string())],
+                    aggs: vec![A::new(AggFunc::Sum, Some(col(5)), "s")],
+                }),
+                keys: vec![SortKey::desc(col(1))],
+            }),
+            n: 3,
+        };
+        let plan = Optimizer::new().optimize(&plan).unwrap();
+        let opts = SplitOptions { exchange_aggregates: true, exchange_sorts: true };
+        let dag = split_with(&plan, &opts).unwrap();
+        assert_eq!(dag.stages.len(), 5, "scan, scan, join, agg-merge, sort");
+        dag.validate().unwrap();
+        let StageKind::AggMerge(merge) = &dag.stages[3] else { panic!("merge fleet") };
+        assert!(matches!(merge.output, StageOutput::SortExchange));
+        let StageKind::Sort(sort) = &dag.stages[4] else { panic!("sort fleet") };
+        assert_eq!(sort.input, 3);
+        assert_eq!(sort.schema.len(), 2, "sorts the finalized groups");
+        let FinalStage::CollectBatches { post, .. } = &dag.final_stage else {
+            panic!("concatenate only");
+        };
+        assert!(matches!(post.as_slice(), [PostOp::Limit(3)]));
+    }
+
+    #[test]
+    fn driver_merged_aggregate_keeps_the_sort_on_the_driver() {
+        // Without exchange_aggregates the aggregate only materializes on
+        // the driver — a sort stage has nothing serverless to sort.
+        let opts = SplitOptions { exchange_sorts: true, ..SplitOptions::default() };
+        let dag = split_with(&q1ish(), &opts).unwrap();
+        assert_eq!(dag.stages.len(), 1);
+        let FinalStage::MergeAggregate { post, .. } = &dag.final_stage else {
+            panic!("driver merge");
+        };
+        assert!(matches!(post.as_slice(), [PostOp::Sort(_)]));
+    }
+
+    #[test]
+    fn distinct_lowers_through_the_agg_machinery() {
+        let plan = lambada_engine::Df::from_plan(scan("t")).unwrap().distinct().unwrap().build();
+        let plan = Optimizer::new().optimize(&plan).unwrap();
+        // Driver merge: a single partial-aggregate fragment.
+        let dag = split(&plan).unwrap();
+        assert_eq!(dag.stages.len(), 1);
+        let FinalStage::MergeAggregate { funcs, agg_schema, .. } = &dag.final_stage else {
+            panic!("distinct merges like a group-by");
+        };
+        assert!(funcs.is_empty(), "no aggregates, just distinct keys");
+        assert_eq!(agg_schema.len(), 4);
+        // Exchange mode: scan shards distinct keys into a merge fleet.
+        let opts = SplitOptions { exchange_aggregates: true, ..SplitOptions::default() };
+        let dag = split_with(&plan, &opts).unwrap();
+        assert_eq!(dag.stages.len(), 2);
+        assert!(matches!(&dag.stages[1], StageKind::AggMerge(m) if m.funcs.is_empty()));
+    }
+
+    #[test]
+    fn validate_rejects_malformed_dags() {
+        let ok = split(&three_way_join()).unwrap();
+        // Reverse the stage order: inputs now point forward.
+        let mut backwards = ok.clone();
+        backwards.stages.reverse();
+        assert!(backwards.validate().is_err());
+        // A non-final stage claiming driver output.
+        let mut wrong_output = ok;
+        let last = wrong_output.stages.len() - 1;
+        if let StageKind::Join(j) = &mut wrong_output.stages[last] {
+            j.output = StageOutput::Exchange { keys: vec![0] };
+        }
+        assert!(wrong_output.validate().is_err());
     }
 }

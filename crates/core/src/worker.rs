@@ -10,10 +10,14 @@ use std::rc::Rc;
 
 use lambada_engine::agg::GroupedAggState;
 use lambada_engine::join::JoinState;
-use lambada_engine::physical::agg_state_to_batch;
+use lambada_engine::logical::SortKey;
+use lambada_engine::physical::{
+    agg_state_to_batch, range_boundaries, range_partition_batch, sort_batch, sort_key_columns,
+    truncate_rows,
+};
 use lambada_engine::pipeline::{Pipeline, PipelineOutput, PipelineSpec, Terminal};
 use lambada_engine::types::{DataType, Schema, SchemaRef};
-use lambada_engine::{AggFunc, Expr};
+use lambada_engine::{AggFunc, Expr, RecordBatch, Scalar};
 use lambada_sim::services::faas::{FaasService, FunctionSpec, InstanceCtx, InvokePayload};
 use lambada_sim::services::object_store::Body;
 use lambada_sim::sync::mpsc;
@@ -78,6 +82,10 @@ pub struct ScanExchangeShared {
     pub channel: String,
     pub exchange: ExchangeConfig,
     pub side: ExchangeSide,
+    /// Set when this scan feeds a sort fleet: the pipeline terminal is
+    /// [`Terminal::SortPartition`] and the finished run leaves through
+    /// the sample-then-range-partition protocol instead of hash sharding.
+    pub sort: Option<SortEdgeSpec>,
 }
 
 /// A scan-exchange assignment: shared stage + this worker's files.
@@ -87,15 +95,47 @@ pub struct ScanExchangeTask {
     pub files: Vec<TableFile>,
 }
 
+/// Producer-side configuration of a *sort-exchange* edge: how a stage's
+/// locally sorted run is range-partitioned into the consumer sort fleet.
+///
+/// Producers agree on the partition function with zero coordination
+/// beyond storage: each writes a small sample of its run's sort keys to
+/// the edge's sample channel (`{channel}smp`), LIST-polls until all
+/// `senders` samples are visible, and computes boundaries from the pooled
+/// sample deterministically — same pool, same boundaries, everywhere
+/// (speculative duplicate samples are harmless: a backup's run is
+/// bit-identical to the original's).
+#[derive(Clone)]
+pub struct SortEdgeSpec {
+    /// Sort keys over `schema`.
+    pub keys: Vec<SortKey>,
+    /// Top-k truncation pushed into producers and sorters.
+    pub limit: Option<usize>,
+    /// Schema of the rows on the edge.
+    pub schema: SchemaRef,
+    /// Consumer sort-fleet size (= range partition count).
+    pub partitions: usize,
+    /// Producer fleet size (how many sample files to await).
+    pub senders: usize,
+}
+
 /// Where a join stage's post-pipeline output goes.
 #[derive(Clone)]
 pub enum JoinOutput {
     /// Report to the driver: agg state inline, large batches via storage.
     Driver,
+    /// Hash-partition the post pipeline's rows onto the exchange edge
+    /// `channel` (the post terminal is [`Terminal::HashPartition`]),
+    /// feeding a parent join stage — the nested-join path.
+    Exchange { channel: String },
     /// Shard the post pipeline's grouped aggregate state by group-key
     /// hash onto the exchange edge `channel` (the post terminal is
     /// [`Terminal::PartitionedAggregate`]), feeding an agg-merge fleet.
     AggExchange { channel: String },
+    /// Range-partition the post pipeline's locally sorted run (the post
+    /// terminal is [`Terminal::SortPartition`]) onto the exchange edge
+    /// `channel`, feeding a sort fleet.
+    SortExchange { channel: String, edge: SortEdgeSpec },
 }
 
 /// Immutable parts of a join stage, shared across its fleet. Worker `p`
@@ -149,6 +189,40 @@ pub struct AggMergeShared {
     pub result_bucket: String,
     /// Namespaces stored results (one merge fleet per query).
     pub result_prefix: String,
+    /// Set when a sort fleet consumes the finalized groups: the merge
+    /// worker locally sorts (and top-k-truncates) its finalized batch and
+    /// range-partitions it onto the out-edge instead of storing it.
+    pub sort: Option<(String, SortEdgeSpec)>,
+}
+
+/// Immutable parts of a distributed sort stage, shared across its fleet.
+/// Worker `p` receives range partition `p` of every producer's locally
+/// sorted run, sorts it, truncates to `limit`, and stores the result.
+/// Ranges are disjoint and ordered by partition id, so the driver's
+/// concatenation (in worker order) is globally sorted.
+#[derive(Clone)]
+pub struct SortShared {
+    /// Key prefix namespacing the producer stage's sort-exchange edge.
+    pub channel: String,
+    /// Producer worker count (how many sender files to await).
+    pub senders: usize,
+    /// Schema of the rows on the edge.
+    pub schema: SchemaRef,
+    /// Sort keys over `schema`.
+    pub keys: Vec<SortKey>,
+    /// Per-partition top-k truncation (the query's `LIMIT`).
+    pub limit: Option<usize>,
+    pub exchange: ExchangeConfig,
+    pub side: ExchangeSide,
+    pub result_bucket: String,
+    /// Namespaces stored results (one sort fleet per query).
+    pub result_prefix: String,
+}
+
+/// A sort assignment; the worker id doubles as the range partition id.
+#[derive(Clone)]
+pub struct SortTask {
+    pub shared: Rc<SortShared>,
 }
 
 /// An agg-merge assignment; the worker id doubles as the partition id.
@@ -175,6 +249,9 @@ pub enum WorkerTask {
     /// Merge one co-partition of sharded partial-aggregate states and
     /// finalize it (the merge stage of a repartitioned aggregation).
     AggMerge(AggMergeTask),
+    /// Sort one range partition of a distributed sort and truncate it to
+    /// the query's limit.
+    Sort(SortTask),
     /// Repartition data through cloud storage.
     Exchange(ExchangeTask),
 }
@@ -330,8 +407,179 @@ async fn run_task(env: &WorkerEnv, task: &WorkerTask) -> Result<(ResultPayload, 
         WorkerTask::ScanExchange(task) => run_scan_exchange(env, task).await,
         WorkerTask::Join(task) => run_join(env, task).await,
         WorkerTask::AggMerge(task) => run_agg_merge(env, task).await,
+        WorkerTask::Sort(task) => run_sort(env, task).await,
         WorkerTask::Exchange(x) => run_exchange_task(env, x).await,
     }
+}
+
+/// Rows of each producer's sample kept per worker. Samples only steer
+/// partition *balance*, never correctness — every row lands in exactly
+/// one range either way — so a small constant suffices.
+const SORT_SAMPLE_ROWS: usize = 32;
+
+/// Ship one producer's locally sorted run onto a sort-exchange edge.
+///
+/// The purely serverless range-partitioning protocol (§4.4 applied to
+/// sort): (1) PUT a small, evenly spaced sample of the run's sort keys
+/// onto the edge's sample channel; (2) LIST-poll until every producer's
+/// sample is visible and read them all back; (3) compute range boundaries
+/// from the pooled sample — deterministic, so all producers agree without
+/// any coordinator; (4) range-partition the run and write it onto the
+/// data edge like any other stage edge. Updates `metrics` with the
+/// requests spent and returns the exchanged (rows, bytes).
+async fn sort_exchange_out(
+    env: &WorkerEnv,
+    exchange: &ExchangeConfig,
+    side: &ExchangeSide,
+    channel: &str,
+    edge: &SortEdgeSpec,
+    run: &RecordBatch,
+    metrics: &mut WorkerMetrics,
+) -> Result<(u64, u64)> {
+    // ---- Sample write ---------------------------------------------------
+    let key_cols = sort_key_columns(run, &edge.keys)?;
+    let rows = run.num_rows();
+    let sample_count = SORT_SAMPLE_ROWS.min(rows);
+    let sample_bytes = if sample_count == 0 {
+        Vec::new()
+    } else {
+        let idx: Vec<usize> = (0..sample_count).map(|i| i * rows / sample_count).collect();
+        let mut fields = Vec::with_capacity(edge.keys.len());
+        let mut cols = Vec::with_capacity(edge.keys.len());
+        for (j, c) in key_cols.iter().enumerate() {
+            let gathered = c.gather(&idx);
+            fields.push(lambada_engine::Field::new(format!("k{j}"), gathered.dtype()));
+            cols.push(gathered);
+        }
+        let sample = RecordBatch::new(lambada_engine::Schema::arc(fields), cols)?;
+        crate::partition::encode_batches(&[sample])?
+    };
+    let smp_channel = format!("{channel}smp");
+    let written = exchange_stage_write(
+        env,
+        exchange,
+        &smp_channel,
+        env.worker_id as usize,
+        vec![PartData::Real(sample_bytes)],
+        side,
+    )
+    .await?;
+    metrics.bytes_written += written;
+    metrics.put_requests += 1;
+
+    // ---- Sample read: every producer reads the whole pool ---------------
+    let (sample_parts, stats) =
+        exchange_stage_read(env, exchange, &smp_channel, 0, edge.senders, side).await?;
+    metrics.bytes_read += stats.bytes_read;
+    metrics.get_requests += stats.get_requests;
+    metrics.list_requests += stats.list_requests;
+    let mut pooled: Vec<Vec<Scalar>> = Vec::new();
+    for part in &sample_parts {
+        let PartData::Real(bytes) = part else {
+            return Err(CoreError::Unsupported(
+                "sort stages need real exchange payloads".to_string(),
+            ));
+        };
+        if bytes.is_empty() {
+            continue;
+        }
+        for batch in crate::partition::decode_batches(bytes)? {
+            for row in 0..batch.num_rows() {
+                pooled.push(batch.row(row));
+            }
+        }
+    }
+    let boundaries = range_boundaries(pooled, &edge.keys, edge.partitions);
+
+    // ---- Range partition + data write -----------------------------------
+    env.compute(env.costs.partition_seconds((rows * run.num_columns() * 8) as u64)).await;
+    let partitioned = range_partition_batch(run, &edge.keys, &boundaries)?;
+    let mut parts = Vec::with_capacity(edge.partitions);
+    for b in &partitioned {
+        if b.num_rows() == 0 {
+            parts.push(PartData::Real(Vec::new()));
+        } else {
+            parts.push(PartData::Real(crate::partition::encode_batches(std::slice::from_ref(b))?));
+        }
+    }
+    // The consumer fleet is sized before launch; boundaries can be fewer
+    // than partitions - 1 only when the pooled sample is tiny, leaving
+    // trailing partitions empty — pad the part list to the fleet size.
+    parts.resize(edge.partitions, PartData::Real(Vec::new()));
+    let bytes_written =
+        exchange_stage_write(env, exchange, channel, env.worker_id as usize, parts, side).await?;
+    metrics.bytes_written += bytes_written;
+    metrics.put_requests += 1;
+    metrics.rows_exchanged += rows as u64;
+    Ok((rows as u64, bytes_written))
+}
+
+/// Sort stage of a distributed sort/top-k: read range partition `p` of
+/// every producer's run, sort it, truncate to the limit, and store the
+/// resulting batch — the driver-side sort of §3.2 moved into the
+/// serverless scope. Concatenating the fleet's outputs in worker order
+/// yields the total order.
+async fn run_sort(env: &WorkerEnv, task: &SortTask) -> Result<(ResultPayload, WorkerMetrics)> {
+    let shared = &task.shared;
+    let p = env.worker_id as usize;
+    let budget = env.engine_memory_budget();
+    let mut metrics = WorkerMetrics::default();
+
+    let (parts, stats) = exchange_stage_read(
+        env,
+        &shared.exchange,
+        &shared.channel,
+        p,
+        shared.senders,
+        &shared.side,
+    )
+    .await?;
+    metrics.bytes_read += stats.bytes_read;
+    metrics.get_requests += stats.get_requests;
+    metrics.list_requests += stats.list_requests;
+
+    let mut batches = Vec::new();
+    let mut state_bytes = 0u64;
+    for part in &parts {
+        let PartData::Real(bytes) = part else {
+            return Err(CoreError::Unsupported(
+                "sort stages need real exchange payloads".to_string(),
+            ));
+        };
+        if bytes.is_empty() {
+            continue;
+        }
+        for batch in crate::partition::decode_batches(bytes)? {
+            state_bytes += (batch.num_rows() * batch.num_columns() * 8) as u64;
+            if state_bytes > budget / 2 {
+                return Err(CoreError::Engine(format!(
+                    "out of memory: sort partition exceeds half the budget {budget} B"
+                )));
+            }
+            batches.push(batch);
+        }
+    }
+    let rows_in: u64 = batches.iter().map(|b| b.num_rows() as u64).sum();
+    metrics.rows_in = rows_in;
+    metrics.rows_exchanged = rows_in;
+    env.compute(env.costs.process_seconds(rows_in)).await;
+
+    let all = RecordBatch::concat(shared.schema.clone(), &batches)?;
+    let mut sorted = sort_batch(&all, &shared.keys)?;
+    if let Some(n) = shared.limit {
+        sorted = truncate_rows(sorted, n);
+    }
+    metrics.rows_out = sorted.num_rows() as u64;
+    if sorted.num_rows() == 0 {
+        return Ok((ResultPayload::Empty, metrics));
+    }
+    let rows = sorted.num_rows() as u64;
+    let bytes = crate::partition::encode_batches(&[sorted])?;
+    let key = format!("{}/w{}", shared.result_prefix, env.worker_id);
+    metrics.bytes_written += bytes.len() as u64;
+    metrics.put_requests += 1;
+    env.s3.put(&shared.result_bucket, &key, Body::from_vec(bytes)).await?;
+    Ok((ResultPayload::StoredBatches { bucket: shared.result_bucket.clone(), key, rows }, metrics))
 }
 
 /// Run the scan pipeline of one worker, feeding items into `pipeline`
@@ -411,7 +659,7 @@ async fn run_fragment(
         ..WorkerMetrics::default()
     };
 
-    match pipeline.finish() {
+    match pipeline.finish()? {
         PipelineOutput::Aggregate(state) => Ok((ResultPayload::AggState(state.encode()), metrics)),
         PipelineOutput::Batches(batches) => {
             if batches.is_empty() {
@@ -469,9 +717,19 @@ async fn run_scan_exchange(
     }
 
     let (rows_in, rows_out) = pipeline.row_counts();
+    let mut metrics = WorkerMetrics {
+        rows_in,
+        rows_out,
+        bytes_read: scan_metrics.bytes_read,
+        get_requests: scan_metrics.get_requests,
+        row_groups_pruned: scan_metrics.row_groups_pruned,
+        row_groups_scanned: scan_metrics.row_groups_total - scan_metrics.row_groups_pruned,
+        ..WorkerMetrics::default()
+    };
     // What actually leaves on the edge: filtered rows for hash-partition
-    // stages, grouped states (one "row" per group) for agg stages.
-    let (parts, exchanged_rows) = match pipeline.finish() {
+    // stages, grouped states (one "row" per group) for agg stages, a
+    // range-partitioned sorted run for sort-exchange stages.
+    let (parts, exchanged_rows) = match pipeline.finish()? {
         PipelineOutput::Partitions(partitions) => {
             let mut parts = Vec::with_capacity(partitions.len());
             for batches in &partitions {
@@ -487,10 +745,24 @@ async fn run_scan_exchange(
             let groups: u64 = shards.iter().map(|s| s.num_groups() as u64).sum();
             (agg_shard_parts(&shards), groups)
         }
+        PipelineOutput::Batches(run) if shared.sort.is_some() => {
+            let edge = shared.sort.as_ref().expect("checked");
+            let run = RecordBatch::concat(edge.schema.clone(), &run)?;
+            let (rows, bytes) = sort_exchange_out(
+                env,
+                &shared.exchange,
+                &shared.side,
+                &shared.channel,
+                edge,
+                &run,
+                &mut metrics,
+            )
+            .await?;
+            return Ok((ResultPayload::Exchanged { rows, bytes }, metrics));
+        }
         _ => {
             return Err(CoreError::Engine(
-                "scan-exchange task needs a hash-partition or partitioned-aggregate terminal"
-                    .to_string(),
+                "scan-exchange task needs a sharding or sort-partition terminal".to_string(),
             ))
         }
     };
@@ -503,19 +775,9 @@ async fn run_scan_exchange(
         &shared.side,
     )
     .await?;
-
-    let metrics = WorkerMetrics {
-        rows_in,
-        rows_out,
-        bytes_read: scan_metrics.bytes_read,
-        get_requests: scan_metrics.get_requests,
-        row_groups_pruned: scan_metrics.row_groups_pruned,
-        row_groups_scanned: scan_metrics.row_groups_total - scan_metrics.row_groups_pruned,
-        bytes_written,
-        put_requests: 1,
-        rows_exchanged: exchanged_rows,
-        ..WorkerMetrics::default()
-    };
+    metrics.bytes_written += bytes_written;
+    metrics.put_requests += 1;
+    metrics.rows_exchanged = exchanged_rows;
     Ok((ResultPayload::Exchanged { rows: exchanged_rows, bytes: bytes_written }, metrics))
 }
 
@@ -602,7 +864,7 @@ async fn run_join(env: &WorkerEnv, task: &JoinTask) -> Result<(ResultPayload, Wo
     let (probe_rows, _) = probe_pipeline.row_counts();
     metrics.rows_in = probe_rows + build_rows;
     metrics.rows_exchanged = probe_rows + build_rows;
-    let PipelineOutput::Batches(joined) = probe_pipeline.finish() else {
+    let PipelineOutput::Batches(joined) = probe_pipeline.finish()? else {
         unreachable!("probe terminal collects joined batches");
     };
 
@@ -615,7 +877,7 @@ async fn run_join(env: &WorkerEnv, task: &JoinTask) -> Result<(ResultPayload, Wo
     let (_, rows_out) = post.row_counts();
     metrics.rows_out = rows_out;
 
-    match post.finish() {
+    match post.finish()? {
         PipelineOutput::Aggregate(state) => Ok((ResultPayload::AggState(state.encode()), metrics)),
         PipelineOutput::AggShards(shards) => {
             let JoinOutput::AggExchange { channel } = &shared.output else {
@@ -637,24 +899,68 @@ async fn run_join(env: &WorkerEnv, task: &JoinTask) -> Result<(ResultPayload, Wo
             metrics.put_requests += 1;
             Ok((ResultPayload::Exchanged { rows: groups, bytes: bytes_written }, metrics))
         }
-        PipelineOutput::Batches(batches) => {
-            if batches.is_empty() {
-                return Ok((ResultPayload::Empty, metrics));
+        PipelineOutput::Partitions(partitions) => {
+            // Nested join: this join's rows feed a parent join's edge,
+            // hash-partitioned exactly like a scan stage's would be.
+            let JoinOutput::Exchange { channel } = &shared.output else {
+                return Err(CoreError::Engine(
+                    "hash-partition terminal needs a row-exchange output".to_string(),
+                ));
+            };
+            let mut parts = Vec::with_capacity(partitions.len());
+            for batches in &partitions {
+                if batches.is_empty() {
+                    parts.push(PartData::Real(Vec::new()));
+                } else {
+                    parts.push(PartData::Real(crate::partition::encode_batches(batches)?));
+                }
             }
-            let rows: u64 = batches.iter().map(|b| b.num_rows() as u64).sum();
-            let bytes = crate::partition::encode_batches(&batches)?;
-            let key = format!("{}/w{}", shared.result_prefix, env.worker_id);
-            metrics.bytes_written = bytes.len() as u64;
+            let bytes_written =
+                exchange_stage_write(env, &shared.exchange, channel, p, parts, &shared.side)
+                    .await?;
+            metrics.bytes_written += bytes_written;
             metrics.put_requests += 1;
-            env.s3.put(&shared.result_bucket, &key, Body::from_vec(bytes)).await?;
-            Ok((
-                ResultPayload::StoredBatches { bucket: shared.result_bucket.clone(), key, rows },
-                metrics,
-            ))
+            metrics.rows_exchanged += rows_out;
+            Ok((ResultPayload::Exchanged { rows: rows_out, bytes: bytes_written }, metrics))
         }
-        PipelineOutput::Partitions(_) => Err(CoreError::Engine(
-            "join post pipeline cannot end in a hash-partition terminal".to_string(),
-        )),
+        PipelineOutput::Batches(batches) => match &shared.output {
+            JoinOutput::SortExchange { channel, edge } => {
+                let run = RecordBatch::concat(edge.schema.clone(), &batches)?;
+                let (rows, bytes) = sort_exchange_out(
+                    env,
+                    &shared.exchange,
+                    &shared.side,
+                    channel,
+                    edge,
+                    &run,
+                    &mut metrics,
+                )
+                .await?;
+                Ok((ResultPayload::Exchanged { rows, bytes }, metrics))
+            }
+            JoinOutput::Driver => {
+                if batches.is_empty() {
+                    return Ok((ResultPayload::Empty, metrics));
+                }
+                let rows: u64 = batches.iter().map(|b| b.num_rows() as u64).sum();
+                let bytes = crate::partition::encode_batches(&batches)?;
+                let key = format!("{}/w{}", shared.result_prefix, env.worker_id);
+                metrics.bytes_written = bytes.len() as u64;
+                metrics.put_requests += 1;
+                env.s3.put(&shared.result_bucket, &key, Body::from_vec(bytes)).await?;
+                Ok((
+                    ResultPayload::StoredBatches {
+                        bucket: shared.result_bucket.clone(),
+                        key,
+                        rows,
+                    },
+                    metrics,
+                ))
+            }
+            _ => Err(CoreError::Engine(
+                "collecting join terminal needs a driver or sort-exchange output".to_string(),
+            )),
+        },
     }
 }
 
@@ -710,6 +1016,28 @@ async fn run_agg_merge(
 
     let batch = agg_state_to_batch(&state, &shared.agg_schema)?;
     metrics.rows_out = batch.num_rows() as u64;
+
+    if let Some((channel, edge)) = &shared.sort {
+        // A sort fleet consumes the finalized groups: locally sort,
+        // truncate to the pushed-down limit, and range-partition onto the
+        // out-edge — this merge worker is a sort-exchange producer.
+        let mut run = sort_batch(&batch, &edge.keys)?;
+        if let Some(n) = edge.limit {
+            run = truncate_rows(run, n);
+        }
+        let (rows, bytes) = sort_exchange_out(
+            env,
+            &shared.exchange,
+            &shared.side,
+            channel,
+            edge,
+            &run,
+            &mut metrics,
+        )
+        .await?;
+        return Ok((ResultPayload::Exchanged { rows, bytes }, metrics));
+    }
+
     if batch.num_rows() == 0 {
         return Ok((ResultPayload::Empty, metrics));
     }

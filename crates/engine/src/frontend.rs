@@ -106,6 +106,25 @@ impl Df {
         self.aggregate(vec![], vec![AggExpr::new(AggFunc::Sum, Some(arg), name)])
     }
 
+    /// DISTINCT: keep one row per distinct value tuple. Lowers to a
+    /// group-by over every output column with no aggregates, so it rides
+    /// the full grouped-aggregation machinery — including repartitioned
+    /// execution over the exchange under `AggStrategy::Exchange`.
+    pub fn distinct(self) -> Result<Df> {
+        let group_by = self
+            .schema
+            .fields
+            .iter()
+            .enumerate()
+            .map(|(i, f)| (Expr::Col(i), f.name.clone()))
+            .collect();
+        Self::wrap(LogicalPlan::Aggregate {
+            input: Box::new(self.plan),
+            group_by,
+            aggs: Vec::new(),
+        })
+    }
+
     /// Sort by keys.
     pub fn sort(self, keys: Vec<SortKey>) -> Result<Df> {
         Self::wrap(LogicalPlan::Sort { input: Box::new(self.plan), keys })
@@ -189,6 +208,33 @@ mod tests {
         let right = Df::scan("r", &schema());
         let joined = left.join(right, &[("g", "g")]).unwrap();
         assert_eq!(joined.schema().len(), 6);
+    }
+
+    #[test]
+    fn distinct_lowers_to_group_by_without_aggregates() {
+        let df = Df::scan("t", &schema()).distinct().unwrap();
+        assert_eq!(df.schema().len(), 3, "distinct keeps the schema");
+        let LogicalPlan::Aggregate { group_by, aggs, .. } = df.build() else {
+            panic!("expected aggregate");
+        };
+        assert_eq!(group_by.len(), 3);
+        assert!(aggs.is_empty());
+    }
+
+    #[test]
+    fn distinct_deduplicates_rows() {
+        use crate::column::Column;
+        use crate::table::{Catalog, MemTable};
+        let batch = crate::batch::RecordBatch::from_columns(
+            &["a", "b"],
+            vec![Column::I64(vec![1, 1, 2, 2, 1]), Column::I64(vec![7, 7, 8, 8, 9])],
+        )
+        .unwrap();
+        let mut cat = Catalog::new();
+        cat.register("t", std::rc::Rc::new(MemTable::from_batch(batch.clone())));
+        let df = Df::scan("t", batch.schema()).distinct().unwrap();
+        let out = crate::physical::execute_into_batch(&df.build(), &cat).unwrap();
+        assert_eq!(out.num_rows(), 3, "three distinct (a, b) pairs");
     }
 
     #[test]

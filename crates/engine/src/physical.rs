@@ -150,6 +150,88 @@ pub fn agg_state_to_batch(state: &GroupedAggState, schema: &SchemaRef) -> Result
     RecordBatch::new(Arc::clone(schema), columns)
 }
 
+/// First `n` rows of a batch — the top-k truncation applied after a
+/// local sort (no copy when the batch is already short enough).
+pub fn truncate_rows(batch: RecordBatch, n: usize) -> RecordBatch {
+    if batch.num_rows() <= n {
+        return batch;
+    }
+    let keep: Vec<usize> = (0..n).collect();
+    batch.gather(&keep)
+}
+
+/// Evaluate sort-key expressions over a batch into one column per key.
+pub fn sort_key_columns(batch: &RecordBatch, keys: &[SortKey]) -> Result<Vec<Column>> {
+    let rows = batch.num_rows();
+    keys.iter().map(|k| Ok(eval::evaluate(&k.expr, batch)?.into_column(rows))).collect()
+}
+
+/// Compare two key tuples under the sort directions (total order).
+pub fn cmp_key_rows(a: &[Scalar], b: &[Scalar], keys: &[SortKey]) -> Ordering {
+    for (k, (x, y)) in keys.iter().zip(a.iter().zip(b.iter())) {
+        let ord = x.total_cmp(y);
+        let ord = if k.ascending { ord } else { ord.reverse() };
+        if ord != Ordering::Equal {
+            return ord;
+        }
+    }
+    Ordering::Equal
+}
+
+/// Pick `partitions - 1` range boundaries from pooled sample key tuples.
+///
+/// Deterministic in the sample *multiset*: every caller that pools the
+/// same samples (in any order) computes identical boundaries — which is
+/// what lets the producers of a distributed sort agree on the partition
+/// function without any coordination beyond reading each other's sample
+/// files. Fewer samples than partitions (or an empty pool) yield fewer
+/// (or no) boundaries; the trailing partitions just stay empty.
+pub fn range_boundaries(
+    mut samples: Vec<Vec<Scalar>>,
+    keys: &[SortKey],
+    partitions: usize,
+) -> Vec<Vec<Scalar>> {
+    if partitions <= 1 || samples.is_empty() {
+        return Vec::new();
+    }
+    samples.sort_by(|a, b| cmp_key_rows(a, b, keys));
+    let n = samples.len();
+    let mut out = Vec::with_capacity(partitions - 1);
+    for p in 1..partitions {
+        let idx = (p * n / partitions).min(n - 1);
+        out.push(samples[idx].clone());
+    }
+    out
+}
+
+/// Range partition index of one key tuple: the number of boundaries at
+/// or below it under the sort order. Rows with equal keys always land in
+/// the same partition, and partition `p`'s rows never sort after
+/// partition `p + 1`'s — concatenating per-partition sorted runs in
+/// partition order is therefore globally sorted.
+pub fn range_partition_of(row: &[Scalar], boundaries: &[Vec<Scalar>], keys: &[SortKey]) -> usize {
+    boundaries.partition_point(|b| cmp_key_rows(b, row, keys) != Ordering::Greater)
+}
+
+/// Split a batch into `boundaries.len() + 1` range partitions by its
+/// sort-key tuples (the producer side of a distributed sort, applied
+/// after the fleet's sample boundaries are known).
+pub fn range_partition_batch(
+    batch: &RecordBatch,
+    keys: &[SortKey],
+    boundaries: &[Vec<Scalar>],
+) -> Result<Vec<RecordBatch>> {
+    let key_cols = sort_key_columns(batch, keys)?;
+    let mut indices: Vec<Vec<usize>> = vec![Vec::new(); boundaries.len() + 1];
+    let mut row_buf: Vec<Scalar> = Vec::with_capacity(keys.len());
+    for row in 0..batch.num_rows() {
+        row_buf.clear();
+        row_buf.extend(key_cols.iter().map(|c| c.value(row)));
+        indices[range_partition_of(&row_buf, boundaries, keys)].push(row);
+    }
+    Ok(indices.into_iter().map(|idx| batch.gather(&idx)).collect())
+}
+
 /// Sort a batch by the given keys.
 pub fn sort_batch(batch: &RecordBatch, keys: &[SortKey]) -> Result<RecordBatch> {
     let rows = batch.num_rows();
@@ -315,6 +397,65 @@ mod tests {
         let plan = LogicalPlan::Limit { input: Box::new(scan()), n: 4 };
         let out = execute_into_batch(&plan, &catalog()).unwrap();
         assert_eq!(out.num_rows(), 4);
+    }
+
+    #[test]
+    fn range_partitions_concatenate_sorted() {
+        // Any boundary set: concatenating per-partition sorted runs in
+        // partition order must equal sorting the whole batch.
+        let batch = RecordBatch::from_columns(
+            &["k", "v"],
+            vec![
+                Column::I64(vec![5, 1, 9, 3, 7, 3, 2, 8]),
+                Column::F64(vec![0.5, 0.1, 0.9, 0.3, 0.7, 0.35, 0.2, 0.8]),
+            ],
+        )
+        .unwrap();
+        let keys = vec![SortKey::asc(col(0))];
+        let samples: Vec<Vec<Scalar>> =
+            (0..batch.num_rows()).map(|i| vec![batch.column(0).value(i)]).collect();
+        for parts in 1..5usize {
+            let boundaries = range_boundaries(samples.clone(), &keys, parts);
+            assert_eq!(boundaries.len(), parts.min(samples.len()) - 1);
+            let partitioned = range_partition_batch(&batch, &keys, &boundaries).unwrap();
+            let sorted_runs: Vec<RecordBatch> =
+                partitioned.iter().map(|b| sort_batch(b, &keys).unwrap()).collect();
+            let total: usize = sorted_runs.iter().map(RecordBatch::num_rows).sum();
+            assert_eq!(total, batch.num_rows());
+            let concat = RecordBatch::concat(Arc::clone(batch.schema()), &sorted_runs).unwrap();
+            let want = sort_batch(&batch, &keys).unwrap();
+            assert_eq!(
+                concat.column(0).as_i64().unwrap(),
+                want.column(0).as_i64().unwrap(),
+                "{parts} partitions"
+            );
+        }
+    }
+
+    #[test]
+    fn range_partition_respects_descending_keys() {
+        let batch =
+            RecordBatch::from_columns(&["k"], vec![Column::I64(vec![1, 2, 3, 4, 5, 6, 7, 8])])
+                .unwrap();
+        let keys = vec![SortKey::desc(col(0))];
+        let samples: Vec<Vec<Scalar>> = (1..=8).map(|k| vec![Scalar::Int64(k)]).collect();
+        let boundaries = range_boundaries(samples, &keys, 2);
+        let parts = range_partition_batch(&batch, &keys, &boundaries).unwrap();
+        // Descending order: partition 0 holds the *largest* keys.
+        let p0_min = parts[0].column(0).as_i64().unwrap().iter().copied().min().unwrap();
+        let p1_max = parts[1].column(0).as_i64().unwrap().iter().copied().max().unwrap();
+        assert!(p0_min > p1_max, "partition 0 sorts before partition 1 descending");
+    }
+
+    #[test]
+    fn equal_keys_share_a_partition() {
+        let keys = vec![SortKey::asc(col(0))];
+        let boundaries = vec![vec![Scalar::Int64(5)]];
+        let a = range_partition_of(&[Scalar::Int64(5)], &boundaries, &keys);
+        let b = range_partition_of(&[Scalar::Int64(5)], &boundaries, &keys);
+        assert_eq!(a, b);
+        assert_eq!(range_partition_of(&[Scalar::Int64(4)], &boundaries, &keys), 0);
+        assert_eq!(range_partition_of(&[Scalar::Int64(6)], &boundaries, &keys), 1);
     }
 
     #[test]

@@ -19,6 +19,7 @@
 //! | [`Terminal::PartitionedAggregate`] | grouped agg state | per-partition state shards |
 //! | [`Terminal::Collect`] | projected batches | batches |
 //! | [`Terminal::HashPartition`] | per-partition batches | per-partition batches |
+//! | [`Terminal::SortPartition`] | projected batches | one locally sorted (top-k-truncated) run |
 //! | [`Terminal::Probe`] | joined batches | batches |
 //!
 //! Everything is a push-based pipeline that keeps only the terminal's
@@ -34,6 +35,7 @@ use crate::column::Column;
 use crate::error::{plan_err, Result};
 use crate::expr::{eval, Expr};
 use crate::join::{row_partition, JoinState};
+use crate::logical::SortKey;
 use crate::types::{DataType, Schema, SchemaRef};
 
 /// What a fragment does with the rows that survive filter + projection.
@@ -54,6 +56,16 @@ pub enum Terminal {
     /// batch `p` of the result holds exactly the rows whose key hashes to
     /// partition `p`. Used by the scan stages of a distributed join.
     HashPartition { keys: Vec<usize>, partitions: usize },
+    /// Collect projected rows and, on finish, sort them by `keys` and
+    /// truncate to `limit` — the producer side of a distributed
+    /// range-partitioned sort. Top-k pushdown happens here: with `LIMIT
+    /// n`, no producer ever ships more than its local top `n` rows onto
+    /// the exchange edge (the global top `n` is a subset of the union of
+    /// local top-`n` runs). The *range* partitioning itself needs the
+    /// fleet-wide sample boundaries, which only exist at runtime — the
+    /// worker applies [`crate::physical::range_partition_batch`] to the
+    /// finished run.
+    SortPartition { keys: Vec<SortKey>, limit: Option<usize> },
     /// Probe a build-side hash table ([`JoinState`]) with each batch,
     /// collecting `probe columns ++ build columns` for every match. Used
     /// by the join stage; the build state is constructed at runtime from
@@ -188,6 +200,17 @@ impl Pipeline {
                 }
                 None
             }
+            Terminal::SortPartition { keys, .. } => {
+                if keys.is_empty() {
+                    return plan_err("sort-partition terminal needs at least one key");
+                }
+                for k in keys {
+                    // Type-check the key expressions against the
+                    // intermediate schema so finish() cannot fail.
+                    k.expr.data_type(&mid_schema)?;
+                }
+                None
+            }
             Terminal::Collect => None,
         };
         Ok(Pipeline {
@@ -250,7 +273,9 @@ impl Pipeline {
                 let (gcols, acols) = eval_agg_inputs(group_by, aggs, &projected)?;
                 state.update_batch(&gcols, &acols, projected.num_rows())?;
             }
-            (Terminal::Collect, _) => self.collected.push(projected),
+            (Terminal::Collect | Terminal::SortPartition { .. }, _) => {
+                self.collected.push(projected)
+            }
             (Terminal::HashPartition { keys, partitions }, _) => {
                 let mut indices: Vec<Vec<usize>> = vec![Vec::new(); *partitions];
                 for row in 0..projected.num_rows() {
@@ -274,19 +299,27 @@ impl Pipeline {
     }
 
     /// Finish and return the fragment output.
-    pub fn finish(self) -> PipelineOutput {
+    pub fn finish(self) -> Result<PipelineOutput> {
         if let Some(state) = self.agg {
-            return match self.spec.terminal {
+            return Ok(match self.spec.terminal {
                 Terminal::PartitionedAggregate { partitions, .. } => {
                     PipelineOutput::AggShards(state.split(partitions))
                 }
                 _ => PipelineOutput::Aggregate(state),
-            };
+            });
         }
-        match self.spec.terminal {
+        Ok(match self.spec.terminal {
             Terminal::HashPartition { .. } => PipelineOutput::Partitions(self.partitioned),
+            Terminal::SortPartition { keys, limit } => {
+                let all = RecordBatch::concat(self.mid_schema, &self.collected)?;
+                let mut sorted = crate::physical::sort_batch(&all, &keys)?;
+                if let Some(n) = limit {
+                    sorted = crate::physical::truncate_rows(sorted, n);
+                }
+                PipelineOutput::Batches(vec![sorted])
+            }
             _ => PipelineOutput::Batches(self.collected),
-        }
+        })
     }
 }
 
@@ -332,7 +365,7 @@ mod tests {
         p.push(&batch(vec![10, 40, 20], vec![1.0, 2.0, 3.0], vec![1, 1, 2])).unwrap();
         p.push(&batch(vec![25, 50], vec![4.0, 5.0], vec![2, 2])).unwrap();
         assert_eq!(p.row_counts(), (5, 3));
-        let PipelineOutput::Aggregate(state) = p.finish() else {
+        let PipelineOutput::Aggregate(state) = p.finish().unwrap() else {
             panic!("expected aggregate output");
         };
         let rows = state.finalize_rows();
@@ -376,11 +409,11 @@ mod tests {
             p.push(&b).unwrap();
             reference.push(&b).unwrap();
         }
-        let PipelineOutput::AggShards(shards) = p.finish() else {
+        let PipelineOutput::AggShards(shards) = p.finish().unwrap() else {
             panic!("expected agg shards");
         };
         assert_eq!(shards.len(), 3);
-        let PipelineOutput::Aggregate(want) = reference.finish() else {
+        let PipelineOutput::Aggregate(want) = reference.finish().unwrap() else {
             panic!("expected aggregate");
         };
         let mut merged =
@@ -417,7 +450,7 @@ mod tests {
         };
         let mut p = Pipeline::new(spec).unwrap();
         p.push(&batch(vec![1, 2], vec![0.0, 0.0], vec![0, 0])).unwrap();
-        let PipelineOutput::Batches(out) = p.finish() else {
+        let PipelineOutput::Batches(out) = p.finish().unwrap() else {
             panic!("expected batches");
         };
         assert_eq!(out.len(), 1);
@@ -448,7 +481,7 @@ mod tests {
         let mut p = Pipeline::new(spec).unwrap();
         p.push(&batch(vec![10, 40, 20], vec![1.0, 2.0, 3.0], vec![1, 1, 2])).unwrap();
         p.push(&batch(vec![25, 50], vec![4.0, 5.0], vec![2, 2])).unwrap();
-        let PipelineOutput::Partitions(parts) = p.finish() else {
+        let PipelineOutput::Partitions(parts) = p.finish().unwrap() else {
             panic!("expected partitions");
         };
         assert_eq!(parts.len(), 4);
@@ -485,7 +518,7 @@ mod tests {
         };
         let mut p = Pipeline::new(spec).unwrap();
         p.push(&batch(vec![10, 40, 20], vec![1.0, 2.0, 3.0], vec![1, 3, 2])).unwrap();
-        let PipelineOutput::Batches(out) = p.finish() else {
+        let PipelineOutput::Batches(out) = p.finish().unwrap() else {
             panic!("expected joined batches");
         };
         assert_eq!(out.len(), 1);
@@ -493,6 +526,48 @@ mod tests {
         assert_eq!(out[0].num_columns(), 5, "probe cols ++ build cols");
         assert_eq!(out[0].row(0)[4], Scalar::Float64(0.5));
         assert_eq!(out[0].row(1)[4], Scalar::Float64(0.7));
+    }
+
+    #[test]
+    fn sort_partition_terminal_sorts_and_truncates() {
+        use crate::logical::SortKey;
+        let spec = PipelineSpec {
+            input_schema: input_schema(),
+            predicate: Some(col(0).lt(lit_i64(50))),
+            projection: None,
+            terminal: Terminal::SortPartition {
+                keys: vec![SortKey::desc(col(1)), SortKey::asc(col(0))],
+                limit: Some(3),
+            },
+        };
+        let mut p = Pipeline::new(spec).unwrap();
+        p.push(&batch(vec![10, 40, 20], vec![1.0, 2.0, 3.0], vec![1, 1, 2])).unwrap();
+        p.push(&batch(vec![25, 50], vec![4.0, 5.0], vec![2, 2])).unwrap();
+        let PipelineOutput::Batches(out) = p.finish().unwrap() else {
+            panic!("expected one sorted run");
+        };
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].num_rows(), 3, "limit pushed into the producer run");
+        assert_eq!(out[0].column(1).as_f64().unwrap(), &[4.0, 3.0, 2.0], "price descending");
+    }
+
+    #[test]
+    fn sort_partition_rejects_bad_keys() {
+        use crate::logical::SortKey;
+        let spec = PipelineSpec {
+            input_schema: input_schema(),
+            predicate: None,
+            projection: None,
+            terminal: Terminal::SortPartition { keys: vec![], limit: None },
+        };
+        assert!(Pipeline::new(spec).is_err(), "empty key list");
+        let spec = PipelineSpec {
+            input_schema: input_schema(),
+            predicate: None,
+            projection: None,
+            terminal: Terminal::SortPartition { keys: vec![SortKey::asc(col(9))], limit: None },
+        };
+        assert!(Pipeline::new(spec).is_err(), "key column out of range");
     }
 
     #[test]
@@ -525,7 +600,7 @@ mod tests {
         p.push(&batch(vec![1, 2, 3], vec![1.0, 2.0, 3.0], vec![1, 2, 3])).unwrap();
         assert_eq!(p.row_counts(), (3, 0));
         assert_eq!(p.approx_state_bytes(), 0);
-        let PipelineOutput::Batches(out) = p.finish() else {
+        let PipelineOutput::Batches(out) = p.finish().unwrap() else {
             panic!("expected batches");
         };
         assert!(out.is_empty());

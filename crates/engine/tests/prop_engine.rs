@@ -286,7 +286,7 @@ proptest! {
             pipeline.push(&lbatch.gather(&idx)).unwrap();
             start += chunk;
         }
-        let PipelineOutput::Batches(joined) = pipeline.finish() else {
+        let PipelineOutput::Batches(joined) = pipeline.finish().unwrap() else {
             panic!("probe terminal collects batches");
         };
         prop_assert_eq!(join_row_multiset(&joined), join_row_multiset(&reference));

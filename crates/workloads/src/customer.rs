@@ -1,0 +1,170 @@
+//! TPC-H CUSTOMER generator, numeric like the LINEITEM and ORDERS
+//! generators (§5.1: strings are replaced by numbers) and sorted by
+//! `c_custkey` so the min/max indices of the columnar format can prune
+//! key ranges.
+//!
+//! dbgen draws `o_custkey` from the sparse customer-key domain that
+//! skips every third key; this generator emits exactly that domain —
+//! customer `j` carries key `3·j + 1` — so a CUSTOMER relation of
+//! [`rows_matching_orders`] rows gives full referential integrity
+//! against the ORDERS generator, and smaller relations give a partial
+//! match with fraction `rows / rows_matching_orders()`.
+
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+
+use lambada_engine::types::{DataType, Field, Schema};
+use lambada_engine::Column;
+
+/// Column indices in the CUSTOMER schema (stable, used by the queries).
+pub mod cols {
+    pub const CUSTKEY: usize = 0;
+    pub const NAME: usize = 1;
+    pub const ADDRESS: usize = 2;
+    pub const NATIONKEY: usize = 3;
+    pub const PHONE: usize = 4;
+    pub const ACCTBAL: usize = 5;
+    pub const MKTSEGMENT: usize = 6;
+    pub const COMMENT: usize = 7;
+}
+
+/// The 8-column numeric CUSTOMER schema.
+pub fn schema() -> Schema {
+    Schema::new(vec![
+        Field::new("c_custkey", DataType::Int64),
+        Field::new("c_name", DataType::Int64),
+        Field::new("c_address", DataType::Int64),
+        Field::new("c_nationkey", DataType::Int64),
+        Field::new("c_phone", DataType::Int64),
+        Field::new("c_acctbal", DataType::Float64),
+        Field::new("c_mktsegment", DataType::Int64),
+        Field::new("c_comment", DataType::Int64),
+    ])
+}
+
+/// The sparse customer key of ordinal `j` — the exact domain the ORDERS
+/// generator draws `o_custkey` from (`ck * 3 - 2`, dbgen's every-third
+/// skip).
+pub fn custkey_of(j: u64) -> i64 {
+    3 * j as i64 + 1
+}
+
+/// Customers needed for full referential integrity against the ORDERS
+/// generator (its `o_custkey` domain has 49 999 distinct keys).
+pub fn rows_matching_orders() -> u64 {
+    49_999
+}
+
+/// Deterministic CUSTOMER generator.
+pub struct CustomerGenerator {
+    pub seed: u64,
+}
+
+impl Default for CustomerGenerator {
+    fn default() -> Self {
+        CustomerGenerator { seed: 0x0_C57 }
+    }
+}
+
+impl CustomerGenerator {
+    pub fn new(seed: u64) -> Self {
+        CustomerGenerator { seed }
+    }
+
+    /// Materialize all 8 columns for customers `row_offset..row_offset +
+    /// n` of the (custkey-sorted) relation. Repeated calls with
+    /// consecutive ranges produce one consistent relation.
+    pub fn columns_for_range(&self, row_offset: u64, n: usize) -> Vec<Column> {
+        let mut rng = SmallRng::seed_from_u64(self.seed ^ row_offset.wrapping_mul(0x9E37_79B9));
+        let mut custkey = Vec::with_capacity(n);
+        let mut name = Vec::with_capacity(n);
+        let mut address = Vec::with_capacity(n);
+        let mut nationkey = Vec::with_capacity(n);
+        let mut phone = Vec::with_capacity(n);
+        let mut acctbal = Vec::with_capacity(n);
+        let mut mktsegment = Vec::with_capacity(n);
+        let mut comment = Vec::with_capacity(n);
+
+        for i in 0..n {
+            let j = row_offset + i as u64;
+            custkey.push(custkey_of(j));
+            name.push(j as i64); // "Customer#<j>"
+            address.push(rng.random_range(0..1_000_000i64));
+            nationkey.push(rng.random_range(0..25i64)); // dbgen: 25 nations
+            phone.push(rng.random_range(1_000_000_000..10_000_000_000i64));
+            acctbal.push(rng.random_range(-999.99..10_000.0)); // dbgen band
+            mktsegment.push(rng.random_range(0..5i64)); // five segments
+            comment.push(rng.random_range(0..1_000_000i64));
+        }
+
+        vec![
+            Column::I64(custkey),
+            Column::I64(name),
+            Column::I64(address),
+            Column::I64(nationkey),
+            Column::I64(phone),
+            Column::F64(acctbal),
+            Column::I64(mktsegment),
+            Column::I64(comment),
+        ]
+    }
+
+    /// Generate the whole relation at once (small scales only).
+    pub fn generate(&self, rows: u64) -> Vec<Column> {
+        self.columns_for_range(0, rows as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::orders::OrdersGenerator;
+
+    #[test]
+    fn schema_has_8_numeric_columns() {
+        let s = schema();
+        assert_eq!(s.len(), 8);
+        assert!(s.fields.iter().all(|f| f.dtype.is_numeric()));
+        assert_eq!(s.index_of("c_custkey").unwrap(), cols::CUSTKEY);
+        assert_eq!(s.index_of("c_nationkey").unwrap(), cols::NATIONKEY);
+    }
+
+    #[test]
+    fn keys_cover_the_orders_custkey_domain() {
+        let g = CustomerGenerator::new(3);
+        let cols_v = g.generate(rows_matching_orders());
+        let keys = cols_v[cols::CUSTKEY].as_i64().unwrap();
+        assert!(keys.windows(2).all(|w| w[0] < w[1]), "strictly increasing");
+        assert!(keys.iter().all(|&k| k % 3 == 1), "every third key, like o_custkey");
+        // Every o_custkey the ORDERS generator can draw has a customer.
+        let set: std::collections::HashSet<i64> = keys.iter().copied().collect();
+        let ord = OrdersGenerator::new(7).generate(5_000);
+        let custkeys = ord[crate::orders::cols::CUSTKEY].as_i64().unwrap();
+        assert!(custkeys.iter().all(|k| set.contains(k)), "full referential integrity");
+    }
+
+    #[test]
+    fn generation_is_deterministic_and_chunks_continue_keys() {
+        let g = CustomerGenerator::new(7);
+        let whole = g.generate(1000);
+        assert_eq!(CustomerGenerator::new(7).generate(1000), whole, "deterministic");
+        assert_ne!(CustomerGenerator::new(8).generate(1000), whole, "seed-sensitive");
+        let head = g.columns_for_range(0, 600);
+        let tail = g.columns_for_range(600, 400);
+        let keys =
+            Column::concat(&[head[cols::CUSTKEY].clone(), tail[cols::CUSTKEY].clone()]).unwrap();
+        assert_eq!(keys, whole[cols::CUSTKEY]);
+    }
+
+    #[test]
+    fn value_domains() {
+        let cols_v = CustomerGenerator::new(5).generate(5_000);
+        let nation = cols_v[cols::NATIONKEY].as_i64().unwrap();
+        assert!(nation.iter().all(|&v| (0..25).contains(&v)));
+        assert!(nation.contains(&0) && nation.contains(&24));
+        let seg = cols_v[cols::MKTSEGMENT].as_i64().unwrap();
+        assert!(seg.iter().all(|&v| (0..5).contains(&v)));
+        let bal = cols_v[cols::ACCTBAL].as_f64().unwrap();
+        assert!(bal.iter().all(|&v| (-999.99..10_000.0).contains(&v)));
+    }
+}

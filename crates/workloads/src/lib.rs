@@ -1,21 +1,26 @@
 //! # lambada-workloads
 //!
 //! Workloads for the Lambada reproduction: dbgen-faithful numeric TPC-H
-//! generators — LINEITEM sorted by `l_shipdate` (§5.1) and ORDERS sorted
-//! by `o_orderkey` — the scan-bound queries Q1 and Q6 plus the Q12-style
-//! shipping-priority join as logical plans, and staging helpers that
-//! either encode real files or build paper-scale descriptor tables whose
-//! footers are calibrated against real sample encodes.
+//! generators — LINEITEM sorted by `l_shipdate` (§5.1), ORDERS sorted by
+//! `o_orderkey`, and CUSTOMER sorted by `c_custkey` — the scan-bound
+//! queries Q1 and Q6, the Q12- and Q3-style joins, and the Q5-style
+//! three-table join that exercises nested-join lowering and the
+//! distributed sort, plus staging helpers that either encode real files
+//! or build paper-scale descriptor tables whose footers are calibrated
+//! against real sample encodes.
 
+pub mod customer;
 pub mod lineitem;
 pub mod loader;
 pub mod orders;
 pub mod tpch;
 
+pub use customer::{schema as customer_schema, CustomerGenerator};
 pub use lineitem::{rows_for_scale, schema as lineitem_schema, LineitemGenerator};
 pub use loader::{
-    measure_profile, stage_descriptors, stage_real, stage_real_orders, stage_table_real,
-    DescriptorOptions, OrdersStageOptions, StageOptions, StorageProfile,
+    measure_profile, stage_descriptors, stage_real, stage_real_customer, stage_real_orders,
+    stage_table_real, CustomerStageOptions, DescriptorOptions, OrdersStageOptions, StageOptions,
+    StorageProfile,
 };
 pub use orders::{schema as orders_schema, OrdersGenerator};
-pub use tpch::{q1, q12, q3, q6};
+pub use tpch::{q1, q12, q3, q5, q6};

@@ -153,6 +153,60 @@ pub fn stage_real_orders(
     )
 }
 
+/// Options for staging a real CUSTOMER table.
+#[derive(Clone, Copy, Debug)]
+pub struct CustomerStageOptions {
+    /// Total customer rows; use
+    /// [`crate::customer::rows_matching_orders`] for a fully-matching
+    /// join against the ORDERS generator's `o_custkey` domain.
+    pub rows: u64,
+    pub num_files: usize,
+    pub row_groups_per_file: usize,
+    pub seed: u64,
+}
+
+impl Default for CustomerStageOptions {
+    fn default() -> Self {
+        CustomerStageOptions { rows: 49_999, num_files: 2, row_groups_per_file: 4, seed: 0x0_C57 }
+    }
+}
+
+/// Generate the per-file CUSTOMER column sets exactly as
+/// [`stage_real_customer`] lays them out.
+pub fn generate_customer_file_columns(
+    opts: CustomerStageOptions,
+) -> Vec<Vec<lambada_engine::Column>> {
+    let generator = crate::customer::CustomerGenerator::new(opts.seed);
+    let rows_per_file = (opts.rows as usize).div_ceil(opts.num_files.max(1));
+    let mut out = Vec::with_capacity(opts.num_files);
+    let mut offset = 0usize;
+    while offset < opts.rows as usize {
+        let n = rows_per_file.min(opts.rows as usize - offset);
+        out.push(generator.columns_for_range(offset as u64, n));
+        offset += n;
+    }
+    out
+}
+
+/// Generate, encode, and stage real CUSTOMER files, sorted by
+/// `c_custkey` across files.
+pub fn stage_real_customer(
+    cloud: &Cloud,
+    bucket: &str,
+    table: &str,
+    opts: CustomerStageOptions,
+) -> TableSpec {
+    stage_table_real(
+        cloud,
+        bucket,
+        table,
+        crate::customer::schema(),
+        generate_customer_file_columns(opts),
+        opts.rows,
+        opts.row_groups_per_file,
+    )
+}
+
 /// Per-column storage profile measured from a real sample encode.
 #[derive(Clone, Debug)]
 pub struct StorageProfile {

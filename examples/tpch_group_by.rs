@@ -81,7 +81,8 @@ fn main() {
             s.request_dollars(&prices),
         );
     }
-    let groups = report.stages.iter().find(|s| s.label == "agg").map_or(0, |s| s.rows_out);
+    let groups =
+        report.stages.iter().find(|s| s.label.starts_with("agg#")).map_or(0, |s| s.rows_out);
     println!(
         "\ntotal: {} workers, {:.2}s end-to-end, ${:.6} ({} cold starts)",
         report.workers,

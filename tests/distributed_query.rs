@@ -254,7 +254,9 @@ fn q3_group_by_runs_repartitioned_and_matches_reference() {
     assert_eq!(report.stages.len(), 4);
     let labels: Vec<&str> = report.stages.iter().map(|s| s.label.as_str()).collect();
     assert!(labels[0].starts_with("scan:") && labels[1].starts_with("scan:"));
-    assert_eq!(&labels[2..], ["join", "agg"]);
+    assert_eq!(&labels[2..], ["join#2", "agg#3"]);
+    let ids: Vec<usize> = report.stages.iter().map(|s| s.id).collect();
+    assert_eq!(ids, vec![0, 1, 2, 3], "stable topo-ordered stage ids");
     let scans = &report.stages[..2];
     let join = &report.stages[2];
     let agg = &report.stages[3];
@@ -293,6 +295,321 @@ fn q3_group_by_runs_repartitioned_and_matches_reference() {
 
 fn system_buckets() -> f64 {
     LambadaConfig::default().exchange.num_buckets as f64
+}
+
+#[test]
+fn q5_multiway_runs_fully_serverlessly_with_request_counts_matching_the_model() {
+    // The acceptance shape for general DAG lowering: a 3-table join with
+    // group-by, ORDER BY, and LIMIT plans and executes entirely in the
+    // serverless scope — nested join over a row exchange, repartitioned
+    // aggregation, and a distributed range-partitioned sort — so the
+    // driver neither merges nor sorts, only concatenates + truncates.
+    let sim = Simulation::new();
+    let cloud = Cloud::new(&sim, CloudConfig::default());
+    let scale = 0.002;
+    let seed = 55;
+    let li_spec = stage_real(&cloud, "tpch", "lineitem", stage_opts(scale, seed));
+    let orders_opts = lambada::workloads::OrdersStageOptions {
+        rows: li_spec.total_rows,
+        num_files: 4,
+        row_groups_per_file: 3,
+        seed,
+    };
+    let ord_spec = lambada::workloads::stage_real_orders(&cloud, "tpch", "orders", orders_opts);
+    let cust_opts = lambada::workloads::CustomerStageOptions {
+        rows: lambada::workloads::customer::rows_matching_orders(),
+        num_files: 3,
+        row_groups_per_file: 3,
+        seed,
+    };
+    let cust_spec = lambada::workloads::stage_real_customer(&cloud, "tpch", "customer", cust_opts);
+    let join_workers = 3;
+    let agg_workers = 4;
+    let sort_workers = 2;
+    let mut system = Lambada::install(
+        &cloud,
+        LambadaConfig {
+            join_workers: Some(join_workers),
+            agg: lambada::core::AggStrategy::Exchange { workers: Some(agg_workers) },
+            sort: lambada::core::SortStrategy::Exchange { workers: Some(sort_workers) },
+            ..LambadaConfig::default()
+        },
+    );
+    system.register_table(li_spec);
+    system.register_table(ord_spec);
+    system.register_table(cust_spec);
+
+    // Reference: the exact same rows, executed locally.
+    let mut cat = reference_catalog(scale, seed);
+    let ord_schema = Arc::new(lambada::workloads::orders_schema());
+    let ord_batches: Vec<RecordBatch> =
+        lambada::workloads::loader::generate_orders_file_columns(orders_opts)
+            .into_iter()
+            .map(|cols| RecordBatch::new(Arc::clone(&ord_schema), cols).unwrap())
+            .collect();
+    cat.register(
+        "orders",
+        Rc::new(lambada::engine::MemTable::new(ord_schema, ord_batches).unwrap()),
+    );
+    let cust_schema = Arc::new(lambada::workloads::customer_schema());
+    let cust_batches: Vec<RecordBatch> =
+        lambada::workloads::loader::generate_customer_file_columns(cust_opts)
+            .into_iter()
+            .map(|cols| RecordBatch::new(Arc::clone(&cust_schema), cols).unwrap())
+            .collect();
+    cat.register(
+        "customer",
+        Rc::new(lambada::engine::MemTable::new(cust_schema, cust_batches).unwrap()),
+    );
+    let plan = lambada::workloads::q5("lineitem", "orders", "customer");
+    let reference =
+        execute_into_batch(&lambada::engine::Optimizer::new().optimize(&plan).unwrap(), &cat)
+            .unwrap();
+
+    let report = sim.block_on({
+        let plan = plan.clone();
+        async move { system.run_query(&plan).await.unwrap() }
+    });
+    // Exact equality including row order: the q5 sort keys are total
+    // (custkey breaks revenue ties), so the serverless sort's
+    // concatenated runs must reproduce the reference order bit-for-bit.
+    assert_batches_close(&report.batch, &reference);
+    assert_eq!(report.batch.num_rows(), 10, "top 10 delivered");
+
+    // The full seven-stage DAG ran: three scans, the nested joins, the
+    // merge fleet, the sort fleet. (The join reorderer put the large
+    // customer relation on the outer probe side.)
+    assert_eq!(report.stages.len(), 7);
+    let labels: Vec<&str> = report.stages.iter().map(|s| s.label.as_str()).collect();
+    assert_eq!(
+        labels,
+        vec![
+            "scan:customer#0",
+            "scan:lineitem#1",
+            "scan:orders#2",
+            "join#3",
+            "join#4",
+            "agg#5",
+            "sort#6"
+        ]
+    );
+    let inner_join = &report.stages[3];
+    let outer_join = &report.stages[4];
+    let agg = &report.stages[5];
+    let sort = &report.stages[6];
+    assert_eq!(inner_join.workers, join_workers);
+    assert_eq!(outer_join.workers, join_workers);
+    assert_eq!(agg.workers, agg_workers);
+    assert_eq!(sort.workers, sort_workers);
+    // High cardinality genuinely flowed through the exchange: the outer
+    // join shipped one grouped-state entry per qualifying group. Limit
+    // pushdown then capped what each merge worker handed the sort fleet
+    // at its local top 10, so the sort stage saw at most limit × fleet
+    // rows of the hundreds of groups.
+    assert!(outer_join.rows_out > 100, "{} grouped entries exchanged", outer_join.rows_out);
+    assert!(agg.rows_out <= 10 * agg_workers as u64, "limit pushed into the merge fleet");
+    assert!(sort.rows_out <= 10 * sort_workers as u64, "each range truncated to the limit");
+
+    // Per-stage request counts match the stage-edge cost model. Writes
+    // are exact: one write-combined PUT per producer worker per edge —
+    // plus one sample PUT per sort-exchange producer.
+    let buckets = system_buckets();
+    let scan_workers: usize = report.stages[..3].iter().map(|s| s.workers).sum();
+    for s in &report.stages[..3] {
+        assert_eq!(s.put_requests, s.workers as u64, "one combined PUT per scan worker");
+    }
+    assert_eq!(
+        inner_join.put_requests, join_workers as u64,
+        "inner join re-exchanges its rows: one combined PUT per worker"
+    );
+    assert_eq!(
+        outer_join.put_requests, join_workers as u64,
+        "outer join ships agg shards: one combined PUT per worker"
+    );
+    assert_eq!(
+        agg.put_requests,
+        2 * agg_workers as u64,
+        "each merge worker PUTs its boundary sample and its partitioned run"
+    );
+    assert!(sort.put_requests >= 1 && sort.put_requests <= sort_workers as u64);
+    // Reads/lists bounded by the model (empty sections are skipped).
+    let inner_edge = stage_edge_counts(scan_workers as f64, join_workers as f64, buckets);
+    assert!(inner_join.get_requests >= 1 && inner_join.get_requests <= inner_edge.reads as u64);
+    assert!(inner_join.list_requests >= 1 && inner_join.list_requests <= inner_edge.lists as u64);
+    // The merge fleet LISTs two prefixes: the join→agg state edge and
+    // the sample pool of the sort edge it produces (every merge worker
+    // reads all merge workers' samples).
+    let agg_edge = stage_edge_counts(join_workers as f64, agg_workers as f64, buckets);
+    let smp_edge = stage_edge_counts(agg_workers as f64, agg_workers as f64, buckets);
+    assert!(agg.get_requests >= 1);
+    assert!(
+        agg.list_requests >= 1 && agg.list_requests <= (agg_edge.lists + smp_edge.lists) as u64,
+        "{} LISTs vs model bound {}",
+        agg.list_requests,
+        agg_edge.lists + smp_edge.lists
+    );
+    // Every exchange edge carried bytes.
+    assert!(report.stages[..3].iter().all(|s| s.bytes_exchanged > 0));
+    assert!(inner_join.bytes_exchanged > 0, "nested join re-exchanged rows");
+    assert!(outer_join.bytes_exchanged > 0, "outer join exchanged grouped state");
+    assert!(agg.bytes_exchanged > 0, "merge fleet exchanged sorted runs");
+}
+
+#[test]
+fn diamond_dag_schedules_and_matches_reference() {
+    // A diamond the planner never emits: two join stages consuming the
+    // *same* two scan edges, their outputs joined by a third join. The
+    // topological wave scheduler must launch the middle joins
+    // concurrently in one wave and wire every edge correctly.
+    use lambada::core::stage::{
+        FinalStage, JoinStage, QueryDag, ScanStage, StageKind, StageOutput,
+    };
+    use lambada::engine::{Column, DataType, Field, PipelineSpec, Schema, Terminal};
+
+    let t_schema =
+        Schema::new(vec![Field::new("k", DataType::Int64), Field::new("v", DataType::Int64)]);
+    let u_schema =
+        Schema::new(vec![Field::new("uk", DataType::Int64), Field::new("w", DataType::Int64)]);
+
+    let sim = Simulation::new();
+    let cloud = Cloud::new(&sim, CloudConfig::default());
+    let tcols = vec![Column::I64(vec![1, 2, 3, 4, 5]), Column::I64(vec![10, 20, 30, 40, 50])];
+    let ucols = vec![Column::I64(vec![2, 3, 3, 7]), Column::I64(vec![200, 300, 301, 700])];
+    let join_workers = 3;
+    let mut system = Lambada::install(
+        &cloud,
+        LambadaConfig { join_workers: Some(join_workers), ..LambadaConfig::default() },
+    );
+    let mut cat = Catalog::new();
+    for (name, schema, cols) in [("t", t_schema.clone(), tcols), ("u", u_schema.clone(), ucols)] {
+        let spec = lambada::workloads::stage_table_real(
+            &cloud,
+            "data",
+            name,
+            schema.clone(),
+            vec![cols.clone()],
+            cols[0].len() as u64,
+            2,
+        );
+        system.register_table(spec);
+        cat.register(
+            name,
+            Rc::new(lambada::engine::MemTable::from_batch(
+                RecordBatch::new(Arc::new(schema), cols).unwrap(),
+            )),
+        );
+    }
+
+    let t_ref = Arc::new(t_schema.clone());
+    let u_ref = Arc::new(u_schema.clone());
+    let scan_stage = |table: &str, schema: &Arc<Schema>| {
+        StageKind::Scan(ScanStage {
+            table: table.to_string(),
+            scan_columns: vec![0, 1],
+            prune_predicate: None,
+            pipeline: PipelineSpec {
+                input_schema: Arc::clone(schema),
+                predicate: None,
+                projection: None,
+                terminal: Terminal::Collect,
+            },
+            output: StageOutput::Exchange { keys: vec![0] },
+        })
+    };
+    let mut joined_fields = t_schema.fields.clone();
+    joined_fields.extend(u_schema.fields.clone());
+    let tu_schema = Schema::arc(joined_fields);
+    let mid_join = |output: StageOutput| {
+        StageKind::Join(JoinStage {
+            probe_input: 0,
+            build_input: 1,
+            probe_schema: Arc::clone(&t_ref),
+            build_schema: Arc::clone(&u_ref),
+            probe_keys: vec![0],
+            build_keys: vec![0],
+            post: PipelineSpec {
+                input_schema: Arc::clone(&tu_schema),
+                predicate: None,
+                projection: None,
+                terminal: Terminal::Collect,
+            },
+            output,
+        })
+    };
+    let mut final_fields = tu_schema.fields.clone();
+    final_fields.extend(tu_schema.fields.clone());
+    let final_schema = Schema::arc(final_fields);
+    let dag = QueryDag {
+        stages: vec![
+            scan_stage("t", &t_ref),
+            scan_stage("u", &u_ref),
+            mid_join(StageOutput::Exchange { keys: vec![0] }),
+            mid_join(StageOutput::Exchange { keys: vec![0] }),
+            StageKind::Join(JoinStage {
+                probe_input: 2,
+                build_input: 3,
+                probe_schema: Arc::clone(&tu_schema),
+                build_schema: Arc::clone(&tu_schema),
+                probe_keys: vec![0],
+                build_keys: vec![0],
+                post: PipelineSpec {
+                    input_schema: Arc::clone(&final_schema),
+                    predicate: None,
+                    projection: None,
+                    terminal: Terminal::Collect,
+                },
+                output: StageOutput::Driver,
+            }),
+        ],
+        final_stage: FinalStage::CollectBatches { schema: final_schema, post: vec![] },
+    };
+    dag.validate().unwrap();
+
+    // Reference: (t ⋈ u) ⋈ (t ⋈ u) on the shared key, locally.
+    let tu = lambada::engine::LogicalPlan::Join {
+        left: Box::new(lambada::engine::LogicalPlan::Scan {
+            table: "t".to_string(),
+            schema: Arc::clone(&t_ref),
+            projection: None,
+            predicate: None,
+        }),
+        right: Box::new(lambada::engine::LogicalPlan::Scan {
+            table: "u".to_string(),
+            schema: Arc::clone(&u_ref),
+            projection: None,
+            predicate: None,
+        }),
+        on: vec![(0, 0)],
+    };
+    let plan = lambada::engine::LogicalPlan::Join {
+        left: Box::new(tu.clone()),
+        right: Box::new(tu),
+        on: vec![(0, 0)],
+    };
+    let reference = execute_into_batch(&plan, &cat).unwrap();
+
+    let report = sim.block_on(async move { system.run_dag(&dag).await.unwrap() });
+    assert_eq!(report.batch.num_columns(), 8);
+    assert_eq!(report.batch.num_rows(), reference.num_rows());
+    // Multiset comparison: both sides produce k=2 (1×1) and k=3 (2×2)
+    // matches squared through the diamond.
+    let canon = |b: &RecordBatch| {
+        let mut rows: Vec<Vec<lambada::engine::ScalarKey>> =
+            (0..b.num_rows()).map(|i| b.row(i).iter().map(Scalar::key).collect()).collect();
+        rows.sort();
+        rows
+    };
+    assert_eq!(canon(&report.batch), canon(&reference));
+    // The two middle joins ran in the same wave, both fed by both scans.
+    assert_eq!(report.stages.len(), 5);
+    assert_eq!(report.stages[2].label, "join#2");
+    assert_eq!(report.stages[3].label, "join#3");
+    assert!(report.stages[2].bytes_exchanged > 0);
+    assert!(report.stages[3].bytes_exchanged > 0);
+    // One wave snapshot is shared by the concurrent middle joins; the
+    // query is faster than running its stages back to back.
+    let wall_sum: f64 = report.stages.iter().map(|s| s.wall_secs).sum();
+    assert!(report.latency_secs < wall_sum);
 }
 
 #[test]
@@ -345,7 +662,7 @@ fn q12_join_runs_distributed_and_matches_reference() {
     // input, so the orders scan launches first as the probe stage.
     assert_eq!(report.stages.len(), 3);
     let labels: Vec<&str> = report.stages.iter().map(|s| s.label.as_str()).collect();
-    assert_eq!(labels, vec!["scan:orders", "scan:lineitem", "join"]);
+    assert_eq!(labels, vec!["scan:orders#0", "scan:lineitem#1", "join#2"]);
     assert_eq!(report.stages[0].workers, 4, "one worker per orders file");
     assert_eq!(report.stages[1].workers, 6, "one worker per lineitem file");
     assert!(report.stages[2].workers >= 1);

@@ -489,7 +489,7 @@ fn concurrent_installs_never_collide_on_exchange_keys() {
     assert_eq!(keys_of(&b.batch), (1000..1060).collect::<Vec<i64>>());
     for report in [&a, &b] {
         assert_eq!(report.stages.len(), 2);
-        assert_eq!(report.stages[1].label, "agg");
+        assert_eq!(report.stages[1].label, "agg#1");
         // Each merge fleet discovered exactly its own 3 senders.
         assert_eq!(report.stages[0].put_requests, 3);
     }

@@ -321,11 +321,80 @@ fn straggling_scan_workers_recover_with_duplicate_shuffle_files() {
     let (faulted, report) = run_q12_join(true);
     // Each scan stage counts exactly its one straggler's backup; the
     // join fleet needed none.
-    assert_eq!(report.stages[0].label, "scan:orders");
+    assert_eq!(report.stages[0].label, "scan:orders#0");
     assert_eq!(report.stages[0].backup_invocations, 1);
-    assert_eq!(report.stages[1].label, "scan:lineitem");
+    assert_eq!(report.stages[1].label, "scan:lineitem#1");
     assert_eq!(report.stages[1].backup_invocations, 1);
     assert_eq!(report.stages[2].backup_invocations, 0);
+    assert!(faulted.num_rows() > 0);
+    assert_batches_close(&faulted, &clean);
+}
+
+/// Run the Q3-style join + repartitioned aggregation with an optional
+/// straggler *inside the join fleet* — an inner (non-final) stage whose
+/// output feeds the agg-merge fleet over the exchange.
+fn run_q3_inner(straggler: bool) -> (RecordBatch, lambada::core::QueryReport) {
+    let sim = Simulation::new();
+    let cloud = Cloud::new(&sim, CloudConfig::default());
+    let scale = 0.02;
+    let seed = 27;
+    let li_opts = StageOptions { scale, num_files: 6, row_groups_per_file: 3, seed };
+    let li_spec = stage_real(&cloud, "tpch", "lineitem", li_opts);
+    let orders_opts = lambada::workloads::OrdersStageOptions {
+        rows: li_spec.total_rows,
+        num_files: 4,
+        row_groups_per_file: 3,
+        seed,
+    };
+    let ord_spec = lambada::workloads::stage_real_orders(&cloud, "tpch", "orders", orders_opts);
+    let join_workers = 8;
+    let mut system = Lambada::install(
+        &cloud,
+        LambadaConfig {
+            speculation: test_speculation(true),
+            join_workers: Some(join_workers),
+            agg: lambada::core::AggStrategy::Exchange { workers: Some(2) },
+            ..LambadaConfig::default()
+        },
+    );
+    system.register_table(li_spec);
+    system.register_table(ord_spec);
+    if straggler {
+        // Worker id 7 exists only in the 8-strong join fleet (the scans
+        // have 4 and 6 workers, the merge fleet 2), so the fault hits
+        // exactly one inner-stage worker. Its backup re-reads both
+        // co-partitions, re-joins, and re-writes its grouped-state shard
+        // under the next attempt id; the merge fleet must pick exactly
+        // one attempt per sender.
+        inject_worker_faults(&cloud, |wid, attempt| {
+            (wid == 7 && attempt == 0).then_some(InjectedFault {
+                compute_factor: 50.0,
+                nic_factor: 0.001,
+                kill_after: None,
+            })
+        });
+    }
+    let plan = lambada::workloads::q3("lineitem", "orders");
+    let report = sim.block_on(async move { system.run_query(&plan).await.unwrap() });
+    (report.batch.clone(), report)
+}
+
+#[test]
+fn speculation_recovers_a_straggler_in_an_inner_join_stage() {
+    // PR 3 proved scan-stage stragglers recover; the topo scheduler must
+    // give *every* stage the same protection. Here the straggler sits in
+    // the join stage of a four-stage DAG (scan, scan, join, agg-merge) —
+    // an inner stage whose consumers read its exchange edge — and the
+    // final result must match the fault-free run.
+    let (clean, clean_report) = run_q3_inner(false);
+    assert_eq!(clean_report.backup_invocations(), 0);
+    let (faulted, report) = run_q3_inner(true);
+    let labels: Vec<&str> = report.stages.iter().map(|s| s.label.as_str()).collect();
+    assert_eq!(labels, vec!["scan:lineitem#0", "scan:orders#1", "join#2", "agg#3"]);
+    assert_eq!(report.stages[0].backup_invocations, 0);
+    assert_eq!(report.stages[1].backup_invocations, 0);
+    assert_eq!(report.stages[2].backup_invocations, 1, "the join straggler was speculated");
+    assert_eq!(report.stages[3].backup_invocations, 0);
     assert!(faulted.num_rows() > 0);
     assert_batches_close(&faulted, &clean);
 }

@@ -175,8 +175,8 @@ proptest! {
         // The DAG ran as scan fleet + agg-merge fleet (no driver merge,
         // no single-stage fallback).
         prop_assert_eq!(report.stages.len(), 2);
-        prop_assert_eq!(report.stages[0].label.as_str(), "scan:t");
-        prop_assert_eq!(report.stages[1].label.as_str(), "agg");
+        prop_assert_eq!(report.stages[0].label.as_str(), "scan:t#0");
+        prop_assert_eq!(report.stages[1].label.as_str(), "agg#1");
         prop_assert_eq!(report.stages[1].workers, case.agg_workers);
         // Every group was finalized by exactly one merge worker: the
         // merge fleet's output row count equals the group count.
@@ -257,8 +257,8 @@ proptest! {
             "join + group-by mismatch"
         );
         prop_assert_eq!(report.stages.len(), 4);
-        prop_assert_eq!(report.stages[2].label.as_str(), "join");
-        prop_assert_eq!(report.stages[3].label.as_str(), "agg");
+        prop_assert_eq!(report.stages[2].label.as_str(), "join#2");
+        prop_assert_eq!(report.stages[3].label.as_str(), "agg#3");
         prop_assert_eq!(report.stages[2].workers, join_workers);
         prop_assert_eq!(report.stages[3].workers, agg_workers);
     }

@@ -1,0 +1,403 @@
+//! Property tests for the general DAG lowering: multi-way (nested) hash
+//! joins, the distributed range-partitioned sort/top-k, and DISTINCT must
+//! agree with the local reference executor bit-for-bit over randomized
+//! tables, key skew, file layouts, and fleet sizes.
+//!
+//! Sort cases use total-order keys (every column a tiebreaker) and
+//! integer-valued data, so "bit-for-bit" means the *exact* row sequence —
+//! not just the multiset.
+
+use std::rc::Rc;
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use lambada::core::{AggStrategy, Lambada, LambadaConfig, SortStrategy};
+use lambada::engine::{
+    execute_into_batch, lit_i64, AggExpr, AggFunc, Catalog, Column, DataType, Df, Field, MemTable,
+    RecordBatch, Scalar, Schema, SortKey,
+};
+use lambada::sim::{Cloud, CloudConfig, Simulation};
+use lambada::workloads::stage_table_real;
+
+fn t_schema() -> Schema {
+    Schema::new(vec![
+        Field::new("k1", DataType::Int64),
+        Field::new("k2", DataType::Int64),
+        Field::new("a", DataType::Int64),
+    ])
+}
+
+fn u_schema() -> Schema {
+    Schema::new(vec![Field::new("uk", DataType::Int64), Field::new("b", DataType::Int64)])
+}
+
+fn v_schema() -> Schema {
+    Schema::new(vec![Field::new("vk", DataType::Int64), Field::new("c", DataType::Int64)])
+}
+
+/// Key distributions: a small domain (dense matches), a wide domain
+/// (sparse matches, empty partitions), and total skew (every key equal —
+/// one partition holds everything).
+fn arb_keys(len: usize) -> impl Strategy<Value = Vec<i64>> {
+    prop_oneof![
+        prop::collection::vec(-3i64..4, len..len + 1),
+        prop::collection::vec(-500i64..500, len..len + 1),
+        (0i64..2).prop_map(move |k| vec![k; len]),
+    ]
+}
+
+fn columns_for(schema: &Schema, keys: &[i64], keys2: Option<&[i64]>, tag: i64) -> Vec<Column> {
+    let n = keys.len();
+    let mut cols = vec![Column::I64(keys.to_vec())];
+    if let Some(k2) = keys2 {
+        cols.push(Column::I64(k2.to_vec()));
+    }
+    while cols.len() < schema.len() {
+        let salt = cols.len() as i64;
+        cols.push(Column::I64((0..n as i64).map(|i| tag * 1000 + salt * 37 + i).collect()));
+    }
+    cols
+}
+
+fn split_files(cols: &[Column], num_files: usize) -> Vec<Vec<Column>> {
+    let rows = cols.first().map_or(0, Column::len);
+    if rows == 0 {
+        return Vec::new();
+    }
+    let per = rows.div_ceil(num_files.max(1));
+    let mut out = Vec::new();
+    let mut start = 0;
+    while start < rows {
+        let idx: Vec<usize> = (start..(start + per).min(rows)).collect();
+        out.push(cols.iter().map(|c| c.gather(&idx)).collect());
+        start += per;
+    }
+    out
+}
+
+/// Canonical multiset of rows for order-insensitive comparison.
+fn row_multiset(batch: &RecordBatch) -> Vec<Vec<lambada::engine::ScalarKey>> {
+    let mut rows: Vec<Vec<lambada::engine::ScalarKey>> =
+        (0..batch.num_rows()).map(|i| batch.row(i).iter().map(Scalar::key).collect()).collect();
+    rows.sort();
+    rows
+}
+
+/// Exact row-sequence equality (bit-for-bit, integers only here).
+fn assert_rows_identical(
+    got: &RecordBatch,
+    want: &RecordBatch,
+) -> std::result::Result<(), TestCaseError> {
+    prop_assert_eq!(got.num_rows(), want.num_rows());
+    prop_assert_eq!(got.num_columns(), want.num_columns());
+    for i in 0..got.num_rows() {
+        prop_assert_eq!(got.row(i), want.row(i), "row {} differs", i);
+    }
+    Ok(())
+}
+
+#[derive(Debug, Clone)]
+struct MultiwayCase {
+    t_k1: Vec<i64>,
+    t_k2: Vec<i64>,
+    u_keys: Vec<i64>,
+    v_keys: Vec<i64>,
+    files: usize,
+    files_per_worker: usize,
+    join_workers: usize,
+    with_filter: bool,
+}
+
+fn arb_multiway() -> impl Strategy<Value = MultiwayCase> {
+    (0usize..40, 0usize..25, 0usize..25).prop_flat_map(|(tn, un, vn)| {
+        (
+            arb_keys(tn),
+            arb_keys(tn),
+            arb_keys(un),
+            arb_keys(vn),
+            1usize..4,
+            1usize..3,
+            1usize..7,
+            any::<bool>(),
+        )
+            .prop_map(
+                |(
+                    t_k1,
+                    t_k2,
+                    u_keys,
+                    v_keys,
+                    files,
+                    files_per_worker,
+                    join_workers,
+                    with_filter,
+                )| {
+                    MultiwayCase {
+                        t_k1,
+                        t_k2,
+                        u_keys,
+                        v_keys,
+                        files,
+                        files_per_worker,
+                        join_workers,
+                        with_filter,
+                    }
+                },
+            )
+    })
+}
+
+struct Staged {
+    sim: Simulation,
+    system: Lambada,
+    catalog: Catalog,
+}
+
+fn stage_three_tables(case: &MultiwayCase, config: LambadaConfig) -> Staged {
+    let sim = Simulation::new();
+    let cloud = Cloud::new(&sim, CloudConfig::default());
+    let tcols = columns_for(&t_schema(), &case.t_k1, Some(&case.t_k2), 1);
+    let ucols = columns_for(&u_schema(), &case.u_keys, None, 2);
+    let vcols = columns_for(&v_schema(), &case.v_keys, None, 3);
+    let mut system = Lambada::install(&cloud, config);
+    let mut catalog = Catalog::new();
+    for (name, schema, cols) in
+        [("t", t_schema(), tcols), ("u", u_schema(), ucols), ("v", v_schema(), vcols)]
+    {
+        let spec = stage_table_real(
+            &cloud,
+            "data",
+            name,
+            schema.clone(),
+            split_files(&cols, case.files),
+            cols.first().map_or(0, Column::len) as u64,
+            2,
+        );
+        system.register_table(spec);
+        let batch = RecordBatch::new(Arc::new(schema), cols).unwrap();
+        catalog.register(name, Rc::new(MemTable::from_batch(batch)));
+    }
+    Staged { sim, system, catalog }
+}
+
+fn multiway_plan(case: &MultiwayCase) -> lambada::engine::LogicalPlan {
+    // (t ⋈ u on k1) ⋈ v on k2 — a three-table join tree.
+    let t = Df::scan("t", &t_schema());
+    let u = Df::scan("u", &u_schema());
+    let v = Df::scan("v", &v_schema());
+    let mut df = t.join(u, &[("k1", "uk")]).unwrap().join(v, &[("k2", "vk")]).unwrap();
+    if case.with_filter {
+        let a = df.col("a").unwrap();
+        df = df.filter(a.le(lit_i64(1_000_000))).unwrap();
+    }
+    df.build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    /// Multi-way (nested) distributed join ≡ local reference executor,
+    /// as row multisets with bitwise-equal scalars.
+    #[test]
+    fn multiway_join_matches_reference(case in arb_multiway()) {
+        let staged = stage_three_tables(&case, LambadaConfig {
+            files_per_worker: case.files_per_worker,
+            join_workers: Some(case.join_workers),
+            ..LambadaConfig::default()
+        });
+        let plan = multiway_plan(&case);
+        let reference = execute_into_batch(&plan, &staged.catalog).unwrap();
+        let system = staged.system;
+        let report = staged.sim.block_on({
+            let plan = plan.clone();
+            async move { system.run_query(&plan).await.unwrap() }
+        });
+        prop_assert_eq!(report.batch.num_columns(), reference.num_columns());
+        prop_assert_eq!(
+            row_multiset(&report.batch),
+            row_multiset(&reference),
+            "multiway join mismatch for {:?}",
+            case
+        );
+        // No local fallback, no flat special case: five stages ran with
+        // two join fleets (stage order depends on the join reorderer).
+        prop_assert_eq!(report.stages.len(), 5);
+        let join_fleets: Vec<usize> = report
+            .stages
+            .iter()
+            .filter(|s| s.label.starts_with("join#"))
+            .map(|s| s.workers)
+            .collect();
+        prop_assert_eq!(join_fleets, vec![case.join_workers; 2]);
+    }
+
+    /// Distributed range-partitioned sort/top-k over a scan ≡ reference,
+    /// as the exact row sequence (total-order keys).
+    #[test]
+    fn distributed_sort_matches_reference_exactly(
+        keys in arb_keys(35),
+        files in 1usize..4,
+        files_per_worker in 1usize..3,
+        sort_workers in 1usize..7,
+        limit in (any::<bool>(), 0usize..20).prop_map(|(some, n)| some.then_some(n)),
+        descending in any::<bool>(),
+    ) {
+        let sim = Simulation::new();
+        let cloud = Cloud::new(&sim, CloudConfig::default());
+        let schema = u_schema();
+        let cols = columns_for(&schema, &keys, None, 4);
+        let mut system = Lambada::install(&cloud, LambadaConfig {
+            files_per_worker,
+            sort: SortStrategy::Exchange { workers: Some(sort_workers) },
+            ..LambadaConfig::default()
+        });
+        let spec = stage_table_real(
+            &cloud, "data", "u", schema.clone(),
+            split_files(&cols, files), keys.len() as u64, 2,
+        );
+        system.register_table(spec);
+        let mut catalog = Catalog::new();
+        catalog.register(
+            "u",
+            Rc::new(MemTable::from_batch(RecordBatch::new(Arc::new(schema.clone()), cols).unwrap())),
+        );
+
+        // ORDER BY uk [DESC], b — every column a key, so the order is total.
+        let df = Df::scan("u", &schema);
+        let k = df.col("uk").unwrap();
+        let b = df.col("b").unwrap();
+        let sk = if descending { SortKey::desc(k) } else { SortKey::asc(k) };
+        let mut df = df.sort(vec![sk, SortKey::asc(b)]).unwrap();
+        if let Some(n) = limit {
+            df = df.limit(n).unwrap();
+        }
+        let plan = df.build();
+
+        let reference = execute_into_batch(&plan, &catalog).unwrap();
+        let report = sim.block_on({
+            let plan = plan.clone();
+            async move { system.run_query(&plan).await.unwrap() }
+        });
+        assert_rows_identical(&report.batch, &reference)?;
+        // The sort genuinely ran as a fleet, not on the driver.
+        prop_assert_eq!(report.stages.len(), 2);
+        prop_assert!(report.stages[1].label.starts_with("sort#"));
+        prop_assert_eq!(report.stages[1].workers, sort_workers);
+    }
+
+    /// Group-by + ORDER BY + LIMIT with both exchange strategies on —
+    /// repartitioned aggregation feeding a sort fleet — ≡ reference,
+    /// as the exact row sequence (integer sums are exact, keys total).
+    #[test]
+    fn exchange_agg_into_sort_matches_reference_exactly(
+        keys in arb_keys(40),
+        files in 1usize..3,
+        agg_workers in 1usize..5,
+        sort_workers in 1usize..5,
+        limit in 1usize..12,
+    ) {
+        let sim = Simulation::new();
+        let cloud = Cloud::new(&sim, CloudConfig::default());
+        let schema = u_schema();
+        let cols = columns_for(&schema, &keys, None, 5);
+        let mut system = Lambada::install(&cloud, LambadaConfig {
+            agg: AggStrategy::Exchange { workers: Some(agg_workers) },
+            sort: SortStrategy::Exchange { workers: Some(sort_workers) },
+            ..LambadaConfig::default()
+        });
+        let spec = stage_table_real(
+            &cloud, "data", "u", schema.clone(),
+            split_files(&cols, files), keys.len() as u64, 2,
+        );
+        system.register_table(spec);
+        let mut catalog = Catalog::new();
+        catalog.register(
+            "u",
+            Rc::new(MemTable::from_batch(RecordBatch::new(Arc::new(schema.clone()), cols).unwrap())),
+        );
+
+        // SELECT uk, sum(b) GROUP BY uk ORDER BY sum_b DESC, uk LIMIT n.
+        let df = Df::scan("u", &schema);
+        let k = df.col("uk").unwrap();
+        let b = df.col("b").unwrap();
+        let plan = df
+            .aggregate(vec![(k, "uk")], vec![AggExpr::new(AggFunc::Sum, Some(b), "sum_b")])
+            .unwrap()
+            .sort(vec![SortKey::desc(lambada::engine::col(1)), SortKey::asc(lambada::engine::col(0))])
+            .unwrap()
+            .limit(limit)
+            .unwrap()
+            .build();
+
+        let reference = execute_into_batch(&plan, &catalog).unwrap();
+        let report = sim.block_on({
+            let plan = plan.clone();
+            async move { system.run_query(&plan).await.unwrap() }
+        });
+        assert_rows_identical(&report.batch, &reference)?;
+        // scan → agg-merge → sort: fully serverless, driver concatenates.
+        prop_assert_eq!(report.stages.len(), 3);
+        prop_assert!(report.stages[1].label.starts_with("agg#"));
+        prop_assert!(report.stages[2].label.starts_with("sort#"));
+        prop_assert_eq!(report.stages[2].workers, sort_workers);
+    }
+
+    /// DISTINCT ≡ reference under both aggregation strategies.
+    #[test]
+    fn distinct_matches_reference_under_both_strategies(
+        keys in arb_keys(30),
+        dup_factor in 1usize..4,
+        files in 1usize..3,
+        agg_workers in 1usize..5,
+    ) {
+        // Duplicate every row dup_factor times so DISTINCT has real work.
+        let mut dup = Vec::with_capacity(keys.len() * dup_factor);
+        for &k in &keys {
+            for _ in 0..dup_factor {
+                dup.push(k);
+            }
+        }
+        let schema = Schema::new(vec![
+            Field::new("k", DataType::Int64),
+            Field::new("m", DataType::Int64),
+        ]);
+        let n = dup.len();
+        let cols = vec![
+            Column::I64(dup.clone()),
+            Column::I64((0..n as i64).map(|i| (i / (dup_factor as i64).max(1)) % 3).collect()),
+        ];
+        let mut catalog = Catalog::new();
+        catalog.register(
+            "d",
+            Rc::new(MemTable::from_batch(
+                RecordBatch::new(Arc::new(schema.clone()), cols.clone()).unwrap(),
+            )),
+        );
+        let plan = Df::scan("d", &schema).distinct().unwrap().build();
+        let reference = execute_into_batch(&plan, &catalog).unwrap();
+
+        for agg in [AggStrategy::DriverMerge, AggStrategy::Exchange { workers: Some(agg_workers) }] {
+            let sim = Simulation::new();
+            let cloud = Cloud::new(&sim, CloudConfig::default());
+            let mut system = Lambada::install(&cloud, LambadaConfig {
+                agg,
+                ..LambadaConfig::default()
+            });
+            let spec = stage_table_real(
+                &cloud, "data", "d", schema.clone(),
+                split_files(&cols, files), n as u64, 2,
+            );
+            system.register_table(spec);
+            let report = sim.block_on({
+                let plan = plan.clone();
+                async move { system.run_query(&plan).await.unwrap() }
+            });
+            prop_assert_eq!(
+                row_multiset(&report.batch),
+                row_multiset(&reference),
+                "distinct mismatch under {:?}",
+                agg
+            );
+        }
+    }
+}
