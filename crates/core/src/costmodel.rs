@@ -7,6 +7,8 @@
 //! 2–3 s band Fig 11 reports, with heavy-weight decompression dominating
 //! ("scanning GZIP-compressed data is CPU-bound", §5.2).
 
+use lambada_engine::JoinVariant;
+
 /// Throughput constants per vCPU.
 #[derive(Clone, Copy, Debug)]
 pub struct ComputeCostModel {
@@ -82,6 +84,33 @@ impl ComputeCostModel {
         let usable = (memory_budget / 4).max(1);
         let total = probe_bytes + build_bytes;
         (total.div_ceil(usable) as usize).clamp(1, 256)
+    }
+
+    /// Estimated bytes a join stage emits onto its output edge, given the
+    /// estimated exchanged bytes of its inputs and the join variant — the
+    /// per-variant output-cardinality model that sizes *consumer* fleets
+    /// (a parent join, an agg-merge fleet, a sort fleet) sanely:
+    ///
+    /// * [`JoinVariant::Inner`] — the larger input: an equi-join rarely
+    ///   exceeds its bigger side by much at this granularity;
+    /// * [`JoinVariant::LeftOuter`] — the inner estimate plus a quarter
+    ///   of the probe side: every unmatched probe row survives, widened
+    ///   by sentinel-padded build columns;
+    /// * [`JoinVariant::Semi`] / [`JoinVariant::Anti`] — half the probe
+    ///   side: the output is a subset of the probe rows (emitted at most
+    ///   once each) carrying *only* the probe columns, so downstream
+    ///   fleets shrink accordingly.
+    pub fn join_output_bytes(
+        &self,
+        variant: JoinVariant,
+        probe_bytes: u64,
+        build_bytes: u64,
+    ) -> u64 {
+        match variant {
+            JoinVariant::Inner => probe_bytes.max(build_bytes),
+            JoinVariant::LeftOuter => probe_bytes.max(build_bytes).saturating_add(probe_bytes / 4),
+            JoinVariant::Semi | JoinVariant::Anti => (probe_bytes / 2).max(1),
+        }
     }
 
     /// Worker count for the merge stage of a repartitioned aggregation,
@@ -163,6 +192,25 @@ mod tests {
         // Clamped to a sane band.
         assert_eq!(m.join_stage_workers(u64::MAX / 4, 0, 2 * gib), 256);
         assert_eq!(m.join_stage_workers(0, 0, 2 * gib), 1);
+    }
+
+    #[test]
+    fn join_output_estimate_orders_the_variants() {
+        let m = ComputeCostModel::default();
+        let (p, b) = (64u64 << 30, 16u64 << 30);
+        let inner = m.join_output_bytes(JoinVariant::Inner, p, b);
+        let outer = m.join_output_bytes(JoinVariant::LeftOuter, p, b);
+        let semi = m.join_output_bytes(JoinVariant::Semi, p, b);
+        let anti = m.join_output_bytes(JoinVariant::Anti, p, b);
+        assert_eq!(inner, p, "inner ~ the larger input");
+        assert!(outer > inner, "left outer adds padded unmatched probe rows");
+        assert_eq!(semi, anti);
+        assert!(semi < inner, "semi/anti shrink to a probe subset");
+        // A consumer fleet sized from a semi-join edge undercuts one
+        // sized from the equivalent inner edge.
+        let gib = 1u64 << 30;
+        assert!(m.agg_merge_workers(semi, 2 * gib) <= m.agg_merge_workers(inner, 2 * gib));
+        assert_eq!(m.join_output_bytes(JoinVariant::Semi, 0, b), 1, "never zero");
     }
 
     #[test]

@@ -552,10 +552,11 @@ impl Lambada {
 
     /// Per-stage estimate of the bytes each stage emits onto its output
     /// edge, computed bottom-up over the DAG: table bytes scaled by the
-    /// fraction of surviving columns for scans, the larger input for
-    /// joins (equi-joins rarely exceed their bigger side by much at this
-    /// granularity), an 8:1 pre-aggregation compaction for agg-merge
-    /// fleets, and pass-through for sorts.
+    /// fraction of surviving columns for scans, the variant-aware
+    /// [`ComputeCostModel::join_output_bytes`] for joins (the larger
+    /// input for inner joins, a probe subset for semi/anti), an 8:1
+    /// pre-aggregation compaction for agg-merge fleets, and pass-through
+    /// for sorts.
     fn estimated_stage_bytes(&self, dag: &QueryDag) -> Result<Vec<u64>> {
         let mut est: Vec<u64> = Vec::with_capacity(dag.stages.len());
         for kind in &dag.stages {
@@ -568,7 +569,11 @@ impl Lambada {
                     let frac = scan.scan_columns.len() as f64 / width as f64;
                     (spec.total_bytes() as f64 * frac) as u64
                 }
-                StageKind::Join(j) => est[j.probe_input].max(est[j.build_input]),
+                StageKind::Join(j) => self.config.costs.join_output_bytes(
+                    j.variant,
+                    est[j.probe_input],
+                    est[j.build_input],
+                ),
                 StageKind::AggMerge(a) => est[a.input] / 8,
                 StageKind::Sort(s) => est[s.input],
             };
@@ -810,6 +815,7 @@ impl Lambada {
             build_schema: join.build_schema.clone(),
             probe_keys: join.probe_keys.clone(),
             build_keys: join.build_keys.clone(),
+            variant: join.variant,
             post,
             exchange: self.config.exchange.clone(),
             side: side.clone(),

@@ -21,8 +21,11 @@
 //!   scan *or another join stage*, which is what unlocks multi-way
 //!   (3+-table) join trees. Worker `p` of a join fleet owns co-partition
 //!   `p` of both inputs: it builds a hash table from the build side,
-//!   probes it with the probe side, and runs the post-join pipeline
-//!   (residual filter, projection, terminal). A join below another join
+//!   probes it with the probe side under the stage's
+//!   [`lambada_engine::JoinVariant`] (inner, left-outer, semi, anti —
+//!   the exchange plan is identical across variants; only the probe's
+//!   emit rule differs), and runs the post-join pipeline (residual
+//!   filter, projection, terminal). A join below another join
 //!   hash-partitions its output rows on the parent's keys, exactly like a
 //!   scan stage would;
 //! * **agg-merge stages** finalize a repartitioned group-by aggregation
@@ -44,7 +47,7 @@
 //! compose) reports [`CoreError::Unsupported`] and falls back to the local
 //! reference engine.
 
-use lambada_engine::logical::{LogicalPlan, SortKey};
+use lambada_engine::logical::{JoinVariant, LogicalPlan, SortKey};
 use lambada_engine::pipeline::{agg_func_types, PipelineSpec, Terminal};
 use lambada_engine::types::{DataType, SchemaRef};
 use lambada_engine::{AggFunc, Expr};
@@ -135,7 +138,15 @@ pub struct ScanStage {
 
 /// A partitioned hash-join stage: worker `p` of the fleet receives
 /// co-partition `p` of both exchange inputs, builds a hash table from the
-/// build side, probes it with the probe side, and runs `post`.
+/// build side, probes it with the probe side under the join `variant`,
+/// and runs `post`.
+///
+/// All four [`JoinVariant`]s share this one physical stage shape: the
+/// hash-partitioned exchange edges and duplicate-tolerant attempt keys
+/// are identical; only the probe's emit rule differs. Semi/anti/outer
+/// joins preserve the probe (left) side, so the planner always keeps
+/// their build on the right input — the optimizer's build-side swap is
+/// inner-only.
 #[derive(Clone, Debug)]
 pub struct JoinStage {
     /// DAG index of the probe-side (left) input stage — a scan or a join.
@@ -148,10 +159,13 @@ pub struct JoinStage {
     /// Join-key columns within the probe / build schemas.
     pub probe_keys: Vec<usize>,
     pub build_keys: Vec<usize>,
-    /// Post-join pipeline: `input_schema` is `probe ++ build`, predicate
-    /// is the residual (cross-side) filter, projection restores the
-    /// plan's output columns, and the terminal is partial aggregation,
-    /// local sorting, or collection.
+    /// Which rows the probe emits; see [`JoinVariant`].
+    pub variant: JoinVariant,
+    /// Post-join pipeline: `input_schema` is the variant's probe output
+    /// (`probe ++ build` for inner/left-outer, probe alone for
+    /// semi/anti), predicate is the residual (cross-side) filter,
+    /// projection restores the plan's output columns, and the terminal is
+    /// partial aggregation, local sorting, or collection.
     pub post: PipelineSpec,
     /// Driver for join-rooted queries; [`StageOutput::Exchange`] when a
     /// parent join consumes this join's rows; [`StageOutput::AggExchange`]
@@ -233,11 +247,14 @@ impl StageKind {
     }
 
     /// Human label carrying the stage's stable topo-ordered id:
-    /// `scan:lineitem#0`, `join#2`, `agg#3`, `sort#4`.
+    /// `scan:lineitem#0`, `join#2`, `semi-join#2`, `anti-join#2`,
+    /// `left-join#2`, `agg#3`, `sort#4`. Join stages surface their
+    /// [`JoinVariant`] so reports and the `cost_explorer` breakdown name
+    /// the operator that actually ran.
     pub fn label(&self, id: usize) -> String {
         match self {
             StageKind::Scan(s) => format!("scan:{}#{id}", s.table),
-            StageKind::Join(_) => format!("join#{id}"),
+            StageKind::Join(j) => format!("{}#{id}", j.variant.label()),
             StageKind::AggMerge(_) => format!("agg#{id}"),
             StageKind::Sort(_) => format!("sort#{id}"),
         }
@@ -502,7 +519,7 @@ fn lower_join(
             }
         }
     }
-    let LogicalPlan::Join { left, right, on } = cur else { unreachable!() };
+    let LogicalPlan::Join { left, right, on, variant } = cur else { unreachable!() };
 
     // Lower the peeled ops (bottom-up) into one (predicate, projection)
     // pair over the join output. Stacked projections compose only when
@@ -551,9 +568,13 @@ fn lower_join(
     let probe_keys: Vec<usize> = on.iter().map(|&(l, _)| l).collect();
     let build_keys: Vec<usize> = on.iter().map(|&(_, r)| r).collect();
 
-    // The post pipeline's input is the joined row: probe ++ build.
+    // The post pipeline's input is the variant's probe output: the
+    // joined row `probe ++ build` for inner and left-outer joins, the
+    // probe row alone for semi/anti joins.
     let mut joined_fields = probe_schema.fields.clone();
-    joined_fields.extend(build_schema.fields.clone());
+    if variant.keeps_build_columns() {
+        joined_fields.extend(build_schema.fields.clone());
+    }
     let post = PipelineSpec {
         input_schema: lambada_engine::Schema::arc(joined_fields),
         predicate,
@@ -570,6 +591,7 @@ fn lower_join(
         build_schema,
         probe_keys,
         build_keys,
+        variant: *variant,
         post,
         output,
     }));
@@ -807,6 +829,7 @@ mod tests {
                 left: Box::new(scan("t")),
                 right: Box::new(scan("u")),
                 on: vec![(0, 2)],
+                variant: JoinVariant::Inner,
             }),
             predicate: col(3).le(lit_i64(10)),
         };
@@ -844,6 +867,7 @@ mod tests {
                 left: Box::new(scan("t")),
                 right: Box::new(scan("u")),
                 on: vec![(0, 0)],
+                variant: JoinVariant::Inner,
             }),
             group_by: vec![(col(2), "g".to_string())],
             aggs: vec![A::new(AggFunc::Sum, Some(col(5)), "sum_ub")],
@@ -872,6 +896,7 @@ mod tests {
                 left: Box::new(scan("t")),
                 right: Box::new(scan("u")),
                 on: vec![(0, 0)],
+                variant: JoinVariant::Inner,
             }),
             predicate: col(1).lt(col(5)),
         };
@@ -913,6 +938,7 @@ mod tests {
                 left: Box::new(scan("t")),
                 right: Box::new(scan("u")),
                 on: vec![(0, 0)],
+                variant: JoinVariant::Inner,
             }),
             group_by: vec![(col(2), "g".to_string())],
             aggs: vec![A::new(AggFunc::Sum, Some(col(5)), "sum_ub")],
@@ -950,8 +976,14 @@ mod tests {
             left: Box::new(scan("t")),
             right: Box::new(scan("u")),
             on: vec![(0, 0)],
+            variant: JoinVariant::Inner,
         };
-        LogicalPlan::Join { left: Box::new(inner), right: Box::new(scan("v")), on: vec![(2, 0)] }
+        LogicalPlan::Join {
+            left: Box::new(inner),
+            right: Box::new(scan("v")),
+            on: vec![(2, 0)],
+            variant: JoinVariant::Inner,
+        }
     }
 
     #[test]
@@ -989,6 +1021,7 @@ mod tests {
             left: Box::new(three_way_join()),
             right: Box::new(scan("w")),
             on: vec![(0, 0)],
+            variant: JoinVariant::Inner,
         };
         let dag = split(&plan).unwrap();
         assert_eq!(dag.stages.len(), 7);
@@ -1012,6 +1045,89 @@ mod tests {
         assert!(matches!(outer.output, StageOutput::AggExchange));
         let StageKind::AggMerge(merge) = &dag.stages[5] else { panic!("merge fleet") };
         assert_eq!(merge.input, 4);
+    }
+
+    #[test]
+    fn semi_join_lowers_with_probe_only_post_schema() {
+        // SELECT g, count(*) FROM t SEMI JOIN u ON t.a = u.g GROUP BY g
+        let plan = LogicalPlan::Aggregate {
+            input: Box::new(LogicalPlan::Join {
+                left: Box::new(scan("t")),
+                right: Box::new(scan("u")),
+                on: vec![(0, 2)],
+                variant: JoinVariant::Semi,
+            }),
+            group_by: vec![(col(2), "g".to_string())],
+            aggs: vec![A::new(AggFunc::Count, None, "n")],
+        };
+        let plan = Optimizer::new().optimize(&plan).unwrap();
+        let dag = split(&plan).unwrap();
+        assert_eq!(dag.stages.len(), 3);
+        dag.validate().unwrap();
+        let StageKind::Join(join) = &dag.stages[2] else { panic!("join stage") };
+        assert_eq!(join.variant, JoinVariant::Semi);
+        // The post pipeline consumes the probe rows alone, and the build
+        // scan was pruned to its key column.
+        assert_eq!(join.post.input_schema.len(), join.probe_schema.len());
+        let StageKind::Scan(build) = &dag.stages[1] else { panic!("build scan") };
+        assert_eq!(build.scan_columns, vec![2], "build side: key only");
+        assert!(matches!(join.post.terminal, Terminal::PartialAggregate { .. }));
+        // The label carries the variant.
+        assert_eq!(dag.stages[2].label(2), "semi-join#2");
+    }
+
+    #[test]
+    fn variant_labels_surface_in_stage_labels() {
+        for (variant, want) in [
+            (JoinVariant::Anti, "anti-join#2"),
+            (JoinVariant::LeftOuter, "left-join#2"),
+            (JoinVariant::Inner, "join#2"),
+        ] {
+            let plan = LogicalPlan::Join {
+                left: Box::new(scan("t")),
+                right: Box::new(scan("u")),
+                on: vec![(0, 0)],
+                variant,
+            };
+            let dag = split(&plan).unwrap();
+            dag.validate().unwrap();
+            let StageKind::Join(join) = &dag.stages[2] else { panic!("join stage") };
+            assert_eq!(join.variant, variant);
+            assert_eq!(dag.stages[2].label(2), want);
+            // Output width follows the variant.
+            let want_width = if variant.keeps_build_columns() { 8 } else { 4 };
+            assert_eq!(join.post.input_schema.len(), want_width);
+        }
+    }
+
+    #[test]
+    fn semi_join_feeding_agg_and_sort_lowers_fully_serverless() {
+        // Semi join → repartitioned aggregation → distributed sort: the
+        // nested-variant composition of the tentpole.
+        let plan = LogicalPlan::Limit {
+            input: Box::new(LogicalPlan::Sort {
+                input: Box::new(LogicalPlan::Aggregate {
+                    input: Box::new(LogicalPlan::Join {
+                        left: Box::new(scan("t")),
+                        right: Box::new(scan("u")),
+                        on: vec![(0, 2)],
+                        variant: JoinVariant::Semi,
+                    }),
+                    group_by: vec![(col(2), "g".to_string())],
+                    aggs: vec![A::new(AggFunc::Count, None, "n")],
+                }),
+                keys: vec![SortKey::asc(col(0))],
+            }),
+            n: 5,
+        };
+        let plan = Optimizer::new().optimize(&plan).unwrap();
+        let opts = SplitOptions { exchange_aggregates: true, exchange_sorts: true };
+        let dag = split_with(&plan, &opts).unwrap();
+        dag.validate().unwrap();
+        let labels: Vec<String> = dag.stages.iter().enumerate().map(|(i, s)| s.label(i)).collect();
+        assert_eq!(labels, ["scan:t#0", "scan:u#1", "semi-join#2", "agg#3", "sort#4"]);
+        let StageKind::Join(join) = &dag.stages[2] else { panic!("join stage") };
+        assert!(matches!(join.output, StageOutput::AggExchange));
     }
 
     #[test]
@@ -1061,6 +1177,7 @@ mod tests {
                         left: Box::new(scan("t")),
                         right: Box::new(scan("u")),
                         on: vec![(0, 0)],
+                        variant: JoinVariant::Inner,
                     }),
                     group_by: vec![(col(2), "g".to_string())],
                     aggs: vec![A::new(AggFunc::Sum, Some(col(5)), "s")],

@@ -17,7 +17,7 @@ use lambada_engine::physical::{
 };
 use lambada_engine::pipeline::{Pipeline, PipelineOutput, PipelineSpec, Terminal};
 use lambada_engine::types::{DataType, Schema, SchemaRef};
-use lambada_engine::{AggFunc, Expr, RecordBatch, Scalar};
+use lambada_engine::{AggFunc, Expr, JoinVariant, RecordBatch, Scalar};
 use lambada_sim::services::faas::{FaasService, FunctionSpec, InstanceCtx, InvokePayload};
 use lambada_sim::services::object_store::Body;
 use lambada_sim::sync::mpsc;
@@ -151,7 +151,10 @@ pub struct JoinShared {
     pub build_schema: SchemaRef,
     pub probe_keys: Vec<usize>,
     pub build_keys: Vec<usize>,
-    /// Post-join pipeline over `probe ++ build` rows.
+    /// Which rows the probe emits (inner / left-outer / semi / anti).
+    pub variant: JoinVariant,
+    /// Post-join pipeline over the variant's probe output (`probe ++
+    /// build` rows for inner/left-outer, probe rows for semi/anti).
     pub post: PipelineSpec,
     pub exchange: ExchangeConfig,
     pub side: ExchangeSide,
@@ -830,7 +833,11 @@ async fn run_join(env: &WorkerEnv, task: &JoinTask) -> Result<(ResultPayload, Wo
         input_schema: shared.probe_schema.clone(),
         predicate: None,
         projection: None,
-        terminal: Terminal::Probe { build: Rc::new(build), probe_keys: shared.probe_keys.clone() },
+        terminal: Terminal::Probe {
+            build: Rc::new(build),
+            probe_keys: shared.probe_keys.clone(),
+            variant: shared.variant,
+        },
     };
     let mut probe_pipeline = Pipeline::new(probe_spec)?;
     let (probe_parts, probe_stats) = exchange_stage_read(

@@ -31,7 +31,7 @@ use std::sync::Arc;
 use crate::agg::{AggExpr, AggFunc};
 use crate::error::Result;
 use crate::expr::Expr;
-use crate::logical::{LogicalPlan, SortKey};
+use crate::logical::{JoinVariant, LogicalPlan, SortKey};
 use crate::types::{Schema, SchemaRef};
 
 /// A lazily-built query: wraps a logical plan plus its current schema.
@@ -144,6 +144,13 @@ impl Df {
 
     /// Inner equi-join on named column pairs.
     pub fn join(self, right: Df, on: &[(&str, &str)]) -> Result<Df> {
+        self.join_variant(right, on, JoinVariant::Inner)
+    }
+
+    /// Equi-join with an explicit [`JoinVariant`] on named column pairs.
+    /// `self` is the probe (left, preserved) side; `right` is the build
+    /// side.
+    pub fn join_variant(self, right: Df, on: &[(&str, &str)], variant: JoinVariant) -> Result<Df> {
         let mut pairs = Vec::with_capacity(on.len());
         for (l, r) in on {
             pairs.push((self.schema.index_of(l)?, right.schema.index_of(r)?));
@@ -152,7 +159,29 @@ impl Df {
             left: Box::new(self.plan),
             right: Box::new(right.plan),
             on: pairs,
+            variant,
         })
+    }
+
+    /// `EXISTS`-style semi-join: keep each of `self`'s rows with at least
+    /// one match in `right`, once, keeping only `self`'s columns.
+    pub fn semi_join(self, right: Df, on: &[(&str, &str)]) -> Result<Df> {
+        self.join_variant(right, on, JoinVariant::Semi)
+    }
+
+    /// `NOT EXISTS`-style anti-join: keep each of `self`'s rows with no
+    /// match in `right`, keeping only `self`'s columns.
+    pub fn anti_join(self, right: Df, on: &[(&str, &str)]) -> Result<Df> {
+        self.join_variant(right, on, JoinVariant::Anti)
+    }
+
+    /// Left outer equi-join: every matching pair plus `self`'s unmatched
+    /// rows with `right`'s columns padded by [`Scalar::null_of`]
+    /// sentinels.
+    ///
+    /// [`Scalar::null_of`]: crate::scalar::Scalar::null_of
+    pub fn left_outer_join(self, right: Df, on: &[(&str, &str)]) -> Result<Df> {
+        self.join_variant(right, on, JoinVariant::LeftOuter)
     }
 
     /// Finish building.
@@ -208,6 +237,33 @@ mod tests {
         let right = Df::scan("r", &schema());
         let joined = left.join(right, &[("g", "g")]).unwrap();
         assert_eq!(joined.schema().len(), 6);
+    }
+
+    #[test]
+    fn join_variant_builders_set_variant_and_schema() {
+        let cases =
+            [(JoinVariant::Semi, 3usize), (JoinVariant::Anti, 3), (JoinVariant::LeftOuter, 6)];
+        for (variant, width) in cases {
+            let left = Df::scan("l", &schema());
+            let right = Df::scan("r", &schema());
+            let joined = left.join_variant(right, &[("g", "g")], variant).unwrap();
+            assert_eq!(joined.schema().len(), width, "{variant:?}");
+            let LogicalPlan::Join { variant: v, .. } = joined.build() else {
+                panic!("expected join");
+            };
+            assert_eq!(v, variant);
+        }
+        // The named shortcuts agree with join_variant.
+        let semi =
+            Df::scan("l", &schema()).semi_join(Df::scan("r", &schema()), &[("g", "g")]).unwrap();
+        assert_eq!(semi.schema().len(), 3);
+        let anti =
+            Df::scan("l", &schema()).anti_join(Df::scan("r", &schema()), &[("g", "g")]).unwrap();
+        assert_eq!(anti.schema().len(), 3);
+        let outer = Df::scan("l", &schema())
+            .left_outer_join(Df::scan("r", &schema()), &[("g", "g")])
+            .unwrap();
+        assert_eq!(outer.schema().len(), 6);
     }
 
     #[test]

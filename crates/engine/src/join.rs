@@ -18,8 +18,43 @@ use lambada_format::binio::{BinReader, BinWriter};
 use crate::batch::RecordBatch;
 use crate::column::Column;
 use crate::error::{exec_err, plan_err, EngineError, Result};
-use crate::scalar::ScalarKey;
+use crate::logical::JoinVariant;
+use crate::scalar::{Scalar, ScalarKey};
 use crate::types::{DataType, Field, Schema, SchemaRef};
+
+/// One all-sentinel row of `schema` — the `NULL` padding a left-outer
+/// join appends to unmatched probe rows (see [`Scalar::null_of`] for the
+/// sentinel encoding). Both the local reference executor and the
+/// distributed probe terminal pad through this helper, so padded rows are
+/// bitwise identical across the two paths.
+pub fn null_pad_row(schema: &SchemaRef) -> Result<RecordBatch> {
+    let columns =
+        schema.fields.iter().map(|f| Column::broadcast(Scalar::null_of(f.dtype), 1)).collect();
+    RecordBatch::new(SchemaRef::clone(schema), columns)
+}
+
+/// Gather `rows` by `indices`, where the out-of-range index `pad_idx`
+/// stands for the sentinel pad row — the left-outer probe's gather,
+/// done in one pass without materializing an extended build batch.
+fn gather_with_pad(rows: &RecordBatch, indices: &[usize], pad_idx: usize) -> Result<RecordBatch> {
+    use crate::scalar::{NULL_BOOL, NULL_F64, NULL_I64};
+    let columns = rows
+        .columns()
+        .iter()
+        .map(|c| match c {
+            Column::I64(v) => Column::I64(
+                indices.iter().map(|&i| if i == pad_idx { NULL_I64 } else { v[i] }).collect(),
+            ),
+            Column::F64(v) => Column::F64(
+                indices.iter().map(|&i| if i == pad_idx { NULL_F64 } else { v[i] }).collect(),
+            ),
+            Column::Bool(v) => Column::Bool(
+                indices.iter().map(|&i| if i == pad_idx { NULL_BOOL } else { v[i] }).collect(),
+            ),
+        })
+        .collect();
+    RecordBatch::new(SchemaRef::clone(rows.schema()), columns)
+}
 
 /// Multiply-shift hash of one scalar key part.
 #[inline]
@@ -182,6 +217,25 @@ impl JoinState {
     /// for every matching pair, preserving probe-row order (and duplicate
     /// matches), exactly like the reference executor's hash join.
     pub fn probe(&self, batch: &RecordBatch, probe_keys: &[usize]) -> Result<RecordBatch> {
+        self.probe_variant(batch, probe_keys, JoinVariant::Inner)
+    }
+
+    /// Variant-aware probe of one batch, preserving probe-row order:
+    ///
+    /// * [`JoinVariant::Inner`] — `probe ++ build` columns for every
+    ///   matching pair (duplicate matches preserved);
+    /// * [`JoinVariant::LeftOuter`] — matching pairs, plus every
+    ///   unmatched probe row once with its build columns padded by
+    ///   [`null_pad_row`] sentinels;
+    /// * [`JoinVariant::Semi`] — probe columns only, each matched probe
+    ///   row emitted exactly once however many build rows it matches;
+    /// * [`JoinVariant::Anti`] — probe columns only, the unmatched rows.
+    pub fn probe_variant(
+        &self,
+        batch: &RecordBatch,
+        probe_keys: &[usize],
+        variant: JoinVariant,
+    ) -> Result<RecordBatch> {
         if probe_keys.len() != self.key_cols.len() {
             return plan_err(format!(
                 "probe key count {} != build key count {}",
@@ -191,21 +245,62 @@ impl JoinState {
         }
         let mut p_idx: Vec<usize> = Vec::new();
         let mut b_idx: Vec<usize> = Vec::new();
+        // Index of the sentinel pad row in the extended build batch of a
+        // left-outer probe.
+        let pad_idx = self.rows.num_rows();
         let mut key_buf: Vec<ScalarKey> = Vec::with_capacity(probe_keys.len());
         for row in 0..batch.num_rows() {
             key_buf.clear();
             for &c in probe_keys {
                 key_buf.push(batch.column(c).value(row).key());
             }
-            if let Some(matches) = self.map.get(key_buf.as_slice()) {
-                for &m in matches {
-                    p_idx.push(row);
-                    b_idx.push(m);
+            let matches = self.map.get(key_buf.as_slice());
+            match variant {
+                JoinVariant::Inner => {
+                    if let Some(matches) = matches {
+                        for &m in matches {
+                            p_idx.push(row);
+                            b_idx.push(m);
+                        }
+                    }
+                }
+                JoinVariant::LeftOuter => match matches {
+                    Some(matches) => {
+                        for &m in matches {
+                            p_idx.push(row);
+                            b_idx.push(m);
+                        }
+                    }
+                    None => {
+                        p_idx.push(row);
+                        b_idx.push(pad_idx);
+                    }
+                },
+                JoinVariant::Semi => {
+                    if matches.is_some() {
+                        p_idx.push(row);
+                    }
+                }
+                JoinVariant::Anti => {
+                    if matches.is_none() {
+                        p_idx.push(row);
+                    }
                 }
             }
         }
         let ppart = batch.gather(&p_idx);
-        let bpart = self.rows.gather(&b_idx);
+        if !variant.keeps_build_columns() {
+            // Semi/anti: the output is the filtered probe batch itself.
+            return Ok(ppart);
+        }
+        let bpart = if variant == JoinVariant::LeftOuter {
+            // Gather build rows with `pad_idx` entries resolved to the
+            // NULL sentinels — O(output), so streaming many probe batches
+            // against one build side never re-copies the build columns.
+            gather_with_pad(&self.rows, &b_idx, pad_idx)?
+        } else {
+            self.rows.gather(&b_idx)
+        };
         let mut fields = batch.schema().fields.clone();
         fields.extend(self.schema.fields.clone());
         let mut columns = ppart.into_columns();
@@ -213,11 +308,14 @@ impl JoinState {
         RecordBatch::new(Schema::arc(fields), columns)
     }
 
-    /// The joined output schema for a given probe schema:
-    /// `probe fields ++ build fields`.
-    pub fn output_schema(&self, probe_schema: &Schema) -> SchemaRef {
+    /// The probe output schema for a given probe schema and variant:
+    /// `probe fields ++ build fields` when the variant keeps the build
+    /// columns, the probe fields alone for semi/anti joins.
+    pub fn output_schema(&self, probe_schema: &Schema, variant: JoinVariant) -> SchemaRef {
         let mut fields = probe_schema.fields.clone();
-        fields.extend(self.schema.fields.clone());
+        if variant.keeps_build_columns() {
+            fields.extend(self.schema.fields.clone());
+        }
         Schema::arc(fields)
     }
 
@@ -379,6 +477,55 @@ mod tests {
         let out = state.probe(&probe, &[0]).unwrap();
         assert_eq!(out.num_rows(), 0);
         assert_eq!(out.num_columns(), 3);
+    }
+
+    #[test]
+    fn semi_probe_emits_matched_rows_once() {
+        // Build keys 1 (twice) and 2: duplicate build matches must not
+        // duplicate semi output rows.
+        let state = JoinState::build(
+            build_schema(),
+            vec![0],
+            &[build_batch(vec![1, 1, 2], vec![0.1, 0.2, 0.3])],
+        )
+        .unwrap();
+        let probe = RecordBatch::from_columns(
+            &["pk", "v"],
+            vec![Column::I64(vec![2, 1, 9, 1]), Column::I64(vec![20, 10, 90, 11])],
+        )
+        .unwrap();
+        let out = state.probe_variant(&probe, &[0], JoinVariant::Semi).unwrap();
+        assert_eq!(out.num_columns(), 2, "probe columns only");
+        assert_eq!(out.column(0).as_i64().unwrap(), &[2, 1, 1], "probe order, once per row");
+        let anti = state.probe_variant(&probe, &[0], JoinVariant::Anti).unwrap();
+        assert_eq!(anti.num_columns(), 2);
+        assert_eq!(anti.column(0).as_i64().unwrap(), &[9], "only the unmatched row");
+    }
+
+    #[test]
+    fn left_outer_probe_pads_unmatched_rows() {
+        let state =
+            JoinState::build(build_schema(), vec![0], &[build_batch(vec![1, 1], vec![0.1, 0.2])])
+                .unwrap();
+        let probe = RecordBatch::from_columns(&["pk"], vec![Column::I64(vec![1, 9])]).unwrap();
+        let out = state.probe_variant(&probe, &[0], JoinVariant::LeftOuter).unwrap();
+        // pk=1 matches twice, pk=9 survives once padded.
+        assert_eq!(out.num_rows(), 3);
+        assert_eq!(out.num_columns(), 3, "probe ++ build");
+        assert_eq!(out.row(2)[0], Scalar::Int64(9));
+        assert_eq!(out.row(2)[1], Scalar::null_of(DataType::Int64));
+        assert_eq!(out.row(2)[2].key(), Scalar::null_of(DataType::Float64).key());
+    }
+
+    #[test]
+    fn variant_probes_against_empty_build() {
+        let state = JoinState::new(build_schema(), vec![0]).unwrap();
+        let probe = RecordBatch::from_columns(&["k"], vec![Column::I64(vec![1, 2])]).unwrap();
+        assert_eq!(state.probe_variant(&probe, &[0], JoinVariant::Semi).unwrap().num_rows(), 0);
+        assert_eq!(state.probe_variant(&probe, &[0], JoinVariant::Anti).unwrap().num_rows(), 2);
+        let outer = state.probe_variant(&probe, &[0], JoinVariant::LeftOuter).unwrap();
+        assert_eq!(outer.num_rows(), 2, "every probe row survives padded");
+        assert_eq!(outer.num_columns(), 3);
     }
 
     #[test]

@@ -49,7 +49,7 @@ pub use error::{EngineError, Result};
 pub use expr::{col, lit_bool, lit_f64, lit_i64, BinOp, Expr};
 pub use frontend::Df;
 pub use join::JoinState;
-pub use logical::{LogicalPlan, SortKey};
+pub use logical::{JoinVariant, LogicalPlan, SortKey};
 pub use optimizer::Optimizer;
 pub use physical::{execute, execute_into_batch};
 pub use pipeline::{Pipeline, PipelineOutput, PipelineSpec, Terminal};

@@ -26,6 +26,59 @@ impl SortKey {
     }
 }
 
+/// Which rows an equi-join emits — the four join variants the engine
+/// (and the distributed planner above it) speak.
+///
+/// All variants share one physical strategy: hash-partition both inputs
+/// on the join keys, build a hash table from the *right* (build) input,
+/// and stream the *left* (probe) input past it. They differ only in what
+/// the probe emits, so the distributed exchange plan is identical across
+/// variants:
+///
+/// | variant | output schema | emitted rows |
+/// |---|---|---|
+/// | [`JoinVariant::Inner`] | left ++ right | every matching pair |
+/// | [`JoinVariant::LeftOuter`] | left ++ right | matching pairs, plus unmatched left rows padded with [`crate::scalar::Scalar::null_of`] sentinels |
+/// | [`JoinVariant::Semi`] | left only | each left row with ≥ 1 match, once (`EXISTS`) |
+/// | [`JoinVariant::Anti`] | left only | each left row with no match (`NOT EXISTS`) |
+///
+/// Semi, anti, and left-outer joins are one-sided: the left input is the
+/// preserved side, so the build side must stay on the right — the
+/// optimizer's build-side swap applies to [`JoinVariant::Inner`] only.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum JoinVariant {
+    /// Every matching pair; output = left ++ right columns.
+    Inner,
+    /// Matching pairs plus unmatched left rows with sentinel-padded right
+    /// columns; output = left ++ right columns.
+    LeftOuter,
+    /// Left rows with at least one match, each emitted exactly once
+    /// regardless of the number of matches; output = left columns.
+    Semi,
+    /// Left rows with no match; output = left columns.
+    Anti,
+}
+
+impl JoinVariant {
+    /// Does the join's output carry the build (right) side's columns?
+    /// True for inner and left-outer joins; semi/anti joins only filter
+    /// the probe side.
+    pub fn keeps_build_columns(self) -> bool {
+        matches!(self, JoinVariant::Inner | JoinVariant::LeftOuter)
+    }
+
+    /// Short lowercase label used in stage names and reports:
+    /// `join`, `left-join`, `semi-join`, `anti-join`.
+    pub fn label(self) -> &'static str {
+        match self {
+            JoinVariant::Inner => "join",
+            JoinVariant::LeftOuter => "left-join",
+            JoinVariant::Semi => "semi-join",
+            JoinVariant::Anti => "anti-join",
+        }
+    }
+}
+
 /// Logical plan nodes.
 #[derive(Clone, Debug, PartialEq)]
 pub enum LogicalPlan {
@@ -48,8 +101,13 @@ pub enum LogicalPlan {
     Sort { input: Box<LogicalPlan>, keys: Vec<SortKey> },
     /// First `n` rows.
     Limit { input: Box<LogicalPlan>, n: usize },
-    /// Inner equi-join; output = left columns ++ right columns.
-    Join { left: Box<LogicalPlan>, right: Box<LogicalPlan>, on: Vec<(usize, usize)> },
+    /// Equi-join; see [`JoinVariant`] for the output of each variant.
+    Join {
+        left: Box<LogicalPlan>,
+        right: Box<LogicalPlan>,
+        on: Vec<(usize, usize)>,
+        variant: JoinVariant,
+    },
 }
 
 impl LogicalPlan {
@@ -85,7 +143,7 @@ impl LogicalPlan {
                 Ok(Arc::new(Schema::new(fields)))
             }
             LogicalPlan::Sort { input, .. } | LogicalPlan::Limit { input, .. } => input.schema(),
-            LogicalPlan::Join { left, right, on } => {
+            LogicalPlan::Join { left, right, on, variant } => {
                 let ls = left.schema()?;
                 let rs = right.schema()?;
                 for &(l, r) in on {
@@ -94,7 +152,9 @@ impl LogicalPlan {
                     }
                 }
                 let mut fields = ls.fields.clone();
-                fields.extend(rs.fields.clone());
+                if variant.keeps_build_columns() {
+                    fields.extend(rs.fields.clone());
+                }
                 Ok(Arc::new(Schema::new(fields)))
             }
         }
@@ -167,9 +227,14 @@ impl LogicalPlan {
             LogicalPlan::Limit { n, .. } => {
                 let _ = writeln!(out, "{pad}Limit: {n}");
             }
-            LogicalPlan::Join { on, .. } => {
-                let _ = writeln!(out, "{pad}Join: on={on:?}");
-            }
+            LogicalPlan::Join { on, variant, .. } => match variant {
+                JoinVariant::Inner => {
+                    let _ = writeln!(out, "{pad}Join: on={on:?}");
+                }
+                other => {
+                    let _ = writeln!(out, "{pad}Join[{}]: on={on:?}", other.label());
+                }
+            },
         }
         for child in self.inputs() {
             child.fmt_indent(out, depth + 1);
@@ -230,12 +295,45 @@ mod tests {
 
     #[test]
     fn join_schema_concatenates() {
-        let plan =
-            LogicalPlan::Join { left: Box::new(scan()), right: Box::new(scan()), on: vec![(0, 0)] };
+        let plan = LogicalPlan::Join {
+            left: Box::new(scan()),
+            right: Box::new(scan()),
+            on: vec![(0, 0)],
+            variant: JoinVariant::Inner,
+        };
         assert_eq!(plan.schema().unwrap().len(), 4);
-        let bad =
-            LogicalPlan::Join { left: Box::new(scan()), right: Box::new(scan()), on: vec![(0, 9)] };
+        let bad = LogicalPlan::Join {
+            left: Box::new(scan()),
+            right: Box::new(scan()),
+            on: vec![(0, 9)],
+            variant: JoinVariant::Inner,
+        };
         assert!(bad.schema().is_err());
+    }
+
+    #[test]
+    fn join_variant_schemas() {
+        let join = |variant| LogicalPlan::Join {
+            left: Box::new(scan()),
+            right: Box::new(scan()),
+            on: vec![(0, 0)],
+            variant,
+        };
+        // One-sided variants keep only the probe (left) columns.
+        assert_eq!(join(JoinVariant::Semi).schema().unwrap().len(), 2);
+        assert_eq!(join(JoinVariant::Anti).schema().unwrap().len(), 2);
+        // Left-outer keeps both sides, like inner.
+        assert_eq!(join(JoinVariant::LeftOuter).schema().unwrap().len(), 4);
+        // Key validation applies to every variant.
+        let bad = LogicalPlan::Join {
+            left: Box::new(scan()),
+            right: Box::new(scan()),
+            on: vec![(9, 0)],
+            variant: JoinVariant::Semi,
+        };
+        assert!(bad.schema().is_err());
+        // Non-inner variants surface in the plan rendering.
+        assert!(join(JoinVariant::Semi).display_indent().contains("Join[semi-join]"));
     }
 
     #[test]

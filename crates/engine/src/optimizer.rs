@@ -17,7 +17,7 @@ use std::collections::HashMap;
 
 use crate::error::Result;
 use crate::expr::{fold, BinOp, Expr};
-use crate::logical::LogicalPlan;
+use crate::logical::{JoinVariant, LogicalPlan};
 
 /// Optimizer entry point.
 #[derive(Default, Clone)]
@@ -104,10 +104,11 @@ fn with_children(plan: &LogicalPlan, mut children: Vec<LogicalPlan>) -> LogicalP
         LogicalPlan::Limit { n, .. } => {
             LogicalPlan::Limit { input: Box::new(children.remove(0)), n: *n }
         }
-        LogicalPlan::Join { on, .. } => LogicalPlan::Join {
+        LogicalPlan::Join { on, variant, .. } => LogicalPlan::Join {
             left: Box::new(children.remove(0)),
             right: Box::new(children.remove(0)),
             on: on.clone(),
+            variant: *variant,
         },
     }
 }
@@ -191,7 +192,7 @@ fn push_filter(input: LogicalPlan, predicate: Expr) -> LogicalPlan {
                 }
             }
         }
-        LogicalPlan::Join { left, right, on } => {
+        LogicalPlan::Join { left, right, on, variant } => {
             let left_width = left.schema().map(|s| s.len()).unwrap_or(usize::MAX);
             let mut to_left = Vec::new();
             let mut to_right = Vec::new();
@@ -199,8 +200,15 @@ fn push_filter(input: LogicalPlan, predicate: Expr) -> LogicalPlan {
             for c in split_conjuncts(&predicate) {
                 let refs = c.referenced_columns();
                 if refs.iter().all(|&i| i < left_width) {
+                    // The left (probe) side is the preserved side of every
+                    // variant, so left-only conjuncts always commute with
+                    // the join. (For semi/anti joins the output *is* the
+                    // left schema, so every conjunct lands here.)
                     to_left.push(c);
-                } else if refs.iter().all(|&i| i >= left_width) {
+                } else if variant == JoinVariant::Inner && refs.iter().all(|&i| i >= left_width) {
+                    // Build-side conjuncts push only through inner joins:
+                    // below a left-outer join they would also erase the
+                    // padded build values of unmatched probe rows.
                     to_right.push(c.remap_columns(&|i| i - left_width));
                 } else {
                     keep.push(c);
@@ -210,7 +218,8 @@ fn push_filter(input: LogicalPlan, predicate: Expr) -> LogicalPlan {
                 if to_left.is_empty() { *left } else { push_filter(*left, conjoin(to_left)) };
             let right =
                 if to_right.is_empty() { *right } else { push_filter(*right, conjoin(to_right)) };
-            let joined = LogicalPlan::Join { left: Box::new(left), right: Box::new(right), on };
+            let joined =
+                LogicalPlan::Join { left: Box::new(left), right: Box::new(right), on, variant };
             if keep.is_empty() {
                 joined
             } else {
@@ -324,9 +333,12 @@ fn prune_chain(
                 remap,
             )))
         }
-        LogicalPlan::Join { left, right, on } => {
+        LogicalPlan::Join { left, right, on, variant } => {
             let left_width = left.schema()?.len();
-            // Split the needed set by side; join keys must survive.
+            // Split the needed set by side; join keys must survive. For
+            // semi/anti joins the output is the left schema, so `needed`
+            // holds only left positions and the right side shrinks to
+            // exactly its join keys.
             let mut needed_left: BTreeSet<usize> =
                 needed.iter().filter(|&&i| i < left_width).copied().collect();
             let mut needed_right: BTreeSet<usize> =
@@ -344,14 +356,17 @@ fn prune_chain(
             for (&old, &new) in &remap_l {
                 remap.insert(old, new);
             }
-            for (&old, &new) in &remap_r {
-                remap.insert(left_width + old, new_left_width + new);
+            if variant.keeps_build_columns() {
+                for (&old, &new) in &remap_r {
+                    remap.insert(left_width + old, new_left_width + new);
+                }
             }
             Ok(Some((
                 LogicalPlan::Join {
                     left: Box::new(new_left),
                     right: Box::new(new_right),
                     on: new_on,
+                    variant: *variant,
                 },
                 remap,
             )))
@@ -392,10 +407,17 @@ pub fn estimate_rows(plan: &LogicalPlan, hints: &HashMap<String, u64>) -> u64 {
         }
         LogicalPlan::Aggregate { input, .. } => (estimate_rows(input, hints) / 10).max(1),
         LogicalPlan::Limit { input, n } => estimate_rows(input, hints).min(*n as u64),
-        LogicalPlan::Join { left, right, .. } => {
+        LogicalPlan::Join { left, right, variant, .. } => {
             let l = estimate_rows(left, hints);
             let r = estimate_rows(right, hints);
-            l.max(r)
+            match variant {
+                // An equi-join rarely exceeds its bigger input by much at
+                // this granularity; a left-outer join is at least as big.
+                JoinVariant::Inner | JoinVariant::LeftOuter => l.max(r),
+                // Semi/anti joins only filter the probe side; assume the
+                // same halving a plain filter gets.
+                JoinVariant::Semi | JoinVariant::Anti => (l / 2).max(1),
+            }
         }
     }
 }
@@ -405,12 +427,14 @@ pub fn estimate_rows(plan: &LogicalPlan, hints: &HashMap<String, u64>) -> u64 {
 /// projection restores the original schema.
 pub fn order_joins(plan: &LogicalPlan, hints: &HashMap<String, u64>) -> LogicalPlan {
     match plan {
-        LogicalPlan::Join { left, right, on } => {
+        LogicalPlan::Join { left, right, on, variant } => {
             let left = order_joins(left, hints);
             let right = order_joins(right, hints);
             let lrows = estimate_rows(&left, hints);
             let rrows = estimate_rows(&right, hints);
-            if lrows < rrows {
+            // Only inner joins are symmetric; semi/anti/left-outer joins
+            // preserve the left side, so their build stays on the right.
+            if *variant == JoinVariant::Inner && lrows < rrows {
                 let lw = left.schema().map(|s| s.len()).unwrap_or(0);
                 let rw = right.schema().map(|s| s.len()).unwrap_or(0);
                 let swapped_on: Vec<(usize, usize)> = on.iter().map(|&(l, r)| (r, l)).collect();
@@ -418,6 +442,7 @@ pub fn order_joins(plan: &LogicalPlan, hints: &HashMap<String, u64>) -> LogicalP
                     left: Box::new(right),
                     right: Box::new(left),
                     on: swapped_on,
+                    variant: JoinVariant::Inner,
                 };
                 let schema = swapped.schema().expect("swapped join schema");
                 // Output of swapped join: right cols (rw) then left (lw).
@@ -431,7 +456,12 @@ pub fn order_joins(plan: &LogicalPlan, hints: &HashMap<String, u64>) -> LogicalP
                 }
                 LogicalPlan::Project { input: Box::new(swapped), exprs }
             } else {
-                LogicalPlan::Join { left: Box::new(left), right: Box::new(right), on: on.clone() }
+                LogicalPlan::Join {
+                    left: Box::new(left),
+                    right: Box::new(right),
+                    on: on.clone(),
+                    variant: *variant,
+                }
             }
         }
         _ => {
@@ -532,6 +562,7 @@ mod tests {
             left: Box::new(scan("l", 2)),
             right: Box::new(scan("r", 2)),
             on: vec![(0, 0)],
+            variant: JoinVariant::Inner,
         };
         // left-col filter AND right-col filter AND cross filter
         let pred = col(0).le(lit_i64(1)).and(col(2).ge(lit_i64(2))).and(col(1).lt(col(3)));
@@ -592,6 +623,7 @@ mod tests {
                 left: Box::new(scan("l", 4)),
                 right: Box::new(scan("r", 5)),
                 on: vec![(0, 0)],
+                variant: JoinVariant::Inner,
             }),
             group_by: vec![(col(1), "g".to_string())],
             aggs: vec![AggExpr::new(AggFunc::Sum, Some(col(7)), "s")],
@@ -600,7 +632,7 @@ mod tests {
         let LogicalPlan::Aggregate { input, group_by, aggs } = &out else {
             panic!("expected aggregate");
         };
-        let LogicalPlan::Join { left, right, on } = input.as_ref() else {
+        let LogicalPlan::Join { left, right, on, .. } = input.as_ref() else {
             panic!("expected join");
         };
         let LogicalPlan::Scan { projection: Some(lp), .. } = left.as_ref() else {
@@ -627,6 +659,7 @@ mod tests {
             }),
             right: Box::new(scan("r", 3)),
             on: vec![(1, 0)],
+            variant: JoinVariant::Inner,
         };
         let plan = LogicalPlan::Project {
             input: Box::new(join),
@@ -661,6 +694,7 @@ mod tests {
             left: Box::new(scan("small", 2)),
             right: Box::new(scan("big", 2)),
             on: vec![(0, 0)],
+            variant: JoinVariant::Inner,
         };
         let before = plan.schema().unwrap();
         let out = order_joins(&plan, &hints);
@@ -700,6 +734,100 @@ mod tests {
         // consumer's columns.
         assert_eq!(proj, &vec![2, 5]);
         assert_eq!(*p, col(0).le(lit_i64(6)));
+        assert_eq!(out.schema().unwrap(), plan.schema().unwrap());
+    }
+
+    #[test]
+    fn semi_join_filter_pushes_to_the_probe_side() {
+        // A filter above a semi join references the (left-only) output
+        // schema and must reach the left scan.
+        let join = LogicalPlan::Join {
+            left: Box::new(scan("l", 2)),
+            right: Box::new(scan("r", 2)),
+            on: vec![(0, 0)],
+            variant: JoinVariant::Semi,
+        };
+        let plan = LogicalPlan::Filter { input: Box::new(join), predicate: col(1).le(lit_i64(7)) };
+        let out = pushdown_predicates(&plan);
+        let LogicalPlan::Join { left, right, variant, .. } = out else {
+            panic!("filter should vanish into the join inputs");
+        };
+        assert_eq!(variant, JoinVariant::Semi);
+        assert!(matches!(*left, LogicalPlan::Scan { predicate: Some(_), .. }));
+        assert!(matches!(*right, LogicalPlan::Scan { predicate: None, .. }));
+    }
+
+    #[test]
+    fn left_outer_join_keeps_build_side_filters_above() {
+        // A build-side conjunct below a left-outer join would erase the
+        // sentinel padding of unmatched probe rows; it must stay above.
+        let join = LogicalPlan::Join {
+            left: Box::new(scan("l", 2)),
+            right: Box::new(scan("r", 2)),
+            on: vec![(0, 0)],
+            variant: JoinVariant::LeftOuter,
+        };
+        let pred = col(0).le(lit_i64(1)).and(col(2).ge(lit_i64(2)));
+        let plan = LogicalPlan::Filter { input: Box::new(join), predicate: pred };
+        let out = pushdown_predicates(&plan);
+        let LogicalPlan::Filter { input, predicate } = out else {
+            panic!("build-side conjunct must stay above the outer join");
+        };
+        assert_eq!(predicate, col(2).ge(lit_i64(2)));
+        let LogicalPlan::Join { left, right, .. } = *input else { panic!("expected join") };
+        assert!(matches!(*left, LogicalPlan::Scan { predicate: Some(_), .. }), "probe side pushed");
+        assert!(matches!(*right, LogicalPlan::Scan { predicate: None, .. }));
+    }
+
+    #[test]
+    fn one_sided_variants_are_never_swapped() {
+        let mut hints = HashMap::new();
+        hints.insert("big".to_string(), 1_000_000u64);
+        hints.insert("small".to_string(), 100u64);
+        for variant in [JoinVariant::Semi, JoinVariant::Anti, JoinVariant::LeftOuter] {
+            let plan = LogicalPlan::Join {
+                left: Box::new(scan("small", 2)),
+                right: Box::new(scan("big", 2)),
+                on: vec![(0, 0)],
+                variant,
+            };
+            let out = order_joins(&plan, &hints);
+            let LogicalPlan::Join { left, variant: v, .. } = &out else {
+                panic!("no restoring projection: the sides must not swap");
+            };
+            assert_eq!(*v, variant);
+            assert!(matches!(left.as_ref(), LogicalPlan::Scan { table, .. } if table == "small"));
+        }
+    }
+
+    #[test]
+    fn projection_pruned_below_semi_join_keeps_only_build_keys() {
+        // Aggregate(group l.c1, count) over SemiJoin(l.c0 = r.c0) over a
+        // wide right table: the right scan must shrink to its key column.
+        let plan = LogicalPlan::Aggregate {
+            input: Box::new(LogicalPlan::Join {
+                left: Box::new(scan("l", 4)),
+                right: Box::new(scan("r", 5)),
+                on: vec![(0, 0)],
+                variant: JoinVariant::Semi,
+            }),
+            group_by: vec![(col(1), "g".to_string())],
+            aggs: vec![AggExpr::new(AggFunc::Count, None, "n")],
+        };
+        let out = prune_projections(&plan).unwrap();
+        let LogicalPlan::Aggregate { input, .. } = &out else { panic!("aggregate on top") };
+        let LogicalPlan::Join { left, right, on, .. } = input.as_ref() else {
+            panic!("join below");
+        };
+        let LogicalPlan::Scan { projection: Some(lp), .. } = left.as_ref() else {
+            panic!("left scan pruned");
+        };
+        let LogicalPlan::Scan { projection: Some(rp), .. } = right.as_ref() else {
+            panic!("right scan pruned");
+        };
+        assert_eq!(lp, &vec![0, 1], "key + group column");
+        assert_eq!(rp, &vec![0], "build side: key only");
+        assert_eq!(on, &vec![(0, 0)]);
         assert_eq!(out.schema().unwrap(), plan.schema().unwrap());
     }
 

@@ -14,7 +14,7 @@ use crate::batch::RecordBatch;
 use crate::column::Column;
 use crate::error::{exec_err, Result};
 use crate::expr::{eval, Expr};
-use crate::logical::{LogicalPlan, SortKey};
+use crate::logical::{JoinVariant, LogicalPlan, SortKey};
 use crate::scalar::{Scalar, ScalarKey};
 use crate::table::Catalog;
 use crate::types::{DataType, SchemaRef};
@@ -78,11 +78,11 @@ pub fn execute(plan: &LogicalPlan, catalog: &Catalog) -> Result<Vec<RecordBatch>
             }
             Ok(out)
         }
-        LogicalPlan::Join { left, right, on } => {
+        LogicalPlan::Join { left, right, on, variant } => {
             let schema = plan.schema()?;
             let lbatches = execute(left, catalog)?;
             let rbatches = execute(right, catalog)?;
-            hash_join(&lbatches, &rbatches, on, left.schema()?, right.schema()?, schema)
+            hash_join(&lbatches, &rbatches, on, right.schema()?, schema, *variant)
         }
     }
 }
@@ -257,12 +257,12 @@ fn hash_join(
     left: &[RecordBatch],
     right: &[RecordBatch],
     on: &[(usize, usize)],
-    left_schema: SchemaRef,
     right_schema: SchemaRef,
     out_schema: SchemaRef,
+    variant: JoinVariant,
 ) -> Result<Vec<RecordBatch>> {
     // Build side: the right input, collected into one batch.
-    let build = RecordBatch::concat(right_schema, right)?;
+    let build = RecordBatch::concat(Arc::clone(&right_schema), right)?;
     let mut table: HashMap<Box<[ScalarKey]>, Vec<usize>> = HashMap::new();
     let mut key_buf: Vec<ScalarKey> = Vec::with_capacity(on.len());
     for row in 0..build.num_rows() {
@@ -272,6 +272,17 @@ fn hash_join(
         }
         table.entry(key_buf.as_slice().into()).or_default().push(row);
     }
+    // Left-outer padding: gather unmatched left rows through the build
+    // rows extended by one all-sentinel row (see `join::null_pad_row`).
+    let pad_idx = build.num_rows();
+    let build_ext = if variant == JoinVariant::LeftOuter {
+        Some(RecordBatch::concat(
+            Arc::clone(&right_schema),
+            &[build.clone(), crate::join::null_pad_row(&right_schema)?],
+        )?)
+    } else {
+        None
+    };
 
     let mut out = Vec::with_capacity(left.len());
     for lb in left {
@@ -282,20 +293,51 @@ fn hash_join(
             for &(l, _) in on {
                 key_buf.push(lb.column(l).value(row).key());
             }
-            if let Some(matches) = table.get(key_buf.as_slice()) {
-                for &m in matches {
-                    l_idx.push(row);
-                    r_idx.push(m);
+            let matches = table.get(key_buf.as_slice());
+            match variant {
+                JoinVariant::Inner => {
+                    if let Some(matches) = matches {
+                        for &m in matches {
+                            l_idx.push(row);
+                            r_idx.push(m);
+                        }
+                    }
+                }
+                JoinVariant::LeftOuter => match matches {
+                    Some(matches) => {
+                        for &m in matches {
+                            l_idx.push(row);
+                            r_idx.push(m);
+                        }
+                    }
+                    None => {
+                        l_idx.push(row);
+                        r_idx.push(pad_idx);
+                    }
+                },
+                JoinVariant::Semi => {
+                    if matches.is_some() {
+                        l_idx.push(row);
+                    }
+                }
+                JoinVariant::Anti => {
+                    if matches.is_none() {
+                        l_idx.push(row);
+                    }
                 }
             }
         }
         let lpart = lb.gather(&l_idx);
-        let rpart = build.gather(&r_idx);
         let mut columns = lpart.into_columns();
-        columns.extend(rpart.into_columns());
+        if variant.keeps_build_columns() {
+            let rpart = match &build_ext {
+                Some(ext) => ext.gather(&r_idx),
+                None => build.gather(&r_idx),
+            };
+            columns.extend(rpart.into_columns());
+        }
         out.push(RecordBatch::new(Arc::clone(&out_schema), columns)?);
     }
-    let _ = left_schema;
     Ok(out)
 }
 
@@ -479,6 +521,7 @@ mod tests {
                 predicate: None,
             }),
             on: vec![(1, 0)],
+            variant: JoinVariant::Inner,
         };
         let out = execute_into_batch(&plan, &cat).unwrap();
         // Only grp=1 rows match (grp=2 and dim key 3 have no partner).
@@ -512,6 +555,7 @@ mod tests {
                 predicate: None,
             }),
             on: vec![(0, 0)],
+            variant: JoinVariant::Inner,
         };
         let out = execute_into_batch(&plan, &cat).unwrap();
         assert_eq!(out.num_rows(), 6, "2 x 3 matching pairs");

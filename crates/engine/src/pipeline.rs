@@ -35,7 +35,7 @@ use crate::column::Column;
 use crate::error::{plan_err, Result};
 use crate::expr::{eval, Expr};
 use crate::join::{row_partition, JoinState};
-use crate::logical::SortKey;
+use crate::logical::{JoinVariant, SortKey};
 use crate::types::{DataType, Schema, SchemaRef};
 
 /// What a fragment does with the rows that survive filter + projection.
@@ -67,11 +67,15 @@ pub enum Terminal {
     /// finished run.
     SortPartition { keys: Vec<SortKey>, limit: Option<usize> },
     /// Probe a build-side hash table ([`JoinState`]) with each batch,
-    /// collecting `probe columns ++ build columns` for every match. Used
+    /// collecting what the join `variant` emits: `probe ++ build`
+    /// matching pairs for [`JoinVariant::Inner`], pairs plus
+    /// sentinel-padded unmatched probe rows for
+    /// [`JoinVariant::LeftOuter`], and the matched-once / unmatched probe
+    /// rows alone for [`JoinVariant::Semi`] / [`JoinVariant::Anti`]. Used
     /// by the join stage; the build state is constructed at runtime from
     /// the exchanged build input, which is why it rides along as a shared
     /// handle rather than plan data.
-    Probe { build: Rc<JoinState>, probe_keys: Vec<usize> },
+    Probe { build: Rc<JoinState>, probe_keys: Vec<usize>, variant: JoinVariant },
 }
 
 /// A compiled plan fragment: predicate and projection refer to the
@@ -189,7 +193,7 @@ impl Pipeline {
                 partitioned = vec![Vec::new(); *partitions];
                 None
             }
-            Terminal::Probe { build, probe_keys } => {
+            Terminal::Probe { build, probe_keys, .. } => {
                 for &k in probe_keys {
                     if k >= mid_schema.len() {
                         return plan_err(format!("probe key column {k} out of range"));
@@ -287,8 +291,8 @@ impl Pipeline {
                     }
                 }
             }
-            (Terminal::Probe { build, probe_keys }, _) => {
-                let joined = build.probe(&projected, probe_keys)?;
+            (Terminal::Probe { build, probe_keys, variant }, _) => {
+                let joined = build.probe_variant(&projected, probe_keys, *variant)?;
                 if joined.num_rows() > 0 {
                     self.collected.push(joined);
                 }
@@ -514,7 +518,11 @@ mod tests {
             input_schema: input_schema(),
             predicate: None,
             projection: None,
-            terminal: Terminal::Probe { build: state, probe_keys: vec![2] },
+            terminal: Terminal::Probe {
+                build: state,
+                probe_keys: vec![2],
+                variant: JoinVariant::Inner,
+            },
         };
         let mut p = Pipeline::new(spec).unwrap();
         p.push(&batch(vec![10, 40, 20], vec![1.0, 2.0, 3.0], vec![1, 3, 2])).unwrap();

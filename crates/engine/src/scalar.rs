@@ -6,6 +6,14 @@ use std::fmt;
 use crate::error::{type_err, Result};
 use crate::types::DataType;
 
+/// Per-type `NULL` sentinels (see [`Scalar::null_of`]): the engine has
+/// no null bitmap yet, so outer-join padding uses these fixed values.
+pub const NULL_I64: i64 = i64::MIN;
+/// The standard NaN bit pattern — deterministic under `ScalarKey`'s
+/// by-bits comparison.
+pub const NULL_F64: f64 = f64::NAN;
+pub const NULL_BOOL: bool = false;
+
 /// A single typed value.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub enum Scalar {
@@ -52,6 +60,20 @@ impl Scalar {
             (Scalar::Float64(a), Scalar::Float64(b)) => a.total_cmp(b),
             (Scalar::Boolean(a), Scalar::Boolean(b)) => a.cmp(b),
             _ => panic!("cannot compare scalars of different types"),
+        }
+    }
+
+    /// The sentinel standing in for SQL `NULL` in this engine, which has
+    /// no null bitmap yet: [`NULL_I64`], [`NULL_F64`] (the standard NaN
+    /// bit pattern), and [`NULL_BOOL`]. Left-outer joins pad unmatched
+    /// build columns with these values, and because the constants are
+    /// fixed, the padded output is deterministic and bitwise-comparable
+    /// across the local reference executor and the distributed path.
+    pub fn null_of(dtype: DataType) -> Scalar {
+        match dtype {
+            DataType::Int64 => Scalar::Int64(NULL_I64),
+            DataType::Float64 => Scalar::Float64(NULL_F64),
+            DataType::Boolean => Scalar::Boolean(NULL_BOOL),
         }
     }
 

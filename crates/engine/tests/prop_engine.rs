@@ -201,8 +201,9 @@ proptest! {
 }
 
 /// The pipeline probe terminal (build-side `JoinState` + streamed probe
-/// batches) must agree with the reference executor's hash join, and the
-/// wire roundtrip must not change results.
+/// batches) must agree with the reference executor's hash join — for
+/// every [`lambada_engine::JoinVariant`] — and the wire roundtrip must
+/// not change results.
 fn join_row_multiset(batches: &[RecordBatch]) -> Vec<Vec<lambada_engine::ScalarKey>> {
     let mut rows: Vec<Vec<lambada_engine::ScalarKey>> = batches
         .iter()
@@ -252,43 +253,58 @@ proptest! {
         let mut cat = Catalog::new();
         cat.register("l", Rc::new(MemTable::from_batch(lbatch.clone())));
         cat.register("r", Rc::new(MemTable::from_batch(rbatch.clone())));
-        let plan = LogicalPlan::Join {
-            left: Box::new(LogicalPlan::Scan {
-                table: "l".to_string(),
-                schema: Arc::clone(&ls),
-                projection: None,
-                predicate: None,
-            }),
-            right: Box::new(LogicalPlan::Scan {
-                table: "r".to_string(),
-                schema: Arc::clone(&rs),
-                projection: None,
-                predicate: None,
-            }),
-            on: vec![(0, 0)],
-        };
-        let reference = lambada_engine::physical::execute(&plan, &cat).unwrap();
+        for variant in [
+            lambada_engine::JoinVariant::Inner,
+            lambada_engine::JoinVariant::LeftOuter,
+            lambada_engine::JoinVariant::Semi,
+            lambada_engine::JoinVariant::Anti,
+        ] {
+            let plan = LogicalPlan::Join {
+                left: Box::new(LogicalPlan::Scan {
+                    table: "l".to_string(),
+                    schema: Arc::clone(&ls),
+                    projection: None,
+                    predicate: None,
+                }),
+                right: Box::new(LogicalPlan::Scan {
+                    table: "r".to_string(),
+                    schema: Arc::clone(&rs),
+                    projection: None,
+                    predicate: None,
+                }),
+                on: vec![(0, 0)],
+                variant,
+            };
+            let reference = lambada_engine::physical::execute(&plan, &cat).unwrap();
 
-        // Build side travels through its wire format, probe side streams
-        // through a pipeline in `chunk`-row batches.
-        let state = JoinState::build(Arc::clone(&rs), vec![0], &[rbatch]).unwrap();
-        let state = JoinState::decode(&state.encode()).unwrap();
-        let spec = PipelineSpec {
-            input_schema: Arc::clone(&ls),
-            predicate: None,
-            projection: None,
-            terminal: Terminal::Probe { build: Rc::new(state), probe_keys: vec![0] },
-        };
-        let mut pipeline = Pipeline::new(spec).unwrap();
-        let mut start = 0;
-        while start < left.len() {
-            let idx: Vec<usize> = (start..(start + chunk).min(left.len())).collect();
-            pipeline.push(&lbatch.gather(&idx)).unwrap();
-            start += chunk;
+            // Build side travels through its wire format, probe side
+            // streams through a pipeline in `chunk`-row batches.
+            let state =
+                JoinState::build(Arc::clone(&rs), vec![0], std::slice::from_ref(&rbatch))
+                    .unwrap();
+            let state = JoinState::decode(&state.encode()).unwrap();
+            let spec = PipelineSpec {
+                input_schema: Arc::clone(&ls),
+                predicate: None,
+                projection: None,
+                terminal: Terminal::Probe { build: Rc::new(state), probe_keys: vec![0], variant },
+            };
+            let mut pipeline = Pipeline::new(spec).unwrap();
+            let mut start = 0;
+            while start < left.len() {
+                let idx: Vec<usize> = (start..(start + chunk).min(left.len())).collect();
+                pipeline.push(&lbatch.gather(&idx)).unwrap();
+                start += chunk;
+            }
+            let PipelineOutput::Batches(joined) = pipeline.finish().unwrap() else {
+                panic!("probe terminal collects batches");
+            };
+            prop_assert_eq!(
+                join_row_multiset(&joined),
+                join_row_multiset(&reference),
+                "{:?}",
+                variant
+            );
         }
-        let PipelineOutput::Batches(joined) = pipeline.finish().unwrap() else {
-            panic!("probe terminal collects batches");
-        };
-        prop_assert_eq!(join_row_multiset(&joined), join_row_multiset(&reference));
     }
 }

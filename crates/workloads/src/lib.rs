@@ -3,9 +3,10 @@
 //! Workloads for the Lambada reproduction: dbgen-faithful numeric TPC-H
 //! generators — LINEITEM sorted by `l_shipdate` (§5.1), ORDERS sorted by
 //! `o_orderkey`, and CUSTOMER sorted by `c_custkey` — the scan-bound
-//! queries Q1 and Q6, the Q12- and Q3-style joins, and the Q5-style
+//! queries Q1 and Q6, the Q12- and Q3-style joins, the Q5-style
 //! three-table join that exercises nested-join lowering and the
-//! distributed sort, plus staging helpers that either encode real files
+//! distributed sort, and the Q4-style semi-join / Q21-flavored anti-join
+//! pair, plus staging helpers that either encode real files
 //! or build paper-scale descriptor tables whose footers are calibrated
 //! against real sample encodes.
 
@@ -23,4 +24,4 @@ pub use loader::{
     StorageProfile,
 };
 pub use orders::{schema as orders_schema, OrdersGenerator};
-pub use tpch::{q1, q12, q3, q5, q6};
+pub use tpch::{q1, q12, q21, q3, q4, q4_variant, q5, q6};

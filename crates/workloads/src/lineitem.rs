@@ -24,6 +24,9 @@ pub mod dates {
     /// Q6 window: [1994-01-01, 1995-01-01).
     pub const Q6_START: i64 = 8766;
     pub const Q6_END: i64 = 9131;
+    /// Q4 window: [1993-07-01, 1993-10-01) — one quarter.
+    pub const Q4_START: i64 = 8582;
+    pub const Q4_END: i64 = Q4_START + 92;
 }
 
 /// Column indices in the LINEITEM schema (stable, used by the queries).

@@ -1,10 +1,12 @@
 //! TPC-H queries 1 and 6 — "the two most scan-bound queries" (§5.3) —
 //! expressed as logical plans over the numeric LINEITEM schema, plus the
-//! Q12- and Q3-style join queries that exercise the serverless exchange.
+//! Q12-/Q3-/Q5-style join queries that exercise the serverless exchange
+//! and the Q4-style semi-join / Q21-flavored anti-join decision-support
+//! queries built on `EXISTS` / `NOT EXISTS`.
 
 use lambada_engine::agg::{AggExpr, AggFunc};
 use lambada_engine::expr::{col, lit_f64, lit_i64, Expr};
-use lambada_engine::logical::{LogicalPlan, SortKey};
+use lambada_engine::logical::{JoinVariant, LogicalPlan, SortKey};
 use lambada_engine::types::Schema;
 
 use crate::lineitem::{cols, dates};
@@ -93,6 +95,7 @@ pub fn q12(lineitem_table: &str, orders_table: &str) -> LogicalPlan {
                 }),
                 right: Box::new(scan(orders_table, &ord_schema)),
                 on: vec![(cols::ORDERKEY, crate::orders::cols::ORDERKEY)],
+                variant: JoinVariant::Inner,
             }),
             group_by: vec![(col(cols::SHIPMODE), "l_shipmode".to_string())],
             aggs: vec![
@@ -110,6 +113,101 @@ pub fn q12(lineitem_table: &str, orders_table: &str) -> LogicalPlan {
                 AggExpr::new(
                     AggFunc::Sum,
                     Some(col(li_width + crate::orders::cols::TOTALPRICE)),
+                    "sum_totalprice",
+                ),
+            ],
+        }),
+        keys: vec![SortKey::asc(col(0))],
+    }
+}
+
+/// Q4-style order-priority checking query: ORDERS ⋉ LINEITEM.
+///
+/// TPC-H Q4 counts the orders of one quarter that have at least one line
+/// item whose commit date precedes its receipt date — an `EXISTS`
+/// subquery, i.e. a *semi join* of ORDERS against the filtered LINEITEM
+/// on the order key — grouped by `o_orderpriority` and ordered by it.
+/// This is the first TPC-H shape that needs a non-inner distributed
+/// join: the probe side (orders) is the preserved side, each qualifying
+/// order counts once however many late line items it has, and no
+/// lineitem column survives the join.
+pub fn q4(lineitem_table: &str, orders_table: &str) -> LogicalPlan {
+    q4_variant(lineitem_table, orders_table, JoinVariant::Semi)
+}
+
+/// The Q4 join shape with an explicit [`JoinVariant`] — the semi join is
+/// TPC-H Q4 proper; the other variants run the identical scan/exchange
+/// plan with a different probe emit rule, which is what the
+/// `fig_join_variants` bench sweeps. Grouping stays on
+/// `o_orderpriority` (an orders column, so it exists in every variant's
+/// output schema).
+pub fn q4_variant(lineitem_table: &str, orders_table: &str, variant: JoinVariant) -> LogicalPlan {
+    let li_schema = crate::lineitem::schema();
+    let ord_schema = crate::orders::schema();
+    LogicalPlan::Sort {
+        input: Box::new(LogicalPlan::Aggregate {
+            input: Box::new(LogicalPlan::Join {
+                left: Box::new(LogicalPlan::Filter {
+                    input: Box::new(scan(orders_table, &ord_schema)),
+                    predicate: col(crate::orders::cols::ORDERDATE)
+                        .ge(lit_i64(dates::Q4_START))
+                        .and(col(crate::orders::cols::ORDERDATE).lt(lit_i64(dates::Q4_END))),
+                }),
+                right: Box::new(LogicalPlan::Filter {
+                    input: Box::new(scan(lineitem_table, &li_schema)),
+                    predicate: col(cols::COMMITDATE).lt(col(cols::RECEIPTDATE)),
+                }),
+                on: vec![(crate::orders::cols::ORDERKEY, cols::ORDERKEY)],
+                variant,
+            }),
+            group_by: vec![(
+                col(crate::orders::cols::ORDERPRIORITY),
+                "o_orderpriority".to_string(),
+            )],
+            aggs: vec![AggExpr::new(AggFunc::Count, None, "order_count")],
+        }),
+        keys: vec![SortKey::asc(col(0))],
+    }
+}
+
+/// Q21-flavored anti-join query: ORDERS ▷ LINEITEM.
+///
+/// TPC-H Q21 hunts suppliers whose line items are the *only* late ones
+/// of a multi-supplier order — its core is a `NOT EXISTS` over LINEITEM.
+/// The numeric schema has no supplier dimension, so this variant keeps
+/// the `NOT EXISTS` essence at the order level: orders of the Q4 window
+/// with *no* line item received after its commit date (the complement of
+/// [`q4`]'s semi join — per priority, `q4 + q21` counts add up to the
+/// window's orders, which the tests pin), counted and totalled per
+/// `o_orderpriority`.
+pub fn q21(lineitem_table: &str, orders_table: &str) -> LogicalPlan {
+    let li_schema = crate::lineitem::schema();
+    let ord_schema = crate::orders::schema();
+    LogicalPlan::Sort {
+        input: Box::new(LogicalPlan::Aggregate {
+            input: Box::new(LogicalPlan::Join {
+                left: Box::new(LogicalPlan::Filter {
+                    input: Box::new(scan(orders_table, &ord_schema)),
+                    predicate: col(crate::orders::cols::ORDERDATE)
+                        .ge(lit_i64(dates::Q4_START))
+                        .and(col(crate::orders::cols::ORDERDATE).lt(lit_i64(dates::Q4_END))),
+                }),
+                right: Box::new(LogicalPlan::Filter {
+                    input: Box::new(scan(lineitem_table, &li_schema)),
+                    predicate: col(cols::RECEIPTDATE).gt(col(cols::COMMITDATE)),
+                }),
+                on: vec![(crate::orders::cols::ORDERKEY, cols::ORDERKEY)],
+                variant: JoinVariant::Anti,
+            }),
+            group_by: vec![(
+                col(crate::orders::cols::ORDERPRIORITY),
+                "o_orderpriority".to_string(),
+            )],
+            aggs: vec![
+                AggExpr::new(AggFunc::Count, None, "order_count"),
+                AggExpr::new(
+                    AggFunc::Sum,
+                    Some(col(crate::orders::cols::TOTALPRICE)),
                     "sum_totalprice",
                 ),
             ],
@@ -150,6 +248,7 @@ pub fn q3(lineitem_table: &str, orders_table: &str) -> LogicalPlan {
                         predicate: col(crate::orders::cols::ORDERDATE).lt(lit_i64(dates::Q6_START)),
                     }),
                     on: vec![(cols::ORDERKEY, crate::orders::cols::ORDERKEY)],
+                    variant: JoinVariant::Inner,
                 }),
                 group_by: vec![
                     (col(cols::ORDERKEY), "l_orderkey".to_string()),
@@ -200,11 +299,13 @@ pub fn q5(lineitem_table: &str, orders_table: &str, customer_table: &str) -> Log
             predicate: col(crate::orders::cols::ORDERDATE).lt(lit_i64(dates::Q6_START)),
         }),
         on: vec![(cols::ORDERKEY, crate::orders::cols::ORDERKEY)],
+        variant: JoinVariant::Inner,
     };
     let outer = LogicalPlan::Join {
         left: Box::new(inner),
         right: Box::new(scan(customer_table, &cust_schema)),
         on: vec![(li_width + crate::orders::cols::CUSTKEY, crate::customer::cols::CUSTKEY)],
+        variant: JoinVariant::Inner,
     };
     LogicalPlan::Limit {
         input: Box::new(LogicalPlan::Sort {
@@ -395,6 +496,110 @@ mod tests {
             assert!((avg - want_avg).abs() < 1e-9, "avg_priority {avg} vs {want_avg}");
             let sum = row[4].as_f64().unwrap();
             assert!((sum - vals.3).abs() < 1e-6 * vals.3.abs().max(1.0), "sum_totalprice");
+        }
+    }
+
+    /// Brute-force (priority → order count) of the Q4 window under an
+    /// EXISTS/NOT EXISTS predicate over the order's line items.
+    fn window_counts_by_priority(
+        lineitem: &RecordBatch,
+        orders: &RecordBatch,
+        exists: bool,
+    ) -> std::collections::BTreeMap<i64, i64> {
+        use std::collections::HashSet;
+        let mut late: HashSet<i64> = HashSet::new();
+        for row in lineitem.rows() {
+            if row[cols::COMMITDATE].as_i64().unwrap() < row[cols::RECEIPTDATE].as_i64().unwrap() {
+                late.insert(row[cols::ORDERKEY].as_i64().unwrap());
+            }
+        }
+        let mut counts = std::collections::BTreeMap::new();
+        for row in orders.rows() {
+            let date = row[crate::orders::cols::ORDERDATE].as_i64().unwrap();
+            if !(dates::Q4_START..dates::Q4_END).contains(&date) {
+                continue;
+            }
+            let key = row[crate::orders::cols::ORDERKEY].as_i64().unwrap();
+            if late.contains(&key) == exists {
+                *counts
+                    .entry(row[crate::orders::cols::ORDERPRIORITY].as_i64().unwrap())
+                    .or_insert(0) += 1;
+            }
+        }
+        counts
+    }
+
+    #[test]
+    fn q4_semi_join_matches_bruteforce() {
+        let (cat, lineitem, orders) = join_catalog(20_000);
+        let out = execute_into_batch(&q4("lineitem", "orders"), &cat).unwrap();
+        let expect = window_counts_by_priority(&lineitem, &orders, true);
+        assert!(expect.len() > 1, "several priorities qualified: {expect:?}");
+        assert_eq!(out.num_rows(), expect.len());
+        for (i, (prio, n)) in expect.iter().enumerate() {
+            assert_eq!(out.row(i)[0], Scalar::Int64(*prio));
+            assert_eq!(out.row(i)[1], Scalar::Int64(*n), "order_count for priority {prio}");
+        }
+    }
+
+    #[test]
+    fn q21_anti_join_matches_bruteforce_and_complements_q4() {
+        let (cat, lineitem, orders) = join_catalog(20_000);
+        let out = execute_into_batch(&q21("lineitem", "orders"), &cat).unwrap();
+        // The anti predicate (receipt > commit) is the complement of
+        // Q4's semi predicate (commit < receipt) over the same window.
+        let expect = window_counts_by_priority(&lineitem, &orders, false);
+        assert!(!expect.is_empty(), "some orders have no late line item");
+        assert_eq!(out.num_rows(), expect.len());
+        for (i, (prio, n)) in expect.iter().enumerate() {
+            assert_eq!(out.row(i)[0], Scalar::Int64(*prio));
+            assert_eq!(out.row(i)[1], Scalar::Int64(*n), "order_count for priority {prio}");
+            assert!(out.row(i)[2].as_f64().unwrap() > 0.0, "sum_totalprice accumulated");
+        }
+        // Complement identity: per priority, q4 + q21 counts the window.
+        let semi = execute_into_batch(&q4("lineitem", "orders"), &cat).unwrap();
+        let mut total: std::collections::BTreeMap<i64, i64> = std::collections::BTreeMap::new();
+        for row in orders.rows() {
+            let date = row[crate::orders::cols::ORDERDATE].as_i64().unwrap();
+            if (dates::Q4_START..dates::Q4_END).contains(&date) {
+                *total
+                    .entry(row[crate::orders::cols::ORDERPRIORITY].as_i64().unwrap())
+                    .or_insert(0) += 1;
+            }
+        }
+        let mut combined: std::collections::BTreeMap<i64, i64> = std::collections::BTreeMap::new();
+        for b in [&semi, &out] {
+            for row in b.rows() {
+                *combined.entry(row[0].as_i64().unwrap()).or_insert(0) += row[1].as_i64().unwrap();
+            }
+        }
+        assert_eq!(combined, total, "semi + anti partition the window's orders");
+    }
+
+    #[test]
+    fn q4_and_q21_survive_optimization() {
+        let (cat, _, _) = join_catalog(8_000);
+        for plan in [q4("lineitem", "orders"), q21("lineitem", "orders")] {
+            let optimized = Optimizer::new().optimize(&plan).unwrap();
+            let a = execute_into_batch(&plan, &cat).unwrap();
+            let b = execute_into_batch(&optimized, &cat).unwrap();
+            assert!(a.num_rows() > 0);
+            assert_eq!(a.num_rows(), b.num_rows());
+            for i in 0..a.num_rows() {
+                for (x, y) in a.row(i).iter().zip(b.row(i).iter()) {
+                    match (x, y) {
+                        (Scalar::Float64(a), Scalar::Float64(b)) => {
+                            assert!((a - b).abs() <= 1e-9 * a.abs().max(1.0));
+                        }
+                        _ => assert_eq!(x, y),
+                    }
+                }
+            }
+            // The one-sided join must not have been swapped, and both
+            // scans must be pruned (the build side to little more than
+            // its key + predicate columns).
+            let text = optimized.display_indent();
+            assert!(text.matches("projection=").count() >= 2, "both scans pruned:\n{text}");
         }
     }
 

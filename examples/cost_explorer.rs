@@ -13,6 +13,82 @@ use lambada::baselines::iaas::{
 use lambada::core::{AggStrategy, Lambada, LambadaConfig, SortStrategy};
 use lambada::sim::{Cloud, CloudConfig, Prices, Simulation};
 
+/// Print one query's per-stage breakdown table from the exact
+/// per-worker request counters. Stage labels carry the operator that
+/// actually ran — `semi-join#2`, not a generic `join#2`.
+fn print_stages(title: &str, report: &lambada::core::QueryReport) {
+    println!("\n{title}");
+    println!(
+        "  {:<18} {:>7} {:>9} {:>6} {:>6} {:>6} {:>12}",
+        "stage", "workers", "wall [s]", "GET", "PUT", "LIST", "requests [$]"
+    );
+    let prices = Prices::default();
+    for s in &report.stages {
+        println!(
+            "  {:<18} {:>7} {:>9.2} {:>6} {:>6} {:>6} {:>12.7}",
+            s.label,
+            s.workers,
+            s.wall_secs,
+            s.get_requests,
+            s.put_requests,
+            s.list_requests,
+            s.request_dollars(&prices)
+        );
+    }
+    let total: f64 = report.stages.iter().map(|s| s.request_dollars(&prices)).sum();
+    println!(
+        "  {:<18} {:>7} {:>9.2} {:>37.7}",
+        "total", report.workers, report.latency_secs, total
+    );
+}
+
+/// Run the Q4-style semi join (orders with a late line item, counted per
+/// priority) through a repartitioned aggregation and print its per-stage
+/// breakdown — the join stage's label surfaces the variant.
+fn semi_join_breakdown() {
+    let sim = Simulation::new();
+    let cloud = Cloud::new(&sim, CloudConfig::default());
+    let li_spec = lambada::workloads::stage_real(
+        &cloud,
+        "tpch",
+        "lineitem",
+        lambada::workloads::StageOptions {
+            scale: 0.002,
+            num_files: 6,
+            row_groups_per_file: 3,
+            seed: 7,
+        },
+    );
+    let ord_spec = lambada::workloads::stage_real_orders(
+        &cloud,
+        "tpch",
+        "orders",
+        lambada::workloads::OrdersStageOptions {
+            rows: li_spec.total_rows,
+            num_files: 4,
+            row_groups_per_file: 3,
+            seed: 7,
+        },
+    );
+    let mut system = Lambada::install(
+        &cloud,
+        LambadaConfig { agg: AggStrategy::Exchange { workers: None }, ..LambadaConfig::default() },
+    );
+    system.register_table(li_spec);
+    system.register_table(ord_spec);
+    let plan = lambada::workloads::q4("lineitem", "orders");
+    let report = sim.block_on(async move { system.run_query(&plan).await.unwrap() });
+    print_stages(
+        "per-stage breakdown of the Q4-style EXISTS query (semi join, SF 0.002):",
+        &report,
+    );
+    println!(
+        "  ({} priorities; each qualifying order counted once — the semi join ships only \
+         probe rows)",
+        report.batch.num_rows()
+    );
+}
+
 /// Run the Q5-style three-table query (nested joins → repartitioned
 /// aggregation → distributed sort) at toy scale and print what every
 /// stage of the DAG cost, using the exact per-worker request counters.
@@ -60,30 +136,7 @@ fn stage_breakdown() {
     system.register_table(cust_spec);
     let plan = lambada::workloads::q5("lineitem", "orders", "customer");
     let report = sim.block_on(async move { system.run_query(&plan).await.unwrap() });
-
-    println!("\nper-stage breakdown of the Q5-style multi-way query (SF 0.002):");
-    println!(
-        "  {:<18} {:>7} {:>9} {:>6} {:>6} {:>6} {:>12}",
-        "stage", "workers", "wall [s]", "GET", "PUT", "LIST", "requests [$]"
-    );
-    let prices = Prices::default();
-    for s in &report.stages {
-        println!(
-            "  {:<18} {:>7} {:>9.2} {:>6} {:>6} {:>6} {:>12.7}",
-            s.label,
-            s.workers,
-            s.wall_secs,
-            s.get_requests,
-            s.put_requests,
-            s.list_requests,
-            s.request_dollars(&prices)
-        );
-    }
-    let total: f64 = report.stages.iter().map(|s| s.request_dollars(&prices)).sum();
-    println!(
-        "  {:<18} {:>7} {:>9.2} {:>37.7}",
-        "total", report.workers, report.latency_secs, total
-    );
+    print_stages("per-stage breakdown of the Q5-style multi-way query (SF 0.002):", &report);
     println!(
         "  ({} result rows; the driver only concatenated pre-sorted runs — no merge, no sort)",
         report.batch.num_rows()
@@ -137,4 +190,5 @@ fn main() {
     );
 
     stage_breakdown();
+    semi_join_breakdown();
 }

@@ -399,6 +399,76 @@ fn speculation_recovers_a_straggler_in_an_inner_join_stage() {
     assert_batches_close(&faulted, &clean);
 }
 
+/// Run the Q21-flavored anti join (orders ▷ lineitem, counted per
+/// priority, repartitioned aggregation above) with an optional straggler
+/// *inside the anti-join fleet*.
+fn run_q21_anti(straggler: bool) -> (RecordBatch, lambada::core::QueryReport) {
+    let sim = Simulation::new();
+    let cloud = Cloud::new(&sim, CloudConfig::default());
+    let scale = 0.02;
+    let seed = 29;
+    let li_opts = StageOptions { scale, num_files: 6, row_groups_per_file: 3, seed };
+    let li_spec = stage_real(&cloud, "tpch", "lineitem", li_opts);
+    let orders_opts = lambada::workloads::OrdersStageOptions {
+        rows: li_spec.total_rows,
+        num_files: 4,
+        row_groups_per_file: 3,
+        seed,
+    };
+    let ord_spec = lambada::workloads::stage_real_orders(&cloud, "tpch", "orders", orders_opts);
+    let join_workers = 8;
+    let mut system = Lambada::install(
+        &cloud,
+        LambadaConfig {
+            speculation: test_speculation(true),
+            join_workers: Some(join_workers),
+            agg: lambada::core::AggStrategy::Exchange { workers: Some(2) },
+            ..LambadaConfig::default()
+        },
+    );
+    system.register_table(li_spec);
+    system.register_table(ord_spec);
+    if straggler {
+        // Worker id 7 exists only in the 8-strong anti-join fleet (the
+        // scans have 4 and 6 workers, the merge fleet 2), and it dies
+        // silently mid-flight — the extreme straggler: unlike the q3
+        // slowdown case, the probe side here (a 92-day order window) is
+        // small enough that a merely slow worker could finish under the
+        // speculation threshold. Its backup must re-read both
+        // co-partitions, re-run the anti probe — whose result depends on
+        // the *complete* build side, so a partially-read build would
+        // emit extra rows (false "no match" verdicts), not just fewer —
+        // and re-write its grouped-state shard under the next attempt id.
+        inject_worker_faults(&cloud, |wid, attempt| {
+            (wid == 7 && attempt == 0).then(|| InjectedFault::kill(Duration::from_millis(5)))
+        });
+    }
+    let plan = lambada::workloads::q21("lineitem", "orders");
+    let report = sim.block_on(async move { system.run_query(&plan).await.unwrap() });
+    (report.batch.clone(), report)
+}
+
+#[test]
+fn speculation_recovers_a_straggler_in_an_anti_join_stage() {
+    // Anti joins are the most straggler-sensitive variant: a worker that
+    // silently dropped part of its build co-partition would emit *extra*
+    // rows (false "no match" verdicts), so recovery must re-run the
+    // whole co-partition under a fresh attempt and the merge fleet must
+    // pick exactly one attempt per sender. The recovered result must
+    // match the fault-free run bit-for-bit.
+    let (clean, clean_report) = run_q21_anti(false);
+    assert_eq!(clean_report.backup_invocations(), 0);
+    let (faulted, report) = run_q21_anti(true);
+    let labels: Vec<&str> = report.stages.iter().map(|s| s.label.as_str()).collect();
+    assert_eq!(labels, vec!["scan:orders#0", "scan:lineitem#1", "anti-join#2", "agg#3"]);
+    assert_eq!(report.stages[0].backup_invocations, 0);
+    assert_eq!(report.stages[1].backup_invocations, 0);
+    assert_eq!(report.stages[2].backup_invocations, 1, "the anti-join straggler was speculated");
+    assert_eq!(report.stages[3].backup_invocations, 0);
+    assert!(faulted.num_rows() > 0);
+    assert_batches_close(&faulted, &clean);
+}
+
 #[test]
 fn result_queues_do_not_leak_across_queries() {
     // The driver creates one result queue per stage per query; each must
