@@ -27,6 +27,7 @@ fn main() {
         .map(|i| WorkerPayload {
             worker_id: i,
             attempt: 0,
+            query: 0,
             task: WorkerTask::Noop,
             children: Vec::new(),
             result_queue: "results".to_string(),

@@ -1,0 +1,131 @@
+//! Multi-tenant query service throughput: queries/sec, p50/p99
+//! submission→completion span, and exact request cost as the offered
+//! concurrency and tenant count grow on one installation with a fixed
+//! global in-flight worker cap.
+//!
+//! The shape to look for: throughput scales with offered concurrency
+//! while the worker gate has headroom, then flattens once the admission
+//! cap binds — beyond that point extra offered queries only queue (p99
+//! span grows) while queries/sec stays put, and per-query request cost
+//! stays flat because fleets shrink instead of over-subscribing
+//! (Kassing et al., CIDR 2022: divide the worker budget, don't thrash).
+//!
+//! Quick mode for CI: `LAMBADA_FIG_SERVICE_OFFERED=4
+//! LAMBADA_FIG_SERVICE_SCALE=0.002 cargo bench --bench
+//! fig_service_throughput`.
+
+use lambada_bench::{banner, env_f64, env_usize};
+use lambada_core::{
+    AggStrategy, Lambada, LambadaConfig, QueryReport, QueryService, ServiceConfig, TenantBudget,
+};
+use lambada_engine::logical::LogicalPlan;
+use lambada_sim::{Cloud, CloudConfig, Simulation};
+use lambada_workloads::{
+    q1, q12, q6, stage_real, stage_real_orders, OrdersStageOptions, StageOptions,
+};
+
+const WORKER_CAP: usize = 24;
+
+fn plans() -> Vec<LogicalPlan> {
+    vec![q1("lineitem"), q6("lineitem"), q12("lineitem", "orders")]
+}
+
+/// Offer `offered` queries from `tenants` tenants all at once; return the
+/// reports, the virtual-time makespan, and the exact request dollars.
+fn run_point(scale: f64, tenants: usize, offered: usize) -> (Vec<QueryReport>, f64, f64) {
+    let sim = Simulation::new();
+    let cloud = Cloud::new(&sim, CloudConfig::default());
+    let seed = 71;
+    let li = stage_real(
+        &cloud,
+        "tpch",
+        "lineitem",
+        StageOptions { scale, num_files: 6, row_groups_per_file: 3, seed },
+    );
+    let ord = stage_real_orders(
+        &cloud,
+        "tpch",
+        "orders",
+        OrdersStageOptions { rows: li.total_rows, num_files: 4, row_groups_per_file: 3, seed },
+    );
+    let mut system = Lambada::install(
+        &cloud,
+        LambadaConfig {
+            join_workers: Some(4),
+            agg: AggStrategy::Exchange { workers: Some(2) },
+            ..LambadaConfig::default()
+        },
+    );
+    system.register_table(li);
+    system.register_table(ord);
+    let service = QueryService::with_config(
+        system,
+        ServiceConfig {
+            max_inflight_workers: WORKER_CAP,
+            max_concurrent_queries: 8,
+            shrink_fleets: true,
+            default_budget: TenantBudget::default(),
+        },
+    );
+    let plans = plans();
+    let start = cloud.handle.now();
+    let reports = sim.block_on(async {
+        let handles: Vec<_> = (0..offered)
+            .map(|i| {
+                let tenant = format!("tenant{}", i % tenants);
+                service.submit(&tenant, &plans[i % plans.len()])
+            })
+            .collect();
+        let mut out = Vec::new();
+        for h in handles {
+            out.push(h.await.expect("query completes"));
+        }
+        out
+    });
+    let makespan = (cloud.handle.now() - start).as_secs_f64();
+    let prices = cloud.billing.prices();
+    let dollars = reports.iter().map(|r| r.request_dollars(&prices)).sum();
+    (reports, makespan, dollars)
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+fn main() {
+    let scale = env_f64("LAMBADA_FIG_SERVICE_SCALE", 0.005);
+    let max_offered = env_usize("LAMBADA_FIG_SERVICE_OFFERED", 16);
+    banner(
+        "Fig service",
+        &format!("multi-tenant throughput under a {WORKER_CAP}-worker cap (lineitem SF {scale})"),
+    );
+    println!(
+        "{:>7} {:>8} {:>10} {:>9} {:>9} {:>11} {:>12}",
+        "tenants", "offered", "q/sec", "p50 [s]", "p99 [s]", "makespan", "request-$/q"
+    );
+    for &tenants in &[1usize, 3] {
+        for &offered in &[1usize, 2, 4, 8, 16] {
+            if offered > max_offered {
+                continue;
+            }
+            let (reports, makespan, dollars) = run_point(scale, tenants.min(offered), offered);
+            let mut spans: Vec<f64> = reports.iter().map(|r| r.span_secs).collect();
+            spans.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            println!(
+                "{:>7} {:>8} {:>10.3} {:>9.2} {:>9.2} {:>9.2}s {:>12.6}",
+                tenants.min(offered),
+                offered,
+                offered as f64 / makespan,
+                percentile(&spans, 0.50),
+                percentile(&spans, 0.99),
+                makespan,
+                dollars / offered as f64,
+            );
+        }
+    }
+    println!(
+        "--> throughput climbs until the {WORKER_CAP}-worker gate saturates, then extra offered \
+         queries queue: p99 span grows while q/sec flattens and $-per-query holds steady"
+    );
+}

@@ -147,6 +147,23 @@ impl ComputeCostModel {
         let usable = (memory_budget / 4).max(1);
         (input_bytes.div_ceil(usable) as usize).clamp(1, 256)
     }
+
+    /// Per-query fleet cap when `active_queries` share one installation's
+    /// global in-flight worker budget.
+    ///
+    /// The isolated-query model above picks the smallest fleet that fits
+    /// the memory budget; at service scale the binding resource is the
+    /// *installation's* worker budget shared across concurrent queries
+    /// (Kassing et al., CIDR 2022: allocation across queries, not within
+    /// one). An even split keeps every admitted query progressing — a
+    /// query's fleets shrink as neighbors arrive instead of queueing
+    /// behind them — at the cost of per-query latency, which is the right
+    /// trade under contention because a smaller fleet still finishes
+    /// (workers stream files sequentially) while a starved query does
+    /// not.
+    pub fn contended_fleet_cap(&self, global_worker_cap: usize, active_queries: usize) -> usize {
+        (global_worker_cap / active_queries.max(1)).max(1)
+    }
 }
 
 #[cfg(test)]
@@ -223,6 +240,15 @@ mod tests {
             "more memory per worker shrinks the fleet"
         );
         assert_eq!(m.sort_stage_workers(u64::MAX / 2, 2 * gib), 256, "clamped");
+    }
+
+    #[test]
+    fn contended_cap_splits_the_worker_budget_evenly() {
+        let m = ComputeCostModel::default();
+        assert_eq!(m.contended_fleet_cap(64, 1), 64, "alone, a query keeps the whole budget");
+        assert_eq!(m.contended_fleet_cap(64, 4), 16, "even split across active queries");
+        assert_eq!(m.contended_fleet_cap(4, 100), 1, "never starves a query to zero workers");
+        assert_eq!(m.contended_fleet_cap(64, 0), 64, "zero active treated as one");
     }
 
     #[test]

@@ -33,6 +33,7 @@ use crate::exchange::{install_exchange_buckets, ExchangeConfig, ExchangeSide};
 use crate::invoke::{self, invoke_workers, InvocationStrategy};
 use crate::message::{ResultPayload, WorkerMetrics, WorkerResult};
 use crate::scan::ScanConfig;
+use crate::service::{ServiceConfig, WorkerGate};
 use crate::stage::{
     self, AggMergeStage, FinalStage, PostOp, QueryDag, ScanStage, SortStage, SplitOptions,
     StageKind, StageOutput,
@@ -148,6 +149,11 @@ pub struct LambadaConfig {
     pub sort: SortStrategy,
     /// Speculative re-invocation of straggling workers.
     pub speculation: SpeculationConfig,
+    /// Multi-tenant query service layer (admission control, per-tenant
+    /// budgets, global in-flight worker cap). Only consulted by
+    /// [`crate::service::QueryService`]; plain [`Lambada::run_query`]
+    /// calls ignore it.
+    pub service: ServiceConfig,
 }
 
 impl Default for LambadaConfig {
@@ -168,8 +174,27 @@ impl Default for LambadaConfig {
             agg: AggStrategy::DriverMerge,
             sort: SortStrategy::Driver,
             speculation: SpeculationConfig::default(),
+            service: ServiceConfig::default(),
         }
     }
+}
+
+/// Scheduling constraints one query executes under. Plain
+/// [`Lambada::run_dag`] calls use the default (no gate, no cap, the
+/// `"local"` tenant); the query service builds one per admitted query.
+#[derive(Clone, Default)]
+pub struct ExecPolicy {
+    /// Global in-flight worker gate shared across concurrent queries; a
+    /// stage's fleet acquires permits before invoking and releases them
+    /// once collected.
+    pub gate: Option<WorkerGate>,
+    /// Cap on cost-model-sized fleets (contention shrinking). Fleets the
+    /// installation pins explicitly stay pinned.
+    pub fleet_cap: Option<usize>,
+    /// Tenant the query is billed to (`None` ⇒ `"local"`).
+    pub tenant: Option<String>,
+    /// Submission time; `span_secs` then includes admission queueing.
+    pub submitted: Option<lambada_sim::SimTime>,
 }
 
 /// Per-stage execution summary of one query.
@@ -220,12 +245,26 @@ impl StageReport {
 pub struct QueryReport {
     /// The query result.
     pub batch: RecordBatch,
+    /// Tenant the query ran for (`"local"` outside the query service).
+    pub tenant: String,
+    /// Driver-assigned query id (the `q{id}` of the query's exchange
+    /// channels and result queues) — what [`crate::worker::inject_query_worker_faults`]
+    /// matches on.
+    pub query_id: u64,
     /// End-to-end latency in (virtual) seconds: invocation + work +
     /// result collection (§5.1's measurement definition).
     pub latency_secs: f64,
+    /// Submission → completion span in (virtual) seconds. Equals
+    /// `latency_secs` for direct `run_dag` calls; under the query service
+    /// it additionally counts time queued in admission control.
+    pub span_secs: f64,
     /// Seconds spent in driver-side invocation calls, summed over stages.
     pub invoke_secs: f64,
-    /// Billing delta attributable to this query.
+    /// Billing delta over this query's execution window. Exact when the
+    /// query ran alone; under the concurrent query service the window
+    /// also bills neighbors' requests, so per-tenant accounting uses the
+    /// exact per-stage request counters ([`QueryReport::request_dollars`])
+    /// instead.
     pub cost: BillingSnapshot,
     /// Total workers across all stages.
     pub workers: usize,
@@ -243,6 +282,33 @@ impl QueryReport {
     /// Total speculative backup invocations across all stages.
     pub fn backup_invocations(&self) -> u64 {
         self.stages.iter().map(|s| s.backup_invocations).sum()
+    }
+
+    /// Exact S3 request count across all stages (GET + PUT + LIST, from
+    /// the per-worker counters — safe to sum across concurrent queries).
+    pub fn s3_requests(&self) -> u64 {
+        self.stages.iter().map(|s| s.get_requests + s.put_requests + s.list_requests).sum()
+    }
+
+    /// Worker invocations this query paid for: one per fleet slot plus
+    /// the speculative backups.
+    pub fn invocations(&self) -> u64 {
+        self.workers as u64 + self.backup_invocations()
+    }
+
+    /// Requests the query is charged for under per-tenant budget
+    /// accounting: exact S3 requests plus worker invocations. Unlike
+    /// [`QueryReport::cost`], attribution stays exact when queries run
+    /// concurrently.
+    pub fn request_count(&self) -> u64 {
+        self.s3_requests() + self.invocations()
+    }
+
+    /// Dollar cost of [`QueryReport::request_count`] at the given prices
+    /// — the request-$ drawn against a tenant's budget.
+    pub fn request_dollars(&self, prices: &lambada_sim::Prices) -> f64 {
+        self.stages.iter().map(|s| s.request_dollars(prices)).sum::<f64>()
+            + self.invocations() as f64 * prices.lambda_request
     }
 }
 
@@ -333,8 +399,10 @@ impl Lambada {
         self.tables.get(name).ok_or_else(|| CoreError::Unsupported(format!("unknown table {name}")))
     }
 
-    /// Optimize and execute a query across serverless workers.
-    pub async fn run_query(&self, plan: &LogicalPlan) -> Result<QueryReport> {
+    /// Optimize and lower a logical plan into this installation's stage
+    /// DAG without executing it — what [`Lambada::run_query`] does before
+    /// dispatch, and what the query service plans at submission time.
+    pub fn plan(&self, plan: &LogicalPlan) -> Result<QueryDag> {
         let hints: HashMap<String, u64> =
             self.tables.iter().map(|(k, v)| (k.clone(), v.total_rows)).collect();
         let optimized = Optimizer::with_row_hints(hints).optimize(plan)?;
@@ -342,7 +410,12 @@ impl Lambada {
             exchange_aggregates: matches!(self.config.agg, AggStrategy::Exchange { .. }),
             exchange_sorts: matches!(self.config.sort, SortStrategy::Exchange { .. }),
         };
-        let dag = stage::split_with(&optimized, &opts)?;
+        stage::split_with(&optimized, &opts)
+    }
+
+    /// Optimize and execute a query across serverless workers.
+    pub async fn run_query(&self, plan: &LogicalPlan) -> Result<QueryReport> {
+        let dag = self.plan(plan)?;
         self.run_dag(&dag).await
     }
 
@@ -351,6 +424,16 @@ impl Lambada {
     /// hand-built DAG shapes, diamonds included, that the planner does
     /// not emit.
     pub async fn run_dag(&self, dag: &QueryDag) -> Result<QueryReport> {
+        self.run_dag_with(dag, &ExecPolicy::default()).await
+    }
+
+    /// [`Lambada::run_dag`] under an explicit [`ExecPolicy`]: the same
+    /// wave scheduler, but fleets are clamped to the policy's cap and
+    /// gated through its shared worker gate. The query service runs every
+    /// admitted query through here; several `run_dag_with` futures for
+    /// one installation interleave freely — exchange channels and result
+    /// queues are already namespaced by query id.
+    pub async fn run_dag_with(&self, dag: &QueryDag, policy: &ExecPolicy) -> Result<QueryReport> {
         dag.validate()?;
         let qid = self.query_seq.get();
         self.query_seq.set(qid + 1);
@@ -370,7 +453,7 @@ impl Lambada {
         // stages launch together: a producer can shard its output for a
         // consumer fleet that does not exist yet.
         let side = ExchangeSide::new();
-        let planned_workers = self.planned_workers(dag)?;
+        let planned_workers = self.planned_workers(dag, policy.fleet_cap)?;
         // Partition count each producer stage must shard its output into
         // (= its consumer's planned fleet size; 0 for driver-bound
         // stages). In a diamond, one producer may feed several consumers
@@ -443,6 +526,7 @@ impl Lambada {
                         qid,
                         sid,
                         scan,
+                        policy.fleet_cap,
                         consumer_parts[sid],
                         sort_edges[sid].clone(),
                         &side,
@@ -484,6 +568,7 @@ impl Lambada {
                     self.config.clone(),
                     result_queue,
                     payloads,
+                    policy.gate.clone(),
                 )));
             }
             let wave_runs = lambada_sim::sync::join_all(handles).await;
@@ -536,11 +621,16 @@ impl Lambada {
         }
 
         let batch = self.finalize(&dag.final_stage, &final_results).await?;
-        let latency_secs = (self.cloud.handle.now() - start).as_secs_f64();
+        let now = self.cloud.handle.now();
+        let latency_secs = (now - start).as_secs_f64();
+        let span_secs = (now - policy.submitted.unwrap_or(start)).as_secs_f64();
         let cost = self.cloud.billing.snapshot().since(&cost_before);
         Ok(QueryReport {
             batch,
+            tenant: policy.tenant.clone().unwrap_or_else(|| "local".to_string()),
+            query_id: qid,
             latency_secs,
+            span_secs,
             invoke_secs,
             cost,
             workers: workers_total,
@@ -587,9 +677,15 @@ impl Lambada {
     /// agg-merge, sort) sized per stage by the compute cost model from
     /// their inputs' estimated edge volume — the resource-allocation
     /// trade-off of Kassing et al. applied at every level of the DAG —
-    /// unless the installation pins them.
-    fn planned_workers(&self, dag: &QueryDag) -> Result<Vec<usize>> {
+    /// unless the installation pins them. `fleet_cap` (contention
+    /// shrinking under the query service) clamps model-sized fleets and
+    /// scan fleets; explicitly pinned fleets stay pinned.
+    fn planned_workers(&self, dag: &QueryDag, fleet_cap: Option<usize>) -> Result<Vec<usize>> {
         let f = self.config.files_per_worker.max(1);
+        let capped = |w: usize| match fleet_cap {
+            Some(cap) => w.min(cap.max(1)).max(1),
+            None => w,
+        };
         // Only walk the estimates when some fleet actually needs sizing:
         // the common scan-only query skips the whole walk.
         let needs_estimates = dag.stages.iter().any(|k| match k {
@@ -607,45 +703,59 @@ impl Lambada {
         dag.stages
             .iter()
             .map(|kind| match kind {
-                StageKind::Scan(scan) => Ok(self.table_spec(&scan.table)?.files.len().div_ceil(f)),
+                StageKind::Scan(scan) => {
+                    let files = self.table_spec(&scan.table)?.files.len();
+                    Ok(scan_partitioning(files, f, fleet_cap).1)
+                }
                 StageKind::Join(j) => match self.config.join_workers {
                     Some(w) => Ok(w.max(1)),
-                    None => Ok(self.config.costs.join_stage_workers(
+                    None => Ok(capped(self.config.costs.join_stage_workers(
                         est[j.probe_input],
                         est[j.build_input],
                         budget,
-                    )),
+                    ))),
                 },
                 StageKind::AggMerge(a) => match self.config.agg {
                     AggStrategy::Exchange { workers: Some(w) } => Ok(w.max(1)),
-                    _ => Ok(self.config.costs.agg_merge_workers(est[a.input], budget)),
+                    _ => Ok(capped(self.config.costs.agg_merge_workers(est[a.input], budget))),
                 },
                 StageKind::Sort(s) => match self.config.sort {
                     SortStrategy::Exchange { workers: Some(w) } => Ok(w.max(1)),
-                    _ => Ok(self.config.costs.sort_stage_workers(est[s.input], budget)),
+                    _ => Ok(capped(self.config.costs.sort_stage_workers(est[s.input], budget))),
                 },
             })
             .collect()
     }
 
-    /// Build one scan stage's worker payloads. `partitions` is the
-    /// consumer fleet's size for exchange-bound stages (how many ways to
-    /// shard the output), unused for driver-bound stages. `sort_edge` is
-    /// set when the consumer is a sort stage.
+    /// Uncapped fleet plan of a DAG — what the query service's admission
+    /// estimate sizes reservations from.
+    pub(crate) fn plan_fleets(&self, dag: &QueryDag) -> Result<Vec<usize>> {
+        self.planned_workers(dag, None)
+    }
+
+    /// Build one scan stage's worker payloads. `fleet_cap` is the
+    /// policy's contention clamp (the file chunking must agree with
+    /// [`Lambada::planned_workers`], so both call [`scan_partitioning`]).
+    /// `partitions` is the consumer fleet's size for exchange-bound
+    /// stages (how many ways to shard the output), unused for
+    /// driver-bound stages. `sort_edge` is set when the consumer is a
+    /// sort stage.
     #[allow(clippy::too_many_arguments)]
     fn scan_stage_payloads(
         &self,
         qid: u64,
         sid: usize,
         scan: &ScanStage,
+        fleet_cap: Option<usize>,
         partitions: usize,
         sort_edge: Option<SortEdgeSpec>,
         side: &ExchangeSide,
         result_queue: &str,
     ) -> Result<Vec<WorkerPayload>> {
         let spec = self.table_spec(&scan.table)?;
-        // One worker per F files (§5.2: W = #files / F).
-        let f = self.config.files_per_worker.max(1);
+        // One worker per F files (§5.2: W = #files / F), rebalanced when
+        // the policy's fleet cap binds.
+        let (f, _) = scan_partitioning(spec.files.len(), self.config.files_per_worker, fleet_cap);
         let fragment = FragmentShared {
             base_schema: spec.schema.clone(),
             scan_columns: scan.scan_columns.clone(),
@@ -662,6 +772,7 @@ impl Lambada {
                     payloads.push(WorkerPayload {
                         worker_id: wid as u64,
                         attempt: 0,
+                        query: qid,
                         task: WorkerTask::Fragment(FragmentTask {
                             shared: Rc::clone(&shared),
                             files: chunk.to_vec(),
@@ -719,6 +830,7 @@ impl Lambada {
                     payloads.push(WorkerPayload {
                         worker_id: wid as u64,
                         attempt: 0,
+                        query: qid,
                         task: WorkerTask::ScanExchange(ScanExchangeTask {
                             shared: Rc::clone(&shared),
                             files: chunk.to_vec(),
@@ -827,6 +939,7 @@ impl Lambada {
             .map(|p| WorkerPayload {
                 worker_id: p as u64,
                 attempt: 0,
+                query: qid,
                 task: WorkerTask::Join(JoinTask { shared: Rc::clone(&shared) }),
                 children: Vec::new(),
                 result_queue: result_queue.to_string(),
@@ -880,6 +993,7 @@ impl Lambada {
             .map(|p| WorkerPayload {
                 worker_id: p as u64,
                 attempt: 0,
+                query: qid,
                 task: WorkerTask::AggMerge(AggMergeTask { shared: Rc::clone(&shared) }),
                 children: Vec::new(),
                 result_queue: result_queue.to_string(),
@@ -913,6 +1027,7 @@ impl Lambada {
             .map(|p| WorkerPayload {
                 worker_id: p as u64,
                 attempt: 0,
+                query: qid,
                 task: WorkerTask::Sort(SortTask { shared: Rc::clone(&shared) }),
                 children: Vec::new(),
                 result_queue: result_queue.to_string(),
@@ -978,6 +1093,31 @@ impl Lambada {
     }
 }
 
+/// Scan-fleet partitioning: the files-per-worker chunk size and the
+/// resulting worker count, with the policy's fleet cap applied. When the
+/// cap does not bind this is exactly §5.2's `W = ceil(#files / F)` with
+/// chunk `F`; when it binds, files are rebalanced into `cap` equal
+/// chunks. One function serves both [`Lambada::planned_workers`] (which
+/// fixes exchange sender counts before launch) and the payload builder,
+/// so the planned count always equals the number of payloads built.
+fn scan_partitioning(
+    num_files: usize,
+    files_per_worker: usize,
+    fleet_cap: Option<usize>,
+) -> (usize, usize) {
+    let f = files_per_worker.max(1);
+    let uncapped = num_files.div_ceil(f);
+    let workers = match fleet_cap {
+        Some(cap) => uncapped.min(cap.max(1)),
+        None => uncapped,
+    };
+    if workers == uncapped {
+        return (f, uncapped);
+    }
+    let chunk = num_files.div_ceil(workers).max(1);
+    (chunk, num_files.div_ceil(chunk))
+}
+
 /// Invoke one stage's fleet and collect every worker's report. A free
 /// function over owned handles so waves of independent stages can run as
 /// concurrently spawned tasks. The stage's result queue is deleted once
@@ -985,13 +1125,24 @@ impl Lambada {
 /// otherwise leak one queue per stage per query. Late reports from
 /// superseded stragglers land on the deleted queue and vanish, which is
 /// exactly first-result-wins.
+///
+/// Under the query service, `gate` is the installation's shared worker
+/// gate: the whole fleet's permits are acquired *before* anything is
+/// invoked (partial launches could deadlock fleets that synchronize
+/// internally, like a sort fleet's sample barrier) and released when
+/// collection finishes, success or failure.
 async fn run_fleet(
     cloud: Cloud,
     config: LambadaConfig,
     result_queue: String,
     payloads: Vec<WorkerPayload>,
+    gate: Option<WorkerGate>,
 ) -> Result<StageRun> {
     let workers = payloads.len();
+    let _lease = match &gate {
+        Some(g) => Some(g.admit(workers).await),
+        None => None,
+    };
     let stage_start = cloud.handle.now();
     // Only the straggler watcher re-reads the assignments; don't copy a
     // paper-scale fleet's payloads when speculation is off.

@@ -22,6 +22,9 @@ pub enum CoreError {
     Worker { worker_id: u64, message: String },
     /// The driver gave up waiting for worker reports.
     Timeout { waited_secs: f64, missing_workers: usize },
+    /// The query service's admission controller refused the submission
+    /// (a per-tenant budget would be exceeded).
+    Rejected { tenant: String, reason: String },
     /// Plan shapes the distributed planner does not support.
     Unsupported(String),
 }
@@ -41,6 +44,9 @@ impl fmt::Display for CoreError {
                 f,
                 "timed out after {waited_secs:.1}s with {missing_workers} workers unreported"
             ),
+            CoreError::Rejected { tenant, reason } => {
+                write!(f, "query rejected for tenant {tenant}: {reason}")
+            }
             CoreError::Unsupported(m) => write!(f, "unsupported: {m}"),
         }
     }

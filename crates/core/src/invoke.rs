@@ -170,6 +170,7 @@ mod tests {
             .map(|i| WorkerPayload {
                 worker_id: i,
                 attempt: 0,
+                query: 0,
                 task: WorkerTask::Noop,
                 children: Vec::new(),
                 result_queue: "q".to_string(),

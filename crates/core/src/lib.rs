@@ -31,7 +31,11 @@
 //!   topological wave scheduler ([`driver::Lambada::run_dag`]) executes
 //!   shape-agnostically — diamonds included;
 //! * [`costmodel`] — calibrated vCPU-second charges for engine work and
-//!   per-stage fleet sizing for join, agg-merge, and sort fleets.
+//!   per-stage fleet sizing for join, agg-merge, and sort fleets;
+//! * [`service`] — the multi-tenant query service: many concurrent query
+//!   DAGs on one installation behind an admission controller (weighted
+//!   fair queueing, per-tenant budgets) and a global in-flight worker
+//!   cap, with contention-aware fleet shrinking.
 
 pub mod costmodel;
 pub mod driver;
@@ -44,13 +48,15 @@ pub mod message;
 pub mod partition;
 pub mod routing;
 pub mod scan;
+pub mod service;
 pub mod stage;
 pub mod table;
 pub mod worker;
 
 pub use costmodel::ComputeCostModel;
 pub use driver::{
-    AggStrategy, Lambada, LambadaConfig, QueryReport, SortStrategy, SpeculationConfig, StageReport,
+    AggStrategy, ExecPolicy, Lambada, LambadaConfig, QueryReport, SortStrategy, SpeculationConfig,
+    StageReport,
 };
 pub use env::WorkerEnv;
 pub use error::{CoreError, Result};
@@ -64,10 +70,14 @@ pub use exchange_cost::{
 pub use invoke::{invoke_backups, invoke_workers, InvocationStrategy};
 pub use message::{ResultPayload, WorkerMetrics, WorkerResult};
 pub use scan::{scan_table, ScanConfig, ScanItem, ScanMetrics};
+pub use service::{
+    QueryEstimate, QueryHandle, QueryService, ServiceConfig, TenantBudget, TenantUsage, WorkerGate,
+};
 pub use stage::{QueryDag, SplitOptions, StageKind};
 pub use table::{TableFile, TableSpec};
 pub use worker::{
-    inject_worker_faults, register_worker_function, AggMergeShared, AggMergeTask, ExchangeTask,
-    FragmentShared, FragmentTask, JoinOutput, JoinShared, JoinTask, ScanExchangeShared,
-    ScanExchangeTask, SortEdgeSpec, SortShared, SortTask, WorkerPayload, WorkerTask,
+    inject_query_worker_faults, inject_worker_faults, register_worker_function, AggMergeShared,
+    AggMergeTask, ExchangeTask, FragmentShared, FragmentTask, JoinOutput, JoinShared, JoinTask,
+    ScanExchangeShared, ScanExchangeTask, SortEdgeSpec, SortShared, SortTask, WorkerPayload,
+    WorkerTask,
 };

@@ -1,0 +1,349 @@
+//! The multi-tenant query service: many concurrent [`QueryDag`]s on one
+//! installation.
+//!
+//! The driver's wave scheduler ([`Lambada::run_dag`]) executes one query
+//! at a time; this layer turns the same installation into a *service*.
+//! Tenants submit logical plans ([`QueryService::submit`]) and get back
+//! handles that resolve to [`QueryReport`]s as queries finish. Between
+//! submission and execution sits an admission controller
+//! (weighted fair queueing across tenants, per-tenant budgets on
+//! concurrency, request count, and request-$) and a global in-flight
+//! worker gate that arbitrates the installation's invoke/collect
+//! capacity across the interleaved stage waves of every running query.
+//!
+//! Isolation between concurrent queries costs nothing extra: exchange
+//! channels and result queues are already namespaced by query id, and
+//! failure handling and straggler speculation are per-fleet, so one
+//! query failing fast or re-invoking backups never stalls a neighbor.
+//! What the service adds is *policy*: Lambada (SIGMOD 2020) sizes fleets
+//! per query in isolation; at service scale the binding constraint is
+//! the shared resource budget across queries (Kassing et al., CIDR
+//! 2022), which is exactly what the worker gate and the contention-aware
+//! fleet cap ([`crate::ComputeCostModel::contended_fleet_cap`]) encode.
+//!
+//! See `docs/SERVICE.md` for the submission lifecycle, the fairness
+//! policy, and the budget accounting formulas.
+
+mod admission;
+
+use std::cell::Cell;
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::task::{Context, Poll};
+
+use lambada_engine::logical::LogicalPlan;
+use lambada_sim::sync::{Semaphore, SemaphorePermit};
+use lambada_sim::JoinHandle;
+
+use crate::driver::{ExecPolicy, Lambada, QueryReport};
+use crate::error::{CoreError, Result};
+use crate::exchange_cost::stage_edge_counts;
+use crate::stage::{QueryDag, StageKind};
+
+use admission::AdmissionController;
+pub use admission::{TenantBudget, TenantUsage};
+
+/// Service-layer configuration, part of [`crate::LambadaConfig`].
+#[derive(Clone, Debug)]
+pub struct ServiceConfig {
+    /// Global in-flight worker cap shared by every concurrent query's
+    /// fleets (0 = ungated). A stage acquires `min(fleet, cap)` permits
+    /// before invoking anything and holds them until its results are
+    /// collected.
+    pub max_inflight_workers: usize,
+    /// Queries executing concurrently across all tenants; submissions
+    /// beyond this wait in the fair queue.
+    pub max_concurrent_queries: usize,
+    /// Shrink cost-model-sized fleets while several queries share the
+    /// worker budget ([`crate::ComputeCostModel::contended_fleet_cap`]).
+    /// Fleets the installation pins explicitly stay pinned.
+    pub shrink_fleets: bool,
+    /// Budget for tenants without an explicit [`QueryService::set_budget`].
+    pub default_budget: TenantBudget,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            max_inflight_workers: 512,
+            max_concurrent_queries: 8,
+            shrink_fleets: true,
+            default_budget: TenantBudget::default(),
+        }
+    }
+}
+
+/// The shared in-flight worker gate. Cloning shares the gate.
+#[derive(Clone)]
+pub struct WorkerGate {
+    sem: Semaphore,
+    cap: usize,
+    inflight: Rc<Cell<usize>>,
+    peak: Rc<Cell<usize>>,
+}
+
+impl WorkerGate {
+    pub fn new(cap: usize) -> WorkerGate {
+        let cap = cap.max(1);
+        WorkerGate {
+            sem: Semaphore::new(cap),
+            cap,
+            inflight: Rc::new(Cell::new(0)),
+            peak: Rc::new(Cell::new(0)),
+        }
+    }
+
+    pub fn cap(&self) -> usize {
+        self.cap
+    }
+
+    /// Workers currently holding leases.
+    pub fn inflight(&self) -> usize {
+        self.inflight.get()
+    }
+
+    /// High-water mark of [`WorkerGate::inflight`]. With fleet shrinking
+    /// on, every fleet fits under the cap and this never exceeds it; a
+    /// fleet pinned larger than the cap is admitted whole (a partial
+    /// launch could deadlock fleets that synchronize internally, like a
+    /// sort fleet's sample barrier) and shows up here.
+    pub fn peak_inflight(&self) -> usize {
+        self.peak.get()
+    }
+
+    /// Acquire capacity for a whole fleet, FIFO behind earlier fleets.
+    pub async fn admit(&self, workers: usize) -> WorkerLease {
+        let permits = workers.clamp(1, self.cap);
+        let permit = self.sem.acquire(permits).await;
+        let now = self.inflight.get() + workers;
+        self.inflight.set(now);
+        if now > self.peak.get() {
+            self.peak.set(now);
+        }
+        WorkerLease { gate: self.clone(), workers, _permit: permit }
+    }
+}
+
+/// RAII lease returned by [`WorkerGate::admit`]; dropping it releases
+/// the fleet's permits.
+pub struct WorkerLease {
+    gate: WorkerGate,
+    workers: usize,
+    _permit: SemaphorePermit,
+}
+
+impl Drop for WorkerLease {
+    fn drop(&mut self) {
+        self.gate.inflight.set(self.gate.inflight.get() - self.workers);
+    }
+}
+
+/// Pre-execution resource envelope of one query — what admission control
+/// reserves against the tenant's budgets until the query settles with
+/// its exact actuals. Deliberately conservative (see `docs/SERVICE.md`):
+/// an under-estimate could let a tenant overshoot its budget, an
+/// over-estimate only delays the tenant's own later submissions.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct QueryEstimate {
+    /// Total planned workers across all stages (uncapped) — also the
+    /// query's weighted-fair-queueing cost.
+    pub workers: usize,
+    /// Request envelope: S3 GET/PUT/LIST plus worker invocations.
+    pub requests: u64,
+    /// The envelope priced at the cloud's [`lambada_sim::Prices`].
+    pub request_dollars: f64,
+}
+
+/// A submitted query; resolves to its [`QueryReport`] (or the error that
+/// rejected or failed it). Submission already happened — dropping the
+/// handle does not cancel the query.
+pub struct QueryHandle {
+    join: JoinHandle<Result<QueryReport>>,
+}
+
+impl Future for QueryHandle {
+    type Output = Result<QueryReport>;
+
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        Pin::new(&mut self.join).poll(cx)
+    }
+}
+
+/// One installation serving many tenants' queries concurrently.
+pub struct QueryService {
+    system: Rc<Lambada>,
+    admission: AdmissionController,
+    gate: Option<WorkerGate>,
+    config: ServiceConfig,
+}
+
+impl QueryService {
+    /// Wrap an installed system, taking the service policy from its
+    /// [`crate::LambadaConfig::service`].
+    pub fn new(system: Lambada) -> QueryService {
+        let config = system.config().service.clone();
+        QueryService::with_config(system, config)
+    }
+
+    /// Wrap an installed system under an explicit policy.
+    pub fn with_config(system: Lambada, config: ServiceConfig) -> QueryService {
+        let gate =
+            (config.max_inflight_workers > 0).then(|| WorkerGate::new(config.max_inflight_workers));
+        QueryService {
+            system: Rc::new(system),
+            admission: AdmissionController::new(
+                config.max_concurrent_queries,
+                config.default_budget.clone(),
+            ),
+            gate,
+            config,
+        }
+    }
+
+    pub fn system(&self) -> &Lambada {
+        &self.system
+    }
+
+    pub fn config(&self) -> &ServiceConfig {
+        &self.config
+    }
+
+    /// Set (or replace) one tenant's budget. Usage already accrued is
+    /// kept; only future admission decisions see the new limits.
+    pub fn set_budget(&self, tenant: &str, budget: TenantBudget) {
+        self.admission.set_budget(tenant, budget);
+    }
+
+    /// The admission estimate a submission of `plan` would reserve.
+    pub fn estimate(&self, plan: &LogicalPlan) -> Result<QueryEstimate> {
+        estimate_dag(&self.system, &self.system.plan(plan)?)
+    }
+
+    /// High-water mark of in-flight workers across all queries (0 when
+    /// the service runs ungated).
+    pub fn peak_inflight_workers(&self) -> usize {
+        self.gate.as_ref().map_or(0, |g| g.peak_inflight())
+    }
+
+    /// Per-tenant usage rollup, sorted by tenant id.
+    pub fn usage_report(&self) -> Vec<TenantUsage> {
+        self.admission.usage_report()
+    }
+
+    /// One tenant's usage, if it ever submitted.
+    pub fn tenant_usage(&self, tenant: &str) -> Option<TenantUsage> {
+        self.admission.tenant_usage(tenant)
+    }
+
+    /// Submit a query for `tenant`. Returns immediately with a handle;
+    /// planning, admission (budget check + fair queueing), execution,
+    /// and budget settlement all happen in a spawned task.
+    pub fn submit(&self, tenant: &str, plan: &LogicalPlan) -> QueryHandle {
+        let system = Rc::clone(&self.system);
+        let admission = self.admission.clone();
+        let gate = self.gate.clone();
+        let shrink = self.config.shrink_fleets;
+        let tenant = tenant.to_string();
+        let plan = plan.clone();
+        let submitted = self.system.cloud().handle.now();
+        let join = self.system.cloud().handle.spawn(async move {
+            let dag = system.plan(&plan)?;
+            let estimate = estimate_dag(&system, &dag)?;
+            admission.admit(&tenant, &estimate).await?;
+            let fleet_cap = match &gate {
+                Some(g) if shrink => Some(
+                    system.config().costs.contended_fleet_cap(g.cap(), admission.active_queries()),
+                ),
+                _ => None,
+            };
+            let policy = ExecPolicy {
+                gate,
+                fleet_cap,
+                tenant: Some(tenant.clone()),
+                submitted: Some(submitted),
+            };
+            let outcome = system.run_dag_with(&dag, &policy).await;
+            let prices = system.cloud().billing.prices();
+            match &outcome {
+                Ok(report) => admission.settle_success(
+                    &tenant,
+                    &estimate,
+                    report.request_count(),
+                    report.request_dollars(&prices),
+                    report.span_secs,
+                ),
+                Err(_) => admission.settle_failure(&tenant, &estimate),
+            }
+            outcome
+        });
+        QueryHandle { join }
+    }
+
+    /// Submit and wait: the one-query convenience wrapper over
+    /// [`QueryService::submit`].
+    pub async fn run(&self, tenant: &str, plan: &LogicalPlan) -> Result<QueryReport> {
+        self.submit(tenant, plan).await
+    }
+}
+
+/// Build the admission estimate for a planned DAG: the uncapped fleet
+/// plan gives per-stage worker counts, every exchange edge is charged
+/// with [`stage_edge_counts`] (LISTs with a polling allowance), scans
+/// are charged a per-file metadata + column-chunk envelope, and the
+/// total carries a 2× margin for speculation and slack.
+fn estimate_dag(system: &Lambada, dag: &QueryDag) -> Result<QueryEstimate> {
+    let fleets = system.plan_fleets(dag)?;
+    let cfg = system.config();
+    let buckets = cfg.exchange.num_buckets as f64;
+    let (mut gets, mut puts, mut lists) = (0f64, 0f64, 0f64);
+    let mut invocations = 0u64;
+    let mut workers = 0usize;
+    for (sid, kind) in dag.stages.iter().enumerate() {
+        let w = fleets[sid];
+        workers += w;
+        invocations += w as u64;
+        // Every stage uploads at most one result object per worker.
+        puts += w as f64;
+        if let StageKind::Scan(scan) = kind {
+            let spec = system
+                .table(&scan.table)
+                .ok_or_else(|| CoreError::Unsupported(format!("unknown table {}", scan.table)))?;
+            let width = spec.schema.len().max(1) as f64;
+            let files = spec.files.len() as f64;
+            // Footer fetches plus a column-chunk envelope (8 row groups
+            // per file covers every staged layout comfortably) plus
+            // range splits of large chunks.
+            gets += files * (2.0 + 8.0 * width);
+            gets += (spec.total_bytes() as f64) / (cfg.scan.max_request_bytes.max(1) as f64);
+        }
+        for &input in &kind.inputs() {
+            let edge = stage_edge_counts(fleets[input] as f64, w as f64, buckets);
+            gets += edge.reads;
+            puts += edge.writes;
+            // One LIST round per receiver in the steady state; allow 8
+            // for concurrency-induced polling.
+            lists += edge.lists * 8.0;
+        }
+        if let StageKind::Sort(s) = kind {
+            // Sample-exchange envelope: every producer publishes a
+            // sample run, every sort worker reads them all.
+            let senders = fleets[s.input] as f64;
+            puts += senders;
+            gets += senders * w as f64;
+            lists += w as f64 * 8.0;
+        }
+    }
+    let prices = system.cloud().billing.prices();
+    let margin = 2.0;
+    let raw = gets + puts + lists + invocations as f64;
+    let dollars = gets * prices.s3_get
+        + puts * prices.s3_put
+        + lists * prices.s3_list
+        + invocations as f64 * prices.lambda_request;
+    Ok(QueryEstimate {
+        workers,
+        requests: (raw * margin).ceil() as u64,
+        request_dollars: dollars * margin,
+    })
+}

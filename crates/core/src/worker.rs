@@ -267,6 +267,11 @@ pub struct WorkerPayload {
     /// carry 1.. so their exchange writes and result reports stay
     /// distinguishable from the original's.
     pub attempt: u32,
+    /// Driver-assigned query id this worker belongs to. With the query
+    /// service running many queries concurrently on one installation,
+    /// this is what lets fault injection (and debugging) target exactly
+    /// one query's fleets.
+    pub query: u64,
     pub task: WorkerTask,
     /// Second-generation workers to invoke before running `task` (§4.2).
     pub children: Vec<Rc<WorkerPayload>>,
@@ -282,6 +287,7 @@ impl WorkerPayload {
         WorkerPayload {
             worker_id: self.worker_id,
             attempt,
+            query: self.query,
             task: self.task.clone(),
             children: Vec::new(),
             result_queue: self.result_queue.clone(),
@@ -331,6 +337,20 @@ where
 {
     cloud.faas.set_fault_injector(Rc::new(move |payload: &dyn std::any::Any| {
         payload.downcast_ref::<WorkerPayload>().and_then(|p| decide(p.worker_id, p.attempt))
+    }));
+}
+
+/// Like [`inject_worker_faults`], but `decide` sees the whole payload —
+/// the driver-assigned query id, the task, the attempt — so concurrency
+/// experiments can fault the fleets of exactly one query (or only
+/// particular stage kinds) while its neighbors on the same installation
+/// run clean.
+pub fn inject_query_worker_faults<F>(cloud: &Cloud, decide: F)
+where
+    F: Fn(&WorkerPayload) -> Option<lambada_sim::InjectedFault> + 'static,
+{
+    cloud.faas.set_fault_injector(Rc::new(move |payload: &dyn std::any::Any| {
+        payload.downcast_ref::<WorkerPayload>().and_then(&decide)
     }));
 }
 

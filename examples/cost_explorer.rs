@@ -143,6 +143,81 @@ fn stage_breakdown() {
     );
 }
 
+/// Run a small multi-tenant mix through the query service and print the
+/// per-tenant rollup: what each tenant ran, what it actually cost in
+/// requests and dollars (exact per-stage counters, not the shared
+/// billing window), and how long its queries spent submission→done.
+fn tenant_rollup() {
+    use lambada::core::{QueryService, ServiceConfig, TenantBudget};
+    let sim = Simulation::new();
+    let cloud = Cloud::new(&sim, CloudConfig::default());
+    let li_spec = lambada::workloads::stage_real(
+        &cloud,
+        "tpch",
+        "lineitem",
+        lambada::workloads::StageOptions {
+            scale: 0.002,
+            num_files: 6,
+            row_groups_per_file: 3,
+            seed: 7,
+        },
+    );
+    let ord_spec = lambada::workloads::stage_real_orders(
+        &cloud,
+        "tpch",
+        "orders",
+        lambada::workloads::OrdersStageOptions {
+            rows: li_spec.total_rows,
+            num_files: 4,
+            row_groups_per_file: 3,
+            seed: 7,
+        },
+    );
+    let mut system = Lambada::install(
+        &cloud,
+        LambadaConfig { agg: AggStrategy::Exchange { workers: None }, ..LambadaConfig::default() },
+    );
+    system.register_table(li_spec);
+    system.register_table(ord_spec);
+    let service = QueryService::with_config(
+        system,
+        ServiceConfig {
+            max_inflight_workers: 16,
+            max_concurrent_queries: 4,
+            shrink_fleets: true,
+            default_budget: TenantBudget::default(),
+        },
+    );
+    let jobs = [
+        ("bi-dashboards", lambada::workloads::q3("lineitem", "orders")),
+        ("bi-dashboards", lambada::workloads::q12("lineitem", "orders")),
+        ("ad-hoc", lambada::workloads::q1("lineitem")),
+        ("ad-hoc", lambada::workloads::q6("lineitem")),
+        ("nightly-audit", lambada::workloads::q4("lineitem", "orders")),
+    ];
+    sim.block_on(async {
+        let handles: Vec<_> = jobs.iter().map(|(t, p)| service.submit(t, p)).collect();
+        for h in handles {
+            h.await.unwrap();
+        }
+    });
+    println!(
+        "\nper-tenant rollup (5 concurrent queries, 16-worker cap, shrink on):\n  {:<15} {:>4} \
+         {:>9} {:>12} {:>9} {:>9}",
+        "tenant", "done", "requests", "requests [$]", "p50 [s]", "max [s]"
+    );
+    for u in service.usage_report() {
+        let mut spans = u.spans_secs.clone();
+        spans.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let p50 = spans.get(spans.len().saturating_sub(1) / 2).copied().unwrap_or(0.0);
+        let max = spans.last().copied().unwrap_or(0.0);
+        println!(
+            "  {:<15} {:>4} {:>9} {:>12.7} {:>9.2} {:>9.2}",
+            u.tenant, u.completed, u.requests_used, u.request_dollars_used, p50, max
+        );
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let tb: f64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(1.0);
@@ -191,4 +266,5 @@ fn main() {
 
     stage_breakdown();
     semi_join_breakdown();
+    tenant_rollup();
 }

@@ -260,6 +260,7 @@ fn exchange_runs_through_faas_workers() {
         .map(|i| WorkerPayload {
             worker_id: i,
             attempt: 0,
+            query: 0,
             task: WorkerTask::Exchange(ExchangeTask {
                 cfg: cfg.clone(),
                 total,
