@@ -34,6 +34,7 @@ fn run_q1(files: usize, scale: f64, severity: f64, speculate: bool) -> Run {
                 quantile: 0.7,
                 multiplier: 2.0,
                 max_attempts: 1,
+                ..SpeculationConfig::default()
             },
             ..LambadaConfig::default()
         },

@@ -39,6 +39,7 @@ use crate::stage::{
     StageKind, StageOutput,
 };
 use crate::table::TableSpec;
+use crate::transport::{DirectTransport, ExchangeTransport, ObjectStoreTransport, TransportKind};
 use crate::worker::{
     register_worker_function, AggMergeShared, AggMergeTask, FragmentShared, FragmentTask,
     JoinOutput, JoinShared, JoinTask, ScanExchangeShared, ScanExchangeTask, SortEdgeSpec,
@@ -104,11 +105,26 @@ pub struct SpeculationConfig {
     pub multiplier: f64,
     /// Backup attempts per worker beyond the original (attempt 0).
     pub max_attempts: u32,
+    /// Barrier-aware straggler detection. A fleet synchronizing on a
+    /// sort-sample barrier can be held *under* the quorum by one dead
+    /// producer — nobody passes the barrier, nobody reports, and the
+    /// quantile rule never arms. When a stage has such a barrier and the
+    /// quorum hasn't been reached `barrier_grace` after launch, the
+    /// driver probes the barrier channel directly (one discovery pass,
+    /// no polling) and re-invokes the workers that left no sample,
+    /// re-arming the probe every `barrier_grace` thereafter.
+    pub barrier_grace: Duration,
 }
 
 impl Default for SpeculationConfig {
     fn default() -> Self {
-        SpeculationConfig { enabled: false, quantile: 0.9, multiplier: 2.0, max_attempts: 1 }
+        SpeculationConfig {
+            enabled: false,
+            quantile: 0.9,
+            multiplier: 2.0,
+            max_attempts: 1,
+            barrier_grace: Duration::from_secs(15),
+        }
     }
 }
 
@@ -147,6 +163,10 @@ pub struct LambadaConfig {
     pub agg: AggStrategy,
     /// Where trailing sorts run.
     pub sort: SortStrategy,
+    /// Which wire stage edges run on: the paper's object-store shuffle
+    /// (default) or direct worker-to-worker streaming with object-store
+    /// fallback.
+    pub transport: TransportKind,
     /// Speculative re-invocation of straggling workers.
     pub speculation: SpeculationConfig,
     /// Multi-tenant query service layer (admission control, per-tenant
@@ -173,6 +193,7 @@ impl Default for LambadaConfig {
             join_workers: None,
             agg: AggStrategy::DriverMerge,
             sort: SortStrategy::Driver,
+            transport: TransportKind::default(),
             speculation: SpeculationConfig::default(),
             service: ServiceConfig::default(),
         }
@@ -195,6 +216,9 @@ pub struct ExecPolicy {
     pub tenant: Option<String>,
     /// Submission time; `span_secs` then includes admission queueing.
     pub submitted: Option<lambada_sim::SimTime>,
+    /// Per-query transport override (`None` ⇒ the installation's
+    /// [`LambadaConfig::transport`]).
+    pub transport: Option<TransportKind>,
 }
 
 /// Per-stage execution summary of one query.
@@ -225,6 +249,9 @@ pub struct StageReport {
     pub get_requests: u64,
     pub put_requests: u64,
     pub list_requests: u64,
+    /// Messages this stage's workers moved over the p2p relay (always 0
+    /// on the object-store transport; excluded from [`QueryReport::s3_requests`]).
+    pub p2p_requests: u64,
     /// Speculative backup invocations this stage's fleet needed (0 when
     /// no worker straggled past the speculation thresholds).
     pub backup_invocations: u64,
@@ -290,6 +317,12 @@ impl QueryReport {
         self.stages.iter().map(|s| s.get_requests + s.put_requests + s.list_requests).sum()
     }
 
+    /// Messages moved over the p2p relay across all stages (0 on the
+    /// object-store transport).
+    pub fn p2p_requests(&self) -> u64 {
+        self.stages.iter().map(|s| s.p2p_requests).sum()
+    }
+
     /// Worker invocations this query paid for: one per fleet slot plus
     /// the speculative backups.
     pub fn invocations(&self) -> u64 {
@@ -324,6 +357,34 @@ pub struct Lambada {
 }
 
 static INSTANCE_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+/// Scope guard for the p2p endpoints a direct-transport query registers:
+/// dropping it (query finished, successfully or not) deregisters every
+/// endpoint under the query's key prefix so the rendezvous service never
+/// accumulates dead mailboxes across queries.
+struct P2pGuard {
+    p2p: lambada_sim::P2pService,
+    prefix: String,
+}
+
+impl Drop for P2pGuard {
+    fn drop(&mut self) {
+        self.p2p.deregister_prefix(&self.prefix);
+    }
+}
+
+/// Probe handle for a stage whose fleet synchronizes on a sort-sample
+/// barrier. The straggler watcher uses it to ask the transport which
+/// producers have published their sample — a single discovery pass, no
+/// polling loop — so a silently dead producer holding the whole fleet
+/// under the speculation quorum still gets re-invoked.
+struct BarrierProbe {
+    transport: Rc<dyn ExchangeTransport>,
+    /// The sample channel (`{data channel}smp`).
+    channel: String,
+    /// Producer fleet size: sample senders are `0..senders`.
+    senders: usize,
+}
 
 /// Result of one stage's fleet: the collected worker reports plus timing.
 struct StageRun {
@@ -499,6 +560,39 @@ impl Lambada {
             }
         }
 
+        // The wire every stage edge of this query runs on. On the direct
+        // transport, the driver registers all consumer endpoints with the
+        // rendezvous service *now* — fleet sizes are fixed above, so the
+        // address book is complete before the first producer launches
+        // even though consumer fleets start waves later. Registration
+        // failures (capacity) are fine: senders fall back to the object
+        // store for unregistered endpoints.
+        let transport_kind = policy.transport.unwrap_or(self.config.transport);
+        let transport: Rc<dyn ExchangeTransport> = match transport_kind {
+            TransportKind::ObjectStore => {
+                Rc::new(ObjectStoreTransport::new(self.config.exchange.clone(), side.clone()))
+            }
+            TransportKind::Direct => Rc::new(DirectTransport::new(
+                self.config.exchange.clone(),
+                side.clone(),
+                self.cloud.p2p.clone(),
+            )),
+        };
+        let _p2p_guard = (transport_kind == TransportKind::Direct).then(|| {
+            for (sid, &parts) in consumer_parts.iter().enumerate() {
+                let channel = self.channel(qid, sid);
+                for r in 0..parts {
+                    self.cloud.p2p.register(&format!("{channel}/r{r}"));
+                }
+                // Sort edges add the sample barrier: every producer sends
+                // its sample to (and reads the pool from) receiver 0.
+                if sort_edges[sid].is_some() {
+                    self.cloud.p2p.register(&format!("{channel}smp/r0"));
+                }
+            }
+            P2pGuard { p2p: self.cloud.p2p.clone(), prefix: format!("x{}/q{qid}/", self.instance) }
+        });
+
         // Group stages into dependency waves: sources are wave 0; every
         // consumer runs one wave after its latest input — a plain
         // topological level assignment over `StageKind::inputs`, so any
@@ -529,7 +623,7 @@ impl Lambada {
                         policy.fleet_cap,
                         consumer_parts[sid],
                         sort_edges[sid].clone(),
-                        &side,
+                        &transport,
                         &result_queue,
                     )?,
                     StageKind::Join(join) => self.join_stage_payloads(
@@ -539,7 +633,7 @@ impl Lambada {
                         planned_workers[sid],
                         consumer_parts[sid],
                         sort_edges[sid].clone(),
-                        &side,
+                        &transport,
                         &planned_workers,
                         &result_queue,
                     )?,
@@ -549,7 +643,7 @@ impl Lambada {
                         agg,
                         planned_workers[sid],
                         sort_edges[sid].clone(),
-                        &side,
+                        &transport,
                         &planned_workers,
                         &result_queue,
                     )?,
@@ -558,10 +652,18 @@ impl Lambada {
                         sort,
                         planned_workers[sid],
                         &planned_workers,
-                        &side,
+                        &transport,
                         &result_queue,
                     ),
                 };
+                // A stage whose output rides a sort edge synchronizes its
+                // whole fleet on the sample barrier; hand the straggler
+                // watcher a probe for it.
+                let barrier = sort_edges[sid].as_ref().map(|edge| BarrierProbe {
+                    transport: Rc::clone(&transport),
+                    channel: format!("{}smp", self.channel(qid, sid)),
+                    senders: edge.senders,
+                });
                 self.cloud.sqs.create_queue(&result_queue);
                 handles.push(self.cloud.handle.spawn(run_fleet(
                     self.cloud.clone(),
@@ -569,6 +671,7 @@ impl Lambada {
                     result_queue,
                     payloads,
                     policy.gate.clone(),
+                    barrier,
                 )));
             }
             let wave_runs = lambada_sim::sync::join_all(handles).await;
@@ -613,6 +716,7 @@ impl Lambada {
                 get_requests: run.results.iter().map(|r| r.metrics.get_requests).sum(),
                 put_requests: run.results.iter().map(|r| r.metrics.put_requests).sum(),
                 list_requests: run.results.iter().map(|r| r.metrics.list_requests).sum(),
+                p2p_requests: run.results.iter().map(|r| r.metrics.p2p_requests).sum(),
                 backup_invocations: run.backup_invocations,
             });
             if sid + 1 == dag.stages.len() {
@@ -749,7 +853,7 @@ impl Lambada {
         fleet_cap: Option<usize>,
         partitions: usize,
         sort_edge: Option<SortEdgeSpec>,
-        side: &ExchangeSide,
+        transport: &Rc<dyn ExchangeTransport>,
         result_queue: &str,
     ) -> Result<Vec<WorkerPayload>> {
         let spec = self.table_spec(&scan.table)?;
@@ -822,8 +926,7 @@ impl Lambada {
                 let shared = Rc::new(ScanExchangeShared {
                     fragment,
                     channel: self.channel(qid, sid),
-                    exchange: self.config.exchange.clone(),
-                    side: side.clone(),
+                    transport: Rc::clone(transport),
                     sort: sort_edge,
                 });
                 for (wid, chunk) in spec.files.chunks(f).enumerate() {
@@ -857,7 +960,7 @@ impl Lambada {
         partitions: usize,
         out_partitions: usize,
         sort_edge: Option<SortEdgeSpec>,
-        side: &ExchangeSide,
+        transport: &Rc<dyn ExchangeTransport>,
         planned_workers: &[usize],
         result_queue: &str,
     ) -> Result<Vec<WorkerPayload>> {
@@ -929,8 +1032,7 @@ impl Lambada {
             build_keys: join.build_keys.clone(),
             variant: join.variant,
             post,
-            exchange: self.config.exchange.clone(),
-            side: side.clone(),
+            transport: Rc::clone(transport),
             result_bucket: self.config.result_bucket.clone(),
             result_prefix: format!("results/x{}-q{qid}", self.instance),
             output,
@@ -958,7 +1060,7 @@ impl Lambada {
         agg: &AggMergeStage,
         partitions: usize,
         sort_edge: Option<SortEdgeSpec>,
-        side: &ExchangeSide,
+        transport: &Rc<dyn ExchangeTransport>,
         planned_workers: &[usize],
         result_queue: &str,
     ) -> Result<Vec<WorkerPayload>> {
@@ -983,8 +1085,7 @@ impl Lambada {
             senders: planned_workers[agg.input],
             agg_schema: agg.agg_schema.clone(),
             funcs: agg.funcs.clone(),
-            exchange: self.config.exchange.clone(),
-            side: side.clone(),
+            transport: Rc::clone(transport),
             result_bucket: self.config.result_bucket.clone(),
             result_prefix: format!("results/x{}-q{qid}-agg", self.instance),
             sort,
@@ -1009,7 +1110,7 @@ impl Lambada {
         sort: &SortStage,
         partitions: usize,
         planned_workers: &[usize],
-        side: &ExchangeSide,
+        transport: &Rc<dyn ExchangeTransport>,
         result_queue: &str,
     ) -> Vec<WorkerPayload> {
         let shared = Rc::new(SortShared {
@@ -1018,8 +1119,7 @@ impl Lambada {
             schema: sort.schema.clone(),
             keys: sort.keys.clone(),
             limit: sort.limit,
-            exchange: self.config.exchange.clone(),
-            side: side.clone(),
+            transport: Rc::clone(transport),
             result_bucket: self.config.result_bucket.clone(),
             result_prefix: format!("results/x{}-q{qid}-sort", self.instance),
         });
@@ -1137,6 +1237,7 @@ async fn run_fleet(
     result_queue: String,
     payloads: Vec<WorkerPayload>,
     gate: Option<WorkerGate>,
+    barrier: Option<BarrierProbe>,
 ) -> Result<StageRun> {
     let workers = payloads.len();
     let _lease = match &gate {
@@ -1152,7 +1253,16 @@ async fn run_fleet(
     let invoke_secs = (cloud.handle.now() - stage_start).as_secs_f64();
     let collected = match invoked {
         Ok(()) => {
-            collect_results(&cloud, &config, &result_queue, workers, &retained, stage_start).await
+            collect_results(
+                &cloud,
+                &config,
+                &result_queue,
+                workers,
+                &retained,
+                stage_start,
+                &barrier,
+            )
+            .await
         }
         Err(e) => Err(e),
     };
@@ -1186,6 +1296,14 @@ struct Collected {
 /// speculatively re-invoked (§3.3's "the driver decides", applied to
 /// silent deaths and stragglers instead of error reports). The first
 /// result per `worker_id` wins, whatever its attempt id.
+///
+/// Stages with a sort-sample `barrier` get a second trigger: the
+/// quantile rule needs `quorum` reporters, but a barrier-synchronized
+/// fleet can be held at *zero* reporters by a single dead producer.
+/// When the quorum hasn't formed `barrier_grace` after launch, the
+/// watcher probes the barrier channel and re-invokes exactly the
+/// workers that left no sample (everyone past the barrier is alive —
+/// just waiting on the dead peer).
 async fn collect_results(
     cloud: &Cloud,
     config: &LambadaConfig,
@@ -1193,6 +1311,7 @@ async fn collect_results(
     workers: usize,
     payloads: &[WorkerPayload],
     stage_start: lambada_sim::SimTime,
+    barrier: &Option<BarrierProbe>,
 ) -> Result<Collected> {
     let spec = config.speculation;
     let mut seen: HashSet<u64> = HashSet::with_capacity(workers);
@@ -1209,6 +1328,7 @@ async fn collect_results(
     let quorum = ((spec.quantile * workers as f64).ceil() as usize)
         .clamp(1, workers.saturating_sub(1).max(1));
     let deadline = cloud.handle.now() + config.max_wait;
+    let mut next_barrier_probe = stage_start + spec.barrier_grace;
     let pollers = workers.div_ceil(10).clamp(1, 16);
     while seen.len() < workers {
         if cloud.handle.now() >= deadline {
@@ -1262,6 +1382,32 @@ async fn collect_results(
                 let mut backups = Vec::new();
                 for p in payloads {
                     if seen.contains(&p.worker_id) {
+                        continue;
+                    }
+                    let launched = attempts_launched.entry(p.worker_id).or_insert(0);
+                    if *launched >= spec.max_attempts {
+                        continue;
+                    }
+                    *launched += 1;
+                    backups.push(p.backup(*launched));
+                }
+                if !backups.is_empty() {
+                    backup_invocations += backups.len() as u64;
+                    invoke::invoke_backups(cloud, &config.function_name, backups).await?;
+                }
+            }
+        }
+
+        // Barrier-aware trigger: under the quorum with a sample barrier
+        // in play, ask the transport who actually published a sample.
+        if spec.enabled && seen.len() < quorum && cloud.handle.now() >= next_barrier_probe {
+            if let Some(b) = barrier {
+                next_barrier_probe = cloud.handle.now() + spec.barrier_grace;
+                let s3 = cloud.driver_s3();
+                let passed = b.transport.probe(&s3, &b.channel, b.senders).await?;
+                let mut backups = Vec::new();
+                for p in payloads {
+                    if seen.contains(&p.worker_id) || passed.contains(&(p.worker_id as usize)) {
                         continue;
                     }
                     let launched = attempts_launched.entry(p.worker_id).or_insert(0);

@@ -1,7 +1,8 @@
 //! Worker-side environment: everything a serverless worker's code can
 //! touch — its container resources plus clients to the shared serverless
-//! storage services (§3.1: workers communicate *only* through shared
-//! storage, never directly).
+//! storage services (§3.1: workers communicate through shared storage;
+//! the direct exchange transport additionally reaches peers through the
+//! p2p rendezvous/relay, with storage as its fallback).
 
 use lambada_sim::services::faas::InstanceCtx;
 use lambada_sim::services::object_store::S3Client;
@@ -71,6 +72,12 @@ impl WorkerEnv {
         });
         let ctx = InstanceCtx::bare(cloud.handle.clone(), instance);
         WorkerEnv::new(cloud, ctx, worker_id, costs)
+    }
+
+    /// P2p rendezvous/relay access: transfers flow through this worker's
+    /// traffic-shaped NIC (used by the direct exchange transport).
+    pub fn p2p(&self) -> lambada_sim::P2pClient {
+        self.cloud.p2p.client(self.ctx.link())
     }
 
     /// Charge single-threaded compute (vCPU-seconds).

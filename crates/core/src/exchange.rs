@@ -135,7 +135,7 @@ pub fn install_exchange_buckets(cloud: &lambada_sim::Cloud, cfg: &ExchangeConfig
 }
 
 /// Per-destination sizes of one bundle (destination, byte length).
-type BundleSizes = Vec<(u32, u64)>;
+pub(crate) type BundleSizes = Vec<(u32, u64)>;
 
 /// Simulation side channel: bundle composition of modeled (synthetic)
 /// files, keyed by `(bucket/key, receiver)`.
@@ -149,11 +149,11 @@ impl ExchangeSide {
         Self::default()
     }
 
-    fn put(&self, file: String, receiver: u32, parts: Vec<(u32, u64)>) {
+    pub(crate) fn put(&self, file: String, receiver: u32, parts: Vec<(u32, u64)>) {
         self.sections.borrow_mut().insert((file, receiver), parts);
     }
 
-    fn get(&self, file: &str, receiver: u32) -> Vec<(u32, u64)> {
+    pub(crate) fn get(&self, file: &str, receiver: u32) -> Vec<(u32, u64)> {
         self.sections.borrow().get(&(file.to_string(), receiver)).cloned().unwrap_or_default()
     }
 }
@@ -226,7 +226,7 @@ fn build_rounds(algo: ExchangeAlgo, p: usize, total: usize) -> Vec<RoundPlan> {
     }
 }
 
-fn encode_bundle(parts: &[(u32, PartData)]) -> Result<(Body, Option<BundleSizes>)> {
+pub(crate) fn encode_bundle(parts: &[(u32, PartData)]) -> Result<(Body, Option<BundleSizes>)> {
     let all_real = parts.iter().all(|(_, d)| d.is_real());
     if all_real {
         let mut w = BinWriter::new();
@@ -246,7 +246,10 @@ fn encode_bundle(parts: &[(u32, PartData)]) -> Result<(Body, Option<BundleSizes>
     }
 }
 
-fn decode_bundle(body: Body, side_sizes: Vec<(u32, u64)>) -> Result<Vec<(u32, PartData)>> {
+pub(crate) fn decode_bundle(
+    body: Body,
+    side_sizes: Vec<(u32, u64)>,
+) -> Result<Vec<(u32, PartData)>> {
     match body {
         Body::Real(bytes) => {
             let mut r = BinReader::new(&bytes);
@@ -281,7 +284,7 @@ fn wc_name(
 }
 
 /// Same name scheme under an arbitrary prefix (stage-edge exchanges).
-fn wc_key(prefix: &str, sender: usize, attempt: u32, sections: &[(u32, u64)]) -> String {
+pub(crate) fn wc_key(prefix: &str, sender: usize, attempt: u32, sections: &[(u32, u64)]) -> String {
     let mut name = format!("{prefix}/snd{sender}a{attempt}");
     for (rcv, len) in sections {
         name.push_str(&format!(".{rcv}_{len}"));
@@ -311,9 +314,9 @@ fn parse_sender_attempt(token: &str, key: &str) -> Result<(usize, u32)> {
 }
 
 /// A parsed write-combined key: sender id, attempt id, name sections.
-type ParsedWcKey = (usize, u32, BundleSizes);
+pub(crate) type ParsedWcKey = (usize, u32, BundleSizes);
 
-fn parse_wc_sections(key: &str) -> Result<ParsedWcKey> {
+pub(crate) fn parse_wc_sections(key: &str) -> Result<ParsedWcKey> {
     let tail = key
         .rsplit('/')
         .next()
@@ -339,7 +342,9 @@ fn parse_wc_sections(key: &str) -> Result<ParsedWcKey> {
 /// highest-attempt-wins rule, so a speculative backup's re-written
 /// shuffle file can never be combined with the original's. Sections are
 /// per-file, so whichever attempt wins is read self-consistently.
-fn dedupe_listing(listing: &[(String, u64)]) -> Result<HashMap<usize, (u32, String, BundleSizes)>> {
+pub(crate) fn dedupe_listing(
+    listing: &[(String, u64)],
+) -> Result<HashMap<usize, (u32, String, BundleSizes)>> {
     let mut found: HashMap<usize, (u32, String, BundleSizes)> = HashMap::new();
     for (key, _) in listing {
         let (snd, attempt, sections) = parse_wc_sections(key)?;
@@ -512,19 +517,38 @@ pub async fn exchange_stage_write(
 ) -> Result<u64> {
     let held_bytes: u64 = parts.iter().map(PartData::len).sum();
     env.compute(env.costs.partition_seconds(held_bytes)).await;
+    let entries: Vec<(u32, PartData)> =
+        parts.into_iter().enumerate().map(|(rcv, data)| (rcv as u32, data)).collect();
+    stage_edge_put(env, cfg, channel, sender, entries, side).await
+}
+
+/// One write-combined PUT of `(receiver, payload)` entries onto a stage
+/// edge — the storage half of [`exchange_stage_write`], also used by the
+/// direct transport for its object-store fallback file (which carries
+/// sections only for the receivers whose p2p links failed). Entries must
+/// be sorted by receiver id; empty payloads get a zero-length name
+/// section and no bytes.
+pub(crate) async fn stage_edge_put(
+    env: &WorkerEnv,
+    cfg: &ExchangeConfig,
+    channel: &str,
+    sender: usize,
+    entries: Vec<(u32, PartData)>,
+    side: &ExchangeSide,
+) -> Result<u64> {
     let start = env.cloud.handle.now();
     let mut file_bytes: Vec<u8> = Vec::new();
     let mut synthetic_total = 0u64;
     let mut any_synthetic = false;
-    let mut name_sections: Vec<(u32, u64)> = Vec::with_capacity(parts.len());
+    let mut name_sections: Vec<(u32, u64)> = Vec::with_capacity(entries.len());
     let mut side_entries: Vec<(u32, Vec<(u32, u64)>)> = Vec::new();
-    for (rcv, data) in parts.into_iter().enumerate() {
+    for (rcv, data) in entries {
         if data.is_empty() {
-            name_sections.push((rcv as u32, 0));
+            name_sections.push((rcv, 0));
             continue;
         }
-        let (body, sizes) = encode_bundle(&[(rcv as u32, data)])?;
-        name_sections.push((rcv as u32, body.len()));
+        let (body, sizes) = encode_bundle(&[(rcv, data)])?;
+        name_sections.push((rcv, body.len()));
         match body {
             Body::Real(b) => file_bytes.extend_from_slice(&b),
             Body::Synthetic(n) => {
@@ -533,7 +557,7 @@ pub async fn exchange_stage_write(
             }
         }
         if let Some(sizes) = sizes {
-            side_entries.push((rcv as u32, sizes));
+            side_entries.push((rcv, sizes));
         }
     }
     let key = wc_key(channel, sender, env.attempt, &name_sections);
@@ -552,12 +576,19 @@ pub async fn exchange_stage_write(
     Ok(written)
 }
 
-/// Request accounting of one [`exchange_stage_read`] call.
+/// Request accounting of one stage-edge receive — an
+/// [`exchange_stage_read`] call or a direct-transport
+/// [`crate::transport::ExchangeTransport::recv`].
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct EdgeReadStats {
     pub list_requests: u64,
     pub get_requests: u64,
     pub bytes_read: u64,
+    /// Messages fetched over the p2p relay instead of the object store
+    /// (always 0 on the object-store transport).
+    pub p2p_requests: u64,
+    /// Payload bytes received over the p2p relay.
+    pub p2p_bytes: u64,
 }
 
 /// Read one receiver's co-partition from a stage edge: LIST-poll until
@@ -660,7 +691,7 @@ type FileRef = (String, String, Option<u64>, Option<u64>); // bucket, key, offse
 /// Exponential poll backoff (capped at 8x) keeps the LIST count per
 /// worker at "a few" even when stragglers stretch the wait (Table 2's
 /// O(P) #lists).
-fn backoff(base: std::time::Duration, polls: usize) -> std::time::Duration {
+pub(crate) fn backoff(base: std::time::Duration, polls: usize) -> std::time::Duration {
     let factor = 1u32 << polls.min(3);
     base * factor
 }

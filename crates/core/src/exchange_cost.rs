@@ -72,6 +72,31 @@ pub fn stage_edge_counts(senders: f64, receivers: f64, buckets: f64) -> RequestC
     }
 }
 
+/// Request counts of one stage edge on the *direct* transport: discovery
+/// and data movement ride the p2p rendezvous/relay (free of object-store
+/// requests), so S3 is touched only for the `fallback_receivers` whose
+/// endpoints were unreachable — one combined fallback file per sender,
+/// one ranged GET per (sender, fallback receiver) pair, and LIST polls
+/// by the fallback receivers only. With zero fallback the edge costs no
+/// S3 requests at all; with every receiver on fallback it degenerates to
+/// exactly [`stage_edge_counts`].
+pub fn direct_edge_counts(
+    senders: f64,
+    _receivers: f64,
+    fallback_receivers: f64,
+    buckets: f64,
+) -> RequestCounts {
+    if fallback_receivers == 0.0 {
+        return RequestCounts { reads: 0.0, writes: 0.0, lists: 0.0, scans: 1 };
+    }
+    RequestCounts {
+        reads: senders * fallback_receivers,
+        writes: senders,
+        lists: fallback_receivers * buckets.min(senders),
+        scans: 1,
+    }
+}
+
 /// Dollar cost of the S3 requests of one exchange (the bars of Fig 9).
 pub fn request_dollars(counts: &RequestCounts, prices: &Prices) -> (f64, f64) {
     let read = counts.reads * prices.s3_get;
@@ -112,6 +137,21 @@ mod tests {
         assert!((c3.reads - 3.0 * p * p.powf(1.0 / 3.0)).abs() < 1e-6);
         assert_eq!(c3.writes, 3.0 * p);
         assert_eq!(c3.scans, 3);
+    }
+
+    #[test]
+    fn direct_edge_bounds() {
+        // Fully direct: the edge is free of S3 requests.
+        let free = direct_edge_counts(128.0, 64.0, 0.0, 16.0);
+        assert_eq!((free.reads, free.writes, free.lists), (0.0, 0.0, 0.0));
+        assert_eq!(free.scans, 1);
+        // Fully fallen back: identical to the baseline edge.
+        let full = direct_edge_counts(128.0, 64.0, 64.0, 16.0);
+        assert_eq!(full, stage_edge_counts(128.0, 64.0, 16.0));
+        // Partial fallback sits strictly between.
+        let part = direct_edge_counts(128.0, 64.0, 8.0, 16.0);
+        assert!(part.reads > 0.0 && part.reads < full.reads);
+        assert!(part.lists > 0.0 && part.lists < full.lists);
     }
 
     #[test]

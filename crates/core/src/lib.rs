@@ -20,7 +20,11 @@
 //!   same machinery powers *stage edges*
 //!   ([`exchange::exchange_stage_write`] / [`exchange::exchange_stage_read`]):
 //!   write-combined, bucket-sharded shuffles between the producer and
-//!   consumer fleets of a multi-stage query;
+//!   consumer fleets of a multi-stage query. [`transport`] abstracts
+//!   that edge behind [`transport::ExchangeTransport`], with the
+//!   object-store path as the paper baseline and
+//!   [`transport::DirectTransport`] streaming worker-to-worker through a
+//!   rendezvous/relay (object store as fallback);
 //! * [`worker`] / [`driver`] / [`stage`] — the worker handler, the
 //!   driver/session logic, and the distributed planner.
 //!   [`stage::split`] recursively lowers any supported plan tree into a
@@ -51,6 +55,7 @@ pub mod scan;
 pub mod service;
 pub mod stage;
 pub mod table;
+pub mod transport;
 pub mod worker;
 
 pub use costmodel::ComputeCostModel;
@@ -62,10 +67,11 @@ pub use env::WorkerEnv;
 pub use error::{CoreError, Result};
 pub use exchange::{
     exchange_stage_read, exchange_stage_write, install_exchange_buckets, run_exchange,
-    ExchangeConfig, ExchangeOutcome, ExchangeSide, PartData,
+    EdgeReadStats, ExchangeConfig, ExchangeOutcome, ExchangeSide, PartData,
 };
 pub use exchange_cost::{
-    request_counts, request_dollars, stage_edge_counts, ExchangeAlgo, RequestCounts,
+    direct_edge_counts, request_counts, request_dollars, stage_edge_counts, ExchangeAlgo,
+    RequestCounts,
 };
 pub use invoke::{invoke_backups, invoke_workers, InvocationStrategy};
 pub use message::{ResultPayload, WorkerMetrics, WorkerResult};
@@ -75,6 +81,9 @@ pub use service::{
 };
 pub use stage::{QueryDag, SplitOptions, StageKind};
 pub use table::{TableFile, TableSpec};
+pub use transport::{
+    DirectTransport, EdgeWriteStats, ExchangeTransport, ObjectStoreTransport, TransportKind,
+};
 pub use worker::{
     inject_query_worker_faults, inject_worker_faults, register_worker_function, AggMergeShared,
     AggMergeTask, ExchangeTask, FragmentShared, FragmentTask, JoinOutput, JoinShared, JoinTask,

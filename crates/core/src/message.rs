@@ -36,6 +36,10 @@ pub struct WorkerMetrics {
     /// Rows exchanged to the consumer stage (hash-partition fragments) or
     /// received from producer stages (join workers).
     pub rows_exchanged: u64,
+    /// Messages moved over the p2p relay (direct transport only).
+    pub p2p_requests: u64,
+    /// Payload bytes moved over the p2p relay (direct transport only).
+    pub p2p_bytes: u64,
     /// Whether this invocation was a cold start.
     pub cold_start: bool,
 }
@@ -53,6 +57,8 @@ impl WorkerMetrics {
         w.varint(self.put_requests);
         w.varint(self.list_requests);
         w.varint(self.rows_exchanged);
+        w.varint(self.p2p_requests);
+        w.varint(self.p2p_bytes);
         w.bool(self.cold_start);
     }
 
@@ -69,6 +75,8 @@ impl WorkerMetrics {
             put_requests: r.varint()?,
             list_requests: r.varint()?,
             rows_exchanged: r.varint()?,
+            p2p_requests: r.varint()?,
+            p2p_bytes: r.varint()?,
             cold_start: r.bool()?,
         })
     }
@@ -194,6 +202,8 @@ mod tests {
             put_requests: 2,
             list_requests: 3,
             rows_exchanged: 17,
+            p2p_requests: 4,
+            p2p_bytes: 4096,
             cold_start: true,
         }
     }

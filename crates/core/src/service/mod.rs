@@ -262,6 +262,7 @@ impl QueryService {
                 fleet_cap,
                 tenant: Some(tenant.clone()),
                 submitted: Some(submitted),
+                transport: None,
             };
             let outcome = system.run_dag_with(&dag, &policy).await;
             let prices = system.cloud().billing.prices();

@@ -26,13 +26,12 @@ use lambada_sim::Cloud;
 use crate::costmodel::ComputeCostModel;
 use crate::env::WorkerEnv;
 use crate::error::{CoreError, Result};
-use crate::exchange::{
-    exchange_stage_read, exchange_stage_write, run_exchange, ExchangeConfig, ExchangeSide, PartData,
-};
+use crate::exchange::{run_exchange, EdgeReadStats, ExchangeConfig, ExchangeSide, PartData};
 use crate::invoke;
 use crate::message::{ResultPayload, WorkerMetrics, WorkerResult};
 use crate::scan::{scan_table, ScanConfig, ScanItem};
 use crate::table::TableFile;
+use crate::transport::{EdgeWriteStats, ExchangeTransport};
 
 /// Immutable parts of a query fragment, shared across all workers of one
 /// query (the "query plan fragment" of §3.3).
@@ -74,14 +73,14 @@ pub struct ExchangeTask {
 /// Immutable parts of a scan stage feeding an exchange edge (the scan
 /// sides of a distributed join). The pipeline terminal is
 /// [`Terminal::HashPartition`], so the fragment's surviving rows leave
-/// through [`exchange_stage_write`] instead of the result queue.
+/// through [`ExchangeTransport::send`] instead of the result queue.
 #[derive(Clone)]
 pub struct ScanExchangeShared {
     pub fragment: FragmentShared,
     /// Key prefix namespacing this stage edge (e.g. `q3/s0`).
     pub channel: String,
-    pub exchange: ExchangeConfig,
-    pub side: ExchangeSide,
+    /// The wire this stage's output leaves on (object store or direct).
+    pub transport: Rc<dyn ExchangeTransport>,
     /// Set when this scan feeds a sort fleet: the pipeline terminal is
     /// [`Terminal::SortPartition`] and the finished run leaves through
     /// the sample-then-range-partition protocol instead of hash sharding.
@@ -156,8 +155,8 @@ pub struct JoinShared {
     /// Post-join pipeline over the variant's probe output (`probe ++
     /// build` rows for inner/left-outer, probe rows for semi/anti).
     pub post: PipelineSpec,
-    pub exchange: ExchangeConfig,
-    pub side: ExchangeSide,
+    /// The wire both in-edges arrive on and the out-edge leaves on.
+    pub transport: Rc<dyn ExchangeTransport>,
     pub result_bucket: String,
     /// Namespaces stored results (join fleets run once per query).
     pub result_prefix: String,
@@ -187,8 +186,8 @@ pub struct AggMergeShared {
     pub agg_schema: SchemaRef,
     /// Accumulator shapes, to build the empty initial state.
     pub funcs: Vec<(AggFunc, Option<DataType>)>,
-    pub exchange: ExchangeConfig,
-    pub side: ExchangeSide,
+    /// The wire the in-edge arrives on (and any sort out-edge leaves on).
+    pub transport: Rc<dyn ExchangeTransport>,
     pub result_bucket: String,
     /// Namespaces stored results (one merge fleet per query).
     pub result_prefix: String,
@@ -215,8 +214,8 @@ pub struct SortShared {
     pub keys: Vec<SortKey>,
     /// Per-partition top-k truncation (the query's `LIMIT`).
     pub limit: Option<usize>,
-    pub exchange: ExchangeConfig,
-    pub side: ExchangeSide,
+    /// The wire the in-edge arrives on.
+    pub transport: Rc<dyn ExchangeTransport>,
     pub result_bucket: String,
     /// Namespaces stored results (one sort fleet per query).
     pub result_prefix: String,
@@ -440,6 +439,28 @@ async fn run_task(env: &WorkerEnv, task: &WorkerTask) -> Result<(ResultPayload, 
 /// one range either way — so a small constant suffices.
 const SORT_SAMPLE_ROWS: usize = 32;
 
+/// Fold one stage-edge send's request accounting into the worker metrics.
+fn fold_write_stats(metrics: &mut WorkerMetrics, stats: EdgeWriteStats) {
+    metrics.bytes_written += stats.bytes_written;
+    metrics.put_requests += stats.put_requests;
+    metrics.p2p_requests += stats.p2p_requests;
+    metrics.p2p_bytes += stats.p2p_bytes;
+}
+
+/// Fold one stage-edge receive's request accounting into the metrics.
+fn fold_read_stats(metrics: &mut WorkerMetrics, stats: &EdgeReadStats) {
+    metrics.bytes_read += stats.bytes_read;
+    metrics.get_requests += stats.get_requests;
+    metrics.list_requests += stats.list_requests;
+    metrics.p2p_requests += stats.p2p_requests;
+    metrics.p2p_bytes += stats.p2p_bytes;
+}
+
+/// Bytes that crossed the edge in one send, whichever wire carried them.
+fn edge_bytes(stats: &EdgeWriteStats) -> u64 {
+    stats.bytes_written + stats.p2p_bytes
+}
+
 /// Ship one producer's locally sorted run onto a sort-exchange edge.
 ///
 /// The purely serverless range-partitioning protocol (§4.4 applied to
@@ -452,8 +473,7 @@ const SORT_SAMPLE_ROWS: usize = 32;
 /// requests spent and returns the exchanged (rows, bytes).
 async fn sort_exchange_out(
     env: &WorkerEnv,
-    exchange: &ExchangeConfig,
-    side: &ExchangeSide,
+    transport: &dyn ExchangeTransport,
     channel: &str,
     edge: &SortEdgeSpec,
     run: &RecordBatch,
@@ -478,24 +498,14 @@ async fn sort_exchange_out(
         crate::partition::encode_batches(&[sample])?
     };
     let smp_channel = format!("{channel}smp");
-    let written = exchange_stage_write(
-        env,
-        exchange,
-        &smp_channel,
-        env.worker_id as usize,
-        vec![PartData::Real(sample_bytes)],
-        side,
-    )
-    .await?;
-    metrics.bytes_written += written;
-    metrics.put_requests += 1;
+    let write_stats = transport
+        .send(env, &smp_channel, env.worker_id as usize, vec![PartData::Real(sample_bytes)])
+        .await?;
+    fold_write_stats(metrics, write_stats);
 
     // ---- Sample read: every producer reads the whole pool ---------------
-    let (sample_parts, stats) =
-        exchange_stage_read(env, exchange, &smp_channel, 0, edge.senders, side).await?;
-    metrics.bytes_read += stats.bytes_read;
-    metrics.get_requests += stats.get_requests;
-    metrics.list_requests += stats.list_requests;
+    let (sample_parts, stats) = transport.recv(env, &smp_channel, 0, edge.senders).await?;
+    fold_read_stats(metrics, &stats);
     let mut pooled: Vec<Vec<Scalar>> = Vec::new();
     for part in &sample_parts {
         let PartData::Real(bytes) = part else {
@@ -529,12 +539,11 @@ async fn sort_exchange_out(
     // than partitions - 1 only when the pooled sample is tiny, leaving
     // trailing partitions empty — pad the part list to the fleet size.
     parts.resize(edge.partitions, PartData::Real(Vec::new()));
-    let bytes_written =
-        exchange_stage_write(env, exchange, channel, env.worker_id as usize, parts, side).await?;
-    metrics.bytes_written += bytes_written;
-    metrics.put_requests += 1;
+    let write_stats = transport.send(env, channel, env.worker_id as usize, parts).await?;
+    let bytes = edge_bytes(&write_stats);
+    fold_write_stats(metrics, write_stats);
     metrics.rows_exchanged += rows as u64;
-    Ok((rows as u64, bytes_written))
+    Ok((rows as u64, bytes))
 }
 
 /// Sort stage of a distributed sort/top-k: read range partition `p` of
@@ -548,18 +557,8 @@ async fn run_sort(env: &WorkerEnv, task: &SortTask) -> Result<(ResultPayload, Wo
     let budget = env.engine_memory_budget();
     let mut metrics = WorkerMetrics::default();
 
-    let (parts, stats) = exchange_stage_read(
-        env,
-        &shared.exchange,
-        &shared.channel,
-        p,
-        shared.senders,
-        &shared.side,
-    )
-    .await?;
-    metrics.bytes_read += stats.bytes_read;
-    metrics.get_requests += stats.get_requests;
-    metrics.list_requests += stats.list_requests;
+    let (parts, stats) = shared.transport.recv(env, &shared.channel, p, shared.senders).await?;
+    fold_read_stats(&mut metrics, &stats);
 
     let mut batches = Vec::new();
     let mut state_bytes = 0u64;
@@ -773,8 +772,7 @@ async fn run_scan_exchange(
             let run = RecordBatch::concat(edge.schema.clone(), &run)?;
             let (rows, bytes) = sort_exchange_out(
                 env,
-                &shared.exchange,
-                &shared.side,
+                shared.transport.as_ref(),
                 &shared.channel,
                 edge,
                 &run,
@@ -789,19 +787,12 @@ async fn run_scan_exchange(
             ))
         }
     };
-    let bytes_written = exchange_stage_write(
-        env,
-        &shared.exchange,
-        &shared.channel,
-        env.worker_id as usize,
-        parts,
-        &shared.side,
-    )
-    .await?;
-    metrics.bytes_written += bytes_written;
-    metrics.put_requests += 1;
+    let write_stats =
+        shared.transport.send(env, &shared.channel, env.worker_id as usize, parts).await?;
+    let bytes = edge_bytes(&write_stats);
+    fold_write_stats(&mut metrics, write_stats);
     metrics.rows_exchanged = exchanged_rows;
-    Ok((ResultPayload::Exchanged { rows: exchanged_rows, bytes: bytes_written }, metrics))
+    Ok((ResultPayload::Exchanged { rows: exchanged_rows, bytes }, metrics))
 }
 
 /// Join stage: read both co-partitions from the exchange edges, build a
@@ -815,18 +806,9 @@ async fn run_join(env: &WorkerEnv, task: &JoinTask) -> Result<(ResultPayload, Wo
     let mut metrics = WorkerMetrics::default();
 
     // ---- Build side -----------------------------------------------------
-    let (build_parts, build_stats) = exchange_stage_read(
-        env,
-        &shared.exchange,
-        &shared.build_channel,
-        p,
-        shared.build_senders,
-        &shared.side,
-    )
-    .await?;
-    metrics.bytes_read += build_stats.bytes_read;
-    metrics.get_requests += build_stats.get_requests;
-    metrics.list_requests += build_stats.list_requests;
+    let (build_parts, build_stats) =
+        shared.transport.recv(env, &shared.build_channel, p, shared.build_senders).await?;
+    fold_read_stats(&mut metrics, &build_stats);
     let mut build_batches = Vec::new();
     for part in &build_parts {
         let PartData::Real(bytes) = part else {
@@ -860,18 +842,9 @@ async fn run_join(env: &WorkerEnv, task: &JoinTask) -> Result<(ResultPayload, Wo
         },
     };
     let mut probe_pipeline = Pipeline::new(probe_spec)?;
-    let (probe_parts, probe_stats) = exchange_stage_read(
-        env,
-        &shared.exchange,
-        &shared.probe_channel,
-        p,
-        shared.probe_senders,
-        &shared.side,
-    )
-    .await?;
-    metrics.bytes_read += probe_stats.bytes_read;
-    metrics.get_requests += probe_stats.get_requests;
-    metrics.list_requests += probe_stats.list_requests;
+    let (probe_parts, probe_stats) =
+        shared.transport.recv(env, &shared.probe_channel, p, shared.probe_senders).await?;
+    fold_read_stats(&mut metrics, &probe_stats);
     for part in &probe_parts {
         let PartData::Real(bytes) = part else {
             return Err(CoreError::Unsupported(
@@ -913,18 +886,11 @@ async fn run_join(env: &WorkerEnv, task: &JoinTask) -> Result<(ResultPayload, Wo
                 ));
             };
             let groups: u64 = shards.iter().map(|s| s.num_groups() as u64).sum();
-            let bytes_written = exchange_stage_write(
-                env,
-                &shared.exchange,
-                channel,
-                p,
-                agg_shard_parts(&shards),
-                &shared.side,
-            )
-            .await?;
-            metrics.bytes_written += bytes_written;
-            metrics.put_requests += 1;
-            Ok((ResultPayload::Exchanged { rows: groups, bytes: bytes_written }, metrics))
+            let write_stats =
+                shared.transport.send(env, channel, p, agg_shard_parts(&shards)).await?;
+            let bytes = edge_bytes(&write_stats);
+            fold_write_stats(&mut metrics, write_stats);
+            Ok((ResultPayload::Exchanged { rows: groups, bytes }, metrics))
         }
         PipelineOutput::Partitions(partitions) => {
             // Nested join: this join's rows feed a parent join's edge,
@@ -942,21 +908,18 @@ async fn run_join(env: &WorkerEnv, task: &JoinTask) -> Result<(ResultPayload, Wo
                     parts.push(PartData::Real(crate::partition::encode_batches(batches)?));
                 }
             }
-            let bytes_written =
-                exchange_stage_write(env, &shared.exchange, channel, p, parts, &shared.side)
-                    .await?;
-            metrics.bytes_written += bytes_written;
-            metrics.put_requests += 1;
+            let write_stats = shared.transport.send(env, channel, p, parts).await?;
+            let bytes = edge_bytes(&write_stats);
+            fold_write_stats(&mut metrics, write_stats);
             metrics.rows_exchanged += rows_out;
-            Ok((ResultPayload::Exchanged { rows: rows_out, bytes: bytes_written }, metrics))
+            Ok((ResultPayload::Exchanged { rows: rows_out, bytes }, metrics))
         }
         PipelineOutput::Batches(batches) => match &shared.output {
             JoinOutput::SortExchange { channel, edge } => {
                 let run = RecordBatch::concat(edge.schema.clone(), &batches)?;
                 let (rows, bytes) = sort_exchange_out(
                     env,
-                    &shared.exchange,
-                    &shared.side,
+                    shared.transport.as_ref(),
                     channel,
                     edge,
                     &run,
@@ -1005,18 +968,8 @@ async fn run_agg_merge(
     let budget = env.engine_memory_budget();
     let mut metrics = WorkerMetrics::default();
 
-    let (parts, stats) = exchange_stage_read(
-        env,
-        &shared.exchange,
-        &shared.channel,
-        p,
-        shared.senders,
-        &shared.side,
-    )
-    .await?;
-    metrics.bytes_read += stats.bytes_read;
-    metrics.get_requests += stats.get_requests;
-    metrics.list_requests += stats.list_requests;
+    let (parts, stats) = shared.transport.recv(env, &shared.channel, p, shared.senders).await?;
+    fold_read_stats(&mut metrics, &stats);
 
     let mut state = GroupedAggState::new(&shared.funcs)?;
     for part in &parts {
@@ -1052,16 +1005,9 @@ async fn run_agg_merge(
         if let Some(n) = edge.limit {
             run = truncate_rows(run, n);
         }
-        let (rows, bytes) = sort_exchange_out(
-            env,
-            &shared.exchange,
-            &shared.side,
-            channel,
-            edge,
-            &run,
-            &mut metrics,
-        )
-        .await?;
+        let (rows, bytes) =
+            sort_exchange_out(env, shared.transport.as_ref(), channel, edge, &run, &mut metrics)
+                .await?;
         return Ok((ResultPayload::Exchanged { rows, bytes }, metrics));
     }
 

@@ -12,6 +12,7 @@ use crate::rng::SimRng;
 use crate::services::faas::{FaasCaller, FaasConfig, FaasService, Instance, NicModel};
 use crate::services::kv::{KvClient, KvConfig, KvService};
 use crate::services::object_store::{ObjectStore, S3Client, S3Config};
+use crate::services::p2p::{P2pClient, P2pConfig, P2pService};
 use crate::services::queue::{QueueService, SqsClient, SqsConfig};
 use crate::trace::Trace;
 
@@ -26,6 +27,7 @@ pub struct CloudConfig {
     pub s3: S3Config,
     pub sqs: SqsConfig,
     pub kv: KvConfig,
+    pub p2p: P2pConfig,
     /// Driver machine's WAN bandwidth in bytes/s (1 Gbps by default; the
     /// driver only ships plans and collects small results).
     pub driver_bandwidth: f64,
@@ -42,6 +44,7 @@ impl Default for CloudConfig {
             s3: S3Config::default(),
             sqs: SqsConfig::default(),
             kv: KvConfig::default(),
+            p2p: P2pConfig::default(),
             driver_bandwidth: 125e6,
         }
     }
@@ -59,6 +62,7 @@ pub struct Cloud {
     pub faas: FaasService,
     pub sqs: QueueService,
     pub kv: KvService,
+    pub p2p: P2pService,
     driver_link: BurstLink,
 }
 
@@ -80,6 +84,7 @@ impl Cloud {
         let sqs =
             QueueService::new(handle.clone(), config.sqs.clone(), billing.clone(), rng.fork());
         let kv = KvService::new(handle.clone(), config.kv.clone(), billing.clone(), rng.fork());
+        let p2p = P2pService::new(handle.clone(), config.p2p.clone());
         let driver_link =
             BurstLink::new(handle.clone(), BurstLinkConfig::flat(config.driver_bandwidth));
         Cloud {
@@ -92,6 +97,7 @@ impl Cloud {
             faas,
             sqs,
             kv,
+            p2p,
             driver_link,
         }
     }
@@ -141,6 +147,12 @@ impl Cloud {
     /// KV access from inside a function instance.
     pub fn instance_kv(&self) -> KvClient {
         self.kv.client(Duration::ZERO)
+    }
+
+    /// P2p access from inside a function instance: transfers flow
+    /// through the instance's traffic-shaped NIC.
+    pub fn instance_p2p(&self, instance: &Rc<Instance>) -> P2pClient {
+        self.p2p.client(instance.link.clone())
     }
 }
 

@@ -1,6 +1,8 @@
-//! Serverless service models: FaaS, object store, queue, and KV store.
+//! Serverless service models: FaaS, object store, queue, KV store, and
+//! the worker-to-worker rendezvous/relay network.
 
 pub mod faas;
 pub mod kv;
 pub mod object_store;
+pub mod p2p;
 pub mod queue;

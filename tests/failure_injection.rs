@@ -4,11 +4,15 @@
 //! recovered by speculative re-invocation when enabled, and pinned to
 //! stall the query when not.
 
+use std::rc::Rc;
 use std::time::Duration;
 
-use lambada::core::{inject_worker_faults, CoreError, Lambada, LambadaConfig, SpeculationConfig};
+use lambada::core::{
+    inject_worker_faults, CoreError, Lambada, LambadaConfig, SortStrategy, SpeculationConfig,
+    TransportKind,
+};
 use lambada::engine::{RecordBatch, Scalar};
-use lambada::sim::{Cloud, CloudConfig, InjectedFault, Simulation};
+use lambada::sim::{Cloud, CloudConfig, InjectedFault, LinkFault, Simulation};
 use lambada::workloads::{q1, stage_real, StageOptions};
 
 fn staged(sim: &Simulation, scale: f64) -> (Cloud, lambada::core::TableSpec) {
@@ -37,7 +41,13 @@ fn staged_descriptors(sim: &Simulation) -> (Cloud, lambada::core::TableSpec) {
 /// trigger; 0.7 makes the intent explicit and keeps two-straggler
 /// setups speculating too.)
 fn test_speculation(enabled: bool) -> SpeculationConfig {
-    SpeculationConfig { enabled, quantile: 0.7, multiplier: 2.0, max_attempts: 1 }
+    SpeculationConfig {
+        enabled,
+        quantile: 0.7,
+        multiplier: 2.0,
+        max_attempts: 1,
+        ..SpeculationConfig::default()
+    }
 }
 
 #[test]
@@ -467,6 +477,168 @@ fn speculation_recovers_a_straggler_in_an_anti_join_stage() {
     assert_eq!(report.stages[3].backup_invocations, 0);
     assert!(faulted.num_rows() > 0);
     assert_batches_close(&faulted, &clean);
+}
+
+/// A static p2p link-fault rule: `(endpoint, sender, attempt) -> fault`.
+type LinkFaultFn = fn(&str, u32, u32) -> Option<LinkFault>;
+
+/// Run the Q12 join on the *direct* transport with optional worker and
+/// p2p-link faults; returns the result batch, the report, and the cloud
+/// (for p2p counters).
+fn run_q12_direct(
+    worker_fault: Option<fn(u64, u32) -> Option<InjectedFault>>,
+    link_fault: Option<LinkFaultFn>,
+) -> (RecordBatch, lambada::core::QueryReport, Cloud) {
+    let sim = Simulation::new();
+    let cloud = Cloud::new(&sim, CloudConfig::default());
+    let scale = 0.05;
+    let seed = 21;
+    let li_opts = StageOptions { scale, num_files: 6, row_groups_per_file: 3, seed };
+    let li_spec = stage_real(&cloud, "tpch", "lineitem", li_opts);
+    let orders_opts = lambada::workloads::OrdersStageOptions {
+        rows: li_spec.total_rows,
+        num_files: 4,
+        row_groups_per_file: 3,
+        seed,
+    };
+    let ord_spec = lambada::workloads::stage_real_orders(&cloud, "tpch", "orders", orders_opts);
+    let mut system = Lambada::install(
+        &cloud,
+        LambadaConfig {
+            speculation: test_speculation(true),
+            transport: TransportKind::Direct,
+            ..LambadaConfig::default()
+        },
+    );
+    system.register_table(li_spec);
+    system.register_table(ord_spec);
+    if let Some(f) = worker_fault {
+        inject_worker_faults(&cloud, f);
+    }
+    if let Some(f) = link_fault {
+        cloud.p2p.set_link_faults(Rc::new(f));
+    }
+    let plan = lambada::workloads::q12("lineitem", "orders");
+    let report = sim.block_on(async move { system.run_query(&plan).await.unwrap() });
+    (report.batch.clone(), report, cloud)
+}
+
+#[test]
+fn killed_producer_on_direct_transport_recovers_over_store_fallback() {
+    // The worst combined failure on the direct path: scan worker 1 dies
+    // silently mid-stream (a partial p2p transfer leaves *nothing* in
+    // any mailbox), and every p2p link from sender 1 stays severed — so
+    // its speculative backup cannot stream either and must take the
+    // object-store fallback. Receivers discover the fallback file via
+    // billed LIST polls and the join must still match the clean
+    // object-store run exactly.
+    let (clean, clean_report) = run_q12_join(false);
+    assert_eq!(clean_report.backup_invocations(), 0);
+    let (recovered, report, cloud) = run_q12_direct(
+        Some(|wid, attempt| {
+            (wid == 1 && attempt == 0).then(|| InjectedFault::kill(Duration::from_millis(10)))
+        }),
+        Some(|_endpoint, sender, _attempt| (sender == 1).then(LinkFault::dropped)),
+    );
+    assert!(report.backup_invocations() >= 1, "the kill was speculated against");
+    assert!(cloud.faas.injected_kills("lambada-worker") >= 1);
+    let (_, _, drops) = cloud.p2p.counters();
+    assert!(drops > 0, "the backup really hit the severed links");
+    // The fallback shows up as billed store traffic on the consumer
+    // side; healthy senders still rode the relay.
+    assert!(report.p2p_requests() > 0, "healthy senders stayed on the relay");
+    assert_batches_close(&recovered, &clean);
+}
+
+#[test]
+fn degraded_p2p_link_recovers_without_wrong_results() {
+    // One producer's relay connections run at ~0.8 KB/s (attempt 0
+    // only): the worker computes on time but its streams never finish,
+    // so it never reports. Speculation re-invokes it; the backup's
+    // attempt-1 streams ride healthy links, receivers take the highest
+    // complete attempt per sender, and the result matches the clean run.
+    let (clean, _) = run_q12_join(false);
+    let (recovered, report, cloud) = run_q12_direct(
+        None,
+        Some(|_endpoint, sender, attempt| {
+            (sender == 1 && attempt == 0).then(|| LinkFault::degraded(1e-5))
+        }),
+    );
+    assert!(report.backup_invocations() >= 1, "the stalled streamer was speculated against");
+    assert!(report.p2p_requests() > 0);
+    let (_, _, drops) = cloud.p2p.counters();
+    assert_eq!(drops, 0, "degraded, not severed");
+    assert_batches_close(&recovered, &clean);
+}
+
+/// Regression for the PR 6 speculation blind spot: a fleet synchronizing
+/// on a sort-sample barrier can be held at *zero* reporters by one dead
+/// producer — the quantile trigger (which needs a reported quorum) never
+/// arms, and the query used to wait out the full `max_wait`. The
+/// barrier-aware probe must re-invoke exactly the producer that left no
+/// sample, on both transports.
+#[test]
+fn killed_sort_producer_is_reinvoked_by_the_barrier_probe() {
+    for kind in [TransportKind::ObjectStore, TransportKind::Direct] {
+        let run = |fault: bool| {
+            let sim = Simulation::new();
+            let (cloud, spec) = staged(&sim, 0.01);
+            let mut system = Lambada::install(
+                &cloud,
+                LambadaConfig {
+                    sort: SortStrategy::Exchange { workers: Some(2) },
+                    transport: kind,
+                    max_wait: Duration::from_secs(120),
+                    speculation: SpeculationConfig {
+                        barrier_grace: Duration::from_secs(3),
+                        ..test_speculation(true)
+                    },
+                    ..LambadaConfig::default()
+                },
+            );
+            system.register_table(spec);
+            if fault {
+                // Kill one worker of the 4-strong scan fleet feeding the
+                // sort: the other three publish their samples and block
+                // on the barrier, reporting nothing.
+                inject_worker_faults(&cloud, |wid, attempt| {
+                    (wid == 1 && attempt == 0)
+                        .then(|| InjectedFault::kill(Duration::from_millis(10)))
+                });
+            }
+            // A bare ORDER BY ... LIMIT over the scan: the scan fleet
+            // itself runs the sample barrier.
+            let df = system.from_table("lineitem").unwrap();
+            let key = df.col("l_extendedprice").unwrap();
+            let plan = df
+                .sort(vec![lambada::engine::SortKey::desc(key)])
+                .unwrap()
+                .limit(10)
+                .unwrap()
+                .build();
+            let report = sim.block_on(async move { system.run_query(&plan).await.unwrap() });
+            report
+        };
+        let clean = run(false);
+        assert_eq!(clean.backup_invocations(), 0, "{kind:?}: clean run needs no backups");
+        let recovered = run(true);
+        // The probe re-invoked exactly the dead producer in the
+        // barrier-synchronized scan fleet. (The downstream sort fleet may
+        // legitimately speculate against its own stragglers on top —
+        // that's the ordinary quantile trigger, not the one under test.)
+        assert_eq!(
+            recovered.stages[0].backup_invocations, 1,
+            "{kind:?}: exactly the dead producer was re-invoked"
+        );
+        assert_batches_close(&recovered.batch, &clean.batch);
+        // Recovery at barrier-probe pace (~grace + one backup scan), not
+        // anywhere near the 120 s driver deadline.
+        assert!(
+            recovered.latency_secs < 30.0,
+            "{kind:?}: recovered in {}s, not max_wait",
+            recovered.latency_secs
+        );
+    }
 }
 
 #[test]
