@@ -16,13 +16,13 @@ fn bench_encodings(c: &mut Criterion) {
     for enc in [Encoding::Plain, Encoding::Rle, Encoding::Delta] {
         let bytes = encoding::encode(&data, enc).unwrap();
         g.bench_function(format!("encode/{}", enc.name()), |b| {
-            b.iter(|| encoding::encode(black_box(&data), enc).unwrap())
+            b.iter(|| encoding::encode(black_box(&data), enc).unwrap());
         });
         g.bench_function(format!("decode/{}", enc.name()), |b| {
             b.iter(|| {
                 encoding::decode(black_box(&bytes), enc, lambada_format::PhysicalType::I64, 65_536)
                     .unwrap()
-            })
+            });
         });
     }
     g.finish();
@@ -37,10 +37,12 @@ fn bench_lz(c: &mut Criterion) {
     let mut g = c.benchmark_group("format/lz");
     g.throughput(Throughput::Bytes(data.len() as u64));
     g.bench_function("compress", |b| {
-        b.iter(|| lambada_format::compress::compress(black_box(&data)))
+        b.iter(|| lambada_format::compress::compress(black_box(&data)));
     });
     g.bench_function("decompress", |b| {
-        b.iter(|| lambada_format::compress::decompress(black_box(&compressed), data.len()).unwrap())
+        b.iter(|| {
+            lambada_format::compress::decompress(black_box(&compressed), data.len()).unwrap()
+        });
     });
     g.finish();
 }
@@ -63,10 +65,12 @@ fn bench_kernels(c: &mut Criterion) {
     let mut g = c.benchmark_group("engine/kernels");
     g.throughput(Throughput::Elements(65_536));
     g.bench_function("predicate_mask", |b| {
-        b.iter(|| lambada_engine::expr::eval::evaluate_mask(black_box(&predicate), &batch).unwrap())
+        b.iter(|| {
+            lambada_engine::expr::eval::evaluate_mask(black_box(&predicate), &batch).unwrap()
+        });
     });
     g.bench_function("arith_projection", |b| {
-        b.iter(|| lambada_engine::expr::eval::evaluate(black_box(&projection), &batch).unwrap())
+        b.iter(|| lambada_engine::expr::eval::evaluate(black_box(&projection), &batch).unwrap());
     });
     g.finish();
 }
@@ -88,7 +92,7 @@ fn bench_hash_agg(c: &mut Criterion) {
             )
             .unwrap();
             st
-        })
+        });
     });
     g.finish();
 }
@@ -105,7 +109,7 @@ fn bench_partitioning(c: &mut Criterion) {
     let mut g = c.benchmark_group("core/partition");
     g.throughput(Throughput::Elements(65_536));
     g.bench_function("hash_partition_64", |b| {
-        b.iter(|| lambada_core::partition::partition_batch(black_box(&batch), &[0], 64).unwrap())
+        b.iter(|| lambada_core::partition::partition_batch(black_box(&batch), &[0], 64).unwrap());
     });
     g.finish();
 }
@@ -129,7 +133,7 @@ fn bench_executor(c: &mut Criterion) {
                     j.await;
                 }
             });
-        })
+        });
     });
     g.finish();
 }

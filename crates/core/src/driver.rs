@@ -40,6 +40,7 @@ use crate::stage::{
 };
 use crate::table::TableSpec;
 use crate::transport::{DirectTransport, ExchangeTransport, ObjectStoreTransport, TransportKind};
+use crate::verify::{self, FleetBounds};
 use crate::worker::{
     register_worker_function, AggMergeShared, AggMergeTask, FragmentShared, FragmentTask,
     JoinOutput, JoinShared, JoinTask, ScanExchangeShared, ScanExchangeTask, SortEdgeSpec,
@@ -474,6 +475,40 @@ impl Lambada {
         stage::split_with(&optimized, &opts)
     }
 
+    /// Fleet-sizing pins and bounds for the static plan verifier,
+    /// derived from this installation's config.
+    pub(crate) fn fleet_bounds(&self) -> FleetBounds {
+        FleetBounds {
+            join_pin: self.config.join_workers,
+            agg_pin: match self.config.agg {
+                AggStrategy::Exchange { workers } => workers,
+                AggStrategy::DriverMerge => None,
+            },
+            sort_pin: match self.config.sort {
+                SortStrategy::Exchange { workers } => workers,
+                SortStrategy::Driver => None,
+            },
+            max_model_fleet: verify::MAX_MODEL_FLEET,
+        }
+    }
+
+    /// Statically verify a DAG against this installation without
+    /// executing anything: the structural operator contracts
+    /// ([`crate::verify::verify_dag`]) plus the fleet plan the driver
+    /// would launch ([`crate::verify::verify_fleets`]). Returns
+    /// [`CoreError::InvalidPlan`] carrying every violated contract. The
+    /// query service runs this before admission reserves tenant budget.
+    pub fn verify_plan(&self, dag: &QueryDag) -> Result<()> {
+        dag.validate()?;
+        let fleets = self.plan_fleets(dag)?;
+        let diags = verify::verify_fleets(dag, &fleets, &self.fleet_bounds());
+        if diags.is_empty() {
+            Ok(())
+        } else {
+            Err(CoreError::InvalidPlan(diags))
+        }
+    }
+
     /// Optimize and execute a query across serverless workers.
     pub async fn run_query(&self, plan: &LogicalPlan) -> Result<QueryReport> {
         let dag = self.plan(plan)?;
@@ -515,6 +550,14 @@ impl Lambada {
         // consumer fleet that does not exist yet.
         let side = ExchangeSide::new();
         let planned_workers = self.planned_workers(dag, policy.fleet_cap)?;
+        // The structural contracts were checked above; now that fleets
+        // are sized, check the sizing invariants too — nonzero consumer
+        // fleets, model bounds, pins, shared-edge agreement — before a
+        // single worker is invoked.
+        let fleet_diags = verify::verify_fleets(dag, &planned_workers, &self.fleet_bounds());
+        if !fleet_diags.is_empty() {
+            return Err(CoreError::InvalidPlan(fleet_diags));
+        }
         // Partition count each producer stage must shard its output into
         // (= its consumer's planned fleet size; 0 for driver-bound
         // stages). In a diamond, one producer may feed several consumers
@@ -685,7 +728,9 @@ impl Lambada {
 
         let mut final_results: Vec<WorkerResult> = Vec::new();
         for (sid, kind) in dag.stages.iter().enumerate() {
-            let run = runs[sid].take().expect("every stage ran");
+            let run = runs[sid]
+                .take()
+                .ok_or_else(|| CoreError::Engine(format!("stage {sid} never produced a run")))?;
             workers_total += run.workers;
             invoke_secs += run.invoke_secs;
             cold_starts += run.results.iter().filter(|r| r.metrics.cold_start).count() as u64;

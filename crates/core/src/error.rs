@@ -27,6 +27,9 @@ pub enum CoreError {
     Rejected { tenant: String, reason: String },
     /// Plan shapes the distributed planner does not support.
     Unsupported(String),
+    /// The static plan verifier ([`crate::verify`]) rejected the DAG
+    /// before launch: one entry per violated operator contract.
+    InvalidPlan(Vec<crate::verify::Diagnostic>),
 }
 
 impl fmt::Display for CoreError {
@@ -48,6 +51,13 @@ impl fmt::Display for CoreError {
                 write!(f, "query rejected for tenant {tenant}: {reason}")
             }
             CoreError::Unsupported(m) => write!(f, "unsupported: {m}"),
+            CoreError::InvalidPlan(diags) => {
+                write!(f, "invalid plan ({} diagnostics):", diags.len())?;
+                for d in diags {
+                    write!(f, "\n  {d}")?;
+                }
+                Ok(())
+            }
         }
     }
 }

@@ -78,7 +78,7 @@ pub fn build_tree(payloads: Vec<WorkerPayload>) -> Vec<Rc<WorkerPayload>> {
             break;
         }
         let mut chunk = chunk.into_iter();
-        let mut head = chunk.next().expect("non-empty chunk");
+        let Some(mut head) = chunk.next() else { break };
         head.children = chunk.map(Rc::new).collect();
         out.push(Rc::new(head));
     }

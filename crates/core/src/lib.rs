@@ -56,6 +56,7 @@ pub mod service;
 pub mod stage;
 pub mod table;
 pub mod transport;
+pub mod verify;
 pub mod worker;
 
 pub use costmodel::ComputeCostModel;
@@ -84,6 +85,7 @@ pub use table::{TableFile, TableSpec};
 pub use transport::{
     DirectTransport, EdgeWriteStats, ExchangeTransport, ObjectStoreTransport, TransportKind,
 };
+pub use verify::{verify_dag, verify_fleets, Diagnostic, FleetBounds, MAX_MODEL_FLEET};
 pub use worker::{
     inject_query_worker_faults, inject_worker_faults, register_worker_function, AggMergeShared,
     AggMergeTask, ExchangeTask, FragmentShared, FragmentTask, JoinOutput, JoinShared, JoinTask,

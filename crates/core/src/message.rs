@@ -10,6 +10,11 @@ use lambada_format::FormatError;
 use crate::error::{CoreError, Result};
 
 /// Per-worker execution metrics, reported with every result.
+///
+/// Wire stability: append-only. Fields encode in declaration order with
+/// the varint codec; reorder or remove one and a driver decoding results
+/// from an already-deployed worker fleet reads garbage. New counters go
+/// at the end, with decode defaults for short reads.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct WorkerMetrics {
     /// Time spent executing the plan fragment (seconds, excludes
@@ -83,6 +88,11 @@ impl WorkerMetrics {
 }
 
 /// The payload of a successful worker.
+///
+/// Wire stability: variants encode by fixed tag (0–3 in declaration
+/// order); tags are frozen once assigned. New payload kinds take the
+/// next free tag — never reuse one, a mixed-version fleet would
+/// misparse old results.
 #[derive(Clone, Debug, PartialEq)]
 pub enum ResultPayload {
     /// Serialized partial-aggregate state (small, inline in the message).
@@ -97,6 +107,10 @@ pub enum ResultPayload {
 }
 
 /// One message on the result queue.
+///
+/// Wire stability: append-only, same codec discipline as
+/// [`WorkerMetrics`]; the outcome tag distinguishes success payloads
+/// from error reports and is frozen.
 #[derive(Clone, Debug, PartialEq)]
 pub struct WorkerResult {
     pub worker_id: u64,

@@ -266,11 +266,10 @@ pub async fn scan_table(
             for (col_idx, chunk, bytes) in &rg.columns {
                 let ptype =
                     base_schema.field(*col_idx).dtype.to_physical().map_err(CoreError::from)?;
-                let data = lambada_format::decode_chunk(
-                    chunk,
-                    ptype,
-                    bytes.as_ref().expect("all_real checked"),
-                )?;
+                let bytes = bytes.as_ref().ok_or_else(|| {
+                    CoreError::Storage(format!("column chunk {col_idx} lost its bytes"))
+                })?;
+                let data = lambada_format::decode_chunk(chunk, ptype, bytes)?;
                 cols.push(Column::from_data(data));
             }
             let schema = std::sync::Arc::new(base_schema.project(columns));
@@ -309,7 +308,8 @@ pub async fn scan_table(
             }
             // Wait for a pipeline slot.
             while inflight.len() >= cfg.row_group_pipeline.max(1) {
-                let got = inflight.pop_front().expect("non-empty").await;
+                let Some(head) = inflight.pop_front() else { break };
+                let got = head.await;
                 drain_one(env, cfg, base_schema, columns, &shared, got, &items).await?;
             }
             // Level 2/1: download the needed chunks of this row group.

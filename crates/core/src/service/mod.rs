@@ -38,8 +38,9 @@ use lambada_sim::JoinHandle;
 
 use crate::driver::{ExecPolicy, Lambada, QueryReport};
 use crate::error::{CoreError, Result};
-use crate::exchange_cost::stage_edge_counts;
+use crate::exchange_cost::{direct_edge_counts, stage_edge_counts};
 use crate::stage::{QueryDag, StageKind};
+use crate::transport::TransportKind;
 
 use admission::AdmissionController;
 pub use admission::{TenantBudget, TenantUsage};
@@ -237,8 +238,9 @@ impl QueryService {
     }
 
     /// Submit a query for `tenant`. Returns immediately with a handle;
-    /// planning, admission (budget check + fair queueing), execution,
-    /// and budget settlement all happen in a spawned task.
+    /// planning, static verification, admission (budget check + fair
+    /// queueing), execution, and budget settlement all happen in a
+    /// spawned task.
     pub fn submit(&self, tenant: &str, plan: &LogicalPlan) -> QueryHandle {
         let system = Rc::clone(&self.system);
         let admission = self.admission.clone();
@@ -249,34 +251,26 @@ impl QueryService {
         let submitted = self.system.cloud().handle.now();
         let join = self.system.cloud().handle.spawn(async move {
             let dag = system.plan(&plan)?;
-            let estimate = estimate_dag(&system, &dag)?;
-            admission.admit(&tenant, &estimate).await?;
-            let fleet_cap = match &gate {
-                Some(g) if shrink => Some(
-                    system.config().costs.contended_fleet_cap(g.cap(), admission.active_queries()),
-                ),
-                _ => None,
-            };
-            let policy = ExecPolicy {
-                gate,
-                fleet_cap,
-                tenant: Some(tenant.clone()),
-                submitted: Some(submitted),
-                transport: None,
-            };
-            let outcome = system.run_dag_with(&dag, &policy).await;
-            let prices = system.cloud().billing.prices();
-            match &outcome {
-                Ok(report) => admission.settle_success(
-                    &tenant,
-                    &estimate,
-                    report.request_count(),
-                    report.request_dollars(&prices),
-                    report.span_secs,
-                ),
-                Err(_) => admission.settle_failure(&tenant, &estimate),
-            }
-            outcome
+            admit_and_run(system, admission, gate, shrink, tenant, submitted, dag).await
+        });
+        QueryHandle { join }
+    }
+
+    /// Submit a hand-built stage DAG for `tenant` — the service-side
+    /// counterpart of [`Lambada::run_dag`]. The DAG runs through the
+    /// same static verification and admission as a planned query, so a
+    /// malformed DAG is rejected with [`CoreError::InvalidPlan`] before
+    /// a cent of the tenant's budget is reserved or a worker invoked.
+    pub fn submit_dag(&self, tenant: &str, dag: &QueryDag) -> QueryHandle {
+        let system = Rc::clone(&self.system);
+        let admission = self.admission.clone();
+        let gate = self.gate.clone();
+        let shrink = self.config.shrink_fleets;
+        let tenant = tenant.to_string();
+        let dag = dag.clone();
+        let submitted = self.system.cloud().handle.now();
+        let join = self.system.cloud().handle.spawn(async move {
+            admit_and_run(system, admission, gate, shrink, tenant, submitted, dag).await
         });
         QueryHandle { join }
     }
@@ -288,9 +282,66 @@ impl QueryService {
     }
 }
 
+/// The shared back half of [`QueryService::submit`] and
+/// [`QueryService::submit_dag`]: statically verify, estimate, admit,
+/// execute, settle. Verification runs *first* — a malformed plan never
+/// reserves budget, never queues for admission, and never invokes a
+/// worker; the tenant's usage is untouched by the rejection.
+async fn admit_and_run(
+    system: Rc<Lambada>,
+    admission: AdmissionController,
+    gate: Option<WorkerGate>,
+    shrink: bool,
+    tenant: String,
+    submitted: lambada_sim::SimTime,
+    dag: QueryDag,
+) -> Result<QueryReport> {
+    system.verify_plan(&dag)?;
+    let estimate = estimate_dag(&system, &dag)?;
+    admission.admit(&tenant, &estimate).await?;
+    let fleet_cap = match &gate {
+        Some(g) if shrink => {
+            Some(system.config().costs.contended_fleet_cap(g.cap(), admission.active_queries()))
+        }
+        _ => None,
+    };
+    let policy = ExecPolicy {
+        gate,
+        fleet_cap,
+        tenant: Some(tenant.clone()),
+        submitted: Some(submitted),
+        transport: None,
+    };
+    let outcome = system.run_dag_with(&dag, &policy).await;
+    let prices = system.cloud().billing.prices();
+    match &outcome {
+        Ok(report) => admission.settle_success(
+            &tenant,
+            &estimate,
+            report.request_count(),
+            report.request_dollars(&prices),
+            report.span_secs,
+        ),
+        Err(_) => admission.settle_failure(&tenant, &estimate),
+    }
+    outcome
+}
+
+/// Fraction of a direct-transport edge's receivers the estimate assumes
+/// fall back to the object store (unregistered endpoints, relay
+/// capacity). The reservation must stay an over-estimate — an
+/// under-estimate could let a tenant overshoot its budget — so the
+/// envelope prices a quarter of every fleet on the store path rather
+/// than assuming the p2p fast path always holds; the 2× margin applies
+/// on top.
+const DIRECT_FALLBACK_HEADROOM: f64 = 0.25;
+
 /// Build the admission estimate for a planned DAG: the uncapped fleet
 /// plan gives per-stage worker counts, every exchange edge is charged
-/// with [`stage_edge_counts`] (LISTs with a polling allowance), scans
+/// with [`stage_edge_counts`] (LISTs with a polling allowance) — or, on
+/// the direct transport, with [`direct_edge_counts`] under the
+/// [`DIRECT_FALLBACK_HEADROOM`] fallback bound, so direct-transport
+/// queries stop reserving full object-store request envelopes — scans
 /// are charged a per-file metadata + column-chunk envelope, and the
 /// total carries a 2× margin for speculation and slack.
 fn estimate_dag(system: &Lambada, dag: &QueryDag) -> Result<QueryEstimate> {
@@ -319,7 +370,14 @@ fn estimate_dag(system: &Lambada, dag: &QueryDag) -> Result<QueryEstimate> {
             gets += (spec.total_bytes() as f64) / (cfg.scan.max_request_bytes.max(1) as f64);
         }
         for &input in &kind.inputs() {
-            let edge = stage_edge_counts(fleets[input] as f64, w as f64, buckets);
+            let senders = fleets[input] as f64;
+            let edge = match cfg.transport {
+                TransportKind::ObjectStore => stage_edge_counts(senders, w as f64, buckets),
+                TransportKind::Direct => {
+                    let fallback = (w as f64 * DIRECT_FALLBACK_HEADROOM).ceil();
+                    direct_edge_counts(senders, w as f64, fallback, buckets)
+                }
+            };
             gets += edge.reads;
             puts += edge.writes;
             // One LIST round per receiver in the steady state; allow 8
@@ -328,11 +386,17 @@ fn estimate_dag(system: &Lambada, dag: &QueryDag) -> Result<QueryEstimate> {
         }
         if let StageKind::Sort(s) = kind {
             // Sample-exchange envelope: every producer publishes a
-            // sample run, every sort worker reads them all.
+            // sample run, every sort worker reads them all. The direct
+            // transport carries the sample barrier too, so only the
+            // fallback fraction of sort workers hits the store.
             let senders = fleets[s.input] as f64;
+            let readers = match cfg.transport {
+                TransportKind::ObjectStore => w as f64,
+                TransportKind::Direct => (w as f64 * DIRECT_FALLBACK_HEADROOM).ceil(),
+            };
             puts += senders;
-            gets += senders * w as f64;
-            lists += w as f64 * 8.0;
+            gets += senders * readers;
+            lists += readers * 8.0;
         }
     }
     let prices = system.cloud().billing.prices();

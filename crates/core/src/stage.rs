@@ -272,27 +272,18 @@ pub struct QueryDag {
 }
 
 impl QueryDag {
-    /// Verify the topological invariant every scheduler pass relies on:
-    /// each stage's inputs precede it, and only the last stage reports to
-    /// the driver.
+    /// Statically verify the plan against the operator contracts —
+    /// topology, schema flow across every exchange edge, terminal/output
+    /// agreement, final-stage agreement — via [`crate::verify::verify_dag`].
+    /// Fleet sizing is checked separately once the driver has planned
+    /// worker counts ([`crate::verify::verify_fleets`]).
     pub fn validate(&self) -> Result<()> {
-        for (sid, kind) in self.stages.iter().enumerate() {
-            for input in kind.inputs() {
-                if input >= sid {
-                    return Err(CoreError::Engine(format!(
-                        "stage {sid} consumes stage {input}: not topologically ordered"
-                    )));
-                }
-            }
-            let is_last = sid + 1 == self.stages.len();
-            if is_last != matches!(kind.output(), StageOutput::Driver) {
-                return Err(CoreError::Engine(format!(
-                    "stage {sid} of {}: exactly the last stage must output to the driver",
-                    self.stages.len()
-                )));
-            }
+        let diags = crate::verify::verify_dag(self);
+        if diags.is_empty() {
+            Ok(())
+        } else {
+            Err(CoreError::InvalidPlan(diags))
         }
-        Ok(())
     }
 }
 
@@ -306,7 +297,29 @@ pub fn split(plan: &LogicalPlan) -> Result<QueryDag> {
 }
 
 /// [`split`] with explicit planner options; see [`SplitOptions`].
+///
+/// In debug builds every emitted DAG is re-checked by the static plan
+/// verifier — a lowering bug that breaks an operator contract fails loudly
+/// here instead of burning invocations downstream.
 pub fn split_with(plan: &LogicalPlan, opts: &SplitOptions) -> Result<QueryDag> {
+    let dag = split_with_inner(plan, opts)?;
+    debug_assert!(
+        {
+            let diags = crate::verify::verify_dag(&dag);
+            if !diags.is_empty() {
+                eprintln!("split_with produced an invalid DAG:");
+                for d in &diags {
+                    eprintln!("  {d}");
+                }
+            }
+            diags.is_empty()
+        },
+        "split_with produced a DAG the plan verifier rejects"
+    );
+    Ok(dag)
+}
+
+fn split_with_inner(plan: &LogicalPlan, opts: &SplitOptions) -> Result<QueryDag> {
     let mut post: Vec<PostOp> = Vec::new();
     let mut node = plan;
     // Peel driver-side post-ops.

@@ -419,6 +419,9 @@ impl ExchangeTransport for DirectTransport {
             let conn = Semaphore::new(16);
             let mut fetches = Vec::with_capacity(senders);
             for snd in 0..senders {
+                // lint: allow(unwrap) — the poll loop above breaks only
+                // once `best` holds an announcement for every sender, so
+                // each `snd` in `0..senders` is present by construction.
                 let found = best.remove(&snd).expect("loop exits only when complete");
                 if matches!(&found, Found::Direct { len: 0, .. } | Found::Store { len: 0, .. }) {
                     continue; // empty part: announced, never fetched, omitted

@@ -767,8 +767,12 @@ async fn run_scan_exchange(
             let groups: u64 = shards.iter().map(|s| s.num_groups() as u64).sum();
             (agg_shard_parts(&shards), groups)
         }
-        PipelineOutput::Batches(run) if shared.sort.is_some() => {
-            let edge = shared.sort.as_ref().expect("checked");
+        PipelineOutput::Batches(run) => {
+            let Some(edge) = shared.sort.as_ref() else {
+                return Err(CoreError::Engine(
+                    "scan-exchange task needs a sharding or sort-partition terminal".to_string(),
+                ));
+            };
             let run = RecordBatch::concat(edge.schema.clone(), &run)?;
             let (rows, bytes) = sort_exchange_out(
                 env,

@@ -278,7 +278,7 @@ impl Pipeline {
                 state.update_batch(&gcols, &acols, projected.num_rows())?;
             }
             (Terminal::Collect | Terminal::SortPartition { .. }, _) => {
-                self.collected.push(projected)
+                self.collected.push(projected);
             }
             (Terminal::HashPartition { keys, partitions }, _) => {
                 let mut indices: Vec<Vec<usize>> = vec![Vec::new(); *partitions];

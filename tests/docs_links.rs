@@ -43,6 +43,15 @@ fn markdown_cross_references_resolve() {
         }
     }
     assert!(documents.len() >= 3, "README + at least two docs, got {documents:?}");
+    // The operator contracts and their machine-checked counterpart must
+    // both stay in the checked set — the verifier's diagnostic table
+    // cross-links into OPERATORS.md line by line.
+    for required in ["OPERATORS.md", "VERIFIER.md"] {
+        assert!(
+            documents.iter().any(|d| d.file_name().is_some_and(|n| n == required)),
+            "docs/{required} missing from the link check"
+        );
+    }
 
     let mut broken = Vec::new();
     let mut checked = 0usize;

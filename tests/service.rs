@@ -5,12 +5,15 @@
 
 use std::time::Duration;
 
+use lambada::core::stage::{split_with, SplitOptions, StageKind, StageOutput};
+use lambada::core::verify::codes;
 use lambada::core::{
     inject_query_worker_faults, AggStrategy, CoreError, Lambada, LambadaConfig, QueryReport,
-    QueryService, ServiceConfig, SortStrategy, SpeculationConfig, TenantBudget, WorkerTask,
+    QueryService, ServiceConfig, SortStrategy, SpeculationConfig, TenantBudget, TransportKind,
+    WorkerTask,
 };
 use lambada::engine::logical::LogicalPlan;
-use lambada::engine::{RecordBatch, Scalar};
+use lambada::engine::{DataType, Df, Field, Optimizer, RecordBatch, Scalar, Schema};
 use lambada::sim::{Cloud, CloudConfig, InjectedFault, Simulation};
 use lambada::workloads::{
     q1, q12, q21, q3, q4, q5, q6, stage_real, stage_real_customer, stage_real_orders,
@@ -612,4 +615,91 @@ fn fault_in_one_query_does_not_delay_neighbors() {
             );
         }
     }
+}
+
+/// A malformed DAG submitted through the service is rejected by the
+/// static verifier with a typed diagnostic — before a cent of the
+/// tenant's budget is reserved and before a single worker launches —
+/// and the service keeps serving valid queries afterwards.
+#[test]
+fn invalid_dag_is_rejected_before_any_spend() {
+    let sim = Simulation::new();
+    let (_cloud, system) = staged_lineitem(&sim);
+    let service = QueryService::with_config(
+        system,
+        ServiceConfig {
+            max_inflight_workers: 16,
+            max_concurrent_queries: 4,
+            shrink_fleets: false,
+            default_budget: TenantBudget::default(),
+        },
+    );
+
+    // Planner output with one seeded contract break: a mid-DAG stage
+    // claiming driver output while a downstream join still reads it.
+    let t = Schema::new(vec![Field::new("k1", DataType::Int64), Field::new("a", DataType::Int64)]);
+    let u = Schema::new(vec![Field::new("uk", DataType::Int64), Field::new("b", DataType::Int64)]);
+    let plan = Df::scan("t", &t).join(Df::scan("u", &u), &[("k1", "uk")]).unwrap().build();
+    let optimized = Optimizer::new().optimize(&plan).unwrap();
+    let mut dag = split_with(&optimized, &SplitOptions::default()).unwrap();
+    match &mut dag.stages[0] {
+        StageKind::Scan(s) => s.output = StageOutput::Driver,
+        other => panic!("expected a scan first stage, got {other:?}"),
+    }
+
+    let handle = service.submit_dag("acme", &dag);
+    let err = sim.block_on(handle).unwrap_err();
+    match err {
+        CoreError::InvalidPlan(diags) => {
+            assert!(
+                diags.iter().any(|d| d.code == codes::TOPO_DRIVER),
+                "expected {} in {diags:?}",
+                codes::TOPO_DRIVER
+            );
+        }
+        other => panic!("expected InvalidPlan, got {other:?}"),
+    }
+
+    // Zero spend: no worker ever launched, no budget reserved, nothing
+    // settled against the tenant.
+    assert_eq!(service.peak_inflight_workers(), 0, "no worker may launch");
+    if let Some(usage) = service.tenant_usage("acme") {
+        assert_eq!(usage.requests_used, 0, "no requests reserved or settled");
+        assert_eq!(usage.completed + usage.failed, 0);
+        assert_eq!(usage.running + usage.queued, 0);
+    }
+
+    // The rejection is per-query: the same tenant's next valid query
+    // runs to completion and is the only thing the ledger records.
+    let report = sim.block_on(service.run("acme", &q6("lineitem"))).unwrap();
+    assert!(report.batch.num_rows() >= 1);
+    let usage = service.tenant_usage("acme").expect("valid query registers the tenant");
+    assert_eq!(usage.completed, 1);
+    assert!(usage.requests_used > 0);
+}
+
+/// Satellite check on the admission estimator: under the direct
+/// transport the exchange edges are priced with the fallback bound from
+/// `direct_edge_counts`, so the same join query reserves a strictly
+/// smaller request envelope than under the object-store transport —
+/// while the worker plan (and so the fair-queueing cost) is identical.
+#[test]
+fn direct_transport_shrinks_admission_estimate() {
+    let estimate_with = |transport: TransportKind| {
+        let sim = Simulation::new();
+        let (_cloud, system) =
+            staged_system(&sim, LambadaConfig { transport, ..service_lambada_config() });
+        let service = QueryService::new(system);
+        service.estimate(&q3("lineitem", "orders")).unwrap()
+    };
+    let store = estimate_with(TransportKind::ObjectStore);
+    let direct = estimate_with(TransportKind::Direct);
+    assert_eq!(store.workers, direct.workers, "transport must not change the fleet plan");
+    assert!(
+        direct.requests < store.requests,
+        "direct envelope {} must undercut store envelope {}",
+        direct.requests,
+        store.requests
+    );
+    assert!(direct.request_dollars < store.request_dollars);
 }

@@ -1,0 +1,576 @@
+//! `cargo xtask lint` — the offline workspace linter.
+//!
+//! Enforces repo invariants the compiler can't see, as the second layer
+//! of the static-analysis pass (`core::verify` checks plans at runtime;
+//! this checks sources at CI time). Dependency-free by design — the
+//! vendor tree carries no `syn`, so everything is line-based scanning
+//! over [`code_only`]-stripped text:
+//!
+//! 1. **hot-path-panic** — no `.unwrap()` / `.expect(` / `panic!(` in
+//!    the worker/driver/exchange hot paths (`crates/core/src`, the
+//!    files in [`HOT_PATH_FILES`]). Test modules are exempt, and a
+//!    documented-infallible site is allowlisted by a
+//!    `// lint: allow(unwrap) — <reason>` comment directly above it;
+//!    the reason is required.
+//! 2. **doc-variant** — every `StageKind` and `TransportKind` variant
+//!    is named in `docs/OPERATORS.md`, so the operator reference can't
+//!    silently fall behind the planner.
+//! 3. **doc-metric** — every public `WorkerMetrics` field is named in
+//!    `docs/OPERATORS.md`'s stage-report metric table.
+//! 4. **wire-stability** — every public struct/enum in the wire-format
+//!    module (`crates/core/src/message.rs`) carries a doc comment with
+//!    a `Wire stability` note.
+//!
+//! Findings print as `path:line: [rule] message`; the process exits
+//! nonzero when any are found, so CI fails the build.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// Hot-path files of `crates/core/src` where a stray panic kills a paid
+/// serverless invocation instead of surfacing a typed `CoreError`.
+const HOT_PATH_FILES: &[&str] = &[
+    "driver.rs",
+    "worker.rs",
+    "exchange.rs",
+    "transport.rs",
+    "scan.rs",
+    "invoke.rs",
+    "partition.rs",
+    "message.rs",
+    "routing.rs",
+];
+
+const ALLOW_MARKER: &str = "lint: allow(unwrap)";
+/// Minimum justification length after the allow marker.
+const MIN_REASON: usize = 10;
+
+struct Finding {
+    path: PathBuf,
+    line: usize,
+    rule: &'static str,
+    message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: [{}] {}", self.path.display(), self.line, self.rule, self.message)
+    }
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    match args.next().as_deref() {
+        Some("lint") => lint(),
+        Some(other) => {
+            eprintln!("unknown xtask `{other}`; available: lint");
+            ExitCode::from(2)
+        }
+        None => {
+            eprintln!("usage: cargo xtask lint");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn lint() -> ExitCode {
+    let root = workspace_root();
+    let mut findings = Vec::new();
+
+    for file in HOT_PATH_FILES {
+        let path = root.join("crates/core/src").join(file);
+        match std::fs::read_to_string(&path) {
+            Ok(src) => lint_hot_path(&path, &src, &mut findings),
+            Err(e) => findings.push(Finding {
+                path,
+                line: 0,
+                rule: "hot-path-panic",
+                message: format!("cannot read file: {e}"),
+            }),
+        }
+    }
+
+    let docs = read_or_report(&root.join("docs/OPERATORS.md"), "doc-variant", &mut findings);
+    let stage_src =
+        read_or_report(&root.join("crates/core/src/stage.rs"), "doc-variant", &mut findings);
+    let transport_src =
+        read_or_report(&root.join("crates/core/src/transport.rs"), "doc-variant", &mut findings);
+    let message_src =
+        read_or_report(&root.join("crates/core/src/message.rs"), "wire-stability", &mut findings);
+
+    if let (Some(docs), Some(stage_src)) = (&docs, &stage_src) {
+        lint_doc_variants(
+            &root.join("crates/core/src/stage.rs"),
+            stage_src,
+            "StageKind",
+            docs,
+            &mut findings,
+        );
+    }
+    if let (Some(docs), Some(transport_src)) = (&docs, &transport_src) {
+        lint_doc_variants(
+            &root.join("crates/core/src/transport.rs"),
+            transport_src,
+            "TransportKind",
+            docs,
+            &mut findings,
+        );
+    }
+    if let (Some(docs), Some(message_src)) = (&docs, &message_src) {
+        lint_doc_metrics(
+            &root.join("crates/core/src/message.rs"),
+            message_src,
+            docs,
+            &mut findings,
+        );
+    }
+    if let Some(message_src) = &message_src {
+        lint_wire_stability(&root.join("crates/core/src/message.rs"), message_src, &mut findings);
+    }
+
+    if findings.is_empty() {
+        println!("xtask lint: clean");
+        ExitCode::SUCCESS
+    } else {
+        for f in &findings {
+            println!("{f}");
+        }
+        println!("xtask lint: {} finding(s)", findings.len());
+        ExitCode::FAILURE
+    }
+}
+
+/// The workspace root: xtask always runs via cargo, which sets the
+/// manifest dir to `<root>/xtask`.
+fn workspace_root() -> PathBuf {
+    let manifest = std::env::var("CARGO_MANIFEST_DIR").unwrap_or_else(|_| ".".to_string());
+    let p = PathBuf::from(manifest);
+    p.parent().map(Path::to_path_buf).unwrap_or(p)
+}
+
+fn read_or_report(path: &Path, rule: &'static str, findings: &mut Vec<Finding>) -> Option<String> {
+    match std::fs::read_to_string(path) {
+        Ok(s) => Some(s),
+        Err(e) => {
+            findings.push(Finding {
+                path: path.to_path_buf(),
+                line: 0,
+                rule,
+                message: format!("cannot read file: {e}"),
+            });
+            None
+        }
+    }
+}
+
+/// Strip line comments, block comments, and string literals from one
+/// line, so `{}`/`.unwrap()` inside format strings or comments never
+/// trip brace tracking or pattern matches. `in_block` carries block
+/// comment state across lines.
+fn code_only(line: &str, in_block: &mut bool) -> String {
+    let mut out = String::with_capacity(line.len());
+    let bytes = line.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if *in_block {
+            if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                *in_block = false;
+                i += 2;
+            } else {
+                i += 1;
+            }
+            continue;
+        }
+        match bytes[i] {
+            b'/' if bytes.get(i + 1) == Some(&b'/') => break,
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                *in_block = true;
+                i += 2;
+            }
+            b'"' => {
+                // Skip the string literal (escape-aware); keep a marker
+                // so `.expect("...")` still reads as `.expect("")`.
+                out.push_str("\"\"");
+                i += 1;
+                while i < bytes.len() {
+                    match bytes[i] {
+                        b'\\' => i += 2,
+                        b'"' => {
+                            i += 1;
+                            break;
+                        }
+                        _ => i += 1,
+                    }
+                }
+            }
+            c => {
+                out.push(c as char);
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Lint one hot-path file: flag `.unwrap()` / `.expect(` / `panic!(`
+/// outside test modules, honoring `lint: allow(unwrap)` markers with a
+/// justification.
+fn lint_hot_path(path: &Path, src: &str, findings: &mut Vec<Finding>) {
+    let mut in_block = false;
+    // Depth-based skip of `#[cfg(test)] mod ... { ... }` regions.
+    let mut depth: i64 = 0;
+    let mut skip_from_depth: Option<i64> = None;
+    let mut pending_cfg_test = false;
+    // An allow marker arms an exemption for the next code line.
+    let mut armed = false;
+    let mut armed_with_reason = false;
+
+    for (idx, raw) in src.lines().enumerate() {
+        let line_no = idx + 1;
+        let trimmed = raw.trim_start();
+        if let Some(pos) = raw.find(ALLOW_MARKER) {
+            armed = true;
+            armed_with_reason = raw[pos + ALLOW_MARKER.len()..].trim().len() >= MIN_REASON;
+        }
+        let code = code_only(raw, &mut in_block);
+
+        if skip_from_depth.is_none() && trimmed.starts_with("#[cfg(test)]") {
+            pending_cfg_test = true;
+        } else if pending_cfg_test && skip_from_depth.is_none() {
+            // The attribute applies to the next item; only `mod` bodies
+            // are skipped wholesale (a `#[cfg(test)] use ...` is inert).
+            // Further attributes between the cfg and the item keep the
+            // pending state alive.
+            let t = code.trim_start();
+            if t.starts_with("mod ") || t.starts_with("pub mod ") {
+                skip_from_depth = Some(depth);
+                pending_cfg_test = false;
+            } else if !t.is_empty() && !t.starts_with("#[") {
+                pending_cfg_test = false;
+            }
+        }
+
+        let depth_before = depth;
+        for c in code.chars() {
+            match c {
+                '{' => depth += 1,
+                '}' => depth -= 1,
+                _ => {}
+            }
+        }
+        if let Some(d) = skip_from_depth {
+            // Leave skip mode once the module body closes.
+            if depth <= d && depth_before > d {
+                skip_from_depth = None;
+            }
+            continue;
+        }
+
+        if code.trim().is_empty() {
+            continue; // comment/blank line keeps any armed marker alive
+        }
+        let violation =
+            [".unwrap()", ".expect(", "panic!("].iter().find(|p| code.contains(&***p)).copied();
+        if let Some(pat) = violation {
+            if armed {
+                if !armed_with_reason {
+                    findings.push(Finding {
+                        path: path.to_path_buf(),
+                        line: line_no,
+                        rule: "hot-path-panic",
+                        message: format!(
+                            "`{ALLOW_MARKER}` needs a justification (≥ {MIN_REASON} chars)"
+                        ),
+                    });
+                }
+            } else {
+                findings.push(Finding {
+                    path: path.to_path_buf(),
+                    line: line_no,
+                    rule: "hot-path-panic",
+                    message: format!(
+                        "`{pat}` in a hot path; return a typed CoreError or annotate \
+                         with `// {ALLOW_MARKER} — <reason>`",
+                        pat = pat.trim_start_matches('.')
+                    ),
+                });
+            }
+        }
+        armed = false;
+        armed_with_reason = false;
+    }
+}
+
+/// Extract the variant names of `pub enum <name>` from source text.
+fn enum_variants(src: &str, name: &str) -> Vec<String> {
+    let header = format!("pub enum {name}");
+    let mut in_block = false;
+    let mut variants = Vec::new();
+    let mut inside = false;
+    let mut depth = 0i64;
+    for raw in src.lines() {
+        let code = code_only(raw, &mut in_block);
+        if !inside {
+            if code.contains(&header) {
+                inside = true;
+                depth = 0;
+                for c in code.chars() {
+                    match c {
+                        '{' => depth += 1,
+                        '}' => depth -= 1,
+                        _ => {}
+                    }
+                }
+            }
+            continue;
+        }
+        let trimmed = code.trim();
+        // A variant line at depth 1 starts with an uppercase identifier.
+        if depth == 1 {
+            let ident: String =
+                trimmed.chars().take_while(|c| c.is_ascii_alphanumeric() || *c == '_').collect();
+            if ident.chars().next().is_some_and(|c| c.is_ascii_uppercase()) {
+                variants.push(ident);
+            }
+        }
+        for c in code.chars() {
+            match c {
+                '{' => depth += 1,
+                '}' => depth -= 1,
+                _ => {}
+            }
+        }
+        if depth <= 0 {
+            break;
+        }
+    }
+    variants
+}
+
+fn lint_doc_variants(
+    path: &Path,
+    src: &str,
+    enum_name: &str,
+    docs: &str,
+    findings: &mut Vec<Finding>,
+) {
+    let variants = enum_variants(src, enum_name);
+    if variants.is_empty() {
+        findings.push(Finding {
+            path: path.to_path_buf(),
+            line: 0,
+            rule: "doc-variant",
+            message: format!("could not find any variants of `pub enum {enum_name}`"),
+        });
+        return;
+    }
+    for v in variants {
+        if !docs.contains(&v) {
+            findings.push(Finding {
+                path: path.to_path_buf(),
+                line: 0,
+                rule: "doc-variant",
+                message: format!("{enum_name}::{v} is not mentioned in docs/OPERATORS.md"),
+            });
+        }
+    }
+}
+
+/// Extract `pub <field>:` names of `pub struct <name> { ... }`.
+fn struct_fields(src: &str, name: &str) -> Vec<String> {
+    let header = format!("pub struct {name}");
+    let mut in_block = false;
+    let mut fields = Vec::new();
+    let mut inside = false;
+    for raw in src.lines() {
+        let code = code_only(raw, &mut in_block);
+        if !inside {
+            if code.contains(&header) {
+                inside = true;
+            }
+            continue;
+        }
+        let trimmed = code.trim();
+        if trimmed.starts_with('}') {
+            break;
+        }
+        if let Some(rest) = trimmed.strip_prefix("pub ") {
+            if let Some(colon) = rest.find(':') {
+                let ident = rest[..colon].trim();
+                if ident.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') && !ident.is_empty()
+                {
+                    fields.push(ident.to_string());
+                }
+            }
+        }
+    }
+    fields
+}
+
+fn lint_doc_metrics(path: &Path, src: &str, docs: &str, findings: &mut Vec<Finding>) {
+    let fields = struct_fields(src, "WorkerMetrics");
+    if fields.is_empty() {
+        findings.push(Finding {
+            path: path.to_path_buf(),
+            line: 0,
+            rule: "doc-metric",
+            message: "could not find any fields of `pub struct WorkerMetrics`".to_string(),
+        });
+        return;
+    }
+    for f in fields {
+        if !docs.contains(&f) {
+            findings.push(Finding {
+                path: path.to_path_buf(),
+                line: 0,
+                rule: "doc-metric",
+                message: format!(
+                    "WorkerMetrics::{f} is not documented in docs/OPERATORS.md's metric table"
+                ),
+            });
+        }
+    }
+}
+
+/// Every public type in the wire-format module needs a `Wire stability`
+/// doc note, so codec discipline (append-only fields, frozen tags) is
+/// stated where the next editor will read it.
+fn lint_wire_stability(path: &Path, src: &str, findings: &mut Vec<Finding>) {
+    let lines: Vec<&str> = src.lines().collect();
+    for (idx, raw) in lines.iter().enumerate() {
+        let trimmed = raw.trim_start();
+        let is_pub_type = (trimmed.starts_with("pub struct ") || trimmed.starts_with("pub enum "))
+            && raw.starts_with("pub"); // top-level only (no indentation)
+        if !is_pub_type {
+            continue;
+        }
+        // Walk back over the doc/attribute/derive block above the item.
+        let mut noted = false;
+        let mut j = idx;
+        while j > 0 {
+            j -= 1;
+            let above = lines[j].trim_start();
+            if above.starts_with("///") || above.starts_with("#[") {
+                if above.contains("Wire stability") {
+                    noted = true;
+                    break;
+                }
+            } else {
+                break;
+            }
+        }
+        if !noted {
+            let name = trimmed
+                .trim_start_matches("pub struct ")
+                .trim_start_matches("pub enum ")
+                .split(|c: char| !c.is_ascii_alphanumeric() && c != '_')
+                .next()
+                .unwrap_or("")
+                .to_string();
+            findings.push(Finding {
+                path: path.to_path_buf(),
+                line: idx + 1,
+                rule: "wire-stability",
+                message: format!("public wire type `{name}` has no `Wire stability` doc note"),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strip(line: &str) -> String {
+        let mut in_block = false;
+        code_only(line, &mut in_block)
+    }
+
+    #[test]
+    fn code_only_strips_comments_and_strings() {
+        assert_eq!(strip("let x = 1; // .unwrap()"), "let x = 1; ");
+        assert_eq!(
+            strip(r#"let m = format!("call .unwrap() {}", x);"#),
+            "let m = format!(\"\", x);"
+        );
+        assert_eq!(strip("a /* panic!( */ b"), "a  b");
+        assert_eq!(strip(r#"let s = "brace { inside";"#), "let s = \"\";");
+    }
+
+    #[test]
+    fn code_only_tracks_block_comments_across_lines() {
+        let mut in_block = false;
+        assert_eq!(code_only("before /* start", &mut in_block), "before ");
+        assert!(in_block);
+        assert_eq!(code_only(".unwrap() still comment", &mut in_block), "");
+        assert_eq!(code_only("end */ after", &mut in_block), " after");
+        assert!(!in_block);
+    }
+
+    fn run_hot_path(src: &str) -> Vec<String> {
+        let mut findings = Vec::new();
+        lint_hot_path(Path::new("t.rs"), src, &mut findings);
+        findings.into_iter().map(|f| format!("{}:{}", f.line, f.rule)).collect()
+    }
+
+    #[test]
+    fn hot_path_flags_unwrap_expect_panic() {
+        assert_eq!(run_hot_path("let x = y.unwrap();").len(), 1);
+        assert_eq!(run_hot_path("let x = y.expect(\"m\");").len(), 1);
+        assert_eq!(run_hot_path("panic!(\"boom\");").len(), 1);
+        assert!(run_hot_path("let x = y.unwrap_or(0);").is_empty());
+    }
+
+    #[test]
+    fn hot_path_honors_allow_marker_with_reason() {
+        let src = "// lint: allow(unwrap) — the loop above guarantees presence\n\
+                   let x = m.remove(&k).expect(\"present\");";
+        assert!(run_hot_path(src).is_empty());
+        // Marker survives intervening comment lines.
+        let src = "// lint: allow(unwrap) — the loop above guarantees presence\n\
+                   // and this continues the explanation\n\
+                   let x = m.remove(&k).expect(\"present\");";
+        assert!(run_hot_path(src).is_empty());
+        // Reason is mandatory.
+        let src = "// lint: allow(unwrap)\nlet x = y.unwrap();";
+        assert_eq!(run_hot_path(src).len(), 1);
+        // The marker covers one code line only.
+        let src = "// lint: allow(unwrap) — a perfectly good reason\n\
+                   let a = b.unwrap();\n\
+                   let c = d.unwrap();";
+        assert_eq!(run_hot_path(src).len(), 1);
+    }
+
+    #[test]
+    fn hot_path_skips_test_modules() {
+        let src = "fn f() {}\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n\
+                   fn g() { x.unwrap(); }\n\
+                   }\n\
+                   fn h() { y.unwrap(); }";
+        let found = run_hot_path(src);
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert!(found[0].starts_with("6:"), "{found:?}");
+    }
+
+    #[test]
+    fn enum_variants_and_struct_fields_parse() {
+        let src = "/// doc\npub enum StageKind {\n    Scan(ScanStage),\n    Join(JoinStage),\n    \
+                   AggMerge(AggMergeStage),\n    Sort(SortStage),\n}\n";
+        assert_eq!(enum_variants(src, "StageKind"), vec!["Scan", "Join", "AggMerge", "Sort"]);
+        let src = "pub struct WorkerMetrics {\n    /// doc\n    pub rows_in: u64,\n    pub cold_start: bool,\n}\n";
+        assert_eq!(struct_fields(src, "WorkerMetrics"), vec!["rows_in", "cold_start"]);
+    }
+
+    #[test]
+    fn wire_stability_requires_note() {
+        let mut findings = Vec::new();
+        let src = "/// Wire stability: append-only.\npub struct A { pub x: u64 }\n\n\
+                   /// No note here.\npub struct B { pub y: u64 }\n";
+        lint_wire_stability(Path::new("m.rs"), src, &mut findings);
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].message.contains("`B`"), "{}", findings[0].message);
+    }
+}
