@@ -13,7 +13,7 @@
 //! LAMBADA_FIG_MULTIWAY_ROWS=4000 LAMBADA_FIG_MULTIWAY_WIDTHS=2
 //! cargo bench --bench fig_multiway_sort`.
 
-use lambada_bench::{banner, env_usize};
+use lambada_bench::{banner, env_usize, record_bench_summary};
 use lambada_core::{AggStrategy, Lambada, LambadaConfig, QueryReport, SortStrategy};
 use lambada_engine::expr::col;
 use lambada_engine::logical::SortKey;
@@ -118,6 +118,12 @@ fn main() {
             r.latency_secs,
             request_dollars(&r),
             r.backup_invocations(),
+        );
+        record_bench_summary(
+            "fig_multiway_sort",
+            &format!("depth{depth}"),
+            r.latency_secs,
+            request_dollars(&r),
         );
     }
 

@@ -114,6 +114,31 @@ fn bench_partitioning(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_bundle(c: &mut Criterion) {
+    use lambada_core::{decode_bundle, encode_bundle_into, PartData};
+    use lambada_sim::services::object_store::Body;
+    let parts: Vec<(u32, PartData)> =
+        (0..64u32).map(|dest| (dest, PartData::Real(vec![dest as u8; 16 * 1024]))).collect();
+    let total: u64 = parts.iter().map(|(_, d)| d.len()).sum();
+    let mut g = c.benchmark_group("core/exchange");
+    g.throughput(Throughput::Bytes(total));
+    g.bench_function("encode_bundle_64x16KiB", |b| {
+        // One scratch buffer reused across iterations — the same
+        // write-combined hot path the exchange runs once per round.
+        let mut scratch: Vec<u8> = Vec::new();
+        b.iter(|| {
+            scratch.clear();
+            encode_bundle_into(black_box(&mut scratch), &parts).unwrap()
+        });
+    });
+    let mut encoded: Vec<u8> = Vec::new();
+    encode_bundle_into(&mut encoded, &parts).unwrap();
+    g.bench_function("decode_bundle_64x16KiB", |b| {
+        b.iter(|| decode_bundle(Body::from_vec(black_box(encoded.clone())), Vec::new()).unwrap());
+    });
+    g.finish();
+}
+
 fn bench_executor(c: &mut Criterion) {
     use lambada_sim::{secs, Simulation};
     let mut g = c.benchmark_group("sim/executor");
@@ -145,6 +170,7 @@ criterion_group!(
     bench_kernels,
     bench_hash_agg,
     bench_partitioning,
+    bench_bundle,
     bench_executor
 );
 criterion_main!(benches);

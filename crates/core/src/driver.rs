@@ -3,18 +3,28 @@
 //! (§3.1/§3.3). Nothing here is "always on" — every run pays only for the
 //! requests and worker-seconds it uses.
 //!
-//! Queries execute as a stage DAG under a *topological wave scheduler*:
-//! stage `s` runs in wave `1 + max(wave of s's inputs)` (sources in wave
-//! 0), so independent stages — the scans of a join, both sides of a
-//! diamond — launch concurrently, each writing its output onto an
-//! exchange edge in cloud storage; consumer fleets (join, agg-merge,
-//! sort workers) pick their co-partitions up from there. The scheduler
-//! is shape-agnostic: a single-fragment Q1 is just a one-stage DAG, a
+//! Queries execute as a stage DAG under an *event-driven stage
+//! scheduler*: every stage gets its own concurrently spawned fleet
+//! future, which sleeps on a shared [`StageBoard`] until the stage's
+//! launch plan — a per-stage list of [`WaitEvent`]s computed by
+//! [`sched::plan_schedule`] — is satisfied, then admits, invokes, and
+//! collects its fleet, writing its output onto an exchange edge in
+//! cloud storage for consumer fleets (join, agg-merge, sort workers) to
+//! pick up. Under the default [`SchedMode::Eager`] a stage launches the
+//! moment its *own* inputs complete, so it never idles behind an
+//! unrelated topological level-mate. [`SchedMode::Overlap`] goes
+//! further and launches a consumer while its producers still run,
+//! streaming sections in through the exchange's discovery polls — but
+//! only on edges where the cost model prices the billed poll-wait under
+//! [`crate::costmodel::OVERLAP_POLL_HEADROOM`] (overlapped consumers
+//! bill while polling). [`SchedMode::Wave`] reproduces the legacy
+//! topological wave order as a measurable baseline. The scheduler is
+//! shape-agnostic: a single-fragment Q1 is just a one-stage DAG, a
 //! five-way join tree or a diamond runs through exactly the same loop,
 //! and speculation, fleet sizing, and [`StageReport`]s apply to every
 //! stage uniformly. Consumer fleets are sized per stage by the compute
-//! cost model. Per-stage worker counts and exact request counters are
-//! reported in [`QueryReport::stages`].
+//! cost model. Per-stage worker counts, queue-wait vs execution time,
+//! and exact request counters are reported in [`QueryReport::stages`].
 
 use std::collections::{HashMap, HashSet};
 use std::rc::Rc;
@@ -33,6 +43,7 @@ use crate::exchange::{install_exchange_buckets, ExchangeConfig, ExchangeSide};
 use crate::invoke::{self, invoke_workers, InvocationStrategy};
 use crate::message::{ResultPayload, WorkerMetrics, WorkerResult};
 use crate::scan::ScanConfig;
+use crate::sched::{self, SchedMode, StageBoard, WaitEvent};
 use crate::service::{ServiceConfig, WorkerGate};
 use crate::stage::{
     self, AggMergeStage, FinalStage, PostOp, QueryDag, ScanStage, SortStage, SplitOptions,
@@ -168,6 +179,10 @@ pub struct LambadaConfig {
     /// (default) or direct worker-to-worker streaming with object-store
     /// fallback.
     pub transport: TransportKind,
+    /// Stage scheduling mode: dependency-driven eager launch (default),
+    /// cost-priced producer→consumer overlap, or the legacy topological
+    /// wave baseline. Per-query override via [`ExecPolicy::scheduler`].
+    pub scheduler: SchedMode,
     /// Speculative re-invocation of straggling workers.
     pub speculation: SpeculationConfig,
     /// Multi-tenant query service layer (admission control, per-tenant
@@ -195,6 +210,7 @@ impl Default for LambadaConfig {
             agg: AggStrategy::DriverMerge,
             sort: SortStrategy::Driver,
             transport: TransportKind::default(),
+            scheduler: SchedMode::default(),
             speculation: SpeculationConfig::default(),
             service: ServiceConfig::default(),
         }
@@ -220,6 +236,9 @@ pub struct ExecPolicy {
     /// Per-query transport override (`None` ⇒ the installation's
     /// [`LambadaConfig::transport`]).
     pub transport: Option<TransportKind>,
+    /// Per-query scheduler override (`None` ⇒ the installation's
+    /// [`LambadaConfig::scheduler`]).
+    pub scheduler: Option<SchedMode>,
 }
 
 /// Per-stage execution summary of one query.
@@ -232,10 +251,23 @@ pub struct StageReport {
     /// `agg#3`, `sort#4`.
     pub label: String,
     pub workers: usize,
-    /// Virtual seconds from stage launch to last worker report.
+    /// Virtual seconds from the stage's enqueue (query start) to its
+    /// last worker report: `queue_wait_secs + exec_secs`.
     pub wall_secs: f64,
-    /// Billing delta of the *wave* this stage ran in. Independent stages
-    /// launch concurrently and share one snapshot, so summing this field
+    /// Virtual seconds the stage spent waiting before launch: sleeping
+    /// on its launch plan's wait events (dependency readiness) plus
+    /// queueing on the shared worker gate.
+    pub queue_wait_secs: f64,
+    /// Virtual seconds from fleet launch (gate admitted, invocation
+    /// begins) to the last worker report.
+    pub exec_secs: f64,
+    /// Billed virtual seconds this stage's workers spent blocked in
+    /// exchange discovery polls, summed over the fleet. Under
+    /// [`SchedMode::Overlap`] this is the extra worker time the cost
+    /// model priced under [`crate::costmodel::OVERLAP_POLL_HEADROOM`].
+    pub exchange_wait_secs: f64,
+    /// Billing delta over this stage's execution window. Stages launch
+    /// concurrently and their windows overlap, so summing this field
     /// across stages over-counts; use the per-stage request counters
     /// below for exact attribution.
     pub cost: BillingSnapshot,
@@ -392,7 +424,10 @@ struct StageRun {
     results: Vec<WorkerResult>,
     workers: usize,
     invoke_secs: f64,
-    wall_secs: f64,
+    /// Enqueue → launch: board waits plus gate queueing.
+    queue_wait_secs: f64,
+    /// Launch → last worker report.
+    exec_secs: f64,
     cost: BillingSnapshot,
     backup_invocations: u64,
 }
@@ -515,8 +550,8 @@ impl Lambada {
         self.run_dag(&dag).await
     }
 
-    /// Execute a stage DAG across serverless workers — the topological
-    /// wave scheduler. Public so tests (and adventurous callers) can run
+    /// Execute a stage DAG across serverless workers — the event-driven
+    /// stage scheduler. Public so tests (and adventurous callers) can run
     /// hand-built DAG shapes, diamonds included, that the planner does
     /// not emit.
     pub async fn run_dag(&self, dag: &QueryDag) -> Result<QueryReport> {
@@ -524,11 +559,11 @@ impl Lambada {
     }
 
     /// [`Lambada::run_dag`] under an explicit [`ExecPolicy`]: the same
-    /// wave scheduler, but fleets are clamped to the policy's cap and
-    /// gated through its shared worker gate. The query service runs every
-    /// admitted query through here; several `run_dag_with` futures for
-    /// one installation interleave freely — exchange channels and result
-    /// queues are already namespaced by query id.
+    /// event-driven scheduler, but fleets are clamped to the policy's cap
+    /// and gated through its shared worker gate. The query service runs
+    /// every admitted query through here; several `run_dag_with` futures
+    /// for one installation interleave freely — exchange channels and
+    /// result queues are already namespaced by query id.
     pub async fn run_dag_with(&self, dag: &QueryDag, policy: &ExecPolicy) -> Result<QueryReport> {
         dag.validate()?;
         let qid = self.query_seq.get();
@@ -636,94 +671,117 @@ impl Lambada {
             P2pGuard { p2p: self.cloud.p2p.clone(), prefix: format!("x{}/q{qid}/", self.instance) }
         });
 
-        // Group stages into dependency waves: sources are wave 0; every
-        // consumer runs one wave after its latest input — a plain
-        // topological level assignment over `StageKind::inputs`, so any
-        // DAG shape schedules. Stages within a wave execute concurrently
-        // (the exchange edges synchronize through storage either way).
-        let mut levels: Vec<usize> = Vec::with_capacity(dag.stages.len());
-        for kind in &dag.stages {
-            let level = kind.inputs().iter().map(|&i| levels[i] + 1).max().unwrap_or(0);
-            levels.push(level);
+        // Build the launch plan: one wait-event list per stage, telling
+        // its fleet future when it may launch. Eager waits on input
+        // *completion*; overlap downgrades cost-approved edges to the
+        // producer's *launch*, letting the consumer's discovery polls
+        // stream sections in while the producer still runs; wave
+        // reproduces the legacy topological level barrier. Overlap
+        // prices edges from the same byte estimates that size fleets.
+        let sched_mode = policy.scheduler.unwrap_or(self.config.scheduler);
+        let sched_est = if sched_mode == SchedMode::Overlap {
+            self.estimated_stage_bytes(dag)?
+        } else {
+            Vec::new()
+        };
+        let plan =
+            sched::plan_schedule(dag, &self.config.costs, sched_mode, &sched_est, &planned_workers);
+        let sched_diags = verify::verify_schedule(dag, &plan);
+        if !sched_diags.is_empty() {
+            return Err(CoreError::InvalidPlan(sched_diags));
         }
-        let max_level = levels.iter().copied().max().unwrap_or(0);
 
-        let mut runs: Vec<Option<StageRun>> = dag.stages.iter().map(|_| None).collect();
-        for level in 0..=max_level {
-            let wave: Vec<usize> =
-                (0..dag.stages.len()).filter(|&sid| levels[sid] == level).collect();
-            let wave_before = self.cloud.billing.snapshot();
-            let mut handles = Vec::with_capacity(wave.len());
-            for &sid in &wave {
-                // The queue is created only after the payloads built
-                // without error, so a planning failure cannot leak it.
-                let result_queue = format!("lambada-results-x{}-q{qid}-s{sid}", self.instance);
-                let payloads = match &dag.stages[sid] {
-                    StageKind::Scan(scan) => self.scan_stage_payloads(
-                        qid,
-                        sid,
-                        scan,
-                        policy.fleet_cap,
-                        consumer_parts[sid],
-                        sort_edges[sid].clone(),
-                        &transport,
-                        &result_queue,
-                    )?,
-                    StageKind::Join(join) => self.join_stage_payloads(
-                        qid,
-                        sid,
-                        join,
-                        planned_workers[sid],
-                        consumer_parts[sid],
-                        sort_edges[sid].clone(),
-                        &transport,
-                        &planned_workers,
-                        &result_queue,
-                    )?,
-                    StageKind::AggMerge(agg) => self.agg_stage_payloads(
-                        qid,
-                        sid,
-                        agg,
-                        planned_workers[sid],
-                        sort_edges[sid].clone(),
-                        &transport,
-                        &planned_workers,
-                        &result_queue,
-                    )?,
-                    StageKind::Sort(sort) => self.sort_stage_payloads(
-                        qid,
-                        sort,
-                        planned_workers[sid],
-                        &planned_workers,
-                        &transport,
-                        &result_queue,
-                    ),
-                };
-                // A stage whose output rides a sort edge synchronizes its
-                // whole fleet on the sample barrier; hand the straggler
-                // watcher a probe for it.
-                let barrier = sort_edges[sid].as_ref().map(|edge| BarrierProbe {
-                    transport: Rc::clone(&transport),
-                    channel: format!("{}smp", self.channel(qid, sid)),
-                    senders: edge.senders,
-                });
-                self.cloud.sqs.create_queue(&result_queue);
-                handles.push(self.cloud.handle.spawn(run_fleet(
-                    self.cloud.clone(),
-                    self.config.clone(),
-                    result_queue,
-                    payloads,
-                    policy.gate.clone(),
-                    barrier,
-                )));
-            }
-            let wave_runs = lambada_sim::sync::join_all(handles).await;
-            let wave_cost = self.cloud.billing.snapshot().since(&wave_before);
-            for (&sid, run) in wave.iter().zip(wave_runs) {
-                let mut run = run?;
-                run.cost = wave_cost;
-                runs[sid] = Some(run);
-            }
+        // Build every stage's payloads before anything launches: a
+        // payload-planning failure must surface before the first
+        // invocation, and result queues are created only after *all*
+        // payloads built without error so a planning failure cannot
+        // leak one.
+        let mut staged: Vec<(String, Vec<WorkerPayload>)> = Vec::with_capacity(dag.stages.len());
+        for (sid, kind) in dag.stages.iter().enumerate() {
+            let result_queue = format!("lambada-results-x{}-q{qid}-s{sid}", self.instance);
+            let payloads = match kind {
+                StageKind::Scan(scan) => self.scan_stage_payloads(
+                    qid,
+                    sid,
+                    scan,
+                    policy.fleet_cap,
+                    consumer_parts[sid],
+                    sort_edges[sid].clone(),
+                    &transport,
+                    &result_queue,
+                )?,
+                StageKind::Join(join) => self.join_stage_payloads(
+                    qid,
+                    sid,
+                    join,
+                    planned_workers[sid],
+                    consumer_parts[sid],
+                    sort_edges[sid].clone(),
+                    &transport,
+                    &planned_workers,
+                    &result_queue,
+                )?,
+                StageKind::AggMerge(agg) => self.agg_stage_payloads(
+                    qid,
+                    sid,
+                    agg,
+                    planned_workers[sid],
+                    sort_edges[sid].clone(),
+                    &transport,
+                    &planned_workers,
+                    &result_queue,
+                )?,
+                StageKind::Sort(sort) => self.sort_stage_payloads(
+                    qid,
+                    sort,
+                    planned_workers[sid],
+                    &planned_workers,
+                    &transport,
+                    &result_queue,
+                ),
+            };
+            staged.push((result_queue, payloads));
+        }
+
+        // One concurrently spawned fleet future per stage, sequenced by
+        // the shared board: each future sleeps until its wait events
+        // have fired, then admits its whole fleet through the gate,
+        // invokes, and collects. A stage's `Launched` event fires only
+        // *after* gate admission, so under overlap a consumer enqueues
+        // on the FIFO gate strictly behind its producers — grant order
+        // embeds dependency order and a binding worker cap cannot form
+        // a permit cycle (see [`crate::sched`]'s deadlock argument).
+        let board = Rc::new(StageBoard::new(dag.stages.len()));
+        let mut handles = Vec::with_capacity(dag.stages.len());
+        for (sid, (result_queue, payloads)) in staged.into_iter().enumerate() {
+            // A stage whose output rides a sort edge synchronizes its
+            // whole fleet on the sample barrier; hand the straggler
+            // watcher a probe for it.
+            let barrier = sort_edges[sid].as_ref().map(|edge| BarrierProbe {
+                transport: Rc::clone(&transport),
+                channel: format!("{}smp", self.channel(qid, sid)),
+                senders: edge.senders,
+            });
+            self.cloud.sqs.create_queue(&result_queue);
+            handles.push(self.cloud.handle.spawn(run_fleet(
+                self.cloud.clone(),
+                self.config.clone(),
+                result_queue,
+                payloads,
+                policy.gate.clone(),
+                barrier,
+                plan.waits[sid].clone(),
+                Rc::clone(&board),
+                sid,
+            )));
+        }
+        // On failure the board's failed flag stands the unlaunched
+        // fleets down (they resolve to `None`), so this join always
+        // drains; the lowest-numbered failing stage — the most upstream,
+        // usually the root cause — wins error reporting.
+        let mut runs: Vec<Option<StageRun>> = Vec::with_capacity(dag.stages.len());
+        for outcome in lambada_sim::sync::join_all(handles).await {
+            runs.push(outcome?);
         }
 
         let mut final_results: Vec<WorkerResult> = Vec::new();
@@ -739,7 +797,10 @@ impl Lambada {
                 id: sid,
                 label: kind.label(sid),
                 workers: run.workers,
-                wall_secs: run.wall_secs,
+                wall_secs: run.queue_wait_secs + run.exec_secs,
+                queue_wait_secs: run.queue_wait_secs,
+                exec_secs: run.exec_secs,
+                exchange_wait_secs: run.results.iter().map(|r| r.metrics.exchange_wait_secs).sum(),
                 cost: run.cost,
                 rows_out: run
                     .results
@@ -1264,18 +1325,31 @@ fn scan_partitioning(
 }
 
 /// Invoke one stage's fleet and collect every worker's report. A free
-/// function over owned handles so waves of independent stages can run as
-/// concurrently spawned tasks. The stage's result queue is deleted once
-/// the fleet is collected (success or failure) — per-stage queues would
-/// otherwise leak one queue per stage per query. Late reports from
-/// superseded stragglers land on the deleted queue and vanish, which is
-/// exactly first-result-wins.
+/// function over owned handles: the driver spawns one per stage and the
+/// shared [`StageBoard`] sequences them — each future first sleeps until
+/// its `waits` have fired (dependency readiness under the launch plan),
+/// then admits its whole fleet through the gate, invokes, and collects.
+/// The stage's result queue is deleted once the fleet is collected
+/// (success or failure) — per-stage queues would otherwise leak one
+/// queue per stage per query. Late reports from superseded stragglers
+/// land on the deleted queue and vanish, which is exactly
+/// first-result-wins.
 ///
 /// Under the query service, `gate` is the installation's shared worker
 /// gate: the whole fleet's permits are acquired *before* anything is
 /// invoked (partial launches could deadlock fleets that synchronize
 /// internally, like a sort fleet's sample barrier) and released when
-/// collection finishes, success or failure.
+/// collection finishes, success or failure. The stage's `Launched`
+/// board event is announced only *after* admission, so an overlapped
+/// consumer enqueues on the FIFO gate strictly behind the producers it
+/// overlaps — grant order embeds dependency order and a binding cap
+/// stays deadlock-free (see [`crate::sched`]).
+///
+/// Returns `Ok(None)` when another stage failed before this one
+/// launched: the board's failure flag lets unlaunched fleets stand down
+/// without inventing an error of their own — the failing stage already
+/// carries the root cause.
+#[allow(clippy::too_many_arguments)]
 async fn run_fleet(
     cloud: Cloud,
     config: LambadaConfig,
@@ -1283,13 +1357,32 @@ async fn run_fleet(
     payloads: Vec<WorkerPayload>,
     gate: Option<WorkerGate>,
     barrier: Option<BarrierProbe>,
-) -> Result<StageRun> {
+    waits: Vec<WaitEvent>,
+    board: Rc<StageBoard>,
+    sid: usize,
+) -> Result<Option<StageRun>> {
+    let enqueued = cloud.handle.now();
+    loop {
+        if board.failed() {
+            cloud.sqs.delete_queue(&result_queue);
+            return Ok(None);
+        }
+        if waits.iter().all(|w| board.fired(w)) {
+            break;
+        }
+        board.notified().await;
+    }
     let workers = payloads.len();
-    let _lease = match &gate {
+    let lease = match &gate {
         Some(g) => Some(g.admit(workers).await),
         None => None,
     };
+    // Announce launch only now — post-admission — so downstream
+    // overlapped stages enqueue on the gate strictly after this fleet.
+    board.launch(sid);
     let stage_start = cloud.handle.now();
+    let queue_wait_secs = (stage_start - enqueued).as_secs_f64();
+    let cost_before = cloud.billing.snapshot();
     // Only the straggler watcher re-reads the assignments; don't copy a
     // paper-scale fleet's payloads when speculation is off.
     let retained: Vec<WorkerPayload> =
@@ -1312,16 +1405,25 @@ async fn run_fleet(
         Err(e) => Err(e),
     };
     cloud.sqs.delete_queue(&result_queue);
-    let collected = collected?;
-    Ok(StageRun {
+    drop(lease);
+    let collected = match collected {
+        Ok(c) => c,
+        Err(e) => {
+            // Wake every still-waiting fleet so it can stand down.
+            board.fail();
+            return Err(e);
+        }
+    };
+    board.complete(sid);
+    Ok(Some(StageRun {
         results: collected.results,
         workers,
         invoke_secs,
-        wall_secs: (cloud.handle.now() - stage_start).as_secs_f64(),
-        // Filled in by the caller with the wave's billing delta.
-        cost: BillingSnapshot::default(),
+        queue_wait_secs,
+        exec_secs: (cloud.handle.now() - stage_start).as_secs_f64(),
+        cost: cloud.billing.snapshot().since(&cost_before),
         backup_invocations: collected.backup_invocations,
-    })
+    }))
 }
 
 /// What [`collect_results`] hands back: one report per worker, plus how
@@ -1341,6 +1443,11 @@ struct Collected {
 /// speculatively re-invoked (§3.3's "the driver decides", applied to
 /// silent deaths and stragglers instead of error reports). The first
 /// result per `worker_id` wins, whatever its attempt id.
+///
+/// `stage_start` is the stage's own launch instant (post-board-wait,
+/// post-gate), so the quorum and barrier triggers anchor to when *this*
+/// fleet actually started — never to when an unrelated stage of the
+/// same query launched.
 ///
 /// Stages with a sort-sample `barrier` get a second trigger: the
 /// quantile rule needs `quorum` reporters, but a barrier-synchronized

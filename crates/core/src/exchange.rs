@@ -226,10 +226,35 @@ fn build_rounds(algo: ExchangeAlgo, p: usize, total: usize) -> Vec<RoundPlan> {
     }
 }
 
-pub(crate) fn encode_bundle(parts: &[(u32, PartData)]) -> Result<(Body, Option<BundleSizes>)> {
+/// Encode one receiver's bundle into a standalone [`Body`]: the
+/// non-write-combined path, where every bundle becomes its own object.
+pub fn encode_bundle(parts: &[(u32, PartData)]) -> Result<(Body, Option<BundleSizes>)> {
     let all_real = parts.iter().all(|(_, d)| d.is_real());
     if all_real {
-        let mut w = BinWriter::new();
+        let mut out = Vec::new();
+        let (len, _) = encode_bundle_into(&mut out, parts)?;
+        debug_assert_eq!(len as usize, out.len());
+        Ok((Body::from_vec(out), None))
+    } else {
+        let (total, sizes) = encode_bundle_into(&mut Vec::new(), parts)?;
+        Ok((Body::Synthetic(total), sizes))
+    }
+}
+
+/// Append one receiver's bundle as a section of a write-combined file,
+/// reusing the caller's scratch buffer instead of allocating a fresh
+/// `Vec` per bundle. Returns the section's modeled byte length and, for
+/// bundles carrying any [`PartData::Modeled`] part, the per-destination
+/// side sizes (in which case nothing is appended to `out` — the caller
+/// accounts the section as synthetic).
+pub fn encode_bundle_into(
+    out: &mut Vec<u8>,
+    parts: &[(u32, PartData)],
+) -> Result<(u64, Option<BundleSizes>)> {
+    let all_real = parts.iter().all(|(_, d)| d.is_real());
+    if all_real {
+        let before = out.len();
+        let mut w = BinWriter::from_vec(std::mem::take(out));
         w.varint(parts.len() as u64);
         for (dest, data) in parts {
             w.varint(u64::from(*dest));
@@ -238,18 +263,19 @@ pub(crate) fn encode_bundle(parts: &[(u32, PartData)]) -> Result<(Body, Option<B
                 PartData::Modeled(_) => unreachable!("all_real checked"),
             }
         }
-        Ok((Body::from_vec(w.into_bytes()), None))
+        *out = w.into_bytes();
+        Ok(((out.len() - before) as u64, None))
     } else {
         let total: u64 = parts.iter().map(|(_, d)| d.len() + 10).sum::<u64>() + 4;
         let sizes = parts.iter().map(|(dest, d)| (*dest, d.len())).collect();
-        Ok((Body::Synthetic(total), Some(sizes)))
+        Ok((total, Some(sizes)))
     }
 }
 
-pub(crate) fn decode_bundle(
-    body: Body,
-    side_sizes: Vec<(u32, u64)>,
-) -> Result<Vec<(u32, PartData)>> {
+/// Decode one receiver's section of an exchange file back into
+/// `(destination, payload)` parts; synthetic bodies reconstitute from
+/// the side-channel `side_sizes`.
+pub fn decode_bundle(body: Body, side_sizes: Vec<(u32, u64)>) -> Result<Vec<(u32, PartData)>> {
     match body {
         Body::Real(bytes) => {
             let mut r = BinReader::new(&bytes);
@@ -407,17 +433,11 @@ pub async fn run_exchange(
             let mut side_entries: Vec<(u32, Vec<(u32, u64)>)> = Vec::new();
             for &rcv in &receivers {
                 let bundle = &bundles[&rcv];
-                let (body, sizes) = encode_bundle(bundle)?;
-                let len = body.len();
+                let (len, sizes) = encode_bundle_into(&mut file_bytes, bundle)?;
                 name_sections.push((rcv as u32, len));
-                match body {
-                    Body::Real(b) => file_bytes.extend_from_slice(&b),
-                    Body::Synthetic(n) => {
-                        any_synthetic = true;
-                        synthetic_total += n;
-                    }
-                }
                 if let Some(sizes) = sizes {
+                    any_synthetic = true;
+                    synthetic_total += len;
                     side_entries.push((rcv as u32, sizes));
                 }
             }
@@ -547,16 +567,11 @@ pub(crate) async fn stage_edge_put(
             name_sections.push((rcv, 0));
             continue;
         }
-        let (body, sizes) = encode_bundle(&[(rcv, data)])?;
-        name_sections.push((rcv, body.len()));
-        match body {
-            Body::Real(b) => file_bytes.extend_from_slice(&b),
-            Body::Synthetic(n) => {
-                any_synthetic = true;
-                synthetic_total += n;
-            }
-        }
+        let (len, sizes) = encode_bundle_into(&mut file_bytes, &[(rcv, data)])?;
+        name_sections.push((rcv, len));
         if let Some(sizes) = sizes {
+            any_synthetic = true;
+            synthetic_total += len;
             side_entries.push((rcv, sizes));
         }
     }
@@ -589,6 +604,12 @@ pub struct EdgeReadStats {
     pub p2p_requests: u64,
     /// Payload bytes received over the p2p relay.
     pub p2p_bytes: u64,
+    /// Virtual seconds this receiver spent blocked in discovery polls
+    /// before every producer section was visible. Billed worker time:
+    /// under overlapped scheduling the consumer fleet is running (and
+    /// paying) while it polls, so the driver meters this per stage and
+    /// holds it against [`crate::costmodel::OVERLAP_POLL_HEADROOM`].
+    pub wait_secs: f64,
 }
 
 /// Read one receiver's co-partition from a stage edge: LIST-poll until
@@ -610,12 +631,18 @@ pub async fn exchange_stage_read(
     let wait_start = env.cloud.handle.now();
     // Senders shard across buckets by id; poll each (bucket, prefix) pair
     // that holds at least one expected sender.
-    let mut groups: HashMap<String, Vec<usize>> = HashMap::new();
+    let mut by_bucket: HashMap<String, Vec<usize>> = HashMap::new();
     for s in 0..senders {
-        groups.entry(cfg.bucket_of(s)).or_default().push(s);
+        by_bucket.entry(cfg.bucket_of(s)).or_default().push(s);
     }
+    // Visit bucket groups in sender order and slot each sender's file
+    // reference by its id, so the assembled part order — and therefore
+    // the consumer's byte stream — is identical run to run no matter
+    // how senders shard across buckets or which LIST returns first.
+    let mut groups: Vec<(String, Vec<usize>)> = by_bucket.into_iter().collect();
+    groups.sort_by_key(|(_, ss)| ss[0]);
     let prefix = format!("{channel}/");
-    let mut refs: Vec<FileRef> = Vec::with_capacity(senders);
+    let mut slots: Vec<Option<FileRef>> = vec![None; senders];
     for (bucket, expected) in groups {
         let mut polls = 0;
         loop {
@@ -637,7 +664,7 @@ pub async fn exchange_stage_read(
                     let len = my_len.ok_or_else(|| {
                         CoreError::Storage(format!("no section for receiver {receiver} in {key}"))
                     })?;
-                    refs.push((bucket.clone(), key.clone(), Some(offset), Some(len)));
+                    slots[*s] = Some((bucket.clone(), key.clone(), Some(offset), Some(len)));
                 }
                 break;
             }
@@ -652,11 +679,12 @@ pub async fn exchange_stage_read(
         }
     }
     let wait_end = env.cloud.handle.now();
+    stats.wait_secs = (wait_end - wait_start).as_secs_f64();
     env.cloud.trace.record(env.worker_id, "exchange_wait", wait_start, wait_end);
 
     let conn = Semaphore::new(16);
     let mut gets = Vec::new();
-    for (bucket, key, offset, len) in refs {
+    for (bucket, key, offset, len) in slots.into_iter().flatten() {
         if len == Some(0) {
             continue; // empty section, nothing to fetch
         }

@@ -32,8 +32,11 @@
 //!   (with [`stage::SplitOptions::exchange_aggregates`]), and
 //!   range-partitioned sort stages (with
 //!   [`stage::SplitOptions::exchange_sorts`]), which the driver's
-//!   topological wave scheduler ([`driver::Lambada::run_dag`]) executes
-//!   shape-agnostically — diamonds included;
+//!   event-driven stage scheduler ([`driver::Lambada::run_dag`], launch
+//!   plans from [`sched::plan_schedule`]) executes shape-agnostically —
+//!   diamonds included — launching each stage as soon as its own inputs
+//!   are ready, optionally overlapping producers and consumers where
+//!   the cost model prices the billed poll-wait as worth it;
 //! * [`costmodel`] — calibrated vCPU-second charges for engine work and
 //!   per-stage fleet sizing for join, agg-merge, and sort fleets;
 //! * [`service`] — the multi-tenant query service: many concurrent query
@@ -52,6 +55,7 @@ pub mod message;
 pub mod partition;
 pub mod routing;
 pub mod scan;
+pub mod sched;
 pub mod service;
 pub mod stage;
 pub mod table;
@@ -67,8 +71,9 @@ pub use driver::{
 pub use env::WorkerEnv;
 pub use error::{CoreError, Result};
 pub use exchange::{
-    exchange_stage_read, exchange_stage_write, install_exchange_buckets, run_exchange,
-    EdgeReadStats, ExchangeConfig, ExchangeOutcome, ExchangeSide, PartData,
+    decode_bundle, encode_bundle, encode_bundle_into, exchange_stage_read, exchange_stage_write,
+    install_exchange_buckets, run_exchange, EdgeReadStats, ExchangeConfig, ExchangeOutcome,
+    ExchangeSide, PartData,
 };
 pub use exchange_cost::{
     direct_edge_counts, request_counts, request_dollars, stage_edge_counts, ExchangeAlgo,
@@ -77,6 +82,7 @@ pub use exchange_cost::{
 pub use invoke::{invoke_backups, invoke_workers, InvocationStrategy};
 pub use message::{ResultPayload, WorkerMetrics, WorkerResult};
 pub use scan::{scan_table, ScanConfig, ScanItem, ScanMetrics};
+pub use sched::{plan_schedule, SchedMode, SchedulePlan, StageBoard, WaitEvent};
 pub use service::{
     QueryEstimate, QueryHandle, QueryService, ServiceConfig, TenantBudget, TenantUsage, WorkerGate,
 };
@@ -85,7 +91,9 @@ pub use table::{TableFile, TableSpec};
 pub use transport::{
     DirectTransport, EdgeWriteStats, ExchangeTransport, ObjectStoreTransport, TransportKind,
 };
-pub use verify::{verify_dag, verify_fleets, Diagnostic, FleetBounds, MAX_MODEL_FLEET};
+pub use verify::{
+    verify_dag, verify_fleets, verify_schedule, Diagnostic, FleetBounds, MAX_MODEL_FLEET,
+};
 pub use worker::{
     inject_query_worker_faults, inject_worker_faults, register_worker_function, AggMergeShared,
     AggMergeTask, ExchangeTask, FragmentShared, FragmentTask, JoinOutput, JoinShared, JoinTask,

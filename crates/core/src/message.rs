@@ -47,6 +47,10 @@ pub struct WorkerMetrics {
     pub p2p_bytes: u64,
     /// Whether this invocation was a cold start.
     pub cold_start: bool,
+    /// Virtual seconds spent blocked in exchange discovery polls waiting
+    /// for producer sections to appear — billed worker time that the
+    /// driver attributes to overlapped scheduling.
+    pub exchange_wait_secs: f64,
 }
 
 impl WorkerMetrics {
@@ -65,6 +69,7 @@ impl WorkerMetrics {
         w.varint(self.p2p_requests);
         w.varint(self.p2p_bytes);
         w.bool(self.cold_start);
+        w.f64(self.exchange_wait_secs);
     }
 
     fn decode(r: &mut BinReader<'_>) -> std::result::Result<Self, FormatError> {
@@ -83,6 +88,9 @@ impl WorkerMetrics {
             p2p_requests: r.varint()?,
             p2p_bytes: r.varint()?,
             cold_start: r.bool()?,
+            // Appended after the first release; absent on messages from
+            // older encoders, so a short read defaults it.
+            exchange_wait_secs: if r.is_exhausted() { 0.0 } else { r.f64()? },
         })
     }
 }
@@ -219,7 +227,20 @@ mod tests {
             p2p_requests: 4,
             p2p_bytes: 4096,
             cold_start: true,
+            exchange_wait_secs: 0.75,
         }
+    }
+
+    #[test]
+    fn short_read_defaults_trailing_metrics() {
+        // A pre-`exchange_wait_secs` encoder stops after `cold_start`;
+        // decode must tolerate the truncated tail.
+        let msg = WorkerResult::ok(7, ResultPayload::Empty, metrics());
+        let mut bytes = msg.encode();
+        bytes.truncate(bytes.len() - 8);
+        let got = WorkerResult::decode(&bytes).unwrap();
+        assert_eq!(got.metrics.exchange_wait_secs, 0.0);
+        assert!(got.metrics.cold_start);
     }
 
     #[test]

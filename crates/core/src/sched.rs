@@ -1,0 +1,362 @@
+//! Event-driven stage scheduling: *when* each stage of a [`QueryDag`]
+//! may launch, decided per input edge instead of per topological wave.
+//!
+//! The driver used to run strict waves — group stages into topological
+//! levels and `join_all` each level before launching the next — so a
+//! stage whose inputs finished early idled behind its slowest
+//! level-mate. [`plan_schedule`] instead precomputes, per stage, the
+//! [`WaitEvent`]s that must fire before that stage's fleet may acquire
+//! workers, and the driver runs one future per stage over a shared
+//! [`StageBoard`]. Three modes:
+//!
+//! * [`SchedMode::Wave`] — the old semantics, kept as the measurable
+//!   baseline: a stage waits for *every* stage of *every* earlier
+//!   topological level, its own inputs or not.
+//! * [`SchedMode::Eager`] — pure dependency scheduling: a stage waits
+//!   for exactly its own inputs to complete. Strictly dominates waves
+//!   on unbalanced DAGs (a deep join chain beside a shallow scan) and
+//!   costs nothing extra: consumers still launch only once their
+//!   inputs' edge data is fully written.
+//! * [`SchedMode::Overlap`] — pipelined edges: a consumer may launch
+//!   while its producer is still running, riding the exchange layer's
+//!   existing poll-until-visible machinery (receivers LIST/probe until
+//!   every sender's section appears, so correctness never depended on
+//!   launch order). Overlap trades billed poll-wait for span — an
+//!   overlapped consumer is metered while it waits (Kassing et al.,
+//!   CIDR 2022) — so the edge is overlapped only when
+//!   [`ComputeCostModel::overlap_pays`] predicts the producer's
+//!   remaining runtime is small against the consumer's own work, and
+//!   never across a sort-sample barrier (the producer fleet
+//!   synchronizes on samples from *all* its members; a consumer
+//!   launched early would burn its whole wait budget against the
+//!   barrier). Which edges stayed conservative is visible in the plan.
+//!
+//! Deadlock freedom under a [`crate::service::WorkerGate`] cap comes
+//! from event ordering, not lease ordering: a stage's `Launched` event
+//! fires only *after* its fleet's whole-fleet lease was granted, so an
+//! overlapped consumer enqueues on the FIFO gate strictly behind every
+//! producer it waits on. The gate's grant order therefore embeds the
+//! dependency order, and whoever holds leases can always finish and
+//! release — no cycle of fleets waiting on each other's permits can
+//! form. [`crate::verify::verify_schedule`] checks the static
+//! invariants (`V-SCHED-*`) before a single worker is invoked.
+
+use std::cell::Cell;
+
+use lambada_sim::sync::{Notified, Notify};
+
+use crate::costmodel::ComputeCostModel;
+use crate::stage::{QueryDag, StageOutput};
+
+/// When a stage's fleet may launch relative to its inputs.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum SchedMode {
+    /// Strict topological waves (the pre-event-driven baseline): a
+    /// stage waits for every stage of every earlier level to complete.
+    Wave,
+    /// Launch when this stage's own inputs have completed.
+    #[default]
+    Eager,
+    /// Launch while producers still run, where the cost model predicts
+    /// the billed poll-wait stays under
+    /// [`crate::costmodel::OVERLAP_POLL_HEADROOM`]; edges where it
+    /// does not (and all sort-sample barrier edges) fall back to
+    /// completion waits.
+    Overlap,
+}
+
+/// One readiness condition of a stage: a fact about another stage that
+/// must hold before the waiting stage's fleet may acquire workers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WaitEvent {
+    /// The stage's fleet finished and its output edge is fully written.
+    Completed(usize),
+    /// The stage's fleet holds its worker lease and is invoking — the
+    /// overlapped-consumer trigger.
+    Launched(usize),
+}
+
+impl WaitEvent {
+    /// The stage this event is about.
+    pub fn stage(&self) -> usize {
+        match *self {
+            WaitEvent::Completed(sid) | WaitEvent::Launched(sid) => sid,
+        }
+    }
+}
+
+/// A launch plan over one DAG: `waits[sid]` must all have fired before
+/// stage `sid` launches. Produced by [`plan_schedule`], checked by
+/// [`crate::verify::verify_schedule`], executed by the driver.
+#[derive(Clone, Debug)]
+pub struct SchedulePlan {
+    pub mode: SchedMode,
+    pub waits: Vec<Vec<WaitEvent>>,
+}
+
+impl SchedulePlan {
+    /// Number of input edges the plan launches overlapped (consumer up
+    /// while the producer still runs).
+    pub fn overlapped_edges(&self) -> usize {
+        self.waits.iter().flatten().filter(|w| matches!(w, WaitEvent::Launched(_))).count()
+    }
+}
+
+/// Estimated bytes a stage has to chew through: the larger of what it
+/// emits and what it ingests, so cheap pass-through stages still get
+/// credited their input volume. Defensive on short estimate vectors
+/// (callers may pass an empty slice in modes that never price edges).
+fn work_bytes(dag: &QueryDag, est_bytes: &[u64], sid: usize) -> u64 {
+    let own = est_bytes.get(sid).copied().unwrap_or(0);
+    let ingest: u64 =
+        dag.stages[sid].inputs().iter().map(|&i| est_bytes.get(i).copied().unwrap_or(0)).sum();
+    own.max(ingest)
+}
+
+/// Build the launch plan for `dag` under `mode`. `est_bytes` and
+/// `workers` are the driver's per-stage edge-volume estimates and
+/// planned fleet sizes; only [`SchedMode::Overlap`] prices edges with
+/// them (the other modes accept empty estimates).
+pub fn plan_schedule(
+    dag: &QueryDag,
+    costs: &ComputeCostModel,
+    mode: SchedMode,
+    est_bytes: &[u64],
+    workers: &[usize],
+) -> SchedulePlan {
+    let waits = match mode {
+        SchedMode::Wave => {
+            // Reconstruct wave semantics as events: a level-L stage
+            // waits on *every* stage of *every* earlier level — that is
+            // exactly the old join_all-per-wave barrier. Note a lower
+            // level does not imply a lower stage index (the planner may
+            // emit a level-0 scan after the joins it feeds), so these
+            // waits can point at higher-indexed stages; the level
+            // relation keeps the wait graph acyclic, which is what the
+            // verifier actually checks.
+            let mut levels: Vec<usize> = Vec::with_capacity(dag.stages.len());
+            for kind in &dag.stages {
+                let level = kind.inputs().iter().map(|&i| levels[i] + 1).max().unwrap_or(0);
+                levels.push(level);
+            }
+            (0..dag.stages.len())
+                .map(|sid| {
+                    (0..dag.stages.len())
+                        .filter(|&p| levels[p] < levels[sid])
+                        .map(WaitEvent::Completed)
+                        .collect()
+                })
+                .collect()
+        }
+        SchedMode::Eager => dag
+            .stages
+            .iter()
+            .map(|kind| kind.inputs().iter().map(|&i| WaitEvent::Completed(i)).collect())
+            .collect(),
+        SchedMode::Overlap => dag
+            .stages
+            .iter()
+            .enumerate()
+            .map(|(sid, kind)| {
+                let consumer_secs = costs.stage_worker_seconds(
+                    work_bytes(dag, est_bytes, sid),
+                    workers.get(sid).copied().unwrap_or(1),
+                );
+                kind.inputs()
+                    .iter()
+                    .map(|&p| {
+                        // Never overlap across a sort-sample barrier:
+                        // the producer fleet synchronizes on samples
+                        // from all members before any data moves, so an
+                        // early consumer only accrues billed wait.
+                        let barrier = matches!(dag.stages[p].output(), StageOutput::SortExchange);
+                        let producer_secs = costs.stage_worker_seconds(
+                            work_bytes(dag, est_bytes, p),
+                            workers.get(p).copied().unwrap_or(1),
+                        );
+                        if !barrier && costs.overlap_pays(producer_secs, consumer_secs) {
+                            WaitEvent::Launched(p)
+                        } else {
+                            WaitEvent::Completed(p)
+                        }
+                    })
+                    .collect()
+            })
+            .collect(),
+    };
+    SchedulePlan { mode, waits }
+}
+
+/// Shared launch/completion scoreboard one query's stage futures
+/// coordinate through. Single-threaded (the driver's futures all run on
+/// the simulation executor), so plain `Cell`s plus an edge-triggered
+/// [`Notify`] suffice: every state change calls `notify_all`, and
+/// waiters re-check their [`WaitEvent`]s on each wake.
+pub struct StageBoard {
+    launched: Vec<Cell<bool>>,
+    completed: Vec<Cell<bool>>,
+    failed: Cell<bool>,
+    notify: Notify,
+}
+
+impl StageBoard {
+    pub fn new(stages: usize) -> StageBoard {
+        StageBoard {
+            launched: (0..stages).map(|_| Cell::new(false)).collect(),
+            completed: (0..stages).map(|_| Cell::new(false)).collect(),
+            failed: Cell::new(false),
+            notify: Notify::new(),
+        }
+    }
+
+    /// Has this event fired? Out-of-range stage ids read as "never
+    /// fires", which the static verifier rejects before execution.
+    pub fn fired(&self, event: &WaitEvent) -> bool {
+        match *event {
+            WaitEvent::Completed(sid) => self.completed.get(sid).map(Cell::get).unwrap_or(false),
+            WaitEvent::Launched(sid) => self.launched.get(sid).map(Cell::get).unwrap_or(false),
+        }
+    }
+
+    /// Stage `sid` holds its worker lease and is invoking. Fired from
+    /// inside the fleet runner *after* gate admission — that ordering
+    /// is the deadlock-freedom invariant (see the module doc).
+    pub fn launch(&self, sid: usize) {
+        if let Some(c) = self.launched.get(sid) {
+            c.set(true);
+        }
+        self.notify.notify_all();
+    }
+
+    /// Stage `sid` finished and its output edge is fully written.
+    /// Implies launched, so a plan mixing event kinds on one producer
+    /// can never re-wait a fact that already held.
+    pub fn complete(&self, sid: usize) {
+        if let Some(c) = self.launched.get(sid) {
+            c.set(true);
+        }
+        if let Some(c) = self.completed.get(sid) {
+            c.set(true);
+        }
+        self.notify.notify_all();
+    }
+
+    /// A stage failed: wake every waiter so pending stages abort
+    /// instead of launching into a dead query.
+    pub fn fail(&self) {
+        self.failed.set(true);
+        self.notify.notify_all();
+    }
+
+    pub fn failed(&self) -> bool {
+        self.failed.get()
+    }
+
+    /// A future resolving at the next state change after this call.
+    pub fn notified(&self) -> Notified {
+        self.notify.notified()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::test_dags::{
+        diamond_dag, scan_sort_dag, single_scan_dag, two_scan_join_dag, unbalanced_join_dag,
+    };
+
+    fn costs() -> ComputeCostModel {
+        ComputeCostModel::default()
+    }
+
+    #[test]
+    fn eager_waits_are_exactly_the_inputs() {
+        let dag = two_scan_join_dag();
+        let plan = plan_schedule(&dag, &costs(), SchedMode::Eager, &[], &[]);
+        assert_eq!(plan.waits[0], Vec::new());
+        assert_eq!(plan.waits[1], Vec::new());
+        assert_eq!(plan.waits[2], vec![WaitEvent::Completed(0), WaitEvent::Completed(1)]);
+        assert_eq!(plan.overlapped_edges(), 0);
+    }
+
+    #[test]
+    fn wave_waits_cover_every_earlier_level() {
+        // Diamond: 0 -> {1, 2} -> 3. Under waves, stage 3 waits on
+        // every stage of both earlier levels.
+        let dag = diamond_dag();
+        let plan = plan_schedule(&dag, &costs(), SchedMode::Wave, &[], &[]);
+        assert_eq!(
+            plan.waits[3],
+            vec![WaitEvent::Completed(0), WaitEvent::Completed(1), WaitEvent::Completed(2)]
+        );
+        // The unbalanced shape is where waves genuinely differ: the
+        // level-1 join's only input is scan 0, but the wave makes it
+        // wait for its level-mate scan 1 too, and the final join drains
+        // both earlier waves whole.
+        let dag = unbalanced_join_dag();
+        let plan = plan_schedule(&dag, &costs(), SchedMode::Wave, &[], &[]);
+        assert_eq!(plan.waits[2], vec![WaitEvent::Completed(0), WaitEvent::Completed(1)]);
+        assert_eq!(
+            plan.waits[3],
+            vec![WaitEvent::Completed(0), WaitEvent::Completed(1), WaitEvent::Completed(2)]
+        );
+        // Eager, by contrast, waits on exactly the inputs.
+        let plan = plan_schedule(&dag, &costs(), SchedMode::Eager, &[], &[]);
+        assert_eq!(plan.waits[2], vec![WaitEvent::Completed(0), WaitEvent::Completed(0)]);
+        assert_eq!(plan.waits[3], vec![WaitEvent::Completed(2), WaitEvent::Completed(1)]);
+    }
+
+    #[test]
+    fn overlap_prices_edges_and_falls_back_when_the_producer_is_heavy() {
+        let dag = two_scan_join_dag();
+        let workers = vec![1, 1, 1];
+        // Tiny producers feeding a heavy consumer: both edges overlap.
+        let est = vec![1 << 10, 1 << 10, 1 << 30];
+        let plan = plan_schedule(&dag, &costs(), SchedMode::Overlap, &est, &workers);
+        assert_eq!(plan.waits[2], vec![WaitEvent::Launched(0), WaitEvent::Launched(1)]);
+        assert_eq!(plan.overlapped_edges(), 2);
+        // A heavy producer beside a tiny one: only the tiny edge
+        // overlaps — polling out the heavy scan would bill more wait
+        // than the headroom allows.
+        let est = vec![1 << 30, 1 << 10, 1 << 20];
+        let plan = plan_schedule(&dag, &costs(), SchedMode::Overlap, &est, &workers);
+        assert_eq!(plan.waits[2], vec![WaitEvent::Completed(0), WaitEvent::Launched(1)]);
+    }
+
+    #[test]
+    fn overlap_never_crosses_a_sort_sample_barrier() {
+        let dag = scan_sort_dag();
+        // Estimates that would otherwise scream "overlap".
+        let est = vec![1, 1 << 30];
+        let plan = plan_schedule(&dag, &costs(), SchedMode::Overlap, &est, &[1, 1]);
+        assert_eq!(plan.waits[1], vec![WaitEvent::Completed(0)]);
+        assert_eq!(plan.overlapped_edges(), 0);
+    }
+
+    #[test]
+    fn sources_wait_on_nothing_in_every_mode() {
+        let dag = single_scan_dag();
+        for mode in [SchedMode::Wave, SchedMode::Eager, SchedMode::Overlap] {
+            let plan = plan_schedule(&dag, &costs(), mode, &[], &[]);
+            assert_eq!(plan.waits, vec![Vec::new()]);
+        }
+    }
+
+    #[test]
+    fn board_fires_events_and_complete_implies_launched() {
+        let board = StageBoard::new(2);
+        assert!(!board.fired(&WaitEvent::Launched(0)));
+        board.launch(0);
+        assert!(board.fired(&WaitEvent::Launched(0)));
+        assert!(!board.fired(&WaitEvent::Completed(0)));
+        board.complete(1);
+        assert!(board.fired(&WaitEvent::Launched(1)));
+        assert!(board.fired(&WaitEvent::Completed(1)));
+        assert!(!board.failed());
+        board.fail();
+        assert!(board.failed());
+        // Out-of-range events never fire (the verifier rejects them
+        // statically; the board just stays safe).
+        assert!(!board.fired(&WaitEvent::Completed(7)));
+    }
+}

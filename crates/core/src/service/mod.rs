@@ -1,15 +1,16 @@
 //! The multi-tenant query service: many concurrent [`QueryDag`]s on one
 //! installation.
 //!
-//! The driver's wave scheduler ([`Lambada::run_dag`]) executes one query
-//! at a time; this layer turns the same installation into a *service*.
+//! The driver's event-driven stage scheduler ([`Lambada::run_dag`])
+//! executes one query at a time; this layer turns the same installation
+//! into a *service*.
 //! Tenants submit logical plans ([`QueryService::submit`]) and get back
 //! handles that resolve to [`QueryReport`]s as queries finish. Between
 //! submission and execution sits an admission controller
 //! (weighted fair queueing across tenants, per-tenant budgets on
 //! concurrency, request count, and request-$) and a global in-flight
 //! worker gate that arbitrates the installation's invoke/collect
-//! capacity across the interleaved stage waves of every running query.
+//! capacity across the interleaved stage fleets of every running query.
 //!
 //! Isolation between concurrent queries costs nothing extra: exchange
 //! channels and result queues are already namespaced by query id, and
@@ -311,6 +312,7 @@ async fn admit_and_run(
         tenant: Some(tenant.clone()),
         submitted: Some(submitted),
         transport: None,
+        scheduler: None,
     };
     let outcome = system.run_dag_with(&dag, &policy).await;
     let prices = system.cloud().billing.prices();

@@ -414,6 +414,7 @@ impl ExchangeTransport for DirectTransport {
                 env.cloud.handle.sleep(backoff(self.cfg.poll_interval, polls)).await;
             }
             let wait_end = env.cloud.handle.now();
+            stats.wait_secs = (wait_end - wait_start).as_secs_f64();
             env.cloud.trace.record(env.worker_id, "exchange_wait", wait_start, wait_end);
 
             let conn = Semaphore::new(16);

@@ -11,7 +11,7 @@
 //! query service verifies before admission reserves a cent of tenant
 //! budget.
 //!
-//! The pass is split in two because the information arrives in two steps:
+//! The pass is split in three because the information arrives in steps:
 //!
 //! * [`verify_dag`] checks everything the plan data itself determines —
 //!   topology, schema flow across every exchange edge, terminal/output
@@ -20,7 +20,11 @@
 //!   execution — nonzero fleets, cost-model bounds, pinned fleets
 //!   respected, shared edges with equal consumer fleets (the partition
 //!   count of an edge *is* its consumer's fleet size), and endpoint
-//!   namespace uniqueness on the direct transport.
+//!   namespace uniqueness on the direct transport;
+//! * [`verify_schedule`] checks the launch plan the event-driven
+//!   scheduler computed — every input edge covered by a wait (at least
+//!   transitively), the wait graph acyclic, and no overlapped launch
+//!   across a sort-sample barrier.
 //!
 //! Every finding is a typed [`Diagnostic`] with a stable code (table in
 //! `docs/VERIFIER.md`); callers collect all of them rather than stopping
@@ -33,6 +37,7 @@ use std::fmt;
 use lambada_engine::pipeline::{agg_func_types, PipelineSpec, Terminal};
 use lambada_engine::types::{Schema, SchemaRef};
 
+use crate::sched::{SchedulePlan, WaitEvent};
 use crate::stage::{FinalStage, QueryDag, StageKind, StageOutput};
 
 /// Stable diagnostic codes; one section per invariant family. The full
@@ -106,6 +111,18 @@ pub mod codes {
     /// Two edges of one query would claim the same transport endpoint
     /// name (exchange channels and sample channels must be disjoint).
     pub const XPORT_ENDPOINT: &str = "V-XPORT-002";
+    /// A schedule plan is malformed: it sizes a different number of
+    /// stages than the DAG, a wait references the waiter itself or a
+    /// stage outside the DAG, or the wait graph has a cycle (a set of
+    /// stages none of which can ever launch).
+    pub const SCHED_SHAPE: &str = "V-SCHED-001";
+    /// An overlapped (`Launched`) wait targets a producer whose output
+    /// crosses a sort-sample barrier; the producer fleet synchronizes
+    /// on samples from all members, so overlap is forbidden there.
+    pub const SCHED_SORT_BARRIER: &str = "V-SCHED-002";
+    /// A stage's waits do not cover one of its input edges, even
+    /// transitively — the stage could launch before its producer has.
+    pub const SCHED_UNCOVERED_EDGE: &str = "V-SCHED-003";
 }
 
 /// Largest fleet the cost model can legitimately size: every consumer
@@ -876,18 +893,136 @@ pub fn verify_fleets(dag: &QueryDag, fleets: &[usize], bounds: &FleetBounds) -> 
     out
 }
 
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use lambada_engine::types::{DataType, Field};
-    use lambada_engine::Expr;
+/// Verify a launch plan for an already-structurally-valid DAG: one wait
+/// list per stage, no self-waits or out-of-range waits, an *acyclic*
+/// wait graph (index order is deliberately not required — wave plans
+/// legitimately wait on higher-indexed stages of earlier levels), no
+/// overlapped launch across a sort-sample barrier, and every input edge
+/// covered by a wait — directly or transitively (a wait on `p` covers
+/// everything `p` itself waited on, since `p` could not have launched
+/// earlier). Call only after [`verify_dag`] came back empty.
+pub fn verify_schedule(dag: &QueryDag, plan: &SchedulePlan) -> Vec<Diagnostic> {
+    let n = dag.stages.len();
+    let mut out = Vec::new();
+    if plan.waits.len() != n {
+        return vec![Diagnostic::new(
+            codes::SCHED_SHAPE,
+            None,
+            format!("schedule plans {} stages but the DAG has {}", plan.waits.len(), n),
+        )];
+    }
+    for (sid, waits) in plan.waits.iter().enumerate() {
+        for w in waits {
+            let p = w.stage();
+            if p >= n || p == sid {
+                out.push(Diagnostic::new(
+                    codes::SCHED_SHAPE,
+                    sid,
+                    format!("wait on stage {p} is out of range or a self-wait"),
+                ));
+                continue;
+            }
+            if matches!(w, WaitEvent::Launched(_))
+                && matches!(dag.stages[p].output(), StageOutput::SortExchange)
+            {
+                out.push(Diagnostic::new(
+                    codes::SCHED_SORT_BARRIER,
+                    sid,
+                    format!(
+                        "overlapped launch across stage {p}'s sort-sample barrier; \
+                         sort edges require completion waits"
+                    ),
+                ));
+            }
+        }
+    }
+    // Deadlock freedom is acyclicity of the wait graph: both event
+    // kinds require the awaited stage to have at least launched first,
+    // so a cycle means a set of fleets none of which can ever launch.
+    // Kahn's algorithm doubles as the topological order the coverage
+    // closure below needs (plain index order no longer works once waves
+    // may point forward).
+    let mut indegree = vec![0usize; n];
+    let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (sid, waits) in plan.waits.iter().enumerate() {
+        for w in waits {
+            let p = w.stage();
+            if p < n && p != sid {
+                indegree[sid] += 1;
+                dependents[p].push(sid);
+            }
+        }
+    }
+    let mut ready: Vec<usize> = (0..n).filter(|&s| indegree[s] == 0).collect();
+    let mut order: Vec<usize> = Vec::with_capacity(n);
+    while let Some(s) = ready.pop() {
+        order.push(s);
+        for &d in &dependents[s] {
+            indegree[d] -= 1;
+            if indegree[d] == 0 {
+                ready.push(d);
+            }
+        }
+    }
+    if order.len() != n {
+        for sid in (0..n).filter(|&s| indegree[s] > 0) {
+            out.push(Diagnostic::new(
+                codes::SCHED_SHAPE,
+                sid,
+                "stage's waits form or depend on a cycle; its fleet can never launch".to_string(),
+            ));
+        }
+        return out;
+    }
+    // launch_known[sid]: stages guaranteed to have launched before sid
+    // does, closed under the waits' own coverage. Computed in wait-graph
+    // topological order so forward waits are already resolved.
+    let mut launch_known: Vec<HashSet<usize>> = vec![HashSet::new(); n];
+    for &sid in &order {
+        let mut known: HashSet<usize> = HashSet::new();
+        for w in &plan.waits[sid] {
+            let p = w.stage();
+            if p >= n || p == sid {
+                continue;
+            }
+            known.insert(p);
+            known.extend(launch_known[p].iter().copied());
+        }
+        for input in dag.stages[sid].inputs() {
+            if !known.contains(&input) {
+                out.push(Diagnostic::new(
+                    codes::SCHED_UNCOVERED_EDGE,
+                    sid,
+                    format!(
+                        "input stage {input} is not covered by any wait; the stage \
+                         could launch before its producer"
+                    ),
+                ));
+            }
+        }
+        launch_known[sid] = known;
+    }
+    out
+}
 
-    fn schema(n: usize) -> SchemaRef {
+/// Shared test-only DAG builders: small, verify-clean plans both the
+/// verifier and the scheduler unit tests exercise.
+#[cfg(test)]
+pub(crate) mod test_dags {
+    use lambada_engine::pipeline::{PipelineSpec, Terminal};
+    use lambada_engine::types::{DataType, Field, Schema, SchemaRef};
+    use lambada_engine::{Expr, JoinVariant, SortKey};
+
+    use crate::stage::{
+        FinalStage, JoinStage, QueryDag, ScanStage, SortStage, StageKind, StageOutput,
+    };
+
+    pub(crate) fn schema(n: usize) -> SchemaRef {
         Schema::arc((0..n).map(|i| Field::new(format!("c{i}"), DataType::Int64)).collect())
     }
 
-    fn collect_scan(output: StageOutput) -> StageKind {
-        StageKind::Scan(crate::stage::ScanStage {
+    pub(crate) fn collect_scan(output: StageOutput) -> StageKind {
+        StageKind::Scan(ScanStage {
             table: "t".to_string(),
             scan_columns: vec![0, 1],
             prune_predicate: None,
@@ -901,12 +1036,107 @@ mod tests {
         })
     }
 
-    fn single_scan_dag() -> QueryDag {
+    /// An inner join over two 2-column edges, projected back down to 2
+    /// columns so joins compose into chains with uniform edge schemas.
+    pub(crate) fn join_stage(probe: usize, build: usize, output: StageOutput) -> StageKind {
+        StageKind::Join(JoinStage {
+            probe_input: probe,
+            build_input: build,
+            probe_schema: schema(2),
+            build_schema: schema(2),
+            probe_keys: vec![0],
+            build_keys: vec![0],
+            variant: JoinVariant::Inner,
+            post: PipelineSpec {
+                input_schema: schema(4),
+                predicate: None,
+                projection: Some(vec![
+                    (Expr::Col(0), "c0".to_string()),
+                    (Expr::Col(1), "c1".to_string()),
+                ]),
+                terminal: Terminal::Collect,
+            },
+            output,
+        })
+    }
+
+    pub(crate) fn single_scan_dag() -> QueryDag {
         QueryDag {
             stages: vec![collect_scan(StageOutput::Driver)],
             final_stage: FinalStage::CollectBatches { schema: schema(2), post: Vec::new() },
         }
     }
+
+    pub(crate) fn scan_sort_dag() -> QueryDag {
+        let mut scan = collect_scan(StageOutput::SortExchange);
+        if let StageKind::Scan(s) = &mut scan {
+            s.pipeline.terminal =
+                Terminal::SortPartition { keys: vec![SortKey::asc(Expr::Col(0))], limit: None };
+        }
+        QueryDag {
+            stages: vec![
+                scan,
+                StageKind::Sort(SortStage {
+                    input: 0,
+                    schema: schema(2),
+                    keys: vec![SortKey::asc(Expr::Col(0))],
+                    limit: None,
+                }),
+            ],
+            final_stage: FinalStage::CollectBatches { schema: schema(2), post: Vec::new() },
+        }
+    }
+
+    pub(crate) fn two_scan_join_dag() -> QueryDag {
+        QueryDag {
+            stages: vec![
+                collect_scan(StageOutput::Exchange { keys: vec![0] }),
+                collect_scan(StageOutput::Exchange { keys: vec![0] }),
+                join_stage(0, 1, StageOutput::Driver),
+            ],
+            final_stage: FinalStage::CollectBatches { schema: schema(2), post: Vec::new() },
+        }
+    }
+
+    /// Diamond: scan 0 feeds joins 1 and 2, which join 3 fans back in.
+    pub(crate) fn diamond_dag() -> QueryDag {
+        QueryDag {
+            stages: vec![
+                collect_scan(StageOutput::Exchange { keys: vec![0] }),
+                join_stage(0, 0, StageOutput::Exchange { keys: vec![0] }),
+                join_stage(0, 0, StageOutput::Exchange { keys: vec![0] }),
+                join_stage(1, 2, StageOutput::Driver),
+            ],
+            final_stage: FinalStage::CollectBatches { schema: schema(2), post: Vec::new() },
+        }
+    }
+
+    /// Two level-0 scans, a join over scan 0 at level 1, and a final
+    /// join at level 2 consuming the level-1 join plus level-0 scan 1 —
+    /// the unbalanced shape where waves and eager scheduling differ.
+    pub(crate) fn unbalanced_join_dag() -> QueryDag {
+        QueryDag {
+            stages: vec![
+                collect_scan(StageOutput::Exchange { keys: vec![0] }),
+                collect_scan(StageOutput::Exchange { keys: vec![0] }),
+                join_stage(0, 0, StageOutput::Exchange { keys: vec![0] }),
+                join_stage(2, 1, StageOutput::Driver),
+            ],
+            final_stage: FinalStage::CollectBatches { schema: schema(2), post: Vec::new() },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::test_dags::{
+        collect_scan, scan_sort_dag, schema, single_scan_dag, two_scan_join_dag,
+        unbalanced_join_dag,
+    };
+    use super::*;
+    use crate::costmodel::ComputeCostModel;
+    use crate::sched::{plan_schedule, SchedMode};
+    use lambada_engine::Expr;
 
     #[test]
     fn trivial_scan_verifies_clean() {
@@ -967,21 +1197,6 @@ mod tests {
         assert!(diags.iter().any(|d| d.code == codes::SCHEMA_PIPELINE), "{diags:?}");
     }
 
-    fn scan_sort_dag() -> QueryDag {
-        QueryDag {
-            stages: vec![
-                collect_scan(StageOutput::SortExchange),
-                StageKind::Sort(crate::stage::SortStage {
-                    input: 0,
-                    schema: schema(2),
-                    keys: vec![lambada_engine::SortKey::asc(Expr::Col(0))],
-                    limit: None,
-                }),
-            ],
-            final_stage: FinalStage::CollectBatches { schema: schema(2), post: Vec::new() },
-        }
-    }
-
     #[test]
     fn fleet_checks_catch_zero_pin_and_bound() {
         let dag = scan_sort_dag();
@@ -1004,5 +1219,107 @@ mod tests {
         assert_eq!(d.to_string(), "V-FLEET-001 [stage 3]: zero-worker fleet");
         let d = Diagnostic::new(codes::FINAL_COLLECT, None, "mismatch".to_string());
         assert_eq!(d.to_string(), "V-FINAL-002: mismatch");
+    }
+
+    #[test]
+    fn planner_schedules_verify_clean_in_every_mode() {
+        let costs = ComputeCostModel::default();
+        for dag in [two_scan_join_dag(), scan_sort_dag(), unbalanced_join_dag()] {
+            let diags = verify_dag(&dag);
+            assert!(diags.is_empty(), "{diags:?}");
+            for mode in [SchedMode::Wave, SchedMode::Eager, SchedMode::Overlap] {
+                let est = vec![1 << 20; dag.stages.len()];
+                let workers = vec![2; dag.stages.len()];
+                let plan = plan_schedule(&dag, &costs, mode, &est, &workers);
+                assert!(verify_schedule(&dag, &plan).is_empty(), "{mode:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn schedule_shape_errors_are_sched_001() {
+        let dag = two_scan_join_dag();
+        let plan = SchedulePlan { mode: SchedMode::Eager, waits: vec![Vec::new()] };
+        let diags = verify_schedule(&dag, &plan);
+        assert!(diags.iter().all(|d| d.code == codes::SCHED_SHAPE), "{diags:?}");
+        assert_eq!(diags.len(), 1);
+        // A wait pointing at the waiter itself is rejected.
+        let plan = SchedulePlan {
+            mode: SchedMode::Eager,
+            waits: vec![
+                vec![WaitEvent::Completed(0)],
+                Vec::new(),
+                vec![WaitEvent::Completed(0), WaitEvent::Completed(1)],
+            ],
+        };
+        let diags = verify_schedule(&dag, &plan);
+        assert!(diags.iter().any(|d| d.code == codes::SCHED_SHAPE), "{diags:?}");
+        // A *forward* wait alone is legal (wave plans wait on
+        // higher-indexed stages of earlier levels) — acyclicity is the
+        // invariant, and a cycle is rejected.
+        let plan = SchedulePlan {
+            mode: SchedMode::Wave,
+            waits: vec![
+                vec![WaitEvent::Completed(1)],
+                Vec::new(),
+                vec![WaitEvent::Completed(0), WaitEvent::Completed(1)],
+            ],
+        };
+        assert!(verify_schedule(&dag, &plan).is_empty());
+        let plan = SchedulePlan {
+            mode: SchedMode::Overlap,
+            waits: vec![
+                vec![WaitEvent::Launched(1)],
+                vec![WaitEvent::Launched(0)],
+                vec![WaitEvent::Completed(0), WaitEvent::Completed(1)],
+            ],
+        };
+        let diags = verify_schedule(&dag, &plan);
+        assert!(diags.iter().all(|d| d.code == codes::SCHED_SHAPE), "{diags:?}");
+        // All three stages are deadlocked: 0 and 1 form the cycle, 2
+        // depends on it.
+        assert_eq!(diags.len(), 3);
+    }
+
+    #[test]
+    fn overlap_across_a_sort_barrier_is_sched_002() {
+        let dag = scan_sort_dag();
+        let plan = SchedulePlan {
+            mode: SchedMode::Overlap,
+            waits: vec![Vec::new(), vec![WaitEvent::Launched(0)]],
+        };
+        let diags = verify_schedule(&dag, &plan);
+        assert!(diags.iter().any(|d| d.code == codes::SCHED_SORT_BARRIER), "{diags:?}");
+        // The same wait as a completion is fine.
+        let plan = SchedulePlan {
+            mode: SchedMode::Overlap,
+            waits: vec![Vec::new(), vec![WaitEvent::Completed(0)]],
+        };
+        assert!(verify_schedule(&dag, &plan).is_empty());
+    }
+
+    #[test]
+    fn uncovered_input_edge_is_sched_003_and_coverage_is_transitive() {
+        let dag = two_scan_join_dag();
+        let plan = SchedulePlan {
+            mode: SchedMode::Eager,
+            waits: vec![Vec::new(), Vec::new(), vec![WaitEvent::Completed(0)]],
+        };
+        let diags = verify_schedule(&dag, &plan);
+        assert!(diags.iter().any(|d| d.code == codes::SCHED_UNCOVERED_EDGE), "{diags:?}");
+        // A plan where stage 3 covers its level-0 input only
+        // transitively (3 waits on 2, which waits on 0 and 1) must be
+        // accepted: a wait on `p` carries everything `p` waited on.
+        let dag = unbalanced_join_dag();
+        let plan = SchedulePlan {
+            mode: SchedMode::Wave,
+            waits: vec![
+                Vec::new(),
+                Vec::new(),
+                vec![WaitEvent::Completed(0), WaitEvent::Completed(1)],
+                vec![WaitEvent::Completed(2)],
+            ],
+        };
+        assert!(verify_schedule(&dag, &plan).is_empty());
     }
 }

@@ -454,6 +454,7 @@ fn fold_read_stats(metrics: &mut WorkerMetrics, stats: &EdgeReadStats) {
     metrics.list_requests += stats.list_requests;
     metrics.p2p_requests += stats.p2p_requests;
     metrics.p2p_bytes += stats.p2p_bytes;
+    metrics.exchange_wait_secs += stats.wait_secs;
 }
 
 /// Bytes that crossed the edge in one send, whichever wire carried them.

@@ -22,6 +22,13 @@ impl BinWriter {
         BinWriter { buf: Vec::with_capacity(cap) }
     }
 
+    /// Resume appending onto an existing buffer. Lets callers that build
+    /// many records into one combined file reuse a single scratch
+    /// allocation instead of encoding each record into a fresh `Vec`.
+    pub fn from_vec(buf: Vec<u8>) -> Self {
+        BinWriter { buf }
+    }
+
     pub fn into_bytes(self) -> Vec<u8> {
         self.buf
     }

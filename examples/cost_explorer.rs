@@ -19,16 +19,17 @@ use lambada::sim::{Cloud, CloudConfig, Prices, Simulation};
 fn print_stages(title: &str, report: &lambada::core::QueryReport) {
     println!("\n{title}");
     println!(
-        "  {:<18} {:>7} {:>9} {:>6} {:>6} {:>6} {:>12}",
-        "stage", "workers", "wall [s]", "GET", "PUT", "LIST", "requests [$]"
+        "  {:<18} {:>7} {:>9} {:>9} {:>6} {:>6} {:>6} {:>12}",
+        "stage", "workers", "queue [s]", "exec [s]", "GET", "PUT", "LIST", "requests [$]"
     );
     let prices = Prices::default();
     for s in &report.stages {
         println!(
-            "  {:<18} {:>7} {:>9.2} {:>6} {:>6} {:>6} {:>12.7}",
+            "  {:<18} {:>7} {:>9.2} {:>9.2} {:>6} {:>6} {:>6} {:>12.7}",
             s.label,
             s.workers,
-            s.wall_secs,
+            s.queue_wait_secs,
+            s.exec_secs,
             s.get_requests,
             s.put_requests,
             s.list_requests,
@@ -37,7 +38,7 @@ fn print_stages(title: &str, report: &lambada::core::QueryReport) {
     }
     let total: f64 = report.stages.iter().map(|s| s.request_dollars(&prices)).sum();
     println!(
-        "  {:<18} {:>7} {:>9.2} {:>37.7}",
+        "  {:<18} {:>7} {:>19.2} {:>37.7}",
         "total", report.workers, report.latency_secs, total
     );
 }

@@ -1,0 +1,310 @@
+//! Event-driven scheduler integration suite: every [`SchedMode`] must
+//! produce bit-identical results on an unbalanced multi-join DAG (the
+//! scheduler moves launch instants, never rows — each edge synchronizes
+//! through storage); overlapped scheduling must stay deadlock-free
+//! under a shared [`WorkerGate`] cap smaller than the combined fleets
+//! it co-schedules; speculation must recover a producer killed while
+//! its consumer was already launched against it; and the exchange's
+//! highest-attempt-wins dedup must hold when the consumer starts
+//! *before any producer wrote* — the empty-prefix LIST path overlap
+//! leans on — for both transports.
+
+use std::rc::Rc;
+
+use lambada::core::{
+    install_exchange_buckets, AggStrategy, ComputeCostModel, DirectTransport, ExchangeConfig,
+    ExchangeSide, ExchangeTransport, ExecPolicy, Lambada, LambadaConfig, ObjectStoreTransport,
+    PartData, QueryReport, SchedMode, SortStrategy, SpeculationConfig, WorkerEnv, WorkerGate,
+};
+use lambada::engine::logical::LogicalPlan;
+use lambada::engine::{AggExpr, AggFunc, Column, DataType, Df, Field, Schema, SortKey};
+use lambada::sim::{secs, Cloud, CloudConfig, InjectedFault, Simulation};
+use lambada::workloads::stage_table_real;
+
+fn keys(n: usize, salt: u64, domain: i64) -> Vec<i64> {
+    (0..n as u64)
+        .map(|i| {
+            let x = (i ^ salt).wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(17);
+            (x % domain as u64) as i64
+        })
+        .collect()
+}
+
+fn table_cols(n: usize, salt: u64, prefix: usize, domain: i64) -> (Schema, Vec<Column>) {
+    let schema = Schema::new(vec![
+        Field::new(format!("k{prefix}"), DataType::Int64),
+        Field::new(format!("v{prefix}"), DataType::Int64),
+    ]);
+    let k = keys(n, salt, domain);
+    let v: Vec<i64> = (0..n as i64).map(|i| i % 97).collect();
+    (schema, vec![Column::I64(k), Column::I64(v)])
+}
+
+fn split_files(cols: &[Column], num_files: usize) -> Vec<Vec<Column>> {
+    let rows = cols.first().map_or(0, Column::len);
+    let per = rows.div_ceil(num_files.max(1));
+    let mut out = Vec::new();
+    let mut start = 0;
+    while start < rows {
+        let idx: Vec<usize> = (start..(start + per).min(rows)).collect();
+        out.push(cols.iter().map(|c| c.gather(&idx)).collect());
+        start += per;
+    }
+    out
+}
+
+/// Stage the unbalanced shape the scheduler benchmarks use in
+/// miniature: a three-table dimension chain beside a wider fact scan,
+/// all joined. Small key domain so every join matches rows.
+fn install_unbalanced(cloud: &Cloud, config: LambadaConfig) -> (Lambada, LogicalPlan) {
+    let mut system = Lambada::install(cloud, config);
+    let mut dfs = Vec::new();
+    for (prefix, rows, files) in [(0usize, 240usize, 3usize), (1, 60, 1), (2, 40, 1)] {
+        let (schema, cols) = table_cols(rows, 0xA5A5 + prefix as u64, prefix, 13);
+        let name = format!("t{prefix}");
+        let spec = stage_table_real(
+            cloud,
+            "data",
+            &name,
+            schema.clone(),
+            split_files(&cols, files),
+            rows as u64,
+            2,
+        );
+        system.register_table(spec);
+        dfs.push(Df::scan(name, &schema));
+    }
+    let (big_schema, big_cols) = table_cols(320, 0xBEEF, 9, 13);
+    let spec = stage_table_real(
+        cloud,
+        "data",
+        "big",
+        big_schema.clone(),
+        split_files(&big_cols, 4),
+        320,
+        2,
+    );
+    system.register_table(spec);
+    let mut df = dfs.remove(0);
+    for (t, right) in dfs.into_iter().enumerate() {
+        let key = format!("k{}", t + 1);
+        df = df.join(right, &[("k0", key.as_str())]).unwrap();
+    }
+    let plan = df.join(Df::scan("big", &big_schema), &[("k0", "k9")]).unwrap().build();
+    (system, plan)
+}
+
+fn mode_policy(mode: SchedMode) -> ExecPolicy {
+    ExecPolicy { scheduler: Some(mode), ..ExecPolicy::default() }
+}
+
+/// Wave, eager, and overlap runs of the same DAG on the same
+/// installation return the same rows bit for bit.
+#[test]
+fn all_sched_modes_produce_bit_identical_results() {
+    let sim = Simulation::new();
+    let cloud = Cloud::new(&sim, CloudConfig::default());
+    let (system, plan) = install_unbalanced(
+        &cloud,
+        LambadaConfig { join_workers: Some(4), ..LambadaConfig::default() },
+    );
+    sim.block_on(async move {
+        let dag = system.plan(&plan).unwrap();
+        let wave = system.run_dag_with(&dag, &mode_policy(SchedMode::Wave)).await.unwrap();
+        assert!(wave.batch.num_rows() > 0, "the chain must actually join rows");
+        for mode in [SchedMode::Eager, SchedMode::Overlap] {
+            let run = system.run_dag_with(&dag, &mode_policy(mode)).await.unwrap();
+            assert_eq!(run.batch, wave.batch, "{mode:?} diverged from the wave baseline");
+        }
+    });
+}
+
+/// Overlapped scheduling under a worker gate whose cap is smaller than
+/// the combined fleets it would co-schedule: the FIFO gate's grant
+/// order embeds the dependency order (a fleet's `Launched` event fires
+/// only after admission), so the query completes instead of
+/// deadlocking, matches the ungated run, and never exceeds the cap.
+#[test]
+fn overlap_under_binding_worker_gate_completes_without_deadlock() {
+    let sim = Simulation::new();
+    let cloud = Cloud::new(&sim, CloudConfig::default());
+    let (system, plan) = install_unbalanced(
+        &cloud,
+        LambadaConfig { join_workers: Some(4), ..LambadaConfig::default() },
+    );
+    sim.block_on(async move {
+        let dag = system.plan(&plan).unwrap();
+        let free = system.run_dag_with(&dag, &mode_policy(SchedMode::Overlap)).await.unwrap();
+        // Cap 4 admits any single fleet whole (joins are pinned at 4)
+        // but never two overlapping fleets together.
+        let gate = WorkerGate::new(4);
+        let policy = ExecPolicy {
+            scheduler: Some(SchedMode::Overlap),
+            gate: Some(gate.clone()),
+            ..ExecPolicy::default()
+        };
+        let gated = system.run_dag_with(&dag, &policy).await.unwrap();
+        assert_eq!(gated.batch, free.batch, "gating must not change rows");
+        assert_eq!(gate.inflight(), 0, "every lease released");
+        assert!(
+            gate.peak_inflight() <= 4,
+            "no fleet is pinned above the cap, so the cap binds: peak {}",
+            gate.peak_inflight()
+        );
+    });
+}
+
+/// The fault-suite plan: join feeding a repartitioned aggregation
+/// feeding a distributed sort. The build-side scan is small beside the
+/// probe side, so the overlap cost model approves launching the join
+/// fleet against the still-running build scan — the consumer is up
+/// mid-overlap when the producer dies.
+fn fault_plan() -> LogicalPlan {
+    let left = Df::scan(
+        "l",
+        &Schema::new(vec![Field::new("k0", DataType::Int64), Field::new("v0", DataType::Int64)]),
+    );
+    let right = Df::scan(
+        "r",
+        &Schema::new(vec![Field::new("k1", DataType::Int64), Field::new("v1", DataType::Int64)]),
+    );
+    let joined = left.join(right, &[("k0", "k1")]).unwrap();
+    let k = joined.col("k0").unwrap();
+    let v = joined.col("v0").unwrap();
+    joined
+        .aggregate(
+            vec![(k, "k")],
+            vec![
+                AggExpr::new(AggFunc::Count, None, "n"),
+                AggExpr::new(AggFunc::Sum, Some(v), "sum_v"),
+            ],
+        )
+        .unwrap()
+        .sort(vec![SortKey::asc(lambada::engine::col(0))])
+        .unwrap()
+        .build()
+}
+
+fn run_fault_case(
+    mode: SchedMode,
+    fault: Option<fn(u64, u32) -> Option<InjectedFault>>,
+) -> QueryReport {
+    let sim = Simulation::new();
+    let cloud = Cloud::new(&sim, CloudConfig::default());
+    let (ls, lcols) = table_cols(400, 0x1111, 0, 37);
+    let (rs, rcols) = table_cols(120, 0x2222, 1, 37);
+    let lspec = stage_table_real(&cloud, "data", "l", ls, split_files(&lcols, 4), 400, 2);
+    let rspec = stage_table_real(&cloud, "data", "r", rs, split_files(&rcols, 3), 120, 2);
+    let mut system = Lambada::install(
+        &cloud,
+        LambadaConfig {
+            join_workers: Some(4),
+            agg: AggStrategy::Exchange { workers: Some(2) },
+            sort: SortStrategy::Exchange { workers: Some(2) },
+            speculation: SpeculationConfig {
+                enabled: true,
+                quantile: 0.7,
+                multiplier: 2.0,
+                max_attempts: 1,
+                ..SpeculationConfig::default()
+            },
+            ..LambadaConfig::default()
+        },
+    );
+    system.register_table(lspec);
+    system.register_table(rspec);
+    if let Some(f) = fault {
+        lambada::core::inject_worker_faults(&cloud, f);
+    }
+    let plan = fault_plan();
+    sim.block_on(async move {
+        let dag = system.plan(&plan).unwrap();
+        system.run_dag_with(&dag, &mode_policy(mode)).await.unwrap()
+    })
+}
+
+/// A producer silently killed while overlapped scheduling already has
+/// its consumer launched and polling: the per-stage straggler watcher
+/// (anchored to the fleet's own post-gate launch instant) re-invokes
+/// it, the backup's higher attempt wins dedup, and the result matches
+/// the clean eager baseline bit for bit.
+#[test]
+fn speculation_recovers_killed_producer_mid_overlap() {
+    let clean = run_fault_case(SchedMode::Eager, None);
+    assert_eq!(clean.backup_invocations(), 0);
+    assert!(clean.batch.num_rows() > 0);
+    let killed = run_fault_case(
+        SchedMode::Overlap,
+        Some(|wid, attempt| {
+            (wid == 1 && attempt == 0)
+                .then(|| InjectedFault::kill(std::time::Duration::from_millis(10)))
+        }),
+    );
+    assert!(killed.backup_invocations() >= 1, "the kill was speculated against");
+    assert_eq!(killed.batch, clean.batch);
+}
+
+/// Highest-attempt-wins dedup on a consumer that starts before any
+/// producer wrote: the receiver's first discovery pass sees an empty
+/// prefix (or mailbox) and must keep polling; when the producer's
+/// attempts then land *out of order* — the speculative attempt-1 copy
+/// first, the straggling attempt-0 original later — the receiver must
+/// return exactly one part carrying the attempt-1 payload, on both the
+/// object-store and the direct transport.
+#[test]
+fn early_consumer_dedupes_attempts_on_empty_prefix_on_both_transports() {
+    let cfg = ExchangeConfig::default();
+    for direct in [false, true] {
+        let sim = Simulation::new();
+        let cloud = Cloud::new(&sim, CloudConfig::default());
+        install_exchange_buckets(&cloud, &cfg);
+        let side = ExchangeSide::new();
+        let transport: Rc<dyn ExchangeTransport> = if direct {
+            Rc::new(DirectTransport::new(cfg.clone(), side.clone(), cloud.p2p.clone()))
+        } else {
+            Rc::new(ObjectStoreTransport::new(cfg.clone(), side.clone()))
+        };
+        let channel = "x7/q0/s0";
+        if direct {
+            cloud.p2p.register(&format!("{channel}/r0"));
+        }
+        let old_payload = b"attempt-zero-stale".to_vec();
+        let new_payload = b"attempt-one-wins".to_vec();
+        let got = sim.block_on({
+            let cloud = cloud.clone();
+            let transport2 = Rc::clone(&transport);
+            let (old_payload, new_payload) = (old_payload.clone(), new_payload.clone());
+            async move {
+                let consumer = cloud.handle.spawn({
+                    let cloud = cloud.clone();
+                    let transport = Rc::clone(&transport2);
+                    async move {
+                        let env = WorkerEnv::bare(&cloud, 10, 2048, ComputeCostModel::default());
+                        transport.recv(&env, "x7/q0/s0", 0, 1).await.unwrap()
+                    }
+                });
+                // Let the consumer's first discovery pass find nothing.
+                cloud.handle.sleep(secs(0.7)).await;
+                let mut env = WorkerEnv::bare(&cloud, 0, 2048, ComputeCostModel::default());
+                env.attempt = 1;
+                transport2
+                    .send(&env, "x7/q0/s0", 0, vec![PartData::Real(new_payload)])
+                    .await
+                    .unwrap();
+                env.attempt = 0;
+                transport2
+                    .send(&env, "x7/q0/s0", 0, vec![PartData::Real(old_payload)])
+                    .await
+                    .unwrap();
+                let (parts, stats) = consumer.await;
+                assert!(stats.wait_secs > 0.0, "the consumer really waited on an empty edge");
+                parts
+            }
+        });
+        assert_eq!(
+            got,
+            vec![PartData::Real(new_payload)],
+            "direct={direct}: exactly one part, highest attempt wins"
+        );
+    }
+}
