@@ -332,6 +332,12 @@ pub struct QueryReport {
     pub worker_metrics: Vec<WorkerMetrics>,
     /// One entry per executed stage, in launch order.
     pub stages: Vec<StageReport>,
+    /// Merged-but-unfinalized aggregate state, present exactly when the
+    /// DAG's final stage is [`FinalStage::CarryAggState`] (the wire
+    /// encoding of [`lambada_engine::GroupedAggState`]; `batch` is empty
+    /// then). The streaming runtime merges it into the window state it
+    /// carries across micro-batches.
+    pub agg_state: Option<Vec<u8>>,
 }
 
 impl QueryReport {
@@ -382,7 +388,11 @@ impl QueryReport {
 pub struct Lambada {
     cloud: Cloud,
     config: LambadaConfig,
-    tables: HashMap<String, TableSpec>,
+    /// Registered tables. Interior-mutable so long-lived shared handles
+    /// (the query service holds the installation in an `Rc`) can
+    /// register/unregister the short-lived per-micro-batch tables the
+    /// streaming runtime stages.
+    tables: std::cell::RefCell<HashMap<String, TableSpec>>,
     query_seq: std::cell::Cell<u64>,
     /// Process-unique installation id, namespacing exchange-edge keys so
     /// several installations (or re-installs) on one cloud never collide.
@@ -449,7 +459,7 @@ impl Lambada {
         Lambada {
             cloud: cloud.clone(),
             config,
-            tables: HashMap::new(),
+            tables: std::cell::RefCell::new(HashMap::new()),
             query_seq: std::cell::Cell::new(0),
             instance: INSTANCE_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
         }
@@ -476,24 +486,40 @@ impl Lambada {
     }
 
     pub fn register_table(&mut self, spec: TableSpec) {
-        self.tables.insert(spec.name.clone(), spec);
+        self.register_table_shared(spec);
     }
 
-    pub fn table(&self, name: &str) -> Option<&TableSpec> {
-        self.tables.get(name)
+    /// Register a table through a shared (`&self`) handle — how the
+    /// streaming runtime registers each micro-batch's staged table on the
+    /// installation the query service holds in an `Rc`.
+    pub fn register_table_shared(&self, spec: TableSpec) {
+        self.tables.borrow_mut().insert(spec.name.clone(), spec);
+    }
+
+    /// Drop a registered table (the files it points to are untouched).
+    pub fn unregister_table(&self, name: &str) {
+        self.tables.borrow_mut().remove(name);
+    }
+
+    pub fn table(&self, name: &str) -> Option<TableSpec> {
+        self.tables.borrow().get(name).cloned()
     }
 
     /// Build a [`Df`] over a registered table.
     pub fn from_table(&self, name: &str) -> Result<Df> {
-        let spec = self
-            .tables
+        let tables = self.tables.borrow();
+        let spec = tables
             .get(name)
             .ok_or_else(|| CoreError::Unsupported(format!("unknown table {name}")))?;
         Ok(Df::scan(name, &spec.schema))
     }
 
-    fn table_spec(&self, name: &str) -> Result<&TableSpec> {
-        self.tables.get(name).ok_or_else(|| CoreError::Unsupported(format!("unknown table {name}")))
+    fn table_spec(&self, name: &str) -> Result<TableSpec> {
+        self.tables
+            .borrow()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| CoreError::Unsupported(format!("unknown table {name}")))
     }
 
     /// Optimize and lower a logical plan into this installation's stage
@@ -501,7 +527,7 @@ impl Lambada {
     /// dispatch, and what the query service plans at submission time.
     pub fn plan(&self, plan: &LogicalPlan) -> Result<QueryDag> {
         let hints: HashMap<String, u64> =
-            self.tables.iter().map(|(k, v)| (k.clone(), v.total_rows)).collect();
+            self.tables.borrow().iter().map(|(k, v)| (k.clone(), v.total_rows)).collect();
         let optimized = Optimizer::with_row_hints(hints).optimize(plan)?;
         let opts = SplitOptions {
             exchange_aggregates: matches!(self.config.agg, AggStrategy::Exchange { .. }),
@@ -730,6 +756,11 @@ impl Lambada {
                     &transport,
                     &planned_workers,
                     &result_queue,
+                    // Last stage under a carry final stage: the merge
+                    // fleet re-emits unfinalized state for the driver to
+                    // carry across micro-batches.
+                    sid == dag.stages.len() - 1
+                        && matches!(dag.final_stage, FinalStage::CarryAggState { .. }),
                 )?,
                 StageKind::Sort(sort) => self.sort_stage_payloads(
                     qid,
@@ -830,7 +861,7 @@ impl Lambada {
             }
         }
 
-        let batch = self.finalize(&dag.final_stage, &final_results).await?;
+        let (batch, agg_state) = self.finalize(&dag.final_stage, &final_results).await?;
         let now = self.cloud.handle.now();
         let latency_secs = (now - start).as_secs_f64();
         let span_secs = (now - policy.submitted.unwrap_or(start)).as_secs_f64();
@@ -847,6 +878,7 @@ impl Lambada {
             cold_starts,
             worker_metrics: all_metrics,
             stages: stage_reports,
+            agg_state,
         })
     }
 
@@ -1169,6 +1201,7 @@ impl Lambada {
         transport: &Rc<dyn ExchangeTransport>,
         planned_workers: &[usize],
         result_queue: &str,
+        emit_state: bool,
     ) -> Result<Vec<WorkerPayload>> {
         let sort = match &agg.output {
             StageOutput::Driver => None,
@@ -1195,6 +1228,7 @@ impl Lambada {
             result_bucket: self.config.result_bucket.clone(),
             result_prefix: format!("results/x{}-q{qid}-agg", self.instance),
             sort,
+            emit_state,
         });
         Ok((0..partitions)
             .map(|p| WorkerPayload {
@@ -1249,12 +1283,14 @@ impl Lambada {
     }
 
     /// Driver-scope post-processing (§3.2: "post-processing like
-    /// aggregating the intermediate worker results").
+    /// aggregating the intermediate worker results"). Returns the result
+    /// batch plus, for [`FinalStage::CarryAggState`] only, the merged
+    /// unfinalized state for the caller to carry.
     async fn finalize(
         &self,
         final_stage: &FinalStage,
         results: &[WorkerResult],
-    ) -> Result<RecordBatch> {
+    ) -> Result<(RecordBatch, Option<Vec<u8>>)> {
         match final_stage {
             FinalStage::MergeAggregate { agg_schema, funcs, post } => {
                 let mut state = GroupedAggState::new(funcs)?;
@@ -1264,7 +1300,21 @@ impl Lambada {
                     }
                 }
                 let batch = agg_state_to_batch(&state, agg_schema)?;
-                self.apply_post(batch, post)
+                Ok((self.apply_post(batch, post)?, None))
+            }
+            FinalStage::CarryAggState { agg_schema, funcs } => {
+                // Merge without finalizing: speculation's first-result-wins
+                // collection already guarantees one payload per worker slot,
+                // and an exchange merge fleet's shards hold disjoint groups,
+                // so this merge never double-counts.
+                let mut state = GroupedAggState::new(funcs)?;
+                for r in results {
+                    if let Ok(ResultPayload::AggState(bytes)) = &r.outcome {
+                        state.merge(&GroupedAggState::decode(bytes)?)?;
+                    }
+                }
+                let batch = RecordBatch::empty(agg_schema.clone());
+                Ok((batch, Some(state.encode())))
             }
             FinalStage::CollectBatches { schema, post } => {
                 let s3 = self.cloud.driver_s3();
@@ -1279,7 +1329,7 @@ impl Lambada {
                     }
                 }
                 let batch = RecordBatch::concat(schema.clone(), &batches)?;
-                self.apply_post(batch, post)
+                Ok((self.apply_post(batch, post)?, None))
             }
         }
     }

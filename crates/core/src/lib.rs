@@ -58,6 +58,7 @@ pub mod scan;
 pub mod sched;
 pub mod service;
 pub mod stage;
+pub mod streaming;
 pub mod table;
 pub mod transport;
 pub mod verify;
@@ -87,12 +88,16 @@ pub use service::{
     QueryEstimate, QueryHandle, QueryService, ServiceConfig, TenantBudget, TenantUsage, WorkerGate,
 };
 pub use stage::{QueryDag, SplitOptions, StageKind};
+pub use streaming::{
+    events_to_batch, streamify, ContinuousQuery, StreamBatchReport, StreamSpec, WINDOW_COLUMN,
+};
 pub use table::{TableFile, TableSpec};
 pub use transport::{
     DirectTransport, EdgeWriteStats, ExchangeTransport, ObjectStoreTransport, TransportKind,
 };
 pub use verify::{
-    verify_dag, verify_fleets, verify_schedule, Diagnostic, FleetBounds, MAX_MODEL_FLEET,
+    verify_dag, verify_fleets, verify_schedule, verify_stream, Diagnostic, FleetBounds,
+    MAX_MODEL_FLEET,
 };
 pub use worker::{
     inject_query_worker_faults, inject_worker_faults, register_worker_function, AggMergeShared,

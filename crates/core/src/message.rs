@@ -100,7 +100,13 @@ impl WorkerMetrics {
 /// Wire stability: variants encode by fixed tag (0–3 in declaration
 /// order); tags are frozen once assigned. New payload kinds take the
 /// next free tag — never reuse one, a mixed-version fleet would
-/// misparse old results.
+/// misparse old results. The `AggState` encoding
+/// ([`lambada_engine::agg::GroupedAggState::encode`]) is additionally
+/// the *carried window state* of continuous queries
+/// (`FinalStage::CarryAggState`): the driver merges it across
+/// micro-batches and may hold it for the lifetime of a stream, so the
+/// state bytes are as frozen as the tag — append-only evolution with
+/// short-read defaults, never a reinterpretation of existing bytes.
 #[derive(Clone, Debug, PartialEq)]
 pub enum ResultPayload {
     /// Serialized partial-aggregate state (small, inline in the message).

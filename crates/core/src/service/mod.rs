@@ -45,6 +45,9 @@ use crate::transport::TransportKind;
 
 use admission::AdmissionController;
 pub use admission::{TenantBudget, TenantUsage};
+// The continuous-query handle submits through this service layer; re-export
+// it here so streaming reads as part of the service API surface.
+pub use crate::streaming::{ContinuousQuery, StreamBatchReport, StreamSpec};
 
 /// Service-layer configuration, part of [`crate::LambadaConfig`].
 #[derive(Clone, Debug)]

@@ -95,6 +95,20 @@ pub enum FinalStage {
     /// Concatenate collected batches (in worker order — which is range
     /// order below a sort stage), then apply post-ops.
     CollectBatches { schema: SchemaRef, post: Vec<PostOp> },
+    /// Merge partial aggregate states but do *not* finalize: the driver
+    /// returns the merged state's wire encoding so a caller can carry it
+    /// across query executions. This is the streaming runtime's per-batch
+    /// final stage — `core::streaming` merges each micro-batch's state
+    /// into the windows accumulated so far and finalizes a window only
+    /// when the watermark closes it. No post-ops: nothing row-shaped
+    /// materializes on the driver.
+    CarryAggState {
+        /// Output schema of the aggregate node (window key first).
+        agg_schema: SchemaRef,
+        /// Accumulator shapes, to build an empty state when every worker
+        /// reports empty.
+        funcs: Vec<(AggFunc, Option<DataType>)>,
+    },
 }
 
 /// Where a stage's pipeline output goes.

@@ -123,6 +123,22 @@ pub mod codes {
     /// A stage's waits do not cover one of its input edges, even
     /// transitively — the stage could launch before its producer has.
     pub const SCHED_UNCOVERED_EDGE: &str = "V-SCHED-003";
+    /// `FinalStage::CarryAggState` disagrees with the last stage
+    /// (terminal kind, schema width, or accumulator shapes) — the carried
+    /// state would not merge with what workers report.
+    pub const STREAM_FINAL: &str = "V-STREAM-001";
+    /// A streaming plan's aggregate schema has no window key: the first
+    /// group column must be the `Int64` window start (named
+    /// [`crate::streaming::WINDOW_COLUMN`]), or watermark-driven emission
+    /// cannot split closed windows off the carried state.
+    pub const STREAM_WINDOW_KEY: &str = "V-STREAM-002";
+    /// A window spec is malformed (non-positive size, slide outside
+    /// `(0, size]`) or the allowed lateness is negative.
+    pub const STREAM_SPEC: &str = "V-STREAM-003";
+    /// A streaming plan contains a sort stage; per-batch sorted output is
+    /// meaningless when results only materialize at window close, and the
+    /// carry final stage has no row-shaped output to sort.
+    pub const STREAM_POST: &str = "V-STREAM-004";
 }
 
 /// Largest fleet the cost model can legitimately size: every consumer
@@ -729,6 +745,73 @@ pub fn verify_dag(dag: &QueryDag) -> Vec<Diagnostic> {
                 )),
             }
         }
+        FinalStage::CarryAggState { agg_schema, funcs } => {
+            // The carried state must merge with what the last stage
+            // reports: same agreement rules as MergeAggregate, except an
+            // agg-merge last stage is also legal (its workers re-emit
+            // unfinalized state when the final stage carries).
+            let pipeline = match last {
+                StageKind::Scan(s) => Some(&s.pipeline),
+                StageKind::Join(j) => Some(&j.post),
+                _ => None,
+            };
+            match last {
+                StageKind::AggMerge(a) => {
+                    if !schemas_compatible(&a.agg_schema, agg_schema) || &a.funcs != funcs {
+                        out.push(Diagnostic::new(
+                            codes::STREAM_FINAL,
+                            None,
+                            format!(
+                                "CarryAggState disagrees with the agg-merge last stage: \
+                                 schema {} vs {}, funcs {funcs:?} vs {:?}",
+                                schema_types(agg_schema),
+                                schema_types(&a.agg_schema),
+                                a.funcs,
+                            ),
+                        ));
+                    }
+                }
+                _ => match pipeline.map(|p| (&p.terminal, p)) {
+                    Some((Terminal::PartialAggregate { group_by, aggs }, p)) => {
+                        if agg_schema.len() != group_by.len() + aggs.len() {
+                            out.push(Diagnostic::new(
+                                codes::STREAM_FINAL,
+                                None,
+                                format!(
+                                    "carried agg schema has {} columns but the last stage \
+                                     groups by {} keys with {} aggregates",
+                                    agg_schema.len(),
+                                    group_by.len(),
+                                    aggs.len(),
+                                ),
+                            ));
+                        } else if let Ok(mid) = p.intermediate_schema() {
+                            if let Ok(expect) = agg_func_types(aggs, &mid) {
+                                if &expect != funcs {
+                                    out.push(Diagnostic::new(
+                                        codes::STREAM_FINAL,
+                                        None,
+                                        format!(
+                                            "carried accumulator shapes {funcs:?} do not \
+                                             match the last stage's aggregates {expect:?}",
+                                        ),
+                                    ));
+                                }
+                            }
+                        }
+                    }
+                    _ => out.push(Diagnostic::new(
+                        codes::STREAM_FINAL,
+                        None,
+                        format!(
+                            "CarryAggState final stage needs an agg-merge last stage or a \
+                             scan/join last stage with a PartialAggregate terminal; found {}",
+                            last.label(last_id),
+                        ),
+                    )),
+                },
+            }
+        }
         FinalStage::CollectBatches { schema, .. } => {
             let reported = match last {
                 StageKind::Scan(s) => match &s.pipeline.terminal {
@@ -769,6 +852,73 @@ pub fn verify_dag(dag: &QueryDag) -> Vec<Diagnostic> {
         }
     }
 
+    out
+}
+
+/// Verify the streaming-specific contracts of a per-micro-batch DAG:
+/// the plan must end in [`FinalStage::CarryAggState`] with the window
+/// start leading the group key (V-STREAM-001/002), the window spec and
+/// allowed lateness must be well-formed (V-STREAM-003), and no sort
+/// stage may appear (V-STREAM-004). [`crate::streaming::ContinuousQuery`]
+/// runs this at construction, alongside [`verify_dag`], before the first
+/// batch is admitted.
+pub fn verify_stream(
+    dag: &QueryDag,
+    window: &lambada_engine::WindowSpec,
+    lateness: i64,
+) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    if let Err(e) = window.validate() {
+        out.push(Diagnostic::new(codes::STREAM_SPEC, None, format!("invalid window spec: {e}")));
+    }
+    if lateness < 0 {
+        out.push(Diagnostic::new(
+            codes::STREAM_SPEC,
+            None,
+            format!("allowed lateness must be non-negative, got {lateness}"),
+        ));
+    }
+    for (sid, kind) in dag.stages.iter().enumerate() {
+        if matches!(kind, StageKind::Sort(_)) {
+            out.push(Diagnostic::new(
+                codes::STREAM_POST,
+                sid,
+                "sort stage in a streaming plan; results only materialize at window close"
+                    .to_string(),
+            ));
+        }
+    }
+    match &dag.final_stage {
+        FinalStage::CarryAggState { agg_schema, funcs } => {
+            let num_keys = agg_schema.len().saturating_sub(funcs.len());
+            if num_keys == 0 {
+                out.push(Diagnostic::new(
+                    codes::STREAM_WINDOW_KEY,
+                    None,
+                    "streaming aggregate has no group keys; the window start must lead the key"
+                        .to_string(),
+                ));
+            } else if agg_schema.field(0).dtype != lambada_engine::DataType::Int64
+                || agg_schema.field(0).name != crate::streaming::WINDOW_COLUMN
+            {
+                out.push(Diagnostic::new(
+                    codes::STREAM_WINDOW_KEY,
+                    None,
+                    format!(
+                        "first group column must be the Int64 window start `{}`, got `{}` ({})",
+                        crate::streaming::WINDOW_COLUMN,
+                        agg_schema.field(0).name,
+                        agg_schema.field(0).dtype
+                    ),
+                ));
+            }
+        }
+        _ => out.push(Diagnostic::new(
+            codes::STREAM_FINAL,
+            None,
+            "streaming plan must end in a CarryAggState final stage".to_string(),
+        )),
+    }
     out
 }
 

@@ -195,6 +195,13 @@ pub struct AggMergeShared {
     /// worker locally sorts (and top-k-truncates) its finalized batch and
     /// range-partitions it onto the out-edge instead of storing it.
     pub sort: Option<(String, SortEdgeSpec)>,
+    /// Report the merged state *unfinalized* (as a
+    /// [`ResultPayload::AggState`]) instead of finalizing to a stored
+    /// batch. Set for streaming queries, whose driver carries the state
+    /// across micro-batches and finalizes only at window close; the
+    /// fleet's shards hold disjoint group ranges, so the driver merge is
+    /// trivially correct. Mutually exclusive with `sort`.
+    pub emit_state: bool,
 }
 
 /// Immutable parts of a distributed sort stage, shared across its fleet.
@@ -998,6 +1005,14 @@ async fn run_agg_merge(
         }
     }
     metrics.rows_exchanged = metrics.rows_in;
+
+    if shared.emit_state {
+        // Streaming: hand the merged state back unfinalized so the driver
+        // can carry it across micro-batches. Finalizing here would lose
+        // mergeability (an averaged Avg cannot re-merge).
+        metrics.rows_out = state.num_groups() as u64;
+        return Ok((ResultPayload::AggState(state.encode()), metrics));
+    }
 
     let batch = agg_state_to_batch(&state, &shared.agg_schema)?;
     metrics.rows_out = batch.num_rows() as u64;

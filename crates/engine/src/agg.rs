@@ -368,6 +368,38 @@ impl GroupedAggState {
             .collect()
     }
 
+    /// Split off every group whose *first* key is an `Int64` below
+    /// `close_before`, returning them as a new state and keeping the rest.
+    ///
+    /// This is the watermark-driven window-emission primitive of
+    /// `lambada-core`'s streaming runtime: windowed plans put the window
+    /// start first in the group key, so `split_off_closed(watermark -
+    /// size + 1)` peels exactly the window instances the watermark has
+    /// closed (their accumulators move, so a group is emitted exactly
+    /// once) while open windows stay behind as carried state. Groups
+    /// whose first key is not `Int64` (or states with empty keys) are
+    /// never split off. Pass `i64::MAX` to close everything.
+    pub fn split_off_closed(&mut self, close_before: i64) -> GroupedAggState {
+        let keys = std::mem::take(&mut self.keys);
+        let accs = std::mem::take(&mut self.accs);
+        self.map.clear();
+        let mut closed = GroupedAggState {
+            prototypes: self.prototypes.clone(),
+            map: HashMap::new(),
+            keys: Vec::new(),
+            accs: Vec::new(),
+        };
+        for (key, acc) in keys.into_iter().zip(accs) {
+            let is_closed = matches!(key.first(), Some(&ScalarKey::I(w)) if w < close_before);
+            let target = if is_closed { &mut closed } else { &mut *self };
+            let gid = target.keys.len();
+            target.map.insert(key.clone(), gid);
+            target.keys.push(key);
+            target.accs.push(acc);
+        }
+        closed
+    }
+
     /// Serialize for the wire (worker result messages).
     pub fn encode(&self) -> Vec<u8> {
         let mut w = BinWriter::new();
@@ -533,6 +565,38 @@ mod tests {
         assert_eq!(rows.len(), 1);
         assert!(rows[0].0.is_empty());
         assert_eq!(rows[0].1[0], Scalar::Float64(3.0));
+    }
+
+    #[test]
+    fn split_off_closed_partitions_by_first_key() {
+        let mut st = GroupedAggState::new(&[(AggFunc::Sum, Some(DataType::Int64))]).unwrap();
+        st.update_batch(
+            &[Column::I64(vec![0, 10, 20, 10]), Column::I64(vec![7, 8, 7, 8])],
+            &[Some(Column::I64(vec![1, 2, 4, 8]))],
+            4,
+        )
+        .unwrap();
+        let closed = st.split_off_closed(20);
+        assert_eq!(closed.num_groups(), 2, "windows 0 and 10 close");
+        assert_eq!(st.num_groups(), 1, "window 20 stays open");
+        let rows = closed.finalize_rows();
+        assert_eq!(rows[0].0, vec![Scalar::Int64(0), Scalar::Int64(7)]);
+        assert_eq!(rows[0].1, vec![Scalar::Int64(1)]);
+        assert_eq!(rows[1].0, vec![Scalar::Int64(10), Scalar::Int64(8)]);
+        assert_eq!(rows[1].1, vec![Scalar::Int64(10)], "both ts=10 rows folded");
+        // Kept state still accepts updates under its rebuilt map.
+        st.update_batch(
+            &[Column::I64(vec![20]), Column::I64(vec![7])],
+            &[Some(Column::I64(vec![100]))],
+            1,
+        )
+        .unwrap();
+        assert_eq!(st.num_groups(), 1);
+        assert_eq!(st.finalize_rows()[0].1, vec![Scalar::Int64(104)]);
+        // Closing everything empties the state.
+        let rest = st.split_off_closed(i64::MAX);
+        assert_eq!(rest.num_groups(), 1);
+        assert_eq!(st.num_groups(), 0);
     }
 
     #[test]

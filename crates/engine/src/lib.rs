@@ -51,7 +51,7 @@ pub use frontend::Df;
 pub use join::JoinState;
 pub use logical::{JoinVariant, LogicalPlan, SortKey};
 pub use optimizer::Optimizer;
-pub use physical::{execute, execute_into_batch};
+pub use physical::{assign_windows, execute, execute_into_batch, WindowSpec};
 pub use pipeline::{Pipeline, PipelineOutput, PipelineSpec, Terminal};
 pub use scalar::{Scalar, ScalarKey};
 pub use table::{Catalog, MemTable, TableProvider};

@@ -150,6 +150,115 @@ pub fn agg_state_to_batch(state: &GroupedAggState, schema: &SchemaRef) -> Result
     RecordBatch::new(Arc::clone(schema), columns)
 }
 
+/// A tumbling or sliding event-time window: instances start at every
+/// multiple of `slide` on the timestamp axis and span `size` ticks, so a
+/// timestamp belongs to `ceil(size / slide)` instances (`slide == size`
+/// is a tumbling window and every timestamp belongs to exactly one).
+/// Timestamps are plain `Int64` ticks; negative timestamps window
+/// correctly (starts floor toward negative infinity).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WindowSpec {
+    /// Window length in timestamp ticks.
+    pub size: i64,
+    /// Distance between consecutive window starts.
+    pub slide: i64,
+}
+
+impl WindowSpec {
+    /// A tumbling window: `slide == size`.
+    pub fn tumbling(size: i64) -> WindowSpec {
+        WindowSpec { size, slide: size }
+    }
+
+    /// A sliding window of `size` ticks advancing by `slide` ticks.
+    pub fn sliding(size: i64, slide: i64) -> WindowSpec {
+        WindowSpec { size, slide }
+    }
+
+    /// Reject malformed specs: `size` must be positive and `slide` in
+    /// `(0, size]` — a slide above the size would drop events that fall
+    /// between instances.
+    pub fn validate(&self) -> Result<()> {
+        if self.size <= 0 {
+            return exec_err(format!("window size must be positive, got {}", self.size));
+        }
+        if self.slide <= 0 || self.slide > self.size {
+            return exec_err(format!(
+                "window slide must be in (0, size]: slide {} over size {}",
+                self.slide, self.size
+            ));
+        }
+        Ok(())
+    }
+
+    /// Start of the latest window instance containing `ts`.
+    pub fn latest_start(&self, ts: i64) -> i64 {
+        ts.div_euclid(self.slide) * self.slide
+    }
+
+    /// Starts of every window instance containing `ts`, ascending.
+    pub fn starts(&self, ts: i64) -> Vec<i64> {
+        let mut out = Vec::new();
+        let mut w = self.latest_start(ts);
+        while w > ts.saturating_sub(self.size) {
+            out.push(w);
+            w -= self.slide;
+        }
+        out.reverse();
+        out
+    }
+
+    /// End (exclusive) of the window starting at `start` — the watermark
+    /// at or past which the instance closes.
+    pub fn end(&self, start: i64) -> i64 {
+        start.saturating_add(self.size)
+    }
+}
+
+/// Assign window instances to timestamped rows: replicate each row once
+/// per window instance containing its `ts_col` value (exactly once for
+/// tumbling windows) and append the instance's start as a new trailing
+/// `Int64` column named `out_name`.
+///
+/// Grouping the result by the window column (plus any user keys) turns
+/// an ordinary grouped aggregation into a windowed one — the distributed
+/// plan below the aggregate needs no window-aware operators at all,
+/// which is how `lambada-core`'s streaming runtime reuses the batch
+/// engine unchanged. Output row order is deterministic: input order,
+/// with a row's instances ascending by start.
+pub fn assign_windows(
+    batch: &RecordBatch,
+    ts_col: usize,
+    window: &WindowSpec,
+    out_name: &str,
+) -> Result<RecordBatch> {
+    window.validate()?;
+    if ts_col >= batch.num_columns() {
+        return exec_err(format!(
+            "timestamp column {ts_col} out of bounds for {} columns",
+            batch.num_columns()
+        ));
+    }
+    if batch.schema().field(ts_col).dtype != DataType::Int64 {
+        return exec_err("window timestamps must be Int64".to_string());
+    }
+    let mut indices = Vec::with_capacity(batch.num_rows());
+    let mut starts = Vec::with_capacity(batch.num_rows());
+    let ts = batch.column(ts_col).as_i64()?;
+    for (row, &t) in ts.iter().enumerate() {
+        for w in window.starts(t) {
+            indices.push(row);
+            starts.push(w);
+        }
+    }
+    let replicated = batch.gather(&indices);
+    let mut fields = batch.schema().fields.clone();
+    fields.push(crate::types::Field::new(out_name, DataType::Int64));
+    let mut columns = replicated.into_columns();
+    columns.push(Column::I64(starts));
+    RecordBatch::new(crate::types::Schema::arc(fields), columns)
+}
+
 /// First `n` rows of a batch — the top-k truncation applied after a
 /// local sort (no copy when the batch is already short enough).
 pub fn truncate_rows(batch: RecordBatch, n: usize) -> RecordBatch {
@@ -559,5 +668,69 @@ mod tests {
         };
         let out = execute_into_batch(&plan, &cat).unwrap();
         assert_eq!(out.num_rows(), 6, "2 x 3 matching pairs");
+    }
+
+    #[test]
+    fn window_spec_validation() {
+        assert!(WindowSpec::tumbling(10).validate().is_ok());
+        assert!(WindowSpec::sliding(10, 5).validate().is_ok());
+        assert!(WindowSpec::tumbling(0).validate().is_err());
+        assert!(WindowSpec::sliding(10, 0).validate().is_err());
+        assert!(WindowSpec::sliding(10, 11).validate().is_err());
+        assert!(WindowSpec::sliding(-5, 1).validate().is_err());
+    }
+
+    #[test]
+    fn window_starts_tumbling_and_sliding() {
+        let t = WindowSpec::tumbling(10);
+        assert_eq!(t.starts(0), vec![0]);
+        assert_eq!(t.starts(9), vec![0]);
+        assert_eq!(t.starts(10), vec![10]);
+        assert_eq!(t.starts(-1), vec![-10], "negative ts floors");
+        let s = WindowSpec::sliding(10, 5);
+        assert_eq!(s.starts(0), vec![-5, 0]);
+        assert_eq!(s.starts(7), vec![0, 5]);
+        assert_eq!(s.starts(12), vec![5, 10]);
+        // Every ts belongs to ceil(size/slide) instances.
+        let s3 = WindowSpec::sliding(9, 3);
+        for ts in -20_i64..20 {
+            let starts = s3.starts(ts);
+            assert_eq!(starts.len(), 3);
+            for w in starts {
+                assert!(w <= ts && ts < w + s3.size);
+                assert_eq!(w.rem_euclid(s3.slide), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn assign_windows_tumbling_appends_column() {
+        let batch = RecordBatch::from_columns(
+            &["ts", "k"],
+            vec![Column::I64(vec![0, 9, 10, 25]), Column::I64(vec![1, 2, 3, 4])],
+        )
+        .unwrap();
+        let out = assign_windows(&batch, 0, &WindowSpec::tumbling(10), "wstart").unwrap();
+        assert_eq!(out.num_rows(), 4, "tumbling replicates nothing");
+        assert_eq!(out.num_columns(), 3);
+        assert_eq!(out.schema().field(2).name, "wstart");
+        assert_eq!(out.column(2).as_i64().unwrap(), &[0, 0, 10, 20]);
+        assert_eq!(out.column(1).as_i64().unwrap(), &[1, 2, 3, 4], "row order preserved");
+    }
+
+    #[test]
+    fn assign_windows_sliding_replicates_rows() {
+        let batch = RecordBatch::from_columns(&["ts"], vec![Column::I64(vec![7])]).unwrap();
+        let out = assign_windows(&batch, 0, &WindowSpec::sliding(10, 5), "w").unwrap();
+        assert_eq!(out.num_rows(), 2);
+        assert_eq!(out.column(0).as_i64().unwrap(), &[7, 7]);
+        assert_eq!(out.column(1).as_i64().unwrap(), &[0, 5], "instances ascending");
+    }
+
+    #[test]
+    fn assign_windows_rejects_bad_inputs() {
+        let batch = RecordBatch::from_columns(&["v"], vec![Column::F64(vec![1.0])]).unwrap();
+        assert!(assign_windows(&batch, 0, &WindowSpec::tumbling(10), "w").is_err());
+        assert!(assign_windows(&batch, 5, &WindowSpec::tumbling(10), "w").is_err());
     }
 }

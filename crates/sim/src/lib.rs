@@ -58,5 +58,6 @@ pub use resource::{BurstLink, BurstLinkConfig, PsResource, TokenBucket};
 pub use rng::SimRng;
 pub use services::faas::{FaultInjector, InjectedFault};
 pub use services::p2p::{LinkFault, LinkFaultInjector, P2pClient, P2pConfig, P2pError, P2pService};
+pub use services::source::{EventSource, SourceConfig, SourceEvent};
 pub use time::{millis, secs, SimTime};
 pub use trace::{Trace, TraceEvent};

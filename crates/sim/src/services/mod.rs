@@ -6,3 +6,4 @@ pub mod kv;
 pub mod object_store;
 pub mod p2p;
 pub mod queue;
+pub mod source;

@@ -42,6 +42,7 @@ const HOT_PATH_FILES: &[&str] = &[
     "message.rs",
     "routing.rs",
     "sched.rs",
+    "streaming.rs",
 ];
 
 const ALLOW_MARKER: &str = "lint: allow(unwrap)";
